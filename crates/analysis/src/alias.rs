@@ -1,0 +1,402 @@
+//! Flow-insensitive, context-insensitive points-to analysis
+//! (Andersen-style), whole program.
+//!
+//! Pointers in MiniC can only address region cells (never scalar variable
+//! slots), and the VM keeps pointer arithmetic inside the region an address
+//! was derived from (offsets wrap modulo the instance size). Those two rules
+//! make this region-granularity analysis sound: the set of regions a memory
+//! reference may touch at runtime is always a subset of what is computed
+//! here.
+
+use crate::bitset::BitSet;
+use dynslice_ir::{FuncId, MemRef, Operand, Program, Rvalue, StmtKind, Terminator, VarId};
+
+/// The set of regions a memory reference may touch.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum RegionSet {
+    /// Nothing is known about the pointer (e.g. a never-assigned pointer
+    /// variable); any region may be touched.
+    All,
+    /// Exactly these regions may be touched.
+    Known(BitSet),
+}
+
+impl RegionSet {
+    /// Whether the two sets may overlap.
+    pub fn may_overlap(&self, other: &RegionSet) -> bool {
+        match (self, other) {
+            (RegionSet::All, _) | (_, RegionSet::All) => true,
+            (RegionSet::Known(a), RegionSet::Known(b)) => a.intersects(b),
+        }
+    }
+
+    /// Whether this is a singleton set containing exactly `region`.
+    pub fn is_exactly(&self, region: usize) -> bool {
+        match self {
+            RegionSet::All => false,
+            RegionSet::Known(s) => s.len() == 1 && s.contains(region),
+        }
+    }
+
+    /// Whether the set definitely contains `region`.
+    pub fn contains(&self, region: usize) -> bool {
+        match self {
+            RegionSet::All => true,
+            RegionSet::Known(s) => s.contains(region),
+        }
+    }
+}
+
+/// Whole-program points-to facts.
+#[derive(Clone, Debug)]
+pub struct PointsTo {
+    /// Per flattened variable: regions the variable may point to.
+    var_pts: Vec<BitSet>,
+    /// Per region: regions whose addresses may be stored in its cells.
+    content: Vec<BitSet>,
+    /// Per function: regions its return value may point to.
+    ret_pts: Vec<BitSet>,
+    var_base: Vec<u32>,
+    num_regions: usize,
+}
+
+impl PointsTo {
+    /// Runs the analysis to a fixpoint over all statements of `p`.
+    pub fn compute(p: &Program) -> Self {
+        let num_regions = p.regions.len();
+        let mut var_base = Vec::with_capacity(p.functions.len());
+        let mut total_vars = 0u32;
+        for f in &p.functions {
+            var_base.push(total_vars);
+            total_vars += f.num_vars;
+        }
+        let mut pt = Self {
+            var_pts: vec![BitSet::new(num_regions); total_vars as usize],
+            content: vec![BitSet::new(num_regions); num_regions],
+            ret_pts: vec![BitSet::new(num_regions); p.functions.len()],
+            var_base,
+            num_regions,
+        };
+        if num_regions == 0 {
+            return pt;
+        }
+        // Iterate all statements to a fixpoint. Programs are small relative
+        // to trace lengths, so the simple quadratic strategy is fine.
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for (fi, f) in p.functions.iter().enumerate() {
+                let fid = FuncId(fi as u32);
+                for bb in &f.blocks {
+                    for st in &bb.stmts {
+                        changed |= pt.apply_stmt(fid, &st.kind);
+                    }
+                    if let Terminator::Return(Some(op)) = &bb.term {
+                        if let Some(v) = op.var() {
+                            let src = pt.var(fid, v).clone();
+                            changed |= pt.ret_pts[fi].union_with(&src);
+                        }
+                    }
+                }
+            }
+        }
+        pt
+    }
+
+    fn vidx(&self, f: FuncId, v: VarId) -> usize {
+        (self.var_base[f.index()] + v.0) as usize
+    }
+
+    fn var(&self, f: FuncId, v: VarId) -> &BitSet {
+        &self.var_pts[self.vidx(f, v)]
+    }
+
+    fn union_into_var(&mut self, f: FuncId, v: VarId, src: &BitSet) -> bool {
+        let i = self.vidx(f, v);
+        self.var_pts[i].union_with(src)
+    }
+
+    fn operand_pts(&self, f: FuncId, op: Operand) -> BitSet {
+        match op.var() {
+            Some(v) => self.var(f, v).clone(),
+            None => BitSet::new(self.num_regions),
+        }
+    }
+
+    /// Regions that may hold the address value read through `m`. `None`
+    /// encodes "unknown pointer: any region's content".
+    fn loaded_content(&self, f: FuncId, m: &MemRef) -> BitSet {
+        let mut out = BitSet::new(self.num_regions);
+        match m {
+            MemRef::Direct { region, .. } => {
+                out.union_with(&self.content[region.index()]);
+            }
+            MemRef::Indirect { ptr } => {
+                let pts = self.operand_pts(f, *ptr);
+                if pts.is_empty() {
+                    // Unknown pointer: could read any region's content.
+                    for c in &self.content {
+                        out.union_with(c);
+                    }
+                } else {
+                    for r in pts.iter() {
+                        out.union_with(&self.content[r]);
+                    }
+                }
+            }
+        };
+        out
+    }
+
+    fn apply_stmt(&mut self, fid: FuncId, kind: &StmtKind) -> bool {
+        match kind {
+            StmtKind::Assign { dst, rv } => {
+                let src: BitSet = match rv {
+                    Rvalue::Use(op) | Rvalue::Unary(_, op) => self.operand_pts(fid, *op),
+                    Rvalue::Binary(_, a, b) => {
+                        let mut s = self.operand_pts(fid, *a);
+                        s.union_with(&self.operand_pts(fid, *b));
+                        s
+                    }
+                    Rvalue::AddrOf { region, .. } | Rvalue::Alloc { site: region, .. } => {
+                        let mut s = BitSet::new(self.num_regions);
+                        s.insert(region.index());
+                        s
+                    }
+                    Rvalue::Load(m) => self.loaded_content(fid, m),
+                    Rvalue::Call { func, args } => {
+                        let mut changed = false;
+                        for (i, a) in args.iter().enumerate() {
+                            let src = self.operand_pts(fid, *a);
+                            changed |= self.union_into_var(*func, VarId(i as u32), &src);
+                        }
+                        let ret = self.ret_pts[func.index()].clone();
+                        return self.union_into_var(fid, *dst, &ret) || changed;
+                    }
+                    Rvalue::Input => BitSet::new(self.num_regions),
+                };
+                self.union_into_var(fid, *dst, &src)
+            }
+            StmtKind::Store { mem, value } => {
+                let src = self.operand_pts(fid, *value);
+                if src.is_empty() {
+                    return false;
+                }
+                match mem {
+                    MemRef::Direct { region, .. } => self.content[region.index()].union_with(&src),
+                    MemRef::Indirect { ptr } => {
+                        let pts = self.operand_pts(fid, *ptr);
+                        let targets: Vec<usize> = if pts.is_empty() {
+                            (0..self.num_regions).collect()
+                        } else {
+                            pts.iter().collect()
+                        };
+                        let mut changed = false;
+                        for r in targets {
+                            changed |= self.content[r].union_with(&src);
+                        }
+                        changed
+                    }
+                }
+            }
+            StmtKind::Print(_) => false,
+        }
+    }
+
+    /// Points-to set of variable `v` in function `f`.
+    pub fn var_points_to(&self, f: FuncId, v: VarId) -> &BitSet {
+        self.var(f, v)
+    }
+
+    /// The regions memory reference `m` (in function `f`) may touch.
+    pub fn may_regions(&self, f: FuncId, m: &MemRef) -> RegionSet {
+        match m {
+            MemRef::Direct { region, .. } => {
+                let mut s = BitSet::new(self.num_regions);
+                s.insert(region.index());
+                RegionSet::Known(s)
+            }
+            MemRef::Indirect { ptr } => {
+                let pts = self.operand_pts(f, *ptr);
+                if pts.is_empty() {
+                    RegionSet::All
+                } else {
+                    RegionSet::Known(pts)
+                }
+            }
+        }
+    }
+
+    /// Whether two memory references (in the same function) may alias.
+    pub fn may_alias(&self, f: FuncId, a: &MemRef, b: &MemRef) -> bool {
+        self.may_regions(f, a).may_overlap(&self.may_regions(f, b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynslice_lang::compile;
+    use dynslice_ir::RegionId;
+
+    fn pts_of(src: &str, region_names: &[&str]) -> (Program, PointsTo, Vec<RegionId>) {
+        let p = compile(src).expect("compiles");
+        let pt = PointsTo::compute(&p);
+        let ids = region_names
+            .iter()
+            .map(|n| {
+                RegionId(
+                    p.regions.iter().position(|r| r.name == *n).unwrap_or_else(|| {
+                        panic!("region {n} not found in {:?}", p.regions)
+                    }) as u32,
+                )
+            })
+            .collect();
+        (p, pt, ids)
+    }
+
+    #[test]
+    fn addr_of_flows_through_copies_and_branches() {
+        let (p, pt, ids) = pts_of(
+            "global int x[2];
+             global int y[2];
+             fn main() {
+               ptr p = &x[0];
+               if (input()) { p = &y[0]; }
+               *p = 5;
+             }",
+            &["x", "y"],
+        );
+        // Find the `*p = 5` store and check its may-regions.
+        let f = p.func(p.main);
+        let store = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.stmts)
+            .find_map(|s| match &s.kind {
+                StmtKind::Store { mem: m @ MemRef::Indirect { .. }, .. } => Some(m.clone()),
+                _ => None,
+            })
+            .expect("store through pointer");
+        let rs = pt.may_regions(p.main, &store);
+        assert!(rs.contains(ids[0].index()));
+        assert!(rs.contains(ids[1].index()));
+        assert!(!matches!(rs, RegionSet::All));
+    }
+
+    #[test]
+    fn unaliased_pointer_is_singleton() {
+        let (p, pt, ids) = pts_of(
+            "global int x[2];
+             global int y[2];
+             fn main() { ptr p = &x[1]; *p = 3; print y[0]; }",
+            &["x", "y"],
+        );
+        let f = p.func(p.main);
+        let store = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.stmts)
+            .find_map(|s| match &s.kind {
+                StmtKind::Store { mem: m @ MemRef::Indirect { .. }, .. } => Some(m.clone()),
+                _ => None,
+            })
+            .unwrap();
+        let rs = pt.may_regions(p.main, &store);
+        assert!(rs.is_exactly(ids[0].index()));
+        assert!(!rs.contains(ids[1].index()));
+    }
+
+    #[test]
+    fn pointer_arithmetic_preserves_targets() {
+        let (p, pt, ids) = pts_of(
+            "global int a[8];
+             fn main() { ptr p = &a[0]; ptr q = p + 3; *q = 1; }",
+            &["a"],
+        );
+        let f = p.func(p.main);
+        let store = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.stmts)
+            .find_map(|s| match &s.kind {
+                StmtKind::Store { mem: m @ MemRef::Indirect { .. }, .. } => Some(m.clone()),
+                _ => None,
+            })
+            .unwrap();
+        assert!(pt.may_regions(p.main, &store).is_exactly(ids[0].index()));
+    }
+
+    #[test]
+    fn pointers_through_memory_and_calls() {
+        let (p, pt, ids) = pts_of(
+            "global int a[4];
+             global int slot[1];
+             fn get() -> int { return slot[0]; }
+             fn main() {
+               slot[0] = &a[2];
+               ptr p = get();
+               *p = 9;
+             }",
+            &["a", "slot"],
+        );
+        let f = p.func(p.main);
+        let store = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.stmts)
+            .find_map(|s| match &s.kind {
+                StmtKind::Store { mem: m @ MemRef::Indirect { .. }, .. } => Some(m.clone()),
+                _ => None,
+            })
+            .unwrap();
+        let rs = pt.may_regions(p.main, &store);
+        assert!(rs.contains(ids[0].index()), "pointer read back from memory reaches a");
+        let _ = ids;
+    }
+
+    #[test]
+    fn alloc_sites_are_distinct_regions() {
+        let (p, pt, _) = pts_of(
+            "fn main() {
+               ptr p = alloc(4);
+               ptr q = alloc(4);
+               *p = 1;
+               *q = 2;
+             }",
+            &[],
+        );
+        let f = p.func(p.main);
+        let stores: Vec<MemRef> = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.stmts)
+            .filter_map(|s| match &s.kind {
+                StmtKind::Store { mem: m @ MemRef::Indirect { .. }, .. } => Some(m.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(stores.len(), 2);
+        assert!(!pt.may_alias(p.main, &stores[0], &stores[1]));
+    }
+
+    #[test]
+    fn unknown_pointer_is_all() {
+        let (p, pt, _) = pts_of(
+            "global int a[2];
+             fn main() { ptr p = input(); *p = 1; }",
+            &[],
+        );
+        let f = p.func(p.main);
+        let store = f
+            .blocks
+            .iter()
+            .flat_map(|b| &b.stmts)
+            .find_map(|s| match &s.kind {
+                StmtKind::Store { mem: m @ MemRef::Indirect { .. }, .. } => Some(m.clone()),
+                _ => None,
+            })
+            .unwrap();
+        assert_eq!(pt.may_regions(p.main, &store), RegionSet::All);
+    }
+}

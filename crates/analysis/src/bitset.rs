@@ -1,0 +1,215 @@
+//! A dense, fixed-capacity bit set used by the dataflow analyses.
+
+/// A fixed-capacity set of small indices backed by `u64` words.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitSet {
+    words: Vec<u64>,
+    capacity: usize,
+}
+
+impl BitSet {
+    /// Creates an empty set able to hold indices `0..capacity`.
+    pub fn new(capacity: usize) -> Self {
+        Self { words: vec![0; capacity.div_ceil(64)], capacity }
+    }
+
+    /// Creates a set containing every index in `0..capacity`.
+    pub fn full(capacity: usize) -> Self {
+        let mut s = Self::new(capacity);
+        for i in 0..capacity {
+            s.insert(i);
+        }
+        s
+    }
+
+    /// The capacity this set was created with.
+    #[inline]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Inserts `i`; returns whether the set changed.
+    ///
+    /// # Panics
+    /// Panics if `i >= capacity`.
+    #[inline]
+    pub fn insert(&mut self, i: usize) -> bool {
+        assert!(i < self.capacity, "bit {i} out of capacity {}", self.capacity);
+        let w = &mut self.words[i / 64];
+        let mask = 1u64 << (i % 64);
+        let changed = *w & mask == 0;
+        *w |= mask;
+        changed
+    }
+
+    /// Removes `i`; returns whether the set changed.
+    #[inline]
+    pub fn remove(&mut self, i: usize) -> bool {
+        if i >= self.capacity {
+            return false;
+        }
+        let w = &mut self.words[i / 64];
+        let mask = 1u64 << (i % 64);
+        let changed = *w & mask != 0;
+        *w &= !mask;
+        changed
+    }
+
+    /// Whether `i` is in the set.
+    #[inline]
+    pub fn contains(&self, i: usize) -> bool {
+        i < self.capacity && self.words[i / 64] & (1u64 << (i % 64)) != 0
+    }
+
+    /// Unions `other` into `self`; returns whether `self` changed.
+    pub fn union_with(&mut self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.capacity, other.capacity);
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let new = *a | *b;
+            changed |= new != *a;
+            *a = new;
+        }
+        changed
+    }
+
+    /// Intersects `self` with `other`; returns whether `self` changed.
+    pub fn intersect_with(&mut self, other: &BitSet) -> bool {
+        debug_assert_eq!(self.capacity, other.capacity);
+        let mut changed = false;
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            let new = *a & *b;
+            changed |= new != *a;
+            *a = new;
+        }
+        changed
+    }
+
+    /// Removes every element of `other` from `self`.
+    pub fn subtract(&mut self, other: &BitSet) {
+        debug_assert_eq!(self.capacity, other.capacity);
+        for (a, b) in self.words.iter_mut().zip(&other.words) {
+            *a &= !*b;
+        }
+    }
+
+    /// Whether the two sets share any element.
+    pub fn intersects(&self, other: &BitSet) -> bool {
+        self.words.iter().zip(&other.words).any(|(a, b)| a & b != 0)
+    }
+
+    /// Whether the set is empty.
+    pub fn is_empty(&self) -> bool {
+        self.words.iter().all(|w| *w == 0)
+    }
+
+    /// Number of elements in the set.
+    pub fn len(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// Iterates over the contained indices in increasing order.
+    pub fn iter(&self) -> impl Iterator<Item = usize> + '_ {
+        self.words.iter().enumerate().flat_map(|(wi, &w)| {
+            let mut bits = w;
+            std::iter::from_fn(move || {
+                if bits == 0 {
+                    None
+                } else {
+                    let tz = bits.trailing_zeros() as usize;
+                    bits &= bits - 1;
+                    Some(wi * 64 + tz)
+                }
+            })
+        })
+    }
+
+    /// Removes all elements.
+    pub fn clear(&mut self) {
+        self.words.fill(0);
+    }
+}
+
+impl std::fmt::Debug for BitSet {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_set().entries(self.iter()).finish()
+    }
+}
+
+impl FromIterator<usize> for BitSet {
+    /// Collects indices into a set sized to the largest element + 1.
+    fn from_iter<I: IntoIterator<Item = usize>>(iter: I) -> Self {
+        let items: Vec<usize> = iter.into_iter().collect();
+        let cap = items.iter().max().map_or(0, |m| m + 1);
+        let mut s = BitSet::new(cap);
+        for i in items {
+            s.insert(i);
+        }
+        s
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_contains_remove() {
+        let mut s = BitSet::new(130);
+        assert!(s.insert(0));
+        assert!(s.insert(129));
+        assert!(!s.insert(129));
+        assert!(s.contains(0));
+        assert!(s.contains(129));
+        assert!(!s.contains(64));
+        assert!(s.remove(129));
+        assert!(!s.remove(129));
+        assert_eq!(s.len(), 1);
+    }
+
+    #[test]
+    fn union_and_intersect() {
+        let mut a = BitSet::new(100);
+        let mut b = BitSet::new(100);
+        a.insert(1);
+        a.insert(70);
+        b.insert(70);
+        b.insert(99);
+        assert!(a.intersects(&b));
+        let mut u = a.clone();
+        assert!(u.union_with(&b));
+        assert_eq!(u.iter().collect::<Vec<_>>(), vec![1, 70, 99]);
+        let mut i = a.clone();
+        assert!(i.intersect_with(&b));
+        assert_eq!(i.iter().collect::<Vec<_>>(), vec![70]);
+    }
+
+    #[test]
+    fn subtract_removes_elements() {
+        let mut a: BitSet = [1usize, 2, 3].into_iter().collect();
+        let b: BitSet = [2usize].into_iter().collect();
+        let b2 = {
+            let mut t = BitSet::new(a.capacity());
+            for i in b.iter() {
+                t.insert(i);
+            }
+            t
+        };
+        a.subtract(&b2);
+        assert_eq!(a.iter().collect::<Vec<_>>(), vec![1, 3]);
+    }
+
+    #[test]
+    fn full_and_clear() {
+        let mut s = BitSet::full(65);
+        assert_eq!(s.len(), 65);
+        s.clear();
+        assert!(s.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "out of capacity")]
+    fn insert_out_of_range_panics() {
+        BitSet::new(4).insert(4);
+    }
+}

@@ -1,0 +1,206 @@
+//! Control dependence (Ferrante–Ottenstein–Warren) computed from the
+//! postdominator tree.
+//!
+//! Block `b` is control dependent on branch block `a` when some successor of
+//! `a` always leads to `b` while another may avoid it. The dynamic builders
+//! define the dynamic control parent of a block instance as *the most
+//! recently executed static ancestor in the same activation* (or the call
+//! site for blocks with no ancestor), so this module's output is the single
+//! source of truth for dyCDG semantics across FP, LP and OPT.
+
+use crate::dom::{PostDomNode, PostDominators};
+use dynslice_ir::{BlockId, Cfg, Function};
+
+/// Control-dependence relation for one function.
+#[derive(Clone, Debug)]
+pub struct ControlDeps {
+    /// `ancestors[b]`: branch blocks `b` is control dependent on (sorted).
+    ancestors: Vec<Vec<BlockId>>,
+    /// `dependents[a]`: blocks control dependent on branch block `a`.
+    dependents: Vec<Vec<BlockId>>,
+}
+
+impl ControlDeps {
+    /// Computes control dependences for `f`.
+    pub fn compute(cfg: &Cfg, f: &Function, pdom: &PostDominators) -> Self {
+        let n = cfg.num_blocks();
+        let mut ancestors: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+        let mut dependents: Vec<Vec<BlockId>> = vec![Vec::new(); n];
+        for a in f.block_ids() {
+            if !cfg.is_reachable(a) {
+                continue;
+            }
+            for &b in cfg.succs(a) {
+                // Walk the postdominator tree from b up to (exclusive)
+                // ipdom(a); every node on the way is control dependent on a.
+                let stop = pdom.ipdom(a);
+                let mut runner = PostDomNode::Block(b);
+                while runner != stop {
+                    let PostDomNode::Block(r) = runner else { break };
+                    if !ancestors[r.index()].contains(&a) {
+                        ancestors[r.index()].push(a);
+                        dependents[a.index()].push(r);
+                    }
+                    runner = pdom.ipdom(r);
+                }
+            }
+        }
+        for v in &mut ancestors {
+            v.sort_unstable();
+        }
+        for v in &mut dependents {
+            v.sort_unstable();
+        }
+        Self { ancestors, dependents }
+    }
+
+    /// The branch blocks `b` is control dependent on.
+    pub fn ancestors(&self, b: BlockId) -> &[BlockId] {
+        &self.ancestors[b.index()]
+    }
+
+    /// The unique control ancestor of `b`, if it has exactly one.
+    pub fn unique_ancestor(&self, b: BlockId) -> Option<BlockId> {
+        match self.ancestors[b.index()].as_slice() {
+            [a] => Some(*a),
+            _ => None,
+        }
+    }
+
+    /// Blocks control dependent on `a`.
+    pub fn dependents(&self, a: BlockId) -> &[BlockId] {
+        &self.dependents[a.index()]
+    }
+
+    /// Whether `a` and `b` are control equivalent (identical ancestor sets).
+    pub fn control_equivalent(&self, a: BlockId, b: BlockId) -> bool {
+        self.ancestors[a.index()] == self.ancestors[b.index()]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dom::PostDominators;
+    use dynslice_lang::compile;
+    use dynslice_ir::Terminator;
+
+    fn deps(src: &str) -> (dynslice_ir::Program, Cfg, ControlDeps) {
+        let p = compile(src).expect("compiles");
+        let cfg = Cfg::new(p.func(p.main));
+        let pdom = PostDominators::compute(&cfg, p.func(p.main));
+        let cd = ControlDeps::compute(&cfg, p.func(p.main), &pdom);
+        (p, cfg, cd)
+    }
+
+    fn branch_blocks(p: &dynslice_ir::Program) -> Vec<BlockId> {
+        p.func(p.main)
+            .blocks
+            .iter()
+            .enumerate()
+            .filter(|(_, bb)| matches!(bb.term, Terminator::Branch { .. }))
+            .map(|(i, _)| BlockId(i as u32))
+            .collect()
+    }
+
+    #[test]
+    fn if_arms_depend_on_condition() {
+        let (p, cfg, cd) =
+            deps("fn main() { int x = input(); if (x) { print 1; } else { print 2; } print 3; }");
+        let branches = branch_blocks(&p);
+        assert_eq!(branches.len(), 1);
+        let cond = branches[0];
+        let then_bb = cfg.succs(cond)[0];
+        let else_bb = cfg.succs(cond)[1];
+        assert_eq!(cd.ancestors(then_bb), &[cond]);
+        assert_eq!(cd.ancestors(else_bb), &[cond]);
+        assert_eq!(cd.unique_ancestor(then_bb), Some(cond));
+        // The join block does not depend on the condition.
+        let join = p
+            .func(p.main)
+            .block_ids()
+            .find(|b| cfg.preds(*b).len() == 2)
+            .unwrap();
+        assert!(cd.ancestors(join).is_empty());
+        assert!(cd.control_equivalent(join, BlockId(0)));
+        assert!(!cd.control_equivalent(then_bb, join));
+    }
+
+    #[test]
+    fn loop_header_depends_on_itself() {
+        let (p, cfg, cd) =
+            deps("fn main() { int i = 0; while (i < 3) { i = i + 1; } print i; }");
+        let branches = branch_blocks(&p);
+        let header = branches[0];
+        // The while-header is control dependent on itself (it re-executes
+        // only when the loop takes another iteration).
+        assert!(cd.ancestors(header).contains(&header));
+        // The body depends on the header.
+        let (body, _) = cfg.back_edges()[0];
+        assert!(cd.ancestors(body).contains(&header));
+        assert!(cd.dependents(header).contains(&body));
+    }
+
+    #[test]
+    fn nested_if_has_two_level_dependence() {
+        let (p, cfg, cd) = deps(
+            "fn main() {
+               int x = input();
+               if (x) {
+                 if (x > 1) { print 1; }
+               }
+               print 2;
+             }",
+        );
+        let branches = branch_blocks(&p);
+        assert_eq!(branches.len(), 2);
+        let outer = branches[0];
+        let inner = branches[1];
+        // Inner condition block depends on outer.
+        assert_eq!(cd.ancestors(inner), &[outer]);
+        // The innermost then-block depends only on the inner branch.
+        let inner_then = cfg.succs(inner)[0];
+        assert_eq!(cd.ancestors(inner_then), &[inner]);
+        let _ = p;
+    }
+
+    #[test]
+    fn nested_break_creates_multiple_ancestors() {
+        // The tail of the loop body runs when the outer `if` is false OR
+        // when the inner `if` is false — two distinct control ancestors
+        // (the paper's OPT-5a situation).
+        let (p, _cfg, cd) = deps(
+            "fn main() {
+               int i = 0;
+               while (i < 10) {
+                 if (input()) {
+                   if (input()) { break; }
+                 }
+                 i = i + 1;
+               }
+               print i;
+             }",
+        );
+        let f = p.func(p.main);
+        let has_multi = f.block_ids().any(|b| cd.ancestors(b).len() >= 2);
+        assert!(has_multi, "nested break should give a block multiple control ancestors");
+    }
+
+    #[test]
+    fn simple_break_keeps_unique_ancestors() {
+        let (p, _cfg, cd) = deps(
+            "fn main() {
+               int i = 0;
+               while (i < 10) {
+                 if (input()) { break; }
+                 i = i + 1;
+               }
+               print i;
+             }",
+        );
+        let f = p.func(p.main);
+        for b in f.block_ids() {
+            assert!(cd.ancestors(b).len() <= 1, "{b} has {:?}", cd.ancestors(b));
+        }
+    }
+}

@@ -1,0 +1,290 @@
+//! Dominator and postdominator trees (Cooper–Harvey–Kennedy).
+
+use dynslice_ir::{BlockId, Cfg, Function};
+
+/// Immediate-dominator computation over an abstract graph.
+///
+/// `preds[v]` are the predecessors of `v` in the direction of the analysis
+/// (CFG predecessors for dominators, successors for postdominators), and
+/// `rpo` is a reverse post-order of the reachable nodes starting at `entry`.
+/// Returns `idom[v]` with `idom[entry] == entry`; unreachable nodes get
+/// `u32::MAX`.
+fn compute_idoms(n: usize, entry: u32, preds: &[Vec<u32>], rpo: &[u32]) -> Vec<u32> {
+    const UNDEF: u32 = u32::MAX;
+    let mut rpo_pos = vec![UNDEF; n];
+    for (i, &b) in rpo.iter().enumerate() {
+        rpo_pos[b as usize] = i as u32;
+    }
+    let mut idom = vec![UNDEF; n];
+    idom[entry as usize] = entry;
+    let mut changed = true;
+    while changed {
+        changed = false;
+        for &b in rpo.iter().skip(1) {
+            let mut new_idom = UNDEF;
+            for &p in &preds[b as usize] {
+                if idom[p as usize] == UNDEF {
+                    continue;
+                }
+                new_idom = if new_idom == UNDEF {
+                    p
+                } else {
+                    // Walk both fingers up to the common ancestor.
+                    let mut f1 = new_idom;
+                    let mut f2 = p;
+                    while f1 != f2 {
+                        while rpo_pos[f1 as usize] > rpo_pos[f2 as usize] {
+                            f1 = idom[f1 as usize];
+                        }
+                        while rpo_pos[f2 as usize] > rpo_pos[f1 as usize] {
+                            f2 = idom[f2 as usize];
+                        }
+                    }
+                    f1
+                };
+            }
+            if new_idom != UNDEF && idom[b as usize] != new_idom {
+                idom[b as usize] = new_idom;
+                changed = true;
+            }
+        }
+    }
+    idom
+}
+
+/// The dominator tree of a function's CFG.
+#[derive(Clone, Debug)]
+pub struct Dominators {
+    idom: Vec<u32>,
+}
+
+impl Dominators {
+    /// Computes dominators for `cfg`.
+    pub fn compute(cfg: &Cfg) -> Self {
+        let n = cfg.num_blocks();
+        let preds: Vec<Vec<u32>> =
+            (0..n).map(|b| cfg.preds(BlockId(b as u32)).iter().map(|p| p.0).collect()).collect();
+        let rpo: Vec<u32> = cfg.rpo().iter().map(|b| b.0).collect();
+        Self { idom: compute_idoms(n, 0, &preds, &rpo) }
+    }
+
+    /// Immediate dominator of `b`; `None` for the entry or unreachable blocks.
+    pub fn idom(&self, b: BlockId) -> Option<BlockId> {
+        let d = self.idom[b.index()];
+        (d != u32::MAX && d != b.0).then_some(BlockId(d))
+    }
+
+    /// Whether `a` dominates `b` (reflexive).
+    pub fn dominates(&self, a: BlockId, b: BlockId) -> bool {
+        if self.idom[b.index()] == u32::MAX {
+            return false;
+        }
+        let mut cur = b.0;
+        loop {
+            if cur == a.0 {
+                return true;
+            }
+            let next = self.idom[cur as usize];
+            if next == cur {
+                return false; // reached entry
+            }
+            cur = next;
+        }
+    }
+}
+
+/// A node in the postdominator tree: a real block or the virtual exit.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum PostDomNode {
+    /// A CFG block.
+    Block(BlockId),
+    /// The virtual exit that every `Return` block flows to.
+    Exit,
+}
+
+/// The postdominator tree of a function's CFG, with a virtual exit node.
+///
+/// Blocks that cannot reach any `Return` (infinite loops) are attached
+/// directly under the virtual exit, which keeps control-dependence
+/// computation total; the dynamic builders define the dynamic
+/// control-dependence relation in terms of the *static* ancestor sets
+/// produced here, so all slicing algorithms agree on dyCDG semantics.
+#[derive(Clone, Debug)]
+pub struct PostDominators {
+    /// `ipdom[b]`: immediate postdominator; `n` encodes the virtual exit.
+    ipdom: Vec<u32>,
+    exit: u32,
+}
+
+impl PostDominators {
+    /// Computes postdominators for `cfg` (the function is needed to find its
+    /// `Return` blocks).
+    pub fn compute(cfg: &Cfg, f: &Function) -> Self {
+        let n = cfg.num_blocks();
+        let exit = n as u32;
+        // Reverse graph: "preds" of v are its CFG successors; the virtual
+        // exit's reverse-preds are the return blocks.
+        let mut preds: Vec<Vec<u32>> = (0..n)
+            .map(|b| cfg.succs(BlockId(b as u32)).iter().map(|s| s.0).collect())
+            .collect();
+        preds.push(Vec::new()); // virtual exit has no reverse-preds
+        for r in cfg.exit_blocks(f) {
+            preds[r.index()].push(exit);
+        }
+        // Post-order DFS on the reverse graph from the virtual exit.
+        let mut succs_rev: Vec<Vec<u32>> = vec![Vec::new(); n + 1];
+        for (v, ps) in preds.iter().enumerate() {
+            for &p in ps {
+                succs_rev[p as usize].push(v as u32);
+            }
+        }
+        let mut seen = vec![false; n + 1];
+        let mut post = Vec::with_capacity(n + 1);
+        let mut stack: Vec<(u32, usize)> = vec![(exit, 0)];
+        seen[exit as usize] = true;
+        while let Some(&mut (v, ref mut i)) = stack.last_mut() {
+            if *i < succs_rev[v as usize].len() {
+                let s = succs_rev[v as usize][*i];
+                *i += 1;
+                if !seen[s as usize] {
+                    seen[s as usize] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                post.push(v);
+                stack.pop();
+            }
+        }
+        post.reverse();
+        let mut ipdom = compute_idoms(n + 1, exit, &preds, &post);
+        // Blocks unreachable (in the reverse graph) from the exit — infinite
+        // loops — hang directly off the virtual exit.
+        for (b, d) in ipdom.iter_mut().enumerate().take(n) {
+            if *d == u32::MAX && cfg.is_reachable(BlockId(b as u32)) {
+                *d = exit;
+            }
+        }
+        Self { ipdom, exit }
+    }
+
+    /// Immediate postdominator of `b`.
+    pub fn ipdom(&self, b: BlockId) -> PostDomNode {
+        let d = self.ipdom[b.index()];
+        if d == self.exit || d == u32::MAX {
+            PostDomNode::Exit
+        } else {
+            PostDomNode::Block(BlockId(d))
+        }
+    }
+
+    /// Whether `a` postdominates `b` (reflexive over real blocks).
+    pub fn postdominates(&self, a: BlockId, b: BlockId) -> bool {
+        let mut cur = b.0;
+        loop {
+            if cur == a.0 {
+                return true;
+            }
+            if cur as usize >= self.ipdom.len() || cur == self.exit {
+                return false;
+            }
+            let next = self.ipdom[cur as usize];
+            if next == cur || next == u32::MAX {
+                return false;
+            }
+            cur = next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynslice_lang::compile;
+
+    fn main_cfg(src: &str) -> (dynslice_ir::Program, Cfg) {
+        let p = compile(src).expect("compiles");
+        let cfg = Cfg::new(p.func(p.main));
+        (p, cfg)
+    }
+
+    #[test]
+    fn diamond_dominators() {
+        // bb0 branches to then/else which join.
+        let (p, cfg) = main_cfg(
+            "fn main() { int x = input(); if (x) { print 1; } else { print 2; } print 3; }",
+        );
+        let dom = Dominators::compute(&cfg);
+        let f = p.func(p.main);
+        // Entry dominates everything.
+        for b in f.block_ids() {
+            if cfg.is_reachable(b) {
+                assert!(dom.dominates(BlockId(0), b));
+            }
+        }
+        // Neither arm dominates the join.
+        let join = BlockId(3); // then=1, join=2? layout depends on lowering
+        // Find the join: the block with 2 predecessors.
+        let join = f
+            .block_ids()
+            .find(|b| cfg.preds(*b).len() == 2)
+            .unwrap_or(join);
+        for b in f.block_ids() {
+            if b != BlockId(0) && b != join && cfg.is_reachable(b) {
+                assert!(!dom.dominates(b, join), "{b} should not dominate {join}");
+            }
+        }
+    }
+
+    #[test]
+    fn diamond_postdominators() {
+        let (p, cfg) = main_cfg(
+            "fn main() { int x = input(); if (x) { print 1; } else { print 2; } print 3; }",
+        );
+        let f = p.func(p.main);
+        let pdom = PostDominators::compute(&cfg, f);
+        let join = f.block_ids().find(|b| cfg.preds(*b).len() == 2).unwrap();
+        // The join postdominates the entry and both arms.
+        for b in f.block_ids() {
+            if cfg.is_reachable(b) && b != join {
+                assert!(
+                    pdom.postdominates(join, b) || pdom.postdominates(b, join),
+                    "join relation for {b}"
+                );
+            }
+        }
+        assert!(pdom.postdominates(join, BlockId(0)));
+    }
+
+    #[test]
+    fn loop_header_postdominates_body() {
+        let (p, cfg) = main_cfg("fn main() { int i = 0; while (i < 3) { i = i + 1; } print i; }");
+        let f = p.func(p.main);
+        let pdom = PostDominators::compute(&cfg, f);
+        let (body, header) = cfg.back_edges()[0];
+        assert!(pdom.postdominates(header, body));
+        assert!(!pdom.postdominates(body, header));
+    }
+
+    #[test]
+    fn infinite_loop_blocks_attach_to_exit() {
+        let (p, cfg) = main_cfg("fn main() { while (1) { print 0; } }");
+        let f = p.func(p.main);
+        let pdom = PostDominators::compute(&cfg, f);
+        // Every reachable block has a defined ipdom (possibly Exit).
+        for b in f.block_ids() {
+            if cfg.is_reachable(b) {
+                let _ = pdom.ipdom(b);
+            }
+        }
+    }
+
+    #[test]
+    fn straight_line_idoms_chain() {
+        let (p, cfg) = main_cfg("fn main() { print 1; }");
+        let dom = Dominators::compute(&cfg);
+        assert_eq!(dom.idom(BlockId(0)), None);
+        let f = p.func(p.main);
+        let pdom = PostDominators::compute(&cfg, f);
+        assert_eq!(pdom.ipdom(BlockId(0)), PostDomNode::Exit);
+    }
+}

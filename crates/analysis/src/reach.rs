@@ -1,0 +1,193 @@
+//! Scalar reaching definitions, per function.
+//!
+//! Classic bit-vector dataflow over *definition sites* of scalar variables.
+//! Memory cells are not tracked here (the compacted-graph builder reasons
+//! about memory locally within a node, falling back to dynamic edges across
+//! nodes); the OPT-3 candidate search only needs scalar def/use reachability.
+
+use crate::bitset::BitSet;
+use dynslice_ir::{BlockId, Cfg, Function, StmtId, StmtKind, VarId};
+
+/// One scalar definition site.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct DefSiteInfo {
+    /// Statement making the definition.
+    pub stmt: StmtId,
+    /// Block containing the definition.
+    pub block: BlockId,
+    /// Defined variable.
+    pub var: VarId,
+}
+
+/// Reaching-definitions facts for one function.
+#[derive(Clone, Debug)]
+pub struct ReachingDefs {
+    /// All scalar definition sites, indexed by the bit positions used below.
+    pub sites: Vec<DefSiteInfo>,
+    /// `reach_in[b]`: definition sites live at entry to block `b`.
+    reach_in: Vec<BitSet>,
+    /// `reach_out[b]`: definition sites live at exit of block `b`.
+    reach_out: Vec<BitSet>,
+}
+
+impl ReachingDefs {
+    /// Computes reaching definitions for `f`.
+    pub fn compute(cfg: &Cfg, f: &Function) -> Self {
+        // Enumerate definition sites.
+        let mut sites = Vec::new();
+        for (bi, bb) in f.blocks.iter().enumerate() {
+            for st in &bb.stmts {
+                if let StmtKind::Assign { dst, .. } = &st.kind {
+                    sites.push(DefSiteInfo {
+                        stmt: st.id,
+                        block: BlockId(bi as u32),
+                        var: *dst,
+                    });
+                }
+            }
+        }
+        let nsites = sites.len();
+        let nblocks = f.blocks.len();
+
+        // Per block GEN (last def of each var in the block) and KILL
+        // (every def of a var that the block redefines).
+        let mut gen = vec![BitSet::new(nsites); nblocks];
+        let mut kill = vec![BitSet::new(nsites); nblocks];
+        // Defs of each variable, for KILL computation.
+        let mut defs_of_var: Vec<Vec<usize>> = vec![Vec::new(); f.num_vars as usize];
+        for (i, s) in sites.iter().enumerate() {
+            defs_of_var[s.var.index()].push(i);
+        }
+        for (bi, _) in f.blocks.iter().enumerate() {
+            // Walk the block's defs in order; later defs of the same var
+            // displace earlier ones from GEN.
+            let mut last_def_of: Vec<Option<usize>> = vec![None; f.num_vars as usize];
+            for (i, s) in sites.iter().enumerate() {
+                if s.block.index() == bi {
+                    last_def_of[s.var.index()] = Some(i);
+                }
+            }
+            for (v, last) in last_def_of.iter().enumerate() {
+                if let Some(i) = last {
+                    gen[bi].insert(*i);
+                    for &d in &defs_of_var[v] {
+                        if d != *i {
+                            kill[bi].insert(d);
+                        }
+                    }
+                }
+            }
+        }
+
+        // Forward may-analysis to a fixpoint in RPO.
+        let mut reach_in = vec![BitSet::new(nsites); nblocks];
+        let mut reach_out = vec![BitSet::new(nsites); nblocks];
+        let mut changed = true;
+        while changed {
+            changed = false;
+            for &b in cfg.rpo() {
+                let bi = b.index();
+                let mut rin = BitSet::new(nsites);
+                for &p in cfg.preds(b) {
+                    rin.union_with(&reach_out[p.index()]);
+                }
+                let mut rout = rin.clone();
+                rout.subtract(&kill[bi]);
+                rout.union_with(&gen[bi]);
+                if rin != reach_in[bi] || rout != reach_out[bi] {
+                    reach_in[bi] = rin;
+                    reach_out[bi] = rout;
+                    changed = true;
+                }
+            }
+        }
+        Self { sites, reach_in, reach_out }
+    }
+
+    /// Definition sites live at entry to `b`.
+    pub fn reach_in(&self, b: BlockId) -> &BitSet {
+        &self.reach_in[b.index()]
+    }
+
+    /// Definition sites live at exit of `b`.
+    pub fn reach_out(&self, b: BlockId) -> &BitSet {
+        &self.reach_out[b.index()]
+    }
+
+    /// Definition sites of variable `v` reaching the entry of `b`.
+    pub fn defs_reaching(&self, b: BlockId, v: VarId) -> Vec<DefSiteInfo> {
+        self.reach_in(b)
+            .iter()
+            .map(|i| self.sites[i])
+            .filter(|s| s.var == v)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynslice_lang::compile;
+
+    fn analyze(src: &str) -> (dynslice_ir::Program, Cfg, ReachingDefs) {
+        let p = compile(src).expect("compiles");
+        let cfg = Cfg::new(p.func(p.main));
+        let rd = ReachingDefs::compute(&cfg, p.func(p.main));
+        (p, cfg, rd)
+    }
+
+    #[test]
+    fn both_branch_defs_reach_join() {
+        let (p, cfg, rd) = analyze(
+            "fn main() {
+               int x = 0;
+               if (input()) { x = 1; } else { x = 2; }
+               print x;
+             }",
+        );
+        let f = p.func(p.main);
+        let join = f.block_ids().find(|b| cfg.preds(*b).len() == 2).unwrap();
+        // `x` is defined three times; only the two branch defs reach the join.
+        let x = dynslice_ir::VarId(0);
+        let reaching = rd.defs_reaching(join, x);
+        assert_eq!(reaching.len(), 2, "reaching: {reaching:?}");
+    }
+
+    #[test]
+    fn loop_def_reaches_header() {
+        let (_, cfg, rd) = analyze(
+            "fn main() {
+               int i = 0;
+               while (i < 3) { i = i + 1; }
+               print i;
+             }",
+        );
+        let (body, header) = cfg.back_edges()[0];
+        let i = dynslice_ir::VarId(0);
+        let reaching = rd.defs_reaching(header, i);
+        // Both the init def and the loop-body def reach the header.
+        assert_eq!(reaching.len(), 2);
+        assert!(reaching.iter().any(|d| d.block == body));
+    }
+
+    #[test]
+    fn redefinition_kills_in_straight_line() {
+        let (p, cfg, rd) = analyze(
+            "fn main() {
+               int x = 1;
+               x = 2;
+               if (input()) { print x; }
+             }",
+        );
+        let f = p.func(p.main);
+        // Find a non-entry block; only the second def (last in entry block)
+        // reaches it.
+        let x = dynslice_ir::VarId(0);
+        for b in f.block_ids().skip(1) {
+            if cfg.is_reachable(b) {
+                let reaching = rd.defs_reaching(b, x);
+                assert_eq!(reaching.len(), 1, "block {b}");
+            }
+        }
+    }
+}

@@ -1,0 +1,35 @@
+//! Ablation — specialization policy and optimization switches (DESIGN.md
+//! §4): graph size under no / hot-path / all-path specialization and with
+//! individual optimization families disabled.
+
+use dynslice::{OptConfig, SpecPolicy};
+use dynslice_bench::*;
+
+fn main() {
+    header("Ablation", "specialization policies and optimization switches");
+    println!(
+        "{:<12} {:>10} {:>10} {:>10} {:>10} {:>10}",
+        "program", "none", "hot", "no-uu", "no-share", "no-cd"
+    );
+    for p in prepare_all() {
+        let pairs = |cfg: &OptConfig| p.session.opt(&p.trace, cfg).graph().size(false).pairs;
+        let none = pairs(&OptConfig { spec: SpecPolicy::None, ..OptConfig::default() });
+        let hot = pairs(&OptConfig::default());
+        let nouu = pairs(&OptConfig { use_use: false, ..OptConfig::default() });
+        let noshare = pairs(&OptConfig {
+            share_data: false,
+            share_cd: false,
+            ..OptConfig::default()
+        });
+        let nocd = pairs(&OptConfig {
+            cd_delta: false,
+            cd_local: false,
+            ..OptConfig::default()
+        });
+        println!(
+            "{:<12} {:>10} {:>10} {:>10} {:>10} {:>10}",
+            p.name, none, hot, nouu, noshare, nocd
+        );
+    }
+    println!("(pairs stored; hot-path specialization is the paper's configuration)");
+}

@@ -1,0 +1,50 @@
+//! Figure 17 — average slicing time versus execution length: slices are
+//! computed at several points during the run (graph built on trace
+//! prefixes); growth should be roughly linear in statements executed.
+
+use dynslice::{OptConfig, TraceEvent};
+use dynslice_bench::*;
+
+fn main() {
+    header("Figure 17", "OPT slicing time vs statements executed");
+    println!("{:<12} {:>10} {:>12} {:>16}", "program", "point", "exec stmts", "avg slice (ms)");
+    for p in prepare_all() {
+        let events = &p.trace.events;
+        for frac in [0.25, 0.5, 0.75, 1.0] {
+            let n = (events.len() as f64 * frac) as usize;
+            let prefix = &events[..n];
+            let blocks = prefix
+                .iter()
+                .filter(|e| matches!(e, TraceEvent::Block { .. }))
+                .count();
+            let opt = dynslice::graph::build_compact(
+                &p.session.program,
+                &p.session.analysis,
+                prefix,
+                &OptConfig::default(),
+            );
+            let qs: Vec<_> = dynslice::pick_cells(opt.last_def.keys().copied(), num_queries());
+            if qs.is_empty() {
+                continue;
+            }
+            let (total, dur) = time(|| {
+                let mut t = 0usize;
+                for c in &qs {
+                    if let Some((occ, ts)) = opt.last_def_of(*c) {
+                        t += opt.slice(occ, ts, true).len();
+                    }
+                }
+                t
+            });
+            let _ = total;
+            println!(
+                "{:<12} {:>9.2} {:>12} {:>16.3}",
+                p.name,
+                frac,
+                blocks,
+                dur.as_secs_f64() * 1e3 / qs.len() as f64
+            );
+        }
+    }
+    println!("(paper: increase in slicing times is linear in statements executed)");
+}

@@ -1,0 +1,42 @@
+//! Figure 18 — cumulative slicing time for up to N slices at the end of the
+//! run: OPT vs LP vs FP (the y-intercept is each algorithm's preprocessing
+//! time).
+
+use dynslice::OptConfig;
+use dynslice_bench::*;
+
+fn main() {
+    header("Figure 18", "cumulative slicing time: OPT vs LP vs FP");
+    let dir = std::env::temp_dir().join("dynslice-bench");
+    std::fs::create_dir_all(&dir).unwrap();
+    for p in prepare_all() {
+        let (opt, opt_prep) = time(|| p.session.opt(&p.trace, &OptConfig::default()));
+        let (fp, fp_prep) = time(|| p.session.fp(&p.trace));
+        let (lp, lp_prep) =
+            time(|| p.session.lp(&p.trace, dir.join(format!("{}.f18", p.name))).unwrap());
+        let qs = queries(opt.graph().last_def.keys().copied());
+        println!("{} — preprocessing: OPT {} ms, FP {} ms, LP {} ms",
+            p.name, ms(opt_prep), ms(fp_prep), ms(lp_prep));
+        println!("{:>8} {:>14} {:>14} {:>14}", "queries", "OPT cum (ms)", "LP cum (ms)", "FP cum (ms)");
+        let (mut c_opt, mut c_lp, mut c_fp) =
+            (opt_prep.as_secs_f64(), lp_prep.as_secs_f64(), fp_prep.as_secs_f64());
+        for (i, q) in qs.iter().enumerate() {
+            let (_, d) = time(|| opt.slice(*q));
+            c_opt += d.as_secs_f64();
+            let (_, d) = time(|| lp.slice(*q).unwrap());
+            c_lp += d.as_secs_f64();
+            let (_, d) = time(|| fp.slice(&p.session.program, *q));
+            c_fp += d.as_secs_f64();
+            if (i + 1) % 5 == 0 || i + 1 == qs.len() {
+                println!(
+                    "{:>8} {:>14.2} {:>14.2} {:>14.2}",
+                    i + 1,
+                    c_opt * 1e3,
+                    c_lp * 1e3,
+                    c_fp * 1e3
+                );
+            }
+        }
+    }
+    println!("(paper: LP is minutes per slice; OPT and FP are seconds, with OPT fastest)");
+}

@@ -1,0 +1,30 @@
+//! Related-work baseline (paper §5): forward computation of dynamic
+//! slices. Precomputes every slice during one pass — instant queries, but
+//! the precomputed sets occupy memory proportional to slice content, the
+//! cost the paper's backward approach avoids.
+
+use dynslice::OptConfig;
+use dynslice_bench::*;
+
+fn main() {
+    header("Forward baseline", "forward computation vs OPT backward slicing");
+    println!(
+        "{:<12} {:>14} {:>14} {:>14} {:>14} {:>12}",
+        "program", "fwd prep", "fwd sets (KB)", "OPT prep", "OPT graph(KB)", "fwd unions"
+    );
+    for p in prepare_all() {
+        let (fwd, t_fwd) = time(|| p.session.forward(&p.trace));
+        let (opt, t_opt) = time(|| p.session.opt(&p.trace, &OptConfig::default()));
+        println!(
+            "{:<12} {:>11} ms {:>14.1} {:>11} ms {:>14.1} {:>12}",
+            p.name,
+            ms(t_fwd),
+            fwd.resident_bytes() as f64 / 1024.0,
+            ms(t_opt),
+            opt.graph().size(false).bytes() as f64 / 1024.0,
+            fwd.unions,
+        );
+    }
+    println!("(the paper argues backward graphs beat exhaustive forward precomputation;");
+    println!(" forward queries are instant but pay preprocessing + set memory up front)");
+}

@@ -1,0 +1,44 @@
+//! Criterion micro-benchmarks: the inner operations whose costs drive the
+//! macro tables — graph construction, slice traversal with and without
+//! shortcuts, SEQUITUR compression, trace segmentation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use dynslice::{workloads, OptConfig, Session, VmOptions};
+
+fn setup() -> (Session, dynslice::Trace) {
+    let w = workloads::by_name("164.gzip").unwrap();
+    let session = Session::compile(&w.source(0.05)).unwrap();
+    let trace = session.run_with(VmOptions { input: w.input.clone(), ..Default::default() });
+    (session, trace)
+}
+
+fn bench_builders(c: &mut Criterion) {
+    let (session, trace) = setup();
+    c.bench_function("fp_build", |b| b.iter(|| session.fp(&trace)));
+    c.bench_function("opt_build", |b| {
+        b.iter(|| session.opt(&trace, &OptConfig::default()))
+    });
+}
+
+fn bench_slicing(c: &mut Criterion) {
+    let (session, trace) = setup();
+    let mut opt = session.opt(&trace, &OptConfig::default());
+    let cell = *opt.graph().last_def.keys().min().unwrap();
+    let q = dynslice::Criterion::CellLastDef(cell);
+    let _ = opt.slice(q); // warm memos
+    c.bench_function("opt_slice_shortcut", |b| b.iter(|| opt.slice(q)));
+    opt.shortcuts = false;
+    c.bench_function("opt_slice_plain", |b| b.iter(|| opt.slice(q)));
+    let fp = session.fp(&trace);
+    c.bench_function("fp_slice", |b| b.iter(|| fp.slice(&session.program, q)));
+}
+
+fn bench_sequitur(c: &mut Criterion) {
+    let tokens: Vec<u64> = (0..4096).map(|i| (i % 16) as u64).collect();
+    c.bench_function("sequitur_4k_periodic", |b| {
+        b.iter(|| dynslice::sequitur::compress(&tokens))
+    });
+}
+
+criterion_group!(benches, bench_builders, bench_slicing, bench_sequitur);
+criterion_main!(benches);

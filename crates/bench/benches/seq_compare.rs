@@ -1,0 +1,48 @@
+//! §4.1 text — SEQUITUR vs the OPT transformations as label compressors:
+//! the paper reports SEQUITUR compressing dyDGs 9.18x on average versus
+//! 23.4x for OPT.
+
+use dynslice::{sequitur, OptConfig};
+use dynslice_bench::*;
+
+fn main() {
+    header("SEQUITUR comparison", "label compression factor, SEQUITUR vs OPT");
+    println!("{:<12} {:>12} {:>14} {:>12}", "program", "pairs", "sequitur x", "OPT x");
+    let (mut seq_sum, mut opt_sum, mut n) = (0.0, 0.0, 0.0);
+    for p in prepare_all() {
+        let fp = p.session.fp(&p.trace);
+        let full_pairs = fp.graph().size().pairs;
+        // The label information as a token stream: delta-encoded timestamp
+        // pairs in edge order (how a SEQUITUR-compressed dyDG would store
+        // label lists).
+        let mut tokens = Vec::with_capacity(full_pairs as usize * 2);
+        let mut cells: Vec<_> = fp.graph().last_def.keys().copied().collect();
+        cells.sort();
+        // Rebuild the label stream via the graph's stored pairs: encode the
+        // pair deltas (td - tu and successive tu gaps are small, repetitive
+        // values — SEQUITUR's best case).
+        for s in 0..p.session.program.num_stmts() as u32 {
+            for (d, td) in fp.graph().data_deps_all(dynslice::StmtId(s)) {
+                let _ = d;
+                for (a, b) in td {
+                    tokens.push(b.wrapping_sub(*a) % 512);
+                    tokens.push(b % 64);
+                }
+            }
+        }
+        let g = sequitur::compress(&tokens);
+        let label_bytes = (tokens.len() * 8).max(1);
+        let seq_factor = label_bytes as f64 / g.size_bytes().max(1) as f64;
+        let opt = p.session.opt(&p.trace, &OptConfig::default());
+        let opt_factor = full_pairs.max(1) as f64 / opt.graph().size(false).pairs.max(1) as f64;
+        seq_sum += seq_factor;
+        opt_sum += opt_factor;
+        n += 1.0;
+        println!("{:<12} {:>12} {:>14.2} {:>12.2}", p.name, full_pairs, seq_factor, opt_factor);
+    }
+    println!(
+        "averages: SEQUITUR {:.2}x vs OPT {:.2}x (paper: 9.18x vs 23.4x)",
+        seq_sum / n,
+        opt_sum / n
+    );
+}

@@ -1,0 +1,45 @@
+//! Table 1 — the cost/benefit of dynamic slicing: statements executed,
+//! unique statements executed (USE), average slice size (SS), USE/SS,
+//! full-graph size, and LP's average slicing time.
+
+use dynslice::OptConfig;
+use dynslice_bench::*;
+
+fn main() {
+    header("Table 1", "cost of dynamic slicing");
+    println!(
+        "{:<12} {:<12} {:>10} {:>8} {:>8} {:>7} {:>12} {:>14}",
+        "benchmark", "suite", "exec", "USE", "SS", "USE/SS", "full(KB)", "LP avg (ms)"
+    );
+    let dir = std::env::temp_dir().join("dynslice-bench");
+    std::fs::create_dir_all(&dir).unwrap();
+    for p in prepare_all() {
+        let fp = p.session.fp(&p.trace);
+        let opt = p.session.opt(&p.trace, &OptConfig::default());
+        let qs = queries(opt.graph().last_def.keys().copied());
+        let mut total = 0usize;
+        for q in &qs {
+            total += opt.slice(*q).map_or(0, |s| s.len());
+        }
+        let ss = total as f64 / qs.len().max(1) as f64;
+        let use_count = p.trace.unique_stmts_executed() as f64;
+
+        let lp = p.session.lp(&p.trace, dir.join(format!("{}.bin", p.name))).unwrap();
+        let (_, lp_time) = time(|| {
+            for q in &qs {
+                let _ = lp.slice(*q).unwrap();
+            }
+        });
+        println!(
+            "{:<12} {:<12} {:>10} {:>8} {:>8.1} {:>7.2} {:>12.1} {:>14.2}",
+            p.name,
+            p.suite,
+            p.trace.stmts_executed,
+            use_count,
+            ss,
+            use_count / ss.max(1.0),
+            fp.graph().size().bytes() as f64 / 1024.0,
+            lp_time.as_secs_f64() * 1e3 / qs.len().max(1) as f64,
+        );
+    }
+}

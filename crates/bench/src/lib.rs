@@ -1,0 +1,81 @@
+//! Shared helpers for the benchmark harnesses that regenerate the paper's
+//! tables and figures (one `harness = false` bench target per artifact; see
+//! `DESIGN.md` §5 for the experiment index).
+//!
+//! Environment knobs:
+//! * `DYNSLICE_SCALE` — workload scale factor (default 0.3); the paper's
+//!   shapes are scale-invariant, so smaller values give faster runs.
+//! * `DYNSLICE_QUERIES` — slice queries per measurement (default 25, as in
+//!   the paper).
+
+use std::time::{Duration, Instant};
+
+use dynslice::{pick_cells, workloads, Cell, Criterion, Session, Trace, VmOptions, Workload};
+
+/// A compiled-and-traced workload ready for graph building.
+pub struct Prepared {
+    /// Workload name (paper benchmark row).
+    pub name: &'static str,
+    /// Suite label.
+    pub suite: &'static str,
+    /// Compiled program + analyses.
+    pub session: Session,
+    /// The traced run.
+    pub trace: Trace,
+}
+
+/// Workload scale factor from the environment.
+pub fn scale() -> f64 {
+    std::env::var("DYNSLICE_SCALE").ok().and_then(|s| s.parse().ok()).unwrap_or(0.3)
+}
+
+/// Number of slice queries per measurement point.
+pub fn num_queries() -> usize {
+    std::env::var("DYNSLICE_QUERIES").ok().and_then(|s| s.parse().ok()).unwrap_or(25)
+}
+
+/// Compiles and traces one workload at the configured scale.
+pub fn prepare(w: &Workload) -> Prepared {
+    let src = w.source(scale());
+    let session = Session::compile(&src).expect("workload compiles");
+    let trace = session.run_with(VmOptions { input: w.input.clone(), ..Default::default() });
+    assert!(!trace.truncated, "{} truncated; lower DYNSLICE_SCALE", w.name);
+    Prepared { name: w.name, suite: w.suite, session, trace }
+}
+
+/// Compiles and traces the whole suite.
+pub fn prepare_all() -> Vec<Prepared> {
+    workloads::suite().iter().map(prepare).collect()
+}
+
+/// Times a closure.
+pub fn time<R>(f: impl FnOnce() -> R) -> (R, Duration) {
+    let t0 = Instant::now();
+    let r = f();
+    (r, t0.elapsed())
+}
+
+/// The query set for a prepared workload: up to `num_queries()` distinct
+/// defined cells, evenly spaced (the paper's "25 distinct memory
+/// references").
+pub fn queries(defined: impl IntoIterator<Item = Cell>) -> Vec<Criterion> {
+    pick_cells(defined, num_queries())
+        .into_iter()
+        .map(Criterion::CellLastDef)
+        .collect()
+}
+
+/// Formats a duration in milliseconds with 2 decimals.
+pub fn ms(d: Duration) -> String {
+    format!("{:.2}", d.as_secs_f64() * 1e3)
+}
+
+/// Prints the standard harness header.
+pub fn header(artifact: &str, what: &str) {
+    println!("== {artifact} — {what}");
+    println!(
+        "   (scale {}, {} queries per point; shapes, not absolute numbers, are the claim)",
+        scale(),
+        num_queries()
+    );
+}

@@ -1,0 +1,212 @@
+//! `dynslice` — command-line dynamic slicer for MiniC programs.
+//!
+//! ```text
+//! dynslice run     <file> [--input 1,2,3]
+//! dynslice slice   <file> (--output K | --cell INST:OFF)
+//!                  [--algo opt|fp|lp] [--input 1,2,3] [--no-shortcuts]
+//! dynslice report  <file> [--input 1,2,3]
+//! dynslice dot     <file> [--input 1,2,3] [--dynamic]     # graph to stdout
+//! dynslice dot     <file> --output K | --cell I:O         # slice rendering
+//! ```
+
+use std::process::ExitCode;
+
+use dynslice::{Cell, Criterion, OptConfig, Session, StmtId};
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("dynslice: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+struct Args {
+    cmd: String,
+    file: String,
+    input: Vec<i64>,
+    output: Option<usize>,
+    cell: Option<Cell>,
+    algo: String,
+    shortcuts: bool,
+    dynamic_edges: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = std::env::args().skip(1);
+    let cmd = args.next().ok_or_else(usage)?;
+    let file = args.next().ok_or_else(usage)?;
+    let mut out = Args {
+        cmd,
+        file,
+        input: Vec::new(),
+        output: None,
+        cell: None,
+        algo: "opt".into(),
+        shortcuts: true,
+        dynamic_edges: false,
+    };
+    while let Some(a) = args.next() {
+        match a.as_str() {
+            "--input" => {
+                let v = args.next().ok_or("--input needs a value")?;
+                out.input = v
+                    .split(',')
+                    .filter(|s| !s.is_empty())
+                    .map(|s| s.trim().parse().map_err(|_| format!("bad input `{s}`")))
+                    .collect::<Result<_, _>>()?;
+            }
+            "--output" => {
+                let v = args.next().ok_or("--output needs a value")?;
+                out.output = Some(v.parse().map_err(|_| format!("bad index `{v}`"))?);
+            }
+            "--cell" => {
+                let v = args.next().ok_or("--cell needs INST:OFF")?;
+                let (i, o) = v.split_once(':').ok_or("expected INST:OFF")?;
+                let inst: u32 = i.parse().map_err(|_| format!("bad instance `{i}`"))?;
+                let off: u32 = o.parse().map_err(|_| format!("bad offset `{o}`"))?;
+                out.cell = Some(Cell::new(inst, off));
+            }
+            "--algo" => out.algo = args.next().ok_or("--algo needs opt|fp|lp")?,
+            "--no-shortcuts" => out.shortcuts = false,
+            "--dynamic" => out.dynamic_edges = true,
+            other => return Err(format!("unknown flag `{other}`\n{}", usage())),
+        }
+    }
+    Ok(out)
+}
+
+fn usage() -> String {
+    "usage: dynslice <run|slice|report> <file.minic> \
+     [--input 1,2,3] [--output K | --cell INST:OFF] [--algo opt|fp|lp] [--no-shortcuts]"
+        .to_string()
+}
+
+fn print_slice(session: &Session, stmts: &std::collections::BTreeSet<StmtId>) {
+    println!("slice: {} statements", stmts.len());
+    for s in stmts {
+        let loc = session.program.stmt_loc(*s);
+        println!("  {s}  fn {} {} {:?}", session.program.func(loc.func).name, loc.block, loc.pos);
+    }
+}
+
+fn run() -> Result<(), String> {
+    let a = parse_args()?;
+    let src = std::fs::read_to_string(&a.file).map_err(|e| format!("{}: {e}", a.file))?;
+    let session = Session::compile(&src).map_err(|d| {
+        d.0.iter().map(|x| x.render(&src)).collect::<Vec<_>>().join("\n")
+    })?;
+    let trace = session.run(a.input.clone());
+
+    match a.cmd.as_str() {
+        "run" => {
+            for v in &trace.output {
+                println!("{v}");
+            }
+            eprintln!(
+                "[{} statements executed, {} unique, {} activations{}]",
+                trace.stmts_executed,
+                trace.unique_stmts_executed(),
+                trace.frames,
+                if trace.truncated { ", TRUNCATED" } else { "" }
+            );
+            Ok(())
+        }
+        "slice" => {
+            let criterion = match (a.output, a.cell) {
+                (Some(k), None) => Criterion::Output(k),
+                (None, Some(c)) => Criterion::CellLastDef(c),
+                _ => return Err("pass exactly one of --output or --cell".into()),
+            };
+            match a.algo.as_str() {
+                "opt" => {
+                    let mut opt = session.opt(&trace, &OptConfig::default());
+                    opt.shortcuts = a.shortcuts;
+                    let slice = opt.slice(criterion).ok_or("criterion never executed")?;
+                    print_slice(&session, &slice.stmts);
+                }
+                "fp" => {
+                    let fp = session.fp(&trace);
+                    let slice =
+                        fp.slice(&session.program, criterion).ok_or("criterion never executed")?;
+                    print_slice(&session, &slice.stmts);
+                }
+                "lp" => {
+                    let dir = std::env::temp_dir().join("dynslice-cli");
+                    std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+                    let lp = session
+                        .lp(&trace, dir.join("trace.bin"))
+                        .map_err(|e| e.to_string())?;
+                    let (slice, stats) = lp
+                        .slice(criterion)
+                        .map_err(|e| e.to_string())?
+                        .ok_or("criterion never executed")?;
+                    print_slice(&session, &slice.stmts);
+                    eprintln!(
+                        "[LP: {} passes, {} chunks read, {} skipped]",
+                        stats.passes, stats.chunks_read, stats.chunks_skipped
+                    );
+                }
+                other => return Err(format!("unknown algorithm `{other}`")),
+            }
+            Ok(())
+        }
+        "report" => {
+            let fp = session.fp(&trace);
+            let opt = session.opt(&trace, &OptConfig::default());
+            let full = fp.graph().size();
+            let compact = opt.graph().size(false);
+            println!("executed statements : {}", trace.stmts_executed);
+            println!("unique (USE)        : {}", trace.unique_stmts_executed());
+            println!("full graph          : {:.1} KB ({} pairs)", full.bytes() as f64 / 1024.0, full.pairs);
+            println!(
+                "compacted graph     : {:.1} KB ({} pairs, {} static edges, {} nodes)",
+                compact.bytes() as f64 / 1024.0,
+                compact.pairs,
+                compact.static_edges,
+                compact.nodes
+            );
+            println!("compaction ratio    : {:.2}x", full.bytes() as f64 / compact.bytes() as f64);
+            println!("explicit fraction   : {:.1}%", opt.graph().stats.explicit_fraction() * 100.0);
+            Ok(())
+        }
+        "dot" => {
+            let opt = session.opt(&trace, &OptConfig::default());
+            match (a.output, a.cell) {
+                (None, None) => {
+                    print!(
+                        "{}",
+                        dynslice::graph::compact_to_dot(
+                            &session.program,
+                            opt.graph(),
+                            a.dynamic_edges
+                        )
+                    );
+                }
+                (output, cell) => {
+                    let criterion = match (output, cell) {
+                        (Some(k), None) => Criterion::Output(k),
+                        (None, Some(c)) => Criterion::CellLastDef(c),
+                        _ => return Err("pass at most one of --output / --cell".into()),
+                    };
+                    let slice = opt.slice(criterion).ok_or("criterion never executed")?;
+                    let crit_occ = match criterion {
+                        Criterion::Output(k) => opt.graph().outputs[k].0,
+                        Criterion::CellLastDef(c) => {
+                            opt.graph().last_def_of(c).expect("sliced criterion exists").0
+                        }
+                    };
+                    let crit_stmt = opt.graph().stmt_of(crit_occ);
+                    print!(
+                        "{}",
+                        dynslice::graph::slice_to_dot(&session.program, &slice.stmts, crit_stmt)
+                    );
+                }
+            }
+            Ok(())
+        }
+        other => Err(format!("unknown command `{other}`\n{}", usage())),
+    }
+}

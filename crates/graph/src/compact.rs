@@ -1,0 +1,755 @@
+//! The compacted dynamic dependence graph (the paper's OPT representation)
+//! — dynamic component, slicing traversal and shortcut edges.
+//!
+//! The builder replays the trace over the static [`NodeGraph`]: every
+//! dependence instance whose timestamps the static component can *infer* is
+//! verified against the actual shadow-map resolution and costs nothing;
+//! instances the static component cannot infer (or whose inference fails
+//! verification — the aliasing cases of OPT-1b) get explicit timestamp
+//! pairs on dynamic edges. Label lists may be shared between edges per the
+//! OPT-3/OPT-6 plan; identical consecutive pairs on a shared list are
+//! stored once.
+
+use std::cell::RefCell;
+use std::collections::{BTreeSet, HashMap, HashSet};
+use std::rc::Rc;
+
+use dynslice_analysis::ProgramAnalysis;
+use dynslice_ir::{BlockId, FuncId, Program, StmtId, StmtKind, StmtPos, Terminator, VarId};
+use dynslice_profile::ProgramPaths;
+use dynslice_runtime::{replay, Cell, FrameId, ReplayVisitor, StmtCx, TraceEvent};
+
+use crate::nodes::{CdRes, NodeGraph, UseRes, UseShape};
+use crate::segment::{segment, Assign};
+use crate::size::{BuildStats, GraphSize, OptKind};
+
+/// Sentinel "no definition" dynamic-edge target.
+const NONE_TARGET: u32 = u32::MAX;
+
+/// The compacted dyDG, ready for slicing.
+#[derive(Debug)]
+pub struct CompactGraph {
+    /// The static component.
+    pub nodes: NodeGraph,
+    /// Timestamp-pair lists (channels); shared lists appear once.
+    channels: Vec<Vec<(u64, u64)>>,
+    /// Dynamic data edges: `(occurrence, use slot) -> [(target, channel)]`.
+    data_dyn: HashMap<(u32, u8), Vec<(u32, u32)>>,
+    /// Dynamic control edges: `block-key occurrence -> [(target, channel)]`.
+    cd_dyn: HashMap<u32, Vec<(u32, u32)>>,
+    /// Final defining instance of every memory cell.
+    pub last_def: HashMap<Cell, (u32, u64)>,
+    /// Executed print instances `(occurrence, ts)`, in order.
+    pub outputs: Vec<(u32, u64)>,
+    /// Build statistics (per-optimization savings; Fig. 15/16).
+    pub stats: BuildStats,
+    /// Total node executions (= final timestamp).
+    pub num_node_execs: u64,
+    /// Lazily computed shortcut closures.
+    shortcuts: RefCell<HashMap<u32, Rc<Shortcut>>>,
+}
+
+/// Precomputed transitive closure over purely static, same-timestamp edges
+/// from one occurrence (the paper's shortcut edges, §3.4).
+#[derive(Debug, Default)]
+struct Shortcut {
+    /// Statements reached via static edges (all at the origin's timestamp).
+    stmts: Vec<StmtId>,
+    /// Points where traversal needs dynamic labels or a timestamp change.
+    frontier: Vec<Frontier>,
+}
+
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+enum Frontier {
+    /// Resolve use `(occurrence, slot)` dynamically at the origin ts.
+    Use(u32, u8),
+    /// Resolve the control dependence of this block key dynamically.
+    Cd(u32),
+    /// Follow a constant-distance control edge: parent instance at
+    /// `ts - delta`.
+    Jump(u32, u64),
+}
+
+impl CompactGraph {
+    /// Builds the compacted graph from a trace over a prebuilt static
+    /// component.
+    pub fn build(
+        program: &Program,
+        analysis: &ProgramAnalysis,
+        paths: &ProgramPaths,
+        nodes: NodeGraph,
+        events: &[TraceEvent],
+    ) -> Self {
+        let assigns = segment(paths, &nodes, events);
+        let mut b = Builder {
+            program,
+            analysis,
+            g: CompactGraph {
+                nodes,
+                channels: Vec::new(),
+                data_dyn: HashMap::new(),
+                cd_dyn: HashMap::new(),
+                last_def: HashMap::new(),
+                outputs: Vec::new(),
+                stats: BuildStats::default(),
+                num_node_execs: 0,
+                shortcuts: RefCell::new(HashMap::new()),
+            },
+            assigns,
+            assign_pos: 0,
+            next_ts: 0,
+            scalar: HashMap::new(),
+            mem: HashMap::new(),
+            ret: HashMap::new(),
+            last_ret: None,
+            frames: HashMap::new(),
+            call_site: HashMap::new(),
+            group_chan: HashMap::new(),
+        };
+        replay(program, events, &mut b);
+        let ts = b.next_ts;
+        let mut g = b.g;
+        g.num_node_execs = ts;
+        // Return-value edges append out of tu order; sort all channels.
+        for ch in &mut g.channels {
+            ch.sort_unstable_by_key(|&(_, tu)| tu);
+        }
+        g
+    }
+
+    /// The statement of an occurrence.
+    #[inline]
+    pub fn stmt_of(&self, occ: u32) -> StmtId {
+        self.nodes.occ_stmt[occ as usize]
+    }
+
+    /// Dynamic data edges of use `(occ, k)` as `(target, channel)` pairs.
+    pub fn dyn_edges(&self, occ: u32, k: u8) -> &[(u32, u32)] {
+        self.data_dyn.get(&(occ, k)).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Dynamic control edges hanging off block-key occurrence `key`.
+    pub fn cd_edges(&self, key: u32) -> &[(u32, u32)] {
+        self.cd_dyn.get(&key).map(Vec::as_slice).unwrap_or(&[])
+    }
+
+    /// Takes the timestamp-pair lists out of the graph (leaving them
+    /// empty), for spilling to disk — see [`crate::paged::PagedGraph`].
+    pub fn drain_channels(&mut self) -> Vec<Vec<(u64, u64)>> {
+        std::mem::take(&mut self.channels)
+    }
+
+    /// Resolves use `(occ, k)` of the instance at `ts` to its defining
+    /// instance, if any. Searches dynamic labels first, then applies the
+    /// static inference; use-use edges chain without contributing.
+    pub fn resolve_use(&self, occ: u32, k: u8, ts: u64) -> Option<(u32, u64)> {
+        if let Some(edges) = self.data_dyn.get(&(occ, k)) {
+            for &(target, chan) in edges {
+                let ch = &self.channels[chan as usize];
+                if let Ok(i) = ch.binary_search_by_key(&ts, |&(_, tu)| tu) {
+                    return (target != NONE_TARGET).then(|| (target, ch[i].0));
+                }
+            }
+        }
+        match self.nodes.use_res[occ as usize][k as usize] {
+            UseRes::StaticDu { target, .. } => Some((target, ts)),
+            UseRes::StaticUu { target, use_idx, .. } => self.resolve_use(target, use_idx, ts),
+            UseRes::Dynamic | UseRes::NoDep => None,
+        }
+    }
+
+    /// Resolves the control dependence of the block containing `occ` at
+    /// instance `ts`.
+    pub fn resolve_cd(&self, occ: u32, ts: u64) -> Option<(u32, u64)> {
+        let key = self.nodes.occ_block_key[occ as usize];
+        if let Some(edges) = self.cd_dyn.get(&key) {
+            for &(target, chan) in edges {
+                let ch = &self.channels[chan as usize];
+                if let Ok(i) = ch.binary_search_by_key(&ts, |&(_, tu)| tu) {
+                    return (target != NONE_TARGET).then(|| (target, ch[i].0));
+                }
+            }
+        }
+        match self.nodes.cd_res[occ as usize] {
+            CdRes::Static { target, delta, .. } if ts >= delta => Some((target, ts - delta)),
+            _ => None,
+        }
+    }
+
+    /// Computes the backward dynamic slice from instance `(occ, ts)`.
+    ///
+    /// `use_shortcuts` enables the paper's shortcut edges: chains of static
+    /// edges are traversed as one precomputed step.
+    pub fn slice(&self, occ: u32, ts: u64, use_shortcuts: bool) -> BTreeSet<StmtId> {
+        if use_shortcuts {
+            self.slice_shortcut(occ, ts)
+        } else {
+            self.slice_plain(occ, ts)
+        }
+    }
+
+    fn slice_plain(&self, occ: u32, ts: u64) -> BTreeSet<StmtId> {
+        let mut slice = BTreeSet::new();
+        let mut visited = HashSet::new();
+        let mut work = vec![(occ, ts)];
+        slice.insert(self.stmt_of(occ));
+        while let Some((occ, ts)) = work.pop() {
+            if !visited.insert((occ, ts)) {
+                continue;
+            }
+            let nuses = self.nodes.use_res[occ as usize].len();
+            for k in 0..nuses as u8 {
+                if let Some((docc, td)) = self.resolve_use(occ, k, ts) {
+                    slice.insert(self.stmt_of(docc));
+                    work.push((docc, td));
+                }
+            }
+            if let Some((pocc, tp)) = self.resolve_cd(occ, ts) {
+                slice.insert(self.stmt_of(pocc));
+                work.push((pocc, tp));
+            }
+        }
+        slice
+    }
+
+    fn slice_shortcut(&self, occ: u32, ts: u64) -> BTreeSet<StmtId> {
+        let mut slice = BTreeSet::new();
+        let mut visited = HashSet::new();
+        let mut work = vec![(occ, ts)];
+        while let Some((occ, ts)) = work.pop() {
+            if !visited.insert((occ, ts)) {
+                continue;
+            }
+            let sc = self.shortcut(occ);
+            slice.extend(sc.stmts.iter().copied());
+            for f in &sc.frontier {
+                match *f {
+                    Frontier::Use(o, k) => {
+                        if let Some((docc, td)) = self.resolve_use(o, k, ts) {
+                            slice.insert(self.stmt_of(docc));
+                            work.push((docc, td));
+                        }
+                    }
+                    Frontier::Cd(o) => {
+                        if let Some((pocc, tp)) = self.resolve_cd(o, ts) {
+                            slice.insert(self.stmt_of(pocc));
+                            work.push((pocc, tp));
+                        }
+                    }
+                    Frontier::Jump(target, delta) => {
+                        if ts >= delta {
+                            slice.insert(self.stmt_of(target));
+                            work.push((target, ts - delta));
+                        }
+                    }
+                }
+            }
+        }
+        slice
+    }
+
+    /// The shortcut closure of `occ` (computed lazily, memoized).
+    fn shortcut(&self, occ: u32) -> Rc<Shortcut> {
+        if let Some(sc) = self.shortcuts.borrow().get(&occ) {
+            return Rc::clone(sc);
+        }
+        let mut stmts = BTreeSet::new();
+        let mut frontier = HashSet::new();
+        let mut cd_seen = HashSet::new();
+        self.closure(occ, &mut stmts, &mut frontier, &mut cd_seen);
+        let sc = Rc::new(Shortcut {
+            stmts: stmts.into_iter().collect(),
+            frontier: frontier.into_iter().collect(),
+        });
+        self.shortcuts.borrow_mut().insert(occ, Rc::clone(&sc));
+        sc
+    }
+
+    /// Expands occurrence `occ` into `stmts`/`frontier`: its statement, all
+    /// statically-resolved upstream statements at the same timestamp, and
+    /// the dynamic resolution points. Static edges point strictly backward
+    /// within a node, so recursion terminates.
+    fn closure(
+        &self,
+        occ: u32,
+        stmts: &mut BTreeSet<StmtId>,
+        frontier: &mut HashSet<Frontier>,
+        cd_seen: &mut HashSet<u32>,
+    ) {
+        if !stmts.insert(self.stmt_of(occ)) {
+            // Already expanded: closures stay within one node, where each
+            // statement has exactly one occurrence.
+            return;
+        }
+        for (k, res) in self.nodes.use_res[occ as usize].iter().enumerate() {
+            let k = k as u8;
+            if self.data_dyn.contains_key(&(occ, k)) {
+                frontier.insert(Frontier::Use(occ, k));
+                continue;
+            }
+            match *res {
+                UseRes::StaticDu { target, .. } => {
+                    self.closure(target, stmts, frontier, cd_seen);
+                }
+                UseRes::StaticUu { target, use_idx, .. } => {
+                    self.uu_closure(target, use_idx, stmts, frontier, cd_seen);
+                }
+                UseRes::Dynamic | UseRes::NoDep => {}
+            }
+        }
+        let key = self.nodes.occ_block_key[occ as usize];
+        if cd_seen.insert(key) {
+            if self.cd_dyn.contains_key(&key) {
+                frontier.insert(Frontier::Cd(occ));
+            } else {
+                match self.nodes.cd_res[occ as usize] {
+                    CdRes::Static { target, delta: 0, .. } => {
+                        self.closure(target, stmts, frontier, cd_seen);
+                    }
+                    CdRes::Static { target, delta, .. } => {
+                        frontier.insert(Frontier::Jump(target, delta));
+                    }
+                    CdRes::Dynamic => {}
+                }
+            }
+        }
+    }
+
+    /// Chases a use-use chain without adding the intermediate statement.
+    fn uu_closure(
+        &self,
+        occ: u32,
+        k: u8,
+        stmts: &mut BTreeSet<StmtId>,
+        frontier: &mut HashSet<Frontier>,
+        cd_seen: &mut HashSet<u32>,
+    ) {
+        if self.data_dyn.contains_key(&(occ, k)) {
+            frontier.insert(Frontier::Use(occ, k));
+            return;
+        }
+        match self.nodes.use_res[occ as usize][k as usize] {
+            UseRes::StaticDu { target, .. } => self.closure(target, stmts, frontier, cd_seen),
+            UseRes::StaticUu { target, use_idx, .. } => {
+                self.uu_closure(target, use_idx, stmts, frontier, cd_seen)
+            }
+            UseRes::Dynamic | UseRes::NoDep => {}
+        }
+    }
+
+    /// Size under the representation cost model (`with_shortcuts` adds the
+    /// shortcut skip lists for every occurrence).
+    pub fn size(&self, with_shortcuts: bool) -> GraphSize {
+        let mut s = GraphSize {
+            nodes: self.nodes.nodes.len() as u64,
+            slots: self.nodes.num_occs() as u64,
+            ..GraphSize::default()
+        };
+        for res in &self.nodes.use_res {
+            for r in res {
+                if matches!(r, UseRes::StaticDu { .. } | UseRes::StaticUu { .. }) {
+                    s.static_edges += 1;
+                }
+            }
+        }
+        // Control: one static edge per block occurrence, not per statement.
+        let mut seen_keys = HashSet::new();
+        for occ in 0..self.nodes.num_occs() as u32 {
+            let key = self.nodes.occ_block_key[occ as usize];
+            if seen_keys.insert(key)
+                && matches!(self.nodes.cd_res[occ as usize], CdRes::Static { .. })
+            {
+                s.static_edges += 1;
+            }
+        }
+        s.dynamic_edges = self.data_dyn.values().map(|v| v.len() as u64).sum::<u64>()
+            + self.cd_dyn.values().map(|v| v.len() as u64).sum::<u64>();
+        s.pairs = self.channels.iter().map(|c| c.len() as u64).sum();
+        if with_shortcuts {
+            for occ in 0..self.nodes.num_occs() as u32 {
+                let sc = self.shortcut(occ);
+                if sc.stmts.len() > 1 {
+                    s.shortcut_stmts += sc.stmts.len() as u64;
+                }
+            }
+        }
+        s
+    }
+
+    /// The final defining instance of `cell`, if any (slice criterion).
+    pub fn last_def_of(&self, cell: Cell) -> Option<(u32, u64)> {
+        self.last_def.get(&cell).copied()
+    }
+}
+
+#[derive(Clone, Copy, Debug)]
+struct FrameState {
+    node: u32,
+    ts: u64,
+    /// Global occurrence index of the current block slot's first statement.
+    block_occ_base: u32,
+    /// Occurrence of a call statement awaiting its callee's return.
+    pending_call: u32,
+}
+
+struct Builder<'p> {
+    program: &'p Program,
+    analysis: &'p ProgramAnalysis,
+    g: CompactGraph,
+    assigns: Vec<Assign>,
+    assign_pos: usize,
+    next_ts: u64,
+    scalar: HashMap<(FrameId, VarId), (u32, u64)>,
+    mem: HashMap<Cell, (u32, u64)>,
+    ret: HashMap<FrameId, (u32, u64)>,
+    last_ret: Option<(u32, u64)>,
+    frames: HashMap<FrameId, FrameInfo>,
+    call_site: HashMap<FrameId, (u32, u64)>,
+    /// Sharing group -> channel, per `(group, def node, use node)`: label
+    /// sharing is only valid between edges connecting the *same pair of
+    /// node copies* (specialization gives statements multiple occurrences,
+    /// and a statement-keyed channel would let the wrong copy claim a
+    /// label).
+    group_chan: HashMap<(u32, u32, u32), u32>,
+}
+
+struct FrameInfo {
+    state: FrameState,
+    /// Last execution of each block: `(terminator occurrence, ts, seq)`.
+    last_exec: HashMap<BlockId, (u32, u64, u64)>,
+    /// Per-frame block sequence counter (recency tie-breaker matching FP).
+    seq: u64,
+    /// Memoized actual resolutions of memory uses in the current node
+    /// instance, for use-use verification.
+    memo: HashMap<(u32, u8), Option<(u32, u64)>>,
+}
+
+impl Builder<'_> {
+    fn new_channel(&mut self) -> u32 {
+        self.g.channels.push(Vec::new());
+        self.g.channels.len() as u32 - 1
+    }
+
+    /// Channel for a dynamic data edge, honoring the sharing plan.
+    fn data_chan(&mut self, occ: u32, k: u8, target: u32) -> u32 {
+        if let Some(edges) = self.g.data_dyn.get(&(occ, k)) {
+            if let Some(&(_, chan)) = edges.iter().find(|(t, _)| *t == target) {
+                return chan;
+            }
+        }
+        let chan = if target != NONE_TARGET {
+            let key = (
+                self.g.nodes.occ_stmt[occ as usize],
+                k,
+                self.g.nodes.occ_stmt[target as usize],
+            );
+            match self.g.nodes.share_data.get(&key).copied() {
+                Some(group) => {
+                    let nodes = (
+                        group,
+                        self.g.nodes.occ_node[target as usize],
+                        self.g.nodes.occ_node[occ as usize],
+                    );
+                    if let Some(&c) = self.group_chan.get(&nodes) {
+                        c
+                    } else {
+                        let c = self.new_channel();
+                        self.group_chan.insert(nodes, c);
+                        c
+                    }
+                }
+                None => self.new_channel(),
+            }
+        } else {
+            self.new_channel()
+        };
+        self.g.data_dyn.entry((occ, k)).or_default().push((target, chan));
+        chan
+    }
+
+    /// Channel for a dynamic control edge, honoring the OPT-6 plan.
+    fn cd_chan(&mut self, key_occ: u32, target: u32) -> u32 {
+        if let Some(edges) = self.g.cd_dyn.get(&key_occ) {
+            if let Some(&(_, chan)) = edges.iter().find(|(t, _)| *t == target) {
+                return chan;
+            }
+        }
+        let chan = if target != NONE_TARGET {
+            let key = (
+                self.g.nodes.occ_block_term[key_occ as usize],
+                self.g.nodes.occ_stmt[target as usize],
+            );
+            match self.g.nodes.share_cd.get(&key).copied() {
+                Some(group) => {
+                    let nodes = (
+                        group,
+                        self.g.nodes.occ_node[target as usize],
+                        self.g.nodes.occ_node[key_occ as usize],
+                    );
+                    if let Some(&c) = self.group_chan.get(&nodes) {
+                        c
+                    } else {
+                        let c = self.new_channel();
+                        self.group_chan.insert(nodes, c);
+                        c
+                    }
+                }
+                None => self.new_channel(),
+            }
+        } else {
+            self.new_channel()
+        };
+        self.g.cd_dyn.entry(key_occ).or_default().push((target, chan));
+        chan
+    }
+
+    /// Appends a pair, deduplicating identical consecutive pairs on shared
+    /// channels; returns whether the pair was newly stored.
+    fn append(&mut self, chan: u32, pair: (u64, u64)) -> bool {
+        let ch = &mut self.g.channels[chan as usize];
+        if ch.last() == Some(&pair) {
+            false
+        } else {
+            ch.push(pair);
+            true
+        }
+    }
+
+    fn record_data_pair(&mut self, occ: u32, k: u8, target: u32, td: u64, tu: u64) {
+        let chan = self.data_chan(occ, k, target);
+        if self.append(chan, (td, tu)) {
+            self.g.stats.stored_data_pairs += 1;
+        } else {
+            self.g.stats.save(OptKind::SharedData);
+        }
+    }
+
+    fn record_cd_pair(&mut self, key_occ: u32, target: u32, tp: u64, tc: u64) {
+        let chan = self.cd_chan(key_occ, target);
+        if self.append(chan, (tp, tc)) {
+            self.g.stats.stored_control_pairs += 1;
+        } else {
+            self.g.stats.save(OptKind::SharedControl);
+        }
+    }
+
+    /// Processes one use site: verify the static inference or record a
+    /// dynamic label.
+    fn handle_use(
+        &mut self,
+        frame: FrameId,
+        occ: u32,
+        k: u8,
+        shape: &UseShape,
+        cell: Option<Cell>,
+        ts: u64,
+    ) {
+        let actual: Option<(u32, u64)> = match shape {
+            UseShape::Scalar(v) => self.scalar.get(&(frame, *v)).copied(),
+            UseShape::Mem => {
+                let c = cell.expect("memory use has a traced cell");
+                self.mem.get(&c).copied()
+            }
+            UseShape::Ret => return, // resolved at call_returned
+        };
+        if actual.is_some() {
+            self.g.stats.total_data += 1;
+        }
+        let res = self.g.nodes.use_res[occ as usize][k as usize];
+        let is_mem = matches!(shape, UseShape::Mem);
+        if is_mem {
+            let fi = self.frames.get_mut(&frame).expect("live frame");
+            fi.memo.insert((occ, k), actual);
+        }
+        match res {
+            UseRes::StaticDu { target, attr } => {
+                if !is_mem {
+                    // Scalars cannot alias; inference always holds.
+                    self.g.stats.save(attr);
+                } else if actual == Some((target, ts)) {
+                    self.g.stats.save(attr);
+                } else {
+                    self.demote(occ, k, actual, ts);
+                }
+            }
+            UseRes::StaticUu { target, use_idx, attr } => {
+                if !is_mem {
+                    self.g.stats.save(attr);
+                } else {
+                    let fi = self.frames.get(&frame).expect("live frame");
+                    let expected = fi.memo.get(&(target, use_idx)).copied().flatten();
+                    if actual == expected {
+                        self.g.stats.save(attr);
+                    } else {
+                        self.demote(occ, k, actual, ts);
+                    }
+                }
+            }
+            UseRes::Dynamic | UseRes::NoDep => {
+                if let Some((docc, td)) = actual {
+                    self.record_data_pair(occ, k, docc, td, ts);
+                }
+            }
+        }
+    }
+
+    fn demote(&mut self, occ: u32, k: u8, actual: Option<(u32, u64)>, ts: u64) {
+        self.g.stats.demoted += 1;
+        match actual {
+            Some((docc, td)) => self.record_data_pair(occ, k, docc, td, ts),
+            None => self.record_data_pair(occ, k, NONE_TARGET, 0, ts),
+        }
+    }
+}
+
+impl ReplayVisitor for Builder<'_> {
+    fn frame_enter(&mut self, frame: FrameId, func: FuncId, call: Option<(FrameId, StmtId)>) {
+        if let Some((caller, _stmt)) = call {
+            let (occ, ts) = {
+                let ci = &self.frames[&caller];
+                (ci.state.pending_call, ci.state.ts)
+            };
+            self.call_site.insert(frame, (occ, ts));
+            // Parameter passing: parameter slots are defined by the call
+            // statement occurrence (see the FP builder for the rationale).
+            for i in 0..self.program.func(func).params {
+                self.scalar.insert((frame, VarId(i)), (occ, ts));
+            }
+        }
+        self.frames.insert(
+            frame,
+            FrameInfo {
+                state: FrameState { node: 0, ts: 0, block_occ_base: 0, pending_call: 0 },
+                last_exec: HashMap::new(),
+                seq: 0,
+                memo: HashMap::new(),
+            },
+        );
+    }
+
+    fn block_enter(&mut self, frame: FrameId, func: FuncId, block: BlockId) {
+        let assign = self.assigns[self.assign_pos];
+        self.assign_pos += 1;
+        let node_base = self.g.nodes.node_base[assign.node as usize];
+        let slot_off = self.g.nodes.nodes[assign.node as usize].slot_offsets[assign.slot as usize];
+        // Compute the dynamic control parent before touching frame state.
+        let ancestors = self.analysis.func(func).cd.ancestors(block).to_vec();
+        let (parent, next_seq, ts) = {
+            let fi = self.frames.get_mut(&frame).expect("live frame");
+            if assign.start {
+                fi.state.node = assign.node;
+                fi.state.ts = self.next_ts;
+                self.next_ts += 1;
+                fi.memo.clear();
+            }
+            fi.state.block_occ_base = node_base + slot_off;
+            let parent = ancestors
+                .iter()
+                .filter_map(|a| fi.last_exec.get(a).map(|&(o, t, s)| (o, t, s)))
+                .max_by_key(|&(_, _, s)| s)
+                .map(|(o, t, _)| (o, t));
+            fi.seq += 1;
+            (parent, fi.seq, fi.state.ts)
+        };
+        let parent = parent.or_else(|| self.call_site.get(&frame).copied());
+        self.g.stats.total_control += 1;
+        let key_occ = node_base + slot_off;
+        match self.g.nodes.cd_res[key_occ as usize] {
+            CdRes::Static { target, delta, attr } => {
+                if ts >= delta && parent == Some((target, ts - delta)) {
+                    self.g.stats.save(attr);
+                } else {
+                    self.g.stats.demoted += 1;
+                    match parent {
+                        Some((pocc, tp)) => self.record_cd_pair(key_occ, pocc, tp, ts),
+                        None => self.record_cd_pair(key_occ, NONE_TARGET, 0, ts),
+                    }
+                }
+            }
+            CdRes::Dynamic => {
+                if let Some((pocc, tp)) = parent {
+                    self.record_cd_pair(key_occ, pocc, tp, ts);
+                } else {
+                    self.g.stats.total_control -= 1; // entry region: no dependence
+                }
+            }
+        }
+        // Record this block's execution for future parent lookups: its
+        // terminator occurrence in the current node.
+        let bb = self.program.func(func).block(block);
+        let term_occ = key_occ + bb.stmts.len() as u32;
+        let fi = self.frames.get_mut(&frame).expect("live frame");
+        fi.last_exec.insert(block, (term_occ, ts, next_seq));
+    }
+
+    fn stmt(&mut self, cx: StmtCx) {
+        let (base, ts) = {
+            let fi = &self.frames[&cx.frame];
+            (fi.state.block_occ_base, fi.state.ts)
+        };
+        let idx_in_block = match cx.pos {
+            StmtPos::Stmt(i) => i,
+            StmtPos::Term => self.program.func(cx.func).block(cx.block).stmts.len() as u32,
+        };
+        let occ = base + idx_in_block;
+        debug_assert_eq!(self.g.stmt_of(occ), cx.stmt, "occurrence out of sync");
+
+        let shapes = self.g.nodes.stmt_shapes[cx.stmt.index()].clone();
+        for (k, shape) in shapes.iter().enumerate() {
+            self.handle_use(cx.frame, occ, k as u8, shape, cx.cell, ts);
+        }
+
+        if cx.is_call {
+            self.frames.get_mut(&cx.frame).expect("live frame").state.pending_call = occ;
+            return;
+        }
+        match cx.pos {
+            StmtPos::Stmt(_) => {
+                match self.program.stmt_kind(cx.stmt) {
+                    Some(StmtKind::Assign { dst, .. }) => {
+                        self.scalar.insert((cx.frame, *dst), (occ, ts));
+                    }
+                    Some(StmtKind::Store { .. }) => {
+                        let cell = cx.cell.expect("store has a traced cell");
+                        self.mem.insert(cell, (occ, ts));
+                        self.g.last_def.insert(cell, (occ, ts));
+                    }
+                    Some(StmtKind::Print(_)) => {
+                        self.g.outputs.push((occ, ts));
+                    }
+                    None => unreachable!("plain statement"),
+                }
+            }
+            StmtPos::Term => {
+                if matches!(
+                    self.program.terminator_of(cx.stmt),
+                    Some(Terminator::Return(_))
+                ) {
+                    self.ret.insert(cx.frame, (occ, ts));
+                }
+            }
+        }
+    }
+
+    fn call_returned(&mut self, frame: FrameId, _func: FuncId, _block: BlockId, stmt: StmtId) {
+        let (occ, ts) = {
+            let fi = &self.frames[&frame];
+            (fi.state.pending_call, fi.state.ts)
+        };
+        // The Ret use site is the last use slot of the call statement.
+        let k = (self.g.nodes.stmt_shapes[stmt.index()].len() - 1) as u8;
+        if let Some((rocc, tr)) = self.last_ret.take() {
+            self.g.stats.total_data += 1;
+            self.record_data_pair(occ, k, rocc, tr, ts);
+        }
+        if let Some(StmtKind::Assign { dst, .. }) = self.program.stmt_kind(stmt) {
+            self.scalar.insert((frame, *dst), (occ, ts));
+        }
+    }
+
+    fn frame_exit(&mut self, frame: FrameId) {
+        self.last_ret = self.ret.remove(&frame);
+        self.frames.remove(&frame);
+        self.call_site.remove(&frame);
+    }
+}

@@ -1,0 +1,322 @@
+//! The *full* dynamic dependence graph (the paper's FP baseline, §2).
+//!
+//! Every exercised data and control dependence is represented explicitly:
+//! an edge between two statements labeled with the list of timestamp pairs
+//! `(t_def, t_use)` identifying the execution instances involved. Timestamps
+//! are assigned per basic-block execution; every statement instance inherits
+//! its block instance's timestamp.
+
+use std::collections::HashMap;
+
+use dynslice_ir::{
+    defuse::{stmt_uses, term_uses, DefSite, UseSite},
+    stmt_def, BlockId, FuncId, Program, StmtId, StmtPos, Terminator, VarId,
+};
+use dynslice_runtime::{replay, Cell, FrameId, ReplayVisitor, StmtCx, TraceEvent};
+
+use dynslice_analysis::ProgramAnalysis;
+
+use crate::size::GraphSize;
+
+/// A labeled dependence edge list: pairs `(t_def, t_use)` sorted by `t_use`.
+pub type Labels = Vec<(u64, u64)>;
+
+/// The full dyDG: per-use-statement incoming data edges and per-block
+/// incoming control edges, each carrying explicit timestamp-pair labels.
+#[derive(Debug, Default)]
+pub struct FullGraph {
+    /// `data_in[s]`: incoming data-dependence edges of statement `s` as
+    /// `(defining statement, labels)`.
+    data_in: HashMap<StmtId, Vec<(StmtId, Labels)>>,
+    /// `control_in[(f, b)]`: incoming control edges of block `b` as
+    /// `(parent statement — a branch or call —, labels)`; labels pair the
+    /// parent instance with the block instance.
+    control_in: HashMap<(FuncId, BlockId), Vec<(StmtId, Labels)>>,
+    /// Final (statement, timestamp) definition instance of every cell.
+    pub last_def: HashMap<Cell, (StmtId, u64)>,
+    /// Executed print-statement instances, in order.
+    pub outputs: Vec<(StmtId, u64)>,
+    /// Number of block-node executions (= final timestamp value).
+    pub num_node_execs: u64,
+    stats: FullStats,
+}
+
+#[derive(Debug, Default, Clone, Copy)]
+struct FullStats {
+    edges: u64,
+    pairs: u64,
+}
+
+impl FullGraph {
+    /// Builds the full graph from a trace.
+    pub fn build(program: &Program, analysis: &ProgramAnalysis, events: &[TraceEvent]) -> Self {
+        let mut b = FullBuilder::new(program, analysis);
+        replay(program, events, &mut b);
+        let ts = b.next_ts;
+        let mut g = b.graph;
+        g.num_node_execs = ts;
+        // Label lists are appended in use-processing order, which for
+        // return-value edges is not monotone in t_use; sort for binary
+        // search during slicing.
+        for edges in g.data_in.values_mut() {
+            for (_, labels) in edges {
+                labels.sort_unstable_by_key(|&(_, tu)| tu);
+            }
+        }
+        for edges in g.control_in.values_mut() {
+            for (_, labels) in edges {
+                labels.sort_unstable_by_key(|&(_, tu)| tu);
+            }
+        }
+        g
+    }
+
+    fn add_data(&mut self, use_stmt: StmtId, def_stmt: StmtId, td: u64, tu: u64) {
+        let edges = self.data_in.entry(use_stmt).or_default();
+        match edges.iter_mut().find(|(d, _)| *d == def_stmt) {
+            Some((_, labels)) => labels.push((td, tu)),
+            None => {
+                self.stats.edges += 1;
+                edges.push((def_stmt, vec![(td, tu)]));
+            }
+        }
+        self.stats.pairs += 1;
+    }
+
+    fn add_control(&mut self, child: (FuncId, BlockId), parent: StmtId, tp: u64, tc: u64) {
+        let edges = self.control_in.entry(child).or_default();
+        match edges.iter_mut().find(|(d, _)| *d == parent) {
+            Some((_, labels)) => labels.push((tp, tc)),
+            None => {
+                self.stats.edges += 1;
+                edges.push((parent, vec![(tp, tc)]));
+            }
+        }
+        self.stats.pairs += 1;
+    }
+
+    /// All data dependences of instance `(s, ts)`: the defining instances.
+    pub fn data_deps(&self, s: StmtId, ts: u64) -> Vec<(StmtId, u64)> {
+        let mut out = Vec::new();
+        if let Some(edges) = self.data_in.get(&s) {
+            for (def, labels) in edges {
+                if let Ok(i) = labels.binary_search_by_key(&ts, |&(_, tu)| tu) {
+                    out.push((*def, labels[i].0));
+                }
+            }
+        }
+        out
+    }
+
+    /// All incoming data edges of statement `s` with their label lists
+    /// (used by the SEQUITUR comparison to reconstruct the label stream).
+    pub fn data_deps_all(&self, s: StmtId) -> impl Iterator<Item = (StmtId, &Labels)> {
+        self.data_in.get(&s).into_iter().flatten().map(|(d, l)| (*d, l))
+    }
+
+    /// The control dependence of block instance `(f, b, ts)`, if any.
+    pub fn control_dep(&self, f: FuncId, b: BlockId, ts: u64) -> Option<(StmtId, u64)> {
+        let edges = self.control_in.get(&(f, b))?;
+        for (parent, labels) in edges {
+            if let Ok(i) = labels.binary_search_by_key(&ts, |&(_, tu)| tu) {
+                return Some((*parent, labels[i].0));
+            }
+        }
+        None
+    }
+
+    /// Computes the backward dynamic slice from instance `(s, ts)`:
+    /// the set of statements whose instances transitively influenced it.
+    pub fn slice(&self, program: &Program, s: StmtId, ts: u64) -> std::collections::BTreeSet<StmtId> {
+        let mut slice = std::collections::BTreeSet::new();
+        let mut visited = std::collections::HashSet::new();
+        let mut work = vec![(s, ts)];
+        slice.insert(s);
+        while let Some((s, ts)) = work.pop() {
+            if !visited.insert((s, ts)) {
+                continue;
+            }
+            for (def, td) in self.data_deps(s, ts) {
+                slice.insert(def);
+                work.push((def, td));
+            }
+            let loc = program.stmt_loc(s);
+            if let Some((parent, tp)) = self.control_dep(loc.func, loc.block, ts) {
+                slice.insert(parent);
+                work.push((parent, tp));
+            }
+        }
+        slice
+    }
+
+    /// Size of the graph under the explicit-representation cost model.
+    pub fn size(&self) -> GraphSize {
+        GraphSize {
+            nodes: 0,
+            static_edges: 0,
+            dynamic_edges: self.stats.edges,
+            pairs: self.stats.pairs,
+            shortcut_stmts: 0,
+            slots: 0,
+        }
+    }
+}
+
+/// Builder state shared by the FP construction: shadow maps from locations
+/// to their latest defining instance.
+struct FullBuilder<'p> {
+    program: &'p Program,
+    analysis: &'p ProgramAnalysis,
+    graph: FullGraph,
+    next_ts: u64,
+    scalar: HashMap<(FrameId, VarId), (StmtId, u64)>,
+    mem: HashMap<Cell, (StmtId, u64)>,
+    ret: HashMap<FrameId, (StmtId, u64)>,
+    /// Per frame: current block timestamp.
+    cur_ts: HashMap<FrameId, u64>,
+    /// Per frame: last execution of each block as `(timestamp, sequence)`;
+    /// the per-frame sequence number breaks recency ties consistently with
+    /// the compacted builder (where blocks of one path node share a
+    /// timestamp).
+    last_exec: HashMap<FrameId, HashMap<BlockId, (u64, u64)>>,
+    /// Per frame: count of block executions (the sequence source).
+    block_seq: HashMap<FrameId, u64>,
+    /// Per frame: the call-site instance that created it.
+    call_site: HashMap<FrameId, (StmtId, u64)>,
+    /// The returning instance of the frame that exited most recently.
+    last_ret: Option<(StmtId, u64)>,
+}
+
+impl<'p> FullBuilder<'p> {
+    fn new(program: &'p Program, analysis: &'p ProgramAnalysis) -> Self {
+        Self {
+            program,
+            analysis,
+            graph: FullGraph::default(),
+            next_ts: 0,
+            scalar: HashMap::new(),
+            mem: HashMap::new(),
+            ret: HashMap::new(),
+            cur_ts: HashMap::new(),
+            last_exec: HashMap::new(),
+            block_seq: HashMap::new(),
+            call_site: HashMap::new(),
+            last_ret: None,
+        }
+    }
+
+    fn use_site(&mut self, stmt: StmtId, frame: FrameId, ts: u64, site: &UseSite, cell: Option<Cell>) {
+        match site {
+            UseSite::Scalar(v) => {
+                if let Some(&(def, td)) = self.scalar.get(&(frame, *v)) {
+                    self.graph.add_data(stmt, def, td, ts);
+                }
+            }
+            UseSite::Mem(_) => {
+                let cell = cell.expect("memory use has a traced cell");
+                if let Some(&(def, td)) = self.mem.get(&cell) {
+                    self.graph.add_data(stmt, def, td, ts);
+                }
+            }
+            UseSite::Ret => { /* resolved at call_returned */ }
+        }
+    }
+}
+
+impl ReplayVisitor for FullBuilder<'_> {
+    fn frame_enter(&mut self, frame: FrameId, func: FuncId, call: Option<(FrameId, StmtId)>) {
+        if let Some((caller, stmt)) = call {
+            let ts = self.cur_ts[&caller];
+            self.call_site.insert(frame, (stmt, ts));
+            // Parameter passing: the callee's parameter slots are defined by
+            // the call statement (whose own uses are the argument operands),
+            // so dependence chains flow callee-use -> call -> argument defs.
+            for i in 0..self.program.func(func).params {
+                self.scalar.insert((frame, VarId(i)), (stmt, ts));
+            }
+        }
+    }
+
+    fn block_enter(&mut self, frame: FrameId, func: FuncId, block: BlockId) {
+        let ts = self.next_ts;
+        self.next_ts += 1;
+        self.cur_ts.insert(frame, ts);
+        // Dynamic control parent: the most recently executed static
+        // ancestor in this frame, else the frame's call site.
+        let ancestors = self.analysis.func(func).cd.ancestors(block).to_vec();
+        let le = self.last_exec.entry(frame).or_default();
+        let parent = ancestors
+            .iter()
+            .filter_map(|a| le.get(a).map(|&(t, seq)| (*a, t, seq)))
+            .max_by_key(|&(_, _, seq)| seq);
+        match parent {
+            Some((a, tp, _)) => {
+                let parent_stmt = self.program.func(func).block(a).term_id;
+                self.graph.add_control((func, block), parent_stmt, tp, ts);
+            }
+            None => {
+                if let Some(&(cs, tp)) = self.call_site.get(&frame) {
+                    self.graph.add_control((func, block), cs, tp, ts);
+                }
+            }
+        }
+        let seq = self.block_seq.entry(frame).or_insert(0);
+        *seq += 1;
+        let seq = *seq;
+        self.last_exec.get_mut(&frame).expect("frame entry").insert(block, (ts, seq));
+    }
+
+    fn stmt(&mut self, cx: StmtCx) {
+        let ts = self.cur_ts[&cx.frame];
+        match cx.pos {
+            StmtPos::Stmt(i) => {
+                let kind = &self.program.func(cx.func).block(cx.block).stmts[i as usize].kind;
+                for site in stmt_uses(kind) {
+                    self.use_site(cx.stmt, cx.frame, ts, &site, cx.cell);
+                }
+                if !cx.is_call {
+                    match stmt_def(kind) {
+                        Some(DefSite::Scalar(v)) => {
+                            self.scalar.insert((cx.frame, v), (cx.stmt, ts));
+                        }
+                        Some(DefSite::Mem(_)) => {
+                            let cell = cx.cell.expect("store has a traced cell");
+                            self.mem.insert(cell, (cx.stmt, ts));
+                            self.graph.last_def.insert(cell, (cx.stmt, ts));
+                        }
+                        None => {}
+                    }
+                    if matches!(kind, dynslice_ir::StmtKind::Print(_)) {
+                        self.graph.outputs.push((cx.stmt, ts));
+                    }
+                }
+            }
+            StmtPos::Term => {
+                let term = &self.program.func(cx.func).block(cx.block).term;
+                for site in term_uses(term) {
+                    self.use_site(cx.stmt, cx.frame, ts, &site, None);
+                }
+                if matches!(term, Terminator::Return(_)) {
+                    self.ret.insert(cx.frame, (cx.stmt, ts));
+                }
+            }
+        }
+    }
+
+    fn call_returned(&mut self, frame: FrameId, func: FuncId, block: BlockId, stmt: StmtId) {
+        let ts = self.cur_ts[&frame];
+        // The call-assign's Ret use resolves to the callee's Return.
+        if let Some((ret_stmt, tr)) = self.last_ret.take() {
+            self.graph.add_data(stmt, ret_stmt, tr, ts);
+        }
+        // The destination is defined here, attributed to the call statement.
+        let _ = (func, block);
+        if let Some(dynslice_ir::StmtKind::Assign { dst, .. }) = self.program.stmt_kind(stmt) {
+            self.scalar.insert((frame, *dst), (stmt, ts));
+        }
+    }
+
+    fn frame_exit(&mut self, frame: FrameId) {
+        self.last_ret = self.ret.remove(&frame);
+    }
+}

@@ -1,0 +1,388 @@
+//! The paper's proposed OPT+LP hybrid (§4.2, "Combining idea behind LP
+//! with OPT"): keep the compacted graph's *static* component and edge
+//! structure in memory, but spill the dynamic timestamp-pair lists to disk
+//! in blocks, loading blocks on demand during slicing and discarding old
+//! ones — scaling OPT to runs whose label lists outgrow memory.
+//!
+//! The in-memory cost becomes `static component + edge headers + block
+//! index + resident blocks`; slicing pays an I/O penalty only on block
+//! misses. Because channels are sorted by use-timestamp, each channel is
+//! split into contiguous runs whose `tu` ranges are recorded in the index,
+//! so a lookup touches exactly one block.
+
+use std::cell::RefCell;
+use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::fs::File;
+use std::io::{self, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use dynslice_ir::StmtId;
+use dynslice_runtime::Cell;
+
+use crate::compact::CompactGraph;
+use crate::nodes::{CdRes, UseRes};
+
+/// Pairs per spilled block.
+pub const BLOCK_PAIRS: usize = 4096;
+
+/// One spilled block's index entry.
+#[derive(Copy, Clone, Debug)]
+struct BlockMeta {
+    /// Byte offset in the spill file.
+    offset: u64,
+    /// Number of pairs.
+    len: u32,
+}
+
+/// A channel's index: which block holds which `tu` range.
+#[derive(Clone, Debug, Default)]
+struct ChannelIndex {
+    /// `(first tu in run, block id, start offset in pairs, len)` per run,
+    /// sorted by first tu.
+    runs: Vec<(u64, u32, u32, u32)>,
+}
+
+/// Statistics from paged slicing.
+#[derive(Copy, Clone, Debug, Default)]
+pub struct PagedStats {
+    /// Block cache hits.
+    pub hits: u64,
+    /// Block cache misses (disk reads).
+    pub misses: u64,
+}
+
+/// A compacted graph whose timestamp-pair lists live on disk.
+#[derive(Debug)]
+pub struct PagedGraph {
+    /// The underlying graph, with channels drained.
+    graph: CompactGraph,
+    path: PathBuf,
+    blocks: Vec<BlockMeta>,
+    channels: Vec<ChannelIndex>,
+    /// Resident block cache (LRU by insertion order).
+    cache: RefCell<BlockCache>,
+    stats: RefCell<PagedStats>,
+}
+
+#[derive(Debug)]
+struct BlockCache {
+    capacity: usize,
+    order: VecDeque<u32>,
+    blocks: HashMap<u32, Vec<(u64, u64)>>,
+}
+
+impl PagedGraph {
+    /// Spills `graph`'s channels to `path`, keeping `resident_blocks`
+    /// blocks in memory during slicing.
+    ///
+    /// # Errors
+    /// Propagates I/O errors from writing the spill file.
+    pub fn spill(
+        mut graph: CompactGraph,
+        path: impl AsRef<Path>,
+        resident_blocks: usize,
+    ) -> io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = BufWriter::new(File::create(&path)?);
+        let drained = graph.drain_channels();
+        let mut blocks = Vec::new();
+        let mut channels = Vec::with_capacity(drained.len());
+        let mut cur: Vec<(u64, u64)> = Vec::with_capacity(BLOCK_PAIRS);
+        let mut offset = 0u64;
+
+        let flush =
+            |cur: &mut Vec<(u64, u64)>, blocks: &mut Vec<BlockMeta>, file: &mut BufWriter<File>, offset: &mut u64| -> io::Result<()> {
+                if cur.is_empty() {
+                    return Ok(());
+                }
+                let mut buf = Vec::with_capacity(cur.len() * 16);
+                for (a, b) in cur.iter() {
+                    buf.extend_from_slice(&a.to_le_bytes());
+                    buf.extend_from_slice(&b.to_le_bytes());
+                }
+                file.write_all(&buf)?;
+                blocks.push(BlockMeta { offset: *offset, len: cur.len() as u32 });
+                *offset += buf.len() as u64;
+                cur.clear();
+                Ok(())
+            };
+
+        for pairs in drained {
+            let mut index = ChannelIndex::default();
+            let mut i = 0usize;
+            while i < pairs.len() {
+                if cur.len() == BLOCK_PAIRS {
+                    flush(&mut cur, &mut blocks, &mut file, &mut offset)?;
+                }
+                let room = BLOCK_PAIRS - cur.len();
+                let take = room.min(pairs.len() - i);
+                let block_id = blocks.len() as u32; // the block being filled
+                index.runs.push((
+                    pairs[i].1,
+                    block_id,
+                    cur.len() as u32,
+                    take as u32,
+                ));
+                cur.extend_from_slice(&pairs[i..i + take]);
+                i += take;
+            }
+            channels.push(index);
+        }
+        flush(&mut cur, &mut blocks, &mut file, &mut offset)?;
+        file.flush()?;
+        Ok(Self {
+            graph,
+            path,
+            blocks,
+            channels,
+            cache: RefCell::new(BlockCache {
+                capacity: resident_blocks.max(1),
+                order: VecDeque::new(),
+                blocks: HashMap::new(),
+            }),
+            stats: RefCell::new(PagedStats::default()),
+        })
+    }
+
+    /// The underlying (drained) graph, for structure queries.
+    pub fn graph(&self) -> &CompactGraph {
+        &self.graph
+    }
+
+    /// Cache statistics accumulated so far.
+    pub fn stats(&self) -> PagedStats {
+        *self.stats.borrow()
+    }
+
+    /// In-memory bytes while slicing: the drained graph plus the block
+    /// index plus resident blocks.
+    pub fn resident_bytes(&self) -> u64 {
+        let g = self.graph.size(false);
+        let index: u64 = self
+            .channels
+            .iter()
+            .map(|c| c.runs.len() as u64 * 24)
+            .sum::<u64>()
+            + self.blocks.len() as u64 * 12;
+        let resident = self.cache.borrow().capacity as u64 * BLOCK_PAIRS as u64 * 16;
+        g.bytes() + index + resident
+    }
+
+    /// Bytes spilled to disk.
+    pub fn spilled_bytes(&self) -> u64 {
+        self.blocks.iter().map(|b| b.len as u64 * 16).sum()
+    }
+
+    fn load_block(&self, id: u32) -> io::Result<()> {
+        {
+            let mut cache = self.cache.borrow_mut();
+            if cache.blocks.contains_key(&id) {
+                self.stats.borrow_mut().hits += 1;
+                return Ok(());
+            }
+            // Evict before loading to bound memory.
+            while cache.order.len() >= cache.capacity {
+                if let Some(old) = cache.order.pop_front() {
+                    cache.blocks.remove(&old);
+                }
+            }
+        }
+        self.stats.borrow_mut().misses += 1;
+        let meta = self.blocks[id as usize];
+        let mut f = File::open(&self.path)?;
+        f.seek(SeekFrom::Start(meta.offset))?;
+        let mut buf = vec![0u8; meta.len as usize * 16];
+        f.read_exact(&mut buf)?;
+        let pairs: Vec<(u64, u64)> = buf
+            .chunks_exact(16)
+            .map(|c| {
+                (
+                    u64::from_le_bytes(c[0..8].try_into().expect("8 bytes")),
+                    u64::from_le_bytes(c[8..16].try_into().expect("8 bytes")),
+                )
+            })
+            .collect();
+        let mut cache = self.cache.borrow_mut();
+        cache.order.push_back(id);
+        cache.blocks.insert(id, pairs);
+        Ok(())
+    }
+
+    /// Searches channel `chan` for the pair with use-timestamp `tu`.
+    fn chan_search(&self, chan: u32, tu: u64) -> io::Result<Option<u64>> {
+        let index = &self.channels[chan as usize];
+        // Find the run that could contain tu: the last run with first <= tu.
+        let pos = index.runs.partition_point(|r| r.0 <= tu);
+        if pos == 0 {
+            return Ok(None);
+        }
+        let (_, block, start, len) = index.runs[pos - 1];
+        self.load_block(block)?;
+        let cache = self.cache.borrow();
+        let pairs = &cache.blocks[&block];
+        let run = &pairs[start as usize..(start + len) as usize];
+        Ok(run
+            .binary_search_by_key(&tu, |&(_, b)| b)
+            .ok()
+            .map(|i| run[i].0))
+    }
+
+    /// Resolves use `(occ, k)` at `ts` — the paged analogue of
+    /// [`CompactGraph::resolve_use`].
+    ///
+    /// # Errors
+    /// Propagates I/O errors from block loads.
+    pub fn resolve_use(&self, occ: u32, k: u8, ts: u64) -> io::Result<Option<(u32, u64)>> {
+        for &(target, chan) in self.graph.dyn_edges(occ, k) {
+            if let Some(td) = self.chan_search(chan, ts)? {
+                return Ok((target != u32::MAX).then_some((target, td)));
+            }
+        }
+        match self.graph.nodes.use_res[occ as usize][k as usize] {
+            UseRes::StaticDu { target, .. } => Ok(Some((target, ts))),
+            UseRes::StaticUu { target, use_idx, .. } => self.resolve_use(target, use_idx, ts),
+            _ => Ok(None),
+        }
+    }
+
+    /// Resolves the control dependence of `occ` at `ts`.
+    ///
+    /// # Errors
+    /// Propagates I/O errors from block loads.
+    pub fn resolve_cd(&self, occ: u32, ts: u64) -> io::Result<Option<(u32, u64)>> {
+        let key = self.graph.nodes.occ_block_key[occ as usize];
+        for &(target, chan) in self.graph.cd_edges(key) {
+            if let Some(tp) = self.chan_search(chan, ts)? {
+                return Ok((target != u32::MAX).then_some((target, tp)));
+            }
+        }
+        match self.graph.nodes.cd_res[occ as usize] {
+            CdRes::Static { target, delta, .. } if ts >= delta => Ok(Some((target, ts - delta))),
+            _ => Ok(None),
+        }
+    }
+
+    /// Computes a backward slice from instance `(occ, ts)`.
+    ///
+    /// # Errors
+    /// Propagates I/O errors from block loads.
+    pub fn slice(&self, occ: u32, ts: u64) -> io::Result<BTreeSet<StmtId>> {
+        let mut slice = BTreeSet::new();
+        let mut visited = std::collections::HashSet::new();
+        let mut work = vec![(occ, ts)];
+        slice.insert(self.graph.stmt_of(occ));
+        while let Some((occ, ts)) = work.pop() {
+            if !visited.insert((occ, ts)) {
+                continue;
+            }
+            let nuses = self.graph.nodes.use_res[occ as usize].len();
+            for k in 0..nuses as u8 {
+                if let Some((docc, td)) = self.resolve_use(occ, k, ts)? {
+                    slice.insert(self.graph.stmt_of(docc));
+                    work.push((docc, td));
+                }
+            }
+            if let Some((pocc, tp)) = self.resolve_cd(occ, ts)? {
+                slice.insert(self.graph.stmt_of(pocc));
+                work.push((pocc, tp));
+            }
+        }
+        Ok(slice)
+    }
+
+    /// The final defining instance of `cell`, if any.
+    pub fn last_def_of(&self, cell: Cell) -> Option<(u32, u64)> {
+        self.graph.last_def_of(cell)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{build_compact, FullGraph, OptConfig};
+    use dynslice_analysis::ProgramAnalysis;
+    use dynslice_runtime::{run, VmOptions};
+
+    fn setup(
+        src: &str,
+    ) -> (dynslice_ir::Program, ProgramAnalysis, dynslice_runtime::Trace) {
+        let p = dynslice_lang::compile(src).unwrap();
+        let a = ProgramAnalysis::compute(&p);
+        let t = run(&p, VmOptions::default());
+        (p, a, t)
+    }
+
+    const SRC: &str = "global int a[16];
+         fn main() {
+           int i;
+           int s = 0;
+           for (i = 0; i < 300; i = i + 1) {
+             int k = i % 16;
+             a[k] = a[k] + i;
+             if (i % 7 == 0) { s = s + a[k]; }
+           }
+           print s;
+           a[0] = s;
+         }";
+
+    #[test]
+    fn paged_slices_match_in_memory_slices() {
+        let (p, a, t) = setup(SRC);
+        let full = FullGraph::build(&p, &a, &t.events);
+        let opt = build_compact(&p, &a, &t.events, &OptConfig::default());
+        let dir = std::env::temp_dir().join("dynslice-paged");
+        std::fs::create_dir_all(&dir).unwrap();
+        // Tiny cache: exercise eviction.
+        let paged = PagedGraph::spill(opt, dir.join("p1.bin"), 2).unwrap();
+        let mut cells: Vec<_> = full.last_def.keys().copied().collect();
+        cells.sort();
+        for cell in cells {
+            let (fs, fts) = full.last_def[&cell];
+            let expect = full.slice(&p, fs, fts);
+            let (occ, ts) = paged.last_def_of(cell).unwrap();
+            let got = paged.slice(occ, ts).unwrap();
+            assert_eq!(expect, got, "cell {cell:?}");
+        }
+        let st = paged.stats();
+        assert!(st.misses > 0, "expected disk reads: {st:?}");
+        assert!(st.hits > 0, "expected cache hits: {st:?}");
+    }
+
+    #[test]
+    fn spill_moves_pairs_to_disk() {
+        let (p, a, t) = setup(SRC);
+        let opt = build_compact(&p, &a, &t.events, &OptConfig::default());
+        let pairs_before = opt.size(false).pairs;
+        assert!(pairs_before > 0);
+        let dir = std::env::temp_dir().join("dynslice-paged");
+        std::fs::create_dir_all(&dir).unwrap();
+        let paged = PagedGraph::spill(opt, dir.join("p2.bin"), 4).unwrap();
+        // All pairs are on disk; the drained graph holds none.
+        assert_eq!(paged.graph().size(false).pairs, 0);
+        assert_eq!(paged.spilled_bytes(), pairs_before * 16);
+        assert!(paged.resident_bytes() > 0);
+    }
+
+    #[test]
+    fn block_index_spans_multiple_blocks() {
+        // Enough pairs to need several blocks even with one channel.
+        let (p, a, t) = setup(
+            "global int a[1];
+             fn main() {
+               int i;
+               for (i = 0; i < 9000; i = i + 1) { a[0] = a[0] + i; }
+               print a[0];
+             }",
+        );
+        let opt = build_compact(&p, &a, &t.events, &OptConfig::none());
+        let dir = std::env::temp_dir().join("dynslice-paged");
+        std::fs::create_dir_all(&dir).unwrap();
+        let paged = PagedGraph::spill(opt, dir.join("p3.bin"), 1).unwrap();
+        assert!(paged.blocks.len() >= 2, "expected multiple blocks");
+        // Slicing still works with a single resident block.
+        let full = FullGraph::build(&p, &a, &t.events);
+        let (cell, &(fs, fts)) = full.last_def.iter().next().unwrap();
+        let (occ, ts) = paged.last_def_of(*cell).unwrap();
+        assert_eq!(full.slice(&p, fs, fts), paged.slice(occ, ts).unwrap());
+    }
+}

@@ -1,0 +1,343 @@
+//! Programmatic construction of IR programs.
+//!
+//! [`ProgramBuilder`] owns the growing program (functions are reserved with
+//! [`ProgramBuilder::declare`] so mutually recursive calls can be emitted
+//! before their callee bodies exist); [`FunctionBuilder`] builds one function
+//! body block by block. Statement ids are assigned densely, in block order,
+//! when a function is finished.
+
+use crate::ids::{BlockId, FuncId, RegionId, StmtId, VarId};
+use crate::program::{Function, Program, Region, RegionKind};
+use crate::stmt::{BasicBlock, MemRef, Operand, Rvalue, Stmt, StmtKind, Terminator};
+
+/// Builder for a whole [`Program`].
+#[derive(Debug, Default)]
+pub struct ProgramBuilder {
+    functions: Vec<Option<Function>>,
+    names: Vec<(String, u32)>,
+    regions: Vec<Region>,
+    next_stmt: u32,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a global region of `size` cells and returns its id.
+    pub fn global(&mut self, name: &str, size: u32) -> RegionId {
+        self.push_region(name, size, RegionKind::Global)
+    }
+
+    /// Registers a function-local array region.
+    pub fn local_array(&mut self, func: FuncId, name: &str, size: u32) -> RegionId {
+        self.push_region(name, size, RegionKind::Local(func))
+    }
+
+    /// Registers a heap allocation site owned by `func`.
+    pub fn alloc_site(&mut self, func: FuncId, name: &str) -> RegionId {
+        self.push_region(name, 0, RegionKind::AllocSite(func))
+    }
+
+    fn push_region(&mut self, name: &str, size: u32, kind: RegionKind) -> RegionId {
+        let id = RegionId::from_index(self.regions.len());
+        self.regions.push(Region { name: name.to_string(), size, kind });
+        id
+    }
+
+    /// Reserves a function id without providing a body yet. Use
+    /// [`ProgramBuilder::define`] to build the body later.
+    pub fn declare(&mut self, name: &str, params: u32) -> FuncId {
+        let id = FuncId::from_index(self.functions.len());
+        self.functions.push(None);
+        self.names.push((name.to_string(), params));
+        id
+    }
+
+    /// Starts building the body of a previously declared function.
+    ///
+    /// # Panics
+    /// Panics if `id` was not declared or is already defined.
+    pub fn define(&mut self, id: FuncId) -> FunctionBuilder {
+        assert!(
+            self.functions[id.index()].is_none(),
+            "function {id} already defined"
+        );
+        let (name, params) = self.names[id.index()].clone();
+        FunctionBuilder::new(id, name, params)
+    }
+
+    /// Declares and immediately starts defining a function.
+    pub fn function(&mut self, name: &str, params: u32) -> FunctionBuilder {
+        let id = self.declare(name, params);
+        self.define(id)
+    }
+
+    fn alloc_stmt_id(&mut self) -> StmtId {
+        let id = StmtId(self.next_stmt);
+        self.next_stmt += 1;
+        id
+    }
+
+    /// Finalizes the program with `main` as entry point.
+    ///
+    /// # Panics
+    /// Panics if any declared function was never defined.
+    pub fn finish(self, main: FuncId) -> Program {
+        let functions: Vec<Function> = self
+            .functions
+            .into_iter()
+            .enumerate()
+            .map(|(i, f)| f.unwrap_or_else(|| panic!("function fn{i} declared but never defined")))
+            .collect();
+        let mut p = Program {
+            functions,
+            regions: self.regions,
+            main,
+            stmt_locs: Vec::new(),
+        };
+        p.rebuild_stmt_locs();
+        p
+    }
+}
+
+/// Statements of a block under construction (ids assigned at finish).
+#[derive(Debug, Default)]
+struct PendingBlock {
+    stmts: Vec<StmtKind>,
+    term: Option<Terminator>,
+}
+
+/// Builder for one function body.
+///
+/// The builder maintains a *current block*; statement-emitting methods append
+/// to it, and terminator-emitting methods seal it. Create additional blocks
+/// with [`FunctionBuilder::new_block`] and select them with
+/// [`FunctionBuilder::switch_to`].
+#[derive(Debug)]
+pub struct FunctionBuilder {
+    id: FuncId,
+    name: String,
+    params: u32,
+    var_names: Vec<String>,
+    blocks: Vec<PendingBlock>,
+    current: BlockId,
+}
+
+impl FunctionBuilder {
+    fn new(id: FuncId, name: String, params: u32) -> Self {
+        let var_names = (0..params).map(|i| format!("p{i}")).collect();
+        Self {
+            id,
+            name,
+            params,
+            var_names,
+            blocks: vec![PendingBlock::default()],
+            current: BlockId(0),
+        }
+    }
+
+    /// The reserved id of the function being built.
+    #[inline]
+    pub fn id(&self) -> FuncId {
+        self.id
+    }
+
+    /// The entry block (always block 0, the initial current block).
+    #[inline]
+    pub fn entry(&self) -> BlockId {
+        BlockId(0)
+    }
+
+    /// Parameter `i`'s variable slot.
+    ///
+    /// # Panics
+    /// Panics if `i` is not less than the parameter count.
+    pub fn param(&self, i: u32) -> VarId {
+        assert!(i < self.params, "parameter index out of range");
+        VarId(i)
+    }
+
+    /// Allocates a fresh scalar variable slot.
+    pub fn var(&mut self, name: &str) -> VarId {
+        let id = VarId::from_index(self.var_names.len());
+        self.var_names.push(name.to_string());
+        id
+    }
+
+    /// Creates a new, empty block (does not switch to it).
+    pub fn new_block(&mut self) -> BlockId {
+        let id = BlockId::from_index(self.blocks.len());
+        self.blocks.push(PendingBlock::default());
+        id
+    }
+
+    /// Makes `b` the current block.
+    ///
+    /// # Panics
+    /// Panics if `b` is already sealed with a terminator.
+    pub fn switch_to(&mut self, b: BlockId) {
+        assert!(
+            self.blocks[b.index()].term.is_none(),
+            "cannot append to sealed block {b}"
+        );
+        self.current = b;
+    }
+
+    /// Whether the current block has been sealed by a terminator.
+    pub fn current_sealed(&self) -> bool {
+        self.blocks[self.current.index()].term.is_some()
+    }
+
+    fn push(&mut self, kind: StmtKind) {
+        let cur = &mut self.blocks[self.current.index()];
+        assert!(cur.term.is_none(), "appending to sealed block");
+        cur.stmts.push(kind);
+    }
+
+    /// Emits `dst = rv`.
+    pub fn assign(&mut self, dst: VarId, rv: Rvalue) {
+        self.push(StmtKind::Assign { dst, rv });
+    }
+
+    /// Emits `mem = value`.
+    pub fn store(&mut self, mem: MemRef, value: Operand) {
+        self.push(StmtKind::Store { mem, value });
+    }
+
+    /// Emits `print value`.
+    pub fn print(&mut self, value: Operand) {
+        self.push(StmtKind::Print(value));
+    }
+
+    fn seal(&mut self, term: Terminator) {
+        let cur = &mut self.blocks[self.current.index()];
+        assert!(cur.term.is_none(), "block {} sealed twice", self.current);
+        cur.term = Some(term);
+    }
+
+    /// Seals the current block with an unconditional jump.
+    pub fn jump(&mut self, target: BlockId) {
+        self.seal(Terminator::Jump(target));
+    }
+
+    /// Seals the current block with a conditional branch.
+    pub fn branch(&mut self, cond: Operand, then_bb: BlockId, else_bb: BlockId) {
+        self.seal(Terminator::Branch { cond, then_bb, else_bb });
+    }
+
+    /// Seals the current block with a return.
+    pub fn ret(&mut self, value: Option<Operand>) {
+        self.seal(Terminator::Return(value));
+    }
+
+    /// Finishes the function, assigning statement ids, and installs it into
+    /// the program builder. Returns the function id.
+    ///
+    /// # Panics
+    /// Panics if any block lacks a terminator.
+    pub fn finish(self, pb: &mut ProgramBuilder) -> FuncId {
+        let mut blocks = Vec::with_capacity(self.blocks.len());
+        for (bi, pending) in self.blocks.into_iter().enumerate() {
+            let term = pending
+                .term
+                .unwrap_or_else(|| panic!("block bb{bi} of {} lacks a terminator", self.name));
+            let stmts = pending
+                .stmts
+                .into_iter()
+                .map(|kind| Stmt { id: pb.alloc_stmt_id(), kind })
+                .collect();
+            blocks.push(BasicBlock { stmts, term, term_id: pb.alloc_stmt_id() });
+        }
+        let f = Function {
+            name: self.name,
+            params: self.params,
+            num_vars: self.var_names.len() as u32,
+            var_names: self.var_names,
+            blocks,
+        };
+        pb.functions[self.id.index()] = Some(f);
+        self.id
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stmt::BinOp;
+
+    #[test]
+    fn builds_diamond_cfg() {
+        let mut pb = ProgramBuilder::new();
+        let g = pb.global("g", 1);
+        let mut f = pb.function("main", 0);
+        let x = f.var("x");
+        let t = f.new_block();
+        let e = f.new_block();
+        let j = f.new_block();
+        f.assign(x, Rvalue::Input);
+        f.branch(Operand::Var(x), t, e);
+        f.switch_to(t);
+        f.store(MemRef::Direct { region: g, offset: Operand::Const(0) }, Operand::Const(1));
+        f.jump(j);
+        f.switch_to(e);
+        f.store(MemRef::Direct { region: g, offset: Operand::Const(0) }, Operand::Const(2));
+        f.jump(j);
+        f.switch_to(j);
+        let y = f.var("y");
+        f.assign(y, Rvalue::Load(MemRef::Direct { region: g, offset: Operand::Const(0) }));
+        f.ret(Some(Operand::Var(y)));
+        let main = f.finish(&mut pb);
+        let p = pb.finish(main);
+
+        assert_eq!(p.func(main).blocks.len(), 4);
+        // Statement ids are dense and the location table agrees.
+        for i in 0..p.num_stmts() {
+            let s = StmtId(i as u32);
+            let loc = p.stmt_loc(s);
+            assert!(loc.func == main);
+        }
+        crate::validate(&p).expect("valid program");
+    }
+
+    #[test]
+    fn mutual_recursion_via_declare() {
+        let mut pb = ProgramBuilder::new();
+        let even = pb.declare("even", 1);
+        let odd = pb.declare("odd", 1);
+
+        let mut fe = pb.define(even);
+        let n = fe.param(0);
+        let r = fe.var("r");
+        fe.assign(r, Rvalue::Call { func: odd, args: vec![Operand::Var(n)] });
+        fe.ret(Some(Operand::Var(r)));
+        fe.finish(&mut pb);
+
+        let mut fo = pb.define(odd);
+        let n = fo.param(0);
+        let r = fo.var("r");
+        fo.assign(r, Rvalue::Binary(BinOp::Sub, Operand::Var(n), Operand::Const(1)));
+        fo.ret(Some(Operand::Var(r)));
+        fo.finish(&mut pb);
+
+        let mut fm = pb.function("main", 0);
+        let x = fm.var("x");
+        fm.assign(x, Rvalue::Call { func: even, args: vec![Operand::Const(4)] });
+        fm.print(Operand::Var(x));
+        fm.ret(None);
+        let main = fm.finish(&mut pb);
+        let p = pb.finish(main);
+        assert_eq!(p.functions.len(), 3);
+        crate::validate(&p).expect("valid program");
+    }
+
+    #[test]
+    #[should_panic(expected = "sealed")]
+    fn appending_to_sealed_block_panics() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0);
+        f.ret(None);
+        f.print(Operand::Const(0));
+    }
+}

@@ -1,0 +1,213 @@
+//! Control-flow-graph views over a [`Function`]: predecessor lists, traversal
+//! orders and back-edge detection.
+
+use crate::ids::BlockId;
+use crate::program::Function;
+use crate::stmt::Terminator;
+
+/// Precomputed CFG structure for one function.
+///
+/// The CFG always has a single entry (block 0). Functions may have multiple
+/// `Return` blocks; analyses that need a unique exit (e.g. postdominators)
+/// model a virtual exit node themselves.
+#[derive(Clone, Debug)]
+pub struct Cfg {
+    succs: Vec<Vec<BlockId>>,
+    preds: Vec<Vec<BlockId>>,
+    rpo: Vec<BlockId>,
+    rpo_pos: Vec<u32>,
+    reachable: Vec<bool>,
+}
+
+impl Cfg {
+    /// Builds the CFG for `f`.
+    pub fn new(f: &Function) -> Self {
+        let n = f.blocks.len();
+        let mut succs = vec![Vec::new(); n];
+        let mut preds = vec![Vec::new(); n];
+        for (bi, bb) in f.blocks.iter().enumerate() {
+            for s in bb.term.successors() {
+                succs[bi].push(s);
+                preds[s.index()].push(BlockId(bi as u32));
+            }
+        }
+        // Iterative post-order DFS from the entry.
+        let mut reachable = vec![false; n];
+        let mut post = Vec::with_capacity(n);
+        // Stack entries: (block, next successor index to visit).
+        let mut stack: Vec<(BlockId, usize)> = vec![(BlockId(0), 0)];
+        reachable[0] = true;
+        while let Some(&mut (b, ref mut i)) = stack.last_mut() {
+            if *i < succs[b.index()].len() {
+                let s = succs[b.index()][*i];
+                *i += 1;
+                if !reachable[s.index()] {
+                    reachable[s.index()] = true;
+                    stack.push((s, 0));
+                }
+            } else {
+                post.push(b);
+                stack.pop();
+            }
+        }
+        post.reverse();
+        let rpo = post;
+        let mut rpo_pos = vec![u32::MAX; n];
+        for (i, b) in rpo.iter().enumerate() {
+            rpo_pos[b.index()] = i as u32;
+        }
+        Self { succs, preds, rpo, rpo_pos, reachable }
+    }
+
+    /// Number of blocks (including unreachable ones).
+    #[inline]
+    pub fn num_blocks(&self) -> usize {
+        self.succs.len()
+    }
+
+    /// Successor blocks of `b`, in terminator order.
+    #[inline]
+    pub fn succs(&self, b: BlockId) -> &[BlockId] {
+        &self.succs[b.index()]
+    }
+
+    /// Predecessor blocks of `b`.
+    #[inline]
+    pub fn preds(&self, b: BlockId) -> &[BlockId] {
+        &self.preds[b.index()]
+    }
+
+    /// Blocks in reverse post-order from the entry (reachable blocks only).
+    #[inline]
+    pub fn rpo(&self) -> &[BlockId] {
+        &self.rpo
+    }
+
+    /// Position of `b` in reverse post-order, or `None` if unreachable.
+    #[inline]
+    pub fn rpo_pos(&self, b: BlockId) -> Option<u32> {
+        let p = self.rpo_pos[b.index()];
+        (p != u32::MAX).then_some(p)
+    }
+
+    /// Whether `b` is reachable from the entry.
+    #[inline]
+    pub fn is_reachable(&self, b: BlockId) -> bool {
+        self.reachable[b.index()]
+    }
+
+    /// Whether edge `from -> to` is a *retreating* edge in the DFS order
+    /// (for the reducible CFGs produced by `dynslice-lang` these are exactly
+    /// the loop back edges).
+    pub fn is_back_edge(&self, from: BlockId, to: BlockId) -> bool {
+        match (self.rpo_pos(from), self.rpo_pos(to)) {
+            (Some(pf), Some(pt)) => pt <= pf,
+            _ => false,
+        }
+    }
+
+    /// All back edges `(from, to)` in the function.
+    pub fn back_edges(&self) -> Vec<(BlockId, BlockId)> {
+        let mut out = Vec::new();
+        for &b in &self.rpo {
+            for &s in self.succs(b) {
+                if self.is_back_edge(b, s) {
+                    out.push((b, s));
+                }
+            }
+        }
+        out
+    }
+
+    /// Blocks that end in `Return`.
+    pub fn exit_blocks(&self, f: &Function) -> Vec<BlockId> {
+        f.blocks
+            .iter()
+            .enumerate()
+            .filter(|(_, bb)| matches!(bb.term, Terminator::Return(_)))
+            .map(|(i, _)| BlockId(i as u32))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::ProgramBuilder;
+    use crate::stmt::{Operand, Rvalue};
+
+    /// entry -> header; header -> body | exit; body -> header (back edge).
+    fn loop_func() -> crate::program::Program {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0);
+        let i = f.var("i");
+        let header = f.new_block();
+        let body = f.new_block();
+        let exit = f.new_block();
+        f.assign(i, Rvalue::Use(Operand::Const(0)));
+        f.jump(header);
+        f.switch_to(header);
+        f.branch(Operand::Var(i), body, exit);
+        f.switch_to(body);
+        f.assign(i, Rvalue::Use(Operand::Const(0)));
+        f.jump(header);
+        f.switch_to(exit);
+        f.ret(None);
+        let main = f.finish(&mut pb);
+        pb.finish(main)
+    }
+
+    #[test]
+    fn preds_and_succs_agree() {
+        let p = loop_func();
+        let cfg = Cfg::new(p.func(p.main));
+        for b in p.func(p.main).block_ids() {
+            for &s in cfg.succs(b) {
+                assert!(cfg.preds(s).contains(&b));
+            }
+        }
+    }
+
+    #[test]
+    fn rpo_starts_at_entry_and_covers_reachable() {
+        let p = loop_func();
+        let cfg = Cfg::new(p.func(p.main));
+        assert_eq!(cfg.rpo()[0], BlockId(0));
+        assert_eq!(cfg.rpo().len(), 4);
+        assert!(cfg.is_reachable(BlockId(3)));
+    }
+
+    #[test]
+    fn detects_loop_back_edge() {
+        let p = loop_func();
+        let cfg = Cfg::new(p.func(p.main));
+        let bes = cfg.back_edges();
+        assert_eq!(bes, vec![(BlockId(2), BlockId(1))]);
+        assert!(cfg.is_back_edge(BlockId(2), BlockId(1)));
+        assert!(!cfg.is_back_edge(BlockId(0), BlockId(1)));
+    }
+
+    #[test]
+    fn exit_blocks_found() {
+        let p = loop_func();
+        let f = p.func(p.main);
+        let cfg = Cfg::new(f);
+        assert_eq!(cfg.exit_blocks(f), vec![BlockId(3)]);
+    }
+
+    #[test]
+    fn unreachable_block_excluded_from_rpo() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0);
+        let dead = f.new_block();
+        f.ret(None);
+        f.switch_to(dead);
+        f.ret(None);
+        let main = f.finish(&mut pb);
+        let p = pb.finish(main);
+        let cfg = Cfg::new(p.func(p.main));
+        assert!(!cfg.is_reachable(dead));
+        assert_eq!(cfg.rpo().len(), 1);
+        assert_eq!(cfg.rpo_pos(dead), None);
+    }
+}

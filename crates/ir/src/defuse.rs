@@ -1,0 +1,210 @@
+//! Canonical def/use enumeration for statements.
+//!
+//! Every component that replays execution — the VM's tracer and the FP / LP /
+//! OPT graph builders — must agree on the *order* in which a statement's uses
+//! occur and on which accesses produce a dynamic address event in the trace.
+//! This module is that contract: [`stmt_uses`] / [`term_uses`] enumerate use
+//! sites in canonical evaluation order, [`stmt_def`] gives the definition,
+//! and [`needs_addr_event`] says whether a memory reference's cell address
+//! must be recorded in the trace (it is statically recomputable otherwise).
+
+use crate::ids::VarId;
+use crate::stmt::{MemRef, Operand, Rvalue, StmtKind, Terminator};
+
+/// One use site of a statement, in canonical evaluation order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum UseSite<'a> {
+    /// Read of a scalar variable slot.
+    Scalar(VarId),
+    /// Read of a memory cell through this reference (the concrete cell comes
+    /// from the trace or from static recomputation).
+    Mem(&'a MemRef),
+    /// A call-assign's use of the callee's returned value; resolves to the
+    /// callee's `Return` statement instance at runtime.
+    Ret,
+}
+
+/// The definition a statement makes, if any. `Return`'s definition of the
+/// frame's return-value slot is handled specially by replayers and is not
+/// represented here.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum DefSite<'a> {
+    /// Definition of a scalar variable slot.
+    Scalar(VarId),
+    /// Definition of a memory cell through this reference.
+    Mem(&'a MemRef),
+}
+
+fn push_operand<'a>(out: &mut Vec<UseSite<'a>>, op: Operand) {
+    if let Operand::Var(v) = op {
+        out.push(UseSite::Scalar(v));
+    }
+}
+
+fn push_memref_scalars<'a>(out: &mut Vec<UseSite<'a>>, m: &'a MemRef) {
+    match m {
+        MemRef::Direct { offset, .. } => push_operand(out, *offset),
+        MemRef::Indirect { ptr } => push_operand(out, *ptr),
+    }
+}
+
+/// Use sites of a plain statement, in canonical evaluation order.
+///
+/// The order is: address scalars before the memory read itself, left operand
+/// before right, arguments left to right, and a call's [`UseSite::Ret`] last.
+pub fn stmt_uses(kind: &StmtKind) -> Vec<UseSite<'_>> {
+    let mut out = Vec::new();
+    match kind {
+        StmtKind::Assign { rv, .. } => match rv {
+            Rvalue::Use(op) | Rvalue::Unary(_, op) => push_operand(&mut out, *op),
+            Rvalue::Binary(_, a, b) => {
+                push_operand(&mut out, *a);
+                push_operand(&mut out, *b);
+            }
+            Rvalue::Load(m) => {
+                push_memref_scalars(&mut out, m);
+                out.push(UseSite::Mem(m));
+            }
+            Rvalue::AddrOf { offset, .. } => push_operand(&mut out, *offset),
+            Rvalue::Alloc { size, .. } => push_operand(&mut out, *size),
+            Rvalue::Call { args, .. } => {
+                for a in args {
+                    push_operand(&mut out, *a);
+                }
+                out.push(UseSite::Ret);
+            }
+            Rvalue::Input => {}
+        },
+        StmtKind::Store { mem, value } => {
+            push_memref_scalars(&mut out, mem);
+            push_operand(&mut out, *value);
+        }
+        StmtKind::Print(op) => push_operand(&mut out, *op),
+    }
+    out
+}
+
+/// Use sites of a terminator (the branch condition or returned operand).
+pub fn term_uses(term: &Terminator) -> Vec<UseSite<'static>> {
+    let mut out = Vec::new();
+    match term {
+        Terminator::Branch { cond, .. } => push_operand(&mut out, *cond),
+        Terminator::Return(Some(op)) => push_operand(&mut out, *op),
+        Terminator::Return(None) | Terminator::Jump(_) => {}
+    }
+    out
+}
+
+/// The definition made by a plain statement, if any.
+pub fn stmt_def(kind: &StmtKind) -> Option<DefSite<'_>> {
+    match kind {
+        StmtKind::Assign { dst, .. } => Some(DefSite::Scalar(*dst)),
+        StmtKind::Store { mem, .. } => Some(DefSite::Mem(mem)),
+        StmtKind::Print(_) => None,
+    }
+}
+
+/// Whether `m`'s concrete cell is recorded as a trace event.
+///
+/// Every load and store records the cell it touched — the trace carries the
+/// full data-address stream, exactly like the paper's tracing setup. This
+/// keeps replayers trivial: they never recompute addresses, so the VM's
+/// clamping rules cannot drift from the dependence structure.
+pub fn needs_addr_event(m: &MemRef) -> bool {
+    let _ = m;
+    true
+}
+
+/// Number of dynamic address events statement `kind` contributes to the
+/// trace, in canonical order.
+pub fn num_addr_events(kind: &StmtKind) -> usize {
+    match kind {
+        StmtKind::Assign { rv: Rvalue::Load(_), .. } | StmtKind::Store { .. } => 1,
+        _ => 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ids::{FuncId, RegionId};
+
+    const R: RegionId = RegionId(0);
+
+    #[test]
+    fn load_orders_address_scalars_before_mem() {
+        let m = MemRef::Direct { region: R, offset: Operand::Var(VarId(1)) };
+        let kind = StmtKind::Assign { dst: VarId(0), rv: Rvalue::Load(m.clone()) };
+        let uses = stmt_uses(&kind);
+        assert_eq!(uses, vec![UseSite::Scalar(VarId(1)), UseSite::Mem(&m)]);
+    }
+
+    #[test]
+    fn call_uses_args_then_ret() {
+        let kind = StmtKind::Assign {
+            dst: VarId(0),
+            rv: Rvalue::Call {
+                func: FuncId(1),
+                args: vec![Operand::Var(VarId(2)), Operand::Const(3), Operand::Var(VarId(4))],
+            },
+        };
+        let uses = stmt_uses(&kind);
+        assert_eq!(
+            uses,
+            vec![UseSite::Scalar(VarId(2)), UseSite::Scalar(VarId(4)), UseSite::Ret]
+        );
+    }
+
+    #[test]
+    fn store_uses_offset_then_value_and_defs_mem() {
+        let m = MemRef::Indirect { ptr: Operand::Var(VarId(7)) };
+        let kind = StmtKind::Store { mem: m.clone(), value: Operand::Var(VarId(8)) };
+        assert_eq!(
+            stmt_uses(&kind),
+            vec![UseSite::Scalar(VarId(7)), UseSite::Scalar(VarId(8))]
+        );
+        assert_eq!(stmt_def(&kind), Some(DefSite::Mem(&m)));
+    }
+
+    #[test]
+    fn input_has_no_uses_and_defines_dst() {
+        let kind = StmtKind::Assign { dst: VarId(5), rv: Rvalue::Input };
+        assert!(stmt_uses(&kind).is_empty());
+        assert_eq!(stmt_def(&kind), Some(DefSite::Scalar(VarId(5))));
+    }
+
+    #[test]
+    fn every_memory_access_records_its_cell() {
+        let static_m = MemRef::Direct { region: R, offset: Operand::Const(3) };
+        let dyn_m = MemRef::Direct { region: R, offset: Operand::Var(VarId(0)) };
+        let ind_m = MemRef::Indirect { ptr: Operand::Var(VarId(0)) };
+        assert!(needs_addr_event(&static_m));
+        assert!(needs_addr_event(&dyn_m));
+        assert!(needs_addr_event(&ind_m));
+
+        let k1 = StmtKind::Assign { dst: VarId(1), rv: Rvalue::Load(static_m) };
+        assert_eq!(num_addr_events(&k1), 1);
+        let k2 = StmtKind::Store { mem: ind_m, value: Operand::Const(0) };
+        assert_eq!(num_addr_events(&k2), 1);
+        let k3 = StmtKind::Print(Operand::Var(VarId(0)));
+        assert_eq!(num_addr_events(&k3), 0);
+        let k4 = StmtKind::Assign { dst: VarId(1), rv: Rvalue::Input };
+        assert_eq!(num_addr_events(&k4), 0);
+    }
+
+    #[test]
+    fn term_uses_cover_branch_and_return() {
+        let b = Terminator::Branch {
+            cond: Operand::Var(VarId(3)),
+            then_bb: crate::BlockId(1),
+            else_bb: crate::BlockId(2),
+        };
+        assert_eq!(term_uses(&b), vec![UseSite::Scalar(VarId(3))]);
+        assert_eq!(term_uses(&Terminator::Return(Some(Operand::Const(1)))), vec![]);
+        assert_eq!(
+            term_uses(&Terminator::Return(Some(Operand::Var(VarId(0))))),
+            vec![UseSite::Scalar(VarId(0))]
+        );
+        assert_eq!(term_uses(&Terminator::Jump(crate::BlockId(0))), vec![]);
+    }
+}

@@ -1,0 +1,95 @@
+//! Index newtypes used throughout the IR and the analyses built on it.
+
+use std::fmt;
+
+macro_rules! define_id {
+    ($(#[$meta:meta])* $name:ident, $prefix:literal) => {
+        $(#[$meta])*
+        #[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+        pub struct $name(pub u32);
+
+        impl $name {
+            /// Returns the raw index.
+            #[inline]
+            pub fn index(self) -> usize {
+                self.0 as usize
+            }
+
+            /// Builds an id from a raw `usize` index.
+            ///
+            /// # Panics
+            /// Panics if `i` does not fit in `u32`.
+            #[inline]
+            pub fn from_index(i: usize) -> Self {
+                assert!(i <= u32::MAX as usize, "id index overflow");
+                Self(i as u32)
+            }
+        }
+
+        impl fmt::Debug for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+
+        impl fmt::Display for $name {
+            fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+                write!(f, concat!($prefix, "{}"), self.0)
+            }
+        }
+    };
+}
+
+define_id!(
+    /// Identifies a [`crate::Function`] within a [`crate::Program`].
+    FuncId,
+    "fn"
+);
+define_id!(
+    /// Identifies a [`crate::BasicBlock`] within one function.
+    BlockId,
+    "bb"
+);
+define_id!(
+    /// Globally unique statement identifier. Terminators also receive one;
+    /// dynamic slices are sets of `StmtId`s.
+    StmtId,
+    "s"
+);
+define_id!(
+    /// A scalar variable slot, local to one function (parameters first).
+    VarId,
+    "v"
+);
+define_id!(
+    /// A static storage region: a global, a local array declaration, or a
+    /// heap allocation site.
+    RegionId,
+    "r"
+);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_index() {
+        let b = BlockId::from_index(17);
+        assert_eq!(b.index(), 17);
+        assert_eq!(b, BlockId(17));
+    }
+
+    #[test]
+    fn debug_uses_prefix() {
+        assert_eq!(format!("{:?}", StmtId(3)), "s3");
+        assert_eq!(format!("{}", FuncId(0)), "fn0");
+        assert_eq!(format!("{}", RegionId(9)), "r9");
+        assert_eq!(format!("{}", VarId(2)), "v2");
+    }
+
+    #[test]
+    fn ordering_follows_raw_index() {
+        assert!(BlockId(1) < BlockId(2));
+        assert_eq!(VarId::default(), VarId(0));
+    }
+}

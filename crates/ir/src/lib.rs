@@ -1,0 +1,51 @@
+//! CFG-based intermediate representation for the dynslice dynamic slicer.
+//!
+//! Programs are lowered (by `dynslice-lang`) into a conventional three-address
+//! IR: a [`Program`] is a set of [`Function`]s, each a control-flow graph of
+//! [`BasicBlock`]s holding [`Stmt`]s and ending in a [`Terminator`]. Scalars
+//! live in per-function variable slots ([`VarId`]); all aliasable storage
+//! (globals, arrays, heap allocations) lives in [`Region`]s addressed by
+//! `(region instance, offset)` cells.
+//!
+//! Two design decisions matter for dynamic slicing:
+//!
+//! * **Scalars are unaliasable.** Pointers can only address regions, never
+//!   variable slots, so local def-use chains over scalars can always be
+//!   inferred statically (the paper's OPT-1a applies unconditionally).
+//! * **Every statement — including each block's terminator — has a globally
+//!   unique [`StmtId`].** Dynamic slices are sets of `StmtId`s, which makes
+//!   slices comparable across the FP / LP / OPT algorithms even though they
+//!   use different graph node granularities.
+//!
+//! # Example
+//!
+//! ```
+//! use dynslice_ir::{Operand, ProgramBuilder, Rvalue};
+//!
+//! let mut pb = ProgramBuilder::new();
+//! let mut f = pb.function("main", 0);
+//! let x = f.var("x");
+//! f.assign(x, Rvalue::Use(Operand::Const(42)));
+//! f.print(Operand::Var(x));
+//! f.ret(None);
+//! let main = f.finish(&mut pb);
+//! let program = pb.finish(main);
+//! assert_eq!(program.functions.len(), 1);
+//! ```
+
+pub mod build;
+pub mod cfg;
+pub mod defuse;
+pub mod ids;
+pub mod pretty;
+pub mod program;
+pub mod stmt;
+pub mod validate;
+
+pub use build::{FunctionBuilder, ProgramBuilder};
+pub use cfg::Cfg;
+pub use defuse::{stmt_def, stmt_uses, term_uses, DefSite, UseSite};
+pub use ids::{BlockId, FuncId, RegionId, StmtId, VarId};
+pub use program::{Function, Program, Region, RegionKind, StmtLoc, StmtPos};
+pub use stmt::{BasicBlock, BinOp, MemRef, Operand, Rvalue, Stmt, StmtKind, Terminator, UnOp};
+pub use validate::{validate, ValidateError};

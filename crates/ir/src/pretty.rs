@@ -1,0 +1,153 @@
+//! Human-readable printing of IR programs.
+
+use std::fmt::{self, Write as _};
+
+use crate::ids::FuncId;
+use crate::program::{Function, Program, RegionKind};
+use crate::stmt::{BinOp, MemRef, Operand, Rvalue, StmtKind, Terminator, UnOp};
+
+fn op_str(f: &Function, op: Operand) -> String {
+    match op {
+        Operand::Const(c) => c.to_string(),
+        Operand::Var(v) => format!("{}:{}", f.var_name(v), v),
+    }
+}
+
+fn binop_str(b: BinOp) -> &'static str {
+    match b {
+        BinOp::Add => "+",
+        BinOp::Sub => "-",
+        BinOp::Mul => "*",
+        BinOp::Div => "/",
+        BinOp::Rem => "%",
+        BinOp::And => "&",
+        BinOp::Or => "|",
+        BinOp::Xor => "^",
+        BinOp::Shl => "<<",
+        BinOp::Shr => ">>",
+        BinOp::Eq => "==",
+        BinOp::Ne => "!=",
+        BinOp::Lt => "<",
+        BinOp::Le => "<=",
+        BinOp::Gt => ">",
+        BinOp::Ge => ">=",
+    }
+}
+
+fn memref_str(p: &Program, f: &Function, m: &MemRef) -> String {
+    match m {
+        MemRef::Direct { region, offset } => {
+            format!("{}:{}[{}]", p.region(*region).name, region, op_str(f, *offset))
+        }
+        MemRef::Indirect { ptr } => format!("*{}", op_str(f, *ptr)),
+    }
+}
+
+fn rvalue_str(p: &Program, f: &Function, rv: &Rvalue) -> String {
+    match rv {
+        Rvalue::Use(op) => op_str(f, *op),
+        Rvalue::Unary(UnOp::Neg, op) => format!("-{}", op_str(f, *op)),
+        Rvalue::Unary(UnOp::Not, op) => format!("!{}", op_str(f, *op)),
+        Rvalue::Binary(b, x, y) => {
+            format!("{} {} {}", op_str(f, *x), binop_str(*b), op_str(f, *y))
+        }
+        Rvalue::Load(m) => memref_str(p, f, m),
+        Rvalue::AddrOf { region, offset } => {
+            format!("&{}:{}[{}]", p.region(*region).name, region, op_str(f, *offset))
+        }
+        Rvalue::Alloc { site, size } => format!("alloc<{}>({})", site, op_str(f, *size)),
+        Rvalue::Call { func, args } => {
+            let name = &p.func(*func).name;
+            let args: Vec<_> = args.iter().map(|a| op_str(f, *a)).collect();
+            format!("{}({})", name, args.join(", "))
+        }
+        Rvalue::Input => "input".to_string(),
+    }
+}
+
+/// Renders function `fid` as text.
+pub fn print_function(p: &Program, fid: FuncId) -> String {
+    let f = p.func(fid);
+    let mut out = String::new();
+    let _ = writeln!(out, "fn {}({} params, {} vars) {{", f.name, f.params, f.num_vars);
+    for (bi, bb) in f.blocks.iter().enumerate() {
+        let _ = writeln!(out, "  bb{bi}:");
+        for st in &bb.stmts {
+            let body = match &st.kind {
+                StmtKind::Assign { dst, rv } => {
+                    format!("{}:{} = {}", f.var_name(*dst), dst, rvalue_str(p, f, rv))
+                }
+                StmtKind::Store { mem, value } => {
+                    format!("{} = {}", memref_str(p, f, mem), op_str(f, *value))
+                }
+                StmtKind::Print(op) => format!("print {}", op_str(f, *op)),
+            };
+            let _ = writeln!(out, "    {}: {}", st.id, body);
+        }
+        let term = match &bb.term {
+            Terminator::Jump(t) => format!("jump {t}"),
+            Terminator::Branch { cond, then_bb, else_bb } => {
+                format!("branch {} ? {} : {}", op_str(f, *cond), then_bb, else_bb)
+            }
+            Terminator::Return(None) => "return".to_string(),
+            Terminator::Return(Some(op)) => format!("return {}", op_str(f, *op)),
+        };
+        let _ = writeln!(out, "    {}: {}", bb.term_id, term);
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+impl fmt::Display for Program {
+    fn fmt(&self, fmt: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (ri, r) in self.regions.iter().enumerate() {
+            let kind = match r.kind {
+                RegionKind::Global => "global".to_string(),
+                RegionKind::Local(f) => format!("local({})", self.func(f).name),
+                RegionKind::AllocSite(f) => format!("alloc-site({})", self.func(f).name),
+            };
+            writeln!(fmt, "region r{ri} {} [{} cells] {}", r.name, r.size, kind)?;
+        }
+        for fi in 0..self.functions.len() {
+            let marker = if FuncId(fi as u32) == self.main { " // entry" } else { "" };
+            write!(fmt, "{}{}", print_function(self, FuncId(fi as u32)), marker)?;
+            writeln!(fmt)?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::ProgramBuilder;
+    use crate::ids::VarId;
+
+    #[test]
+    fn prints_assign_store_and_branch() {
+        let mut pb = ProgramBuilder::new();
+        let g = pb.global("g", 4);
+        let mut f = pb.function("main", 0);
+        let x = f.var("x");
+        let t = f.new_block();
+        let e = f.new_block();
+        f.assign(x, Rvalue::Input);
+        f.store(
+            MemRef::Direct { region: g, offset: Operand::Var(x) },
+            Operand::Const(5),
+        );
+        f.branch(Operand::Var(x), t, e);
+        f.switch_to(t);
+        f.ret(None);
+        f.switch_to(e);
+        f.ret(Some(Operand::Var(VarId(0))));
+        let main = f.finish(&mut pb);
+        let p = pb.finish(main);
+        let text = format!("{p}");
+        assert!(text.contains("x:v0 = input"));
+        assert!(text.contains("g:r0[x:v0] = 5"));
+        assert!(text.contains("branch x:v0 ? bb1 : bb2"));
+        assert!(text.contains("region r0 g [4 cells] global"));
+        assert!(text.contains("return x:v0"));
+    }
+}

@@ -1,0 +1,272 @@
+//! Whole-program containers: functions, regions and statement locations.
+
+use crate::ids::{BlockId, FuncId, RegionId, StmtId, VarId};
+use crate::stmt::{BasicBlock, Stmt, StmtKind, Terminator};
+
+/// What kind of storage a [`Region`] models.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum RegionKind {
+    /// A global scalar or array; exactly one runtime instance (created at
+    /// program start, instance id equal to the region index).
+    Global,
+    /// An array local to a function; one runtime instance per activation.
+    Local(FuncId),
+    /// A heap allocation site (`alloc`); one runtime instance per executed
+    /// allocation.
+    AllocSite(FuncId),
+}
+
+/// A static storage region. All aliasable memory belongs to some region.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Region {
+    /// Source-level name (synthesized for alloc sites).
+    pub name: String,
+    /// Declared size in cells; `0` for alloc sites (size is dynamic).
+    pub size: u32,
+    /// Storage class.
+    pub kind: RegionKind,
+}
+
+/// A function: parameters, scalar slots and a CFG. The entry block is always
+/// [`BlockId`] 0.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Function {
+    /// Source-level name.
+    pub name: String,
+    /// Number of parameters; parameter `i` is variable slot `i`.
+    pub params: u32,
+    /// Total number of scalar variable slots (including parameters).
+    pub num_vars: u32,
+    /// Debug names, one per variable slot.
+    pub var_names: Vec<String>,
+    /// Basic blocks; block 0 is the entry.
+    pub blocks: Vec<BasicBlock>,
+}
+
+impl Function {
+    /// The entry block id (always block 0).
+    #[inline]
+    pub fn entry(&self) -> BlockId {
+        BlockId(0)
+    }
+
+    /// Borrow a block.
+    ///
+    /// # Panics
+    /// Panics if `b` is out of range.
+    #[inline]
+    pub fn block(&self, b: BlockId) -> &BasicBlock {
+        &self.blocks[b.index()]
+    }
+
+    /// Iterate over block ids in index order.
+    pub fn block_ids(&self) -> impl Iterator<Item = BlockId> {
+        (0..self.blocks.len() as u32).map(BlockId)
+    }
+
+    /// Debug name of variable `v`.
+    pub fn var_name(&self, v: VarId) -> &str {
+        &self.var_names[v.index()]
+    }
+}
+
+/// Where a statement lives inside its block.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum StmtPos {
+    /// `stmts[i]`.
+    Stmt(u32),
+    /// The block terminator.
+    Term,
+}
+
+/// Location of a statement: function, block and position.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub struct StmtLoc {
+    /// Enclosing function.
+    pub func: FuncId,
+    /// Enclosing block.
+    pub block: BlockId,
+    /// Position within the block.
+    pub pos: StmtPos,
+}
+
+/// A complete program: functions, regions and the statement-location table.
+#[derive(Clone, Debug)]
+pub struct Program {
+    /// All functions.
+    pub functions: Vec<Function>,
+    /// All static regions.
+    pub regions: Vec<Region>,
+    /// Entry function.
+    pub main: FuncId,
+    pub(crate) stmt_locs: Vec<StmtLoc>,
+}
+
+impl Program {
+    /// Borrow a function.
+    ///
+    /// # Panics
+    /// Panics if `f` is out of range.
+    #[inline]
+    pub fn func(&self, f: FuncId) -> &Function {
+        &self.functions[f.index()]
+    }
+
+    /// Borrow a region.
+    ///
+    /// # Panics
+    /// Panics if `r` is out of range.
+    #[inline]
+    pub fn region(&self, r: RegionId) -> &Region {
+        &self.regions[r.index()]
+    }
+
+    /// Total number of statements (including terminators) in the program.
+    #[inline]
+    pub fn num_stmts(&self) -> usize {
+        self.stmt_locs.len()
+    }
+
+    /// Location of statement `s`.
+    ///
+    /// # Panics
+    /// Panics if `s` is out of range.
+    #[inline]
+    pub fn stmt_loc(&self, s: StmtId) -> StmtLoc {
+        self.stmt_locs[s.index()]
+    }
+
+    /// Borrow the statement with id `s`, or `None` if `s` names a terminator.
+    pub fn stmt(&self, s: StmtId) -> Option<&Stmt> {
+        let loc = self.stmt_loc(s);
+        match loc.pos {
+            StmtPos::Stmt(i) => Some(&self.func(loc.func).block(loc.block).stmts[i as usize]),
+            StmtPos::Term => None,
+        }
+    }
+
+    /// The statement kind for `s` if it is a plain statement, or `None` for a
+    /// terminator (use [`Program::terminator_of`]).
+    pub fn stmt_kind(&self, s: StmtId) -> Option<&StmtKind> {
+        self.stmt(s).map(|st| &st.kind)
+    }
+
+    /// The terminator for `s` if `s` names one.
+    pub fn terminator_of(&self, s: StmtId) -> Option<&Terminator> {
+        let loc = self.stmt_loc(s);
+        match loc.pos {
+            StmtPos::Term => Some(&self.func(loc.func).block(loc.block).term),
+            StmtPos::Stmt(_) => None,
+        }
+    }
+
+    /// Look up a function by name.
+    pub fn func_by_name(&self, name: &str) -> Option<FuncId> {
+        self.functions
+            .iter()
+            .position(|f| f.name == name)
+            .map(FuncId::from_index)
+    }
+
+    /// Iterate over all `(FuncId, BlockId, &BasicBlock)` triples.
+    pub fn all_blocks(&self) -> impl Iterator<Item = (FuncId, BlockId, &BasicBlock)> {
+        self.functions.iter().enumerate().flat_map(|(fi, f)| {
+            f.blocks
+                .iter()
+                .enumerate()
+                .map(move |(bi, bb)| (FuncId(fi as u32), BlockId(bi as u32), bb))
+        })
+    }
+
+    /// Iterate over the ids of all region with kind [`RegionKind::Global`].
+    pub fn global_regions(&self) -> impl Iterator<Item = RegionId> + '_ {
+        self.regions
+            .iter()
+            .enumerate()
+            .filter(|(_, r)| r.kind == RegionKind::Global)
+            .map(|(i, _)| RegionId(i as u32))
+    }
+
+    /// Rebuilds the statement-location table. Must be called after any direct
+    /// mutation of function bodies; the builders call it automatically.
+    pub fn rebuild_stmt_locs(&mut self) {
+        let mut max = 0usize;
+        for f in &self.functions {
+            for bb in &f.blocks {
+                for st in &bb.stmts {
+                    max = max.max(st.id.index() + 1);
+                }
+                max = max.max(bb.term_id.index() + 1);
+            }
+        }
+        // Positions are dense; a hole would indicate a builder bug and is
+        // caught by `validate`.
+        let filler = StmtLoc {
+            func: FuncId(u32::MAX),
+            block: BlockId(u32::MAX),
+            pos: StmtPos::Term,
+        };
+        self.stmt_locs = vec![filler; max];
+        for (fi, f) in self.functions.iter().enumerate() {
+            for (bi, bb) in f.blocks.iter().enumerate() {
+                for (si, st) in bb.stmts.iter().enumerate() {
+                    self.stmt_locs[st.id.index()] = StmtLoc {
+                        func: FuncId(fi as u32),
+                        block: BlockId(bi as u32),
+                        pos: StmtPos::Stmt(si as u32),
+                    };
+                }
+                self.stmt_locs[bb.term_id.index()] = StmtLoc {
+                    func: FuncId(fi as u32),
+                    block: BlockId(bi as u32),
+                    pos: StmtPos::Term,
+                };
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::ProgramBuilder;
+    use crate::stmt::{Operand, Rvalue};
+
+    fn tiny() -> Program {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0);
+        let x = f.var("x");
+        f.assign(x, Rvalue::Use(Operand::Const(1)));
+        f.print(Operand::Var(x));
+        f.ret(None);
+        let main = f.finish(&mut pb);
+        pb.finish(main)
+    }
+
+    #[test]
+    fn stmt_locs_cover_all_statements() {
+        let p = tiny();
+        assert_eq!(p.num_stmts(), 3); // assign, print, return
+        for i in 0..p.num_stmts() {
+            let loc = p.stmt_loc(StmtId(i as u32));
+            assert_eq!(loc.func, p.main);
+        }
+    }
+
+    #[test]
+    fn terminator_lookup() {
+        let p = tiny();
+        let term_id = p.func(p.main).block(BlockId(0)).term_id;
+        assert!(p.terminator_of(term_id).is_some());
+        assert!(p.stmt(term_id).is_none());
+        assert!(p.stmt(StmtId(0)).is_some());
+        assert!(p.terminator_of(StmtId(0)).is_none());
+    }
+
+    #[test]
+    fn func_by_name_finds_main() {
+        let p = tiny();
+        assert_eq!(p.func_by_name("main"), Some(p.main));
+        assert_eq!(p.func_by_name("nope"), None);
+    }
+}

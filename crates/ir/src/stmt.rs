@@ -1,0 +1,251 @@
+//! Statements, operands, rvalues and terminators.
+
+use crate::ids::{BlockId, FuncId, RegionId, StmtId, VarId};
+
+/// A value operand: either an integer literal or a scalar variable read.
+///
+/// Pointers are ordinary `i64` values at runtime (a packed
+/// `(region instance, offset)` cell, see `dynslice-runtime`), so there is a
+/// single operand kind for both integers and pointers.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Operand {
+    /// An integer constant.
+    Const(i64),
+    /// A read of a scalar variable slot.
+    Var(VarId),
+}
+
+impl Operand {
+    /// The variable this operand reads, if any.
+    #[inline]
+    pub fn var(self) -> Option<VarId> {
+        match self {
+            Operand::Var(v) => Some(v),
+            Operand::Const(_) => None,
+        }
+    }
+}
+
+/// Unary operators.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum UnOp {
+    /// Arithmetic negation.
+    Neg,
+    /// Logical not (`x == 0`).
+    Not,
+}
+
+/// Binary operators. Comparison operators yield `0` or `1`.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
+pub enum BinOp {
+    Add,
+    Sub,
+    Mul,
+    /// Division; division by zero evaluates to `0` (the VM does not trap).
+    Div,
+    /// Remainder; remainder by zero evaluates to `0`.
+    Rem,
+    /// Bitwise and (also used for non-short-circuit logical `&&`).
+    And,
+    /// Bitwise or (also used for non-short-circuit logical `||`).
+    Or,
+    Xor,
+    Shl,
+    Shr,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+}
+
+/// How a memory cell is addressed by a load or store.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum MemRef {
+    /// Direct access into a statically known region: `arr[offset]` or a
+    /// global scalar (`offset == 0`).
+    Direct {
+        /// The region being accessed.
+        region: RegionId,
+        /// Cell offset within the region.
+        offset: Operand,
+    },
+    /// Indirect access through a pointer value: `*p`.
+    Indirect {
+        /// Operand holding the packed pointer (always a `Var` in valid IR).
+        ptr: Operand,
+    },
+}
+
+/// The right-hand side of an assignment.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Rvalue {
+    /// Copy an operand.
+    Use(Operand),
+    /// Apply a unary operator.
+    Unary(UnOp, Operand),
+    /// Apply a binary operator.
+    Binary(BinOp, Operand, Operand),
+    /// Load a memory cell.
+    Load(MemRef),
+    /// Take the address of a region cell: `&arr[offset]`.
+    AddrOf {
+        /// Region whose cell is addressed.
+        region: RegionId,
+        /// Cell offset within the region.
+        offset: Operand,
+    },
+    /// Allocate a fresh runtime instance of allocation-site region `site`
+    /// with `size` cells, yielding a pointer to cell 0.
+    Alloc {
+        /// The static allocation-site region.
+        site: RegionId,
+        /// Number of cells to allocate.
+        size: Operand,
+    },
+    /// Call a function; the assigned variable receives the return value
+    /// (or `0` for a function that returns nothing).
+    Call {
+        /// Callee.
+        func: FuncId,
+        /// Argument operands, one per callee parameter.
+        args: Vec<Operand>,
+    },
+    /// Read the next value from the program's input tape.
+    Input,
+}
+
+/// A non-terminator statement.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum StmtKind {
+    /// `dst = rv`.
+    Assign {
+        /// Destination variable slot.
+        dst: VarId,
+        /// Computed value.
+        rv: Rvalue,
+    },
+    /// `mem = value`.
+    Store {
+        /// Addressed cell.
+        mem: MemRef,
+        /// Stored operand.
+        value: Operand,
+    },
+    /// Emit an operand to the program's output stream.
+    Print(Operand),
+}
+
+/// A statement paired with its globally unique id.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub struct Stmt {
+    /// Globally unique statement id.
+    pub id: StmtId,
+    /// The statement proper.
+    pub kind: StmtKind,
+}
+
+/// Block terminators. Each terminator also carries a [`StmtId`] (stored on
+/// the enclosing [`BasicBlock`]) so branches can appear in slices.
+#[derive(Clone, Debug, PartialEq, Eq, Hash)]
+pub enum Terminator {
+    /// Unconditional jump.
+    Jump(BlockId),
+    /// Two-way conditional branch; nonzero condition takes `then_bb`.
+    Branch {
+        /// Branch condition.
+        cond: Operand,
+        /// Successor on nonzero condition.
+        then_bb: BlockId,
+        /// Successor on zero condition.
+        else_bb: BlockId,
+    },
+    /// Return from the function, optionally with a value.
+    Return(Option<Operand>),
+}
+
+impl Terminator {
+    /// Successor blocks of this terminator, in branch order.
+    pub fn successors(&self) -> impl Iterator<Item = BlockId> + '_ {
+        let (a, b) = match *self {
+            Terminator::Jump(t) => (Some(t), None),
+            Terminator::Branch { then_bb, else_bb, .. } => (Some(then_bb), Some(else_bb)),
+            Terminator::Return(_) => (None, None),
+        };
+        a.into_iter().chain(b)
+    }
+
+    /// Whether this terminator is a conditional branch (a "predicate" in
+    /// control-dependence terms).
+    #[inline]
+    pub fn is_branch(&self) -> bool {
+        matches!(self, Terminator::Branch { .. })
+    }
+}
+
+/// A basic block: straight-line statements plus one terminator.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct BasicBlock {
+    /// Straight-line statements, executed in order.
+    pub stmts: Vec<Stmt>,
+    /// Block terminator.
+    pub term: Terminator,
+    /// Statement id of the terminator.
+    pub term_id: StmtId,
+}
+
+impl BasicBlock {
+    /// Number of statements including the terminator.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.stmts.len() + 1
+    }
+
+    /// A block always contains at least its terminator.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn operand_var_extraction() {
+        assert_eq!(Operand::Var(VarId(3)).var(), Some(VarId(3)));
+        assert_eq!(Operand::Const(7).var(), None);
+    }
+
+    #[test]
+    fn terminator_successors() {
+        let j = Terminator::Jump(BlockId(4));
+        assert_eq!(j.successors().collect::<Vec<_>>(), vec![BlockId(4)]);
+        let b = Terminator::Branch {
+            cond: Operand::Const(1),
+            then_bb: BlockId(1),
+            else_bb: BlockId(2),
+        };
+        assert_eq!(b.successors().collect::<Vec<_>>(), vec![BlockId(1), BlockId(2)]);
+        assert!(b.is_branch());
+        let r = Terminator::Return(None);
+        assert_eq!(r.successors().count(), 0);
+        assert!(!r.is_branch());
+    }
+
+    #[test]
+    fn block_len_counts_terminator() {
+        let bb = BasicBlock {
+            stmts: vec![Stmt {
+                id: StmtId(0),
+                kind: StmtKind::Print(Operand::Const(1)),
+            }],
+            term: Terminator::Return(None),
+            term_id: StmtId(1),
+        };
+        assert_eq!(bb.len(), 2);
+        assert!(!bb.is_empty());
+    }
+}

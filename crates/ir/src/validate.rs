@@ -1,0 +1,308 @@
+//! Structural validation of IR programs.
+//!
+//! The validator checks the invariants the rest of the system relies on:
+//! in-range ids, dense statement numbering, argument counts matching callee
+//! parameter counts, pointer operands of `Indirect` references being
+//! variables, and local regions belonging to the function that uses them
+//! directly.
+
+use std::fmt;
+
+use crate::defuse::{stmt_def, stmt_uses, DefSite, UseSite};
+use crate::ids::{BlockId, FuncId, StmtId};
+use crate::program::{Program, RegionKind, StmtPos};
+use crate::stmt::{MemRef, Operand, Rvalue, StmtKind, Terminator};
+
+/// A structural error found in a [`Program`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ValidateError {
+    /// Function in which the error was found, if attributable.
+    pub func: Option<FuncId>,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ValidateError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.func {
+            Some(fid) => write!(f, "in {}: {}", fid, self.message),
+            None => write!(f, "{}", self.message),
+        }
+    }
+}
+
+impl std::error::Error for ValidateError {}
+
+struct Checker<'p> {
+    program: &'p Program,
+    errors: Vec<ValidateError>,
+}
+
+impl<'p> Checker<'p> {
+    fn err(&mut self, func: Option<FuncId>, message: String) {
+        self.errors.push(ValidateError { func, message });
+    }
+
+    fn check_operand(&mut self, fid: FuncId, op: Operand, num_vars: u32) {
+        if let Operand::Var(v) = op {
+            if v.0 >= num_vars {
+                self.err(Some(fid), format!("variable {v} out of range"));
+            }
+        }
+    }
+
+    fn check_memref(&mut self, fid: FuncId, m: &MemRef, num_vars: u32) {
+        match m {
+            MemRef::Direct { region, offset } => {
+                if region.index() >= self.program.regions.len() {
+                    self.err(Some(fid), format!("region {region} out of range"));
+                } else if let RegionKind::Local(owner) = self.program.region(*region).kind {
+                    if owner != fid {
+                        self.err(
+                            Some(fid),
+                            format!("direct access to local region {region} of {owner}"),
+                        );
+                    }
+                }
+                self.check_operand(fid, *offset, num_vars);
+            }
+            MemRef::Indirect { ptr } => {
+                if ptr.var().is_none() {
+                    self.err(Some(fid), "indirect pointer operand must be a variable".into());
+                }
+                self.check_operand(fid, *ptr, num_vars);
+            }
+        }
+    }
+
+    fn check_stmt(&mut self, fid: FuncId, kind: &StmtKind, num_vars: u32) {
+        // Exercise the canonical def/use enumeration so that malformed
+        // statements fail here rather than inside a replayer.
+        for u in stmt_uses(kind) {
+            match u {
+                UseSite::Scalar(v) => self.check_operand(fid, Operand::Var(v), num_vars),
+                UseSite::Mem(_) | UseSite::Ret => {}
+            }
+        }
+        if let Some(DefSite::Scalar(v)) = stmt_def(kind) {
+            if v.0 >= num_vars {
+                self.err(Some(fid), format!("defined variable {v} out of range"));
+            }
+        }
+        match kind {
+            StmtKind::Assign { rv, .. } => match rv {
+                Rvalue::Load(m) => self.check_memref(fid, m, num_vars),
+                Rvalue::AddrOf { region, offset } => {
+                    if region.index() >= self.program.regions.len() {
+                        self.err(Some(fid), format!("region {region} out of range"));
+                    }
+                    self.check_operand(fid, *offset, num_vars);
+                }
+                Rvalue::Alloc { site, .. } => {
+                    if site.index() >= self.program.regions.len() {
+                        self.err(Some(fid), format!("alloc site {site} out of range"));
+                    } else if !matches!(
+                        self.program.region(*site).kind,
+                        RegionKind::AllocSite(owner) if owner == fid
+                    ) {
+                        self.err(Some(fid), format!("alloc site {site} not owned by {fid}"));
+                    }
+                }
+                Rvalue::Call { func, args } => {
+                    if func.index() >= self.program.functions.len() {
+                        self.err(Some(fid), format!("callee {func} out of range"));
+                    } else {
+                        let callee = self.program.func(*func);
+                        if args.len() != callee.params as usize {
+                            self.err(
+                                Some(fid),
+                                format!(
+                                    "call to {} passes {} args, expects {}",
+                                    callee.name,
+                                    args.len(),
+                                    callee.params
+                                ),
+                            );
+                        }
+                    }
+                }
+                _ => {}
+            },
+            StmtKind::Store { mem, .. } => self.check_memref(fid, mem, num_vars),
+            StmtKind::Print(_) => {}
+        }
+    }
+
+    fn check_function(&mut self, fid: FuncId) {
+        let f = self.program.func(fid);
+        if f.params > f.num_vars {
+            self.err(Some(fid), "more parameters than variable slots".into());
+        }
+        if f.var_names.len() != f.num_vars as usize {
+            self.err(Some(fid), "var_names length disagrees with num_vars".into());
+        }
+        if f.blocks.is_empty() {
+            self.err(Some(fid), "function has no blocks".into());
+            return;
+        }
+        let nblocks = f.blocks.len() as u32;
+        for (bi, bb) in f.blocks.iter().enumerate() {
+            for st in &bb.stmts {
+                self.check_stmt(fid, &st.kind, f.num_vars);
+            }
+            for s in bb.term.successors() {
+                if s.0 >= nblocks {
+                    self.err(Some(fid), format!("bb{bi} jumps to out-of-range {s}"));
+                }
+            }
+            if let Terminator::Branch { cond, .. } = &bb.term {
+                self.check_operand(fid, *cond, f.num_vars);
+            }
+            if let Terminator::Return(Some(op)) = &bb.term {
+                self.check_operand(fid, *op, f.num_vars);
+            }
+        }
+    }
+
+    fn check_stmt_table(&mut self) {
+        let n = self.program.num_stmts();
+        let mut seen = vec![false; n];
+        for (fi, f) in self.program.functions.iter().enumerate() {
+            let fid = FuncId(fi as u32);
+            for (bi, bb) in f.blocks.iter().enumerate() {
+                let bid = BlockId(bi as u32);
+                for (si, st) in bb.stmts.iter().enumerate() {
+                    self.check_loc(fid, bid, StmtPos::Stmt(si as u32), st.id, &mut seen);
+                }
+                self.check_loc(fid, bid, StmtPos::Term, bb.term_id, &mut seen);
+            }
+        }
+        for (i, s) in seen.iter().enumerate() {
+            if !s {
+                self.err(None, format!("statement id s{i} unused (ids must be dense)"));
+            }
+        }
+    }
+
+    fn check_loc(
+        &mut self,
+        fid: FuncId,
+        bid: BlockId,
+        pos: StmtPos,
+        id: StmtId,
+        seen: &mut [bool],
+    ) {
+        if id.index() >= seen.len() {
+            self.err(Some(fid), format!("statement id {id} out of table range"));
+            return;
+        }
+        if seen[id.index()] {
+            self.err(Some(fid), format!("statement id {id} duplicated"));
+        }
+        seen[id.index()] = true;
+        let loc = self.program.stmt_loc(id);
+        if loc.func != fid || loc.block != bid || loc.pos != pos {
+            self.err(Some(fid), format!("stmt_loc table stale for {id}"));
+        }
+    }
+}
+
+/// Validates `p`, returning all structural errors found.
+///
+/// # Errors
+/// Returns the non-empty list of problems if the program is malformed.
+pub fn validate(p: &Program) -> Result<(), Vec<ValidateError>> {
+    let mut c = Checker { program: p, errors: Vec::new() };
+    if p.main.index() >= p.functions.len() {
+        c.err(None, "main function out of range".into());
+    } else if p.func(p.main).params != 0 {
+        c.err(Some(p.main), "main must take no parameters".into());
+    }
+    for fi in 0..p.functions.len() {
+        c.check_function(FuncId(fi as u32));
+    }
+    c.check_stmt_table();
+    if c.errors.is_empty() {
+        Ok(())
+    } else {
+        Err(c.errors)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build::ProgramBuilder;
+    use crate::ids::VarId;
+
+    #[test]
+    fn valid_program_passes() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0);
+        let x = f.var("x");
+        f.assign(x, Rvalue::Input);
+        f.print(Operand::Var(x));
+        f.ret(None);
+        let main = f.finish(&mut pb);
+        let p = pb.finish(main);
+        assert!(validate(&p).is_ok());
+    }
+
+    #[test]
+    fn out_of_range_var_caught() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 0);
+        f.print(Operand::Var(VarId(99)));
+        f.ret(None);
+        let main = f.finish(&mut pb);
+        let p = pb.finish(main);
+        let errs = validate(&p).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("out of range")));
+    }
+
+    #[test]
+    fn arg_count_mismatch_caught() {
+        let mut pb = ProgramBuilder::new();
+        let callee = pb.declare("two", 2);
+        let mut fc = pb.define(callee);
+        fc.ret(Some(Operand::Var(fc.param(0))));
+        fc.finish(&mut pb);
+        let mut f = pb.function("main", 0);
+        let x = f.var("x");
+        f.assign(x, Rvalue::Call { func: callee, args: vec![Operand::Const(1)] });
+        f.ret(None);
+        let main = f.finish(&mut pb);
+        let p = pb.finish(main);
+        let errs = validate(&p).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("expects 2")));
+    }
+
+    #[test]
+    fn main_with_params_rejected() {
+        let mut pb = ProgramBuilder::new();
+        let mut f = pb.function("main", 1);
+        f.ret(None);
+        let main = f.finish(&mut pb);
+        let p = pb.finish(main);
+        let errs = validate(&p).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("no parameters")));
+    }
+
+    #[test]
+    fn cross_function_local_region_access_rejected() {
+        let mut pb = ProgramBuilder::new();
+        let other = pb.declare("other", 0);
+        let arr = pb.local_array(other, "buf", 4);
+        let mut fo = pb.define(other);
+        fo.ret(None);
+        fo.finish(&mut pb);
+        let mut f = pb.function("main", 0);
+        let x = f.var("x");
+        f.assign(x, Rvalue::Load(MemRef::Direct { region: arr, offset: Operand::Const(0) }));
+        f.ret(None);
+        let main = f.finish(&mut pb);
+        let p = pb.finish(main);
+        let errs = validate(&p).unwrap_err();
+        assert!(errs.iter().any(|e| e.message.contains("local region")));
+    }
+}

@@ -1,0 +1,232 @@
+//! Abstract syntax tree for MiniC.
+
+use crate::errors::Span;
+
+/// A parsed source file: globals and function definitions, in order.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SourceFile {
+    /// Global variable / array declarations.
+    pub globals: Vec<GlobalDecl>,
+    /// Function definitions.
+    pub functions: Vec<FnDef>,
+}
+
+/// `global int g;` or `global int arr[N];`
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct GlobalDecl {
+    /// Declared name.
+    pub name: String,
+    /// Array size, or `None` for a scalar global.
+    pub size: Option<u32>,
+    /// Declaration span.
+    pub span: Span,
+}
+
+/// Declared parameter/variable types.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum DeclTy {
+    /// 64-bit integer.
+    Int,
+    /// Pointer into region memory.
+    Ptr,
+}
+
+/// A function parameter.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Param {
+    /// Declared type.
+    pub ty: DeclTy,
+    /// Name.
+    pub name: String,
+    /// Span of the declaration.
+    pub span: Span,
+}
+
+/// `fn name(params) -> int { ... }` (the return type is optional).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct FnDef {
+    /// Function name.
+    pub name: String,
+    /// Parameters.
+    pub params: Vec<Param>,
+    /// Whether a `-> int` return type was written.
+    pub returns_value: bool,
+    /// Body.
+    pub body: Block,
+    /// Span of the header.
+    pub span: Span,
+}
+
+/// A `{ ... }` block of statements.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Block {
+    /// Statements in order.
+    pub stmts: Vec<Stmt>,
+    /// Span including braces.
+    pub span: Span,
+}
+
+/// MiniC statements.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum StmtKind {
+    /// `int x;` / `ptr p = e;` / `int a[N];`
+    Decl {
+        /// Declared type (arrays are always `int`).
+        ty: DeclTy,
+        /// Name.
+        name: String,
+        /// Array size, or `None` for a scalar.
+        size: Option<u32>,
+        /// Optional initializer (scalars only).
+        init: Option<Expr>,
+    },
+    /// `lhs = rhs;`
+    Assign {
+        /// Assignment target.
+        lhs: Expr,
+        /// Assigned value.
+        rhs: Expr,
+    },
+    /// `if (cond) { .. } else { .. }`
+    If {
+        /// Condition.
+        cond: Expr,
+        /// Then branch.
+        then_blk: Block,
+        /// Else branch, if present.
+        else_blk: Option<Block>,
+    },
+    /// `while (cond) { .. }`
+    While {
+        /// Loop condition.
+        cond: Expr,
+        /// Loop body.
+        body: Block,
+    },
+    /// `for (init; cond; step) { .. }` — each header part optional.
+    For {
+        /// Initialization statement.
+        init: Option<Box<Stmt>>,
+        /// Continuation condition (`true` if omitted).
+        cond: Option<Expr>,
+        /// Per-iteration step statement.
+        step: Option<Box<Stmt>>,
+        /// Loop body.
+        body: Block,
+    },
+    /// `break;`
+    Break,
+    /// `continue;`
+    Continue,
+    /// `return;` / `return e;`
+    Return(Option<Expr>),
+    /// `print e;`
+    Print(Expr),
+    /// `e;` — expression evaluated for effect (calls).
+    Expr(Expr),
+}
+
+/// A statement with its span.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Stmt {
+    /// Statement kind.
+    pub kind: StmtKind,
+    /// Span of the statement.
+    pub span: Span,
+}
+
+/// Binary operators at the AST level (`&&`/`||` are kept distinct from
+/// `&`/`|` so lowering can normalize operands to booleans).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum AstBinOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    BitAnd,
+    BitOr,
+    BitXor,
+    Shl,
+    Shr,
+    Eq,
+    Ne,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+    /// Non-short-circuit logical and.
+    LogAnd,
+    /// Non-short-circuit logical or.
+    LogOr,
+}
+
+/// Unary operators at the AST level.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum AstUnOp {
+    /// `-e`
+    Neg,
+    /// `!e`
+    Not,
+    /// `*e`
+    Deref,
+}
+
+/// MiniC expressions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ExprKind {
+    /// Integer literal.
+    Int(i64),
+    /// Variable / global / array name reference.
+    Name(String),
+    /// `name[index]` — array or pointer indexing.
+    Index {
+        /// Indexed name.
+        base: String,
+        /// Index expression.
+        index: Box<Expr>,
+    },
+    /// Unary operation (including `*e`).
+    Unary {
+        /// Operator.
+        op: AstUnOp,
+        /// Operand.
+        operand: Box<Expr>,
+    },
+    /// Binary operation.
+    Binary {
+        /// Operator.
+        op: AstBinOp,
+        /// Left operand.
+        lhs: Box<Expr>,
+        /// Right operand.
+        rhs: Box<Expr>,
+    },
+    /// `&name` or `&name[e]` — address of a region cell.
+    AddrOf {
+        /// Named region (global/array).
+        base: String,
+        /// Cell index, or `None` for `&name` (cell 0).
+        index: Option<Box<Expr>>,
+    },
+    /// `name(args)`.
+    Call {
+        /// Callee name.
+        callee: String,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// `input()`.
+    Input,
+    /// `alloc(size)`.
+    Alloc(Box<Expr>),
+}
+
+/// An expression with its span.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Expr {
+    /// Expression kind.
+    pub kind: ExprKind,
+    /// Span of the expression.
+    pub span: Span,
+}

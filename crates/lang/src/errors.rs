@@ -1,0 +1,125 @@
+//! Source spans and diagnostics for the MiniC front end.
+
+use std::fmt;
+
+/// A half-open byte range into the source text.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Start byte offset (inclusive).
+    pub start: u32,
+    /// End byte offset (exclusive).
+    pub end: u32,
+}
+
+impl Span {
+    /// Builds a span from byte offsets.
+    pub fn new(start: u32, end: u32) -> Self {
+        Self { start, end }
+    }
+
+    /// The smallest span covering both `self` and `other`.
+    pub fn to(self, other: Span) -> Span {
+        Span { start: self.start.min(other.start), end: self.end.max(other.end) }
+    }
+}
+
+/// A front-end diagnostic: lexical, syntactic or semantic.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Diag {
+    /// Where in the source the problem is.
+    pub span: Span,
+    /// Human-readable message.
+    pub message: String,
+}
+
+impl Diag {
+    /// Creates a diagnostic.
+    pub fn new(span: Span, message: impl Into<String>) -> Self {
+        Self { span, message: message.into() }
+    }
+
+    /// Renders the diagnostic with a `line:col` prefix computed from `src`.
+    pub fn render(&self, src: &str) -> String {
+        let (line, col) = line_col(src, self.span.start);
+        format!("{line}:{col}: {}", self.message)
+    }
+}
+
+impl fmt::Display for Diag {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{}..{}] {}", self.span.start, self.span.end, self.message)
+    }
+}
+
+impl std::error::Error for Diag {}
+
+/// 1-based line and column of byte offset `pos` in `src`.
+pub fn line_col(src: &str, pos: u32) -> (u32, u32) {
+    let pos = (pos as usize).min(src.len());
+    let mut line = 1;
+    let mut col = 1;
+    for b in src.as_bytes()[..pos].iter() {
+        if *b == b'\n' {
+            line += 1;
+            col = 1;
+        } else {
+            col += 1;
+        }
+    }
+    (line, col)
+}
+
+/// A collection of diagnostics produced by one compilation.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct Diags(pub Vec<Diag>);
+
+impl Diags {
+    /// Appends a diagnostic.
+    pub fn push(&mut self, span: Span, message: impl Into<String>) {
+        self.0.push(Diag::new(span, message));
+    }
+
+    /// Whether any diagnostic was reported.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+}
+
+impl fmt::Display for Diags {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for d in &self.0 {
+            writeln!(f, "{d}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for Diags {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_col_counts_newlines() {
+        let src = "ab\ncd\nef";
+        assert_eq!(line_col(src, 0), (1, 1));
+        assert_eq!(line_col(src, 3), (2, 1));
+        assert_eq!(line_col(src, 7), (3, 2));
+        // Clamped beyond end.
+        assert_eq!(line_col(src, 99), (3, 3));
+    }
+
+    #[test]
+    fn span_join() {
+        let a = Span::new(4, 6);
+        let b = Span::new(1, 5);
+        assert_eq!(a.to(b), Span::new(1, 6));
+    }
+
+    #[test]
+    fn render_includes_position() {
+        let d = Diag::new(Span::new(3, 4), "unexpected token");
+        assert_eq!(d.render("ab\ncd"), "2:1: unexpected token");
+    }
+}

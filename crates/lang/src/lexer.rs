@@ -1,0 +1,257 @@
+//! Hand-written lexer for MiniC.
+
+use crate::errors::{Diag, Span};
+use crate::token::{Token, TokenKind};
+
+/// Tokenizes `src`, returning the token stream (terminated by `Eof`).
+///
+/// # Errors
+/// Returns a diagnostic on the first unrecognized character or malformed
+/// literal.
+pub fn lex(src: &str) -> Result<Vec<Token>, Diag> {
+    Lexer { src: src.as_bytes(), pos: 0 }.run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self) -> u8 {
+        self.src.get(self.pos).copied().unwrap_or(0)
+    }
+
+    fn peek2(&self) -> u8 {
+        self.src.get(self.pos + 1).copied().unwrap_or(0)
+    }
+
+    fn bump(&mut self) -> u8 {
+        let c = self.peek();
+        self.pos += 1;
+        c
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), Diag> {
+        loop {
+            match self.peek() {
+                b' ' | b'\t' | b'\r' | b'\n' => {
+                    self.pos += 1;
+                }
+                b'/' if self.peek2() == b'/' => {
+                    while self.pos < self.src.len() && self.peek() != b'\n' {
+                        self.pos += 1;
+                    }
+                }
+                b'/' if self.peek2() == b'*' => {
+                    let start = self.pos;
+                    self.pos += 2;
+                    loop {
+                        if self.pos + 1 >= self.src.len() {
+                            return Err(Diag::new(
+                                Span::new(start as u32, self.src.len() as u32),
+                                "unterminated block comment",
+                            ));
+                        }
+                        if self.peek() == b'*' && self.peek2() == b'/' {
+                            self.pos += 2;
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, Diag> {
+        let mut out = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let start = self.pos as u32;
+            if self.pos >= self.src.len() {
+                out.push(Token { kind: TokenKind::Eof, span: Span::new(start, start) });
+                return Ok(out);
+            }
+            let c = self.bump();
+            let kind = match c {
+                b'0'..=b'9' => {
+                    while self.peek().is_ascii_digit() {
+                        self.pos += 1;
+                    }
+                    let text = std::str::from_utf8(&self.src[start as usize..self.pos])
+                        .expect("digits are ascii");
+                    let value: i64 = text.parse().map_err(|_| {
+                        Diag::new(
+                            Span::new(start, self.pos as u32),
+                            format!("integer literal `{text}` out of range"),
+                        )
+                    })?;
+                    TokenKind::Int(value)
+                }
+                b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
+                    while matches!(self.peek(), b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_') {
+                        self.pos += 1;
+                    }
+                    let text = std::str::from_utf8(&self.src[start as usize..self.pos])
+                        .expect("idents are ascii");
+                    TokenKind::keyword(text).unwrap_or_else(|| TokenKind::Ident(text.to_string()))
+                }
+                b'(' => TokenKind::LParen,
+                b')' => TokenKind::RParen,
+                b'{' => TokenKind::LBrace,
+                b'}' => TokenKind::RBrace,
+                b'[' => TokenKind::LBracket,
+                b']' => TokenKind::RBracket,
+                b',' => TokenKind::Comma,
+                b';' => TokenKind::Semi,
+                b'+' => TokenKind::Plus,
+                b'-' if self.peek() == b'>' => {
+                    self.pos += 1;
+                    TokenKind::Arrow
+                }
+                b'-' => TokenKind::Minus,
+                b'*' => TokenKind::Star,
+                b'/' => TokenKind::Slash,
+                b'%' => TokenKind::Percent,
+                b'^' => TokenKind::Caret,
+                b'&' if self.peek() == b'&' => {
+                    self.pos += 1;
+                    TokenKind::AmpAmp
+                }
+                b'&' => TokenKind::Amp,
+                b'|' if self.peek() == b'|' => {
+                    self.pos += 1;
+                    TokenKind::PipePipe
+                }
+                b'|' => TokenKind::Pipe,
+                b'!' if self.peek() == b'=' => {
+                    self.pos += 1;
+                    TokenKind::NotEq
+                }
+                b'!' => TokenKind::Bang,
+                b'=' if self.peek() == b'=' => {
+                    self.pos += 1;
+                    TokenKind::EqEq
+                }
+                b'=' => TokenKind::Assign,
+                b'<' if self.peek() == b'<' => {
+                    self.pos += 1;
+                    TokenKind::Shl
+                }
+                b'<' if self.peek() == b'=' => {
+                    self.pos += 1;
+                    TokenKind::Le
+                }
+                b'<' => TokenKind::Lt,
+                b'>' if self.peek() == b'>' => {
+                    self.pos += 1;
+                    TokenKind::Shr
+                }
+                b'>' if self.peek() == b'=' => {
+                    self.pos += 1;
+                    TokenKind::Ge
+                }
+                b'>' => TokenKind::Gt,
+                other => {
+                    return Err(Diag::new(
+                        Span::new(start, self.pos as u32),
+                        format!("unrecognized character `{}`", other as char),
+                    ));
+                }
+            };
+            out.push(Token { kind, span: Span::new(start, self.pos as u32) });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
+    }
+
+    #[test]
+    fn lexes_keywords_and_idents() {
+        assert_eq!(
+            kinds("fn foo global int"),
+            vec![
+                TokenKind::KwFn,
+                TokenKind::Ident("foo".into()),
+                TokenKind::KwGlobal,
+                TokenKind::KwInt,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn lexes_two_char_operators() {
+        assert_eq!(
+            kinds("== != <= >= << >> && || ->"),
+            vec![
+                TokenKind::EqEq,
+                TokenKind::NotEq,
+                TokenKind::Le,
+                TokenKind::Ge,
+                TokenKind::Shl,
+                TokenKind::Shr,
+                TokenKind::AmpAmp,
+                TokenKind::PipePipe,
+                TokenKind::Arrow,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn distinguishes_single_char_prefixes() {
+        assert_eq!(
+            kinds("= < > & | ! -"),
+            vec![
+                TokenKind::Assign,
+                TokenKind::Lt,
+                TokenKind::Gt,
+                TokenKind::Amp,
+                TokenKind::Pipe,
+                TokenKind::Bang,
+                TokenKind::Minus,
+                TokenKind::Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn skips_line_and_block_comments() {
+        assert_eq!(
+            kinds("1 // comment\n 2 /* multi\nline */ 3"),
+            vec![TokenKind::Int(1), TokenKind::Int(2), TokenKind::Int(3), TokenKind::Eof]
+        );
+    }
+
+    #[test]
+    fn rejects_unterminated_block_comment() {
+        assert!(lex("/* oops").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_character() {
+        let err = lex("a $ b").unwrap_err();
+        assert!(err.message.contains('$'));
+    }
+
+    #[test]
+    fn rejects_huge_literal() {
+        assert!(lex("99999999999999999999999").is_err());
+    }
+
+    #[test]
+    fn spans_track_offsets() {
+        let toks = lex("ab cd").unwrap();
+        assert_eq!(toks[0].span, Span::new(0, 2));
+        assert_eq!(toks[1].span, Span::new(3, 5));
+    }
+}

@@ -1,0 +1,233 @@
+//! MiniC: the small C-like source language for the dynslice system.
+//!
+//! MiniC plays the role the Trimaran C infrastructure played in the paper
+//! *Cost Effective Dynamic Program Slicing* (PLDI 2004): it provides programs
+//! with scalars, global and local arrays, heap allocation, pointer aliasing,
+//! functions (including recursion) and data-dependent control flow, lowered
+//! to the CFG-based IR that the slicing machinery analyzes and executes.
+//!
+//! # Example
+//!
+//! ```
+//! let program = dynslice_lang::compile(
+//!     "global int a[4];
+//!      fn main() {
+//!        int i;
+//!        for (i = 0; i < 4; i = i + 1) { a[i] = i * 2; }
+//!        print a[3];
+//!      }",
+//! )?;
+//! assert_eq!(program.functions.len(), 1);
+//! # Ok::<(), dynslice_lang::Diags>(())
+//! ```
+
+pub mod ast;
+pub mod errors;
+pub mod lexer;
+pub mod lower;
+pub mod parser;
+pub mod token;
+
+pub use errors::{Diag, Diags, Span};
+
+use dynslice_ir::Program;
+
+/// Compiles MiniC source text into a validated IR [`Program`].
+///
+/// # Errors
+/// Returns all lexical, syntactic and semantic diagnostics. An IR validation
+/// failure after successful lowering indicates a lowering bug and panics.
+pub fn compile(src: &str) -> Result<Program, Diags> {
+    let sf = parser::parse(src).map_err(|d| Diags(vec![d]))?;
+    let program = lower::lower(&sf)?;
+    if let Err(errs) = dynslice_ir::validate(&program) {
+        panic!("lowering produced invalid IR: {errs:?}");
+    }
+    Ok(program)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynslice_ir::{Rvalue, StmtKind};
+
+    #[test]
+    fn compiles_minimal_program() {
+        let p = compile("fn main() { print 42; }").unwrap();
+        assert_eq!(p.functions.len(), 1);
+        assert_eq!(p.func(p.main).name, "main");
+    }
+
+    #[test]
+    fn missing_main_is_an_error() {
+        let err = compile("fn helper() { }").unwrap_err();
+        assert!(err.0.iter().any(|d| d.message.contains("main")));
+    }
+
+    #[test]
+    fn unknown_name_reported_with_location() {
+        let src = "fn main() {\n  print nope;\n}";
+        let err = compile(src).unwrap_err();
+        let rendered = err.0[0].render(src);
+        assert!(rendered.starts_with("2:"), "got {rendered}");
+        assert!(rendered.contains("nope"));
+    }
+
+    #[test]
+    fn globals_become_regions() {
+        let p = compile("global int g; global int a[10]; fn main() { g = 1; a[0] = 2; }").unwrap();
+        assert_eq!(p.regions.len(), 2);
+        assert_eq!(p.regions[0].size, 1);
+        assert_eq!(p.regions[1].size, 10);
+    }
+
+    #[test]
+    fn local_array_and_alloc_create_regions() {
+        let p = compile("fn main() { int buf[8]; ptr p = alloc(4); *p = 1; buf[0] = 2; }")
+            .unwrap();
+        assert_eq!(p.regions.len(), 2);
+        assert!(matches!(p.regions[0].kind, dynslice_ir::RegionKind::Local(_)));
+        assert!(matches!(p.regions[1].kind, dynslice_ir::RegionKind::AllocSite(_)));
+    }
+
+    #[test]
+    fn while_loop_produces_back_edge() {
+        let p = compile("fn main() { int i = 0; while (i < 3) { i = i + 1; } }").unwrap();
+        let cfg = dynslice_ir::Cfg::new(p.func(p.main));
+        assert_eq!(cfg.back_edges().len(), 1);
+    }
+
+    #[test]
+    fn for_loop_with_break_and_continue() {
+        let p = compile(
+            "fn main() {
+               int s = 0;
+               int i;
+               for (i = 0; i < 10; i = i + 1) {
+                 if (i == 7) { break; }
+                 if (i % 2) { continue; }
+                 s = s + i;
+               }
+               print s;
+             }",
+        )
+        .unwrap();
+        let cfg = dynslice_ir::Cfg::new(p.func(p.main));
+        assert!(!cfg.back_edges().is_empty());
+    }
+
+    #[test]
+    fn calls_lower_with_args() {
+        let p = compile(
+            "fn add(int a, int b) -> int { return a + b; }
+             fn main() { print add(1, 2); }",
+        )
+        .unwrap();
+        let main = p.func(p.main);
+        let has_call = main.blocks.iter().flat_map(|b| &b.stmts).any(|s| {
+            matches!(&s.kind, StmtKind::Assign { rv: Rvalue::Call { args, .. }, .. } if args.len() == 2)
+        });
+        assert!(has_call);
+    }
+
+    #[test]
+    fn recursion_compiles() {
+        let p = compile(
+            "fn fib(int n) -> int {
+               if (n < 2) { return n; }
+               return fib(n - 1) + fib(n - 2);
+             }
+             fn main() { print fib(10); }",
+        )
+        .unwrap();
+        assert_eq!(p.functions.len(), 2);
+    }
+
+    #[test]
+    fn deref_of_int_rejected() {
+        let err = compile("fn main() { int x = 3; int y = *x; }").unwrap_err();
+        assert!(err.0.iter().any(|d| d.message.contains("non-pointer")));
+    }
+
+    #[test]
+    fn arity_mismatch_rejected() {
+        let err = compile(
+            "fn f(int a) -> int { return a; }
+             fn main() { print f(1, 2); }",
+        )
+        .unwrap_err();
+        assert!(err.0.iter().any(|d| d.message.contains("argument")));
+    }
+
+    #[test]
+    fn return_value_mismatch_rejected() {
+        assert!(compile("fn f() { return 1; } fn main() { f(); }").is_err());
+        assert!(compile("fn f() -> int { return; } fn main() { f(); }").is_err());
+    }
+
+    #[test]
+    fn break_outside_loop_rejected() {
+        assert!(compile("fn main() { break; }").is_err());
+    }
+
+    #[test]
+    fn logical_ops_do_not_add_blocks() {
+        // Non-short-circuit lowering keeps `&&` straight-line.
+        let p = compile("fn main() { int x = input(); int y = x > 1 && x < 5; print y; }")
+            .unwrap();
+        assert_eq!(p.func(p.main).blocks.len(), 1);
+    }
+
+    #[test]
+    fn dead_code_after_return_is_tolerated() {
+        let p = compile("fn main() { return; print 1; }").unwrap();
+        let cfg = dynslice_ir::Cfg::new(p.func(p.main));
+        // The trailing print lives in an unreachable block.
+        assert!(p.func(p.main).blocks.len() >= 2);
+        assert!(cfg.rpo().len() < p.func(p.main).blocks.len());
+    }
+
+    #[test]
+    fn pointer_aliasing_program_compiles() {
+        // The paper's Fig. 3 shape: may-aliased stores through pointers.
+        let p = compile(
+            "global int x[2];
+             global int y[2];
+             fn main() {
+               ptr p = &x[0];
+               if (input()) { p = &y[0]; }
+               *p = 5;
+               print x[0] + y[0];
+             }",
+        )
+        .unwrap();
+        assert_eq!(p.regions.len(), 2);
+    }
+
+    #[test]
+    fn shadowing_in_nested_scopes() {
+        let p = compile(
+            "fn main() {
+               int x = 1;
+               if (x) { int x = 2; print x; }
+               print x;
+             }",
+        )
+        .unwrap();
+        assert!(p.func(p.main).num_vars >= 2);
+    }
+
+    #[test]
+    fn else_if_chain_compiles() {
+        let p = compile(
+            "fn main() {
+               int x = input();
+               if (x == 1) { print 1; }
+               else if (x == 2) { print 2; }
+               else { print 3; }
+             }",
+        )
+        .unwrap();
+        assert!(p.func(p.main).blocks.len() >= 5);
+    }
+}

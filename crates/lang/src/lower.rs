@@ -1,0 +1,659 @@
+//! Lowering from the MiniC AST to the dynslice IR.
+//!
+//! Lowering performs scope resolution and light type checking (pointers vs
+//! integers) in the same pass that emits IR. MiniC is deliberately
+//! permissive — it is a research vehicle, not a safe language — but the
+//! errors that would make the IR meaningless (unknown names, dereferencing
+//! an integer, indexing a scalar, arity mismatches) are rejected.
+//!
+//! Notable lowering decisions:
+//!
+//! * `&&` / `||` are **non-short-circuit**: operands are normalized with
+//!   `!= 0` and combined bitwise, so no extra control flow is introduced.
+//! * Reading a global scalar produces a `Load`; array names decay to a
+//!   pointer to cell 0 when used as values.
+//! * A statement after `break` / `continue` / `return` in the same block is
+//!   lowered into a fresh unreachable block (and later ignored by the CFG).
+
+use std::collections::HashMap;
+
+use dynslice_ir::{
+    BinOp, BlockId, FuncId, FunctionBuilder, MemRef, Operand, Program, ProgramBuilder, RegionId,
+    Rvalue, UnOp, VarId,
+};
+
+use crate::ast::*;
+use crate::errors::{Diags, Span};
+
+/// Lowers a parsed source file into an IR [`Program`].
+///
+/// # Errors
+/// Returns all semantic diagnostics if any were produced.
+pub fn lower(sf: &SourceFile) -> Result<Program, Diags> {
+    let mut diags = Diags::default();
+    let mut pb = ProgramBuilder::new();
+
+    // Globals.
+    let mut globals: HashMap<String, GlobalSym> = HashMap::new();
+    for g in &sf.globals {
+        if globals.contains_key(&g.name) {
+            diags.push(g.span, format!("duplicate global `{}`", g.name));
+            continue;
+        }
+        let region = pb.global(&g.name, g.size.unwrap_or(1));
+        globals.insert(g.name.clone(), GlobalSym { region, is_array: g.size.is_some() });
+    }
+
+    // Function signatures (two-pass so calls may reference later functions).
+    let mut funcs: HashMap<String, FnSym> = HashMap::new();
+    for f in &sf.functions {
+        if funcs.contains_key(&f.name) {
+            diags.push(f.span, format!("duplicate function `{}`", f.name));
+            continue;
+        }
+        let id = pb.declare(&f.name, f.params.len() as u32);
+        funcs.insert(
+            f.name.clone(),
+            FnSym {
+                id,
+                params: f.params.iter().map(|p| p.ty).collect(),
+                returns_value: f.returns_value,
+            },
+        );
+    }
+
+    for f in &sf.functions {
+        let Some(sym) = funcs.get(&f.name) else { continue };
+        if funcs.get(&f.name).map(|s| s.id) != Some(sym.id) {
+            continue; // duplicate definition; already diagnosed
+        }
+        let fid = sym.id;
+        let fb = pb.define(fid);
+        let mut cx = FnCx {
+            pb: &mut pb,
+            fb,
+            fid,
+            returns_value: f.returns_value,
+            globals: &globals,
+            funcs: &funcs,
+            scopes: vec![HashMap::new()],
+            loops: Vec::new(),
+            diags: &mut diags,
+        };
+        // Bind parameters in the outermost scope.
+        for (i, p) in f.params.iter().enumerate() {
+            let v = cx.fb.param(i as u32);
+            cx.fb_set_var_name(v, &p.name);
+            if cx.scopes[0]
+                .insert(p.name.clone(), LocalSym::Scalar(v, expr_ty(p.ty)))
+                .is_some()
+            {
+                cx.diags.push(p.span, format!("duplicate parameter `{}`", p.name));
+            }
+        }
+        cx.lower_block(&f.body);
+        if !cx.fb.current_sealed() {
+            if f.returns_value {
+                cx.fb.ret(Some(Operand::Const(0)));
+            } else {
+                cx.fb.ret(None);
+            }
+        }
+        cx.fb.finish(&mut pb);
+    }
+
+    match funcs.get("main") {
+        None => diags.push(Span::default(), "program has no `main` function"),
+        Some(m) if !m.params.is_empty() => {
+            diags.push(Span::default(), "`main` must take no parameters")
+        }
+        _ => {}
+    }
+
+    if !diags.is_empty() {
+        return Err(diags);
+    }
+    let main = funcs["main"].id;
+    Ok(pb.finish(main))
+}
+
+#[derive(Copy, Clone)]
+struct GlobalSym {
+    region: RegionId,
+    is_array: bool,
+}
+
+#[derive(Clone)]
+struct FnSym {
+    id: FuncId,
+    params: Vec<DeclTy>,
+    returns_value: bool,
+}
+
+#[derive(Copy, Clone, PartialEq, Eq)]
+enum ExprTy {
+    Int,
+    Ptr,
+}
+
+fn expr_ty(d: DeclTy) -> ExprTy {
+    match d {
+        DeclTy::Int => ExprTy::Int,
+        DeclTy::Ptr => ExprTy::Ptr,
+    }
+}
+
+#[derive(Copy, Clone)]
+enum LocalSym {
+    Scalar(VarId, ExprTy),
+    Array(RegionId),
+}
+
+struct LoopCx {
+    continue_target: BlockId,
+    break_target: BlockId,
+}
+
+struct FnCx<'a> {
+    pb: &'a mut ProgramBuilder,
+    fb: FunctionBuilder,
+    fid: FuncId,
+    returns_value: bool,
+    globals: &'a HashMap<String, GlobalSym>,
+    funcs: &'a HashMap<String, FnSym>,
+    scopes: Vec<HashMap<String, LocalSym>>,
+    loops: Vec<LoopCx>,
+    diags: &'a mut Diags,
+}
+
+impl<'a> FnCx<'a> {
+    /// Renames a builder variable for nicer debug output (best effort).
+    fn fb_set_var_name(&mut self, _v: VarId, _name: &str) {
+        // Parameter slots keep their synthesized `p{i}` names; source names
+        // are preserved in the scope map, which is what diagnostics use.
+    }
+
+    fn lookup(&self, name: &str) -> Option<LocalSym> {
+        for scope in self.scopes.iter().rev() {
+            if let Some(s) = scope.get(name) {
+                return Some(*s);
+            }
+        }
+        None
+    }
+
+    fn err(&mut self, span: Span, msg: impl Into<String>) {
+        self.diags.push(span, msg);
+    }
+
+    /// Ensures the current block is open for appending; after a terminator
+    /// (break/continue/return) remaining statements go to a fresh
+    /// unreachable block.
+    fn ensure_open(&mut self) {
+        if self.fb.current_sealed() {
+            let b = self.fb.new_block();
+            self.fb.switch_to(b);
+        }
+    }
+
+    fn fresh_temp(&mut self) -> VarId {
+        self.fb.var("t")
+    }
+
+    /// Materializes `op` into a variable if it is a constant (needed for
+    /// `Indirect` pointer operands, which must be variables).
+    fn as_var(&mut self, op: Operand) -> VarId {
+        match op {
+            Operand::Var(v) => v,
+            Operand::Const(_) => {
+                let t = self.fresh_temp();
+                self.fb.assign(t, Rvalue::Use(op));
+                t
+            }
+        }
+    }
+
+    fn emit_to_temp(&mut self, rv: Rvalue) -> Operand {
+        let t = self.fresh_temp();
+        self.fb.assign(t, rv);
+        Operand::Var(t)
+    }
+
+    // ---- statements ----
+
+    fn lower_block(&mut self, b: &Block) {
+        self.scopes.push(HashMap::new());
+        for s in &b.stmts {
+            self.lower_stmt(s);
+        }
+        self.scopes.pop();
+    }
+
+    fn lower_stmt(&mut self, s: &Stmt) {
+        self.ensure_open();
+        match &s.kind {
+            StmtKind::Decl { ty, name, size, init } => {
+                let sym = if let Some(n) = size {
+                    LocalSym::Array(self.pb.local_array(self.fid, name, *n))
+                } else {
+                    let v = self.fb.var(name);
+                    LocalSym::Scalar(v, expr_ty(*ty))
+                };
+                if self
+                    .scopes
+                    .last_mut()
+                    .expect("scope stack nonempty")
+                    .insert(name.clone(), sym)
+                    .is_some()
+                {
+                    self.err(s.span, format!("duplicate declaration of `{name}` in this scope"));
+                }
+                if let (Some(e), LocalSym::Scalar(v, _)) = (init, sym) {
+                    let (op, _) = self.lower_expr(e);
+                    self.fb.assign(v, Rvalue::Use(op));
+                }
+            }
+            StmtKind::Assign { lhs, rhs } => self.lower_assign(lhs, rhs),
+            StmtKind::If { cond, then_blk, else_blk } => {
+                let (c, _) = self.lower_expr(cond);
+                let then_bb = self.fb.new_block();
+                let join = self.fb.new_block();
+                let else_bb = if else_blk.is_some() { self.fb.new_block() } else { join };
+                self.fb.branch(c, then_bb, else_bb);
+                self.fb.switch_to(then_bb);
+                self.lower_block(then_blk);
+                if !self.fb.current_sealed() {
+                    self.fb.jump(join);
+                }
+                if let Some(eb) = else_blk {
+                    self.fb.switch_to(else_bb);
+                    self.lower_block(eb);
+                    if !self.fb.current_sealed() {
+                        self.fb.jump(join);
+                    }
+                }
+                self.fb.switch_to(join);
+            }
+            StmtKind::While { cond, body } => {
+                let header = self.fb.new_block();
+                let body_bb = self.fb.new_block();
+                let exit = self.fb.new_block();
+                self.fb.jump(header);
+                self.fb.switch_to(header);
+                let (c, _) = self.lower_expr(cond);
+                self.fb.branch(c, body_bb, exit);
+                self.fb.switch_to(body_bb);
+                self.loops.push(LoopCx { continue_target: header, break_target: exit });
+                self.lower_block(body);
+                self.loops.pop();
+                if !self.fb.current_sealed() {
+                    self.fb.jump(header);
+                }
+                self.fb.switch_to(exit);
+            }
+            StmtKind::For { init, cond, step, body } => {
+                // A scope for the `for (int i = ...)` induction variable.
+                self.scopes.push(HashMap::new());
+                if let Some(i) = init {
+                    self.lower_stmt(i);
+                }
+                let header = self.fb.new_block();
+                let body_bb = self.fb.new_block();
+                let step_bb = self.fb.new_block();
+                let exit = self.fb.new_block();
+                self.fb.jump(header);
+                self.fb.switch_to(header);
+                let c = match cond {
+                    Some(e) => self.lower_expr(e).0,
+                    None => Operand::Const(1),
+                };
+                self.fb.branch(c, body_bb, exit);
+                self.fb.switch_to(body_bb);
+                self.loops.push(LoopCx { continue_target: step_bb, break_target: exit });
+                self.lower_block(body);
+                self.loops.pop();
+                if !self.fb.current_sealed() {
+                    self.fb.jump(step_bb);
+                }
+                self.fb.switch_to(step_bb);
+                if let Some(st) = step {
+                    self.lower_stmt(st);
+                }
+                self.ensure_open();
+                self.fb.jump(header);
+                self.fb.switch_to(exit);
+                self.scopes.pop();
+            }
+            StmtKind::Break => match self.loops.last() {
+                Some(l) => {
+                    let t = l.break_target;
+                    self.fb.jump(t);
+                }
+                None => self.err(s.span, "`break` outside of a loop"),
+            },
+            StmtKind::Continue => match self.loops.last() {
+                Some(l) => {
+                    let t = l.continue_target;
+                    self.fb.jump(t);
+                }
+                None => self.err(s.span, "`continue` outside of a loop"),
+            },
+            StmtKind::Return(value) => {
+                match (value, self.returns_value) {
+                    (Some(e), true) => {
+                        let (op, _) = self.lower_expr(e);
+                        self.fb.ret(Some(op));
+                    }
+                    (None, false) => self.fb.ret(None),
+                    (Some(e), false) => {
+                        self.err(e.span, "returning a value from a function without `-> int`");
+                        self.fb.ret(None);
+                    }
+                    (None, true) => {
+                        self.err(s.span, "`return;` in a function declared `-> int`");
+                        self.fb.ret(Some(Operand::Const(0)));
+                    }
+                }
+            }
+            StmtKind::Print(e) => {
+                let (op, _) = self.lower_expr(e);
+                self.fb.print(op);
+            }
+            StmtKind::Expr(e) => {
+                // Only calls make sense as expression statements, but
+                // evaluating anything for effect is harmless. A call in
+                // statement position may ignore or lack a return value.
+                if let ExprKind::Call { callee, args } = &e.kind {
+                    let _ = self.lower_call(callee, args, e.span, true);
+                } else {
+                    let _ = self.lower_expr(e);
+                }
+            }
+        }
+    }
+
+    fn lower_assign(&mut self, lhs: &Expr, rhs: &Expr) {
+        match &lhs.kind {
+            ExprKind::Name(name) => {
+                if let Some(LocalSym::Scalar(v, _)) = self.lookup(name) {
+                    let (op, _) = self.lower_expr(rhs);
+                    self.fb.assign(v, Rvalue::Use(op));
+                } else if let Some(LocalSym::Array(_)) = self.lookup(name) {
+                    self.err(lhs.span, format!("cannot assign to array `{name}`"));
+                } else if let Some(g) = self.globals.get(name).copied() {
+                    if g.is_array {
+                        self.err(lhs.span, format!("cannot assign to array `{name}`"));
+                        return;
+                    }
+                    let (op, _) = self.lower_expr(rhs);
+                    self.fb.store(
+                        MemRef::Direct { region: g.region, offset: Operand::Const(0) },
+                        op,
+                    );
+                } else {
+                    self.err(lhs.span, format!("unknown name `{name}`"));
+                    let _ = self.lower_expr(rhs);
+                }
+            }
+            ExprKind::Index { base, index } => {
+                match self.resolve_indexable(base, lhs.span) {
+                    Some(Indexable::Region(region)) => {
+                        let (idx, _) = self.lower_expr(index);
+                        let (op, _) = self.lower_expr(rhs);
+                        self.fb.store(MemRef::Direct { region, offset: idx }, op);
+                    }
+                    Some(Indexable::PtrVar(p)) => {
+                        let (idx, _) = self.lower_expr(index);
+                        let addr =
+                            self.emit_to_temp(Rvalue::Binary(BinOp::Add, Operand::Var(p), idx));
+                        let (op, _) = self.lower_expr(rhs);
+                        let pv = self.as_var(addr);
+                        self.fb.store(MemRef::Indirect { ptr: Operand::Var(pv) }, op);
+                    }
+                    None => {
+                        let _ = self.lower_expr(rhs);
+                    }
+                }
+            }
+            ExprKind::Unary { op: AstUnOp::Deref, operand } => {
+                let (ptr, ty) = self.lower_expr(operand);
+                if ty != ExprTy::Ptr {
+                    self.err(operand.span, "dereferencing a non-pointer value");
+                }
+                let (op, _) = self.lower_expr(rhs);
+                let pv = self.as_var(ptr);
+                self.fb.store(MemRef::Indirect { ptr: Operand::Var(pv) }, op);
+            }
+            _ => {
+                self.err(lhs.span, "invalid assignment target");
+                let _ = self.lower_expr(rhs);
+            }
+        }
+    }
+
+    // ---- expressions ----
+
+    fn lower_expr(&mut self, e: &Expr) -> (Operand, ExprTy) {
+        match &e.kind {
+            ExprKind::Int(v) => (Operand::Const(*v), ExprTy::Int),
+            ExprKind::Name(name) => {
+                if let Some(sym) = self.lookup(name) {
+                    match sym {
+                        LocalSym::Scalar(v, ty) => (Operand::Var(v), ty),
+                        LocalSym::Array(region) => (
+                            // Array name decays to a pointer to cell 0.
+                            self.emit_to_temp(Rvalue::AddrOf {
+                                region,
+                                offset: Operand::Const(0),
+                            }),
+                            ExprTy::Ptr,
+                        ),
+                    }
+                } else if let Some(g) = self.globals.get(name).copied() {
+                    if g.is_array {
+                        (
+                            self.emit_to_temp(Rvalue::AddrOf {
+                                region: g.region,
+                                offset: Operand::Const(0),
+                            }),
+                            ExprTy::Ptr,
+                        )
+                    } else {
+                        (
+                            self.emit_to_temp(Rvalue::Load(MemRef::Direct {
+                                region: g.region,
+                                offset: Operand::Const(0),
+                            })),
+                            ExprTy::Int,
+                        )
+                    }
+                } else {
+                    self.err(e.span, format!("unknown name `{name}`"));
+                    (Operand::Const(0), ExprTy::Int)
+                }
+            }
+            ExprKind::Index { base, index } => match self.resolve_indexable(base, e.span) {
+                Some(Indexable::Region(region)) => {
+                    let (idx, _) = self.lower_expr(index);
+                    (
+                        self.emit_to_temp(Rvalue::Load(MemRef::Direct { region, offset: idx })),
+                        ExprTy::Int,
+                    )
+                }
+                Some(Indexable::PtrVar(p)) => {
+                    let (idx, _) = self.lower_expr(index);
+                    let addr = self.emit_to_temp(Rvalue::Binary(BinOp::Add, Operand::Var(p), idx));
+                    let pv = self.as_var(addr);
+                    (
+                        self.emit_to_temp(Rvalue::Load(MemRef::Indirect {
+                            ptr: Operand::Var(pv),
+                        })),
+                        ExprTy::Int,
+                    )
+                }
+                None => (Operand::Const(0), ExprTy::Int),
+            },
+            ExprKind::Unary { op, operand } => match op {
+                AstUnOp::Neg => {
+                    let (v, _) = self.lower_expr(operand);
+                    (self.emit_to_temp(Rvalue::Unary(UnOp::Neg, v)), ExprTy::Int)
+                }
+                AstUnOp::Not => {
+                    let (v, _) = self.lower_expr(operand);
+                    (self.emit_to_temp(Rvalue::Unary(UnOp::Not, v)), ExprTy::Int)
+                }
+                AstUnOp::Deref => {
+                    let (v, ty) = self.lower_expr(operand);
+                    if ty != ExprTy::Ptr {
+                        self.err(operand.span, "dereferencing a non-pointer value");
+                    }
+                    let pv = self.as_var(v);
+                    (
+                        self.emit_to_temp(Rvalue::Load(MemRef::Indirect {
+                            ptr: Operand::Var(pv),
+                        })),
+                        ExprTy::Int,
+                    )
+                }
+            },
+            ExprKind::Binary { op, lhs, rhs } => self.lower_binary(*op, lhs, rhs),
+            ExprKind::AddrOf { base, index } => {
+                // `&name` / `&name[i]` on a region; `&p[i]` on a pointer is
+                // plain pointer arithmetic.
+                let idx = index.as_ref().map(|i| self.lower_expr(i).0);
+                if let Some(LocalSym::Array(region)) = self.lookup(base) {
+                    let offset = idx.unwrap_or(Operand::Const(0));
+                    (self.emit_to_temp(Rvalue::AddrOf { region, offset }), ExprTy::Ptr)
+                } else if let Some(LocalSym::Scalar(v, ExprTy::Ptr)) = self.lookup(base) {
+                    match idx {
+                        Some(i) => (
+                            self.emit_to_temp(Rvalue::Binary(BinOp::Add, Operand::Var(v), i)),
+                            ExprTy::Ptr,
+                        ),
+                        None => {
+                            self.err(e.span, "cannot take the address of a scalar variable");
+                            (Operand::Const(0), ExprTy::Ptr)
+                        }
+                    }
+                } else if let Some(g) = self.globals.get(base).copied() {
+                    let offset = idx.unwrap_or(Operand::Const(0));
+                    (
+                        self.emit_to_temp(Rvalue::AddrOf { region: g.region, offset }),
+                        ExprTy::Ptr,
+                    )
+                } else {
+                    self.err(e.span, format!("cannot take the address of `{base}`"));
+                    (Operand::Const(0), ExprTy::Ptr)
+                }
+            }
+            ExprKind::Call { callee, args } => self.lower_call(callee, args, e.span, false),
+            ExprKind::Input => (self.emit_to_temp(Rvalue::Input), ExprTy::Int),
+            ExprKind::Alloc(size) => {
+                let (sz, _) = self.lower_expr(size);
+                let site = self.pb.alloc_site(self.fid, "alloc");
+                (self.emit_to_temp(Rvalue::Alloc { site, size: sz }), ExprTy::Ptr)
+            }
+        }
+    }
+
+    fn lower_call(
+        &mut self,
+        callee: &str,
+        args: &[Expr],
+        span: Span,
+        is_stmt: bool,
+    ) -> (Operand, ExprTy) {
+        let Some(sym) = self.funcs.get(callee).cloned() else {
+            self.err(span, format!("call to unknown function `{callee}`"));
+            for a in args {
+                let _ = self.lower_expr(a);
+            }
+            return (Operand::Const(0), ExprTy::Int);
+        };
+        if args.len() != sym.params.len() {
+            self.err(
+                span,
+                format!(
+                    "`{callee}` expects {} argument(s), got {}",
+                    sym.params.len(),
+                    args.len()
+                ),
+            );
+            for a in args {
+                let _ = self.lower_expr(a);
+            }
+            return (Operand::Const(0), ExprTy::Int);
+        }
+        if !sym.returns_value && !is_stmt {
+            self.err(span, format!("`{callee}` returns no value but is used as one"));
+        }
+        let lowered: Vec<Operand> = args.iter().map(|a| self.lower_expr(a).0).collect();
+        (self.emit_to_temp(Rvalue::Call { func: sym.id, args: lowered }), ExprTy::Int)
+    }
+
+    fn lower_binary(&mut self, op: AstBinOp, lhs: &Expr, rhs: &Expr) -> (Operand, ExprTy) {
+        let (a, ta) = self.lower_expr(lhs);
+        let (b, tb) = self.lower_expr(rhs);
+        let bin = |o| Rvalue::Binary(o, a, b);
+        let (rv, ty) = match op {
+            AstBinOp::Add => (bin(BinOp::Add), ptr_or_int(ta, tb)),
+            AstBinOp::Sub => (bin(BinOp::Sub), ptr_or_int(ta, tb)),
+            AstBinOp::Mul => (bin(BinOp::Mul), ExprTy::Int),
+            AstBinOp::Div => (bin(BinOp::Div), ExprTy::Int),
+            AstBinOp::Rem => (bin(BinOp::Rem), ExprTy::Int),
+            AstBinOp::BitAnd => (bin(BinOp::And), ExprTy::Int),
+            AstBinOp::BitOr => (bin(BinOp::Or), ExprTy::Int),
+            AstBinOp::BitXor => (bin(BinOp::Xor), ExprTy::Int),
+            AstBinOp::Shl => (bin(BinOp::Shl), ExprTy::Int),
+            AstBinOp::Shr => (bin(BinOp::Shr), ExprTy::Int),
+            AstBinOp::Eq => (bin(BinOp::Eq), ExprTy::Int),
+            AstBinOp::Ne => (bin(BinOp::Ne), ExprTy::Int),
+            AstBinOp::Lt => (bin(BinOp::Lt), ExprTy::Int),
+            AstBinOp::Le => (bin(BinOp::Le), ExprTy::Int),
+            AstBinOp::Gt => (bin(BinOp::Gt), ExprTy::Int),
+            AstBinOp::Ge => (bin(BinOp::Ge), ExprTy::Int),
+            AstBinOp::LogAnd | AstBinOp::LogOr => {
+                // Normalize operands to booleans, then combine bitwise;
+                // MiniC logical operators do not short-circuit.
+                let na = self.emit_to_temp(Rvalue::Binary(BinOp::Ne, a, Operand::Const(0)));
+                let nb = self.emit_to_temp(Rvalue::Binary(BinOp::Ne, b, Operand::Const(0)));
+                let o = if op == AstBinOp::LogAnd { BinOp::And } else { BinOp::Or };
+                (Rvalue::Binary(o, na, nb), ExprTy::Int)
+            }
+        };
+        (self.emit_to_temp(rv), ty)
+    }
+
+    fn resolve_indexable(&mut self, base: &str, span: Span) -> Option<Indexable> {
+        if let Some(sym) = self.lookup(base) {
+            match sym {
+                LocalSym::Array(region) => Some(Indexable::Region(region)),
+                LocalSym::Scalar(v, ExprTy::Ptr) => Some(Indexable::PtrVar(v)),
+                LocalSym::Scalar(..) => {
+                    self.err(span, format!("`{base}` is not an array or pointer"));
+                    None
+                }
+            }
+        } else if let Some(g) = self.globals.get(base).copied() {
+            // Indexing a scalar global treats it as a 1-cell array, which is
+            // harmless; real programs index declared arrays.
+            Some(Indexable::Region(g.region))
+        } else {
+            self.err(span, format!("unknown name `{base}`"));
+            None
+        }
+    }
+}
+
+enum Indexable {
+    Region(RegionId),
+    PtrVar(VarId),
+}
+
+fn ptr_or_int(a: ExprTy, b: ExprTy) -> ExprTy {
+    if a == ExprTy::Ptr || b == ExprTy::Ptr {
+        ExprTy::Ptr
+    } else {
+        ExprTy::Int
+    }
+}

@@ -1,0 +1,586 @@
+//! Recursive-descent parser for MiniC.
+
+use crate::ast::*;
+use crate::errors::{Diag, Span};
+use crate::lexer::lex;
+use crate::token::{Token, TokenKind};
+
+/// Parses `src` into a [`SourceFile`].
+///
+/// # Errors
+/// Returns the first lexical or syntactic error.
+pub fn parse(src: &str) -> Result<SourceFile, Diag> {
+    let toks = lex(src)?;
+    Parser { toks, pos: 0 }.source_file()
+}
+
+struct Parser {
+    toks: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &TokenKind {
+        &self.toks[self.pos].kind
+    }
+
+    fn peek2(&self) -> &TokenKind {
+        &self.toks[(self.pos + 1).min(self.toks.len() - 1)].kind
+    }
+
+    fn span(&self) -> Span {
+        self.toks[self.pos].span
+    }
+
+    fn prev_span(&self) -> Span {
+        self.toks[self.pos.saturating_sub(1)].span
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.toks[self.pos].clone();
+        if self.pos + 1 < self.toks.len() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.peek() == kind {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: TokenKind) -> Result<Token, Diag> {
+        if self.peek() == &kind {
+            Ok(self.bump())
+        } else {
+            Err(Diag::new(self.span(), format!("expected {kind}, found {}", self.peek())))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<(String, Span), Diag> {
+        match self.peek().clone() {
+            TokenKind::Ident(name) => {
+                let sp = self.span();
+                self.bump();
+                Ok((name, sp))
+            }
+            other => Err(Diag::new(self.span(), format!("expected identifier, found {other}"))),
+        }
+    }
+
+    fn expect_int(&mut self) -> Result<(i64, Span), Diag> {
+        match *self.peek() {
+            TokenKind::Int(v) => {
+                let sp = self.span();
+                self.bump();
+                Ok((v, sp))
+            }
+            ref other => {
+                Err(Diag::new(self.span(), format!("expected integer literal, found {other}")))
+            }
+        }
+    }
+
+    fn source_file(mut self) -> Result<SourceFile, Diag> {
+        let mut globals = Vec::new();
+        let mut functions = Vec::new();
+        loop {
+            match self.peek() {
+                TokenKind::Eof => break,
+                TokenKind::KwGlobal => globals.push(self.global_decl()?),
+                TokenKind::KwFn => functions.push(self.fn_def()?),
+                other => {
+                    return Err(Diag::new(
+                        self.span(),
+                        format!("expected `global` or `fn` at top level, found {other}"),
+                    ));
+                }
+            }
+        }
+        Ok(SourceFile { globals, functions })
+    }
+
+    fn global_decl(&mut self) -> Result<GlobalDecl, Diag> {
+        let start = self.span();
+        self.expect(TokenKind::KwGlobal)?;
+        self.expect(TokenKind::KwInt)?;
+        let (name, _) = self.expect_ident()?;
+        let size = self.array_suffix()?;
+        self.expect(TokenKind::Semi)?;
+        Ok(GlobalDecl { name, size, span: start.to(self.prev_span()) })
+    }
+
+    fn array_suffix(&mut self) -> Result<Option<u32>, Diag> {
+        if self.eat(&TokenKind::LBracket) {
+            let (v, sp) = self.expect_int()?;
+            if v <= 0 || v > u32::MAX as i64 {
+                return Err(Diag::new(sp, "array size must be a positive 32-bit integer"));
+            }
+            self.expect(TokenKind::RBracket)?;
+            Ok(Some(v as u32))
+        } else {
+            Ok(None)
+        }
+    }
+
+    fn fn_def(&mut self) -> Result<FnDef, Diag> {
+        let start = self.span();
+        self.expect(TokenKind::KwFn)?;
+        let (name, _) = self.expect_ident()?;
+        self.expect(TokenKind::LParen)?;
+        let mut params = Vec::new();
+        if self.peek() != &TokenKind::RParen {
+            loop {
+                let psp = self.span();
+                let ty = if self.eat(&TokenKind::KwInt) {
+                    DeclTy::Int
+                } else if self.eat(&TokenKind::KwPtr) {
+                    DeclTy::Ptr
+                } else {
+                    return Err(Diag::new(
+                        self.span(),
+                        format!("expected parameter type, found {}", self.peek()),
+                    ));
+                };
+                let (pname, _) = self.expect_ident()?;
+                params.push(Param { ty, name: pname, span: psp.to(self.prev_span()) });
+                if !self.eat(&TokenKind::Comma) {
+                    break;
+                }
+            }
+        }
+        self.expect(TokenKind::RParen)?;
+        let returns_value = if self.eat(&TokenKind::Arrow) {
+            self.expect(TokenKind::KwInt)?;
+            true
+        } else {
+            false
+        };
+        let header_span = start.to(self.prev_span());
+        let body = self.block()?;
+        Ok(FnDef { name, params, returns_value, body, span: header_span })
+    }
+
+    fn block(&mut self) -> Result<Block, Diag> {
+        let start = self.span();
+        self.expect(TokenKind::LBrace)?;
+        let mut stmts = Vec::new();
+        while self.peek() != &TokenKind::RBrace {
+            if self.peek() == &TokenKind::Eof {
+                return Err(Diag::new(self.span(), "unexpected end of input inside block"));
+            }
+            stmts.push(self.stmt()?);
+        }
+        self.expect(TokenKind::RBrace)?;
+        Ok(Block { stmts, span: start.to(self.prev_span()) })
+    }
+
+    fn stmt(&mut self) -> Result<Stmt, Diag> {
+        let start = self.span();
+        match self.peek() {
+            TokenKind::KwInt | TokenKind::KwPtr => {
+                let s = self.simple_stmt()?;
+                self.expect(TokenKind::Semi)?;
+                Ok(s)
+            }
+            TokenKind::KwIf => self.if_stmt(),
+            TokenKind::KwWhile => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let cond = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                let body = self.block()?;
+                Ok(Stmt { kind: StmtKind::While { cond, body }, span: start.to(self.prev_span()) })
+            }
+            TokenKind::KwFor => self.for_stmt(),
+            TokenKind::KwBreak => {
+                self.bump();
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt { kind: StmtKind::Break, span: start.to(self.prev_span()) })
+            }
+            TokenKind::KwContinue => {
+                self.bump();
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt { kind: StmtKind::Continue, span: start.to(self.prev_span()) })
+            }
+            TokenKind::KwReturn => {
+                self.bump();
+                let value =
+                    if self.peek() != &TokenKind::Semi { Some(self.expr()?) } else { None };
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt { kind: StmtKind::Return(value), span: start.to(self.prev_span()) })
+            }
+            TokenKind::KwPrint => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(TokenKind::Semi)?;
+                Ok(Stmt { kind: StmtKind::Print(e), span: start.to(self.prev_span()) })
+            }
+            _ => {
+                let s = self.simple_stmt()?;
+                self.expect(TokenKind::Semi)?;
+                Ok(s)
+            }
+        }
+    }
+
+    fn if_stmt(&mut self) -> Result<Stmt, Diag> {
+        let start = self.span();
+        self.expect(TokenKind::KwIf)?;
+        self.expect(TokenKind::LParen)?;
+        let cond = self.expr()?;
+        self.expect(TokenKind::RParen)?;
+        let then_blk = self.block()?;
+        let else_blk = if self.eat(&TokenKind::KwElse) {
+            if self.peek() == &TokenKind::KwIf {
+                // `else if` sugar: wrap the nested if in a synthetic block.
+                let nested = self.if_stmt()?;
+                let sp = nested.span;
+                Some(Block { stmts: vec![nested], span: sp })
+            } else {
+                Some(self.block()?)
+            }
+        } else {
+            None
+        };
+        Ok(Stmt {
+            kind: StmtKind::If { cond, then_blk, else_blk },
+            span: start.to(self.prev_span()),
+        })
+    }
+
+    fn for_stmt(&mut self) -> Result<Stmt, Diag> {
+        let start = self.span();
+        self.expect(TokenKind::KwFor)?;
+        self.expect(TokenKind::LParen)?;
+        let init = if self.peek() == &TokenKind::Semi {
+            None
+        } else {
+            Some(Box::new(self.simple_stmt()?))
+        };
+        self.expect(TokenKind::Semi)?;
+        let cond = if self.peek() == &TokenKind::Semi { None } else { Some(self.expr()?) };
+        self.expect(TokenKind::Semi)?;
+        let step = if self.peek() == &TokenKind::RParen {
+            None
+        } else {
+            Some(Box::new(self.simple_stmt()?))
+        };
+        self.expect(TokenKind::RParen)?;
+        let body = self.block()?;
+        Ok(Stmt {
+            kind: StmtKind::For { init, cond, step, body },
+            span: start.to(self.prev_span()),
+        })
+    }
+
+    /// A declaration, assignment or expression statement, without the
+    /// trailing semicolon (shared by `for` headers and plain statements).
+    fn simple_stmt(&mut self) -> Result<Stmt, Diag> {
+        let start = self.span();
+        if matches!(self.peek(), TokenKind::KwInt | TokenKind::KwPtr) {
+            let ty = if self.eat(&TokenKind::KwInt) {
+                DeclTy::Int
+            } else {
+                self.expect(TokenKind::KwPtr)?;
+                DeclTy::Ptr
+            };
+            let (name, _) = self.expect_ident()?;
+            let size = self.array_suffix()?;
+            let init = if self.eat(&TokenKind::Assign) {
+                if size.is_some() {
+                    return Err(Diag::new(self.prev_span(), "array declarations cannot have initializers"));
+                }
+                Some(self.expr()?)
+            } else {
+                None
+            };
+            if size.is_some() && ty == DeclTy::Ptr {
+                return Err(Diag::new(start, "arrays must be declared `int`"));
+            }
+            return Ok(Stmt {
+                kind: StmtKind::Decl { ty, name, size, init },
+                span: start.to(self.prev_span()),
+            });
+        }
+        let e = self.expr()?;
+        if self.eat(&TokenKind::Assign) {
+            let rhs = self.expr()?;
+            Ok(Stmt { kind: StmtKind::Assign { lhs: e, rhs }, span: start.to(self.prev_span()) })
+        } else {
+            Ok(Stmt { kind: StmtKind::Expr(e), span: start.to(self.prev_span()) })
+        }
+    }
+
+    // ---- expressions (precedence climbing) ----
+
+    fn expr(&mut self) -> Result<Expr, Diag> {
+        self.binary(0)
+    }
+
+    /// Binary operator table: `(token, op, precedence)`; higher binds tighter.
+    fn bin_op_of(kind: &TokenKind) -> Option<(AstBinOp, u8)> {
+        Some(match kind {
+            TokenKind::PipePipe => (AstBinOp::LogOr, 1),
+            TokenKind::AmpAmp => (AstBinOp::LogAnd, 2),
+            TokenKind::Pipe => (AstBinOp::BitOr, 3),
+            TokenKind::Caret => (AstBinOp::BitXor, 4),
+            TokenKind::Amp => (AstBinOp::BitAnd, 5),
+            TokenKind::EqEq => (AstBinOp::Eq, 6),
+            TokenKind::NotEq => (AstBinOp::Ne, 6),
+            TokenKind::Lt => (AstBinOp::Lt, 7),
+            TokenKind::Le => (AstBinOp::Le, 7),
+            TokenKind::Gt => (AstBinOp::Gt, 7),
+            TokenKind::Ge => (AstBinOp::Ge, 7),
+            TokenKind::Shl => (AstBinOp::Shl, 8),
+            TokenKind::Shr => (AstBinOp::Shr, 8),
+            TokenKind::Plus => (AstBinOp::Add, 9),
+            TokenKind::Minus => (AstBinOp::Sub, 9),
+            TokenKind::Star => (AstBinOp::Mul, 10),
+            TokenKind::Slash => (AstBinOp::Div, 10),
+            TokenKind::Percent => (AstBinOp::Rem, 10),
+            _ => return None,
+        })
+    }
+
+    fn binary(&mut self, min_prec: u8) -> Result<Expr, Diag> {
+        let mut lhs = self.unary()?;
+        while let Some((op, prec)) = Self::bin_op_of(self.peek()) {
+            if prec < min_prec {
+                break;
+            }
+            self.bump();
+            let rhs = self.binary(prec + 1)?;
+            let span = lhs.span.to(rhs.span);
+            lhs = Expr {
+                kind: ExprKind::Binary { op, lhs: Box::new(lhs), rhs: Box::new(rhs) },
+                span,
+            };
+        }
+        Ok(lhs)
+    }
+
+    fn unary(&mut self) -> Result<Expr, Diag> {
+        let start = self.span();
+        let op = match self.peek() {
+            TokenKind::Minus => Some(AstUnOp::Neg),
+            TokenKind::Bang => Some(AstUnOp::Not),
+            TokenKind::Star => Some(AstUnOp::Deref),
+            TokenKind::Amp => {
+                self.bump();
+                let (base, _) = self.expect_ident()?;
+                let index = if self.eat(&TokenKind::LBracket) {
+                    let e = self.expr()?;
+                    self.expect(TokenKind::RBracket)?;
+                    Some(Box::new(e))
+                } else {
+                    None
+                };
+                return Ok(Expr {
+                    kind: ExprKind::AddrOf { base, index },
+                    span: start.to(self.prev_span()),
+                });
+            }
+            _ => None,
+        };
+        if let Some(op) = op {
+            self.bump();
+            let operand = self.unary()?;
+            let span = start.to(operand.span);
+            return Ok(Expr { kind: ExprKind::Unary { op, operand: Box::new(operand) }, span });
+        }
+        self.postfix()
+    }
+
+    fn postfix(&mut self) -> Result<Expr, Diag> {
+        let e = self.primary()?;
+        if self.peek() == &TokenKind::LBracket {
+            if let ExprKind::Name(base) = &e.kind {
+                let base = base.clone();
+                self.bump();
+                let index = self.expr()?;
+                self.expect(TokenKind::RBracket)?;
+                let span = e.span.to(self.prev_span());
+                return Ok(Expr {
+                    kind: ExprKind::Index { base, index: Box::new(index) },
+                    span,
+                });
+            }
+            return Err(Diag::new(self.span(), "indexing is only allowed on names"));
+        }
+        Ok(e)
+    }
+
+    fn primary(&mut self) -> Result<Expr, Diag> {
+        let start = self.span();
+        match self.peek().clone() {
+            TokenKind::Int(v) => {
+                self.bump();
+                Ok(Expr { kind: ExprKind::Int(v), span: start })
+            }
+            TokenKind::KwInput => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                self.expect(TokenKind::RParen)?;
+                Ok(Expr { kind: ExprKind::Input, span: start.to(self.prev_span()) })
+            }
+            TokenKind::KwAlloc => {
+                self.bump();
+                self.expect(TokenKind::LParen)?;
+                let size = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(Expr {
+                    kind: ExprKind::Alloc(Box::new(size)),
+                    span: start.to(self.prev_span()),
+                })
+            }
+            TokenKind::Ident(name) => {
+                if self.peek2() == &TokenKind::LParen {
+                    self.bump();
+                    self.bump();
+                    let mut args = Vec::new();
+                    if self.peek() != &TokenKind::RParen {
+                        loop {
+                            args.push(self.expr()?);
+                            if !self.eat(&TokenKind::Comma) {
+                                break;
+                            }
+                        }
+                    }
+                    self.expect(TokenKind::RParen)?;
+                    Ok(Expr {
+                        kind: ExprKind::Call { callee: name, args },
+                        span: start.to(self.prev_span()),
+                    })
+                } else {
+                    self.bump();
+                    Ok(Expr { kind: ExprKind::Name(name), span: start })
+                }
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.expr()?;
+                self.expect(TokenKind::RParen)?;
+                Ok(e)
+            }
+            other => Err(Diag::new(start, format!("expected expression, found {other}"))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_globals_and_fn() {
+        let sf = parse("global int g; global int a[8]; fn main() { print 1; }").unwrap();
+        assert_eq!(sf.globals.len(), 2);
+        assert_eq!(sf.globals[0].size, None);
+        assert_eq!(sf.globals[1].size, Some(8));
+        assert_eq!(sf.functions[0].name, "main");
+        assert!(!sf.functions[0].returns_value);
+    }
+
+    #[test]
+    fn parses_params_and_return_type() {
+        let sf = parse("fn f(int a, ptr p) -> int { return a; }").unwrap();
+        let f = &sf.functions[0];
+        assert_eq!(f.params.len(), 2);
+        assert_eq!(f.params[0].ty, DeclTy::Int);
+        assert_eq!(f.params[1].ty, DeclTy::Ptr);
+        assert!(f.returns_value);
+    }
+
+    #[test]
+    fn precedence_binds_mul_tighter_than_add() {
+        let sf = parse("fn main() { int x = 1 + 2 * 3; }").unwrap();
+        let StmtKind::Decl { init: Some(e), .. } = &sf.functions[0].body.stmts[0].kind else {
+            panic!("expected decl");
+        };
+        let ExprKind::Binary { op: AstBinOp::Add, rhs, .. } = &e.kind else {
+            panic!("expected add at top: {e:?}");
+        };
+        assert!(matches!(rhs.kind, ExprKind::Binary { op: AstBinOp::Mul, .. }));
+    }
+
+    #[test]
+    fn comparison_is_non_associative_level() {
+        // (a < b) == (c < d) parses with == at the top.
+        let sf = parse("fn main() { int x = 1 < 2 == 3 < 4; }").unwrap();
+        let StmtKind::Decl { init: Some(e), .. } = &sf.functions[0].body.stmts[0].kind else {
+            panic!("expected decl");
+        };
+        assert!(matches!(e.kind, ExprKind::Binary { op: AstBinOp::Eq, .. }));
+    }
+
+    #[test]
+    fn parses_pointer_forms() {
+        let sf = parse(
+            "global int a[4];
+             fn main() { ptr p = &a[1]; *p = 3; int y = *(p + 1); int z = a[y]; }",
+        )
+        .unwrap();
+        let stmts = &sf.functions[0].body.stmts;
+        assert!(matches!(
+            stmts[0].kind,
+            StmtKind::Decl { ty: DeclTy::Ptr, init: Some(_), .. }
+        ));
+        let StmtKind::Assign { lhs, .. } = &stmts[1].kind else { panic!() };
+        assert!(matches!(lhs.kind, ExprKind::Unary { op: AstUnOp::Deref, .. }));
+    }
+
+    #[test]
+    fn parses_control_flow() {
+        let sf = parse(
+            "fn main() {
+               int i;
+               for (i = 0; i < 10; i = i + 1) {
+                 if (i % 2) { continue; } else if (i == 8) { break; }
+                 while (i) { i = i - 1; }
+               }
+             }",
+        )
+        .unwrap();
+        assert_eq!(sf.functions.len(), 1);
+    }
+
+    #[test]
+    fn else_if_desugars_to_nested_block() {
+        let sf = parse("fn main() { if (1) { } else if (2) { } }").unwrap();
+        let StmtKind::If { else_blk: Some(b), .. } = &sf.functions[0].body.stmts[0].kind else {
+            panic!()
+        };
+        assert!(matches!(b.stmts[0].kind, StmtKind::If { .. }));
+    }
+
+    #[test]
+    fn rejects_indexing_non_names() {
+        assert!(parse("fn main() { int x = (1+2)[3]; }").is_err());
+    }
+
+    #[test]
+    fn rejects_ptr_array_decl() {
+        assert!(parse("fn main() { ptr p[3]; }").is_err());
+    }
+
+    #[test]
+    fn rejects_array_initializer() {
+        assert!(parse("fn main() { int a[3] = 1; }").is_err());
+    }
+
+    #[test]
+    fn rejects_top_level_garbage() {
+        assert!(parse("int x;").is_err());
+    }
+
+    #[test]
+    fn call_statement_parses_as_expr_stmt() {
+        let sf = parse("fn f() { } fn main() { f(); }").unwrap();
+        assert!(matches!(sf.functions[1].body.stmts[0].kind, StmtKind::Expr(_)));
+    }
+}

@@ -1,0 +1,149 @@
+//! Token definitions for MiniC.
+
+use crate::errors::Span;
+use std::fmt;
+
+/// The kinds of MiniC tokens.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Integer literal.
+    Int(i64),
+    /// Identifier.
+    Ident(String),
+
+    // Keywords.
+    KwGlobal,
+    KwFn,
+    KwInt,
+    KwPtr,
+    KwIf,
+    KwElse,
+    KwWhile,
+    KwFor,
+    KwBreak,
+    KwContinue,
+    KwReturn,
+    KwPrint,
+    KwInput,
+    KwAlloc,
+
+    // Punctuation and operators.
+    LParen,
+    RParen,
+    LBrace,
+    RBrace,
+    LBracket,
+    RBracket,
+    Comma,
+    Semi,
+    Arrow,
+    Assign,
+    Plus,
+    Minus,
+    Star,
+    Slash,
+    Percent,
+    Amp,
+    Pipe,
+    Caret,
+    AmpAmp,
+    PipePipe,
+    Bang,
+    Shl,
+    Shr,
+    EqEq,
+    NotEq,
+    Lt,
+    Le,
+    Gt,
+    Ge,
+
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// Keyword for an identifier text, if it is one.
+    pub fn keyword(text: &str) -> Option<TokenKind> {
+        Some(match text {
+            "global" => TokenKind::KwGlobal,
+            "fn" => TokenKind::KwFn,
+            "int" => TokenKind::KwInt,
+            "ptr" => TokenKind::KwPtr,
+            "if" => TokenKind::KwIf,
+            "else" => TokenKind::KwElse,
+            "while" => TokenKind::KwWhile,
+            "for" => TokenKind::KwFor,
+            "break" => TokenKind::KwBreak,
+            "continue" => TokenKind::KwContinue,
+            "return" => TokenKind::KwReturn,
+            "print" => TokenKind::KwPrint,
+            "input" => TokenKind::KwInput,
+            "alloc" => TokenKind::KwAlloc,
+            _ => return None,
+        })
+    }
+}
+
+impl fmt::Display for TokenKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            TokenKind::Int(v) => return write!(f, "integer `{v}`"),
+            TokenKind::Ident(n) => return write!(f, "identifier `{n}`"),
+            TokenKind::KwGlobal => "`global`",
+            TokenKind::KwFn => "`fn`",
+            TokenKind::KwInt => "`int`",
+            TokenKind::KwPtr => "`ptr`",
+            TokenKind::KwIf => "`if`",
+            TokenKind::KwElse => "`else`",
+            TokenKind::KwWhile => "`while`",
+            TokenKind::KwFor => "`for`",
+            TokenKind::KwBreak => "`break`",
+            TokenKind::KwContinue => "`continue`",
+            TokenKind::KwReturn => "`return`",
+            TokenKind::KwPrint => "`print`",
+            TokenKind::KwInput => "`input`",
+            TokenKind::KwAlloc => "`alloc`",
+            TokenKind::LParen => "`(`",
+            TokenKind::RParen => "`)`",
+            TokenKind::LBrace => "`{`",
+            TokenKind::RBrace => "`}`",
+            TokenKind::LBracket => "`[`",
+            TokenKind::RBracket => "`]`",
+            TokenKind::Comma => "`,`",
+            TokenKind::Semi => "`;`",
+            TokenKind::Arrow => "`->`",
+            TokenKind::Assign => "`=`",
+            TokenKind::Plus => "`+`",
+            TokenKind::Minus => "`-`",
+            TokenKind::Star => "`*`",
+            TokenKind::Slash => "`/`",
+            TokenKind::Percent => "`%`",
+            TokenKind::Amp => "`&`",
+            TokenKind::Pipe => "`|`",
+            TokenKind::Caret => "`^`",
+            TokenKind::AmpAmp => "`&&`",
+            TokenKind::PipePipe => "`||`",
+            TokenKind::Bang => "`!`",
+            TokenKind::Shl => "`<<`",
+            TokenKind::Shr => "`>>`",
+            TokenKind::EqEq => "`==`",
+            TokenKind::NotEq => "`!=`",
+            TokenKind::Lt => "`<`",
+            TokenKind::Le => "`<=`",
+            TokenKind::Gt => "`>`",
+            TokenKind::Ge => "`>=`",
+            TokenKind::Eof => "end of input",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A token with its source span.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Token {
+    /// Token kind and payload.
+    pub kind: TokenKind,
+    /// Source location.
+    pub span: Span,
+}

@@ -1,0 +1,22 @@
+//! Ball–Larus efficient path profiling (MICRO 1996), used by the paper's
+//! profile-guided path specialization (OPT-2c / OPT-5b).
+//!
+//! Every acyclic path through a function — from the entry or a back-edge
+//! target, to a back-edge source or a return — receives a compact integer
+//! id. Any dynamic block trace of the function partitions *exactly* into
+//! such paths, which is what lets the OPT graph builder segment the trace
+//! into specialized-path node executions without unbounded lookahead: at
+//! every back edge or return the current path is complete and its id
+//! decides whether a specialized node or individual block nodes were
+//! executed.
+//!
+//! [`BallLarus`] numbers one function's paths; [`PathTracker`] carries the
+//! per-activation path register; [`PathProfile`] accumulates counts from a
+//! profiling run; [`BallLarus::decode`] recovers a path's block sequence
+//! from its id.
+
+pub mod numbering;
+pub mod profile;
+
+pub use numbering::{BallLarus, CompletedPath, PathTracker};
+pub use profile::{PathProfile, ProgramPaths};

@@ -1,0 +1,125 @@
+//! Whole-program path numbering and path frequency profiles.
+
+use std::collections::HashMap;
+
+use dynslice_ir::{Cfg, FuncId, Program};
+
+use crate::numbering::BallLarus;
+
+/// Ball–Larus numberings for every function of a program.
+#[derive(Clone, Debug)]
+pub struct ProgramPaths {
+    /// Per-function numbering, indexed by function id.
+    pub functions: Vec<BallLarus>,
+}
+
+impl ProgramPaths {
+    /// Numbers the paths of every function in `p`.
+    pub fn compute(p: &Program) -> Self {
+        let functions = p
+            .functions
+            .iter()
+            .map(|f| {
+                let cfg = Cfg::new(f);
+                BallLarus::compute(&cfg, f)
+            })
+            .collect();
+        Self { functions }
+    }
+
+    /// The numbering for function `f`.
+    pub fn func(&self, f: FuncId) -> &BallLarus {
+        &self.functions[f.index()]
+    }
+
+    /// Total number of acyclic paths across all functions (saturating).
+    pub fn total_paths(&self) -> u64 {
+        self.functions.iter().fold(0u64, |acc, b| acc.saturating_add(b.num_paths))
+    }
+}
+
+/// Path execution frequencies gathered during a profiling run.
+#[derive(Clone, Debug, Default)]
+pub struct PathProfile {
+    counts: HashMap<(FuncId, u64), u64>,
+}
+
+impl PathProfile {
+    /// Creates an empty profile.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one execution of path `id` in function `f`.
+    pub fn record(&mut self, f: FuncId, id: u64) {
+        *self.counts.entry((f, id)).or_insert(0) += 1;
+    }
+
+    /// Execution count of path `id` in function `f`.
+    pub fn count(&self, f: FuncId, id: u64) -> u64 {
+        self.counts.get(&(f, id)).copied().unwrap_or(0)
+    }
+
+    /// All `(function, path id, count)` triples with nonzero counts, sorted
+    /// by descending count (ties broken by ids, for determinism).
+    pub fn hot_paths(&self) -> Vec<(FuncId, u64, u64)> {
+        let mut v: Vec<_> = self.counts.iter().map(|(&(f, id), &c)| (f, id, c)).collect();
+        v.sort_by(|a, b| b.2.cmp(&a.2).then(a.0.cmp(&b.0)).then(a.1.cmp(&b.1)));
+        v
+    }
+
+    /// Paths of `f` with nonzero frequency — the paper specializes exactly
+    /// these ("we specialized all Ball Larus paths that were found to have a
+    /// non-zero frequency during a profiling run").
+    pub fn nonzero_paths(&self, f: FuncId) -> Vec<u64> {
+        let mut v: Vec<u64> = self
+            .counts
+            .iter()
+            .filter(|((func, _), &c)| *func == f && c > 0)
+            .map(|((_, id), _)| *id)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Total number of recorded path executions.
+    pub fn total_executions(&self) -> u64 {
+        self.counts.values().sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn program_paths_numbers_every_function() {
+        let p = dynslice_lang::compile(
+            "fn f(int x) -> int { if (x) { return 1; } return 2; }
+             fn main() { print f(input()); }",
+        )
+        .unwrap();
+        let pp = ProgramPaths::compute(&p);
+        assert_eq!(pp.functions.len(), 2);
+        assert_eq!(pp.func(FuncId(0)).num_paths, 2);
+        assert_eq!(pp.func(p.main).num_paths, 1);
+        assert_eq!(pp.total_paths(), 3);
+    }
+
+    #[test]
+    fn profile_counting_and_hot_order() {
+        let mut prof = PathProfile::new();
+        let f = FuncId(0);
+        for _ in 0..5 {
+            prof.record(f, 1);
+        }
+        prof.record(f, 0);
+        prof.record(FuncId(1), 7);
+        assert_eq!(prof.count(f, 1), 5);
+        assert_eq!(prof.count(f, 2), 0);
+        let hot = prof.hot_paths();
+        assert_eq!(hot[0], (f, 1, 5));
+        assert_eq!(prof.nonzero_paths(f), vec![0, 1]);
+        assert_eq!(prof.total_executions(), 7);
+    }
+}

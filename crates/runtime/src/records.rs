@@ -1,0 +1,382 @@
+//! Flat statement-instance records and their chunked on-disk format — the
+//! preprocessed execution trace the LP algorithm re-traverses.
+//!
+//! The paper's LP algorithm keeps the execution trace on disk, augmented
+//! with summary information that lets slicing skip irrelevant parts during
+//! its repeated backward traversals. Here the trace is a stream of
+//! fixed-size [`Record`]s (one per executed statement instance, plus one per
+//! call return), chunked; each chunk carries a summary of the memory cells
+//! it stores to and the activations it touches, so a backward scan can skip
+//! whole chunks that cannot resolve any outstanding query.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Read, Seek, SeekFrom, Write};
+use std::path::{Path, PathBuf};
+
+use dynslice_ir::{Program, StmtId, StmtKind};
+
+use crate::replay::{replay, ReplayVisitor, StmtCx};
+use crate::trace::{FrameId, TraceEvent};
+use crate::value::Cell;
+
+/// Sentinel meaning "no cell" in a record.
+const NO_CELL: u64 = u64::MAX;
+/// Sentinel meaning "call-return definition" in a record.
+const CALL_RET: u64 = u64::MAX - 1;
+/// Base of the "parameter definition" payload range: the low 32 bits hold
+/// the created frame id. Region-instance ids stay far below `u32::MAX - 1`,
+/// so real cells cannot collide with this range.
+const PARAM_DEF_BASE: u64 = 0xFFFF_FFFE_0000_0000;
+
+/// One executed statement instance.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub struct Record {
+    /// Executed statement.
+    pub stmt: StmtId,
+    /// Activation it ran in.
+    pub frame: FrameId,
+    /// Payload: the touched memory cell, or a marker.
+    payload: u64,
+}
+
+impl Record {
+    /// A plain execution record.
+    pub fn exec(stmt: StmtId, frame: FrameId, cell: Option<Cell>) -> Self {
+        Self { stmt, frame, payload: cell.map_or(NO_CELL, |c| c.0) }
+    }
+
+    /// A call-return record: the call-assign's destination is defined here.
+    pub fn call_ret(stmt: StmtId, frame: FrameId) -> Self {
+        Self { stmt, frame, payload: CALL_RET }
+    }
+
+    /// A parameter-definition record: call statement `stmt` in `caller`
+    /// defined the parameters of the new activation `new_frame`.
+    pub fn param_def(stmt: StmtId, caller: FrameId, new_frame: FrameId) -> Self {
+        Self { stmt, frame: caller, payload: PARAM_DEF_BASE | new_frame.0 as u64 }
+    }
+
+    /// The memory cell this record touched, if any.
+    pub fn cell(&self) -> Option<Cell> {
+        (self.payload < PARAM_DEF_BASE).then_some(Cell(self.payload))
+    }
+
+    /// Whether this is a call-return definition record.
+    pub fn is_call_ret(&self) -> bool {
+        self.payload == CALL_RET
+    }
+
+    /// The activation whose parameters this record defines, if it is a
+    /// parameter-definition record.
+    pub fn param_def_frame(&self) -> Option<FrameId> {
+        (self.payload >= PARAM_DEF_BASE && self.payload < CALL_RET)
+            .then_some(FrameId(self.payload as u32))
+    }
+
+    fn encode(&self, out: &mut Vec<u8>) {
+        out.extend_from_slice(&(((self.frame.0 as u64) << 32) | self.stmt.0 as u64).to_le_bytes());
+        out.extend_from_slice(&self.payload.to_le_bytes());
+    }
+
+    fn decode(buf: &[u8]) -> Self {
+        let w0 = u64::from_le_bytes(buf[0..8].try_into().expect("8 bytes"));
+        let payload = u64::from_le_bytes(buf[8..16].try_into().expect("8 bytes"));
+        Self {
+            stmt: StmtId(w0 as u32),
+            frame: FrameId((w0 >> 32) as u32),
+            payload,
+        }
+    }
+}
+
+/// Collects [`Record`]s from a trace via replay.
+struct RecordCollector<'p> {
+    program: &'p Program,
+    records: Vec<Record>,
+}
+
+impl ReplayVisitor for RecordCollector<'_> {
+    fn frame_enter(
+        &mut self,
+        frame: FrameId,
+        _func: dynslice_ir::FuncId,
+        call: Option<(FrameId, StmtId)>,
+    ) {
+        if let Some((caller, stmt)) = call {
+            self.records.push(Record::param_def(stmt, caller, frame));
+        }
+    }
+
+    fn stmt(&mut self, cx: StmtCx) {
+        self.records.push(Record::exec(cx.stmt, cx.frame, cx.cell));
+    }
+
+    fn call_returned(
+        &mut self,
+        frame: FrameId,
+        _func: dynslice_ir::FuncId,
+        _block: dynslice_ir::BlockId,
+        stmt: StmtId,
+    ) {
+        let _ = self.program;
+        self.records.push(Record::call_ret(stmt, frame));
+    }
+}
+
+/// Flattens a trace into the record stream LP scans.
+pub fn collect_records(program: &Program, events: &[TraceEvent]) -> Vec<Record> {
+    let mut c = RecordCollector { program, records: Vec::new() };
+    replay(program, events, &mut c);
+    c.records
+}
+
+/// Per-chunk summary: what a backward scan could possibly find inside.
+#[derive(Clone, Debug, Default)]
+pub struct ChunkSummary {
+    /// Cells stored to in this chunk (sorted, deduplicated).
+    pub stored_cells: Vec<u64>,
+    /// Activations with records in this chunk (sorted, deduplicated).
+    pub frames: Vec<u32>,
+}
+
+impl ChunkSummary {
+    /// Whether a chunk could define any of `cells` or touch any of `frames`.
+    pub fn relevant(&self, cells: impl Iterator<Item = u64>, frames: impl Iterator<Item = u32>) -> bool {
+        for c in cells {
+            if self.stored_cells.binary_search(&c).is_ok() {
+                return true;
+            }
+        }
+        for f in frames {
+            if self.frames.binary_search(&f).is_ok() {
+                return true;
+            }
+        }
+        false
+    }
+
+    /// Approximate in-memory size of the summary in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.stored_cells.len() * 8 + self.frames.len() * 4 + 48
+    }
+}
+
+/// Index entry for one chunk in a [`RecordFile`].
+#[derive(Clone, Debug)]
+pub struct ChunkMeta {
+    /// Byte offset of the chunk's records in the file.
+    pub offset: u64,
+    /// Number of records in the chunk.
+    pub len: u32,
+    /// Skip summary.
+    pub summary: ChunkSummary,
+}
+
+/// A chunked on-disk record stream with an in-memory chunk index.
+#[derive(Debug)]
+pub struct RecordFile {
+    path: PathBuf,
+    /// Chunk index in file order.
+    pub chunks: Vec<ChunkMeta>,
+    /// Total number of records.
+    pub num_records: u64,
+}
+
+/// Number of records per chunk.
+pub const CHUNK_RECORDS: usize = 1 << 16;
+const RECORD_BYTES: usize = 16;
+
+impl RecordFile {
+    /// Writes `records` to `path` in chunks, building the skip index.
+    ///
+    /// # Errors
+    /// Propagates I/O errors from file creation and writing.
+    pub fn write(
+        path: impl AsRef<Path>,
+        program: &Program,
+        records: &[Record],
+    ) -> io::Result<Self> {
+        let path = path.as_ref().to_path_buf();
+        let mut file = BufWriter::new(File::create(&path)?);
+        let mut chunks = Vec::new();
+        let mut offset = 0u64;
+        let mut buf = Vec::with_capacity(CHUNK_RECORDS * RECORD_BYTES);
+        for chunk in records.chunks(CHUNK_RECORDS) {
+            buf.clear();
+            let mut stored = Vec::new();
+            let mut frames = Vec::new();
+            for r in chunk {
+                r.encode(&mut buf);
+                frames.push(r.frame.0);
+                if let Some(pf) = r.param_def_frame() {
+                    // Parameter wants are keyed by the created frame; the
+                    // summary must keep the chunk visible to them.
+                    frames.push(pf.0);
+                }
+                if let Some(cell) = r.cell() {
+                    // Only *stores* matter for the cell summary.
+                    if matches!(program.stmt_kind(r.stmt), Some(StmtKind::Store { .. })) {
+                        stored.push(cell.0);
+                    }
+                }
+            }
+            stored.sort_unstable();
+            stored.dedup();
+            frames.sort_unstable();
+            frames.dedup();
+            file.write_all(&buf)?;
+            chunks.push(ChunkMeta {
+                offset,
+                len: chunk.len() as u32,
+                summary: ChunkSummary { stored_cells: stored, frames },
+            });
+            offset += buf.len() as u64;
+        }
+        file.flush()?;
+        Ok(Self { path, chunks, num_records: records.len() as u64 })
+    }
+
+    /// Reads chunk `i`'s records (in execution order).
+    ///
+    /// # Errors
+    /// Propagates I/O errors; fails if the file shrank since writing.
+    pub fn read_chunk(&self, i: usize) -> io::Result<Vec<Record>> {
+        let meta = &self.chunks[i];
+        let mut f = File::open(&self.path)?;
+        f.seek(SeekFrom::Start(meta.offset))?;
+        let mut buf = vec![0u8; meta.len as usize * RECORD_BYTES];
+        f.read_exact(&mut buf)?;
+        Ok(buf.chunks_exact(RECORD_BYTES).map(Record::decode).collect())
+    }
+
+    /// Total index (summary) size in bytes — the in-memory cost of LP's
+    /// skip structures.
+    pub fn index_bytes(&self) -> usize {
+        self.chunks.iter().map(|c| c.summary.size_bytes() + 16).sum()
+    }
+
+    /// Size of the record data on disk, in bytes.
+    pub fn data_bytes(&self) -> u64 {
+        self.num_records * RECORD_BYTES as u64
+    }
+
+    /// The backing file's path.
+    pub fn path(&self) -> &Path {
+        &self.path
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::vm::{run, VmOptions};
+    use dynslice_lang::compile;
+
+    fn records_for(src: &str) -> (Program, Vec<Record>) {
+        let p = compile(src).expect("compiles");
+        let t = run(&p, VmOptions::default());
+        let r = collect_records(&p, &t.events);
+        (p, r)
+    }
+
+    #[test]
+    fn record_roundtrip_encoding() {
+        let r1 = Record::exec(StmtId(12), FrameId(3), Some(Cell::new(1, 2)));
+        let r2 = Record::exec(StmtId(0), FrameId(0), None);
+        let r3 = Record::call_ret(StmtId(7), FrameId(1));
+        for r in [r1, r2, r3] {
+            let mut buf = Vec::new();
+            r.encode(&mut buf);
+            assert_eq!(Record::decode(&buf), r);
+        }
+        assert_eq!(r1.cell(), Some(Cell::new(1, 2)));
+        assert_eq!(r2.cell(), None);
+        assert!(r3.is_call_ret());
+        assert!(!r1.is_call_ret());
+    }
+
+    #[test]
+    fn collects_one_record_per_statement_instance() {
+        let (_, recs) = records_for(
+            "fn main() {
+               int i;
+               int s = 0;
+               for (i = 0; i < 4; i = i + 1) { s = s + i; }
+               print s;
+             }",
+        );
+        assert!(recs.iter().all(|r| !r.is_call_ret() && r.param_def_frame().is_none()));
+        assert!(recs.len() > 20);
+    }
+
+    #[test]
+    fn call_returns_are_recorded() {
+        let (_, recs) = records_for(
+            "fn f(int x) -> int { return x + 1; }
+             fn main() { print f(f(1)); }",
+        );
+        assert_eq!(recs.iter().filter(|r| r.is_call_ret()).count(), 2);
+        assert_eq!(recs.iter().filter(|r| r.param_def_frame().is_some()).count(), 2);
+        // A param-def immediately precedes its callee's records; a call-ret
+        // immediately follows the callee's Return record.
+        let pd = recs.iter().position(|r| r.param_def_frame().is_some()).unwrap();
+        assert_eq!(recs[pd].param_def_frame(), Some(FrameId(1)));
+        let cr = recs.iter().position(|r| r.is_call_ret()).unwrap();
+        assert_eq!(recs[cr - 1].frame, FrameId(1));
+    }
+
+    #[test]
+    fn file_roundtrip_and_summaries() {
+        let (p, recs) = records_for(
+            "global int a[8];
+             fn main() {
+               int i;
+               for (i = 0; i < 8; i = i + 1) { a[i] = i; }
+               print a[7];
+             }",
+        );
+        let dir = std::env::temp_dir().join("dynslice-test-records");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t1.bin");
+        let rf = RecordFile::write(&path, &p, &recs).unwrap();
+        assert_eq!(rf.num_records, recs.len() as u64);
+        let mut back = Vec::new();
+        for i in 0..rf.chunks.len() {
+            back.extend(rf.read_chunk(i).unwrap());
+        }
+        assert_eq!(back, recs);
+        // The summary knows the stored cells.
+        let stored: Vec<u64> = rf.chunks[0].summary.stored_cells.clone();
+        assert_eq!(stored.len(), 8, "eight distinct cells stored");
+        assert!(rf.chunks[0].summary.relevant(stored.iter().copied().take(1), std::iter::empty()));
+        assert!(!rf.chunks[0]
+            .summary
+            .relevant(std::iter::once(u64::MAX - 7), std::iter::empty()));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn chunking_splits_large_streams() {
+        let (p, recs) = records_for(
+            "fn main() {
+               int i;
+               int s = 0;
+               for (i = 0; i < 40000; i = i + 1) { s = s + i; }
+               print s;
+             }",
+        );
+        assert!(recs.len() > CHUNK_RECORDS);
+        let dir = std::env::temp_dir().join("dynslice-test-records");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t2.bin");
+        let rf = RecordFile::write(&path, &p, &recs).unwrap();
+        assert!(rf.chunks.len() >= 2);
+        assert_eq!(
+            rf.chunks.iter().map(|c| c.len as usize).sum::<usize>(),
+            recs.len()
+        );
+        // Frames summary: single activation.
+        assert_eq!(rf.chunks[0].summary.frames, vec![0]);
+        std::fs::remove_file(&path).ok();
+    }
+}

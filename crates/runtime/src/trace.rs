@@ -1,0 +1,79 @@
+//! The execution trace: the two streams the paper's tracing run produces
+//! (control flow and data addresses), interleaved in execution order.
+
+use dynslice_ir::{BlockId, FuncId, StmtId};
+
+use crate::value::Cell;
+
+/// Identifies one function activation. Frame ids are allocated sequentially
+/// by the VM, so replayers can key per-activation state by them.
+#[derive(Copy, Clone, Debug, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct FrameId(pub u32);
+
+/// One trace event.
+///
+/// The canonical order of `Addr` events follows
+/// [`dynslice_ir::defuse`]: one event per executed load or store, in
+/// statement order within a block (interrupted by callee events at calls).
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A new activation begins. `call_stmt` is the calling statement
+    /// (`None` for `main`).
+    FrameEnter {
+        /// The new activation.
+        frame: FrameId,
+        /// Callee function.
+        func: FuncId,
+        /// Calling statement, if any.
+        call_stmt: Option<StmtId>,
+        /// Caller activation, if any.
+        caller: Option<FrameId>,
+    },
+    /// Activation `frame` begins executing `block`.
+    Block {
+        /// The executing activation.
+        frame: FrameId,
+        /// The block entered.
+        block: BlockId,
+    },
+    /// The cell touched by the next load/store of the current statement
+    /// stream.
+    Addr(Cell),
+    /// Activation `frame` returned.
+    FrameExit {
+        /// The finished activation.
+        frame: FrameId,
+    },
+}
+
+/// A complete (or step-limited) execution trace plus run statistics.
+#[derive(Clone, Debug, Default)]
+pub struct Trace {
+    /// Events in execution order.
+    pub events: Vec<TraceEvent>,
+    /// Values printed by the program.
+    pub output: Vec<i64>,
+    /// Number of statements executed (terminators included).
+    pub stmts_executed: u64,
+    /// Which statements executed at least once (indexed by `StmtId`);
+    /// `USE` in the paper's Table 1 is the number of set bits.
+    pub executed: Vec<bool>,
+    /// Number of function activations.
+    pub frames: u32,
+    /// Whether the run was cut off by the step limit.
+    pub truncated: bool,
+}
+
+impl Trace {
+    /// Number of unique statements executed (the paper's *USE*).
+    pub fn unique_stmts_executed(&self) -> usize {
+        self.executed.iter().filter(|b| **b).count()
+    }
+
+    /// Marks a statement as executed and counts it.
+    #[inline]
+    pub(crate) fn record_stmt(&mut self, s: StmtId) {
+        self.stmts_executed += 1;
+        self.executed[s.index()] = true;
+    }
+}

@@ -1,0 +1,69 @@
+//! Runtime value and memory-cell representations.
+//!
+//! Every MiniC value is an `i64`. Pointers are packed cells: the upper 32
+//! bits name a *region instance* (a concrete incarnation of a static
+//! region — globals have exactly one, local arrays one per activation, alloc
+//! sites one per executed allocation), the lower 32 bits the cell offset.
+
+/// A concrete memory cell: `(region instance, offset)` packed into a `u64`.
+#[derive(Copy, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Cell(pub u64);
+
+impl Cell {
+    /// Packs an instance id and offset.
+    #[inline]
+    pub fn new(instance: u32, offset: u32) -> Self {
+        Cell(((instance as u64) << 32) | offset as u64)
+    }
+
+    /// The region-instance id.
+    #[inline]
+    pub fn instance(self) -> u32 {
+        (self.0 >> 32) as u32
+    }
+
+    /// The cell offset within the instance.
+    #[inline]
+    pub fn offset(self) -> u32 {
+        self.0 as u32
+    }
+}
+
+impl std::fmt::Debug for Cell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "cell({}, {})", self.instance(), self.offset())
+    }
+}
+
+/// Converts a runtime pointer value into the cell it denotes, given the
+/// size of the instance it points into. Offsets wrap modulo the instance
+/// size so pointer arithmetic can never escape a region instance — the rule
+/// that keeps region-granularity alias analysis sound.
+#[inline]
+pub fn clamp_offset(offset: u32, size: u32) -> u32 {
+    if size == 0 {
+        0
+    } else {
+        offset % size
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cell_roundtrip() {
+        let c = Cell::new(7, 1234);
+        assert_eq!(c.instance(), 7);
+        assert_eq!(c.offset(), 1234);
+        assert_eq!(format!("{c:?}"), "cell(7, 1234)");
+    }
+
+    #[test]
+    fn clamp_wraps_and_tolerates_zero() {
+        assert_eq!(clamp_offset(5, 4), 1);
+        assert_eq!(clamp_offset(3, 4), 3);
+        assert_eq!(clamp_offset(9, 0), 0);
+    }
+}

@@ -1,0 +1,502 @@
+//! The MiniC virtual machine: executes IR programs while emitting the
+//! control-flow + data-address trace that all slicing algorithms consume.
+//!
+//! The VM stands in for the paper's instrumented Trimaran binaries. Its
+//! semantics are total: division by zero yields 0, shifts are masked,
+//! arithmetic wraps, out-of-range memory offsets wrap modulo the instance
+//! size, and dereferencing a garbage pointer is clamped to a valid instance
+//! — so every syntactically valid program runs to completion (or to the
+//! configured step limit).
+
+use dynslice_ir::{
+    BinOp, BlockId, FuncId, MemRef, Operand, Program, RegionId, RegionKind, Rvalue, StmtKind,
+    Terminator, UnOp, VarId,
+};
+
+use crate::trace::{FrameId, Trace, TraceEvent};
+use crate::value::{clamp_offset, Cell};
+
+/// VM configuration.
+#[derive(Clone, Debug)]
+pub struct VmOptions {
+    /// Stop after this many executed statements (the trace is marked
+    /// truncated). Defaults to 50 million.
+    pub max_steps: u64,
+    /// Input tape consumed cyclically by `input()` (an empty tape reads 0).
+    pub input: Vec<i64>,
+}
+
+impl Default for VmOptions {
+    fn default() -> Self {
+        Self { max_steps: 50_000_000, input: Vec::new() }
+    }
+}
+
+/// Runs `program` to completion (or to the step limit) and returns its trace.
+pub fn run(program: &Program, options: VmOptions) -> Trace {
+    Vm::new(program, options).run()
+}
+
+struct Instance {
+    data: Vec<i64>,
+}
+
+struct Frame {
+    id: FrameId,
+    func: FuncId,
+    vars: Vec<i64>,
+    block: BlockId,
+    stmt_idx: usize,
+    pending_dst: Option<VarId>,
+    /// Instances of this function's local-array regions.
+    locals: Vec<(RegionId, u32)>,
+}
+
+struct Vm<'p> {
+    program: &'p Program,
+    memory: Vec<Instance>,
+    /// Instance id of each global region (`u32::MAX` for non-globals).
+    global_instances: Vec<u32>,
+    frames: Vec<Frame>,
+    next_frame: u32,
+    input: Vec<i64>,
+    input_pos: usize,
+    trace: Trace,
+    steps_left: u64,
+}
+
+impl<'p> Vm<'p> {
+    fn new(program: &'p Program, options: VmOptions) -> Self {
+        let mut memory = Vec::new();
+        let mut global_instances = vec![u32::MAX; program.regions.len()];
+        for (ri, r) in program.regions.iter().enumerate() {
+            if r.kind == RegionKind::Global {
+                global_instances[ri] = memory.len() as u32;
+                memory.push(Instance { data: vec![0; r.size.max(1) as usize] });
+            }
+        }
+        let trace = Trace { executed: vec![false; program.num_stmts()], ..Default::default() };
+        Self {
+            program,
+            memory,
+            global_instances,
+            frames: Vec::new(),
+            next_frame: 0,
+            input: options.input,
+            input_pos: 0,
+            trace,
+            steps_left: options.max_steps,
+        }
+    }
+
+    fn push_frame(
+        &mut self,
+        func: FuncId,
+        args: &[i64],
+        call_stmt: Option<dynslice_ir::StmtId>,
+        caller: Option<FrameId>,
+    ) {
+        let f = self.program.func(func);
+        let id = FrameId(self.next_frame);
+        self.next_frame += 1;
+        let mut vars = vec![0i64; f.num_vars as usize];
+        vars[..args.len()].copy_from_slice(args);
+        // Instantiate this function's local-array regions, in region order
+        // (deterministic, though replayers never depend on it).
+        let mut locals = Vec::new();
+        for (ri, r) in self.program.regions.iter().enumerate() {
+            if r.kind == RegionKind::Local(func) {
+                let inst = self.memory.len() as u32;
+                self.memory.push(Instance { data: vec![0; r.size.max(1) as usize] });
+                locals.push((RegionId(ri as u32), inst));
+            }
+        }
+        self.trace.events.push(TraceEvent::FrameEnter { frame: id, func, call_stmt, caller });
+        self.trace.events.push(TraceEvent::Block { frame: id, block: BlockId(0) });
+        self.trace.frames += 1;
+        self.frames.push(Frame {
+            id,
+            func,
+            vars,
+            block: BlockId(0),
+            stmt_idx: 0,
+            pending_dst: None,
+            locals,
+        });
+    }
+
+    fn run(mut self) -> Trace {
+        self.push_frame(self.program.main, &[], None, None);
+        'outer: while !self.frames.is_empty() {
+            if self.steps_left == 0 {
+                self.trace.truncated = true;
+                break;
+            }
+            self.steps_left -= 1;
+
+            let fi = self.frames.len() - 1;
+            let func = self.frames[fi].func;
+            let block = self.frames[fi].block;
+            let stmt_idx = self.frames[fi].stmt_idx;
+            let bb = self.program.func(func).block(block);
+
+            if stmt_idx < bb.stmts.len() {
+                let st = &bb.stmts[stmt_idx];
+                self.trace.record_stmt(st.id);
+                match &st.kind {
+                    StmtKind::Assign { dst, rv: Rvalue::Call { func: callee, args } } => {
+                        let argv: Vec<i64> =
+                            args.iter().map(|a| self.operand(fi, *a)).collect();
+                        self.frames[fi].pending_dst = Some(*dst);
+                        let caller = self.frames[fi].id;
+                        self.push_frame(*callee, &argv, Some(st.id), Some(caller));
+                        continue 'outer;
+                    }
+                    StmtKind::Assign { dst, rv } => {
+                        let v = self.eval_rvalue(fi, rv);
+                        self.frames[fi].vars[dst.index()] = v;
+                    }
+                    StmtKind::Store { mem, value } => {
+                        let v = self.operand(fi, *value);
+                        let cell = self.resolve(fi, mem);
+                        self.trace.events.push(TraceEvent::Addr(cell));
+                        self.write_cell(cell, v);
+                    }
+                    StmtKind::Print(op) => {
+                        let v = self.operand(fi, *op);
+                        self.trace.output.push(v);
+                    }
+                }
+                self.frames[fi].stmt_idx += 1;
+            } else {
+                self.trace.record_stmt(bb.term_id);
+                match &bb.term {
+                    Terminator::Jump(t) => self.goto(fi, *t),
+                    Terminator::Branch { cond, then_bb, else_bb } => {
+                        let c = self.operand(fi, *cond);
+                        self.goto(fi, if c != 0 { *then_bb } else { *else_bb });
+                    }
+                    Terminator::Return(op) => {
+                        let ret = op.map(|o| self.operand(fi, o)).unwrap_or(0);
+                        let frame = self.frames[fi].id;
+                        self.trace.events.push(TraceEvent::FrameExit { frame });
+                        self.frames.pop();
+                        if let Some(caller) = self.frames.last_mut() {
+                            let dst = caller
+                                .pending_dst
+                                .take()
+                                .expect("return resumes a pending call");
+                            caller.vars[dst.index()] = ret;
+                            caller.stmt_idx += 1;
+                        }
+                    }
+                }
+            }
+        }
+        self.trace
+    }
+
+    fn goto(&mut self, fi: usize, target: BlockId) {
+        let frame = &mut self.frames[fi];
+        frame.block = target;
+        frame.stmt_idx = 0;
+        let id = frame.id;
+        self.trace.events.push(TraceEvent::Block { frame: id, block: target });
+    }
+
+    #[inline]
+    fn operand(&self, fi: usize, op: Operand) -> i64 {
+        match op {
+            Operand::Const(c) => c,
+            Operand::Var(v) => self.frames[fi].vars[v.index()],
+        }
+    }
+
+    /// Instance id of `region` as seen from frame `fi`.
+    fn region_instance(&self, fi: usize, region: RegionId) -> u32 {
+        let gi = self.global_instances[region.index()];
+        if gi != u32::MAX {
+            return gi;
+        }
+        for &(r, inst) in &self.frames[fi].locals {
+            if r == region {
+                return inst;
+            }
+        }
+        // Direct access to a non-instantiated region is rejected by the IR
+        // validator; defensive fallback.
+        0
+    }
+
+    /// Resolves a memory reference to the concrete cell it touches.
+    fn resolve(&mut self, fi: usize, mem: &MemRef) -> Cell {
+        match mem {
+            MemRef::Direct { region, offset } => {
+                let inst = self.region_instance(fi, *region);
+                let size = self.memory[inst as usize].data.len() as u32;
+                let off = clamp_offset(self.operand(fi, *offset) as u32, size);
+                Cell::new(inst, off)
+            }
+            MemRef::Indirect { ptr } => {
+                let v = self.operand(fi, *ptr) as u64;
+                if self.memory.is_empty() {
+                    return Cell::new(0, 0);
+                }
+                // Clamp garbage pointers to a valid instance so execution is
+                // total; well-formed programs never hit the wrap.
+                let inst = ((v >> 32) as u32) % self.memory.len() as u32;
+                let size = self.memory[inst as usize].data.len() as u32;
+                let off = clamp_offset(v as u32, size);
+                Cell::new(inst, off)
+            }
+        }
+    }
+
+    fn read_cell(&self, cell: Cell) -> i64 {
+        self.memory
+            .get(cell.instance() as usize)
+            .and_then(|i| i.data.get(cell.offset() as usize))
+            .copied()
+            .unwrap_or(0)
+    }
+
+    fn write_cell(&mut self, cell: Cell, v: i64) {
+        if let Some(i) = self.memory.get_mut(cell.instance() as usize) {
+            if let Some(slot) = i.data.get_mut(cell.offset() as usize) {
+                *slot = v;
+            }
+        }
+    }
+
+    fn eval_rvalue(&mut self, fi: usize, rv: &Rvalue) -> i64 {
+        match rv {
+            Rvalue::Use(op) => self.operand(fi, *op),
+            Rvalue::Unary(un, op) => {
+                let v = self.operand(fi, *op);
+                match un {
+                    UnOp::Neg => v.wrapping_neg(),
+                    UnOp::Not => (v == 0) as i64,
+                }
+            }
+            Rvalue::Binary(bin, a, b) => {
+                let x = self.operand(fi, *a);
+                let y = self.operand(fi, *b);
+                eval_binop(*bin, x, y)
+            }
+            Rvalue::Load(mem) => {
+                let cell = self.resolve(fi, mem);
+                self.trace.events.push(TraceEvent::Addr(cell));
+                self.read_cell(cell)
+            }
+            Rvalue::AddrOf { region, offset } => {
+                let inst = self.region_instance(fi, *region);
+                let size = self.memory[inst as usize].data.len() as u32;
+                let off = clamp_offset(self.operand(fi, *offset) as u32, size);
+                Cell::new(inst, off).0 as i64
+            }
+            Rvalue::Alloc { site: _, size } => {
+                // Allocation sizes are clamped to keep adversarial programs
+                // from exhausting memory; cells beyond the clamp wrap.
+                const MAX_ALLOC: i64 = 1 << 16;
+                let sz = self.operand(fi, *size).clamp(1, MAX_ALLOC) as usize;
+                let inst = self.memory.len() as u32;
+                self.memory.push(Instance { data: vec![0; sz] });
+                Cell::new(inst, 0).0 as i64
+            }
+            Rvalue::Call { .. } => unreachable!("calls are handled by the frame machinery"),
+            Rvalue::Input => {
+                if self.input.is_empty() {
+                    0
+                } else {
+                    let v = self.input[self.input_pos % self.input.len()];
+                    self.input_pos += 1;
+                    v
+                }
+            }
+        }
+    }
+}
+
+/// Total binary-operator semantics shared with constant folding and tests.
+pub fn eval_binop(op: BinOp, x: i64, y: i64) -> i64 {
+    match op {
+        BinOp::Add => x.wrapping_add(y),
+        BinOp::Sub => x.wrapping_sub(y),
+        BinOp::Mul => x.wrapping_mul(y),
+        BinOp::Div => {
+            if y == 0 {
+                0
+            } else {
+                x.wrapping_div(y)
+            }
+        }
+        BinOp::Rem => {
+            if y == 0 {
+                0
+            } else {
+                x.wrapping_rem(y)
+            }
+        }
+        BinOp::And => x & y,
+        BinOp::Or => x | y,
+        BinOp::Xor => x ^ y,
+        BinOp::Shl => x.wrapping_shl(y as u32 & 63),
+        BinOp::Shr => x.wrapping_shr(y as u32 & 63),
+        BinOp::Eq => (x == y) as i64,
+        BinOp::Ne => (x != y) as i64,
+        BinOp::Lt => (x < y) as i64,
+        BinOp::Le => (x <= y) as i64,
+        BinOp::Gt => (x > y) as i64,
+        BinOp::Ge => (x >= y) as i64,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynslice_lang::compile;
+
+    fn run_src(src: &str, input: Vec<i64>) -> Trace {
+        let p = compile(src).expect("compiles");
+        run(&p, VmOptions { input, ..Default::default() })
+    }
+
+    #[test]
+    fn arithmetic_and_print() {
+        let t = run_src("fn main() { print 2 + 3 * 4; print 10 / 3; print 7 % 0; }", vec![]);
+        assert_eq!(t.output, vec![14, 3, 0]);
+        assert!(!t.truncated);
+    }
+
+    #[test]
+    fn control_flow_loops() {
+        let t = run_src(
+            "fn main() {
+               int s = 0;
+               int i;
+               for (i = 0; i < 5; i = i + 1) { s = s + i; }
+               print s;
+             }",
+            vec![],
+        );
+        assert_eq!(t.output, vec![10]);
+    }
+
+    #[test]
+    fn arrays_and_pointers() {
+        let t = run_src(
+            "global int a[4];
+             fn main() {
+               int i;
+               for (i = 0; i < 4; i = i + 1) { a[i] = i * i; }
+               ptr p = &a[2];
+               print *p;
+               print *(p + 1);
+             }",
+            vec![],
+        );
+        assert_eq!(t.output, vec![4, 9]);
+    }
+
+    #[test]
+    fn alloc_and_store_load() {
+        let t = run_src(
+            "fn main() {
+               ptr p = alloc(3);
+               *p = 11;
+               *(p + 2) = 22;
+               print *p + *(p + 2);
+             }",
+            vec![],
+        );
+        assert_eq!(t.output, vec![33]);
+    }
+
+    #[test]
+    fn calls_and_recursion() {
+        let t = run_src(
+            "fn fib(int n) -> int {
+               if (n < 2) { return n; }
+               return fib(n - 1) + fib(n - 2);
+             }
+             fn main() { print fib(10); }",
+            vec![],
+        );
+        assert_eq!(t.output, vec![55]);
+        assert!(t.frames > 10);
+    }
+
+    #[test]
+    fn input_tape_is_cyclic() {
+        let t = run_src(
+            "fn main() { print input(); print input(); print input(); }",
+            vec![7, 8],
+        );
+        assert_eq!(t.output, vec![7, 8, 7]);
+    }
+
+    #[test]
+    fn local_arrays_are_per_activation() {
+        let t = run_src(
+            "fn f(int x) -> int {
+               int buf[2];
+               buf[0] = x;
+               if (x > 0) { int ignore = f(x - 1); }
+               return buf[0];
+             }
+             fn main() { print f(3); }",
+            vec![],
+        );
+        // Each activation's buf is distinct; the outer call still sees 3.
+        assert_eq!(t.output, vec![3]);
+    }
+
+    #[test]
+    fn out_of_bounds_index_wraps() {
+        let t = run_src(
+            "global int a[4];
+             fn main() { a[5] = 9; print a[1]; }",
+            vec![],
+        );
+        assert_eq!(t.output, vec![9]);
+    }
+
+    #[test]
+    fn step_limit_truncates() {
+        let p = compile("fn main() { while (1) { print 0; } }").unwrap();
+        let t = run(&p, VmOptions { max_steps: 1000, input: vec![] });
+        assert!(t.truncated);
+        assert!(t.stmts_executed <= 1001);
+    }
+
+    #[test]
+    fn trace_contains_addr_for_every_memory_op() {
+        let t = run_src(
+            "global int a[2];
+             fn main() { a[0] = 1; a[1] = a[0] + 1; print a[1]; }",
+            vec![],
+        );
+        let addrs = t.events.iter().filter(|e| matches!(e, TraceEvent::Addr(_))).count();
+        // Stores: a[0], a[1]; loads: a[0], a[1].
+        assert_eq!(addrs, 4);
+    }
+
+    #[test]
+    fn use_counts_unique_statements() {
+        let t = run_src(
+            "fn main() {
+               int i;
+               for (i = 0; i < 10; i = i + 1) { print i; }
+             }",
+            vec![],
+        );
+        assert!(t.stmts_executed > t.unique_stmts_executed() as u64);
+    }
+
+    #[test]
+    fn division_semantics_are_total() {
+        assert_eq!(eval_binop(BinOp::Div, i64::MIN, -1), i64::MIN); // wraps
+        assert_eq!(eval_binop(BinOp::Rem, i64::MIN, -1), 0);
+        assert_eq!(eval_binop(BinOp::Shl, 1, 200), 1 << (200 & 63));
+    }
+}

@@ -1,0 +1,124 @@
+//! The three dynamic slicing algorithms of *Cost Effective Dynamic Program
+//! Slicing* (PLDI 2004), behind one interface:
+//!
+//! * **FP** — traditional full-graph slicing ([`FpSlicer`]): build the
+//!   complete dyDG in memory, traverse backward.
+//! * **OPT** — the paper's contribution ([`OptSlicer`]): compacted dyDG with
+//!   inferred timestamps, specialized path nodes and shortcut edges.
+//! * **LP** — the authors' earlier demand-driven algorithm ([`LpSlicer`]):
+//!   the trace lives on disk as a record stream with per-chunk summaries;
+//!   each slice re-traverses the trace backward, skipping chunks the
+//!   summaries prove irrelevant.
+//!
+//! All three produce identical slices ([`Slice`]); the cross-algorithm
+//! equivalence is property-tested in the workspace integration suite.
+
+pub mod forward;
+pub mod lp;
+
+pub use forward::ForwardSlicer;
+pub use lp::{LpSlicer, LpStats};
+
+use std::collections::BTreeSet;
+
+use dynslice_analysis::ProgramAnalysis;
+use dynslice_graph::{build_compact, CompactGraph, FullGraph, OptConfig};
+use dynslice_ir::{Program, StmtId};
+use dynslice_runtime::{Cell, TraceEvent};
+
+/// What to slice on.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Criterion {
+    /// The last definition of a memory cell (the paper slices on memory
+    /// addresses).
+    CellLastDef(Cell),
+    /// The `k`-th executed print statement (0-based).
+    Output(usize),
+}
+
+/// A dynamic slice: the set of statements whose execution instances
+/// transitively influenced the criterion.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Slice {
+    /// Statements in the slice.
+    pub stmts: BTreeSet<StmtId>,
+}
+
+impl Slice {
+    /// Number of statements in the slice (the paper's *SS* measure averages
+    /// this across queries).
+    pub fn len(&self) -> usize {
+        self.stmts.len()
+    }
+
+    /// Whether the slice is empty (criterion never executed).
+    pub fn is_empty(&self) -> bool {
+        self.stmts.is_empty()
+    }
+}
+
+/// FP slicing: the full dependence graph, built once, traversed per query.
+#[derive(Debug)]
+pub struct FpSlicer {
+    graph: FullGraph,
+}
+
+impl FpSlicer {
+    /// Builds the full graph (the FP preprocessing step).
+    pub fn build(program: &Program, analysis: &ProgramAnalysis, events: &[TraceEvent]) -> Self {
+        Self { graph: FullGraph::build(program, analysis, events) }
+    }
+
+    /// Access to the underlying graph (sizes, statistics).
+    pub fn graph(&self) -> &FullGraph {
+        &self.graph
+    }
+
+    /// Computes a slice; `None` if the criterion never executed.
+    pub fn slice(&self, program: &Program, criterion: Criterion) -> Option<Slice> {
+        let (s, ts) = match criterion {
+            Criterion::CellLastDef(c) => *self.graph.last_def.get(&c)?,
+            Criterion::Output(k) => *self.graph.outputs.get(k)?,
+        };
+        Some(Slice { stmts: self.graph.slice(program, s, ts) })
+    }
+}
+
+/// OPT slicing: the compacted graph with optional shortcut traversal.
+#[derive(Debug)]
+pub struct OptSlicer {
+    graph: CompactGraph,
+    /// Whether queries traverse shortcut edges (the paper's default).
+    pub shortcuts: bool,
+}
+
+impl OptSlicer {
+    /// Builds the compacted graph (the OPT preprocessing step).
+    pub fn build(
+        program: &Program,
+        analysis: &ProgramAnalysis,
+        events: &[TraceEvent],
+        config: &OptConfig,
+    ) -> Self {
+        Self { graph: build_compact(program, analysis, events, config), shortcuts: true }
+    }
+
+    /// Wraps an already-built compacted graph.
+    pub fn from_graph(graph: CompactGraph) -> Self {
+        Self { graph, shortcuts: true }
+    }
+
+    /// Access to the underlying graph (sizes, statistics).
+    pub fn graph(&self) -> &CompactGraph {
+        &self.graph
+    }
+
+    /// Computes a slice; `None` if the criterion never executed.
+    pub fn slice(&self, criterion: Criterion) -> Option<Slice> {
+        let (occ, ts) = match criterion {
+            Criterion::CellLastDef(c) => self.graph.last_def_of(c)?,
+            Criterion::Output(k) => *self.graph.outputs.get(k)?,
+        };
+        Some(Slice { stmts: self.graph.slice(occ, ts, self.shortcuts) })
+    }
+}

@@ -1,0 +1,133 @@
+//! The forward-computation slicer as an independent oracle: equality with
+//! the backward algorithms on call-free programs, subset containment in
+//! general (see `forward.rs` module docs for the principled difference).
+
+use dynslice_analysis::ProgramAnalysis;
+use dynslice_graph::OptConfig;
+use dynslice_runtime::{run, VmOptions};
+use dynslice_slicing::{Criterion, ForwardSlicer, FpSlicer};
+
+fn setup(
+    src: &str,
+    input: Vec<i64>,
+) -> (dynslice_ir::Program, ProgramAnalysis, dynslice_runtime::Trace) {
+    let p = dynslice_lang::compile(src).unwrap();
+    let a = ProgramAnalysis::compute(&p);
+    let t = run(&p, VmOptions { input, ..Default::default() });
+    (p, a, t)
+}
+
+fn check_equal(src: &str, input: Vec<i64>) {
+    let (p, a, t) = setup(src, input);
+    let fp = FpSlicer::build(&p, &a, &t.events);
+    let fwd = ForwardSlicer::build(&p, &a, &t.events);
+    let mut cells: Vec<_> = fp.graph().last_def.keys().copied().collect();
+    cells.sort();
+    for c in cells {
+        let q = Criterion::CellLastDef(c);
+        assert_eq!(
+            fp.slice(&p, q).unwrap().stmts,
+            fwd.slice(q).unwrap().stmts,
+            "cell {c:?}\n{src}"
+        );
+    }
+    for k in 0..t.output.len() {
+        let q = Criterion::Output(k);
+        assert_eq!(fp.slice(&p, q).unwrap().stmts, fwd.slice(q).unwrap().stmts, "output {k}");
+    }
+}
+
+fn check_subset(src: &str, input: Vec<i64>) {
+    let (p, a, t) = setup(src, input);
+    let fp = FpSlicer::build(&p, &a, &t.events);
+    let fwd = ForwardSlicer::build(&p, &a, &t.events);
+    for (c, _) in fp.graph().last_def.iter() {
+        let q = Criterion::CellLastDef(*c);
+        let b = fp.slice(&p, q).unwrap().stmts;
+        let f = fwd.slice(q).unwrap().stmts;
+        assert!(f.is_subset(&b), "forward ⊄ backward for {c:?}:\nF-only {:?}",
+            f.difference(&b).collect::<Vec<_>>());
+    }
+}
+
+#[test]
+fn equal_on_straight_line_memory() {
+    check_equal(
+        "global int a[4];
+         fn main() { a[0] = input(); a[1] = a[0] * 2; a[2] = a[1] + a[0]; print a[2]; }",
+        vec![5],
+    );
+}
+
+#[test]
+fn equal_on_loops_and_branches() {
+    check_equal(
+        "global int a[8];
+         fn main() {
+           int i;
+           int s = 0;
+           for (i = 0; i < 16; i = i + 1) {
+             if (i % 3 == 0) { a[i % 8] = i; } else { a[i % 8] = s; }
+             s = s + a[i % 8];
+           }
+           print s;
+           a[0] = s;
+         }",
+        vec![],
+    );
+}
+
+#[test]
+fn equal_on_aliasing() {
+    check_equal(
+        "global int x[2];
+         global int y[2];
+         fn main() {
+           int i;
+           for (i = 0; i < 6; i = i + 1) {
+             ptr p = &x[0];
+             if (input()) { p = &y[0]; }
+             *p = i;
+             x[1] = x[0] + y[0];
+           }
+           print x[1];
+         }",
+        vec![0, 1, 1, 0, 1, 0],
+    );
+}
+
+#[test]
+fn subset_with_calls_and_recursion() {
+    check_subset(
+        "global int g[2];
+         fn fact(int n) -> int {
+           if (n < 2) { g[0] = g[0] + 1; return 1; }
+           return n * fact(n - 1);
+         }
+         fn main() { g[1] = fact(input()); print g[1]; print g[0]; }",
+        vec![6],
+    );
+}
+
+#[test]
+fn forward_lookup_is_instant_and_costs_memory() {
+    let (p, a, t) = setup(
+        "global int a[8];
+         fn main() {
+           int i;
+           for (i = 0; i < 200; i = i + 1) { a[i % 8] = a[(i + 1) % 8] + i; }
+           print a[0];
+         }",
+        vec![],
+    );
+    let fwd = ForwardSlicer::build(&p, &a, &t.events);
+    assert!(fwd.unions > 0);
+    assert!(fwd.distinct_sets >= 1);
+    assert!(fwd.resident_bytes() > 0);
+    // Every defined cell answers instantly.
+    let fp = FpSlicer::build(&p, &a, &t.events);
+    for c in fp.graph().last_def.keys() {
+        assert!(fwd.slice(Criterion::CellLastDef(*c)).is_some());
+    }
+    let _ = OptConfig::default();
+}

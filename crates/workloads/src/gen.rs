@@ -1,0 +1,333 @@
+//! Parameterized MiniC program generator.
+//!
+//! Generates deterministic, always-terminating programs whose dependence
+//! structure is tunable: number of helper functions, global arrays, loop
+//! trip counts, branching density, pointer/aliasing density and recursion.
+//! The named SPEC-shaped workloads (see [`mod@crate::suite`]) are instances of
+//! this generator with parameters chosen to mimic the published *shape* of
+//! each benchmark (unique-statement counts, USE/SS regime, aliasing).
+
+use std::fmt::Write as _;
+
+/// Deterministic 64-bit PRNG (SplitMix64); the workloads must be bit-stable
+/// across runs and platforms, so no external RNG is used.
+#[derive(Clone, Debug)]
+pub struct Rng(pub u64);
+
+impl Rng {
+    /// Next raw value.
+    #[allow(clippy::should_implement_trait)] // not an Iterator; PRNG convention
+    pub fn next(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..n` (n > 0).
+    pub fn below(&mut self, n: u64) -> u64 {
+        self.next() % n
+    }
+
+    /// Bernoulli with probability `pct` percent.
+    pub fn chance(&mut self, pct: u64) -> bool {
+        self.below(100) < pct
+    }
+}
+
+/// Generator parameters.
+#[derive(Clone, Debug)]
+pub struct GenConfig {
+    /// RNG seed (a fixed seed gives a fixed program).
+    pub seed: u64,
+    /// Number of global arrays.
+    pub arrays: usize,
+    /// Cells per global array.
+    pub array_size: u32,
+    /// Number of helper functions.
+    pub helpers: usize,
+    /// Statements per helper body (before control-flow expansion).
+    pub stmts_per_helper: usize,
+    /// Main loop iterations; the dominant knob for executed statements.
+    pub iterations: u64,
+    /// Percent of generated statements that are branches/loops.
+    pub branch_pct: u64,
+    /// Percent of memory operations that go through may-aliased pointers.
+    pub alias_pct: u64,
+    /// Include a bounded recursive helper.
+    pub recursion: bool,
+    /// Inner loop trip count (hot-path length).
+    pub inner_iters: u64,
+    /// Percent of array writes that read-modify-write / fold into global
+    /// accumulators. High mixing makes every value depend on long shared
+    /// histories (small USE/SS, like `twolf`); low mixing keeps computation
+    /// strands independent (large USE/SS, like `bzip2`).
+    pub mixing_pct: u64,
+}
+
+impl Default for GenConfig {
+    fn default() -> Self {
+        Self {
+            seed: 1,
+            arrays: 4,
+            array_size: 32,
+            helpers: 4,
+            stmts_per_helper: 10,
+            iterations: 500,
+            branch_pct: 25,
+            alias_pct: 20,
+            recursion: false,
+            inner_iters: 8,
+            mixing_pct: 50,
+        }
+    }
+}
+
+/// Generates MiniC source from the configuration.
+pub fn generate(cfg: &GenConfig) -> String {
+    let mut rng = Rng(cfg.seed);
+    let mut out = String::new();
+    for a in 0..cfg.arrays {
+        let _ = writeln!(out, "global int g{a}[{}];", cfg.array_size);
+    }
+    let _ = writeln!(out, "global int acc[4];");
+
+    if cfg.recursion {
+        let a = rng.below(cfg.arrays as u64);
+        let _ = writeln!(
+            out,
+            "fn rec(int n) -> int {{
+               if (n < 2) {{ return n; }}
+               g{a}[n % {sz}] = g{a}[n % {sz}] + n;
+               return rec(n - 1) + g{a}[n % {sz}] % 7;
+             }}",
+            a = a,
+            sz = cfg.array_size
+        );
+    }
+
+    for h in 0..cfg.helpers {
+        let _ = writeln!(out, "fn helper{h}(int x, int y) -> int {{");
+        let _ = writeln!(out, "  int t0 = x + y;");
+        let _ = writeln!(out, "  int t1 = x * 3 + 1;");
+        // Each helper has a "home" array; under low mixing it mostly stays
+        // on it, keeping computation strands independent (big USE/SS).
+        let home = h % cfg.arrays.max(1);
+        gen_body(&mut out, &mut rng, cfg, cfg.stmts_per_helper, 1, home);
+        let _ = writeln!(out, "  return t0 + t1;");
+        let _ = writeln!(out, "}}");
+    }
+
+    // main: a driving loop mixing helper calls, array traffic and
+    // data-dependent branches.
+    let _ = writeln!(out, "fn main() {{");
+    let _ = writeln!(out, "  int i;");
+    let _ = writeln!(out, "  int s = 0;");
+    let _ = writeln!(out, "  for (i = 0; i < {}; i = i + 1) {{", cfg.iterations);
+    let _ = writeln!(out, "    int v = input();");
+    let _ = writeln!(out, "    int t0 = v + i;");
+    let _ = writeln!(out, "    int t1 = (v * 31 + i) % 251 + 1;");
+    gen_body(&mut out, &mut rng, cfg, 6, 2, cfg.arrays.saturating_sub(1));
+    if cfg.helpers > 0 {
+        if cfg.mixing_pct < 60 {
+            // Dispatch style (interpreters, compilers, request loops): each
+            // iteration exercises *one* helper, and its result lands in that
+            // helper's home array. Computation strands stay independent,
+            // so slices of most cells cover a fraction of the code — the
+            // paper's large USE/SS regime.
+            let _ = writeln!(out, "    int which = (v + i) % {};", cfg.helpers);
+            for h in 0..cfg.helpers {
+                let home = h % cfg.arrays.max(1);
+                let kw = if h == 0 { "if" } else { "else if" };
+                let _ = writeln!(
+                    out,
+                    "    {kw} (which == {h}) {{ int h{h} = helper{h}(v + i, t0 % 97);                      g{home}[(i + {h}) % {sz}] = h{h} % 65536; }}",
+                    sz = cfg.array_size
+                );
+            }
+        } else {
+            // Mixed style (placement/graph algorithms): every helper runs
+            // every iteration and folds into the shared accumulator.
+            for h in 0..cfg.helpers.min(3) {
+                let _ = writeln!(out, "    int h{h} = helper{h}(v + i, t0 % 97);");
+                let _ = writeln!(out, "    s = s + h{h} % 13;");
+            }
+            if cfg.helpers > 3 {
+                let _ = writeln!(
+                    out,
+                    "    if (i % {} == 0) {{ s = s + helper{}(t1, i); }}",
+                    3 + cfg.helpers as u64 % 5,
+                    cfg.helpers - 1
+                );
+            }
+        }
+    }
+    if cfg.recursion {
+        let _ = writeln!(out, "    if (i % 17 == 0) {{ s = s + rec(9 + i % 7); }}");
+    }
+    let _ = writeln!(out, "    s = s + t0 % 5;");
+    if cfg.mixing_pct >= 50 {
+        let _ = writeln!(out, "    acc[i % 4] = acc[i % 4] + s % 1009;");
+    } else {
+        let _ = writeln!(out, "    acc[i % 4] = acc[i % 4] + v % 1009;");
+    }
+    let _ = writeln!(out, "  }}");
+    let _ = writeln!(out, "  print s;");
+    let _ = writeln!(out, "  print acc[0] + acc[1] + acc[2] + acc[3];");
+    let _ = writeln!(out, "}}");
+    out
+}
+
+/// Emits a straight-line-ish body with loops, branches, array and pointer
+/// traffic operating on `t0`/`t1` and the global arrays.
+fn gen_body(
+    out: &mut String,
+    rng: &mut Rng,
+    cfg: &GenConfig,
+    stmts: usize,
+    depth: usize,
+    home: usize,
+) {
+    let ind = "  ".repeat(depth);
+    let sz = cfg.array_size as u64;
+    let mut fresh = 0usize;
+    for s in 0..stmts {
+        let a = if rng.chance(cfg.mixing_pct) {
+            rng.below(cfg.arrays.max(1) as u64)
+        } else {
+            home as u64
+        };
+        let b = if rng.chance(cfg.mixing_pct) {
+            rng.below(cfg.arrays.max(1) as u64)
+        } else {
+            home as u64
+        };
+        if rng.chance(cfg.branch_pct) && depth < 4 {
+            match rng.below(2) {
+                0 if rng.chance(cfg.mixing_pct) => {
+                    let _ = writeln!(
+                        out,
+                        "{ind}if (t0 % {m} < {k}) {{ t1 = t1 + g{a}[t0 % {sz}]; }} else {{ t0 = t0 - 1; }}",
+                        m = 2 + rng.below(7),
+                        k = 1 + rng.below(3),
+                    );
+                }
+                0 => {
+                    let _ = writeln!(
+                        out,
+                        "{ind}if (t0 % {m} < {k}) {{ t1 = t1 + {c}; }} else {{ t0 = t0 - 1; }}",
+                        m = 2 + rng.below(7),
+                        k = 1 + rng.below(3),
+                        c = 1 + rng.below(100),
+                    );
+                }
+                _ => {
+                    // Inner hot loop with a fat, mostly intra-iteration body
+                    // (real kernels chain many statements per iteration; that
+                    // is what path specialization compresses).
+                    let n = 1 + rng.below(cfg.inner_iters.max(1));
+                    let w = format!("w{depth}_{s}");
+                    let _ = writeln!(out, "{ind}int {w} = 0;");
+                    let _ = writeln!(out, "{ind}while ({w} < {n}) {{");
+                    let _ = writeln!(out, "{ind}  int q0 = g{a}[(t0 + {w}) % {sz}];");
+                    if rng.chance(cfg.mixing_pct) {
+                        let _ = writeln!(out, "{ind}  int q1 = q0 * 3 + t1;");
+                    } else {
+                        let _ = writeln!(out, "{ind}  int q1 = ({w} + 1) * 3 + t1 + q0 % 2;");
+                    }
+                    let _ = writeln!(out, "{ind}  int q2 = (q1 ^ (q1 >> 3)) + q1 % 29;");
+                    let _ = writeln!(out, "{ind}  int q3 = q2 % 251 + q1 % 17;");
+                    let _ = writeln!(out, "{ind}  g{a}[(t0 + {w}) % {sz}] = q3;");
+                    if rng.chance(cfg.mixing_pct) {
+                        let _ = writeln!(out, "{ind}  g{b}[q3 % {sz}] = g{b}[q3 % {sz}] ^ q2;");
+                    } else {
+                        let _ = writeln!(out, "{ind}  g{b}[q3 % {sz}] = q2 % 127;");
+                    }
+                    let _ = writeln!(out, "{ind}  {w} = {w} + 1;");
+                    let _ = writeln!(out, "{ind}}}");
+                }
+            }
+        } else if rng.chance(cfg.alias_pct) && cfg.arrays >= 2 {
+            // May-aliased pointer store (the paper's Fig. 3 situation).
+            let v = fresh;
+            fresh += 1;
+            let _ = writeln!(out, "{ind}ptr p{depth}_{v} = &g{a}[t0 % {sz}];");
+            let _ = writeln!(
+                out,
+                "{ind}if (t1 % 3 == 0) {{ p{depth}_{v} = &g{b}[t1 % {sz}]; }}"
+            );
+            let _ = writeln!(out, "{ind}*p{depth}_{v} = t0 + t1;");
+            let _ = writeln!(out, "{ind}t0 = t0 + g{a}[t0 % {sz}] % 13;");
+        } else {
+            match rng.below(4) {
+                0 => {
+                    let _ = writeln!(out, "{ind}g{a}[t0 % {sz}] = t1 + {};", rng.below(100));
+                }
+                1 if rng.chance(cfg.mixing_pct) => {
+                    let _ = writeln!(out, "{ind}t0 = t0 + g{b}[t1 % {sz}] % 11;");
+                }
+                1 => {
+                    let _ = writeln!(out, "{ind}t0 = (t0 * 7 + {}) % 8191;", rng.below(64));
+                }
+                2 => {
+                    let _ = writeln!(out, "{ind}t1 = (t1 * 5 + t0) % 4099;");
+                }
+                _ if rng.chance(cfg.mixing_pct) => {
+                    let _ = writeln!(out, "{ind}g{a}[(t0 + t1) % {sz}] = g{b}[t0 % {sz}] + 1;");
+                }
+                _ => {
+                    let _ = writeln!(out, "{ind}g{a}[(t0 + t1) % {sz}] = (t0 ^ t1) % 4099;");
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generated_programs_compile_and_run() {
+        for seed in 0..8 {
+            let cfg = GenConfig { seed, iterations: 20, ..Default::default() };
+            let src = generate(&cfg);
+            let p = dynslice_lang::compile(&src)
+                .unwrap_or_else(|e| panic!("seed {seed}: {e}\n{src}"));
+            let t = dynslice_runtime::run(
+                &p,
+                dynslice_runtime::VmOptions { input: vec![3, 1, 4, 1, 5], ..Default::default() },
+            );
+            assert!(!t.truncated);
+            assert!(!t.output.is_empty());
+        }
+    }
+
+    #[test]
+    fn generation_is_deterministic() {
+        let cfg = GenConfig { seed: 42, ..Default::default() };
+        assert_eq!(generate(&cfg), generate(&cfg));
+    }
+
+    #[test]
+    fn recursion_flag_adds_rec() {
+        let cfg = GenConfig { recursion: true, iterations: 30, ..Default::default() };
+        let src = generate(&cfg);
+        assert!(src.contains("fn rec"));
+        let p = dynslice_lang::compile(&src).unwrap();
+        let t = dynslice_runtime::run(&p, dynslice_runtime::VmOptions::default());
+        assert!(t.frames > 1);
+    }
+
+    #[test]
+    fn iterations_scale_execution() {
+        let small = GenConfig { seed: 7, iterations: 10, ..Default::default() };
+        let big = GenConfig { seed: 7, iterations: 100, ..Default::default() };
+        let run = |cfg: &GenConfig| {
+            let p = dynslice_lang::compile(&generate(cfg)).unwrap();
+            dynslice_runtime::run(&p, dynslice_runtime::VmOptions::default()).stmts_executed
+        };
+        assert!(run(&big) > 5 * run(&small));
+    }
+}

@@ -1,0 +1,14 @@
+//! Synthetic workload programs for the dynslice evaluation.
+//!
+//! The paper evaluates on SPECInt2000/95 binaries, which cannot be shipped
+//! or executed here; this crate provides ten deterministic MiniC programs
+//! named after the paper's benchmarks, each generated with parameters tuned
+//! to mimic that benchmark's published dependence-structure *shape* (see
+//! `DESIGN.md` §2 for the substitution argument), plus a seeded random
+//! program generator used for differential testing.
+
+pub mod gen;
+pub mod suite;
+
+pub use gen::{generate, GenConfig, Rng};
+pub use suite::{by_name, suite, Workload};

@@ -1,0 +1,32 @@
+//! Per-workload compaction report: how much smaller the OPT graph is than
+//! the full graph, and which optimizations contributed — a miniature of the
+//! paper's Table 2 / Figure 15 over the bundled workload suite.
+//!
+//! Run with: `cargo run --release --example compaction_report`
+
+use dynslice::{workloads, OptConfig, Session, VmOptions};
+
+fn main() {
+    println!(
+        "{:<12} {:>10} {:>12} {:>12} {:>7} {:>9}",
+        "workload", "stmts", "full (KB)", "opt (KB)", "ratio", "explicit"
+    );
+    for w in workloads::suite() {
+        let src = w.source(0.2);
+        let session = Session::compile(&src).expect("workload compiles");
+        let trace = session.run_with(VmOptions { input: w.input.clone(), ..Default::default() });
+        let fp = session.fp(&trace);
+        let opt = session.opt(&trace, &OptConfig::default());
+        let full = fp.graph().size().bytes() as f64 / 1024.0;
+        let compact = opt.graph().size(true).bytes() as f64 / 1024.0;
+        println!(
+            "{:<12} {:>10} {:>12.1} {:>12.1} {:>6.1}x {:>8.1}%",
+            w.name,
+            trace.stmts_executed,
+            full,
+            compact,
+            full / compact,
+            opt.graph().stats.explicit_fraction() * 100.0
+        );
+    }
+}

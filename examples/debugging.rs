@@ -1,0 +1,50 @@
+//! Slice-guided fault localization — the classic debugging use case that
+//! motivated dynamic slicing.
+//!
+//! A program computes two statistics; one is wrong. The dynamic slice of
+//! the faulty output isolates the handful of statements that could have
+//! produced it, excluding the correct computation entirely.
+//!
+//! Run with: `cargo run --example debugging`
+
+use dynslice::{Criterion, OptConfig, Session};
+
+fn main() {
+    // `avg` is wrong: the loop accumulates into `sum2` with a stray `* 2`.
+    let src = "
+        global int data[8];
+
+        fn main() {
+            int i;
+            for (i = 0; i < 8; i = i + 1) { data[i] = input(); }
+
+            int sum = 0;
+            for (i = 0; i < 8; i = i + 1) { sum = sum + data[i]; }
+            print sum;          // correct
+
+            int sum2 = 0;
+            for (i = 0; i < 8; i = i + 1) { sum2 = sum2 + data[i] * 2; } // BUG
+            int avg = sum2 / 8;
+            print avg;          // wrong: twice the real average
+        }";
+
+    let session = Session::compile(src).expect("compiles");
+    let trace = session.run(vec![4, 8, 15, 16, 23, 42, 7, 1]);
+    println!("outputs: sum = {}, avg = {} (expected 14!)", trace.output[0], trace.output[1]);
+
+    let opt = session.opt(&trace, &OptConfig::default());
+    let good = opt.slice(Criterion::Output(0)).expect("sum printed");
+    let bad = opt.slice(Criterion::Output(1)).expect("avg printed");
+
+    println!("slice of the correct output: {} statements", good.len());
+    println!("slice of the faulty output:  {} statements", bad.len());
+
+    // Statements only in the faulty slice are the prime suspects.
+    let suspects: Vec<_> = bad.stmts.difference(&good.stmts).collect();
+    println!("{} statements are unique to the faulty output:", suspects.len());
+    for s in suspects {
+        let loc = session.program.stmt_loc(*s);
+        println!("  suspect {s} in {} of fn {}", loc.block, session.program.func(loc.func).name);
+    }
+    println!("(the `sum2 = sum2 + data[i] * 2` statement is among them)");
+}

@@ -1,0 +1,7 @@
+//! Umbrella package for the dynslice workspace.
+//!
+//! This root crate exists to host the repository-level `examples/` and
+//! `tests/` directories; the actual library surface lives in the `dynslice`
+//! facade crate and the per-subsystem crates it re-exports.
+
+pub use dynslice::*;
