@@ -1,0 +1,65 @@
+//! Batch-engine scaling — throughput of the parallel batch slice engine at
+//! 1/2/4/8 workers over the Fig. 18-style query workload (25 distinct
+//! memory criteria per benchmark).
+//!
+//! Slicing is read-only over a shared `CompactGraph`, so throughput should
+//! scale with cores until memory bandwidth saturates. The harness measures
+//! sustained query service: the cache is OFF (every query traverses) and
+//! the shortcut memo table is pre-warmed by an untimed pass, so each
+//! configuration does identical traversal work. Speedup is reported
+//! against the 1-worker run of the same batch.
+//!
+//! Honesty note: speedup is bounded by the machine — the harness prints
+//! `available_parallelism` first. On a 1-core container every worker count
+//! serves roughly the same throughput (the scoped pool adds only spawn
+//! overhead); the ≥3×-at-8-workers shape manifests on multi-core hardware.
+
+use dynslice::{slice_batch, BatchConfig, OptConfig};
+use dynslice_bench::*;
+
+fn main() {
+    header("Batch scaling", "parallel batch engine throughput vs worker count");
+    let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    println!("   (available_parallelism = {cores}; speedup is machine-bound)");
+    // Each query set is repeated so the batch is long enough for dynamic
+    // load balancing to matter; cache stays off so all repeats traverse.
+    let rounds: usize =
+        std::env::var("DYNSLICE_ROUNDS").ok().and_then(|s| s.parse().ok()).unwrap_or(8);
+    println!(
+        "{:<14} {:>8} {:>10} {:>10} {:>10} {:>10} {:>9}",
+        "benchmark", "queries", "1w q/s", "2w q/s", "4w q/s", "8w q/s", "8w/1w"
+    );
+    for p in prepare_all() {
+        let opt = p.session.opt(&p.trace, &OptConfig::default());
+        let qs = queries(opt.graph().last_def.keys().copied());
+        let batch: Vec<_> = qs.iter().copied().cycle().take(qs.len() * rounds).collect();
+        // Untimed warm-up: materialize every shortcut closure the batch
+        // needs, so worker counts compare pure traversal throughput.
+        let _ = slice_batch(
+            opt.graph(),
+            &qs,
+            BatchConfig { workers: 1, shortcuts: true, cache: false },
+        );
+        let mut rates = Vec::new();
+        for workers in [1usize, 2, 4, 8] {
+            let result = slice_batch(
+                opt.graph(),
+                &batch,
+                BatchConfig { workers, shortcuts: true, cache: false },
+            );
+            assert_eq!(result.stats.total_queries(), batch.len() as u64);
+            rates.push(result.stats.throughput());
+        }
+        println!(
+            "{:<14} {:>8} {:>10.0} {:>10.0} {:>10.0} {:>10.0} {:>8.2}x",
+            p.name,
+            batch.len(),
+            rates[0],
+            rates[1],
+            rates[2],
+            rates[3],
+            rates[3] / rates[0].max(1e-9),
+        );
+    }
+    println!("(read-only graph + shared warm memo table: scaling tracks core count)");
+}

@@ -1,17 +1,19 @@
 //! `dynslice` — command-line dynamic slicer for MiniC programs.
 //!
 //! ```text
-//! dynslice run     <file> [--input 1,2,3]
-//! dynslice slice   <file> (--output K | --cell INST:OFF)
-//!                  [--algo opt|fp|lp] [--input 1,2,3] [--no-shortcuts]
-//! dynslice report  <file> [--input 1,2,3]
-//! dynslice dot     <file> [--input 1,2,3] [--dynamic]     # graph to stdout
-//! dynslice dot     <file> --output K | --cell I:O         # slice rendering
+//! dynslice run         <file> [--input 1,2,3]
+//! dynslice slice       <file> (--output K | --cell INST:OFF)
+//!                      [--algo opt|fp|lp] [--input 1,2,3] [--no-shortcuts]
+//! dynslice slice-batch <file> [--workers N] [--queries N] [--repeat R]
+//!                      [--no-cache] [--no-shortcuts] [--input 1,2,3]
+//! dynslice report      <file> [--input 1,2,3]
+//! dynslice dot         <file> [--input 1,2,3] [--dynamic]  # graph to stdout
+//! dynslice dot         <file> --output K | --cell I:O      # slice rendering
 //! ```
 
 use std::process::ExitCode;
 
-use dynslice::{Cell, Criterion, OptConfig, Session, StmtId};
+use dynslice::{pick_cells, BatchConfig, Cell, Criterion, OptConfig, Session, StmtId};
 
 fn main() -> ExitCode {
     match run() {
@@ -32,6 +34,10 @@ struct Args {
     algo: String,
     shortcuts: bool,
     dynamic_edges: bool,
+    workers: Option<usize>,
+    queries: usize,
+    repeat: usize,
+    cache: bool,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -47,6 +53,10 @@ fn parse_args() -> Result<Args, String> {
         algo: "opt".into(),
         shortcuts: true,
         dynamic_edges: false,
+        workers: None,
+        queries: 25,
+        repeat: 1,
+        cache: true,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -72,6 +82,19 @@ fn parse_args() -> Result<Args, String> {
             "--algo" => out.algo = args.next().ok_or("--algo needs opt|fp|lp")?,
             "--no-shortcuts" => out.shortcuts = false,
             "--dynamic" => out.dynamic_edges = true,
+            "--workers" => {
+                let v = args.next().ok_or("--workers needs a count")?;
+                out.workers = Some(v.parse().map_err(|_| format!("bad worker count `{v}`"))?);
+            }
+            "--queries" => {
+                let v = args.next().ok_or("--queries needs a count")?;
+                out.queries = v.parse().map_err(|_| format!("bad query count `{v}`"))?;
+            }
+            "--repeat" => {
+                let v = args.next().ok_or("--repeat needs a count")?;
+                out.repeat = v.parse().map_err(|_| format!("bad repeat count `{v}`"))?;
+            }
+            "--no-cache" => out.cache = false,
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
     }
@@ -79,8 +102,9 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: dynslice <run|slice|report> <file.minic> \
-     [--input 1,2,3] [--output K | --cell INST:OFF] [--algo opt|fp|lp] [--no-shortcuts]"
+    "usage: dynslice <run|slice|slice-batch|report|dot> <file.minic> \
+     [--input 1,2,3] [--output K | --cell INST:OFF] [--algo opt|fp|lp] [--no-shortcuts] \
+     [--workers N] [--queries N] [--repeat R] [--no-cache]"
         .to_string()
 }
 
@@ -151,6 +175,77 @@ fn run() -> Result<(), String> {
                 }
                 other => return Err(format!("unknown algorithm `{other}`")),
             }
+            Ok(())
+        }
+        "slice-batch" => {
+            if trace.truncated {
+                return Err("trace truncated; raise the step limit".into());
+            }
+            let mut opt = session.opt(&trace, &OptConfig::default());
+            opt.shortcuts = a.shortcuts;
+            // Fig. 18-style workload: N distinct memory criteria, evenly
+            // spaced over the cells the run defined, plus every output.
+            let mut unique: Vec<Criterion> =
+                pick_cells(opt.graph().last_def.keys().copied(), a.queries)
+                    .into_iter()
+                    .map(Criterion::CellLastDef)
+                    .collect();
+            for k in 0..trace.output.len() {
+                unique.push(Criterion::Output(k));
+            }
+            if unique.is_empty() {
+                return Err("program defined no cells and printed nothing".into());
+            }
+            let batch: Vec<Criterion> = unique
+                .iter()
+                .copied()
+                .cycle()
+                .take(unique.len() * a.repeat.max(1))
+                .collect();
+            let config = BatchConfig {
+                workers: a.workers.unwrap_or_else(|| BatchConfig::default().workers).max(1),
+                shortcuts: a.shortcuts,
+                cache: a.cache,
+            };
+            let engine = opt.batch(config.clone());
+            let result = engine.run(&batch);
+            let stats = &result.stats;
+            let sizes: Vec<usize> =
+                result.slices.iter().filter_map(|s| s.as_ref().map(|s| s.len())).collect();
+            println!(
+                "batch: {} queries ({} distinct) over {} workers (cache {}, shortcuts {})",
+                batch.len(),
+                unique.len(),
+                config.workers,
+                if config.cache { "on" } else { "off" },
+                if config.shortcuts { "on" } else { "off" },
+            );
+            println!(
+                "  worker |  queries |     hits | shortcuts |  instances |     busy",
+            );
+            for (i, w) in stats.workers.iter().enumerate() {
+                println!(
+                    "  {i:>6} | {:>8} | {:>8} | {:>9} | {:>10} | {:>7.2}ms",
+                    w.queries,
+                    w.cache_hits,
+                    w.shortcuts_materialized,
+                    w.instances_visited,
+                    w.busy.as_secs_f64() * 1e3,
+                );
+            }
+            if !sizes.is_empty() {
+                println!(
+                    "  slice sizes: min {} / avg {:.1} / max {} statements",
+                    sizes.iter().min().unwrap(),
+                    sizes.iter().sum::<usize>() as f64 / sizes.len() as f64,
+                    sizes.iter().max().unwrap(),
+                );
+            }
+            println!(
+                "  wall {:.2}ms, {:.0} queries/s",
+                stats.wall.as_secs_f64() * 1e3,
+                stats.throughput(),
+            );
             Ok(())
         }
         "report" => {

@@ -37,8 +37,10 @@ pub use dynslice_lang::{self as lang, compile, Diags};
 pub use dynslice_profile::{self as profile, PathProfile, ProgramPaths};
 pub use dynslice_runtime::{self as runtime, Cell, Trace, TraceEvent, VmOptions};
 pub use dynslice_sequitur as sequitur;
+pub use dynslice_graph::TraversalStats;
 pub use dynslice_slicing::{
-    self as slicing, Criterion, ForwardSlicer, FpSlicer, LpSlicer, LpStats, OptSlicer, Slice,
+    self as slicing, slice_batch, BatchConfig, BatchResult, BatchSliceEngine, BatchStats,
+    Criterion, ForwardSlicer, FpSlicer, LpSlicer, LpStats, OptSlicer, Slice, WorkerStats,
 };
 pub use dynslice_workloads::{self as workloads, Workload};
 

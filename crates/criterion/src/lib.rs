@@ -1,0 +1,101 @@
+//! A tiny, offline stand-in for the subset of the
+//! [`criterion`](https://crates.io/crates/criterion) API this workspace
+//! uses (`Criterion::bench_function`, `Bencher::iter`, the `criterion_group!`
+//! / `criterion_main!` macros and `black_box`).
+//!
+//! The build environment has no network access, so the real crate cannot be
+//! fetched. This shim keeps `cargo bench` targets compiling and producing
+//! useful wall-clock numbers: each benchmark is warmed up briefly, then
+//! timed over an adaptively chosen iteration count and reported as
+//! mean time per iteration. There is no statistical analysis, HTML report,
+//! or baseline comparison — the macro-level harnesses in `crates/bench`
+//! print their own tables and do not rely on those features.
+
+use std::time::{Duration, Instant};
+
+/// Target measurement time per benchmark (nanoseconds).
+const TARGET_NS: u128 = 300_000_000;
+
+/// Prevents the optimizer from deleting a benchmarked computation.
+pub fn black_box<T>(x: T) -> T {
+    std::hint::black_box(x)
+}
+
+/// The benchmark driver handed to `criterion_group!` functions.
+#[derive(Debug, Default)]
+pub struct Criterion {}
+
+impl Criterion {
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut b = Bencher { iters: 0, elapsed: Duration::ZERO };
+        f(&mut b);
+        if b.iters > 0 {
+            let per_iter = b.elapsed.as_nanos() / b.iters as u128;
+            println!("{id:<40} {:>12} ns/iter ({} iters)", per_iter, b.iters);
+        } else {
+            println!("{id:<40} (no measurement)");
+        }
+        self
+    }
+}
+
+/// Measures a closure; constructed by [`Criterion::bench_function`].
+#[derive(Debug)]
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `f`, picking an iteration count that fills the target
+    /// measurement window.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut f: F) {
+        // One untimed call to warm caches and estimate the per-call cost.
+        let probe = Instant::now();
+        black_box(f());
+        let est = probe.elapsed().as_nanos().max(1);
+        let iters = (TARGET_NS / est).clamp(1, 10_000_000) as u64;
+        let start = Instant::now();
+        for _ in 0..iters {
+            black_box(f());
+        }
+        self.elapsed = start.elapsed();
+        self.iters = iters;
+    }
+}
+
+/// Collects benchmark functions into one group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $crate::Criterion::default();
+            $( $target(&mut c); )+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+    }
+}

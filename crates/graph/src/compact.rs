@@ -10,9 +10,9 @@
 //! OPT-3/OPT-6 plan; identical consecutive pairs on a shared list are
 //! stored once.
 
-use std::cell::RefCell;
 use std::collections::{BTreeSet, HashMap, HashSet};
-use std::rc::Rc;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
 
 use dynslice_analysis::ProgramAnalysis;
 use dynslice_ir::{BlockId, FuncId, Program, StmtId, StmtKind, StmtPos, Terminator, VarId};
@@ -46,7 +46,40 @@ pub struct CompactGraph {
     /// Total node executions (= final timestamp).
     pub num_node_execs: u64,
     /// Lazily computed shortcut closures.
-    shortcuts: RefCell<HashMap<u32, Rc<Shortcut>>>,
+    shortcuts: ShortcutTable,
+}
+
+/// Sharded, lock-free-ish shortcut memo: one [`OnceLock`] slot per
+/// occurrence. Readers never block; two threads racing to materialize the
+/// same occurrence both compute the (identical, deterministic) closure and
+/// one write wins. This is what lets a single `CompactGraph` be shared by
+/// reference across the batch engine's worker threads — the previous
+/// `RefCell<HashMap<..>>` design made the graph `!Sync`.
+#[derive(Debug, Default)]
+struct ShortcutTable {
+    slots: Vec<OnceLock<Arc<Shortcut>>>,
+    /// Number of closures actually materialized (monotone; observability).
+    materialized: AtomicU64,
+}
+
+impl ShortcutTable {
+    fn new(num_occs: usize) -> Self {
+        let mut slots = Vec::new();
+        slots.resize_with(num_occs, OnceLock::new);
+        Self { slots, materialized: AtomicU64::new(0) }
+    }
+}
+
+/// Counters for one slice traversal, surfaced per worker by the batch
+/// engine (`dynslice-slicing`).
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraversalStats {
+    /// Distinct `(occurrence, timestamp)` instances visited.
+    pub instances_visited: u64,
+    /// Shortcut closures this traversal materialized (won the write race).
+    pub shortcuts_materialized: u64,
+    /// Shortcut lookups served from the memo table.
+    pub shortcut_hits: u64,
 }
 
 /// Precomputed transitive closure over purely static, same-timestamp edges
@@ -81,6 +114,7 @@ impl CompactGraph {
         events: &[TraceEvent],
     ) -> Self {
         let assigns = segment(paths, &nodes, events);
+        let num_occs = nodes.num_occs();
         let mut b = Builder {
             program,
             analysis,
@@ -93,7 +127,7 @@ impl CompactGraph {
                 outputs: Vec::new(),
                 stats: BuildStats::default(),
                 num_node_execs: 0,
-                shortcuts: RefCell::new(HashMap::new()),
+                shortcuts: ShortcutTable::new(num_occs),
             },
             assigns,
             assign_pos: 0,
@@ -181,14 +215,27 @@ impl CompactGraph {
     /// `use_shortcuts` enables the paper's shortcut edges: chains of static
     /// edges are traversed as one precomputed step.
     pub fn slice(&self, occ: u32, ts: u64, use_shortcuts: bool) -> BTreeSet<StmtId> {
-        if use_shortcuts {
-            self.slice_shortcut(occ, ts)
-        } else {
-            self.slice_plain(occ, ts)
-        }
+        self.slice_with_stats(occ, ts, use_shortcuts).0
     }
 
-    fn slice_plain(&self, occ: u32, ts: u64) -> BTreeSet<StmtId> {
+    /// [`Self::slice`], also returning traversal counters (the batch
+    /// engine aggregates these per worker).
+    pub fn slice_with_stats(
+        &self,
+        occ: u32,
+        ts: u64,
+        use_shortcuts: bool,
+    ) -> (BTreeSet<StmtId>, TraversalStats) {
+        let mut stats = TraversalStats::default();
+        let slice = if use_shortcuts {
+            self.slice_shortcut(occ, ts, &mut stats)
+        } else {
+            self.slice_plain(occ, ts, &mut stats)
+        };
+        (slice, stats)
+    }
+
+    fn slice_plain(&self, occ: u32, ts: u64, stats: &mut TraversalStats) -> BTreeSet<StmtId> {
         let mut slice = BTreeSet::new();
         let mut visited = HashSet::new();
         let mut work = vec![(occ, ts)];
@@ -197,6 +244,7 @@ impl CompactGraph {
             if !visited.insert((occ, ts)) {
                 continue;
             }
+            stats.instances_visited += 1;
             let nuses = self.nodes.use_res[occ as usize].len();
             for k in 0..nuses as u8 {
                 if let Some((docc, td)) = self.resolve_use(occ, k, ts) {
@@ -212,7 +260,7 @@ impl CompactGraph {
         slice
     }
 
-    fn slice_shortcut(&self, occ: u32, ts: u64) -> BTreeSet<StmtId> {
+    fn slice_shortcut(&self, occ: u32, ts: u64, stats: &mut TraversalStats) -> BTreeSet<StmtId> {
         let mut slice = BTreeSet::new();
         let mut visited = HashSet::new();
         let mut work = vec![(occ, ts)];
@@ -220,7 +268,8 @@ impl CompactGraph {
             if !visited.insert((occ, ts)) {
                 continue;
             }
-            let sc = self.shortcut(occ);
+            stats.instances_visited += 1;
+            let sc = self.shortcut_counted(occ, stats);
             slice.extend(sc.stmts.iter().copied());
             for f in &sc.frontier {
                 match *f {
@@ -248,21 +297,43 @@ impl CompactGraph {
         slice
     }
 
-    /// The shortcut closure of `occ` (computed lazily, memoized).
-    fn shortcut(&self, occ: u32) -> Rc<Shortcut> {
-        if let Some(sc) = self.shortcuts.borrow().get(&occ) {
-            return Rc::clone(sc);
+    /// The shortcut closure of `occ` (computed lazily, memoized in the
+    /// lock-free per-occurrence table; safe to call from many threads).
+    fn shortcut(&self, occ: u32) -> Arc<Shortcut> {
+        let mut stats = TraversalStats::default();
+        self.shortcut_counted(occ, &mut stats)
+    }
+
+    fn shortcut_counted(&self, occ: u32, stats: &mut TraversalStats) -> Arc<Shortcut> {
+        let slot = &self.shortcuts.slots[occ as usize];
+        if let Some(sc) = slot.get() {
+            stats.shortcut_hits += 1;
+            return Arc::clone(sc);
         }
         let mut stmts = BTreeSet::new();
         let mut frontier = HashSet::new();
         let mut cd_seen = HashSet::new();
         self.closure(occ, &mut stmts, &mut frontier, &mut cd_seen);
-        let sc = Rc::new(Shortcut {
+        let sc = Arc::new(Shortcut {
             stmts: stmts.into_iter().collect(),
             frontier: frontier.into_iter().collect(),
         });
-        self.shortcuts.borrow_mut().insert(occ, Rc::clone(&sc));
-        sc
+        // A concurrent traversal may have materialized the same closure in
+        // the meantime; the computation is deterministic, so losing the
+        // race is benign — use whichever value landed.
+        if slot.set(Arc::clone(&sc)).is_ok() {
+            self.shortcuts.materialized.fetch_add(1, Ordering::Relaxed);
+            stats.shortcuts_materialized += 1;
+        } else {
+            stats.shortcut_hits += 1;
+        }
+        Arc::clone(slot.get().expect("slot initialized above"))
+    }
+
+    /// Total shortcut closures materialized so far (shared across all
+    /// threads slicing this graph).
+    pub fn shortcuts_materialized(&self) -> u64 {
+        self.shortcuts.materialized.load(Ordering::Relaxed)
     }
 
     /// Expands occurrence `occ` into `stmts`/`frontier`: its statement, all

@@ -21,7 +21,7 @@ pub mod paged;
 pub mod segment;
 pub mod size;
 
-pub use compact::CompactGraph;
+pub use compact::{CompactGraph, TraversalStats};
 pub use dot::{compact_to_dot, slice_to_dot};
 pub use paged::{PagedGraph, PagedStats};
 pub use full::FullGraph;
@@ -33,6 +33,20 @@ use dynslice_analysis::ProgramAnalysis;
 use dynslice_ir::Program;
 use dynslice_profile::{PathProfile, ProgramPaths};
 use dynslice_runtime::TraceEvent;
+
+// Compile-time Send + Sync audit: the batch slice engine
+// (`dynslice-slicing`) shares one graph by reference across scoped worker
+// threads, so the dependence representations must never regrow
+// single-threaded interior mutability (`Rc`/`RefCell` — the shortcut memo
+// used to be one). `PagedGraph` is deliberately absent: its block cache is
+// per-handle state and stays single-threaded.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<CompactGraph>();
+    assert_send_sync::<FullGraph>();
+    assert_send_sync::<NodeGraph>();
+    assert_send_sync::<TraversalStats>();
+};
 
 /// Convenience: profiles a trace (counts each completed Ball–Larus path) —
 /// the paper's profiling run, applied to a training trace.

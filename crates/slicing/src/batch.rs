@@ -1,0 +1,266 @@
+//! Parallel batch slicing: fan a set of [`Criterion`] queries out over a
+//! shared, read-only [`CompactGraph`].
+//!
+//! The paper's headline claim is that OPT makes dynamic slicing cheap
+//! enough to answer *many* queries interactively (25 slices per benchmark,
+//! Fig. 17/18). Slice queries are embarrassingly parallel once the
+//! dependence representation is shared and immutable: a query traverses the
+//! graph, never mutates it, and two queries share nothing but the lazily
+//! memoized shortcut closures — which live in the graph's lock-free
+//! per-occurrence table and are therefore safe (and profitable: warm for
+//! everyone) to share across threads.
+//!
+//! Architecture:
+//!
+//! * a [`BatchSliceEngine`] borrows the graph and holds a cross-batch
+//!   result cache keyed by criterion (repeated queries are O(1));
+//! * [`BatchSliceEngine::run`] spawns a scoped worker pool
+//!   (`std::thread::scope`, std-only) pulling query indices from a shared
+//!   atomic cursor — dynamic load balancing, no channels, no allocation in
+//!   the dispatch path;
+//! * results land in per-query `OnceLock` slots, so no locks are held
+//!   while slicing;
+//! * each worker reports [`WorkerStats`] (queries served, cache hits,
+//!   shortcut closures materialized, instances visited, busy time),
+//!   aggregated into [`BatchStats`] for observability.
+//!
+//! Equivalence with sequential [`crate::OptSlicer::slice`] — for any worker
+//! count and with the cache on or off — is property-tested in the
+//! workspace's differential suite.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::{Duration, Instant};
+
+use dynslice_graph::CompactGraph;
+
+use crate::{Criterion, Slice};
+
+/// Batch engine configuration.
+#[derive(Clone, Debug)]
+pub struct BatchConfig {
+    /// Worker threads (clamped to at least 1).
+    pub workers: usize,
+    /// Whether queries traverse shortcut edges (the paper's default).
+    pub shortcuts: bool,
+    /// Whether the cross-batch result cache is consulted and filled.
+    pub cache: bool,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
+            shortcuts: true,
+            cache: true,
+        }
+    }
+}
+
+/// Counters reported by one worker for one [`BatchSliceEngine::run`] call.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Queries this worker answered (hits and misses alike).
+    pub queries: u64,
+    /// Queries served from the result cache (or from another worker's
+    /// in-flight computation of the same criterion).
+    pub cache_hits: u64,
+    /// Shortcut closures this worker materialized into the graph's shared
+    /// memo table.
+    pub shortcuts_materialized: u64,
+    /// `(occurrence, timestamp)` instances visited during traversals.
+    pub instances_visited: u64,
+    /// Wall time from the worker's first to last action.
+    pub busy: Duration,
+}
+
+/// Aggregated statistics for one batch run.
+#[derive(Clone, Debug, Default)]
+pub struct BatchStats {
+    /// Per-worker counters, indexed by worker id.
+    pub workers: Vec<WorkerStats>,
+    /// End-to-end wall time of the run (including pool setup/teardown).
+    pub wall: Duration,
+}
+
+impl BatchStats {
+    /// Total queries answered.
+    pub fn total_queries(&self) -> u64 {
+        self.workers.iter().map(|w| w.queries).sum()
+    }
+
+    /// Total cache hits.
+    pub fn total_cache_hits(&self) -> u64 {
+        self.workers.iter().map(|w| w.cache_hits).sum()
+    }
+
+    /// Total shortcut closures materialized during the run.
+    pub fn total_shortcuts_materialized(&self) -> u64 {
+        self.workers.iter().map(|w| w.shortcuts_materialized).sum()
+    }
+
+    /// Total traversal instances visited.
+    pub fn total_instances_visited(&self) -> u64 {
+        self.workers.iter().map(|w| w.instances_visited).sum()
+    }
+
+    /// Queries per second over the run's wall time.
+    pub fn throughput(&self) -> f64 {
+        let secs = self.wall.as_secs_f64();
+        if secs == 0.0 {
+            return 0.0;
+        }
+        self.total_queries() as f64 / secs
+    }
+}
+
+/// The result of one batch: one slot per input query, in order. `None`
+/// marks criteria that never executed (same contract as
+/// [`crate::OptSlicer::slice`]).
+#[derive(Clone, Debug)]
+pub struct BatchResult {
+    /// Slices aligned with the input query slice.
+    pub slices: Vec<Option<Arc<Slice>>>,
+    /// Run statistics.
+    pub stats: BatchStats,
+}
+
+/// A cached (or in-flight) answer for one criterion. The `OnceLock` layer
+/// deduplicates concurrent computations of the same criterion: the first
+/// worker to claim the entry computes, later workers block on
+/// `get_or_init` only for that entry and count a cache hit.
+type CacheEntry = Arc<OnceLock<Option<Arc<Slice>>>>;
+
+/// Parallel batch slice engine over a shared compacted graph.
+#[derive(Debug)]
+pub struct BatchSliceEngine<'g> {
+    graph: &'g CompactGraph,
+    config: BatchConfig,
+    /// Cross-batch result cache; the mutex guards only map access (entry
+    /// lookup/insert), never a slice computation.
+    cache: Mutex<HashMap<Criterion, CacheEntry>>,
+}
+
+impl<'g> BatchSliceEngine<'g> {
+    /// Creates an engine over `graph` with the given configuration.
+    pub fn new(graph: &'g CompactGraph, config: BatchConfig) -> Self {
+        BatchSliceEngine { graph, config, cache: Mutex::new(HashMap::new()) }
+    }
+
+    /// The engine's configuration.
+    pub fn config(&self) -> &BatchConfig {
+        &self.config
+    }
+
+    /// Criteria currently answered by the result cache.
+    pub fn cached_criteria(&self) -> usize {
+        self.cache.lock().expect("cache lock").len()
+    }
+
+    /// Drops all cached results.
+    pub fn clear_cache(&self) {
+        self.cache.lock().expect("cache lock").clear();
+    }
+
+    /// Answers every query in `queries`, fanning the batch out over the
+    /// configured worker pool. Results are position-aligned with the
+    /// input; duplicated criteria are computed once when the cache is on.
+    pub fn run(&self, queries: &[Criterion]) -> BatchResult {
+        let workers = self.config.workers.max(1);
+        let started = Instant::now();
+        let cursor = AtomicUsize::new(0);
+        let mut slots: Vec<OnceLock<Option<Arc<Slice>>>> = Vec::new();
+        slots.resize_with(queries.len(), OnceLock::new);
+
+        let mut worker_stats = vec![WorkerStats::default(); workers];
+        if workers == 1 {
+            // Degenerate pool: answer inline, no thread spawn overhead.
+            worker_stats[0] = self.serve(queries, &cursor, &slots);
+        } else {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..workers)
+                    .map(|_| scope.spawn(|| self.serve(queries, &cursor, &slots)))
+                    .collect();
+                for (i, h) in handles.into_iter().enumerate() {
+                    worker_stats[i] = h.join().expect("batch worker panicked");
+                }
+            });
+        }
+
+        let slices = slots
+            .into_iter()
+            .map(|slot| slot.into_inner().expect("every query slot filled"))
+            .collect();
+        BatchResult {
+            slices,
+            stats: BatchStats { workers: worker_stats, wall: started.elapsed() },
+        }
+    }
+
+    /// One worker: pull query indices until the batch is drained.
+    fn serve(
+        &self,
+        queries: &[Criterion],
+        cursor: &AtomicUsize,
+        slots: &[OnceLock<Option<Arc<Slice>>>],
+    ) -> WorkerStats {
+        let started = Instant::now();
+        let mut stats = WorkerStats::default();
+        loop {
+            let i = cursor.fetch_add(1, Ordering::Relaxed);
+            if i >= queries.len() {
+                break;
+            }
+            let answer = if self.config.cache {
+                self.answer_cached(queries[i], &mut stats)
+            } else {
+                self.compute(queries[i], &mut stats).map(Arc::new)
+            };
+            stats.queries += 1;
+            slots[i].set(answer).expect("query slot assigned to one worker");
+        }
+        stats.busy = started.elapsed();
+        stats
+    }
+
+    /// Cache lookup with in-flight deduplication.
+    fn answer_cached(&self, q: Criterion, stats: &mut WorkerStats) -> Option<Arc<Slice>> {
+        let entry: CacheEntry = {
+            let mut cache = self.cache.lock().expect("cache lock");
+            Arc::clone(cache.entry(q).or_default())
+        };
+        let mut computed_here = false;
+        let answer = entry.get_or_init(|| {
+            computed_here = true;
+            self.compute(q, stats).map(Arc::new)
+        });
+        if !computed_here {
+            stats.cache_hits += 1;
+        }
+        answer.clone()
+    }
+
+    /// Resolves and traverses one criterion (the sequential slicing path,
+    /// with traversal counters).
+    fn compute(&self, q: Criterion, stats: &mut WorkerStats) -> Option<Slice> {
+        let (occ, ts) = match q {
+            Criterion::CellLastDef(c) => self.graph.last_def_of(c)?,
+            Criterion::Output(k) => *self.graph.outputs.get(k)?,
+        };
+        let (stmts, t) = self.graph.slice_with_stats(occ, ts, self.config.shortcuts);
+        stats.shortcuts_materialized += t.shortcuts_materialized;
+        stats.instances_visited += t.instances_visited;
+        Some(Slice { stmts })
+    }
+}
+
+/// Convenience: one-shot batch over `graph` (engine and cache live for the
+/// duration of the call).
+pub fn slice_batch(
+    graph: &CompactGraph,
+    queries: &[Criterion],
+    config: BatchConfig,
+) -> BatchResult {
+    BatchSliceEngine::new(graph, config).run(queries)
+}

@@ -13,9 +13,11 @@
 //! All three produce identical slices ([`Slice`]); the cross-algorithm
 //! equivalence is property-tested in the workspace integration suite.
 
+pub mod batch;
 pub mod forward;
 pub mod lp;
 
+pub use batch::{slice_batch, BatchConfig, BatchResult, BatchSliceEngine, BatchStats, WorkerStats};
 pub use forward::ForwardSlicer;
 pub use lp::{LpSlicer, LpStats};
 
@@ -27,7 +29,7 @@ use dynslice_ir::{Program, StmtId};
 use dynslice_runtime::{Cell, TraceEvent};
 
 /// What to slice on.
-#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+#[derive(Copy, Clone, Debug, PartialEq, Eq, Hash)]
 pub enum Criterion {
     /// The last definition of a memory cell (the paper slices on memory
     /// addresses).
@@ -121,4 +123,21 @@ impl OptSlicer {
         };
         Some(Slice { stmts: self.graph.slice(occ, ts, self.shortcuts) })
     }
+
+    /// A parallel batch engine over this slicer's graph, honoring its
+    /// shortcut setting (see [`batch::BatchSliceEngine`]).
+    pub fn batch(&self, config: BatchConfig) -> BatchSliceEngine<'_> {
+        BatchSliceEngine::new(&self.graph, BatchConfig { shortcuts: self.shortcuts, ..config })
+    }
 }
+
+// The graph's Send + Sync audit lives in `dynslice-graph`; assert here that
+// the sequential slicers stay shareable too, so a batch engine and plain
+// `OptSlicer` queries can coexist on one graph across threads.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<OptSlicer>();
+    assert_send_sync::<FpSlicer>();
+    assert_send_sync::<Criterion>();
+    assert_send_sync::<Slice>();
+};
