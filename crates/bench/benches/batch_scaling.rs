@@ -17,6 +17,11 @@
 use dynslice::{slice_batch, BatchConfig, OptConfig};
 use dynslice_bench::*;
 
+/// Resident-block budget for the paged backend rows.
+fn resident_blocks() -> usize {
+    std::env::var("DYNSLICE_RESIDENT").ok().and_then(|s| s.parse().ok()).unwrap_or(8)
+}
+
 fn main() {
     header("Batch scaling", "parallel batch engine throughput vs worker count");
     let cores = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
@@ -29,6 +34,9 @@ fn main() {
         "{:<14} {:>8} {:>10} {:>10} {:>10} {:>10} {:>9}",
         "benchmark", "queries", "1w q/s", "2w q/s", "4w q/s", "8w q/s", "8w/1w"
     );
+    let mut paged_rows = Vec::new();
+    let dir = std::env::temp_dir().join(format!("dynslice-bench-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
     for p in prepare_all() {
         let opt = p.session.opt(&p.trace, &OptConfig::default());
         let qs = queries(opt.graph().last_def.keys().copied());
@@ -60,6 +68,49 @@ fn main() {
             rates[3],
             rates[3] / rates[0].max(1e-9),
         );
+
+        // Same batch through the §4.2 paged backend: throughput plus the
+        // block-cache miss rate at each worker count (per-run counter
+        // deltas; the sharded cache is shared across workers).
+        let paged = p
+            .session
+            .paged(
+                &p.trace,
+                &OptConfig::default(),
+                dir.join(format!("{}.pg", p.name)),
+                resident_blocks(),
+            )
+            .unwrap();
+        let mut cols = String::new();
+        for workers in [1usize, 2, 4, 8] {
+            let before = paged.stats();
+            let result =
+                slice_batch(&paged, &batch, BatchConfig { workers, shortcuts: false, cache: false });
+            assert!(result.errors.is_empty(), "paged I/O errors: {:?}", result.errors);
+            let delta = paged.stats() - before;
+            cols.push_str(&format!(
+                " {:>9.0} {:>5.1}%",
+                result.stats.throughput(),
+                (1.0 - delta.hit_rate()) * 100.0
+            ));
+        }
+        paged_rows.push(format!("{:<14} {:>8}{cols}", p.name, batch.len()));
     }
     println!("(read-only graph + shared warm memo table: scaling tracks core count)");
+
+    println!();
+    println!(
+        "-- paged backend (resident budget {} blocks): q/s and miss rate per worker count",
+        resident_blocks()
+    );
+    println!(
+        "{:<14} {:>8} {:>9} {:>6} {:>9} {:>6} {:>9} {:>6} {:>9} {:>6}",
+        "benchmark", "queries", "1w q/s", "miss%", "2w q/s", "miss%", "4w q/s", "miss%", "8w q/s",
+        "miss%"
+    );
+    for row in paged_rows {
+        println!("{row}");
+    }
+    println!("(paged throughput trails OPT by the cache-miss I/O; miss rate, not workers,");
+    println!(" is the lever — see hybrid_paging for the budget sweep)");
 }

@@ -1,20 +1,33 @@
 //! Extension (paper §4.2, "Combining idea behind LP with OPT"): the
 //! compacted graph with its label blocks spilled to disk and paged in on
-//! demand. Reports resident memory vs the in-memory OPT graph and the
-//! slicing-time cost of paging.
+//! demand. Reports resident memory vs the in-memory OPT graph, the
+//! slicing-time cost of paging, and — now that the paged backend is
+//! thread-safe — parallel batch throughput and block-cache miss rates at
+//! 1/2/4/8 workers.
+//!
+//! Resident memory is *actual occupancy* (graph + index + blocks resident
+//! at measurement time), not the cache's worst-case capacity; the second
+//! table's hit rates are per-run deltas of the graph's atomic counters.
 
-use dynslice::graph::{build_compact, PagedGraph};
-use dynslice::OptConfig;
+use dynslice::{slice_batch, BatchConfig, OptConfig, SliceBackend};
 use dynslice_bench::*;
+
+/// Resident-block budget for the paged runs.
+fn resident_blocks() -> usize {
+    std::env::var("DYNSLICE_RESIDENT").ok().and_then(|s| s.parse().ok()).unwrap_or(8)
+}
 
 fn main() {
     header("Hybrid OPT+LP", "demand-paged label blocks (paper §4.2 proposal)");
+    let resident = resident_blocks();
+    println!("   (resident budget {resident} blocks; DYNSLICE_RESIDENT to change)");
     println!(
-        "{:<12} {:>12} {:>14} {:>12} {:>14} {:>12} {:>8}",
-        "program", "OPT (KB)", "resident (KB)", "disk (KB)", "OPT slice", "paged", "misses"
+        "{:<12} {:>12} {:>14} {:>12} {:>14} {:>12} {:>8} {:>7}",
+        "program", "OPT (KB)", "resident (KB)", "disk (KB)", "OPT slice", "paged", "misses", "hit%"
     );
-    let dir = std::env::temp_dir().join("dynslice-bench");
+    let dir = std::env::temp_dir().join(format!("dynslice-bench-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
+    let mut pageds = Vec::new();
     for p in prepare_all() {
         let opt = p.session.opt(&p.trace, &OptConfig::default());
         let qs = queries(opt.graph().last_def.keys().copied());
@@ -28,33 +41,64 @@ fn main() {
             }
         });
 
-        let compact = build_compact(
-            &p.session.program,
-            &p.session.analysis,
-            &p.trace.events,
-            &OptConfig::default(),
-        );
-        let paged =
-            PagedGraph::spill(compact, dir.join(format!("{}.pg", p.name)), 8).unwrap();
+        let paged = p
+            .session
+            .paged(
+                &p.trace,
+                &OptConfig::default(),
+                dir.join(format!("{}.pg", p.name)),
+                resident,
+            )
+            .unwrap();
         let (_, t_paged) = time(|| {
             for q in &qs {
-                if let dynslice::Criterion::CellLastDef(c) = q {
-                    if let Some((occ, ts)) = paged.last_def_of(*c) {
-                        let _ = paged.slice(occ, ts).unwrap();
-                    }
+                if let Some((occ, ts)) = paged.criterion_instance(*q) {
+                    let _ = paged.slice(occ, ts).unwrap();
                 }
             }
         });
+        let st = paged.stats();
         println!(
-            "{:<12} {:>12.1} {:>14.1} {:>12.1} {:>11} ms {:>9} ms {:>8}",
+            "{:<12} {:>12.1} {:>14.1} {:>12.1} {:>11} ms {:>9} ms {:>8} {:>6.1}%",
             p.name,
             opt_kb,
             paged.resident_bytes() as f64 / 1024.0,
             paged.spilled_bytes() as f64 / 1024.0,
             ms(t_opt),
             ms(t_paged),
-            paged.stats().misses
+            st.misses,
+            st.hit_rate() * 100.0,
         );
+        pageds.push((p, qs, paged));
     }
     println!("(the hybrid trades slicing time for bounded label memory, as §4.2 predicts)");
+
+    println!();
+    println!("-- paged batch scaling: queries/s and miss rate vs worker count");
+    println!(
+        "{:<12} {:>8} {:>8} {:>6} {:>8} {:>6} {:>8} {:>6} {:>8} {:>6}",
+        "program", "queries", "1w q/s", "miss%", "2w q/s", "miss%", "4w q/s", "miss%", "8w q/s",
+        "miss%"
+    );
+    for (p, qs, paged) in &pageds {
+        let batch: Vec<_> = qs.iter().copied().cycle().take(qs.len() * 4).collect();
+        let mut cols = String::new();
+        for workers in [1usize, 2, 4, 8] {
+            let before = paged.stats();
+            let result = slice_batch(
+                paged,
+                &batch,
+                BatchConfig { workers, shortcuts: false, cache: false },
+            );
+            assert!(result.errors.is_empty(), "paged I/O errors: {:?}", result.errors);
+            let delta = paged.stats() - before;
+            cols.push_str(&format!(
+                " {:>8.0} {:>5.1}%",
+                result.stats.throughput(),
+                (1.0 - delta.hit_rate()) * 100.0
+            ));
+        }
+        println!("{:<12} {:>8}{cols}", p.name, batch.len());
+    }
+    println!("(shared sharded cache: one worker's miss is every worker's hit)");
 }

@@ -3,17 +3,25 @@
 //! ```text
 //! dynslice run         <file> [--input 1,2,3]
 //! dynslice slice       <file> (--output K | --cell INST:OFF)
-//!                      [--algo opt|fp|lp] [--input 1,2,3] [--no-shortcuts]
+//!                      [--algo opt|fp|lp|paged] [--input 1,2,3]
+//!                      [--no-shortcuts] [--resident-blocks N]
 //! dynslice slice-batch <file> [--workers N] [--queries N] [--repeat R]
 //!                      [--no-cache] [--no-shortcuts] [--input 1,2,3]
+//!                      [--paged] [--resident-blocks N]
 //! dynslice report      <file> [--input 1,2,3]
 //! dynslice dot         <file> [--input 1,2,3] [--dynamic]  # graph to stdout
 //! dynslice dot         <file> --output K | --cell I:O      # slice rendering
 //! ```
+//!
+//! `--paged` answers the batch from the §4.2 OPT+LP hybrid: label blocks
+//! live on disk and at most `--resident-blocks` (default 8) are cached in
+//! memory, so the report includes block-cache hit/miss statistics.
 
 use std::process::ExitCode;
 
-use dynslice::{pick_cells, BatchConfig, Cell, Criterion, OptConfig, Session, StmtId};
+use dynslice::{
+    pick_cells, BatchConfig, BatchSliceEngine, Cell, Criterion, OptConfig, Session, StmtId,
+};
 
 fn main() -> ExitCode {
     match run() {
@@ -38,6 +46,8 @@ struct Args {
     queries: usize,
     repeat: usize,
     cache: bool,
+    paged: bool,
+    resident_blocks: usize,
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -57,6 +67,8 @@ fn parse_args() -> Result<Args, String> {
         queries: 25,
         repeat: 1,
         cache: true,
+        paged: false,
+        resident_blocks: 8,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -95,6 +107,12 @@ fn parse_args() -> Result<Args, String> {
                 out.repeat = v.parse().map_err(|_| format!("bad repeat count `{v}`"))?;
             }
             "--no-cache" => out.cache = false,
+            "--paged" => out.paged = true,
+            "--resident-blocks" => {
+                let v = args.next().ok_or("--resident-blocks needs a count")?;
+                out.resident_blocks =
+                    v.parse().map_err(|_| format!("bad block count `{v}`"))?;
+            }
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
     }
@@ -103,8 +121,8 @@ fn parse_args() -> Result<Args, String> {
 
 fn usage() -> String {
     "usage: dynslice <run|slice|slice-batch|report|dot> <file.minic> \
-     [--input 1,2,3] [--output K | --cell INST:OFF] [--algo opt|fp|lp] [--no-shortcuts] \
-     [--workers N] [--queries N] [--repeat R] [--no-cache]"
+     [--input 1,2,3] [--output K | --cell INST:OFF] [--algo opt|fp|lp|paged] [--no-shortcuts] \
+     [--workers N] [--queries N] [--repeat R] [--no-cache] [--paged] [--resident-blocks N]"
         .to_string()
 }
 
@@ -114,6 +132,88 @@ fn print_slice(session: &Session, stmts: &std::collections::BTreeSet<StmtId>) {
         let loc = session.program.stmt_loc(*s);
         println!("  {s}  fn {} {} {:?}", session.program.func(loc.func).name, loc.block, loc.pos);
     }
+}
+
+/// A per-process spill path for the paged backend (removed on drop).
+fn spill_path() -> Result<std::path::PathBuf, String> {
+    let dir = std::env::temp_dir().join("dynslice-cli");
+    std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
+    Ok(dir.join(format!("spill-{}.bin", std::process::id())))
+}
+
+/// Fig. 18-style workload: N distinct memory criteria, evenly spaced over
+/// the cells the run defined, plus every output, cycled `--repeat` times.
+fn build_batch(
+    graph: &dynslice::CompactGraph,
+    trace: &dynslice::Trace,
+    a: &Args,
+) -> Result<Vec<Criterion>, String> {
+    let mut unique: Vec<Criterion> = pick_cells(graph.last_def.keys().copied(), a.queries)
+        .into_iter()
+        .map(Criterion::CellLastDef)
+        .collect();
+    for k in 0..trace.output.len() {
+        unique.push(Criterion::Output(k));
+    }
+    if unique.is_empty() {
+        return Err("program defined no cells and printed nothing".into());
+    }
+    let n = unique.len() * a.repeat.max(1);
+    Ok(unique.into_iter().cycle().take(n).collect())
+}
+
+/// Runs one batch over any backend and prints the per-worker report.
+fn run_batch<B: dynslice::SliceBackend + ?Sized>(
+    engine: &BatchSliceEngine<'_, B>,
+    batch: &[Criterion],
+    config: &BatchConfig,
+) -> Result<(), String> {
+    let distinct = batch.iter().collect::<std::collections::HashSet<_>>().len();
+    let result = engine.run(batch);
+    let stats = &result.stats;
+    let sizes: Vec<usize> =
+        result.slices.iter().filter_map(|s| s.as_ref().map(|s| s.len())).collect();
+    println!(
+        "batch: {} queries ({} distinct) over {} workers (backend {}, cache {}, shortcuts {})",
+        batch.len(),
+        distinct,
+        config.workers,
+        engine.backend().backend_name(),
+        if config.cache { "on" } else { "off" },
+        if config.shortcuts { "on" } else { "off" },
+    );
+    println!("  worker |  queries |     hits | shortcuts |  instances |     busy");
+    for (i, w) in stats.workers.iter().enumerate() {
+        println!(
+            "  {i:>6} | {:>8} | {:>8} | {:>9} | {:>10} | {:>7.2}ms",
+            w.queries,
+            w.cache_hits,
+            w.shortcuts_materialized,
+            w.instances_visited,
+            w.busy.as_secs_f64() * 1e3,
+        );
+    }
+    if !sizes.is_empty() {
+        println!(
+            "  slice sizes: min {} / avg {:.1} / max {} statements",
+            sizes.iter().min().unwrap(),
+            sizes.iter().sum::<usize>() as f64 / sizes.len() as f64,
+            sizes.iter().max().unwrap(),
+        );
+    }
+    println!(
+        "  wall {:.2}ms, {:.0} queries/s",
+        stats.wall.as_secs_f64() * 1e3,
+        stats.throughput(),
+    );
+    if !result.errors.is_empty() {
+        return Err(format!(
+            "{} queries failed with I/O errors; first: {}",
+            result.errors.len(),
+            result.errors[0]
+        ));
+    }
+    Ok(())
 }
 
 fn run() -> Result<(), String> {
@@ -173,6 +273,27 @@ fn run() -> Result<(), String> {
                         stats.passes, stats.chunks_read, stats.chunks_skipped
                     );
                 }
+                "paged" => {
+                    let paged = session
+                        .paged(&trace, &OptConfig::default(), spill_path()?, a.resident_blocks)
+                        .map_err(|e| e.to_string())?;
+                    let (occ, ts) = match criterion {
+                        Criterion::CellLastDef(c) => paged.last_def_of(c),
+                        Criterion::Output(k) => paged.graph().outputs.get(k).copied(),
+                    }
+                    .ok_or("criterion never executed")?;
+                    let slice = paged.slice(occ, ts).map_err(|e| e.to_string())?;
+                    print_slice(&session, &slice);
+                    let st = paged.stats();
+                    eprintln!(
+                        "[paged: {} hits, {} misses ({:.1}% hit rate), {} KB read, {} resident blocks]",
+                        st.hits,
+                        st.misses,
+                        st.hit_rate() * 100.0,
+                        st.bytes_read / 1024,
+                        a.resident_blocks,
+                    );
+                }
                 other => return Err(format!("unknown algorithm `{other}`")),
             }
             Ok(())
@@ -181,71 +302,39 @@ fn run() -> Result<(), String> {
             if trace.truncated {
                 return Err("trace truncated; raise the step limit".into());
             }
-            let mut opt = session.opt(&trace, &OptConfig::default());
-            opt.shortcuts = a.shortcuts;
-            // Fig. 18-style workload: N distinct memory criteria, evenly
-            // spaced over the cells the run defined, plus every output.
-            let mut unique: Vec<Criterion> =
-                pick_cells(opt.graph().last_def.keys().copied(), a.queries)
-                    .into_iter()
-                    .map(Criterion::CellLastDef)
-                    .collect();
-            for k in 0..trace.output.len() {
-                unique.push(Criterion::Output(k));
-            }
-            if unique.is_empty() {
-                return Err("program defined no cells and printed nothing".into());
-            }
-            let batch: Vec<Criterion> = unique
-                .iter()
-                .copied()
-                .cycle()
-                .take(unique.len() * a.repeat.max(1))
-                .collect();
             let config = BatchConfig {
                 workers: a.workers.unwrap_or_else(|| BatchConfig::default().workers).max(1),
                 shortcuts: a.shortcuts,
                 cache: a.cache,
             };
-            let engine = opt.batch(config.clone());
-            let result = engine.run(&batch);
-            let stats = &result.stats;
-            let sizes: Vec<usize> =
-                result.slices.iter().filter_map(|s| s.as_ref().map(|s| s.len())).collect();
-            println!(
-                "batch: {} queries ({} distinct) over {} workers (cache {}, shortcuts {})",
-                batch.len(),
-                unique.len(),
-                config.workers,
-                if config.cache { "on" } else { "off" },
-                if config.shortcuts { "on" } else { "off" },
-            );
-            println!(
-                "  worker |  queries |     hits | shortcuts |  instances |     busy",
-            );
-            for (i, w) in stats.workers.iter().enumerate() {
+            if a.paged {
+                let paged = session
+                    .paged(&trace, &OptConfig::default(), spill_path()?, a.resident_blocks)
+                    .map_err(|e| e.to_string())?;
+                let batch = build_batch(paged.graph(), &trace, &a)?;
+                let engine = BatchSliceEngine::new(&paged, config.clone());
+                run_batch(&engine, &batch, &config)?;
+                let st = paged.stats();
                 println!(
-                    "  {i:>6} | {:>8} | {:>8} | {:>9} | {:>10} | {:>7.2}ms",
-                    w.queries,
-                    w.cache_hits,
-                    w.shortcuts_materialized,
-                    w.instances_visited,
-                    w.busy.as_secs_f64() * 1e3,
+                    "  paged: {} block hits, {} misses ({:.1}% hit rate), {} KB read",
+                    st.hits,
+                    st.misses,
+                    st.hit_rate() * 100.0,
+                    st.bytes_read / 1024,
                 );
-            }
-            if !sizes.is_empty() {
                 println!(
-                    "  slice sizes: min {} / avg {:.1} / max {} statements",
-                    sizes.iter().min().unwrap(),
-                    sizes.iter().sum::<usize>() as f64 / sizes.len() as f64,
-                    sizes.iter().max().unwrap(),
+                    "  memory: {:.1} KB resident ({} block budget), {:.1} KB spilled",
+                    paged.resident_bytes() as f64 / 1024.0,
+                    a.resident_blocks,
+                    paged.spilled_bytes() as f64 / 1024.0,
                 );
+            } else {
+                let mut opt = session.opt(&trace, &OptConfig::default());
+                opt.shortcuts = a.shortcuts;
+                let batch = build_batch(opt.graph(), &trace, &a)?;
+                let engine = opt.batch(config.clone());
+                run_batch(&engine, &batch, &config)?;
             }
-            println!(
-                "  wall {:.2}ms, {:.0} queries/s",
-                stats.wall.as_secs_f64() * 1e3,
-                stats.throughput(),
-            );
             Ok(())
         }
         "report" => {

@@ -30,7 +30,7 @@
 pub use dynslice_analysis::{self as analysis, ProgramAnalysis};
 pub use dynslice_graph::{
     self as graph, build_compact, profile_trace, BuildStats, CompactGraph, FullGraph, GraphSize,
-    NodeGraph, OptConfig, OptKind, SpecPlan, SpecPolicy,
+    NodeGraph, OptConfig, OptKind, PagedGraph, PagedStats, SpecPlan, SpecPolicy,
 };
 pub use dynslice_ir::{self as ir, Program, StmtId};
 pub use dynslice_lang::{self as lang, compile, Diags};
@@ -40,7 +40,8 @@ pub use dynslice_sequitur as sequitur;
 pub use dynslice_graph::TraversalStats;
 pub use dynslice_slicing::{
     self as slicing, slice_batch, BatchConfig, BatchResult, BatchSliceEngine, BatchStats,
-    Criterion, ForwardSlicer, FpSlicer, LpSlicer, LpStats, OptSlicer, Slice, WorkerStats,
+    Criterion, ForwardSlicer, FpSlicer, LpSlicer, LpStats, OptSlicer, Slice, SliceBackend,
+    WorkerStats,
 };
 pub use dynslice_workloads::{self as workloads, Workload};
 
@@ -107,6 +108,24 @@ impl Session {
     /// Propagates I/O errors from writing the record file.
     pub fn lp<'s>(&'s self, trace: &Trace, path: impl AsRef<Path>) -> io::Result<LpSlicer<'s>> {
         LpSlicer::build(&self.program, &self.analysis, &trace.events, path)
+    }
+
+    /// Builds the paged OPT+LP hybrid (paper §4.2): the compacted graph
+    /// with its label blocks spilled to `path`, keeping `resident_blocks`
+    /// blocks cached during slicing. The spill file is removed when the
+    /// returned graph is dropped (see [`PagedGraph::keep_spill_file`]).
+    ///
+    /// # Errors
+    /// Propagates I/O errors from writing the spill file.
+    pub fn paged(
+        &self,
+        trace: &Trace,
+        config: &OptConfig,
+        path: impl AsRef<Path>,
+        resident_blocks: usize,
+    ) -> io::Result<PagedGraph> {
+        let graph = build_compact(&self.program, &self.analysis, &trace.events, config);
+        PagedGraph::spill(graph, path, resident_blocks)
     }
 }
 

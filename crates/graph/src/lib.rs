@@ -38,13 +38,15 @@ use dynslice_runtime::TraceEvent;
 // (`dynslice-slicing`) shares one graph by reference across scoped worker
 // threads, so the dependence representations must never regrow
 // single-threaded interior mutability (`Rc`/`RefCell` — the shortcut memo
-// used to be one). `PagedGraph` is deliberately absent: its block cache is
-// per-handle state and stays single-threaded.
+// used to be one, and `PagedGraph`'s block cache another before it moved
+// to sharded mutexes + atomics).
 const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<CompactGraph>();
     assert_send_sync::<FullGraph>();
     assert_send_sync::<NodeGraph>();
+    assert_send_sync::<PagedGraph>();
+    assert_send_sync::<PagedStats>();
     assert_send_sync::<TraversalStats>();
 };
 

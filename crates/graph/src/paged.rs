@@ -9,12 +9,35 @@
 //! misses. Because channels are sorted by use-timestamp, each channel is
 //! split into contiguous runs whose `tu` ranges are recorded in the index,
 //! so a lookup touches exactly one block.
+//!
+//! # Concurrency
+//!
+//! `PagedGraph` is `Send + Sync` (compile-time asserted in the crate root)
+//! so the batch slice engine can fan queries out over it exactly as it does
+//! over [`CompactGraph`]:
+//!
+//! * the block cache is **sharded** — block `b` lives in shard
+//!   `b % num_shards`, each shard behind its own [`Mutex`], so concurrent
+//!   workers touching different blocks rarely contend;
+//! * within a shard eviction is **true LRU**: every hit refreshes the
+//!   block's recency stamp, so hot blocks survive regardless of insertion
+//!   age (the original single-threaded cache was FIFO by mistake);
+//! * cached blocks are handed out as [`Arc`] clones, so no lock is held
+//!   while a worker binary-searches a run;
+//! * disk reads go through **one shared handle** using positioned reads
+//!   ([`std::os::unix::fs::FileExt::read_exact_at`] on Unix) — a miss never
+//!   re-opens the spill file, and two threads can read concurrently;
+//! * [`PagedStats`] counters are atomics, readable at any time without
+//!   stopping the workers. A miss is counted only after the read
+//!   *succeeds*, so failed I/O does not skew hit-rate accounting.
 
-use std::cell::RefCell;
-use std::collections::{BTreeSet, HashMap, VecDeque};
+use std::collections::{BTreeSet, HashMap};
 use std::fs::File;
-use std::io::{self, BufWriter, Read, Seek, SeekFrom, Write};
+use std::io::{self, BufWriter, Write};
+use std::mem::size_of;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use dynslice_ir::StmtId;
 use dynslice_runtime::Cell;
@@ -24,6 +47,14 @@ use crate::nodes::{CdRes, UseRes};
 
 /// Pairs per spilled block.
 pub const BLOCK_PAIRS: usize = 4096;
+
+/// Upper bound on cache shards. The actual shard count is chosen so every
+/// shard holds at least two blocks (when the budget allows), keeping
+/// per-shard LRU meaningful while spreading lock contention.
+pub const CACHE_SHARDS: usize = 8;
+
+/// Bytes of one on-disk timestamp pair.
+const PAIR_BYTES: usize = size_of::<(u64, u64)>();
 
 /// One spilled block's index entry.
 #[derive(Copy, Clone, Debug)]
@@ -42,13 +73,125 @@ struct ChannelIndex {
     runs: Vec<(u64, u32, u32, u32)>,
 }
 
-/// Statistics from paged slicing.
-#[derive(Copy, Clone, Debug, Default)]
+/// One run entry's in-memory size (what `resident_bytes` charges).
+const RUN_BYTES: usize = size_of::<(u64, u32, u32, u32)>();
+
+/// Statistics from paged slicing. A snapshot of the graph's atomic
+/// counters; subtract two snapshots to meter one phase.
+#[derive(Copy, Clone, Debug, Default, PartialEq, Eq)]
 pub struct PagedStats {
     /// Block cache hits.
     pub hits: u64,
-    /// Block cache misses (disk reads).
+    /// Block cache misses — counted only after a *successful* disk read.
     pub misses: u64,
+    /// Bytes read from the spill file.
+    pub bytes_read: u64,
+}
+
+impl PagedStats {
+    /// Fraction of lookups served from the resident cache.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            return 0.0;
+        }
+        self.hits as f64 / total as f64
+    }
+}
+
+impl std::ops::Sub for PagedStats {
+    type Output = PagedStats;
+
+    fn sub(self, rhs: PagedStats) -> PagedStats {
+        PagedStats {
+            hits: self.hits - rhs.hits,
+            misses: self.misses - rhs.misses,
+            bytes_read: self.bytes_read - rhs.bytes_read,
+        }
+    }
+}
+
+/// A resident block: shared out to readers so no shard lock is held while
+/// a run is searched.
+type Block = Arc<Vec<(u64, u64)>>;
+
+/// One cache shard: true LRU over the blocks mapped to it.
+#[derive(Debug)]
+struct CacheShard {
+    /// Resident-block budget for this shard.
+    capacity: usize,
+    /// Monotone recency clock; bumped on every touch.
+    tick: u64,
+    /// `block id -> (pairs, last-touch tick)`.
+    blocks: HashMap<u32, (Block, u64)>,
+}
+
+impl CacheShard {
+    /// Evicts least-recently-used blocks until there is room for one more.
+    fn make_room(&mut self) {
+        while self.blocks.len() >= self.capacity {
+            let Some((&lru, _)) = self.blocks.iter().min_by_key(|(_, (_, t))| *t) else {
+                return;
+            };
+            self.blocks.remove(&lru);
+        }
+    }
+
+    /// Touches `id`, refreshing its recency; returns the block if resident.
+    fn touch(&mut self, id: u32) -> Option<Block> {
+        let now = self.tick;
+        let (block, stamp) = self.blocks.get_mut(&id)?;
+        *stamp = now;
+        self.tick = now + 1;
+        Some(Arc::clone(block))
+    }
+
+    /// Inserts `block` (evicting LRU entries first) unless a racing loader
+    /// already did.
+    fn insert(&mut self, id: u32, block: &Block) {
+        if self.touch(id).is_some() {
+            return;
+        }
+        self.make_room();
+        let now = self.tick;
+        self.tick = now + 1;
+        self.blocks.insert(id, (Arc::clone(block), now));
+    }
+}
+
+/// The shared spill-file read handle. On Unix, positioned reads let any
+/// number of threads read concurrently through one descriptor; elsewhere a
+/// mutex serializes seek+read on the single handle.
+#[derive(Debug)]
+struct SpillFile {
+    #[cfg(unix)]
+    file: File,
+    #[cfg(not(unix))]
+    file: Mutex<File>,
+}
+
+impl SpillFile {
+    fn open(path: &Path) -> io::Result<Self> {
+        let file = File::open(path)?;
+        #[cfg(unix)]
+        return Ok(SpillFile { file });
+        #[cfg(not(unix))]
+        return Ok(SpillFile { file: Mutex::new(file) });
+    }
+
+    #[cfg(unix)]
+    fn read_exact_at(&self, buf: &mut [u8], offset: u64) -> io::Result<()> {
+        use std::os::unix::fs::FileExt;
+        self.file.read_exact_at(buf, offset)
+    }
+
+    #[cfg(not(unix))]
+    fn read_exact_at(&self, buf: &mut [u8], offset: u64) -> io::Result<()> {
+        use std::io::{Read, Seek, SeekFrom};
+        let mut f = self.file.lock().expect("spill file lock");
+        f.seek(SeekFrom::Start(offset))?;
+        f.read_exact(buf)
+    }
 }
 
 /// A compacted graph whose timestamp-pair lists live on disk.
@@ -57,23 +200,33 @@ pub struct PagedGraph {
     /// The underlying graph, with channels drained.
     graph: CompactGraph,
     path: PathBuf,
+    /// Whether `Drop` leaves the spill file on disk (benches that want to
+    /// inspect it opt in via [`PagedGraph::keep_spill_file`]).
+    keep_spill: bool,
+    spill: SpillFile,
     blocks: Vec<BlockMeta>,
     channels: Vec<ChannelIndex>,
-    /// Resident block cache (LRU by insertion order).
-    cache: RefCell<BlockCache>,
-    stats: RefCell<PagedStats>,
+    /// Sharded resident block cache; block `b` lives in shard
+    /// `b % shards.len()`.
+    shards: Vec<Mutex<CacheShard>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    bytes_read: AtomicU64,
 }
 
-#[derive(Debug)]
-struct BlockCache {
-    capacity: usize,
-    order: VecDeque<u32>,
-    blocks: HashMap<u32, Vec<(u64, u64)>>,
+impl Drop for PagedGraph {
+    fn drop(&mut self) {
+        if !self.keep_spill {
+            let _ = std::fs::remove_file(&self.path);
+        }
+    }
 }
 
 impl PagedGraph {
     /// Spills `graph`'s channels to `path`, keeping `resident_blocks`
-    /// blocks in memory during slicing.
+    /// blocks in memory during slicing. The spill file is removed when the
+    /// graph is dropped unless [`PagedGraph::keep_spill_file`] says
+    /// otherwise.
     ///
     /// # Errors
     /// Propagates I/O errors from writing the spill file.
@@ -95,7 +248,7 @@ impl PagedGraph {
                 if cur.is_empty() {
                     return Ok(());
                 }
-                let mut buf = Vec::with_capacity(cur.len() * 16);
+                let mut buf = Vec::with_capacity(cur.len() * PAIR_BYTES);
                 for (a, b) in cur.iter() {
                     buf.extend_from_slice(&a.to_le_bytes());
                     buf.extend_from_slice(&b.to_le_bytes());
@@ -130,17 +283,30 @@ impl PagedGraph {
         }
         flush(&mut cur, &mut blocks, &mut file, &mut offset)?;
         file.flush()?;
+        drop(file);
+        let spill = SpillFile::open(&path)?;
+
+        // Shard the resident budget so each shard keeps at least two
+        // blocks when the budget allows — per-shard LRU stays meaningful.
+        let budget = resident_blocks.max(1);
+        let num_shards = (budget / 2).clamp(1, CACHE_SHARDS);
+        let shards = (0..num_shards)
+            .map(|i| {
+                let capacity = budget / num_shards + usize::from(i < budget % num_shards);
+                Mutex::new(CacheShard { capacity, tick: 0, blocks: HashMap::new() })
+            })
+            .collect();
         Ok(Self {
             graph,
             path,
+            keep_spill: false,
+            spill,
             blocks,
             channels,
-            cache: RefCell::new(BlockCache {
-                capacity: resident_blocks.max(1),
-                order: VecDeque::new(),
-                blocks: HashMap::new(),
-            }),
-            stats: RefCell::new(PagedStats::default()),
+            shards,
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            bytes_read: AtomicU64::new(0),
         })
     }
 
@@ -149,63 +315,104 @@ impl PagedGraph {
         &self.graph
     }
 
-    /// Cache statistics accumulated so far.
+    /// The spill file's path.
+    pub fn spill_path(&self) -> &Path {
+        &self.path
+    }
+
+    /// Controls whether `Drop` removes the spill file (it does by
+    /// default). Benches that want to inspect the file afterwards pass
+    /// `true`.
+    pub fn keep_spill_file(&mut self, keep: bool) {
+        self.keep_spill = keep;
+    }
+
+    /// Total resident-block budget across all shards.
+    pub fn resident_block_budget(&self) -> usize {
+        self.shards.iter().map(|s| s.lock().expect("cache shard").capacity).sum()
+    }
+
+    /// Cache statistics accumulated so far (a consistent-enough snapshot of
+    /// the atomic counters; safe to call while workers slice).
     pub fn stats(&self) -> PagedStats {
-        *self.stats.borrow()
+        PagedStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            bytes_read: self.bytes_read.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Bytes of label blocks currently resident in the cache — the actual
+    /// occupancy, not the capacity: a cold or partially filled cache
+    /// charges only what it holds.
+    pub fn resident_block_bytes(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .expect("cache shard")
+                    .blocks
+                    .values()
+                    .map(|(b, _)| (b.len() * PAIR_BYTES) as u64)
+                    .sum::<u64>()
+            })
+            .sum()
+    }
+
+    /// Worst-case resident-block bytes if every cache slot held a full
+    /// block (the bound the `resident_blocks` budget enforces).
+    pub fn resident_block_capacity_bytes(&self) -> u64 {
+        self.resident_block_budget() as u64 * (BLOCK_PAIRS * PAIR_BYTES) as u64
     }
 
     /// In-memory bytes while slicing: the drained graph plus the block
-    /// index plus resident blocks.
+    /// index plus the blocks *actually* resident right now.
     pub fn resident_bytes(&self) -> u64 {
         let g = self.graph.size(false);
         let index: u64 = self
             .channels
             .iter()
-            .map(|c| c.runs.len() as u64 * 24)
+            .map(|c| (c.runs.len() * RUN_BYTES) as u64)
             .sum::<u64>()
-            + self.blocks.len() as u64 * 12;
-        let resident = self.cache.borrow().capacity as u64 * BLOCK_PAIRS as u64 * 16;
-        g.bytes() + index + resident
+            + (self.blocks.len() * size_of::<BlockMeta>()) as u64;
+        g.bytes() + index + self.resident_block_bytes()
     }
 
     /// Bytes spilled to disk.
     pub fn spilled_bytes(&self) -> u64 {
-        self.blocks.iter().map(|b| b.len as u64 * 16).sum()
+        self.blocks.iter().map(|b| b.len as u64 * PAIR_BYTES as u64).sum()
     }
 
-    fn load_block(&self, id: u32) -> io::Result<()> {
-        {
-            let mut cache = self.cache.borrow_mut();
-            if cache.blocks.contains_key(&id) {
-                self.stats.borrow_mut().hits += 1;
-                return Ok(());
-            }
-            // Evict before loading to bound memory.
-            while cache.order.len() >= cache.capacity {
-                if let Some(old) = cache.order.pop_front() {
-                    cache.blocks.remove(&old);
-                }
-            }
+    /// Returns block `id`, from cache or disk. Lock discipline: the shard
+    /// lock is never held across the disk read; a hit refreshes the
+    /// block's LRU stamp.
+    fn load_block(&self, id: u32) -> io::Result<Block> {
+        let shard = &self.shards[id as usize % self.shards.len()];
+        if let Some(block) = shard.lock().expect("cache shard").touch(id) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return Ok(block);
         }
-        self.stats.borrow_mut().misses += 1;
+        // Miss: read through the shared handle without any lock. Two
+        // threads racing on the same block both read (identical bytes);
+        // `insert` keeps whichever lands first.
         let meta = self.blocks[id as usize];
-        let mut f = File::open(&self.path)?;
-        f.seek(SeekFrom::Start(meta.offset))?;
-        let mut buf = vec![0u8; meta.len as usize * 16];
-        f.read_exact(&mut buf)?;
-        let pairs: Vec<(u64, u64)> = buf
-            .chunks_exact(16)
-            .map(|c| {
-                (
-                    u64::from_le_bytes(c[0..8].try_into().expect("8 bytes")),
-                    u64::from_le_bytes(c[8..16].try_into().expect("8 bytes")),
-                )
-            })
-            .collect();
-        let mut cache = self.cache.borrow_mut();
-        cache.order.push_back(id);
-        cache.blocks.insert(id, pairs);
-        Ok(())
+        let mut buf = vec![0u8; meta.len as usize * PAIR_BYTES];
+        self.spill.read_exact_at(&mut buf, meta.offset)?;
+        let block: Block = Arc::new(
+            buf.chunks_exact(PAIR_BYTES)
+                .map(|c| {
+                    (
+                        u64::from_le_bytes(c[0..8].try_into().expect("8 bytes")),
+                        u64::from_le_bytes(c[8..16].try_into().expect("8 bytes")),
+                    )
+                })
+                .collect(),
+        );
+        // The read succeeded: only now does it count as a miss.
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.bytes_read.fetch_add(buf.len() as u64, Ordering::Relaxed);
+        shard.lock().expect("cache shard").insert(id, &block);
+        Ok(block)
     }
 
     /// Searches channel `chan` for the pair with use-timestamp `tu`.
@@ -217,9 +424,7 @@ impl PagedGraph {
             return Ok(None);
         }
         let (_, block, start, len) = index.runs[pos - 1];
-        self.load_block(block)?;
-        let cache = self.cache.borrow();
-        let pairs = &cache.blocks[&block];
+        let pairs = self.load_block(block)?;
         let run = &pairs[start as usize..(start + len) as usize];
         Ok(run
             .binary_search_by_key(&tu, |&(_, b)| b)
@@ -267,14 +472,26 @@ impl PagedGraph {
     /// # Errors
     /// Propagates I/O errors from block loads.
     pub fn slice(&self, occ: u32, ts: u64) -> io::Result<BTreeSet<StmtId>> {
+        Ok(self.slice_with_stats(occ, ts)?.0)
+    }
+
+    /// [`Self::slice`], also returning the number of distinct
+    /// `(occurrence, timestamp)` instances visited (the batch engine's
+    /// per-worker traversal counter).
+    ///
+    /// # Errors
+    /// Propagates I/O errors from block loads.
+    pub fn slice_with_stats(&self, occ: u32, ts: u64) -> io::Result<(BTreeSet<StmtId>, u64)> {
         let mut slice = BTreeSet::new();
         let mut visited = std::collections::HashSet::new();
         let mut work = vec![(occ, ts)];
+        let mut instances = 0u64;
         slice.insert(self.graph.stmt_of(occ));
         while let Some((occ, ts)) = work.pop() {
             if !visited.insert((occ, ts)) {
                 continue;
             }
+            instances += 1;
             let nuses = self.graph.nodes.use_res[occ as usize].len();
             for k in 0..nuses as u8 {
                 if let Some((docc, td)) = self.resolve_use(occ, k, ts)? {
@@ -287,7 +504,7 @@ impl PagedGraph {
                 work.push((pocc, tp));
             }
         }
-        Ok(slice)
+        Ok((slice, instances))
     }
 
     /// The final defining instance of `cell`, if any.
@@ -312,6 +529,16 @@ mod tests {
         (p, a, t)
     }
 
+    /// A per-test spill path: tests run in parallel within one process and
+    /// possibly across concurrent `cargo test` invocations, so every test
+    /// gets its own `pid`-scoped directory and file name.
+    fn spill_path(test: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join(format!("dynslice-paged-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        dir.join(format!("{test}.bin"))
+    }
+
     const SRC: &str = "global int a[16];
          fn main() {
            int i;
@@ -325,15 +552,21 @@ mod tests {
            a[0] = s;
          }";
 
+    /// A program whose single channel spans many spill blocks.
+    const MANY_BLOCKS_SRC: &str = "global int a[1];
+         fn main() {
+           int i;
+           for (i = 0; i < 9000; i = i + 1) { a[0] = a[0] + i; }
+           print a[0];
+         }";
+
     #[test]
     fn paged_slices_match_in_memory_slices() {
         let (p, a, t) = setup(SRC);
         let full = FullGraph::build(&p, &a, &t.events);
         let opt = build_compact(&p, &a, &t.events, &OptConfig::default());
-        let dir = std::env::temp_dir().join("dynslice-paged");
-        std::fs::create_dir_all(&dir).unwrap();
         // Tiny cache: exercise eviction.
-        let paged = PagedGraph::spill(opt, dir.join("p1.bin"), 2).unwrap();
+        let paged = PagedGraph::spill(opt, spill_path("match"), 2).unwrap();
         let mut cells: Vec<_> = full.last_def.keys().copied().collect();
         cells.sort();
         for cell in cells {
@@ -346,6 +579,7 @@ mod tests {
         let st = paged.stats();
         assert!(st.misses > 0, "expected disk reads: {st:?}");
         assert!(st.hits > 0, "expected cache hits: {st:?}");
+        assert_eq!(st.bytes_read % PAIR_BYTES as u64, 0, "whole pairs only: {st:?}");
     }
 
     #[test]
@@ -354,9 +588,7 @@ mod tests {
         let opt = build_compact(&p, &a, &t.events, &OptConfig::default());
         let pairs_before = opt.size(false).pairs;
         assert!(pairs_before > 0);
-        let dir = std::env::temp_dir().join("dynslice-paged");
-        std::fs::create_dir_all(&dir).unwrap();
-        let paged = PagedGraph::spill(opt, dir.join("p2.bin"), 4).unwrap();
+        let paged = PagedGraph::spill(opt, spill_path("todisk"), 4).unwrap();
         // All pairs are on disk; the drained graph holds none.
         assert_eq!(paged.graph().size(false).pairs, 0);
         assert_eq!(paged.spilled_bytes(), pairs_before * 16);
@@ -365,24 +597,131 @@ mod tests {
 
     #[test]
     fn block_index_spans_multiple_blocks() {
-        // Enough pairs to need several blocks even with one channel.
-        let (p, a, t) = setup(
-            "global int a[1];
-             fn main() {
-               int i;
-               for (i = 0; i < 9000; i = i + 1) { a[0] = a[0] + i; }
-               print a[0];
-             }",
-        );
+        let (p, a, t) = setup(MANY_BLOCKS_SRC);
         let opt = build_compact(&p, &a, &t.events, &OptConfig::none());
-        let dir = std::env::temp_dir().join("dynslice-paged");
-        std::fs::create_dir_all(&dir).unwrap();
-        let paged = PagedGraph::spill(opt, dir.join("p3.bin"), 1).unwrap();
+        let paged = PagedGraph::spill(opt, spill_path("multi"), 1).unwrap();
         assert!(paged.blocks.len() >= 2, "expected multiple blocks");
         // Slicing still works with a single resident block.
         let full = FullGraph::build(&p, &a, &t.events);
         let (cell, &(fs, fts)) = full.last_def.iter().next().unwrap();
         let (occ, ts) = paged.last_def_of(*cell).unwrap();
         assert_eq!(full.slice(&p, fs, fts), paged.slice(occ, ts).unwrap());
+    }
+
+    /// Regression for the FIFO bug: the cache is documented as LRU, but
+    /// the original implementation never refreshed recency on a hit, so a
+    /// hot block was evicted purely by insertion age. With capacity 2:
+    /// touch 0, 1, 0 again (hot), then 2 — LRU must evict 1 (cold) and
+    /// keep 0; FIFO evicted 0. The final touch of 0 distinguishes them.
+    #[test]
+    fn lru_eviction_keeps_recently_hit_blocks() {
+        let (p, a, t) = setup(MANY_BLOCKS_SRC);
+        let opt = build_compact(&p, &a, &t.events, &OptConfig::none());
+        // Budget 2 → one shard of capacity 2, so blocks 0/1/2 all compete.
+        let paged = PagedGraph::spill(opt, spill_path("lru"), 2).unwrap();
+        assert!(paged.blocks.len() >= 3, "need at least 3 blocks");
+        assert_eq!(paged.shards.len(), 1);
+        paged.load_block(0).unwrap(); // miss
+        paged.load_block(1).unwrap(); // miss
+        paged.load_block(0).unwrap(); // hit — must refresh 0's recency
+        paged.load_block(2).unwrap(); // miss; evicts LRU = 1 (FIFO evicted 0)
+        paged.load_block(0).unwrap(); // LRU: hit. FIFO: miss.
+        let st = paged.stats();
+        assert_eq!(
+            (st.hits, st.misses),
+            (2, 3),
+            "recency-refreshing LRU expected; FIFO gives (1, 4): {st:?}"
+        );
+        let shard = paged.shards[0].lock().unwrap();
+        assert!(shard.blocks.contains_key(&0), "hot block evicted");
+        assert!(!shard.blocks.contains_key(&1), "cold block survived");
+    }
+
+    /// `resident_bytes` charges actual occupancy: nothing for a cold
+    /// cache, at most the configured budget afterwards.
+    #[test]
+    fn resident_accounting_tracks_occupancy() {
+        let (p, a, t) = setup(SRC);
+        let opt = build_compact(&p, &a, &t.events, &OptConfig::default());
+        let paged = PagedGraph::spill(opt, spill_path("resident"), 2).unwrap();
+        let cold = paged.resident_bytes();
+        assert_eq!(paged.resident_block_bytes(), 0, "cold cache holds no blocks");
+        let (cell, _) = paged.graph().last_def.iter().next().map(|(c, i)| (*c, *i)).unwrap();
+        let (occ, ts) = paged.last_def_of(cell).unwrap();
+        paged.slice(occ, ts).unwrap();
+        let warm = paged.resident_block_bytes();
+        assert!(warm > 0, "slicing should page blocks in");
+        assert!(
+            warm <= paged.resident_block_capacity_bytes(),
+            "occupancy {warm} exceeds budget {}",
+            paged.resident_block_capacity_bytes()
+        );
+        assert_eq!(paged.resident_bytes(), cold + warm);
+    }
+
+    /// The spill file is removed on drop by default; `keep_spill_file`
+    /// opts out for harnesses that inspect it.
+    #[test]
+    fn drop_cleans_up_spill_file() {
+        let (p, a, t) = setup(SRC);
+        let path = spill_path("drop");
+        let opt = build_compact(&p, &a, &t.events, &OptConfig::default());
+        let paged = PagedGraph::spill(opt, &path, 2).unwrap();
+        assert!(path.exists());
+        drop(paged);
+        assert!(!path.exists(), "drop must remove the spill file");
+
+        let opt = build_compact(&p, &a, &t.events, &OptConfig::default());
+        let mut paged = PagedGraph::spill(opt, &path, 2).unwrap();
+        paged.keep_spill_file(true);
+        drop(paged);
+        assert!(path.exists(), "keep_spill_file must leave the file");
+        std::fs::remove_file(&path).unwrap();
+    }
+
+    /// Reads keep working after the spill file's directory entry is gone —
+    /// the shared handle opened at spill time outlives the name (Unix).
+    #[cfg(unix)]
+    #[test]
+    fn shared_handle_survives_unlink() {
+        let (p, a, t) = setup(SRC);
+        let path = spill_path("unlink");
+        let opt = build_compact(&p, &a, &t.events, &OptConfig::default());
+        let paged = PagedGraph::spill(opt, &path, 1).unwrap();
+        std::fs::remove_file(&path).unwrap();
+        let (cell, _) = paged.graph().last_def.iter().next().map(|(c, i)| (*c, *i)).unwrap();
+        let (occ, ts) = paged.last_def_of(cell).unwrap();
+        assert!(!paged.slice(occ, ts).unwrap().is_empty());
+    }
+
+    /// Concurrent slicing through one shared `PagedGraph` returns exactly
+    /// the sequential slices, and the stats counters stay coherent.
+    #[test]
+    fn concurrent_slicing_matches_sequential() {
+        let (p, a, t) = setup(SRC);
+        let full = FullGraph::build(&p, &a, &t.events);
+        let opt = build_compact(&p, &a, &t.events, &OptConfig::default());
+        let paged = PagedGraph::spill(opt, spill_path("concurrent"), 2).unwrap();
+        let mut cells: Vec<_> = full.last_def.keys().copied().collect();
+        cells.sort();
+        let expected: Vec<_> = cells
+            .iter()
+            .map(|c| {
+                let (fs, fts) = full.last_def[c];
+                full.slice(&p, fs, fts)
+            })
+            .collect();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                scope.spawn(|| {
+                    for (cell, want) in cells.iter().zip(expected.iter()) {
+                        let (occ, ts) = paged.last_def_of(*cell).unwrap();
+                        assert_eq!(*want, paged.slice(occ, ts).unwrap(), "cell {cell:?}");
+                    }
+                });
+            }
+        });
+        let st = paged.stats();
+        assert!(st.hits > 0 && st.misses > 0, "{st:?}");
     }
 }

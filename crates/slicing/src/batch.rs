@@ -1,18 +1,22 @@
 //! Parallel batch slicing: fan a set of [`Criterion`] queries out over a
-//! shared, read-only [`CompactGraph`].
+//! shared, read-only slicing backend.
 //!
 //! The paper's headline claim is that OPT makes dynamic slicing cheap
 //! enough to answer *many* queries interactively (25 slices per benchmark,
 //! Fig. 17/18). Slice queries are embarrassingly parallel once the
 //! dependence representation is shared and immutable: a query traverses the
-//! graph, never mutates it, and two queries share nothing but the lazily
-//! memoized shortcut closures — which live in the graph's lock-free
-//! per-occurrence table and are therefore safe (and profitable: warm for
-//! everyone) to share across threads.
+//! graph, never mutates it, and two queries share nothing but lazily
+//! memoized state — the compacted graph's lock-free shortcut table, or the
+//! paged graph's sharded block cache — which is safe (and profitable: warm
+//! for everyone) to share across threads.
 //!
 //! Architecture:
 //!
-//! * a [`BatchSliceEngine`] borrows the graph and holds a cross-batch
+//! * a [`SliceBackend`] abstracts the dependence representation: the
+//!   in-memory [`CompactGraph`] (the paper's OPT) and the demand-paged
+//!   [`PagedGraph`] (the §4.2 OPT+LP hybrid) both qualify, so one engine
+//!   serves both the speed-optimal and the memory-bounded configuration;
+//! * a [`BatchSliceEngine`] borrows the backend and holds a cross-batch
 //!   result cache keyed by criterion (repeated queries are O(1));
 //! * [`BatchSliceEngine::run`] spawns a scoped worker pool
 //!   (`std::thread::scope`, std-only) pulling query indices from a shared
@@ -21,28 +25,110 @@
 //! * results land in per-query `OnceLock` slots, so no locks are held
 //!   while slicing;
 //! * each worker reports [`WorkerStats`] (queries served, cache hits,
-//!   shortcut closures materialized, instances visited, busy time),
-//!   aggregated into [`BatchStats`] for observability.
+//!   shortcut closures materialized, instances visited, I/O errors, busy
+//!   time), aggregated into [`BatchStats`] for observability.
 //!
-//! Equivalence with sequential [`crate::OptSlicer::slice`] — for any worker
-//! count and with the cache on or off — is property-tested in the
+//! Equivalence with sequential slicing — for any worker count, either
+//! backend, and with the cache on or off — is property-tested in the
 //! workspace's differential suite.
 
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
+use std::io;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
-use dynslice_graph::CompactGraph;
+use dynslice_graph::{CompactGraph, PagedGraph};
+use dynslice_ir::StmtId;
 
 use crate::{Criterion, Slice};
+
+/// A dependence representation the batch engine can slice over: shared by
+/// reference across worker threads, so it must be `Sync`, and any interior
+/// state (memo tables, block caches) must be thread-safe.
+pub trait SliceBackend: Sync {
+    /// Resolves a criterion to its graph instance `(occurrence, ts)`;
+    /// `None` if the criterion never executed.
+    fn criterion_instance(&self, q: Criterion) -> Option<(u32, u64)>;
+
+    /// Computes a backward slice from `(occ, ts)`, accumulating traversal
+    /// counters into `stats`. `shortcuts` selects shortcut-edge traversal
+    /// for backends that support it (the paged backend has no shortcut
+    /// edges over spilled labels and ignores the flag).
+    ///
+    /// # Errors
+    /// Backends that page state from disk propagate I/O errors; purely
+    /// in-memory backends never fail.
+    fn slice_instance(
+        &self,
+        occ: u32,
+        ts: u64,
+        shortcuts: bool,
+        stats: &mut WorkerStats,
+    ) -> io::Result<BTreeSet<StmtId>>;
+
+    /// Short label for reports.
+    fn backend_name(&self) -> &'static str;
+}
+
+impl SliceBackend for CompactGraph {
+    fn criterion_instance(&self, q: Criterion) -> Option<(u32, u64)> {
+        match q {
+            Criterion::CellLastDef(c) => self.last_def_of(c),
+            Criterion::Output(k) => self.outputs.get(k).copied(),
+        }
+    }
+
+    fn slice_instance(
+        &self,
+        occ: u32,
+        ts: u64,
+        shortcuts: bool,
+        stats: &mut WorkerStats,
+    ) -> io::Result<BTreeSet<StmtId>> {
+        let (stmts, t) = self.slice_with_stats(occ, ts, shortcuts);
+        stats.shortcuts_materialized += t.shortcuts_materialized;
+        stats.instances_visited += t.instances_visited;
+        Ok(stmts)
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "opt"
+    }
+}
+
+impl SliceBackend for PagedGraph {
+    fn criterion_instance(&self, q: Criterion) -> Option<(u32, u64)> {
+        match q {
+            Criterion::CellLastDef(c) => self.last_def_of(c),
+            Criterion::Output(k) => self.graph().outputs.get(k).copied(),
+        }
+    }
+
+    fn slice_instance(
+        &self,
+        occ: u32,
+        ts: u64,
+        _shortcuts: bool,
+        stats: &mut WorkerStats,
+    ) -> io::Result<BTreeSet<StmtId>> {
+        let (stmts, visited) = self.slice_with_stats(occ, ts)?;
+        stats.instances_visited += visited;
+        Ok(stmts)
+    }
+
+    fn backend_name(&self) -> &'static str {
+        "paged"
+    }
+}
 
 /// Batch engine configuration.
 #[derive(Clone, Debug)]
 pub struct BatchConfig {
     /// Worker threads (clamped to at least 1).
     pub workers: usize,
-    /// Whether queries traverse shortcut edges (the paper's default).
+    /// Whether queries traverse shortcut edges (the paper's default; only
+    /// meaningful for backends with shortcut edges).
     pub shortcuts: bool,
     /// Whether the cross-batch result cache is consulted and filled.
     pub cache: bool,
@@ -67,10 +153,13 @@ pub struct WorkerStats {
     /// in-flight computation of the same criterion).
     pub cache_hits: u64,
     /// Shortcut closures this worker materialized into the graph's shared
-    /// memo table.
+    /// memo table (always 0 for the paged backend).
     pub shortcuts_materialized: u64,
     /// `(occurrence, timestamp)` instances visited during traversals.
     pub instances_visited: u64,
+    /// Queries that failed with an I/O error (paged backend only; the
+    /// failed query's slot reports `None`).
+    pub io_errors: u64,
     /// Wall time from the worker's first to last action.
     pub busy: Duration,
 }
@@ -105,6 +194,11 @@ impl BatchStats {
         self.workers.iter().map(|w| w.instances_visited).sum()
     }
 
+    /// Total queries that failed with an I/O error.
+    pub fn total_io_errors(&self) -> u64 {
+        self.workers.iter().map(|w| w.io_errors).sum()
+    }
+
     /// Queries per second over the run's wall time.
     pub fn throughput(&self) -> f64 {
         let secs = self.wall.as_secs_f64();
@@ -117,13 +211,16 @@ impl BatchStats {
 
 /// The result of one batch: one slot per input query, in order. `None`
 /// marks criteria that never executed (same contract as
-/// [`crate::OptSlicer::slice`]).
+/// [`crate::OptSlicer::slice`]) — or, for the paged backend, queries whose
+/// traversal hit an I/O error; `errors` distinguishes the two.
 #[derive(Clone, Debug)]
 pub struct BatchResult {
     /// Slices aligned with the input query slice.
     pub slices: Vec<Option<Arc<Slice>>>,
     /// Run statistics.
     pub stats: BatchStats,
+    /// I/O errors encountered by workers (empty for in-memory backends).
+    pub errors: Vec<String>,
 }
 
 /// A cached (or in-flight) answer for one criterion. The `OnceLock` layer
@@ -132,25 +229,31 @@ pub struct BatchResult {
 /// `get_or_init` only for that entry and count a cache hit.
 type CacheEntry = Arc<OnceLock<Option<Arc<Slice>>>>;
 
-/// Parallel batch slice engine over a shared compacted graph.
+/// Parallel batch slice engine over a shared slicing backend
+/// ([`CompactGraph`] by default; [`PagedGraph`] for the §4.2 hybrid).
 #[derive(Debug)]
-pub struct BatchSliceEngine<'g> {
-    graph: &'g CompactGraph,
+pub struct BatchSliceEngine<'g, B: SliceBackend + ?Sized = CompactGraph> {
+    backend: &'g B,
     config: BatchConfig,
     /// Cross-batch result cache; the mutex guards only map access (entry
     /// lookup/insert), never a slice computation.
     cache: Mutex<HashMap<Criterion, CacheEntry>>,
 }
 
-impl<'g> BatchSliceEngine<'g> {
-    /// Creates an engine over `graph` with the given configuration.
-    pub fn new(graph: &'g CompactGraph, config: BatchConfig) -> Self {
-        BatchSliceEngine { graph, config, cache: Mutex::new(HashMap::new()) }
+impl<'g, B: SliceBackend + ?Sized> BatchSliceEngine<'g, B> {
+    /// Creates an engine over `backend` with the given configuration.
+    pub fn new(backend: &'g B, config: BatchConfig) -> Self {
+        BatchSliceEngine { backend, config, cache: Mutex::new(HashMap::new()) }
     }
 
     /// The engine's configuration.
     pub fn config(&self) -> &BatchConfig {
         &self.config
+    }
+
+    /// The backend the engine slices over.
+    pub fn backend(&self) -> &'g B {
+        self.backend
     }
 
     /// Criteria currently answered by the result cache.
@@ -170,17 +273,18 @@ impl<'g> BatchSliceEngine<'g> {
         let workers = self.config.workers.max(1);
         let started = Instant::now();
         let cursor = AtomicUsize::new(0);
+        let errors = Mutex::new(Vec::new());
         let mut slots: Vec<OnceLock<Option<Arc<Slice>>>> = Vec::new();
         slots.resize_with(queries.len(), OnceLock::new);
 
         let mut worker_stats = vec![WorkerStats::default(); workers];
         if workers == 1 {
             // Degenerate pool: answer inline, no thread spawn overhead.
-            worker_stats[0] = self.serve(queries, &cursor, &slots);
+            worker_stats[0] = self.serve(queries, &cursor, &slots, &errors);
         } else {
             std::thread::scope(|scope| {
                 let handles: Vec<_> = (0..workers)
-                    .map(|_| scope.spawn(|| self.serve(queries, &cursor, &slots)))
+                    .map(|_| scope.spawn(|| self.serve(queries, &cursor, &slots, &errors)))
                     .collect();
                 for (i, h) in handles.into_iter().enumerate() {
                     worker_stats[i] = h.join().expect("batch worker panicked");
@@ -195,6 +299,7 @@ impl<'g> BatchSliceEngine<'g> {
         BatchResult {
             slices,
             stats: BatchStats { workers: worker_stats, wall: started.elapsed() },
+            errors: errors.into_inner().expect("errors lock"),
         }
     }
 
@@ -204,6 +309,7 @@ impl<'g> BatchSliceEngine<'g> {
         queries: &[Criterion],
         cursor: &AtomicUsize,
         slots: &[OnceLock<Option<Arc<Slice>>>],
+        errors: &Mutex<Vec<String>>,
     ) -> WorkerStats {
         let started = Instant::now();
         let mut stats = WorkerStats::default();
@@ -215,8 +321,13 @@ impl<'g> BatchSliceEngine<'g> {
             let answer = if self.config.cache {
                 self.answer_cached(queries[i], &mut stats)
             } else {
-                self.compute(queries[i], &mut stats).map(Arc::new)
+                self.compute(queries[i], &mut stats).map(|s| s.map(Arc::new))
             };
+            let answer = answer.unwrap_or_else(|e| {
+                stats.io_errors += 1;
+                errors.lock().expect("errors lock").push(format!("{:?}: {e}", queries[i]));
+                None
+            });
             stats.queries += 1;
             slots[i].set(answer).expect("query slot assigned to one worker");
         }
@@ -225,42 +336,57 @@ impl<'g> BatchSliceEngine<'g> {
     }
 
     /// Cache lookup with in-flight deduplication.
-    fn answer_cached(&self, q: Criterion, stats: &mut WorkerStats) -> Option<Arc<Slice>> {
+    fn answer_cached(
+        &self,
+        q: Criterion,
+        stats: &mut WorkerStats,
+    ) -> io::Result<Option<Arc<Slice>>> {
         let entry: CacheEntry = {
             let mut cache = self.cache.lock().expect("cache lock");
             Arc::clone(cache.entry(q).or_default())
         };
         let mut computed_here = false;
+        let mut err = None;
         let answer = entry.get_or_init(|| {
             computed_here = true;
-            self.compute(q, stats).map(Arc::new)
+            match self.compute(q, stats) {
+                Ok(s) => s.map(Arc::new),
+                Err(e) => {
+                    err = Some(e);
+                    None
+                }
+            }
         });
+        if let Some(e) = err {
+            // Best effort: drop the poisoned entry so a later batch can
+            // retry the criterion instead of caching the failure as
+            // "never executed".
+            self.cache.lock().expect("cache lock").remove(&q);
+            return Err(e);
+        }
         if !computed_here {
             stats.cache_hits += 1;
         }
-        answer.clone()
+        Ok(answer.clone())
     }
 
     /// Resolves and traverses one criterion (the sequential slicing path,
     /// with traversal counters).
-    fn compute(&self, q: Criterion, stats: &mut WorkerStats) -> Option<Slice> {
-        let (occ, ts) = match q {
-            Criterion::CellLastDef(c) => self.graph.last_def_of(c)?,
-            Criterion::Output(k) => *self.graph.outputs.get(k)?,
+    fn compute(&self, q: Criterion, stats: &mut WorkerStats) -> io::Result<Option<Slice>> {
+        let Some((occ, ts)) = self.backend.criterion_instance(q) else {
+            return Ok(None);
         };
-        let (stmts, t) = self.graph.slice_with_stats(occ, ts, self.config.shortcuts);
-        stats.shortcuts_materialized += t.shortcuts_materialized;
-        stats.instances_visited += t.instances_visited;
-        Some(Slice { stmts })
+        let stmts = self.backend.slice_instance(occ, ts, self.config.shortcuts, stats)?;
+        Ok(Some(Slice { stmts }))
     }
 }
 
-/// Convenience: one-shot batch over `graph` (engine and cache live for the
-/// duration of the call).
-pub fn slice_batch(
-    graph: &CompactGraph,
+/// Convenience: one-shot batch over `backend` (engine and cache live for
+/// the duration of the call).
+pub fn slice_batch<B: SliceBackend + ?Sized>(
+    backend: &B,
     queries: &[Criterion],
     config: BatchConfig,
 ) -> BatchResult {
-    BatchSliceEngine::new(graph, config).run(queries)
+    BatchSliceEngine::new(backend, config).run(queries)
 }

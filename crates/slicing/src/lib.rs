@@ -17,7 +17,9 @@ pub mod batch;
 pub mod forward;
 pub mod lp;
 
-pub use batch::{slice_batch, BatchConfig, BatchResult, BatchSliceEngine, BatchStats, WorkerStats};
+pub use batch::{
+    slice_batch, BatchConfig, BatchResult, BatchSliceEngine, BatchStats, SliceBackend, WorkerStats,
+};
 pub use forward::ForwardSlicer;
 pub use lp::{LpSlicer, LpStats};
 

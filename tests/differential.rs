@@ -1,14 +1,35 @@
 //! Property-based differential testing: random MiniC programs from the
-//! workload generator must yield identical FP / OPT / LP slices for every
-//! criterion — the strongest form of the paper's losslessness claim.
+//! workload generator must yield identical FP / OPT / LP / paged slices
+//! for every criterion — the strongest form of the paper's losslessness
+//! claim (compaction is lossless, and so is spilling the labels to disk).
 
 use dynslice::{
-    pick_cells, slice_batch, BatchConfig, Criterion, ForwardSlicer, OptConfig, Session,
-    SpecPolicy, VmOptions,
+    pick_cells, slice_batch, BatchConfig, Criterion, ForwardSlicer, OptConfig, PagedGraph,
+    Session, SliceBackend, SpecPolicy, StmtId, VmOptions,
 };
 use dynslice_workloads::{generate, GenConfig};
 use proptest::prelude::*;
 use std::collections::BTreeSet;
+use std::path::PathBuf;
+
+/// Resident-block budgets the paged backend is exercised at: a single
+/// block (worst-case thrashing), the minimum sharded budget, and a
+/// comfortable cache.
+const RESIDENT_BUDGETS: [usize; 3] = [1, 2, 8];
+
+/// A pid-scoped scratch directory so concurrent `cargo test` invocations
+/// never collide on spill/record files.
+fn diff_dir() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dynslice-diff-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+/// The paged analogue of `OptSlicer::slice`, via the backend trait.
+fn paged_slice(paged: &PagedGraph, q: Criterion) -> Option<BTreeSet<StmtId>> {
+    let (occ, ts) = paged.criterion_instance(q)?;
+    Some(paged.slice(occ, ts).expect("paged I/O"))
+}
 
 fn gen_config(seed: u64, alias_pct: u64, recursion: bool) -> GenConfig {
     GenConfig {
@@ -43,9 +64,19 @@ fn check_seed(seed: u64, alias_pct: u64, recursion: bool) {
         OptConfig { spec: SpecPolicy::None, ..OptConfig::default() },
     ];
     let opts: Vec<_> = configs.iter().map(|c| session.opt(&trace, c)).collect();
-    let dir = std::env::temp_dir().join("dynslice-diff");
-    std::fs::create_dir_all(&dir).unwrap();
-    let lp = session.lp(&trace, dir.join(format!("d{seed}.bin"))).unwrap();
+    let dir = diff_dir();
+    let lp = session.lp(&trace, dir.join(format!("d{seed}-{alias_pct}-{recursion}.bin"))).unwrap();
+    // One resident budget per seed keeps the proptest cheap while the case
+    // population still covers all three budgets.
+    let resident = RESIDENT_BUDGETS[seed as usize % RESIDENT_BUDGETS.len()];
+    let paged = session
+        .paged(
+            &trace,
+            &OptConfig::default(),
+            dir.join(format!("p{seed}-{alias_pct}-{recursion}.bin")),
+            resident,
+        )
+        .unwrap();
 
     // The forward computation is an independent oracle: its slices are
     // always contained in the backward ones (equal absent param-reached
@@ -59,6 +90,8 @@ fn check_seed(seed: u64, alias_pct: u64, recursion: bool) {
         }
         let (l, _) = lp.slice(q).unwrap().expect("lp");
         assert_eq!(expect, l.stmts, "seed {seed} LP cell {c:?}\n{src}");
+        let p = paged_slice(&paged, q).expect("paged");
+        assert_eq!(expect, p, "seed {seed} paged (resident {resident}) cell {c:?}\n{src}");
         let f = fwd.slice(q).expect("forward").stmts;
         assert!(f.is_subset(&expect), "seed {seed} forward ⊄ backward for {c:?}\n{src}");
     }
@@ -70,8 +103,10 @@ fn check_seed(seed: u64, alias_pct: u64, recursion: bool) {
         }
         let (l, _) = lp.slice(q).unwrap().expect("lp");
         assert_eq!(expect, l.stmts, "seed {seed} LP output {k}");
+        let p = paged_slice(&paged, q).expect("paged");
+        assert_eq!(expect, p, "seed {seed} paged (resident {resident}) output {k}");
     }
-    std::fs::remove_file(dir.join(format!("d{seed}.bin"))).ok();
+    std::fs::remove_file(dir.join(format!("d{seed}-{alias_pct}-{recursion}.bin"))).ok();
 }
 
 proptest! {
@@ -164,6 +199,74 @@ proptest! {
     }
 }
 
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 8, ..ProptestConfig::default() })]
+
+    /// Batch parity for the §4.2 hybrid: the parallel batch engine over a
+    /// shared `PagedGraph` returns byte-identical slices to sequential
+    /// paged slicing — for 1–8 workers, every resident-block budget, with
+    /// the result cache on and off, and with no I/O errors.
+    #[test]
+    fn prop_paged_batch_matches_sequential(
+        seed in 0u64..5000,
+        alias in 0u64..60,
+        workers in 1usize..9,
+        resident_idx in 0usize..RESIDENT_BUDGETS.len(),
+        dup in 0u64..3,
+    ) {
+        let src = generate(&gen_config(seed, alias, false));
+        let session = Session::compile(&src).expect("generated program compiles");
+        let trace = session.run_with(VmOptions {
+            input: vec![seed as i64 % 17, 3, 9, 1],
+            max_steps: 2_000_000,
+        });
+        prop_assume!(!trace.truncated);
+        let resident = RESIDENT_BUDGETS[resident_idx];
+        let path = diff_dir().join(format!("pb-{seed}-{alias}-{workers}-{resident}.bin"));
+        let paged = session.paged(&trace, &OptConfig::default(), path, resident).unwrap();
+        let mut unique: Vec<Criterion> =
+            pick_cells(paged.graph().last_def.keys().copied(), 8)
+                .into_iter()
+                .map(Criterion::CellLastDef)
+                .collect();
+        for k in 0..trace.output.len().min(2) {
+            unique.push(Criterion::Output(k));
+        }
+        // A criterion that never executed must come back as None too.
+        unique.push(Criterion::Output(usize::MAX));
+        let batch: Vec<Criterion> = unique
+            .iter()
+            .copied()
+            .cycle()
+            .take(unique.len() * (dup as usize + 1))
+            .collect();
+        // Sequential answers straight off the same shared paged graph.
+        let expect: Vec<Option<BTreeSet<StmtId>>> =
+            batch.iter().map(|q| paged_slice(&paged, *q)).collect();
+        for cache in [true, false] {
+            let result = slice_batch(
+                &paged,
+                &batch,
+                BatchConfig { workers, shortcuts: true, cache },
+            );
+            prop_assert!(result.errors.is_empty(), "I/O errors: {:?}", result.errors);
+            prop_assert_eq!(result.stats.total_io_errors(), 0);
+            prop_assert_eq!(result.slices.len(), batch.len());
+            for ((got, want), q) in
+                result.slices.iter().zip(expect.iter()).zip(batch.iter())
+            {
+                prop_assert_eq!(
+                    got.as_ref().map(|s| &s.stmts),
+                    want.as_ref(),
+                    "seed {} workers {} resident {} cache {} query {:?}",
+                    seed, workers, resident, cache, q
+                );
+            }
+            prop_assert_eq!(result.stats.total_queries(), batch.len() as u64);
+        }
+    }
+}
+
 #[test]
 fn fixed_regression_seeds() {
     // Seeds that exercised interesting structure during development; kept
@@ -189,9 +292,10 @@ fn contains_call(program: &dynslice::Program, stmts: &BTreeSet<dynslice::StmtId>
     })
 }
 
-/// The full four-way oracle on one program/trace: for every given
-/// criterion, FP == OPT (all configs) == LP, forward ⊆ backward always,
-/// and forward == backward when the slice reaches no call statement.
+/// The full differential oracle on one program/trace: for every given
+/// criterion, FP == OPT (all configs) == LP == paged (at every resident
+/// budget), forward ⊆ backward always, and forward == backward when the
+/// slice reaches no call statement.
 fn four_way_check(name: &str, session: &Session, trace: &dynslice::Trace, queries: &[Criterion]) {
     let fp = session.fp(trace);
     let configs = [
@@ -199,10 +303,17 @@ fn four_way_check(name: &str, session: &Session, trace: &dynslice::Trace, querie
         OptConfig { spec: SpecPolicy::None, ..OptConfig::default() },
     ];
     let opts: Vec<_> = configs.iter().map(|c| session.opt(trace, c)).collect();
-    let dir = std::env::temp_dir().join("dynslice-diff");
-    std::fs::create_dir_all(&dir).unwrap();
-    let lp_path = dir.join(format!("fourway-{}.bin", name.replace('/', "_")));
+    let dir = diff_dir();
+    let tag = name.replace('/', "_");
+    let lp_path = dir.join(format!("fourway-{tag}.bin"));
     let lp = session.lp(trace, &lp_path).unwrap();
+    let pageds: Vec<(usize, PagedGraph)> = RESIDENT_BUDGETS
+        .iter()
+        .map(|&r| {
+            let path = dir.join(format!("fourway-{tag}-r{r}.bin"));
+            (r, session.paged(trace, &OptConfig::default(), path, r).unwrap())
+        })
+        .collect();
     let fwd = ForwardSlicer::build(&session.program, &session.analysis, &trace.events);
 
     for &q in queries {
@@ -214,6 +325,12 @@ fn four_way_check(name: &str, session: &Session, trace: &dynslice::Trace, querie
                     assert!(o.slice(q).is_none(), "{name}: OPT found unexecuted {q:?}");
                 }
                 assert!(lp.slice(q).unwrap().is_none(), "{name}: LP found unexecuted {q:?}");
+                for (r, p) in &pageds {
+                    assert!(
+                        p.criterion_instance(q).is_none(),
+                        "{name}: paged (resident {r}) found unexecuted {q:?}"
+                    );
+                }
                 assert!(fwd.slice(q).is_none(), "{name}: forward found unexecuted {q:?}");
                 continue;
             }
@@ -223,6 +340,13 @@ fn four_way_check(name: &str, session: &Session, trace: &dynslice::Trace, querie
         }
         let (l, _) = lp.slice(q).unwrap().expect("lp slice");
         assert_eq!(expect, l.stmts, "{name}: FP vs LP for {q:?}");
+        for (r, p) in &pageds {
+            assert_eq!(
+                expect,
+                paged_slice(p, q).expect("paged slice"),
+                "{name}: FP vs paged (resident {r}) for {q:?}"
+            );
+        }
         let f = fwd.slice(q).expect("forward slice").stmts;
         assert!(
             f.is_subset(&expect),
