@@ -34,6 +34,7 @@ fn main() {
         "{:<14} {:>8} {:>10} {:>10} {:>10} {:>10} {:>9}",
         "benchmark", "queries", "1w q/s", "2w q/s", "4w q/s", "8w q/s", "8w/1w"
     );
+    let report = BenchReport::new("batch_scaling");
     let mut paged_rows = Vec::new();
     let dir = std::env::temp_dir().join(format!("dynslice-bench-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
@@ -56,8 +57,11 @@ fn main() {
                 BatchConfig { workers, shortcuts: true, cache: false },
             );
             assert_eq!(result.stats.total_queries(), batch.len() as u64);
+            report.gauge(p.name, &format!("qps_w{workers}"), result.stats.throughput());
             rates.push(result.stats.throughput());
         }
+        report.counter(p.name, "queries", batch.len() as u64);
+        report.gauge(p.name, "speedup_8w", rates[3] / rates[0].max(1e-9));
         println!(
             "{:<14} {:>8} {:>10.0} {:>10.0} {:>10.0} {:>10.0} {:>8.2}x",
             p.name,
@@ -88,6 +92,8 @@ fn main() {
                 slice_batch(&paged, &batch, BatchConfig { workers, shortcuts: false, cache: false });
             assert!(result.errors.is_empty(), "paged I/O errors: {:?}", result.errors);
             let delta = paged.stats() - before;
+            report.gauge(p.name, &format!("paged_qps_w{workers}"), result.stats.throughput());
+            report.gauge(p.name, &format!("paged_miss_rate_w{workers}"), 1.0 - delta.hit_rate());
             cols.push_str(&format!(
                 " {:>9.0} {:>5.1}%",
                 result.stats.throughput(),
@@ -113,4 +119,5 @@ fn main() {
     }
     println!("(paged throughput trails OPT by the cache-miss I/O; miss rate, not workers,");
     println!(" is the lever — see hybrid_paging for the budget sweep)");
+    report.finish();
 }

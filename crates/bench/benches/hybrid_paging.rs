@@ -25,6 +25,8 @@ fn main() {
         "{:<12} {:>12} {:>14} {:>12} {:>14} {:>12} {:>8} {:>7}",
         "program", "OPT (KB)", "resident (KB)", "disk (KB)", "OPT slice", "paged", "misses", "hit%"
     );
+    let report = BenchReport::new("hybrid_paging");
+    report.registry().gauge_set("config.resident_blocks", resident as f64);
     let dir = std::env::temp_dir().join(format!("dynslice-bench-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     let mut pageds = Vec::new();
@@ -58,6 +60,13 @@ fn main() {
             }
         });
         let st = paged.stats();
+        report.gauge(p.name, "opt_kb", opt_kb);
+        report.gauge(p.name, "resident_kb", paged.resident_bytes() as f64 / 1024.0);
+        report.gauge(p.name, "disk_kb", paged.spilled_bytes() as f64 / 1024.0);
+        report.gauge(p.name, "opt_slice_ms", t_opt.as_secs_f64() * 1e3);
+        report.gauge(p.name, "paged_slice_ms", t_paged.as_secs_f64() * 1e3);
+        report.counter(p.name, "cache_misses", st.misses);
+        report.gauge(p.name, "hit_rate", st.hit_rate());
         println!(
             "{:<12} {:>12.1} {:>14.1} {:>12.1} {:>11} ms {:>9} ms {:>8} {:>6.1}%",
             p.name,
@@ -92,6 +101,8 @@ fn main() {
             );
             assert!(result.errors.is_empty(), "paged I/O errors: {:?}", result.errors);
             let delta = paged.stats() - before;
+            report.gauge(p.name, &format!("batch_qps_w{workers}"), result.stats.throughput());
+            report.gauge(p.name, &format!("batch_miss_rate_w{workers}"), 1.0 - delta.hit_rate());
             cols.push_str(&format!(
                 " {:>8.0} {:>5.1}%",
                 result.stats.throughput(),
@@ -101,4 +112,5 @@ fn main() {
         println!("{:<12} {:>8}{cols}", p.name, batch.len());
     }
     println!("(shared sharded cache: one worker's miss is every worker's hit)");
+    report.finish();
 }

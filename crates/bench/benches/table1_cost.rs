@@ -11,6 +11,7 @@ fn main() {
         "{:<12} {:<12} {:>10} {:>8} {:>8} {:>7} {:>12} {:>14}",
         "benchmark", "suite", "exec", "USE", "SS", "USE/SS", "full(KB)", "LP avg (ms)"
     );
+    let report = BenchReport::new("table1_cost");
     let dir = std::env::temp_dir().join("dynslice-bench");
     std::fs::create_dir_all(&dir).unwrap();
     for p in prepare_all() {
@@ -30,6 +31,15 @@ fn main() {
                 let _ = lp.slice(*q).unwrap();
             }
         });
+        report.counter(p.name, "stmts_executed", p.trace.stmts_executed);
+        report.counter(p.name, "unique_stmts", use_count as u64);
+        report.gauge(p.name, "avg_slice_size", ss);
+        report.gauge(p.name, "full_graph_kb", fp.graph().size().bytes() as f64 / 1024.0);
+        report.gauge(
+            p.name,
+            "lp_avg_slice_ms",
+            lp_time.as_secs_f64() * 1e3 / qs.len().max(1) as f64,
+        );
         println!(
             "{:<12} {:<12} {:>10} {:>8} {:>8.1} {:>7.2} {:>12.1} {:>14.2}",
             p.name,
@@ -42,4 +52,5 @@ fn main() {
             lp_time.as_secs_f64() * 1e3 / qs.len().max(1) as f64,
         );
     }
+    report.finish();
 }

@@ -8,9 +8,13 @@
 //! * `DYNSLICE_QUERIES` — slice queries per measurement (default 25, as in
 //!   the paper).
 
+use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
-use dynslice::{pick_cells, workloads, Cell, Criterion, Session, Trace, VmOptions, Workload};
+use dynslice::{
+    pick_cells, workloads, Cell, Criterion, Registry, RunReport, Session, Trace, VmOptions,
+    Workload,
+};
 
 /// A compiled-and-traced workload ready for graph building.
 pub struct Prepared {
@@ -78,4 +82,58 @@ pub fn header(artifact: &str, what: &str) {
         scale(),
         num_queries()
     );
+}
+
+/// Directory where `BENCH_<name>.json` trajectory files land
+/// (`DYNSLICE_BENCH_DIR`, default the working directory — the repo root
+/// under `cargo bench`).
+pub fn bench_report_dir() -> PathBuf {
+    std::env::var("DYNSLICE_BENCH_DIR").map(PathBuf::from).unwrap_or_else(|_| PathBuf::from("."))
+}
+
+/// A unified-schema metrics sink for one bench harness. Rows register
+/// counters and gauges as `<benchmark>.<metric>`; [`BenchReport::finish`]
+/// writes `BENCH_<name>.json` in the same [`RunReport`] schema the CLI's
+/// `--metrics-json` emits, so the repo's perf trajectory is diffable with
+/// the same tooling.
+pub struct BenchReport {
+    name: &'static str,
+    reg: Registry,
+}
+
+impl BenchReport {
+    /// A sink for harness `name` (the `BENCH_<name>.json` stem).
+    pub fn new(name: &'static str) -> Self {
+        BenchReport { name, reg: Registry::new() }
+    }
+
+    /// The underlying registry, for direct `RecordMetrics` use.
+    pub fn registry(&self) -> &Registry {
+        &self.reg
+    }
+
+    /// Sets counter `<bench>.<metric>`.
+    pub fn counter(&self, bench: &str, metric: &str, v: u64) {
+        self.reg.counter_set(&format!("{bench}.{metric}"), v);
+    }
+
+    /// Sets gauge `<bench>.<metric>`.
+    pub fn gauge(&self, bench: &str, metric: &str, v: f64) {
+        self.reg.gauge_set(&format!("{bench}.{metric}"), v);
+    }
+
+    /// Writes `BENCH_<name>.json` and returns its path. The emitted
+    /// document is re-parsed before landing, so a harness can never write
+    /// a report the schema validator would reject.
+    pub fn finish(self) -> PathBuf {
+        let mut config = std::collections::BTreeMap::new();
+        config.insert("scale".to_string(), scale().to_string());
+        config.insert("queries".to_string(), num_queries().to_string());
+        let report = self.reg.report(format!("bench/{}", self.name), config);
+        RunReport::from_json(&report.to_json()).expect("bench report must satisfy the schema");
+        let path = bench_report_dir().join(format!("BENCH_{}.json", self.name));
+        report.write_to(&path).expect("write bench report");
+        println!("[bench trajectory written to {}]", path.display());
+        path
+    }
 }

@@ -11,16 +11,28 @@
 //! dynslice report      <file> [--input 1,2,3]
 //! dynslice dot         <file> [--input 1,2,3] [--dynamic]  # graph to stdout
 //! dynslice dot         <file> --output K | --cell I:O      # slice rendering
+//! dynslice metrics-validate <report.json>   # schema-check a run report
 //! ```
+//!
+//! Every subcommand accepts `--metrics-json PATH`: the run then emits a
+//! machine-readable [`RunReport`] (algorithm, config, per-phase wall
+//! times, all counters, peak resident bytes) in the unified observability
+//! schema — the same schema the bench harnesses write to `BENCH_*.json`.
 //!
 //! `--paged` answers the batch from the §4.2 OPT+LP hybrid: label blocks
 //! live on disk and at most `--resident-blocks` (default 8) are cached in
 //! memory, so the report includes block-cache hit/miss statistics.
+//!
+//! Exit code: nonzero on any error, **including a batch that dropped
+//! queries to I/O errors** — a lossy `slice-batch` never exits 0, so CI
+//! cannot greenlight it.
 
+use std::collections::BTreeMap;
 use std::process::ExitCode;
 
 use dynslice::{
-    pick_cells, BatchConfig, BatchSliceEngine, Cell, Criterion, OptConfig, Session, StmtId,
+    phases, pick_cells, BatchConfig, BatchResult, BatchSliceEngine, Cell, Criterion, OptConfig,
+    RecordMetrics, Registry, RunReport, Session, StmtId,
 };
 
 fn main() -> ExitCode {
@@ -48,6 +60,31 @@ struct Args {
     cache: bool,
     paged: bool,
     resident_blocks: usize,
+    metrics_json: Option<String>,
+}
+
+impl Args {
+    /// The launch configuration recorded in a metrics report.
+    fn config_map(&self) -> BTreeMap<String, String> {
+        let mut m = BTreeMap::new();
+        m.insert("cmd".into(), self.cmd.clone());
+        m.insert("file".into(), self.file.clone());
+        m.insert(
+            "input".into(),
+            self.input.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(","),
+        );
+        m.insert("algo".into(), self.algo.clone());
+        m.insert("shortcuts".into(), self.shortcuts.to_string());
+        m.insert("cache".into(), self.cache.to_string());
+        m.insert("paged".into(), self.paged.to_string());
+        m.insert("resident_blocks".into(), self.resident_blocks.to_string());
+        m.insert("queries".into(), self.queries.to_string());
+        m.insert("repeat".into(), self.repeat.to_string());
+        if let Some(w) = self.workers {
+            m.insert("workers".into(), w.to_string());
+        }
+        m
+    }
 }
 
 fn parse_args() -> Result<Args, String> {
@@ -69,6 +106,7 @@ fn parse_args() -> Result<Args, String> {
         cache: true,
         paged: false,
         resident_blocks: 8,
+        metrics_json: None,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -113,6 +151,9 @@ fn parse_args() -> Result<Args, String> {
                 out.resident_blocks =
                     v.parse().map_err(|_| format!("bad block count `{v}`"))?;
             }
+            "--metrics-json" => {
+                out.metrics_json = Some(args.next().ok_or("--metrics-json needs a path")?);
+            }
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
     }
@@ -120,9 +161,10 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: dynslice <run|slice|slice-batch|report|dot> <file.minic> \
+    "usage: dynslice <run|slice|slice-batch|report|dot|metrics-validate> <file.minic> \
      [--input 1,2,3] [--output K | --cell INST:OFF] [--algo opt|fp|lp|paged] [--no-shortcuts] \
-     [--workers N] [--queries N] [--repeat R] [--no-cache] [--paged] [--resident-blocks N]"
+     [--workers N] [--queries N] [--repeat R] [--no-cache] [--paged] [--resident-blocks N] \
+     [--metrics-json PATH]"
         .to_string()
 }
 
@@ -162,15 +204,21 @@ fn build_batch(
     Ok(unique.into_iter().cycle().take(n).collect())
 }
 
-/// Runs one batch over any backend and prints the per-worker report.
+/// Runs one batch over any backend, prints the per-worker report, and
+/// registers the batch counters. Returns the result so the caller can turn
+/// dropped queries into a nonzero exit *after* the metrics report is
+/// written.
 fn run_batch<B: dynslice::SliceBackend + ?Sized>(
     engine: &BatchSliceEngine<'_, B>,
     batch: &[Criterion],
     config: &BatchConfig,
-) -> Result<(), String> {
+    reg: &Registry,
+) -> BatchResult {
     let distinct = batch.iter().collect::<std::collections::HashSet<_>>().len();
-    let result = engine.run(batch);
+    let result = reg.time_phase(phases::BATCH, || engine.run(batch));
     let stats = &result.stats;
+    stats.record_metrics(reg);
+    reg.counter_set("batch.distinct_criteria", distinct as u64);
     let sizes: Vec<usize> =
         result.slices.iter().filter_map(|s| s.as_ref().map(|s| s.len())).collect();
     println!(
@@ -206,23 +254,43 @@ fn run_batch<B: dynslice::SliceBackend + ?Sized>(
         stats.wall.as_secs_f64() * 1e3,
         stats.throughput(),
     );
-    if !result.errors.is_empty() {
-        return Err(format!(
-            "{} queries failed with I/O errors; first: {}",
-            result.errors.len(),
-            result.errors[0]
-        ));
-    }
+    result
+}
+
+/// Writes the run report when `--metrics-json` was passed.
+fn emit_metrics(a: &Args, reg: &Registry, algorithm: &str) -> Result<(), String> {
+    let Some(path) = &a.metrics_json else { return Ok(()) };
+    let report = reg.report(algorithm, a.config_map());
+    report.write_to(path).map_err(|e| format!("{path}: {e}"))?;
+    eprintln!("[metrics report written to {path}]");
     Ok(())
 }
 
 fn run() -> Result<(), String> {
     let a = parse_args()?;
+    if a.cmd == "metrics-validate" {
+        let text = std::fs::read_to_string(&a.file).map_err(|e| format!("{}: {e}", a.file))?;
+        let report = RunReport::from_json(&text).map_err(|e| format!("{}: {e}", a.file))?;
+        println!(
+            "{}: valid run report (algorithm {}, {} counters, {} phases)",
+            a.file,
+            report.algorithm,
+            report.counters.len(),
+            report.phases_ms.len()
+        );
+        return Ok(());
+    }
+    let reg = if a.metrics_json.is_some() { Registry::new() } else { Registry::disabled() };
     let src = std::fs::read_to_string(&a.file).map_err(|e| format!("{}: {e}", a.file))?;
     let session = Session::compile(&src).map_err(|d| {
         d.0.iter().map(|x| x.render(&src)).collect::<Vec<_>>().join("\n")
     })?;
-    let trace = session.run(a.input.clone());
+    let trace = reg.time_phase(phases::TRACE_CAPTURE, || session.run(a.input.clone()));
+    reg.counter_set("trace.stmts_executed", trace.stmts_executed);
+    reg.counter_set("trace.unique_stmts", trace.unique_stmts_executed() as u64);
+    reg.counter_set("trace.activations", trace.frames as u64);
+    reg.counter_set("trace.outputs", trace.output.len() as u64);
+    reg.counter_set("trace.truncated", u64::from(trace.truncated));
 
     match a.cmd.as_str() {
         "run" => {
@@ -236,7 +304,7 @@ fn run() -> Result<(), String> {
                 trace.frames,
                 if trace.truncated { ", TRUNCATED" } else { "" }
             );
-            Ok(())
+            emit_metrics(&a, &reg, "trace")
         }
         "slice" => {
             let criterion = match (a.output, a.cell) {
@@ -246,43 +314,79 @@ fn run() -> Result<(), String> {
             };
             match a.algo.as_str() {
                 "opt" => {
-                    let mut opt = session.opt(&trace, &OptConfig::default());
+                    let mut opt = reg.time_phase(phases::GRAPH_BUILD, || {
+                        session.opt(&trace, &OptConfig::default())
+                    });
                     opt.shortcuts = a.shortcuts;
-                    let slice = opt.slice(criterion).ok_or("criterion never executed")?;
+                    opt.graph().size(a.shortcuts).record_metrics(&reg);
+                    opt.graph().stats.record_metrics(&reg);
+                    let (slice, t) = reg
+                        .time_phase(phases::SLICE, || opt.slice_with_stats(criterion))
+                        .ok_or("criterion never executed")?;
+                    t.record_metrics(&reg);
+                    reg.counter_set("slice.statements", slice.len() as u64);
                     print_slice(&session, &slice.stmts);
                 }
                 "fp" => {
-                    let fp = session.fp(&trace);
-                    let slice =
-                        fp.slice(&session.program, criterion).ok_or("criterion never executed")?;
+                    let fp = reg.time_phase(phases::GRAPH_BUILD, || session.fp(&trace));
+                    fp.graph().size().record_metrics(&reg);
+                    let slice = reg
+                        .time_phase(phases::SLICE, || fp.slice(&session.program, criterion))
+                        .ok_or("criterion never executed")?;
+                    reg.counter_set("slice.statements", slice.len() as u64);
                     print_slice(&session, &slice.stmts);
                 }
                 "lp" => {
                     let dir = std::env::temp_dir().join("dynslice-cli");
                     std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
-                    let lp = session
-                        .lp(&trace, dir.join("trace.bin"))
+                    let lp = reg
+                        .time_phase(phases::RECORD_PREPROCESS, || {
+                            session.lp(&trace, dir.join("trace.bin"))
+                        })
                         .map_err(|e| e.to_string())?;
-                    let (slice, stats) = lp
-                        .slice(criterion)
+                    let (slice, stats) = reg
+                        .time_phase(phases::SLICE, || lp.slice(criterion))
                         .map_err(|e| e.to_string())?
                         .ok_or("criterion never executed")?;
+                    stats.record_metrics(&reg);
+                    reg.counter_set("slice.statements", slice.len() as u64);
                     print_slice(&session, &slice.stmts);
                     eprintln!(
-                        "[LP: {} passes, {} chunks read, {} skipped]",
-                        stats.passes, stats.chunks_read, stats.chunks_skipped
+                        "[LP: {} passes, {} chunks read, {} skipped{}]",
+                        stats.passes,
+                        stats.chunks_read,
+                        stats.chunks_skipped,
+                        if stats.truncated { ", TRUNCATED (pass budget exhausted)" } else { "" }
                     );
+                    if stats.truncated {
+                        emit_metrics(&a, &reg, &a.algo)?;
+                        return Err(format!(
+                            "LP slice truncated after {} passes; the result may be incomplete",
+                            stats.passes
+                        ));
+                    }
                 }
                 "paged" => {
-                    let paged = session
-                        .paged(&trace, &OptConfig::default(), spill_path()?, a.resident_blocks)
-                        .map_err(|e| e.to_string())?;
+                    let paged = reg
+                        .time_phase(phases::RECORD_PREPROCESS, || {
+                            session.paged(
+                                &trace,
+                                &OptConfig::default(),
+                                spill_path()?,
+                                a.resident_blocks,
+                            )
+                            .map_err(|e| e.to_string())
+                        })?;
                     let (occ, ts) = match criterion {
                         Criterion::CellLastDef(c) => paged.last_def_of(c),
                         Criterion::Output(k) => paged.graph().outputs.get(k).copied(),
                     }
                     .ok_or("criterion never executed")?;
-                    let slice = paged.slice(occ, ts).map_err(|e| e.to_string())?;
+                    let slice = reg
+                        .time_phase(phases::SLICE, || paged.slice(occ, ts))
+                        .map_err(|e| e.to_string())?;
+                    paged.record_metrics(&reg);
+                    reg.counter_set("slice.statements", slice.len() as u64);
                     print_slice(&session, &slice);
                     let st = paged.stats();
                     eprintln!(
@@ -296,7 +400,7 @@ fn run() -> Result<(), String> {
                 }
                 other => return Err(format!("unknown algorithm `{other}`")),
             }
-            Ok(())
+            emit_metrics(&a, &reg, &a.algo)
         }
         "slice-batch" => {
             if trace.truncated {
@@ -307,13 +411,22 @@ fn run() -> Result<(), String> {
                 shortcuts: a.shortcuts,
                 cache: a.cache,
             };
-            if a.paged {
-                let paged = session
-                    .paged(&trace, &OptConfig::default(), spill_path()?, a.resident_blocks)
-                    .map_err(|e| e.to_string())?;
+            let (result, algorithm) = if a.paged {
+                let paged = reg
+                    .time_phase(phases::RECORD_PREPROCESS, || {
+                        session
+                            .paged(
+                                &trace,
+                                &OptConfig::default(),
+                                spill_path()?,
+                                a.resident_blocks,
+                            )
+                            .map_err(|e| e.to_string())
+                    })?;
                 let batch = build_batch(paged.graph(), &trace, &a)?;
                 let engine = BatchSliceEngine::new(&paged, config.clone());
-                run_batch(&engine, &batch, &config)?;
+                let result = run_batch(&engine, &batch, &config, &reg);
+                paged.record_metrics(&reg);
                 let st = paged.stats();
                 println!(
                     "  paged: {} block hits, {} misses ({:.1}% hit rate), {} KB read",
@@ -328,20 +441,36 @@ fn run() -> Result<(), String> {
                     a.resident_blocks,
                     paged.spilled_bytes() as f64 / 1024.0,
                 );
+                (result, "batch-paged")
             } else {
-                let mut opt = session.opt(&trace, &OptConfig::default());
+                let mut opt = reg.time_phase(phases::GRAPH_BUILD, || {
+                    session.opt(&trace, &OptConfig::default())
+                });
                 opt.shortcuts = a.shortcuts;
+                opt.graph().size(a.shortcuts).record_metrics(&reg);
                 let batch = build_batch(opt.graph(), &trace, &a)?;
                 let engine = opt.batch(config.clone());
-                run_batch(&engine, &batch, &config)?;
+                (run_batch(&engine, &batch, &config, &reg), "batch-opt")
+            };
+            // The report is written even for a lossy batch (the
+            // `batch.failed_queries` counter is the signal CI diffs); the
+            // exit code still goes nonzero so the run can't greenlight.
+            emit_metrics(&a, &reg, algorithm)?;
+            if let Some(msg) = result.failure() {
+                return Err(msg);
             }
             Ok(())
         }
         "report" => {
-            let fp = session.fp(&trace);
-            let opt = session.opt(&trace, &OptConfig::default());
+            let fp = reg.time_phase(phases::GRAPH_BUILD, || session.fp(&trace));
+            let opt = reg.time_phase(phases::GRAPH_BUILD, || {
+                session.opt(&trace, &OptConfig::default())
+            });
             let full = fp.graph().size();
             let compact = opt.graph().size(false);
+            compact.record_metrics(&reg);
+            opt.graph().stats.record_metrics(&reg);
+            reg.counter_set("graph.full_bytes", full.bytes());
             println!("executed statements : {}", trace.stmts_executed);
             println!("unique (USE)        : {}", trace.unique_stmts_executed());
             println!("full graph          : {:.1} KB ({} pairs)", full.bytes() as f64 / 1024.0, full.pairs);
@@ -354,10 +483,13 @@ fn run() -> Result<(), String> {
             );
             println!("compaction ratio    : {:.2}x", full.bytes() as f64 / compact.bytes() as f64);
             println!("explicit fraction   : {:.1}%", opt.graph().stats.explicit_fraction() * 100.0);
-            Ok(())
+            emit_metrics(&a, &reg, "report")
         }
         "dot" => {
-            let opt = session.opt(&trace, &OptConfig::default());
+            let opt = reg.time_phase(phases::GRAPH_BUILD, || {
+                session.opt(&trace, &OptConfig::default())
+            });
+            opt.graph().size(false).record_metrics(&reg);
             match (a.output, a.cell) {
                 (None, None) => {
                     print!(
@@ -375,7 +507,10 @@ fn run() -> Result<(), String> {
                         (None, Some(c)) => Criterion::CellLastDef(c),
                         _ => return Err("pass at most one of --output / --cell".into()),
                     };
-                    let slice = opt.slice(criterion).ok_or("criterion never executed")?;
+                    let slice = reg
+                        .time_phase(phases::SLICE, || opt.slice(criterion))
+                        .ok_or("criterion never executed")?;
+                    reg.counter_set("slice.statements", slice.len() as u64);
                     let crit_occ = match criterion {
                         Criterion::Output(k) => opt.graph().outputs[k].0,
                         Criterion::CellLastDef(c) => {
@@ -389,7 +524,7 @@ fn run() -> Result<(), String> {
                     );
                 }
             }
-            Ok(())
+            emit_metrics(&a, &reg, "dot")
         }
         other => Err(format!("unknown command `{other}`\n{}", usage())),
     }

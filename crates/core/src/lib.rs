@@ -34,6 +34,7 @@ pub use dynslice_graph::{
 };
 pub use dynslice_ir::{self as ir, Program, StmtId};
 pub use dynslice_lang::{self as lang, compile, Diags};
+pub use dynslice_obs::{self as obs, phases, RecordMetrics, Registry, RunReport};
 pub use dynslice_profile::{self as profile, PathProfile, ProgramPaths};
 pub use dynslice_runtime::{self as runtime, Cell, Trace, TraceEvent, VmOptions};
 pub use dynslice_sequitur as sequitur;

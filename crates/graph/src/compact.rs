@@ -82,6 +82,14 @@ pub struct TraversalStats {
     pub shortcut_hits: u64,
 }
 
+impl dynslice_obs::RecordMetrics for TraversalStats {
+    fn record_metrics(&self, reg: &dynslice_obs::Registry) {
+        reg.counter_add("opt.instances_visited", self.instances_visited);
+        reg.counter_add("opt.shortcuts_materialized", self.shortcuts_materialized);
+        reg.counter_add("opt.shortcut_hits", self.shortcut_hits);
+    }
+}
+
 /// Precomputed transitive closure over purely static, same-timestamp edges
 /// from one occurrence (the paper's shortcut edges, §3.4).
 #[derive(Debug, Default)]

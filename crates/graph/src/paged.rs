@@ -111,6 +111,15 @@ impl std::ops::Sub for PagedStats {
     }
 }
 
+impl dynslice_obs::RecordMetrics for PagedStats {
+    fn record_metrics(&self, reg: &dynslice_obs::Registry) {
+        reg.counter_add("paged.cache_hits", self.hits);
+        reg.counter_add("paged.cache_misses", self.misses);
+        reg.counter_add("paged.bytes_read", self.bytes_read);
+        reg.gauge_set("paged.hit_rate", self.hit_rate());
+    }
+}
+
 /// A resident block: shared out to readers so no shard lock is held while
 /// a run is searched.
 type Block = Arc<Vec<(u64, u64)>>;
@@ -381,6 +390,18 @@ impl PagedGraph {
     /// Bytes spilled to disk.
     pub fn spilled_bytes(&self) -> u64 {
         self.blocks.iter().map(|b| b.len as u64 * PAIR_BYTES as u64).sum()
+    }
+
+    /// Registers the backend's cache counters and occupancy gauges.
+    pub fn record_metrics(&self, reg: &dynslice_obs::Registry) {
+        use dynslice_obs::RecordMetrics as _;
+        self.stats().record_metrics(reg);
+        reg.gauge_set("paged.resident_bytes", self.resident_bytes() as f64);
+        reg.gauge_set("paged.spilled_bytes", self.spilled_bytes() as f64);
+        reg.gauge_set(
+            "paged.resident_block_budget",
+            self.resident_block_budget() as f64,
+        );
     }
 
     /// Returns block `id`, from cache or disk. Lock discipline: the shard

@@ -110,6 +110,30 @@ impl BuildStats {
     }
 }
 
+impl dynslice_obs::RecordMetrics for GraphSize {
+    fn record_metrics(&self, reg: &dynslice_obs::Registry) {
+        reg.counter_set("graph.nodes", self.nodes);
+        reg.counter_set("graph.slots", self.slots);
+        reg.counter_set("graph.static_edges", self.static_edges);
+        reg.counter_set("graph.dynamic_edges", self.dynamic_edges);
+        reg.counter_set("graph.pairs", self.pairs);
+        reg.counter_set("graph.shortcut_stmts", self.shortcut_stmts);
+        reg.counter_set("graph.bytes", self.bytes());
+    }
+}
+
+impl dynslice_obs::RecordMetrics for BuildStats {
+    fn record_metrics(&self, reg: &dynslice_obs::Registry) {
+        reg.counter_add("build.stored_data_pairs", self.stored_data_pairs);
+        reg.counter_add("build.stored_control_pairs", self.stored_control_pairs);
+        reg.counter_add("build.demoted", self.demoted);
+        reg.counter_add("build.total_data", self.total_data);
+        reg.counter_add("build.total_control", self.total_control);
+        reg.counter_add("build.pairs_saved", self.total_saved());
+        reg.gauge_set("build.explicit_fraction", self.explicit_fraction());
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

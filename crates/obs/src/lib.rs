@@ -1,0 +1,447 @@
+//! **dynslice-obs** — the unified observability layer.
+//!
+//! The paper's argument is quantitative (Tables 1–8 compare graph sizes,
+//! preprocessing times, and per-slice costs across FP/OPT/LP), so every
+//! component of this reproduction reports costs. Before this crate each
+//! component did so in its own dialect — `LpStats`, `BatchStats`, the paged
+//! backend's atomics, ad-hoc `eprintln!` lines. This crate gives them one
+//! vocabulary:
+//!
+//! * [`Registry`] — a thread-safe collection of named **counters** (u64,
+//!   monotonic), **gauges** (f64, last-write-wins) and **phase timers**
+//!   (accumulated wall time per pipeline phase). A registry constructed
+//!   with [`Registry::disabled`] is a no-op: every operation is a single
+//!   branch on an `Option`, so instrumented code costs nothing when
+//!   observability is off.
+//! * [`RunReport`] — the JSON schema one run emits (`dynslice …
+//!   --metrics-json PATH`, and the bench harnesses' `BENCH_<name>.json`).
+//!   One schema regardless of algorithm: FP, OPT, LP, forward, and the
+//!   paged hybrid all describe themselves with the same fields, which is
+//!   what makes cost/precision trade-offs diffable across runs and PRs.
+//! * [`phases`] — the canonical phase taxonomy of the slicing pipeline.
+//!
+//! Naming convention: counters and gauges are `component.metric`
+//! (`lp.passes`, `batch.cache_hits`, `paged.bytes_read`), phases are bare
+//! taxonomy names ([`phases::ALL`]).
+
+pub mod json;
+
+use std::collections::BTreeMap;
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+use json::Value;
+
+/// The canonical phase taxonomy: every wall-time measurement in a
+/// [`RunReport`] belongs to one of these pipeline phases.
+pub mod phases {
+    /// Executing the program under the tracing VM.
+    pub const TRACE_CAPTURE: &str = "trace_capture";
+    /// Turning raw events into an algorithm's preprocessed form (LP's
+    /// on-disk record stream, the paged backend's spill file).
+    pub const RECORD_PREPROCESS: &str = "record_preprocess";
+    /// Building an in-memory dependence graph (FP full graph, OPT
+    /// compacted graph).
+    pub const GRAPH_BUILD: &str = "graph_build";
+    /// Answering a single slice query.
+    pub const SLICE: &str = "slice";
+    /// Answering a batch of queries through the parallel engine.
+    pub const BATCH: &str = "batch";
+
+    /// All phases, in pipeline order.
+    pub const ALL: [&str; 5] =
+        [TRACE_CAPTURE, RECORD_PREPROCESS, GRAPH_BUILD, SLICE, BATCH];
+}
+
+/// Version stamped into every report; bump on breaking schema changes.
+pub const SCHEMA_VERSION: u64 = 1;
+
+#[derive(Debug, Default)]
+struct Inner {
+    counters: BTreeMap<String, u64>,
+    gauges: BTreeMap<String, f64>,
+    phases: BTreeMap<String, Duration>,
+}
+
+/// A thread-safe registry of named counters, gauges, and phase timers.
+///
+/// Cheap to share by reference across worker threads; all methods take
+/// `&self`. The disabled registry ([`Registry::disabled`]) skips all work.
+#[derive(Debug)]
+pub struct Registry {
+    inner: Option<Mutex<Inner>>,
+}
+
+impl Default for Registry {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Registry {
+    /// An enabled registry.
+    pub fn new() -> Self {
+        Registry { inner: Some(Mutex::new(Inner::default())) }
+    }
+
+    /// A no-op registry: every operation returns immediately.
+    pub fn disabled() -> Self {
+        Registry { inner: None }
+    }
+
+    /// Whether this registry records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Adds `v` to counter `name` (creating it at 0).
+    pub fn counter_add(&self, name: &str, v: u64) {
+        if let Some(m) = &self.inner {
+            *m.lock().expect("obs lock").counters.entry(name.to_string()).or_insert(0) += v;
+        }
+    }
+
+    /// Sets counter `name` to `v` (last write wins — for totals computed
+    /// elsewhere rather than incremented here).
+    pub fn counter_set(&self, name: &str, v: u64) {
+        if let Some(m) = &self.inner {
+            m.lock().expect("obs lock").counters.insert(name.to_string(), v);
+        }
+    }
+
+    /// Sets gauge `name` to `v`.
+    pub fn gauge_set(&self, name: &str, v: f64) {
+        if let Some(m) = &self.inner {
+            m.lock().expect("obs lock").gauges.insert(name.to_string(), v);
+        }
+    }
+
+    /// Adds `d` to phase `name`'s accumulated wall time.
+    pub fn phase_add(&self, name: &str, d: Duration) {
+        if let Some(m) = &self.inner {
+            *m.lock()
+                .expect("obs lock")
+                .phases
+                .entry(name.to_string())
+                .or_insert(Duration::ZERO) += d;
+        }
+    }
+
+    /// Runs `f`, charging its wall time to phase `name`. When the registry
+    /// is disabled the closure runs untimed.
+    pub fn time_phase<R>(&self, name: &str, f: impl FnOnce() -> R) -> R {
+        if self.inner.is_none() {
+            return f();
+        }
+        let t0 = Instant::now();
+        let r = f();
+        self.phase_add(name, t0.elapsed());
+        r
+    }
+
+    /// Current value of counter `name` (0 if absent or disabled).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.inner
+            .as_ref()
+            .and_then(|m| m.lock().expect("obs lock").counters.get(name).copied())
+            .unwrap_or(0)
+    }
+
+    /// Current value of gauge `name`.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.inner.as_ref().and_then(|m| m.lock().expect("obs lock").gauges.get(name).copied())
+    }
+
+    /// Accumulated wall time of phase `name`.
+    pub fn phase(&self, name: &str) -> Duration {
+        self.inner
+            .as_ref()
+            .and_then(|m| m.lock().expect("obs lock").phases.get(name).copied())
+            .unwrap_or(Duration::ZERO)
+    }
+
+    /// Freezes the registry into a report. `algorithm` names the
+    /// representation that answered the run (`opt`, `fp`, `lp`, `paged`,
+    /// `forward`, or a bench harness name); `config` records the knobs the
+    /// run was launched with.
+    pub fn report(
+        &self,
+        algorithm: impl Into<String>,
+        config: BTreeMap<String, String>,
+    ) -> RunReport {
+        let mut report = RunReport {
+            schema_version: SCHEMA_VERSION,
+            algorithm: algorithm.into(),
+            config,
+            phases_ms: BTreeMap::new(),
+            counters: BTreeMap::new(),
+            gauges: BTreeMap::new(),
+            peak_resident_bytes: peak_resident_bytes(),
+        };
+        if let Some(m) = &self.inner {
+            let inner = m.lock().expect("obs lock");
+            report.counters = inner.counters.clone();
+            report.gauges = inner.gauges.clone();
+            report.phases_ms = inner
+                .phases
+                .iter()
+                .map(|(k, d)| (k.clone(), d.as_secs_f64() * 1e3))
+                .collect();
+        }
+        report
+    }
+}
+
+/// Anything that can dump its statistics into a [`Registry`] — the bridge
+/// between the per-algorithm stat structs (`LpStats`, `BatchStats`,
+/// `PagedStats`, …) and the unified schema.
+pub trait RecordMetrics {
+    /// Registers this value's statistics under its component prefix.
+    fn record_metrics(&self, reg: &Registry);
+}
+
+/// One run's machine-readable report: the schema behind `--metrics-json`
+/// and `BENCH_<name>.json`.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct RunReport {
+    /// Schema version ([`SCHEMA_VERSION`]).
+    pub schema_version: u64,
+    /// The algorithm / harness that produced the run.
+    pub algorithm: String,
+    /// Launch configuration (stringly-typed knob → value).
+    pub config: BTreeMap<String, String>,
+    /// Accumulated wall time per pipeline phase, milliseconds.
+    pub phases_ms: BTreeMap<String, f64>,
+    /// Monotonic counters (`component.metric`).
+    pub counters: BTreeMap<String, u64>,
+    /// Point-in-time gauges (`component.metric`).
+    pub gauges: BTreeMap<String, f64>,
+    /// Peak resident set size of the process, if the platform exposes it.
+    pub peak_resident_bytes: Option<u64>,
+}
+
+impl RunReport {
+    /// Serializes the report (pretty-printed, deterministic key order).
+    pub fn to_json(&self) -> String {
+        let mut obj = BTreeMap::new();
+        obj.insert("schema_version".into(), Value::Num(self.schema_version as f64));
+        obj.insert("algorithm".into(), Value::Str(self.algorithm.clone()));
+        obj.insert(
+            "config".into(),
+            Value::Obj(
+                self.config.iter().map(|(k, v)| (k.clone(), Value::Str(v.clone()))).collect(),
+            ),
+        );
+        obj.insert(
+            "phases_ms".into(),
+            Value::Obj(self.phases_ms.iter().map(|(k, v)| (k.clone(), Value::Num(*v))).collect()),
+        );
+        obj.insert(
+            "counters".into(),
+            Value::Obj(
+                self.counters.iter().map(|(k, v)| (k.clone(), Value::Num(*v as f64))).collect(),
+            ),
+        );
+        obj.insert(
+            "gauges".into(),
+            Value::Obj(self.gauges.iter().map(|(k, v)| (k.clone(), Value::Num(*v))).collect()),
+        );
+        obj.insert(
+            "peak_resident_bytes".into(),
+            match self.peak_resident_bytes {
+                Some(b) => Value::Num(b as f64),
+                None => Value::Null,
+            },
+        );
+        let mut text = Value::Obj(obj).to_json();
+        text.push('\n');
+        text
+    }
+
+    /// Parses and validates a report document.
+    ///
+    /// # Errors
+    /// Reports the first schema violation (missing field, wrong type,
+    /// unknown phase name, unsupported schema version).
+    pub fn from_json(src: &str) -> Result<Self, String> {
+        let root = json::parse(src)?;
+        let obj = root.as_obj().ok_or("report root must be an object")?;
+        let field = |name: &str| obj.get(name).ok_or(format!("missing field `{name}`"));
+
+        let schema_version = field("schema_version")?
+            .as_u64()
+            .ok_or("`schema_version` must be an unsigned integer")?;
+        if schema_version != SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported schema_version {schema_version} (expected {SCHEMA_VERSION})"
+            ));
+        }
+        let algorithm =
+            field("algorithm")?.as_str().ok_or("`algorithm` must be a string")?.to_string();
+        if algorithm.is_empty() {
+            return Err("`algorithm` must be non-empty".into());
+        }
+
+        let mut config = BTreeMap::new();
+        for (k, v) in field("config")?.as_obj().ok_or("`config` must be an object")? {
+            config.insert(
+                k.clone(),
+                v.as_str().ok_or(format!("config `{k}` must be a string"))?.to_string(),
+            );
+        }
+
+        let mut phases_ms = BTreeMap::new();
+        for (k, v) in field("phases_ms")?.as_obj().ok_or("`phases_ms` must be an object")? {
+            if !phases::ALL.contains(&k.as_str()) {
+                return Err(format!("unknown phase `{k}` (taxonomy: {:?})", phases::ALL));
+            }
+            let ms = v.as_f64().ok_or(format!("phase `{k}` must be numeric"))?;
+            if ms.is_nan() || ms < 0.0 {
+                return Err(format!("phase `{k}` must be non-negative, got {ms}"));
+            }
+            phases_ms.insert(k.clone(), ms);
+        }
+
+        let mut counters = BTreeMap::new();
+        for (k, v) in field("counters")?.as_obj().ok_or("`counters` must be an object")? {
+            counters.insert(
+                k.clone(),
+                v.as_u64().ok_or(format!("counter `{k}` must be an unsigned integer"))?,
+            );
+        }
+
+        let mut gauges = BTreeMap::new();
+        for (k, v) in field("gauges")?.as_obj().ok_or("`gauges` must be an object")? {
+            gauges.insert(k.clone(), v.as_f64().ok_or(format!("gauge `{k}` must be numeric"))?);
+        }
+
+        let peak_resident_bytes = match field("peak_resident_bytes")? {
+            Value::Null => None,
+            v => Some(v.as_u64().ok_or("`peak_resident_bytes` must be an unsigned integer")?),
+        };
+
+        Ok(RunReport {
+            schema_version,
+            algorithm,
+            config,
+            phases_ms,
+            counters,
+            gauges,
+            peak_resident_bytes,
+        })
+    }
+
+    /// Writes the report to `path` (parent directories are not created).
+    ///
+    /// # Errors
+    /// Propagates filesystem errors.
+    pub fn write_to(&self, path: impl AsRef<std::path::Path>) -> std::io::Result<()> {
+        std::fs::write(path, self.to_json())
+    }
+
+    /// Value of counter `name`, or 0 if the run never touched it.
+    pub fn counter_or_zero(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+}
+
+/// Peak resident set size of the current process in bytes, read from
+/// `/proc/self/status` (`VmHWM`). `None` on platforms without procfs.
+pub fn peak_resident_bytes() -> Option<u64> {
+    let status = std::fs::read_to_string("/proc/self/status").ok()?;
+    let line = status.lines().find(|l| l.starts_with("VmHWM:"))?;
+    let kb: u64 = line.split_whitespace().nth(1)?.parse().ok()?;
+    Some(kb * 1024)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_gauges_and_phases_accumulate() {
+        let reg = Registry::new();
+        reg.counter_add("lp.passes", 2);
+        reg.counter_add("lp.passes", 3);
+        reg.counter_set("batch.workers", 8);
+        reg.gauge_set("batch.qps", 123.5);
+        reg.phase_add(phases::SLICE, Duration::from_millis(5));
+        reg.phase_add(phases::SLICE, Duration::from_millis(7));
+        assert_eq!(reg.counter("lp.passes"), 5);
+        assert_eq!(reg.counter("batch.workers"), 8);
+        assert_eq!(reg.gauge("batch.qps"), Some(123.5));
+        assert_eq!(reg.phase(phases::SLICE), Duration::from_millis(12));
+    }
+
+    #[test]
+    fn disabled_registry_is_a_no_op() {
+        let reg = Registry::disabled();
+        reg.counter_add("x", 1);
+        reg.gauge_set("y", 2.0);
+        let out = reg.time_phase(phases::SLICE, || 42);
+        assert_eq!(out, 42);
+        assert!(!reg.is_enabled());
+        assert_eq!(reg.counter("x"), 0);
+        assert_eq!(reg.gauge("y"), None);
+        assert_eq!(reg.phase(phases::SLICE), Duration::ZERO);
+        let report = reg.report("opt", BTreeMap::new());
+        assert!(report.counters.is_empty() && report.phases_ms.is_empty());
+    }
+
+    #[test]
+    fn registry_is_shareable_across_threads() {
+        let reg = Registry::new();
+        std::thread::scope(|s| {
+            for _ in 0..4 {
+                s.spawn(|| {
+                    for _ in 0..1000 {
+                        reg.counter_add("n", 1);
+                    }
+                });
+            }
+        });
+        assert_eq!(reg.counter("n"), 4000);
+    }
+
+    #[test]
+    fn report_round_trips_through_json() {
+        let reg = Registry::new();
+        reg.counter_add("lp.passes", 3);
+        reg.counter_add("lp.truncated", 1);
+        reg.gauge_set("paged.hit_rate", 0.75);
+        reg.phase_add(phases::TRACE_CAPTURE, Duration::from_micros(1500));
+        let mut config = BTreeMap::new();
+        config.insert("file".to_string(), "a.minic".to_string());
+        let report = reg.report("lp", config);
+        let parsed = RunReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(parsed, report);
+    }
+
+    #[test]
+    fn validation_rejects_schema_violations() {
+        let good = Registry::new().report("opt", BTreeMap::new()).to_json();
+        assert!(RunReport::from_json(&good).is_ok());
+        for (what, mutate) in [
+            ("bad version", good.replace("\"schema_version\": 1", "\"schema_version\": 99")),
+            ("empty algorithm", good.replace("\"opt\"", "\"\"")),
+            ("missing field", good.replace("\"algorithm\": \"opt\",", "")),
+            ("not json", "{".to_string()),
+        ] {
+            assert!(RunReport::from_json(&mutate).is_err(), "{what} should fail");
+        }
+        // Unknown phase names are rejected (taxonomy is closed).
+        let mut r = Registry::new().report("opt", BTreeMap::new());
+        r.phases_ms.insert("warp_drive".into(), 1.0);
+        assert!(RunReport::from_json(&r.to_json()).is_err());
+        // Negative counters are rejected.
+        let bad = good.replace("\"counters\": {}", "\"counters\": {\"x\": -1}");
+        assert!(RunReport::from_json(&bad).is_err());
+    }
+
+    #[test]
+    fn peak_rss_is_plausible_on_linux() {
+        if let Some(b) = peak_resident_bytes() {
+            assert!(b > 1024, "peak RSS should exceed 1 KB: {b}");
+        }
+    }
+}

@@ -209,6 +209,19 @@ impl BatchStats {
     }
 }
 
+impl dynslice_obs::RecordMetrics for BatchStats {
+    fn record_metrics(&self, reg: &dynslice_obs::Registry) {
+        reg.counter_set("batch.workers", self.workers.len() as u64);
+        reg.counter_add("batch.queries", self.total_queries());
+        reg.counter_add("batch.cache_hits", self.total_cache_hits());
+        reg.counter_add("batch.shortcuts_materialized", self.total_shortcuts_materialized());
+        reg.counter_add("batch.instances_visited", self.total_instances_visited());
+        reg.counter_add("batch.failed_queries", self.total_io_errors());
+        reg.gauge_set("batch.wall_ms", self.wall.as_secs_f64() * 1e3);
+        reg.gauge_set("batch.throughput_qps", self.throughput());
+    }
+}
+
 /// The result of one batch: one slot per input query, in order. `None`
 /// marks criteria that never executed (same contract as
 /// [`crate::OptSlicer::slice`]) — or, for the paged backend, queries whose
@@ -221,6 +234,24 @@ pub struct BatchResult {
     pub stats: BatchStats,
     /// I/O errors encountered by workers (empty for in-memory backends).
     pub errors: Vec<String>,
+}
+
+impl BatchResult {
+    /// `Some(message)` when the batch dropped queries to I/O errors.
+    /// Callers that gate success on completeness — the CLI's exit code,
+    /// CI — must treat this as a failure: a batch that silently lost
+    /// queries would otherwise greenlight.
+    pub fn failure(&self) -> Option<String> {
+        if self.errors.is_empty() {
+            return None;
+        }
+        Some(format!(
+            "{} of {} queries failed with I/O errors; first: {}",
+            self.errors.len(),
+            self.slices.len(),
+            self.errors[0]
+        ))
+    }
 }
 
 /// A cached (or in-flight) answer for one criterion. The `OnceLock` layer
@@ -389,4 +420,42 @@ pub fn slice_batch<B: SliceBackend + ?Sized>(
     config: BatchConfig,
 ) -> BatchResult {
     BatchSliceEngine::new(backend, config).run(queries)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn failure_reports_dropped_queries() {
+        let mut result = BatchResult {
+            slices: vec![None, None, None],
+            stats: BatchStats::default(),
+            errors: Vec::new(),
+        };
+        assert_eq!(result.failure(), None);
+        result.errors.push("Output(1): disk on fire".into());
+        let msg = result.failure().expect("lossy batch must fail");
+        assert!(msg.contains("1 of 3") && msg.contains("disk on fire"), "{msg}");
+    }
+
+    #[test]
+    fn batch_stats_register_under_one_schema() {
+        use dynslice_obs::RecordMetrics as _;
+        let stats = BatchStats {
+            workers: vec![
+                WorkerStats { queries: 3, cache_hits: 1, io_errors: 1, ..Default::default() },
+                WorkerStats { queries: 2, instances_visited: 40, ..Default::default() },
+            ],
+            wall: Duration::from_millis(10),
+        };
+        let reg = dynslice_obs::Registry::new();
+        stats.record_metrics(&reg);
+        assert_eq!(reg.counter("batch.workers"), 2);
+        assert_eq!(reg.counter("batch.queries"), 5);
+        assert_eq!(reg.counter("batch.cache_hits"), 1);
+        assert_eq!(reg.counter("batch.failed_queries"), 1);
+        assert_eq!(reg.counter("batch.instances_visited"), 40);
+        assert!(reg.gauge("batch.throughput_qps").unwrap() > 0.0);
+    }
 }

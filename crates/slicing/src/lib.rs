@@ -21,12 +21,12 @@ pub use batch::{
     slice_batch, BatchConfig, BatchResult, BatchSliceEngine, BatchStats, SliceBackend, WorkerStats,
 };
 pub use forward::ForwardSlicer;
-pub use lp::{LpSlicer, LpStats};
+pub use lp::{LpSlicer, LpStats, DEFAULT_MAX_PASSES};
 
 use std::collections::BTreeSet;
 
 use dynslice_analysis::ProgramAnalysis;
-use dynslice_graph::{build_compact, CompactGraph, FullGraph, OptConfig};
+use dynslice_graph::{build_compact, CompactGraph, FullGraph, OptConfig, TraversalStats};
 use dynslice_ir::{Program, StmtId};
 use dynslice_runtime::{Cell, TraceEvent};
 
@@ -119,11 +119,19 @@ impl OptSlicer {
 
     /// Computes a slice; `None` if the criterion never executed.
     pub fn slice(&self, criterion: Criterion) -> Option<Slice> {
+        self.slice_with_stats(criterion).map(|(s, _)| s)
+    }
+
+    /// Computes a slice along with the traversal counters (instances
+    /// visited, shortcut memo activity); `None` if the criterion never
+    /// executed.
+    pub fn slice_with_stats(&self, criterion: Criterion) -> Option<(Slice, TraversalStats)> {
         let (occ, ts) = match criterion {
             Criterion::CellLastDef(c) => self.graph.last_def_of(c)?,
             Criterion::Output(k) => *self.graph.outputs.get(k)?,
         };
-        Some(Slice { stmts: self.graph.slice(occ, ts, self.shortcuts) })
+        let (stmts, t) = self.graph.slice_with_stats(occ, ts, self.shortcuts);
+        Some((Slice { stmts }, t))
     }
 
     /// A parallel batch engine over this slicer's graph, honoring its

@@ -21,7 +21,7 @@ use std::path::Path;
 
 use dynslice_analysis::ProgramAnalysis;
 use dynslice_ir::{BlockId, FuncId, Program, Rvalue, StmtId, StmtKind, Terminator};
-use dynslice_runtime::{collect_records, FrameId, Record, RecordFile, TraceEvent, CHUNK_RECORDS};
+use dynslice_runtime::{collect_records, FrameId, Record, RecordFile, TraceEvent};
 
 use crate::{Criterion, Slice};
 
@@ -41,6 +41,11 @@ pub struct LpStats {
     pub resolved_deps: u64,
     /// Bytes read from disk.
     pub bytes_read: u64,
+    /// The pass budget ran out with forward-pointing return wants still
+    /// outstanding: the slice may be missing statements. Surfaced by the
+    /// CLI and the metrics report so a capped run can never masquerade as
+    /// a complete one.
+    pub truncated: bool,
 }
 
 impl LpStats {
@@ -48,6 +53,19 @@ impl LpStats {
     /// + 8-byte pair per resolved dependence instance).
     pub fn subgraph_bytes(&self) -> u64 {
         self.resolved_deps * 24
+    }
+}
+
+impl dynslice_obs::RecordMetrics for LpStats {
+    fn record_metrics(&self, reg: &dynslice_obs::Registry) {
+        reg.counter_add("lp.passes", u64::from(self.passes));
+        reg.counter_add("lp.chunks_read", self.chunks_read);
+        reg.counter_add("lp.chunks_skipped", self.chunks_skipped);
+        reg.counter_add("lp.records_scanned", self.records_scanned);
+        reg.counter_add("lp.resolved_deps", self.resolved_deps);
+        reg.counter_add("lp.bytes_read", self.bytes_read);
+        reg.counter_add("lp.truncated", u64::from(self.truncated));
+        reg.gauge_set("lp.subgraph_bytes", self.subgraph_bytes() as f64);
     }
 }
 
@@ -60,6 +78,28 @@ pub struct LpSlicer<'p> {
     file: RecordFile,
     /// Global record positions of executed print statements, in order.
     print_positions: Vec<u64>,
+    /// Cumulative start position of each chunk (prefix sum of chunk
+    /// lengths) — the single source of truth for position→chunk mapping,
+    /// shared by seed lookup and every backward pass.
+    pos_base: Vec<u64>,
+    /// Backward passes allowed before a slice is declared truncated
+    /// ([`LpStats::truncated`]). Each pass resolves the return-value wants
+    /// the previous one discovered; real programs converge in a handful,
+    /// so the default (64) only trips on adversarial inputs.
+    pub max_passes: u32,
+}
+
+/// Default pass budget for [`LpSlicer::slice`].
+pub const DEFAULT_MAX_PASSES: u32 = 64;
+
+/// Maps a global record position to `(chunk index, offset within chunk)`
+/// given the chunks' cumulative start positions. Unlike division by a
+/// fixed chunk size, this stays correct for short or resized chunks
+/// anywhere in the file.
+fn locate(pos_base: &[u64], pos: u64) -> (usize, u64) {
+    debug_assert!(!pos_base.is_empty() && pos_base[0] == 0);
+    let ci = pos_base.partition_point(|&base| base <= pos) - 1;
+    (ci, pos - pos_base[ci])
 }
 
 impl<'p> LpSlicer<'p> {
@@ -86,7 +126,27 @@ impl<'p> LpSlicer<'p> {
             .map(|(i, _)| i as u64)
             .collect();
         let file = RecordFile::write(path, program, &records)?;
-        Ok(Self { program, analysis, file, print_positions })
+        let mut pos_base = Vec::with_capacity(file.chunks.len());
+        let mut acc = 0u64;
+        for c in &file.chunks {
+            pos_base.push(acc);
+            acc += c.len as u64;
+        }
+        Ok(Self {
+            program,
+            analysis,
+            file,
+            print_positions,
+            pos_base,
+            max_passes: DEFAULT_MAX_PASSES,
+        })
+    }
+
+    /// Overrides the pass budget (for tests and experiments; the default
+    /// is [`DEFAULT_MAX_PASSES`]).
+    pub fn with_max_passes(mut self, max_passes: u32) -> Self {
+        self.max_passes = max_passes.max(1);
+        self
     }
 
     /// The record file (sizes, summaries).
@@ -109,11 +169,14 @@ impl<'p> LpSlicer<'p> {
             Criterion::Output(k) => {
                 let Some(&pos) = self.print_positions.get(k) else { return Ok(None) };
                 // Seed with the print record itself, then scan strictly
-                // before it.
-                let chunk = (pos as usize) / CHUNK_RECORDS;
+                // before it. The chunk and offset come from the same
+                // cumulative `pos_base` arithmetic the scan uses, so a
+                // short or resized chunk can never index out of bounds.
+                let (chunk, off) = locate(&self.pos_base, pos);
                 let records = self.file.read_chunk(chunk)?;
                 stats.chunks_read += 1;
-                let r = records[(pos as usize) % CHUNK_RECORDS];
+                stats.bytes_read += self.file.chunks[chunk].len as u64 * 16;
+                let r = records[off as usize];
                 st.slice.insert(r.stmt);
                 st.propagate_uses(r.stmt, &r, &mut stats);
                 pos
@@ -135,7 +198,14 @@ impl<'p> LpSlicer<'p> {
             st.wanted_scalars.clear();
             st.ctl_wants.clear();
             st.pending_ret = false;
-            if st.ret_wants.is_empty() || stats.passes > 64 {
+            if st.ret_wants.is_empty() {
+                break;
+            }
+            if stats.passes >= self.max_passes {
+                // Pass budget exhausted with forward-pointing wants still
+                // open: report the possibly-incomplete slice as truncated
+                // instead of silently returning it.
+                stats.truncated = true;
                 break;
             }
             bound = start; // rescan the same range with the new wants
@@ -148,14 +218,8 @@ impl<'p> LpSlicer<'p> {
 
     /// One backward pass over records at positions `< bound`.
     fn scan(&self, st: &mut ScanState, bound: u64, stats: &mut LpStats) -> io::Result<()> {
-        let mut pos_base: Vec<u64> = Vec::with_capacity(self.file.chunks.len());
-        let mut acc = 0u64;
-        for c in &self.file.chunks {
-            pos_base.push(acc);
-            acc += c.len as u64;
-        }
         for ci in (0..self.file.chunks.len()).rev() {
-            let base = pos_base[ci];
+            let base = self.pos_base[ci];
             if base >= bound {
                 continue;
             }
@@ -422,7 +486,7 @@ impl<'p> ScanState<'p> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use dynslice_runtime::{run, VmOptions};
+    use dynslice_runtime::{run, VmOptions, CHUNK_RECORDS};
 
     fn slicer_for<'a>(
         p: &'a Program,
@@ -497,6 +561,90 @@ mod tests {
                 .unwrap()
                 .stmts,
             slice.stmts
+        );
+    }
+
+    #[test]
+    fn locate_handles_uneven_chunks() {
+        // Chunk starts 0/10/12/50: lengths 10, 2, 38, …. Division by a
+        // fixed chunk size would misindex everything past the short chunk.
+        let base = [0u64, 10, 12, 50];
+        assert_eq!(locate(&base, 0), (0, 0));
+        assert_eq!(locate(&base, 9), (0, 9));
+        assert_eq!(locate(&base, 10), (1, 0));
+        assert_eq!(locate(&base, 11), (1, 1));
+        assert_eq!(locate(&base, 12), (2, 0));
+        assert_eq!(locate(&base, 49), (2, 37));
+        assert_eq!(locate(&base, 50), (3, 0));
+        assert_eq!(locate(&base, 51), (3, 1));
+    }
+
+    #[test]
+    fn output_seed_resolves_in_short_final_chunk() {
+        // Enough records to spill into a short trailing chunk, with the
+        // print (the Output seed) in that final partial chunk.
+        let p = dynslice_lang::compile(
+            "global int acc[1];
+             fn main() {
+               int i;
+               for (i = 0; i < 30000; i = i + 1) { acc[0] = acc[0] + i; }
+               print acc[0];
+             }",
+        )
+        .unwrap();
+        let a = ProgramAnalysis::compute(&p);
+        let t = run(&p, VmOptions::default());
+        let lp = slicer_for(&p, &a, &t.events, "tail.bin");
+        let last = lp.file().chunks.last().unwrap();
+        assert!(
+            lp.file().chunks.len() >= 2 && (last.len as usize) < CHUNK_RECORDS,
+            "need a short trailing chunk"
+        );
+        let (slice, stats) = lp.slice(Criterion::Output(0)).unwrap().expect("print executed");
+        assert!(!stats.truncated);
+        let fp = crate::FpSlicer::build(&p, &a, &t.events);
+        assert_eq!(fp.slice(&p, Criterion::Output(0)).unwrap().stmts, slice.stmts);
+    }
+
+    #[test]
+    fn pass_cap_sets_truncated_instead_of_silently_stopping() {
+        // A deep return chain: the criterion cell is written in the
+        // deepest callee, so the first pass walks parameter dependences
+        // down the chain and accumulates forward-pointing return wants
+        // that only a further traversal can resolve.
+        let depth = 24;
+        let mut src = String::from("global int g[1];\n");
+        for i in (1..depth).rev() {
+            src.push_str(&format!(
+                "fn f{i}(int x) -> int {{ int t = f{}(x + 1); return t + {i}; }}\n",
+                i + 1
+            ));
+        }
+        src.push_str(&format!("fn f{depth}(int x) -> int {{ g[0] = x; return x; }}\n"));
+        src.push_str("fn main() { int r = f1(input()); print r; }\n");
+        let p = dynslice_lang::compile(&src).unwrap();
+        let a = ProgramAnalysis::compute(&p);
+        let t = run(&p, VmOptions { input: vec![3], ..Default::default() });
+        let criterion = Criterion::CellLastDef(dynslice_runtime::Cell::new(0, 0));
+
+        // Unconstrained: converges, complete, and not truncated.
+        let lp = slicer_for(&p, &a, &t.events, "cap-full.bin");
+        let (full, stats) = lp.slice(criterion).unwrap().expect("slice exists");
+        assert!(stats.passes >= 2, "return chain needs more than one pass: {stats:?}");
+        assert!(!stats.truncated, "{stats:?}");
+        let fp = crate::FpSlicer::build(&p, &a, &t.events);
+        assert_eq!(fp.slice(&p, criterion).unwrap().stmts, full.stmts);
+
+        // Capped below convergence: the incomplete result must say so.
+        let lp = slicer_for(&p, &a, &t.events, "cap-1.bin").with_max_passes(1);
+        let (partial, stats) = lp.slice(criterion).unwrap().expect("slice exists");
+        assert_eq!(stats.passes, 1);
+        assert!(stats.truncated, "cap hit with open return wants: {stats:?}");
+        assert!(
+            partial.stmts.is_subset(&full.stmts) && partial.len() < full.len(),
+            "capped slice should be a strict subset ({} vs {})",
+            partial.len(),
+            full.len()
         );
     }
 

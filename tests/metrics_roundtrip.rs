@@ -1,0 +1,152 @@
+//! The unified metrics schema, end to end at the library level: the
+//! counters a run registers must survive `RunReport` JSON round-trips
+//! bit-for-bit, and — because the report is how runs are compared — the
+//! three paper algorithms must agree on the quantity the reports compare
+//! (slice size) before their cost counters mean anything.
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+
+use dynslice::{
+    phases, pick_cells, workloads, Criterion, OptConfig, RecordMetrics, Registry, RunReport,
+    Session, VmOptions,
+};
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("dynslice-metrics-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+fn prepare(name: &str) -> (Session, dynslice::Trace) {
+    let w = workloads::by_name(name).unwrap();
+    let src = w.source(0.05);
+    let session = Session::compile(&src).unwrap();
+    let trace = session.run_with(VmOptions { input: w.input.clone(), ..Default::default() });
+    assert!(!trace.truncated);
+    (session, trace)
+}
+
+/// Every counter an LP run registers lands in the JSON report with the
+/// exact in-memory value, and the document survives parse → re-emit.
+#[test]
+fn lp_stats_round_trip_through_the_report() {
+    let (session, trace) = prepare("256.bzip2");
+    let lp = session.lp(&trace, scratch("lp-roundtrip.bin")).unwrap();
+    let cell = pick_cells(session.fp(&trace).graph().last_def.keys().copied(), 1)[0];
+    let (slice, stats) =
+        lp.slice(Criterion::CellLastDef(cell)).unwrap().expect("criterion executed");
+
+    let reg = Registry::new();
+    stats.record_metrics(&reg);
+    reg.counter_set("slice.statements", slice.len() as u64);
+    reg.time_phase(phases::SLICE, || ());
+    let mut config = BTreeMap::new();
+    config.insert("workload".into(), "256.bzip2".into());
+    let report = reg.report("lp", config);
+
+    let parsed = RunReport::from_json(&report.to_json()).unwrap();
+    assert_eq!(parsed, report, "parse must invert emit exactly");
+    assert_eq!(parsed.counter_or_zero("lp.passes"), u64::from(stats.passes));
+    assert_eq!(parsed.counter_or_zero("lp.chunks_read"), stats.chunks_read);
+    assert_eq!(parsed.counter_or_zero("lp.chunks_skipped"), stats.chunks_skipped);
+    assert_eq!(parsed.counter_or_zero("lp.records_scanned"), stats.records_scanned);
+    assert_eq!(parsed.counter_or_zero("lp.bytes_read"), stats.bytes_read);
+    assert_eq!(parsed.counter_or_zero("lp.truncated"), u64::from(stats.truncated));
+    assert!(!stats.truncated, "organic workload must fit the pass budget");
+    assert_eq!(parsed.counter_or_zero("slice.statements"), slice.len() as u64);
+    // And a second emit of the parsed value is byte-identical (the writer
+    // is deterministic), so reports are diffable as text.
+    assert_eq!(parsed.to_json(), report.to_json());
+}
+
+/// FP, OPT, and LP must report identical slice sizes for the same
+/// criteria — the differential guarantee that makes their per-algorithm
+/// cost counters comparable in one schema.
+#[test]
+fn fp_opt_lp_report_identical_slice_sizes() {
+    let (session, trace) = prepare("300.twolf");
+    let fp = session.fp(&trace);
+    let opt = session.opt(&trace, &OptConfig::default());
+    let lp = session.lp(&trace, scratch("lp-differential.bin")).unwrap();
+
+    let mut criteria: Vec<Criterion> = pick_cells(fp.graph().last_def.keys().copied(), 6)
+        .into_iter()
+        .map(Criterion::CellLastDef)
+        .collect();
+    for k in 0..trace.output.len().min(2) {
+        criteria.push(Criterion::Output(k));
+    }
+    assert!(!criteria.is_empty());
+
+    for q in criteria {
+        let a = fp.slice(&session.program, q).expect("fp");
+        let b = opt.slice(q).expect("opt");
+        let (c, _) = lp.slice(q).unwrap().expect("lp");
+        // Full set equality, which subsumes the size claim the reports make.
+        assert_eq!(a.stmts, b.stmts, "{q:?}");
+        assert_eq!(a.stmts, c.stmts, "{q:?}");
+
+        // Each algorithm's registry view reports the same slice.statements.
+        for slice_len in [a.len(), b.len(), c.len()] {
+            let reg = Registry::new();
+            reg.counter_set("slice.statements", slice_len as u64);
+            let report = reg.report("differential", BTreeMap::new());
+            assert_eq!(
+                RunReport::from_json(&report.to_json())
+                    .unwrap()
+                    .counter_or_zero("slice.statements"),
+                a.len() as u64,
+                "{q:?}"
+            );
+        }
+    }
+}
+
+/// Batch runs register their worker statistics under the same schema, and
+/// a lossless batch reports zero failed queries.
+#[test]
+fn batch_stats_round_trip_and_count_failures() {
+    let (session, trace) = prepare("256.bzip2");
+    let opt = session.opt(&trace, &OptConfig::default());
+    let criteria: Vec<Criterion> = pick_cells(opt.graph().last_def.keys().copied(), 8)
+        .into_iter()
+        .map(Criterion::CellLastDef)
+        .collect();
+    let engine = opt.batch(dynslice::BatchConfig { workers: 2, ..Default::default() });
+    let result = engine.run(&criteria);
+    assert!(result.errors.is_empty());
+    assert!(result.failure().is_none());
+
+    let reg = Registry::new();
+    result.stats.record_metrics(&reg);
+    let parsed =
+        RunReport::from_json(&reg.report("batch-opt", BTreeMap::new()).to_json()).unwrap();
+    assert_eq!(parsed.counter_or_zero("batch.queries"), criteria.len() as u64);
+    assert_eq!(parsed.counter_or_zero("batch.workers"), 2);
+    assert_eq!(parsed.counter_or_zero("batch.failed_queries"), 0);
+    assert!(parsed.gauges.contains_key("batch.throughput_qps"));
+}
+
+/// The paged backend's atomic cache counters convert into the registry
+/// and survive the JSON round trip.
+#[test]
+fn paged_stats_round_trip_through_the_report() {
+    let (session, trace) = prepare("256.bzip2");
+    let paged = session
+        .paged(&trace, &OptConfig::default(), scratch("paged-roundtrip.pg"), 2)
+        .unwrap();
+    let cell = pick_cells(paged.graph().last_def.keys().copied(), 1)[0];
+    let (occ, ts) = paged.last_def_of(cell).expect("criterion executed");
+    let slice = paged.slice(occ, ts).unwrap();
+    assert!(!slice.is_empty());
+
+    let reg = Registry::new();
+    paged.record_metrics(&reg);
+    let st = paged.stats();
+    let parsed = RunReport::from_json(&reg.report("paged", BTreeMap::new()).to_json()).unwrap();
+    assert_eq!(parsed.counter_or_zero("paged.cache_hits"), st.hits);
+    assert_eq!(parsed.counter_or_zero("paged.cache_misses"), st.misses);
+    assert_eq!(parsed.counter_or_zero("paged.bytes_read"), st.bytes_read);
+    assert!(parsed.gauges.contains_key("paged.resident_bytes"));
+}
