@@ -44,18 +44,11 @@ fn main() {
         let batch: Vec<_> = qs.iter().copied().cycle().take(qs.len() * rounds).collect();
         // Untimed warm-up: materialize every shortcut closure the batch
         // needs, so worker counts compare pure traversal throughput.
-        let _ = slice_batch(
-            opt.graph(),
-            &qs,
-            BatchConfig { workers: 1, shortcuts: true, cache: false },
-        );
+        let _ = slice_batch(&opt, &qs, BatchConfig { workers: 1, cache: false });
         let mut rates = Vec::new();
         for workers in [1usize, 2, 4, 8] {
-            let result = slice_batch(
-                opt.graph(),
-                &batch,
-                BatchConfig { workers, shortcuts: true, cache: false },
-            );
+            let result =
+                slice_batch(&opt, &batch, BatchConfig { workers, cache: false });
             assert_eq!(result.stats.total_queries(), batch.len() as u64);
             report.gauge(p.name, &format!("qps_w{workers}"), result.stats.throughput());
             rates.push(result.stats.throughput());
@@ -89,7 +82,7 @@ fn main() {
         for workers in [1usize, 2, 4, 8] {
             let before = paged.stats();
             let result =
-                slice_batch(&paged, &batch, BatchConfig { workers, shortcuts: false, cache: false });
+                slice_batch(&paged, &batch, BatchConfig { workers, cache: false });
             assert!(result.errors.is_empty(), "paged I/O errors: {:?}", result.errors);
             let delta = paged.stats() - before;
             report.gauge(p.name, &format!("paged_qps_w{workers}"), result.stats.throughput());

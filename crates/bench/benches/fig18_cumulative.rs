@@ -2,7 +2,7 @@
 //! run: OPT vs LP vs FP (the y-intercept is each algorithm's preprocessing
 //! time).
 
-use dynslice::OptConfig;
+use dynslice::{OptConfig, Slicer as _};
 use dynslice_bench::*;
 
 fn main() {
@@ -21,11 +21,11 @@ fn main() {
         let (mut c_opt, mut c_lp, mut c_fp) =
             (opt_prep.as_secs_f64(), lp_prep.as_secs_f64(), fp_prep.as_secs_f64());
         for (i, q) in qs.iter().enumerate() {
-            let (_, d) = time(|| opt.slice(*q));
+            let (_, d) = time(|| opt.slice(q));
             c_opt += d.as_secs_f64();
-            let (_, d) = time(|| lp.slice(*q).unwrap());
+            let (_, d) = time(|| lp.slice_detailed(*q).unwrap());
             c_lp += d.as_secs_f64();
-            let (_, d) = time(|| fp.slice(&p.session.program, *q));
+            let (_, d) = time(|| fp.slice(q));
             c_fp += d.as_secs_f64();
             if (i + 1) % 5 == 0 || i + 1 == qs.len() {
                 println!(

@@ -9,7 +9,7 @@
 //! at measurement time), not the cache's worst-case capacity; the second
 //! table's hit rates are per-run deltas of the graph's atomic counters.
 
-use dynslice::{slice_batch, BatchConfig, OptConfig, SliceBackend};
+use dynslice::{slice_batch, BatchConfig, OptConfig, Slicer};
 use dynslice_bench::*;
 
 /// Resident-block budget for the paged runs.
@@ -35,11 +35,11 @@ fn main() {
         let qs = queries(opt.graph().last_def.keys().copied());
         let opt_kb = opt.graph().size(false).bytes() as f64 / 1024.0;
         for q in &qs {
-            let _ = opt.slice(*q); // warm shortcut memos for fairness
+            let _ = opt.slice(q); // warm shortcut memos for fairness
         }
         let (_, t_opt) = time(|| {
             for q in &qs {
-                let _ = opt.slice(*q);
+                let _ = opt.slice(q);
             }
         });
 
@@ -54,9 +54,7 @@ fn main() {
             .unwrap();
         let (_, t_paged) = time(|| {
             for q in &qs {
-                if let Some((occ, ts)) = paged.criterion_instance(*q) {
-                    let _ = paged.slice(occ, ts).unwrap();
-                }
+                let _ = Slicer::slice(&paged, q);
             }
         });
         let st = paged.stats();
@@ -97,7 +95,7 @@ fn main() {
             let result = slice_batch(
                 paged,
                 &batch,
-                BatchConfig { workers, shortcuts: false, cache: false },
+                BatchConfig { workers, cache: false },
             );
             assert!(result.errors.is_empty(), "paged I/O errors: {:?}", result.errors);
             let delta = paged.stats() - before;

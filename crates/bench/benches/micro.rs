@@ -3,7 +3,7 @@
 //! shortcuts, SEQUITUR compression, trace segmentation.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use dynslice::{workloads, OptConfig, Session, VmOptions};
+use dynslice::{workloads, OptConfig, Session, Slicer as _, VmOptions};
 
 fn setup() -> (Session, dynslice::Trace) {
     let w = workloads::by_name("164.gzip").unwrap();
@@ -25,12 +25,12 @@ fn bench_slicing(c: &mut Criterion) {
     let mut opt = session.opt(&trace, &OptConfig::default());
     let cell = *opt.graph().last_def.keys().min().unwrap();
     let q = dynslice::Criterion::CellLastDef(cell);
-    let _ = opt.slice(q); // warm memos
-    c.bench_function("opt_slice_shortcut", |b| b.iter(|| opt.slice(q)));
+    let _ = opt.slice(&q); // warm memos
+    c.bench_function("opt_slice_shortcut", |b| b.iter(|| opt.slice(&q)));
     opt.shortcuts = false;
-    c.bench_function("opt_slice_plain", |b| b.iter(|| opt.slice(q)));
+    c.bench_function("opt_slice_plain", |b| b.iter(|| opt.slice(&q)));
     let fp = session.fp(&trace);
-    c.bench_function("fp_slice", |b| b.iter(|| fp.slice(&session.program, q)));
+    c.bench_function("fp_slice", |b| b.iter(|| fp.slice(&q)));
 }
 
 fn bench_sequitur(c: &mut Criterion) {

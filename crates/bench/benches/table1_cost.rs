@@ -2,7 +2,7 @@
 //! unique statements executed (USE), average slice size (SS), USE/SS,
 //! full-graph size, and LP's average slicing time.
 
-use dynslice::OptConfig;
+use dynslice::{OptConfig, Slicer as _};
 use dynslice_bench::*;
 
 fn main() {
@@ -20,7 +20,7 @@ fn main() {
         let qs = queries(opt.graph().last_def.keys().copied());
         let mut total = 0usize;
         for q in &qs {
-            total += opt.slice(*q).map_or(0, |s| s.len());
+            total += opt.slice(q).map_or(0, |s| s.len());
         }
         let ss = total as f64 / qs.len().max(1) as f64;
         let use_count = p.trace.unique_stmts_executed() as f64;
@@ -28,7 +28,7 @@ fn main() {
         let lp = p.session.lp(&p.trace, dir.join(format!("{}.bin", p.name))).unwrap();
         let (_, lp_time) = time(|| {
             for q in &qs {
-                let _ = lp.slice(*q).unwrap();
+                let _ = lp.slice_detailed(*q).unwrap();
             }
         });
         report.counter(p.name, "stmts_executed", p.trace.stmts_executed);

@@ -1,7 +1,7 @@
 //! Table 3 — benefit of shortcut edges: OPT slicing times with and without
 //! traversing the precomputed static-chain shortcuts.
 
-use dynslice::OptConfig;
+use dynslice::{OptConfig, Slicer as _};
 use dynslice_bench::*;
 
 fn main() {
@@ -16,18 +16,18 @@ fn main() {
         opt.shortcuts = false;
         let (_, slow) = time(|| {
             for q in &qs {
-                let _ = opt.slice(*q);
+                let _ = opt.slice(q);
             }
         });
         opt.shortcuts = true;
         // Warm the memoized closures once, then measure (the paper's
         // shortcuts are precomputed during graph construction).
         for q in &qs {
-            let _ = opt.slice(*q);
+            let _ = opt.slice(q);
         }
         let (_, fast) = time(|| {
             for q in &qs {
-                let _ = opt.slice(*q);
+                let _ = opt.slice(q);
             }
         });
         println!(

@@ -15,7 +15,7 @@ fn main() {
         let qs = queries(opt.graph().last_def.keys().copied());
         let mut max_sub = 0u64;
         for q in &qs {
-            if let Some((_, stats)) = lp.slice(*q).unwrap() {
+            if let Some((_, stats)) = lp.slice_detailed(*q).unwrap() {
                 max_sub = max_sub.max(stats.subgraph_bytes());
             }
         }

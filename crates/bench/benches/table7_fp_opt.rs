@@ -1,7 +1,7 @@
 //! Table 7 — slicing times: FP vs OPT (shortcuts are why OPT wins even
 //! though both graphs are in memory).
 
-use dynslice::OptConfig;
+use dynslice::{OptConfig, Slicer as _};
 use dynslice_bench::*;
 
 fn main() {
@@ -13,16 +13,16 @@ fn main() {
         let qs = queries(opt.graph().last_def.keys().copied());
         // Warm OPT's shortcut memos (precomputed at build time in the paper).
         for q in &qs {
-            let _ = opt.slice(*q);
+            let _ = opt.slice(q);
         }
         let (_, t_fp) = time(|| {
             for q in &qs {
-                let _ = fp.slice(&p.session.program, *q);
+                let _ = fp.slice(q);
             }
         });
         let (_, t_opt) = time(|| {
             for q in &qs {
-                let _ = opt.slice(*q);
+                let _ = opt.slice(q);
             }
         });
         println!(

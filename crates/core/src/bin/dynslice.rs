@@ -3,11 +3,14 @@
 //! ```text
 //! dynslice run         <file> [--input 1,2,3]
 //! dynslice slice       <file> (--output K | --cell INST:OFF)
-//!                      [--algo opt|fp|lp|paged] [--input 1,2,3]
+//!                      [--algo fp|opt|lp|forward|paged] [--input 1,2,3]
 //!                      [--no-shortcuts] [--resident-blocks N]
 //! dynslice slice-batch <file> [--workers N] [--queries N] [--repeat R]
 //!                      [--no-cache] [--no-shortcuts] [--input 1,2,3]
 //!                      [--paged] [--resident-blocks N]
+//! dynslice serve       <file> [--algo fp|opt|lp|forward|paged] [--paged]
+//!                      [--socket PATH] [--workers N] [--timeout-ms N]
+//!                      [--queue-depth N] [--cache-capacity N] [--no-cache]
 //! dynslice report      <file> [--input 1,2,3]
 //! dynslice dot         <file> [--input 1,2,3] [--dynamic]  # graph to stdout
 //! dynslice dot         <file> --output K | --cell I:O      # slice rendering
@@ -19,29 +22,75 @@
 //! times, all counters, peak resident bytes) in the unified observability
 //! schema — the same schema the bench harnesses write to `BENCH_*.json`.
 //!
-//! `--paged` answers the batch from the §4.2 OPT+LP hybrid: label blocks
-//! live on disk and at most `--resident-blocks` (default 8) are cached in
-//! memory, so the report includes block-cache hit/miss statistics.
+//! `slice` and `serve` share one backend-construction path
+//! ([`Session::build_slicer`]) behind the [`Slicer`] trait, so every
+//! algorithm — including `--paged`, the §4.2 OPT+LP hybrid with at most
+//! `--resident-blocks` label blocks resident — is reachable from both.
 //!
-//! Exit code: nonzero on any error, **including a batch that dropped
-//! queries to I/O errors** — a lossy `slice-batch` never exits 0, so CI
-//! cannot greenlight it.
+//! `serve` keeps the backend alive and answers newline-delimited JSON
+//! slice requests on stdin/stdout, or on a Unix socket with `--socket`
+//! (see `dynslice::protocol` for the wire format). It exits on stdin EOF,
+//! SIGTERM, or a `{"op":"shutdown"}` request, draining accepted work.
+//!
+//! Exit codes: `0` success; `2` usage errors; `3` the slice criterion
+//! never executed; `4` the slice was truncated by the LP pass budget
+//! (the partial slice is still printed); `5` backend I/O failure; `1`
+//! everything else — including a batch that dropped queries, so a lossy
+//! `slice-batch` never exits 0 and CI cannot greenlight it.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
+use std::time::Duration;
 
+use dynslice::criteria::{parse_cell, parse_output_index};
 use dynslice::{
-    phases, pick_cells, BatchConfig, BatchResult, BatchSliceEngine, Cell, Criterion, OptConfig,
-    RecordMetrics, Registry, RunReport, Session, StmtId,
+    phases, pick_cells, serve, Algo, BatchConfig, BatchResult, BatchSliceEngine, Cell, Criterion,
+    RecordMetrics, Registry, RunReport, ServeConfig, Session, SliceError, SlicerConfig, Slicer,
+    StmtId, Transport,
 };
 
 fn main() -> ExitCode {
     match run() {
         Ok(()) => ExitCode::SUCCESS,
         Err(e) => {
-            eprintln!("dynslice: {e}");
-            ExitCode::FAILURE
+            eprintln!("dynslice: {}", e.message);
+            ExitCode::from(e.code)
         }
+    }
+}
+
+/// A failure plus the exit code that classifies it (see the module docs).
+struct CliError {
+    code: u8,
+    message: String,
+}
+
+impl CliError {
+    fn usage(message: impl Into<String>) -> Self {
+        CliError { code: 2, message: message.into() }
+    }
+}
+
+impl From<String> for CliError {
+    fn from(message: String) -> Self {
+        CliError { code: 1, message }
+    }
+}
+
+impl From<SliceError> for CliError {
+    fn from(e: SliceError) -> Self {
+        let code = match &e {
+            SliceError::UnknownCriterion => 3,
+            SliceError::Truncated { .. } => 4,
+            SliceError::Io(_) => 5,
+        };
+        CliError { code, message: e.to_string() }
+    }
+}
+
+impl From<std::io::Error> for CliError {
+    fn from(e: std::io::Error) -> Self {
+        CliError { code: 5, message: e.to_string() }
     }
 }
 
@@ -60,6 +109,10 @@ struct Args {
     cache: bool,
     paged: bool,
     resident_blocks: usize,
+    socket: Option<String>,
+    timeout_ms: Option<u64>,
+    queue_depth: usize,
+    cache_capacity: usize,
     metrics_json: Option<String>,
 }
 
@@ -83,7 +136,36 @@ impl Args {
         if let Some(w) = self.workers {
             m.insert("workers".into(), w.to_string());
         }
+        if self.cmd == "serve" {
+            m.insert(
+                "socket".into(),
+                self.socket.clone().unwrap_or_else(|| "stdio".into()),
+            );
+            m.insert("queue_depth".into(), self.queue_depth.to_string());
+            m.insert("cache_capacity".into(), self.cache_capacity.to_string());
+            if let Some(t) = self.timeout_ms {
+                m.insert("timeout_ms".into(), t.to_string());
+            }
+        }
         m
+    }
+
+    /// The backend `slice`/`serve`/`slice-batch` should build.
+    fn algo(&self) -> Result<Algo, CliError> {
+        if self.paged {
+            return Ok(Algo::Paged);
+        }
+        self.algo.parse().map_err(CliError::usage)
+    }
+
+    /// Shared backend knobs derived from the flags.
+    fn slicer_config(&self) -> SlicerConfig {
+        SlicerConfig {
+            shortcuts: self.shortcuts,
+            scratch_dir: std::env::temp_dir().join("dynslice-cli"),
+            resident_blocks: self.resident_blocks,
+            ..SlicerConfig::default()
+        }
     }
 }
 
@@ -106,6 +188,10 @@ fn parse_args() -> Result<Args, String> {
         cache: true,
         paged: false,
         resident_blocks: 8,
+        socket: None,
+        timeout_ms: None,
+        queue_depth: 64,
+        cache_capacity: 128,
         metrics_json: None,
     };
     while let Some(a) = args.next() {
@@ -120,16 +206,13 @@ fn parse_args() -> Result<Args, String> {
             }
             "--output" => {
                 let v = args.next().ok_or("--output needs a value")?;
-                out.output = Some(v.parse().map_err(|_| format!("bad index `{v}`"))?);
+                out.output = Some(parse_output_index(&v)?);
             }
             "--cell" => {
                 let v = args.next().ok_or("--cell needs INST:OFF")?;
-                let (i, o) = v.split_once(':').ok_or("expected INST:OFF")?;
-                let inst: u32 = i.parse().map_err(|_| format!("bad instance `{i}`"))?;
-                let off: u32 = o.parse().map_err(|_| format!("bad offset `{o}`"))?;
-                out.cell = Some(Cell::new(inst, off));
+                out.cell = Some(parse_cell(&v)?);
             }
-            "--algo" => out.algo = args.next().ok_or("--algo needs opt|fp|lp")?,
+            "--algo" => out.algo = args.next().ok_or("--algo needs fp|opt|lp|forward|paged")?,
             "--no-shortcuts" => out.shortcuts = false,
             "--dynamic" => out.dynamic_edges = true,
             "--workers" => {
@@ -151,6 +234,22 @@ fn parse_args() -> Result<Args, String> {
                 out.resident_blocks =
                     v.parse().map_err(|_| format!("bad block count `{v}`"))?;
             }
+            "--socket" => {
+                out.socket = Some(args.next().ok_or("--socket needs a path")?);
+            }
+            "--timeout-ms" => {
+                let v = args.next().ok_or("--timeout-ms needs a count")?;
+                out.timeout_ms = Some(v.parse().map_err(|_| format!("bad timeout `{v}`"))?);
+            }
+            "--queue-depth" => {
+                let v = args.next().ok_or("--queue-depth needs a count")?;
+                out.queue_depth = v.parse().map_err(|_| format!("bad queue depth `{v}`"))?;
+            }
+            "--cache-capacity" => {
+                let v = args.next().ok_or("--cache-capacity needs a count")?;
+                out.cache_capacity =
+                    v.parse().map_err(|_| format!("bad cache capacity `{v}`"))?;
+            }
             "--metrics-json" => {
                 out.metrics_json = Some(args.next().ok_or("--metrics-json needs a path")?);
             }
@@ -161,10 +260,11 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: dynslice <run|slice|slice-batch|report|dot|metrics-validate> <file.minic> \
-     [--input 1,2,3] [--output K | --cell INST:OFF] [--algo opt|fp|lp|paged] [--no-shortcuts] \
-     [--workers N] [--queries N] [--repeat R] [--no-cache] [--paged] [--resident-blocks N] \
-     [--metrics-json PATH]"
+    "usage: dynslice <run|slice|slice-batch|serve|report|dot|metrics-validate> <file.minic> \
+     [--input 1,2,3] [--output K | --cell INST:OFF] [--algo fp|opt|lp|forward|paged] \
+     [--no-shortcuts] [--workers N] [--queries N] [--repeat R] [--no-cache] [--paged] \
+     [--resident-blocks N] [--socket PATH] [--timeout-ms N] [--queue-depth N] \
+     [--cache-capacity N] [--metrics-json PATH]"
         .to_string()
 }
 
@@ -174,13 +274,6 @@ fn print_slice(session: &Session, stmts: &std::collections::BTreeSet<StmtId>) {
         let loc = session.program.stmt_loc(*s);
         println!("  {s}  fn {} {} {:?}", session.program.func(loc.func).name, loc.block, loc.pos);
     }
-}
-
-/// A per-process spill path for the paged backend (removed on drop).
-fn spill_path() -> Result<std::path::PathBuf, String> {
-    let dir = std::env::temp_dir().join("dynslice-cli");
-    std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
-    Ok(dir.join(format!("spill-{}.bin", std::process::id())))
 }
 
 /// Fig. 18-style workload: N distinct memory criteria, evenly spaced over
@@ -204,16 +297,17 @@ fn build_batch(
     Ok(unique.into_iter().cycle().take(n).collect())
 }
 
-/// Runs one batch over any backend, prints the per-worker report, and
+/// Runs one batch over any [`Slicer`], prints the per-worker report, and
 /// registers the batch counters. Returns the result so the caller can turn
 /// dropped queries into a nonzero exit *after* the metrics report is
 /// written.
-fn run_batch<B: dynslice::SliceBackend + ?Sized>(
-    engine: &BatchSliceEngine<'_, B>,
+fn run_batch<S: Slicer + ?Sized>(
+    engine: &BatchSliceEngine<'_, S>,
     batch: &[Criterion],
-    config: &BatchConfig,
+    shortcuts: bool,
     reg: &Registry,
 ) -> BatchResult {
+    let config = engine.config().clone();
     let distinct = batch.iter().collect::<std::collections::HashSet<_>>().len();
     let result = reg.time_phase(phases::BATCH, || engine.run(batch));
     let stats = &result.stats;
@@ -226,9 +320,9 @@ fn run_batch<B: dynslice::SliceBackend + ?Sized>(
         batch.len(),
         distinct,
         config.workers,
-        engine.backend().backend_name(),
+        engine.slicer().name(),
         if config.cache { "on" } else { "off" },
-        if config.shortcuts { "on" } else { "off" },
+        if shortcuts { "on" } else { "off" },
     );
     println!("  worker |  queries |     hits | shortcuts |  instances |     busy");
     for (i, w) in stats.workers.iter().enumerate() {
@@ -258,19 +352,36 @@ fn run_batch<B: dynslice::SliceBackend + ?Sized>(
 }
 
 /// Writes the run report when `--metrics-json` was passed.
-fn emit_metrics(a: &Args, reg: &Registry, algorithm: &str) -> Result<(), String> {
+fn emit_metrics(a: &Args, reg: &Registry, algorithm: &str) -> Result<(), CliError> {
     let Some(path) = &a.metrics_json else { return Ok(()) };
     let report = reg.report(algorithm, a.config_map());
-    report.write_to(path).map_err(|e| format!("{path}: {e}"))?;
+    report.write_to(path).map_err(|e| CliError::from(format!("{path}: {e}")))?;
     eprintln!("[metrics report written to {path}]");
     Ok(())
 }
 
-fn run() -> Result<(), String> {
-    let a = parse_args()?;
+/// Prints the per-backend trailer a one-shot `slice` ends with.
+fn print_backend_trailer(slicer: &dynslice::AnySlicer<'_>, a: &Args) {
+    if let dynslice::AnySlicer::Paged(p) = slicer {
+        let st = p.stats();
+        eprintln!(
+            "[paged: {} hits, {} misses ({:.1}% hit rate), {} KB read, {} resident blocks]",
+            st.hits,
+            st.misses,
+            st.hit_rate() * 100.0,
+            st.bytes_read / 1024,
+            a.resident_blocks,
+        );
+    }
+}
+
+fn run() -> Result<(), CliError> {
+    let a = parse_args().map_err(CliError::usage)?;
     if a.cmd == "metrics-validate" {
-        let text = std::fs::read_to_string(&a.file).map_err(|e| format!("{}: {e}", a.file))?;
-        let report = RunReport::from_json(&text).map_err(|e| format!("{}: {e}", a.file))?;
+        let text = std::fs::read_to_string(&a.file)
+            .map_err(|e| CliError::from(format!("{}: {e}", a.file)))?;
+        let report = RunReport::from_json(&text)
+            .map_err(|e| CliError::from(format!("{}: {e}", a.file)))?;
         println!(
             "{}: valid run report (algorithm {}, {} counters, {} phases)",
             a.file,
@@ -281,9 +392,10 @@ fn run() -> Result<(), String> {
         return Ok(());
     }
     let reg = if a.metrics_json.is_some() { Registry::new() } else { Registry::disabled() };
-    let src = std::fs::read_to_string(&a.file).map_err(|e| format!("{}: {e}", a.file))?;
+    let src = std::fs::read_to_string(&a.file)
+        .map_err(|e| CliError::from(format!("{}: {e}", a.file)))?;
     let session = Session::compile(&src).map_err(|d| {
-        d.0.iter().map(|x| x.render(&src)).collect::<Vec<_>>().join("\n")
+        CliError::from(d.0.iter().map(|x| x.render(&src)).collect::<Vec<_>>().join("\n"))
     })?;
     let trace = reg.time_phase(phases::TRACE_CAPTURE, || session.run(a.input.clone()));
     reg.counter_set("trace.stmts_executed", trace.stmts_executed);
@@ -310,123 +422,96 @@ fn run() -> Result<(), String> {
             let criterion = match (a.output, a.cell) {
                 (Some(k), None) => Criterion::Output(k),
                 (None, Some(c)) => Criterion::CellLastDef(c),
-                _ => return Err("pass exactly one of --output or --cell".into()),
+                _ => return Err(CliError::usage("pass exactly one of --output or --cell")),
             };
-            match a.algo.as_str() {
-                "opt" => {
-                    let mut opt = reg.time_phase(phases::GRAPH_BUILD, || {
-                        session.opt(&trace, &OptConfig::default())
-                    });
-                    opt.shortcuts = a.shortcuts;
-                    opt.graph().size(a.shortcuts).record_metrics(&reg);
-                    opt.graph().stats.record_metrics(&reg);
-                    let (slice, t) = reg
-                        .time_phase(phases::SLICE, || opt.slice_with_stats(criterion))
-                        .ok_or("criterion never executed")?;
-                    t.record_metrics(&reg);
+            let algo = a.algo()?;
+            let slicer = session.build_slicer(algo, &trace, &a.slicer_config(), &reg)?;
+            slicer.record_build_metrics(&reg);
+            let outcome = reg.time_phase(phases::SLICE, || slicer.slice_with_stats(&criterion));
+            slicer.record_query_metrics(&reg);
+            match outcome {
+                Ok((slice, stats)) => {
+                    stats.record_metrics_for(slicer.name(), &reg);
                     reg.counter_set("slice.statements", slice.len() as u64);
                     print_slice(&session, &slice.stmts);
-                }
-                "fp" => {
-                    let fp = reg.time_phase(phases::GRAPH_BUILD, || session.fp(&trace));
-                    fp.graph().size().record_metrics(&reg);
-                    let slice = reg
-                        .time_phase(phases::SLICE, || fp.slice(&session.program, criterion))
-                        .ok_or("criterion never executed")?;
-                    reg.counter_set("slice.statements", slice.len() as u64);
-                    print_slice(&session, &slice.stmts);
-                }
-                "lp" => {
-                    let dir = std::env::temp_dir().join("dynslice-cli");
-                    std::fs::create_dir_all(&dir).map_err(|e| e.to_string())?;
-                    let lp = reg
-                        .time_phase(phases::RECORD_PREPROCESS, || {
-                            session.lp(&trace, dir.join("trace.bin"))
-                        })
-                        .map_err(|e| e.to_string())?;
-                    let (slice, stats) = reg
-                        .time_phase(phases::SLICE, || lp.slice(criterion))
-                        .map_err(|e| e.to_string())?
-                        .ok_or("criterion never executed")?;
-                    stats.record_metrics(&reg);
-                    reg.counter_set("slice.statements", slice.len() as u64);
-                    print_slice(&session, &slice.stmts);
-                    eprintln!(
-                        "[LP: {} passes, {} chunks read, {} skipped{}]",
-                        stats.passes,
-                        stats.chunks_read,
-                        stats.chunks_skipped,
-                        if stats.truncated { ", TRUNCATED (pass budget exhausted)" } else { "" }
-                    );
-                    if stats.truncated {
-                        emit_metrics(&a, &reg, &a.algo)?;
-                        return Err(format!(
-                            "LP slice truncated after {} passes; the result may be incomplete",
-                            stats.passes
-                        ));
+                    if algo == Algo::Lp {
+                        eprintln!(
+                            "[LP: {} passes, {} chunks read, {} skipped]",
+                            stats.passes, stats.chunks_read, stats.chunks_skipped,
+                        );
                     }
+                    print_backend_trailer(&slicer, &a);
+                    emit_metrics(&a, &reg, slicer.name())
                 }
-                "paged" => {
-                    let paged = reg
-                        .time_phase(phases::RECORD_PREPROCESS, || {
-                            session.paged(
-                                &trace,
-                                &OptConfig::default(),
-                                spill_path()?,
-                                a.resident_blocks,
-                            )
-                            .map_err(|e| e.to_string())
-                        })?;
-                    let (occ, ts) = match criterion {
-                        Criterion::CellLastDef(c) => paged.last_def_of(c),
-                        Criterion::Output(k) => paged.graph().outputs.get(k).copied(),
-                    }
-                    .ok_or("criterion never executed")?;
-                    let slice = reg
-                        .time_phase(phases::SLICE, || paged.slice(occ, ts))
-                        .map_err(|e| e.to_string())?;
-                    paged.record_metrics(&reg);
-                    reg.counter_set("slice.statements", slice.len() as u64);
-                    print_slice(&session, &slice);
-                    let st = paged.stats();
-                    eprintln!(
-                        "[paged: {} hits, {} misses ({:.1}% hit rate), {} KB read, {} resident blocks]",
-                        st.hits,
-                        st.misses,
-                        st.hit_rate() * 100.0,
-                        st.bytes_read / 1024,
-                        a.resident_blocks,
-                    );
+                Err(SliceError::Truncated { partial }) => {
+                    // The partial slice is still worth seeing; the exit
+                    // code (4) and the counter mark it incomplete.
+                    reg.counter_add("lp.truncated", 1);
+                    reg.counter_set("slice.statements", partial.len() as u64);
+                    print_slice(&session, &partial.stmts);
+                    emit_metrics(&a, &reg, slicer.name())?;
+                    Err(SliceError::Truncated { partial }.into())
                 }
-                other => return Err(format!("unknown algorithm `{other}`")),
+                Err(e) => {
+                    emit_metrics(&a, &reg, slicer.name())?;
+                    Err(e.into())
+                }
             }
-            emit_metrics(&a, &reg, &a.algo)
+        }
+        "serve" => {
+            let algo = a.algo()?;
+            let slicer = session.build_slicer(algo, &trace, &a.slicer_config(), &reg)?;
+            slicer.record_build_metrics(&reg);
+            let config = ServeConfig {
+                workers: a.workers.unwrap_or_else(|| ServeConfig::default().workers).max(1),
+                timeout: a.timeout_ms.map(Duration::from_millis),
+                queue_depth: a.queue_depth,
+                cache_capacity: if a.cache { a.cache_capacity } else { 0 },
+            };
+            let transport = match &a.socket {
+                Some(path) => Transport::unix(path.into())?,
+                None => Transport::Stdio,
+            };
+            eprintln!(
+                "[serving {} slices on {} with {} workers]",
+                slicer.name(),
+                a.socket.as_deref().unwrap_or("stdio"),
+                config.workers,
+            );
+            let summary = serve(&slicer, &config, transport, &reg)?;
+            slicer.record_query_metrics(&reg);
+            eprintln!(
+                "[serve: {} requests, {} ok ({} cached), {} timeouts, {} rejected, \
+                 {} bad, {} failed]",
+                summary.received,
+                summary.ok,
+                summary.cache_hits,
+                summary.timeouts,
+                summary.rejected,
+                summary.bad_requests,
+                summary.failed,
+            );
+            emit_metrics(&a, &reg, &format!("serve-{}", slicer.name()))
         }
         "slice-batch" => {
             if trace.truncated {
-                return Err("trace truncated; raise the step limit".into());
+                return Err(CliError::from(String::from(
+                    "trace truncated; raise the step limit",
+                )));
             }
+            let algo = if a.paged { Algo::Paged } else { Algo::Opt };
+            let slicer = session.build_slicer(algo, &trace, &a.slicer_config(), &reg)?;
+            slicer.record_build_metrics(&reg);
+            let graph = slicer.compact_graph().expect("batch backends expose the graph");
+            let batch = build_batch(graph, &trace, &a)?;
             let config = BatchConfig {
                 workers: a.workers.unwrap_or_else(|| BatchConfig::default().workers).max(1),
-                shortcuts: a.shortcuts,
                 cache: a.cache,
             };
-            let (result, algorithm) = if a.paged {
-                let paged = reg
-                    .time_phase(phases::RECORD_PREPROCESS, || {
-                        session
-                            .paged(
-                                &trace,
-                                &OptConfig::default(),
-                                spill_path()?,
-                                a.resident_blocks,
-                            )
-                            .map_err(|e| e.to_string())
-                    })?;
-                let batch = build_batch(paged.graph(), &trace, &a)?;
-                let engine = BatchSliceEngine::new(&paged, config.clone());
-                let result = run_batch(&engine, &batch, &config, &reg);
-                paged.record_metrics(&reg);
+            let engine = BatchSliceEngine::new(&slicer, config);
+            let result = run_batch(&engine, &batch, a.shortcuts, &reg);
+            slicer.record_query_metrics(&reg);
+            if let dynslice::AnySlicer::Paged(paged) = &slicer {
                 let st = paged.stats();
                 println!(
                     "  paged: {} block hits, {} misses ({:.1}% hit rate), {} KB read",
@@ -441,30 +526,20 @@ fn run() -> Result<(), String> {
                     a.resident_blocks,
                     paged.spilled_bytes() as f64 / 1024.0,
                 );
-                (result, "batch-paged")
-            } else {
-                let mut opt = reg.time_phase(phases::GRAPH_BUILD, || {
-                    session.opt(&trace, &OptConfig::default())
-                });
-                opt.shortcuts = a.shortcuts;
-                opt.graph().size(a.shortcuts).record_metrics(&reg);
-                let batch = build_batch(opt.graph(), &trace, &a)?;
-                let engine = opt.batch(config.clone());
-                (run_batch(&engine, &batch, &config, &reg), "batch-opt")
-            };
+            }
             // The report is written even for a lossy batch (the
             // `batch.failed_queries` counter is the signal CI diffs); the
             // exit code still goes nonzero so the run can't greenlight.
-            emit_metrics(&a, &reg, algorithm)?;
+            emit_metrics(&a, &reg, &format!("batch-{}", slicer.name()))?;
             if let Some(msg) = result.failure() {
-                return Err(msg);
+                return Err(CliError::from(msg));
             }
             Ok(())
         }
         "report" => {
             let fp = reg.time_phase(phases::GRAPH_BUILD, || session.fp(&trace));
             let opt = reg.time_phase(phases::GRAPH_BUILD, || {
-                session.opt(&trace, &OptConfig::default())
+                session.opt(&trace, &dynslice::OptConfig::default())
             });
             let full = fp.graph().size();
             let compact = opt.graph().size(false);
@@ -487,7 +562,7 @@ fn run() -> Result<(), String> {
         }
         "dot" => {
             let opt = reg.time_phase(phases::GRAPH_BUILD, || {
-                session.opt(&trace, &OptConfig::default())
+                session.opt(&trace, &dynslice::OptConfig::default())
             });
             opt.graph().size(false).record_metrics(&reg);
             match (a.output, a.cell) {
@@ -505,11 +580,9 @@ fn run() -> Result<(), String> {
                     let criterion = match (output, cell) {
                         (Some(k), None) => Criterion::Output(k),
                         (None, Some(c)) => Criterion::CellLastDef(c),
-                        _ => return Err("pass at most one of --output / --cell".into()),
+                        _ => return Err(CliError::usage("pass at most one of --output / --cell")),
                     };
-                    let slice = reg
-                        .time_phase(phases::SLICE, || opt.slice(criterion))
-                        .ok_or("criterion never executed")?;
+                    let slice = reg.time_phase(phases::SLICE, || opt.slice(&criterion))?;
                     reg.counter_set("slice.statements", slice.len() as u64);
                     let crit_occ = match criterion {
                         Criterion::Output(k) => opt.graph().outputs[k].0,
@@ -526,6 +599,6 @@ fn run() -> Result<(), String> {
             }
             emit_metrics(&a, &reg, "dot")
         }
-        other => Err(format!("unknown command `{other}`\n{}", usage())),
+        other => Err(CliError::usage(format!("unknown command `{other}`\n{}", usage()))),
     }
 }

@@ -1,0 +1,77 @@
+//! A small synchronous client for the slice service.
+//!
+//! Speaks the protocol of [`crate::protocol`] over a Unix socket. One
+//! request per call, blocking until the matching response arrives —
+//! concurrency comes from using one client per thread (the server
+//! interleaves freely), not from pipelining within a client.
+
+use std::io::{self, BufRead, BufReader, Write};
+use std::os::unix::net::UnixStream;
+use std::path::Path;
+
+use dynslice_slicing::Criterion;
+
+use crate::protocol::{Request, Response};
+
+/// One connection to a running `dynslice serve --socket` instance.
+pub struct SliceClient {
+    reader: BufReader<UnixStream>,
+    writer: UnixStream,
+    next_id: u64,
+}
+
+impl SliceClient {
+    /// Connects to the service's Unix socket.
+    ///
+    /// # Errors
+    /// Propagates connection failures.
+    pub fn connect_unix(path: impl AsRef<Path>) -> io::Result<Self> {
+        let stream = UnixStream::connect(path)?;
+        let writer = stream.try_clone()?;
+        Ok(SliceClient { reader: BufReader::new(stream), writer, next_id: 1 })
+    }
+
+    /// Sends `request` verbatim and returns the next response line.
+    ///
+    /// # Errors
+    /// Socket I/O failures, a closed connection, or an unparseable
+    /// response line.
+    pub fn roundtrip(&mut self, request: &Request) -> io::Result<Response> {
+        writeln!(self.writer, "{}", request.to_json())?;
+        self.writer.flush()?;
+        let mut line = String::new();
+        if self.reader.read_line(&mut line)? == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Response::parse(line.trim_end())
+            .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
+    }
+
+    /// Requests the slice for `criterion`.
+    ///
+    /// # Errors
+    /// Transport failures as in [`Self::roundtrip`]; a server-side error
+    /// response is returned as a normal [`Response`], not an `Err`.
+    pub fn slice(&mut self, criterion: &Criterion) -> io::Result<Response> {
+        let id = self.fresh_id();
+        self.roundtrip(&Request::slice(id, criterion))
+    }
+
+    /// Asks the server to shut down gracefully.
+    ///
+    /// # Errors
+    /// Transport failures as in [`Self::roundtrip`].
+    pub fn shutdown(&mut self) -> io::Result<Response> {
+        let id = self.fresh_id();
+        self.roundtrip(&Request::shutdown(id))
+    }
+
+    fn fresh_id(&mut self) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        id
+    }
+}

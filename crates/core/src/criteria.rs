@@ -1,0 +1,125 @@
+//! Parsing and formatting of slice criteria.
+//!
+//! One strict parser shared by every surface that accepts a criterion —
+//! the `dynslice` CLI flags (`--cell INST:OFF`, `--output K`) and the
+//! slice-service protocol's `criterion` field — instead of the per-
+//! subcommand copies that used to live in the binary. Strictness matters
+//! at the service boundary: a request with trailing junk is rejected, not
+//! silently half-parsed.
+
+use dynslice_runtime::Cell;
+use dynslice_slicing::Criterion;
+
+/// Parses a memory cell written as `INST:OFF` (region instance id, offset
+/// within the region) — the `--cell` flag's syntax.
+///
+/// # Errors
+/// Describes the malformed part: missing `:`, non-numeric or negative
+/// components, empty fields, trailing junk.
+pub fn parse_cell(s: &str) -> Result<Cell, String> {
+    let (inst, off) = s
+        .split_once(':')
+        .ok_or_else(|| format!("expected INST:OFF, got `{s}`"))?;
+    let inst: u32 = inst
+        .parse()
+        .map_err(|_| format!("bad instance `{inst}` (unsigned integer expected)"))?;
+    let off: u32 = off
+        .parse()
+        .map_err(|_| format!("bad offset `{off}` (unsigned integer expected)"))?;
+    Ok(Cell::new(inst, off))
+}
+
+/// Parses an output index (the `--output` flag's value): the `k`-th
+/// executed print statement, 0-based.
+///
+/// # Errors
+/// Rejects anything but an unsigned integer.
+pub fn parse_output_index(s: &str) -> Result<usize, String> {
+    s.parse().map_err(|_| format!("bad output index `{s}` (unsigned integer expected)"))
+}
+
+/// Parses the protocol's one-string criterion syntax:
+///
+/// * `out:K` — the `k`-th executed print;
+/// * `cell:INST:OFF` — the last definition of a memory cell.
+///
+/// [`format_criterion`] is the inverse.
+///
+/// # Errors
+/// Rejects unknown prefixes and malformed components.
+pub fn parse_criterion(s: &str) -> Result<Criterion, String> {
+    if let Some(rest) = s.strip_prefix("out:") {
+        return Ok(Criterion::Output(parse_output_index(rest)?));
+    }
+    if let Some(rest) = s.strip_prefix("cell:") {
+        return Ok(Criterion::CellLastDef(parse_cell(rest)?));
+    }
+    Err(format!("bad criterion `{s}` (expected `out:K` or `cell:INST:OFF`)"))
+}
+
+/// Formats a criterion in the syntax [`parse_criterion`] accepts.
+pub fn format_criterion(c: &Criterion) -> String {
+    match c {
+        Criterion::Output(k) => format!("out:{k}"),
+        Criterion::CellLastDef(cell) => format!("cell:{}:{}", cell.instance(), cell.offset()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_well_formed_criteria() {
+        assert_eq!(parse_cell("3:17").unwrap(), Cell::new(3, 17));
+        assert_eq!(parse_output_index("0").unwrap(), 0);
+        assert_eq!(parse_criterion("out:2").unwrap(), Criterion::Output(2));
+        assert_eq!(
+            parse_criterion("cell:1:4").unwrap(),
+            Criterion::CellLastDef(Cell::new(1, 4))
+        );
+    }
+
+    #[test]
+    fn round_trips_through_format() {
+        for c in [
+            Criterion::Output(0),
+            Criterion::Output(17),
+            Criterion::CellLastDef(Cell::new(0, 0)),
+            Criterion::CellLastDef(Cell::new(9, 1234)),
+        ] {
+            assert_eq!(parse_criterion(&format_criterion(&c)).unwrap(), c);
+        }
+    }
+
+    #[test]
+    fn rejects_negative_positions() {
+        assert!(parse_cell("-1:4").is_err());
+        assert!(parse_cell("1:-4").is_err());
+        assert!(parse_output_index("-2").is_err());
+        assert!(parse_criterion("out:-2").is_err());
+        assert!(parse_criterion("cell:-1:0").is_err());
+    }
+
+    #[test]
+    fn rejects_missing_components() {
+        assert!(parse_cell("7").is_err(), "no separator");
+        assert!(parse_cell(":4").is_err(), "missing instance");
+        assert!(parse_cell("7:").is_err(), "missing offset");
+        assert!(parse_criterion("out:").is_err());
+        assert!(parse_criterion("cell:").is_err());
+        assert!(parse_criterion("").is_err());
+        assert!(parse_criterion("cell").is_err(), "prefix without value");
+    }
+
+    #[test]
+    fn rejects_trailing_junk_and_whitespace() {
+        assert!(parse_cell("3:4x").is_err());
+        assert!(parse_cell("3:4 ").is_err());
+        assert!(parse_cell(" 3:4").is_err());
+        assert!(parse_output_index("2junk").is_err());
+        assert!(parse_criterion("out:2 extra").is_err());
+        assert!(parse_criterion("cell:1:2:3").is_err(), "extra component");
+        assert!(parse_criterion("slice:1").is_err(), "unknown prefix");
+    }
+}

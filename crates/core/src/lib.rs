@@ -22,10 +22,16 @@
 //! ).map_err(|e| e.to_string())?;
 //! let trace = session.run(vec![21]);
 //! let opt = session.opt(&trace, &OptConfig::default());
-//! let slice = opt.slice(Criterion::Output(0)).expect("print executed");
+//! use dynslice::Slicer as _;
+//! let slice = opt.slice(&Criterion::Output(0)).expect("print executed");
 //! assert!(slice.len() >= 3); // input, multiply, print
 //! # Ok::<(), String>(())
 //! ```
+
+pub mod client;
+pub mod criteria;
+pub mod protocol;
+pub mod server;
 
 pub use dynslice_analysis::{self as analysis, ProgramAnalysis};
 pub use dynslice_graph::{
@@ -41,13 +47,16 @@ pub use dynslice_sequitur as sequitur;
 pub use dynslice_graph::TraversalStats;
 pub use dynslice_slicing::{
     self as slicing, slice_batch, BatchConfig, BatchResult, BatchSliceEngine, BatchStats,
-    Criterion, ForwardSlicer, FpSlicer, LpSlicer, LpStats, OptSlicer, Slice, SliceBackend,
-    WorkerStats,
+    Criterion, ForwardSlicer, FpSlicer, LpSlicer, LpStats, OptSlicer, Slice, SliceError,
+    SliceStats, Slicer, WorkerStats,
 };
 pub use dynslice_workloads::{self as workloads, Workload};
 
+pub use client::SliceClient;
+pub use server::{serve, ServeConfig, ServeSummary, Transport};
+
 use std::io;
-use std::path::Path;
+use std::path::{Path, PathBuf};
 
 /// A compiled program plus its static analyses: the entry point for
 /// everything downstream.
@@ -86,8 +95,9 @@ impl Session {
         dynslice_runtime::run(&self.program, options)
     }
 
-    /// Builds the FP (full-graph) slicer from a trace.
-    pub fn fp(&self, trace: &Trace) -> FpSlicer {
+    /// Builds the FP (full-graph) slicer from a trace. The slicer borrows
+    /// the session's program, so queries need only a [`Criterion`].
+    pub fn fp(&self, trace: &Trace) -> FpSlicer<'_> {
         FpSlicer::build(&self.program, &self.analysis, &trace.events)
     }
 
@@ -128,6 +138,214 @@ impl Session {
         let graph = build_compact(&self.program, &self.analysis, &trace.events, config);
         PagedGraph::spill(graph, path, resident_blocks)
     }
+
+    /// Builds the backend `algo` names behind the unified [`Slicer`]
+    /// surface, timing the build under the appropriate [`phases`] entry.
+    /// This is the one construction path shared by `dynslice slice`,
+    /// `dynslice serve`, and library consumers that select the algorithm
+    /// at runtime.
+    ///
+    /// # Errors
+    /// Propagates I/O errors from the disk-backed builds (LP record
+    /// stream, paged spill file).
+    pub fn build_slicer(
+        &self,
+        algo: Algo,
+        trace: &Trace,
+        config: &SlicerConfig,
+        reg: &Registry,
+    ) -> io::Result<AnySlicer<'_>> {
+        Ok(match algo {
+            Algo::Fp => AnySlicer::Fp(reg.time_phase(phases::GRAPH_BUILD, || self.fp(trace))),
+            Algo::Opt => {
+                let mut opt =
+                    reg.time_phase(phases::GRAPH_BUILD, || self.opt(trace, &config.opt));
+                opt.shortcuts = config.shortcuts;
+                AnySlicer::Opt(opt)
+            }
+            Algo::Forward => {
+                AnySlicer::Forward(reg.time_phase(phases::GRAPH_BUILD, || self.forward(trace)))
+            }
+            Algo::Lp => {
+                std::fs::create_dir_all(&config.scratch_dir)?;
+                let path = config.scratch_dir.join(format!("records-{}.bin", std::process::id()));
+                let lp = reg.time_phase(phases::RECORD_PREPROCESS, || self.lp(trace, path))?;
+                AnySlicer::Lp(match config.lp_max_passes {
+                    Some(n) => lp.with_max_passes(n),
+                    None => lp,
+                })
+            }
+            Algo::Paged => {
+                std::fs::create_dir_all(&config.scratch_dir)?;
+                let path = config.scratch_dir.join(format!("spill-{}.pg", std::process::id()));
+                AnySlicer::Paged(reg.time_phase(phases::RECORD_PREPROCESS, || {
+                    self.paged(trace, &config.opt, path, config.resident_blocks)
+                })?)
+            }
+        })
+    }
+}
+
+/// Algorithm selector for [`Session::build_slicer`]: the paper's three
+/// backward algorithms, the forward baseline, and the §4.2 paged hybrid.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Algo {
+    /// Full-graph slicing.
+    Fp,
+    /// Compacted-graph slicing (the paper's contribution).
+    Opt,
+    /// Demand-driven slicing over the on-disk record stream.
+    Lp,
+    /// Forward precomputation.
+    Forward,
+    /// OPT with labels demand-paged from disk.
+    Paged,
+}
+
+impl Algo {
+    /// The label [`Slicer::name`] reports for this algorithm.
+    pub fn name(self) -> &'static str {
+        match self {
+            Algo::Fp => "fp",
+            Algo::Opt => "opt",
+            Algo::Lp => "lp",
+            Algo::Forward => "forward",
+            Algo::Paged => "paged",
+        }
+    }
+}
+
+impl std::str::FromStr for Algo {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "fp" => Ok(Algo::Fp),
+            "opt" => Ok(Algo::Opt),
+            "lp" => Ok(Algo::Lp),
+            "forward" => Ok(Algo::Forward),
+            "paged" => Ok(Algo::Paged),
+            other => Err(format!("unknown algorithm `{other}` (fp|opt|lp|forward|paged)")),
+        }
+    }
+}
+
+/// Knobs for [`Session::build_slicer`], covering every backend; the ones
+/// an algorithm does not use are ignored.
+#[derive(Clone, Debug)]
+pub struct SlicerConfig {
+    /// OPT graph-build configuration (also the paged hybrid's base graph).
+    pub opt: OptConfig,
+    /// Whether OPT queries traverse shortcut edges.
+    pub shortcuts: bool,
+    /// Directory for LP record streams and paged spill files.
+    pub scratch_dir: PathBuf,
+    /// Resident block budget for the paged hybrid.
+    pub resident_blocks: usize,
+    /// LP pass-budget override ([`dynslice_slicing::DEFAULT_MAX_PASSES`]
+    /// when `None`).
+    pub lp_max_passes: Option<u32>,
+}
+
+impl Default for SlicerConfig {
+    fn default() -> Self {
+        SlicerConfig {
+            opt: OptConfig::default(),
+            shortcuts: true,
+            scratch_dir: std::env::temp_dir().join("dynslice-scratch"),
+            resident_blocks: 8,
+            lp_max_passes: None,
+        }
+    }
+}
+
+/// The runtime-selected [`Slicer`]: one enum over every backend, so the
+/// CLI and the slice server hold "whatever `--algo` named" as a single
+/// value and stay generic-free. Library code with a statically known
+/// algorithm should use the concrete types directly.
+#[derive(Debug)]
+pub enum AnySlicer<'s> {
+    /// Full-graph slicer.
+    Fp(FpSlicer<'s>),
+    /// Compacted-graph slicer.
+    Opt(OptSlicer),
+    /// Demand-driven on-disk slicer.
+    Lp(LpSlicer<'s>),
+    /// Forward-computation slicer.
+    Forward(ForwardSlicer),
+    /// Demand-paged hybrid.
+    Paged(PagedGraph),
+}
+
+impl AnySlicer<'_> {
+    /// The compacted graph, when this backend has one (OPT and paged) —
+    /// criterion enumeration (`last_def`, `outputs`) lives there.
+    pub fn compact_graph(&self) -> Option<&CompactGraph> {
+        match self {
+            AnySlicer::Opt(o) => Some(o.graph()),
+            AnySlicer::Paged(p) => Some(p.graph()),
+            _ => None,
+        }
+    }
+
+    /// Registers the build-time cost counters of the underlying
+    /// representation (graph sizes, record-file layout, …) under its
+    /// component prefix — the same keys the per-algorithm CLI paths have
+    /// always emitted.
+    pub fn record_build_metrics(&self, reg: &Registry) {
+        match self {
+            AnySlicer::Fp(fp) => fp.graph().size().record_metrics(reg),
+            AnySlicer::Opt(o) => {
+                o.graph().size(o.shortcuts).record_metrics(reg);
+                o.graph().stats.record_metrics(reg);
+            }
+            AnySlicer::Lp(lp) => {
+                reg.counter_set("lp.chunks", lp.file().chunks.len() as u64);
+                reg.gauge_set("lp.index_bytes", lp.file().index_bytes() as f64);
+                reg.gauge_set("lp.data_bytes", lp.file().data_bytes() as f64);
+            }
+            AnySlicer::Forward(f) => {
+                reg.counter_set("forward.unions", f.unions);
+                reg.counter_set("forward.distinct_sets", f.distinct_sets as u64);
+                reg.gauge_set("forward.resident_bytes", f.resident_bytes() as f64);
+            }
+            AnySlicer::Paged(p) => {
+                reg.gauge_set("paged.spilled_bytes", p.spilled_bytes() as f64);
+                reg.gauge_set("paged.resident_bytes", p.resident_bytes() as f64);
+            }
+        }
+    }
+
+    /// Registers counters that accumulate *during* queries but live on the
+    /// backend rather than in per-query [`SliceStats`] (the paged block
+    /// cache's atomics). Call after the last query, before the report.
+    pub fn record_query_metrics(&self, reg: &Registry) {
+        if let AnySlicer::Paged(p) = self {
+            p.record_metrics(reg);
+        }
+    }
+}
+
+impl Slicer for AnySlicer<'_> {
+    fn name(&self) -> &'static str {
+        match self {
+            AnySlicer::Fp(s) => s.name(),
+            AnySlicer::Opt(s) => s.name(),
+            AnySlicer::Lp(s) => s.name(),
+            AnySlicer::Forward(s) => s.name(),
+            AnySlicer::Paged(s) => Slicer::name(s),
+        }
+    }
+
+    fn slice_with_stats(&self, criterion: &Criterion) -> Result<(Slice, SliceStats), SliceError> {
+        match self {
+            AnySlicer::Fp(s) => s.slice_with_stats(criterion),
+            AnySlicer::Opt(s) => s.slice_with_stats(criterion),
+            AnySlicer::Lp(s) => s.slice_with_stats(criterion),
+            AnySlicer::Forward(s) => s.slice_with_stats(criterion),
+            AnySlicer::Paged(s) => Slicer::slice_with_stats(s, criterion),
+        }
+    }
 }
 
 /// Picks up to `n` slice criteria: distinct memory cells defined during the
@@ -167,12 +385,16 @@ mod tests {
         std::fs::create_dir_all(&dir).unwrap();
         let lp = s.lp(&t, dir.join("t.bin")).unwrap();
         let c = Criterion::Output(0);
-        let a = fp.slice(&s.program, c).unwrap();
-        let b = opt.slice(c).unwrap();
-        let (l, stats) = lp.slice(c).unwrap().unwrap();
+        let a = fp.slice(&c).unwrap();
+        let b = opt.slice(&c).unwrap();
+        let (l, stats) = lp.slice_detailed(c).unwrap().unwrap();
         assert_eq!(a.stmts, b.stmts);
         assert_eq!(a.stmts, l.stmts);
         assert!(stats.records_scanned > 0);
+        assert!(matches!(
+            fp.slice(&Criterion::Output(7)),
+            Err(SliceError::UnknownCriterion)
+        ));
     }
 
     #[test]

@@ -1,0 +1,385 @@
+//! The slice service's wire protocol: newline-delimited JSON.
+//!
+//! One request per line in, one response per line out, over stdin/stdout
+//! or a Unix socket (`dynslice serve`). Responses carry the request's `id`
+//! so clients may pipeline: the server answers out of order when a slow
+//! query overlaps a fast one.
+//!
+//! Requests:
+//!
+//! ```text
+//! {"id":1,"criterion":"out:0"}
+//! {"id":2,"criterion":"cell:0:4","delay_ms":500}
+//! {"id":3,"op":"shutdown"}
+//! ```
+//!
+//! `op` defaults to `"slice"`. `delay_ms` artificially delays the worker
+//! before it answers — a deterministic stand-in for an expensive query in
+//! timeout tests and latency experiments. `shutdown` asks the server to
+//! stop accepting requests, drain in-flight work, and exit (the protocol
+//! twin of EOF/SIGTERM).
+//!
+//! Responses:
+//!
+//! ```text
+//! {"id":1,"ok":true,"algo":"opt","len":3,"stmts":[0,2,5],"cached":false,"micros":180}
+//! {"id":2,"ok":false,"error":"timeout","message":"deadline exceeded after 100ms"}
+//! {"id":3,"ok":true,"shutdown":true}
+//! ```
+//!
+//! Serialization reuses the observability layer's JSON model
+//! ([`dynslice_obs::json`]) in its compact one-line form; the parser is
+//! the same strict one that validates run reports.
+
+use std::collections::BTreeMap;
+
+use dynslice_obs::json::{self, Value};
+use dynslice_slicing::Criterion;
+
+use crate::criteria::format_criterion;
+
+/// What a request asks the server to do.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Op {
+    /// Answer a slice query.
+    Slice,
+    /// Stop accepting requests, drain, and exit.
+    Shutdown,
+}
+
+/// One parsed request line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed in the response.
+    pub id: u64,
+    /// The operation (`slice` unless stated).
+    pub op: Op,
+    /// The criterion string (`out:K` / `cell:INST:OFF`); required for
+    /// [`Op::Slice`].
+    pub criterion: Option<String>,
+    /// Artificial pre-answer delay in milliseconds (testing/latency aid).
+    pub delay_ms: u64,
+}
+
+impl Request {
+    /// A slice request for `criterion` (client-side constructor).
+    pub fn slice(id: u64, criterion: &Criterion) -> Self {
+        Request { id, op: Op::Slice, criterion: Some(format_criterion(criterion)), delay_ms: 0 }
+    }
+
+    /// A shutdown request (client-side constructor).
+    pub fn shutdown(id: u64) -> Self {
+        Request { id, op: Op::Shutdown, criterion: None, delay_ms: 0 }
+    }
+
+    /// Serializes to one protocol line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut obj = BTreeMap::new();
+        obj.insert("id".into(), Value::Num(self.id as f64));
+        match self.op {
+            Op::Slice => {
+                if let Some(c) = &self.criterion {
+                    obj.insert("criterion".into(), Value::Str(c.clone()));
+                }
+                if self.delay_ms > 0 {
+                    obj.insert("delay_ms".into(), Value::Num(self.delay_ms as f64));
+                }
+            }
+            Op::Shutdown => {
+                obj.insert("op".into(), Value::Str("shutdown".into()));
+            }
+        }
+        Value::Obj(obj).to_json_compact()
+    }
+
+    /// Parses one request line.
+    ///
+    /// # Errors
+    /// Malformed JSON, wrong field types, unknown `op`, or a `slice`
+    /// request without a `criterion`.
+    pub fn parse(line: &str) -> Result<Self, String> {
+        let root = json::parse(line)?;
+        let obj = root.as_obj().ok_or("request must be a JSON object")?;
+        let id = match obj.get("id") {
+            None => 0,
+            Some(v) => v.as_u64().ok_or("`id` must be an unsigned integer")?,
+        };
+        let op = match obj.get("op") {
+            None => Op::Slice,
+            Some(v) => match v.as_str() {
+                Some("slice") => Op::Slice,
+                Some("shutdown") => Op::Shutdown,
+                Some(other) => return Err(format!("unknown op `{other}`")),
+                None => return Err("`op` must be a string".into()),
+            },
+        };
+        let criterion = match obj.get("criterion") {
+            None => None,
+            Some(v) => Some(v.as_str().ok_or("`criterion` must be a string")?.to_string()),
+        };
+        if op == Op::Slice && criterion.is_none() {
+            return Err("slice request needs a `criterion`".into());
+        }
+        let delay_ms = match obj.get("delay_ms") {
+            None => 0,
+            Some(v) => v.as_u64().ok_or("`delay_ms` must be an unsigned integer")?,
+        };
+        Ok(Request { id, op, criterion, delay_ms })
+    }
+}
+
+/// Machine-readable failure category in an error response.
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// The request line did not parse, or the criterion was malformed.
+    BadRequest,
+    /// The criterion never executed ([`dynslice_slicing::SliceError::UnknownCriterion`]).
+    UnknownCriterion,
+    /// The slice was cut off by the backend's pass budget
+    /// ([`dynslice_slicing::SliceError::Truncated`]).
+    Truncated,
+    /// The per-request deadline expired before an answer was ready.
+    Timeout,
+    /// The bounded request queue was full (backpressure) or the server was
+    /// shutting down.
+    Rejected,
+    /// The backend hit an I/O error.
+    Io,
+}
+
+impl ErrorKind {
+    /// The protocol tag (`error` field value).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorKind::BadRequest => "bad_request",
+            ErrorKind::UnknownCriterion => "unknown_criterion",
+            ErrorKind::Truncated => "truncated",
+            ErrorKind::Timeout => "timeout",
+            ErrorKind::Rejected => "rejected",
+            ErrorKind::Io => "io",
+        }
+    }
+}
+
+impl std::str::FromStr for ErrorKind {
+    type Err = String;
+
+    /// Parses a protocol tag; unknown tags are reported verbatim.
+    fn from_str(s: &str) -> Result<Self, String> {
+        Ok(match s {
+            "bad_request" => ErrorKind::BadRequest,
+            "unknown_criterion" => ErrorKind::UnknownCriterion,
+            "truncated" => ErrorKind::Truncated,
+            "timeout" => ErrorKind::Timeout,
+            "rejected" => ErrorKind::Rejected,
+            "io" => ErrorKind::Io,
+            other => return Err(format!("unknown error kind `{other}`")),
+        })
+    }
+}
+
+/// The payload of one response line.
+#[derive(Clone, Debug, PartialEq)]
+pub enum ResponseBody {
+    /// A successful slice answer.
+    Slice {
+        /// The serving algorithm ([`dynslice_slicing::Slicer::name`]).
+        algo: String,
+        /// Statement ids in the slice, ascending.
+        stmts: Vec<u32>,
+        /// Whether the answer came from the server's result cache.
+        cached: bool,
+        /// Service time in microseconds (queue wait excluded).
+        micros: u64,
+    },
+    /// Acknowledgement of a `shutdown` request.
+    ShutdownAck,
+    /// A failed request; the request is the only casualty — the session
+    /// keeps serving.
+    Error {
+        /// Failure category.
+        kind: ErrorKind,
+        /// Human-readable detail.
+        message: String,
+    },
+}
+
+/// One response line.
+#[derive(Clone, Debug, PartialEq)]
+pub struct Response {
+    /// The request's correlation id (0 when the request line was too
+    /// malformed to carry one).
+    pub id: u64,
+    /// Outcome.
+    pub body: ResponseBody,
+}
+
+impl Response {
+    /// Whether this is a success response.
+    pub fn is_ok(&self) -> bool {
+        !matches!(self.body, ResponseBody::Error { .. })
+    }
+
+    /// Serializes to one protocol line (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let mut obj = BTreeMap::new();
+        obj.insert("id".into(), Value::Num(self.id as f64));
+        match &self.body {
+            ResponseBody::Slice { algo, stmts, cached, micros } => {
+                obj.insert("ok".into(), Value::Bool(true));
+                obj.insert("algo".into(), Value::Str(algo.clone()));
+                obj.insert("len".into(), Value::Num(stmts.len() as f64));
+                obj.insert(
+                    "stmts".into(),
+                    Value::Arr(stmts.iter().map(|s| Value::Num(*s as f64)).collect()),
+                );
+                obj.insert("cached".into(), Value::Bool(*cached));
+                obj.insert("micros".into(), Value::Num(*micros as f64));
+            }
+            ResponseBody::ShutdownAck => {
+                obj.insert("ok".into(), Value::Bool(true));
+                obj.insert("shutdown".into(), Value::Bool(true));
+            }
+            ResponseBody::Error { kind, message } => {
+                obj.insert("ok".into(), Value::Bool(false));
+                obj.insert("error".into(), Value::Str(kind.as_str().into()));
+                obj.insert("message".into(), Value::Str(message.clone()));
+            }
+        }
+        Value::Obj(obj).to_json_compact()
+    }
+
+    /// Parses one response line.
+    ///
+    /// # Errors
+    /// Malformed JSON or schema violations.
+    pub fn parse(line: &str) -> Result<Self, String> {
+        let root = json::parse(line)?;
+        let obj = root.as_obj().ok_or("response must be a JSON object")?;
+        let id = obj
+            .get("id")
+            .ok_or("missing `id`")?
+            .as_u64()
+            .ok_or("`id` must be an unsigned integer")?;
+        let ok = match obj.get("ok").ok_or("missing `ok`")? {
+            Value::Bool(b) => *b,
+            _ => return Err("`ok` must be a boolean".into()),
+        };
+        let body = if !ok {
+            let kind: ErrorKind = obj
+                .get("error")
+                .and_then(Value::as_str)
+                .ok_or("error response needs `error`")?
+                .parse()?;
+            let message =
+                obj.get("message").and_then(Value::as_str).unwrap_or_default().to_string();
+            ResponseBody::Error { kind, message }
+        } else if matches!(obj.get("shutdown"), Some(Value::Bool(true))) {
+            ResponseBody::ShutdownAck
+        } else {
+            let algo =
+                obj.get("algo").and_then(Value::as_str).ok_or("slice response needs `algo`")?;
+            let stmts = match obj.get("stmts").ok_or("slice response needs `stmts`")? {
+                Value::Arr(items) => items
+                    .iter()
+                    .map(|v| {
+                        v.as_u64()
+                            .and_then(|n| u32::try_from(n).ok())
+                            .ok_or("`stmts` entries must be u32")
+                    })
+                    .collect::<Result<Vec<u32>, _>>()?,
+                _ => return Err("`stmts` must be an array".into()),
+            };
+            if let Some(len) = obj.get("len") {
+                if len.as_u64() != Some(stmts.len() as u64) {
+                    return Err("`len` disagrees with `stmts`".into());
+                }
+            }
+            let cached = matches!(obj.get("cached"), Some(Value::Bool(true)));
+            let micros = obj.get("micros").and_then(Value::as_u64).unwrap_or(0);
+            ResponseBody::Slice { algo: algo.to_string(), stmts, cached, micros }
+        };
+        Ok(Response { id, body })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use dynslice_runtime::Cell;
+
+    #[test]
+    fn requests_round_trip() {
+        let reqs = [
+            Request::slice(1, &Criterion::Output(0)),
+            Request::slice(2, &Criterion::CellLastDef(Cell::new(3, 4))),
+            Request { delay_ms: 250, ..Request::slice(3, &Criterion::Output(1)) },
+            Request::shutdown(9),
+        ];
+        for r in reqs {
+            let line = r.to_json();
+            assert!(!line.contains('\n'), "{line}");
+            assert_eq!(Request::parse(&line).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn request_defaults_and_validation() {
+        let r = Request::parse(r#"{"criterion":"out:0"}"#).unwrap();
+        assert_eq!(r.id, 0);
+        assert_eq!(r.op, Op::Slice);
+        assert!(Request::parse(r#"{"id":1}"#).is_err(), "slice without criterion");
+        assert!(Request::parse(r#"{"id":1,"op":"reboot"}"#).is_err(), "unknown op");
+        assert!(Request::parse("not json").is_err());
+        assert!(Request::parse(r#"{"id":-1,"criterion":"out:0"}"#).is_err(), "negative id");
+    }
+
+    #[test]
+    fn responses_round_trip() {
+        let rs = [
+            Response {
+                id: 1,
+                body: ResponseBody::Slice {
+                    algo: "opt".into(),
+                    stmts: vec![0, 2, 5],
+                    cached: true,
+                    micros: 42,
+                },
+            },
+            Response { id: 2, body: ResponseBody::ShutdownAck },
+            Response {
+                id: 3,
+                body: ResponseBody::Error {
+                    kind: ErrorKind::Timeout,
+                    message: "deadline exceeded".into(),
+                },
+            },
+        ];
+        for r in rs {
+            let line = r.to_json();
+            assert!(!line.contains('\n'), "{line}");
+            assert_eq!(Response::parse(&line).unwrap(), r);
+        }
+    }
+
+    #[test]
+    fn response_len_is_validated() {
+        let line = r#"{"algo":"opt","id":1,"len":9,"ok":true,"stmts":[1]}"#;
+        assert!(Response::parse(line).is_err());
+    }
+
+    #[test]
+    fn every_error_kind_has_a_stable_tag() {
+        for kind in [
+            ErrorKind::BadRequest,
+            ErrorKind::UnknownCriterion,
+            ErrorKind::Truncated,
+            ErrorKind::Timeout,
+            ErrorKind::Rejected,
+            ErrorKind::Io,
+        ] {
+            assert_eq!(kind.as_str().parse::<ErrorKind>().unwrap(), kind);
+        }
+        assert!("warp_failure".parse::<ErrorKind>().is_err());
+    }
+}

@@ -1,0 +1,610 @@
+//! The persistent slice service behind `dynslice serve`.
+//!
+//! A one-shot `dynslice slice` run pays the dominant cost of dynamic
+//! slicing — trace capture and dependence-graph construction — for every
+//! single query. The service inverts that: the backend is built **once**
+//! and then answers an open-ended stream of slice requests over the
+//! newline-delimited JSON protocol of [`crate::protocol`], amortizing the
+//! build the same way the batch engine does but across an interactive
+//! session instead of a fixed query list.
+//!
+//! Architecture:
+//!
+//! * **Readers** (detached threads) parse request lines from stdin or from
+//!   accepted Unix-socket connections and push jobs onto a **bounded
+//!   queue**. A full queue rejects the request immediately (`rejected`
+//!   error) — backpressure is explicit, never an unbounded buffer.
+//! * **Workers** (scoped threads, so they can borrow the slicer) pop jobs,
+//!   consult a per-criterion LRU cache, run [`Slicer::slice_with_stats`],
+//!   and write the response to the connection the request came from.
+//!   Responses may be written out of order; the `id` field correlates.
+//! * **Deadlines**: with `--timeout-ms`, each request gets a deadline
+//!   stamped at enqueue time. The deadline is checked when the job is
+//!   dequeued, during any artificial `delay_ms`, and after the slice is
+//!   computed; an expired request answers `timeout` instead of a slice.
+//! * **Errors are isolated per request**: a malformed line, unknown
+//!   criterion, truncated LP slice, or I/O failure fails that request
+//!   only — the session keeps serving.
+//! * **Shutdown** is graceful on stdin EOF, SIGTERM, or a protocol
+//!   `{"op":"shutdown"}`: the queue closes, already-accepted jobs drain,
+//!   and the caller gets a [`ServeSummary`] to fold into the final
+//!   metrics report.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::io::{self, BufRead, BufReader, Write};
+use std::os::unix::net::UnixListener;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread;
+use std::time::{Duration, Instant};
+
+use dynslice_obs::{phases, Registry};
+use dynslice_slicing::{Criterion, SliceError, Slicer};
+
+use crate::criteria::parse_criterion;
+use crate::protocol::{ErrorKind, Op, Request, Response, ResponseBody};
+
+/// How the server talks to its clients.
+pub enum Transport {
+    /// Requests on stdin, responses on stdout; the session ends at EOF.
+    Stdio,
+    /// A Unix domain socket accepting any number of concurrent
+    /// connections; the session ends only on SIGTERM or a `shutdown`
+    /// request. The socket file is removed when the server exits.
+    Unix(UnixListener, PathBuf),
+}
+
+impl Transport {
+    /// Binds a Unix-socket transport at `path`, replacing a stale socket
+    /// file from a previous run.
+    ///
+    /// # Errors
+    /// Propagates bind failures.
+    pub fn unix(path: PathBuf) -> io::Result<Self> {
+        let _ = std::fs::remove_file(&path);
+        let listener = UnixListener::bind(&path)?;
+        Ok(Transport::Unix(listener, path))
+    }
+}
+
+/// Tunables for one serve session.
+#[derive(Clone, Debug)]
+pub struct ServeConfig {
+    /// Worker threads answering queries concurrently.
+    pub workers: usize,
+    /// Per-request deadline, measured from enqueue; `None` disables.
+    pub timeout: Option<Duration>,
+    /// Bounded queue depth; a full queue rejects new requests.
+    pub queue_depth: usize,
+    /// LRU slice-cache capacity in entries; `0` disables caching.
+    pub cache_capacity: usize,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig { workers: 4, timeout: None, queue_depth: 64, cache_capacity: 128 }
+    }
+}
+
+/// What happened over one serve session.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ServeSummary {
+    /// Request lines received (including malformed ones).
+    pub received: u64,
+    /// Successful slice responses.
+    pub ok: u64,
+    /// Slice answers served from the LRU cache.
+    pub cache_hits: u64,
+    /// Requests that missed their deadline.
+    pub timeouts: u64,
+    /// Requests bounced off the full (or closing) queue.
+    pub rejected: u64,
+    /// Lines that failed to parse or carried a malformed criterion.
+    pub bad_requests: u64,
+    /// Slice queries that failed in the backend (unknown criterion,
+    /// truncation, I/O).
+    pub failed: u64,
+    /// Socket connections accepted (0 for stdio).
+    pub connections: u64,
+    /// Most jobs ever being answered at once.
+    pub in_flight_peak: u64,
+    /// Deepest the request queue ever got.
+    pub queue_peak: u64,
+}
+
+impl ServeSummary {
+    /// Emits the session's `server.*` counters and gauges into `reg`.
+    pub fn record_metrics(&self, reg: &Registry) {
+        reg.counter_add("server.requests", self.received);
+        reg.counter_add("server.responses_ok", self.ok);
+        reg.counter_add("server.cache_hits", self.cache_hits);
+        reg.counter_add("server.timeouts", self.timeouts);
+        reg.counter_add("server.rejected", self.rejected);
+        reg.counter_add("server.bad_requests", self.bad_requests);
+        reg.counter_add("server.failed", self.failed);
+        reg.counter_add("server.connections", self.connections);
+        reg.gauge_set("server.in_flight_peak", self.in_flight_peak as f64);
+        reg.gauge_set("server.queue_peak", self.queue_peak as f64);
+    }
+}
+
+/// A response sink shared by every job from one connection.
+struct Sink {
+    out: Mutex<Box<dyn Write + Send>>,
+}
+
+impl Sink {
+    fn new(out: Box<dyn Write + Send>) -> Arc<Self> {
+        Arc::new(Sink { out: Mutex::new(out) })
+    }
+
+    /// Writes one response line. A dead connection is not an error — the
+    /// client hung up, and its remaining responses go nowhere.
+    fn send(&self, response: &Response) {
+        let mut out = self.out.lock().unwrap();
+        let _ = writeln!(out, "{}", response.to_json());
+        let _ = out.flush();
+    }
+}
+
+/// One unit of work: an accepted slice request bound to its reply sink.
+struct Job {
+    id: u64,
+    criterion: Criterion,
+    delay_ms: u64,
+    deadline: Option<Instant>,
+    sink: Arc<Sink>,
+}
+
+#[derive(Default)]
+struct QueueInner {
+    jobs: VecDeque<Job>,
+    closed: bool,
+}
+
+/// Bounded MPMC job queue; `push` rejects instead of blocking.
+struct Queue {
+    inner: Mutex<QueueInner>,
+    available: Condvar,
+    depth: usize,
+}
+
+impl Queue {
+    fn new(depth: usize) -> Self {
+        Queue { inner: Mutex::new(QueueInner::default()), available: Condvar::new(), depth: depth.max(1) }
+    }
+
+    /// Enqueues `job`, or hands it back if the queue is full or closed.
+    fn push(&self, job: Job, peak: &AtomicU64) -> Result<(), Job> {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.closed || inner.jobs.len() >= self.depth {
+            return Err(job);
+        }
+        inner.jobs.push_back(job);
+        peak.fetch_max(inner.jobs.len() as u64, Ordering::Relaxed);
+        drop(inner);
+        self.available.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next job; `None` once the queue is closed **and**
+    /// drained, so accepted work still completes during shutdown.
+    fn pop(&self) -> Option<Job> {
+        let mut inner = self.inner.lock().unwrap();
+        loop {
+            if let Some(job) = inner.jobs.pop_front() {
+                return Some(job);
+            }
+            if inner.closed {
+                return None;
+            }
+            inner = self.available.wait(inner).unwrap();
+        }
+    }
+
+    fn close(&self) {
+        self.inner.lock().unwrap().closed = true;
+        self.available.notify_all();
+    }
+}
+
+/// Least-recently-used slice cache keyed by criterion.
+struct LruCache {
+    capacity: usize,
+    seq: u64,
+    map: HashMap<Criterion, (u64, Arc<Vec<u32>>)>,
+    order: BTreeMap<u64, Criterion>,
+}
+
+impl LruCache {
+    fn new(capacity: usize) -> Self {
+        LruCache { capacity, seq: 0, map: HashMap::new(), order: BTreeMap::new() }
+    }
+
+    fn get(&mut self, criterion: &Criterion) -> Option<Arc<Vec<u32>>> {
+        let (seq, stmts) = self.map.get_mut(criterion)?;
+        let stale = *seq;
+        self.seq += 1;
+        *seq = self.seq;
+        let stmts = Arc::clone(stmts);
+        self.order.remove(&stale);
+        self.order.insert(self.seq, *criterion);
+        Some(stmts)
+    }
+
+    fn insert(&mut self, criterion: Criterion, stmts: Arc<Vec<u32>>) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some((stale, _)) = self.map.remove(&criterion) {
+            self.order.remove(&stale);
+        }
+        while self.map.len() >= self.capacity {
+            let Some((_, evicted)) = self.order.pop_first() else { break };
+            self.map.remove(&evicted);
+        }
+        self.seq += 1;
+        self.map.insert(criterion, (self.seq, stmts));
+        self.order.insert(self.seq, criterion);
+    }
+}
+
+/// State shared between readers, workers, and the supervisor.
+struct Shared {
+    queue: Queue,
+    cache: Mutex<LruCache>,
+    timeout: Option<Duration>,
+    shutdown: AtomicBool,
+    readers_active: AtomicU64,
+    received: AtomicU64,
+    ok: AtomicU64,
+    cache_hits: AtomicU64,
+    timeouts: AtomicU64,
+    rejected: AtomicU64,
+    bad_requests: AtomicU64,
+    failed: AtomicU64,
+    connections: AtomicU64,
+    in_flight: AtomicU64,
+    in_flight_peak: AtomicU64,
+    queue_peak: AtomicU64,
+}
+
+impl Shared {
+    fn new(config: &ServeConfig) -> Self {
+        Shared {
+            queue: Queue::new(config.queue_depth),
+            cache: Mutex::new(LruCache::new(config.cache_capacity)),
+            timeout: config.timeout,
+            shutdown: AtomicBool::new(false),
+            readers_active: AtomicU64::new(0),
+            received: AtomicU64::new(0),
+            ok: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            timeouts: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+            bad_requests: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            connections: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            in_flight_peak: AtomicU64::new(0),
+            queue_peak: AtomicU64::new(0),
+        }
+    }
+
+    fn error(&self, id: u64, kind: ErrorKind, message: impl Into<String>) -> Response {
+        match kind {
+            ErrorKind::Timeout => self.timeouts.fetch_add(1, Ordering::Relaxed),
+            ErrorKind::Rejected => self.rejected.fetch_add(1, Ordering::Relaxed),
+            ErrorKind::BadRequest => self.bad_requests.fetch_add(1, Ordering::Relaxed),
+            _ => self.failed.fetch_add(1, Ordering::Relaxed),
+        };
+        Response { id, body: ResponseBody::Error { kind, message: message.into() } }
+    }
+
+    fn summary(&self) -> ServeSummary {
+        ServeSummary {
+            received: self.received.load(Ordering::Relaxed),
+            ok: self.ok.load(Ordering::Relaxed),
+            cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            timeouts: self.timeouts.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+            bad_requests: self.bad_requests.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            connections: self.connections.load(Ordering::Relaxed),
+            in_flight_peak: self.in_flight_peak.load(Ordering::Relaxed),
+            queue_peak: self.queue_peak.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Set by the raw SIGTERM handler; polled by the supervisor loop.
+static SIGTERM_RECEIVED: AtomicBool = AtomicBool::new(false);
+
+extern "C" fn on_sigterm(_signum: i32) {
+    SIGTERM_RECEIVED.store(true, Ordering::SeqCst);
+}
+
+/// Installs the SIGTERM flag handler via the C library's `signal(2)`,
+/// avoiding a dependency on a bindings crate for one syscall.
+fn install_sigterm_handler() {
+    const SIGTERM: i32 = 15;
+    extern "C" {
+        fn signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+    }
+    unsafe {
+        signal(SIGTERM, on_sigterm);
+    }
+}
+
+/// Parses request lines from `input`, answering protocol errors inline and
+/// queueing well-formed slice jobs. Returns at EOF, on a read error, or
+/// once shutdown is underway.
+fn read_requests(input: impl BufRead, sink: &Arc<Sink>, shared: &Shared) {
+    for line in input.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        if shared.shutdown.load(Ordering::SeqCst) {
+            break;
+        }
+        shared.received.fetch_add(1, Ordering::Relaxed);
+        let request = match Request::parse(&line) {
+            Ok(r) => r,
+            Err(msg) => {
+                sink.send(&shared.error(0, ErrorKind::BadRequest, msg));
+                continue;
+            }
+        };
+        if request.op == Op::Shutdown {
+            sink.send(&Response { id: request.id, body: ResponseBody::ShutdownAck });
+            shared.shutdown.store(true, Ordering::SeqCst);
+            break;
+        }
+        let criterion = match parse_criterion(request.criterion.as_deref().unwrap_or_default()) {
+            Ok(c) => c,
+            Err(msg) => {
+                sink.send(&shared.error(request.id, ErrorKind::BadRequest, msg));
+                continue;
+            }
+        };
+        let job = Job {
+            id: request.id,
+            criterion,
+            delay_ms: request.delay_ms,
+            deadline: shared.timeout.map(|t| Instant::now() + t),
+            sink: Arc::clone(sink),
+        };
+        if let Err(job) = shared.queue.push(job, &shared.queue_peak) {
+            job.sink.send(&shared.error(job.id, ErrorKind::Rejected, "request queue full"));
+        }
+    }
+}
+
+/// Answers one job; `reg` receives the backend's per-query counters.
+fn answer<S: Slicer + ?Sized>(slicer: &S, job: &Job, shared: &Shared, reg: &Registry) -> Response {
+    let started = Instant::now();
+    let expired =
+        |deadline: Option<Instant>| deadline.is_some_and(|d| Instant::now() >= d);
+    if expired(job.deadline) {
+        return shared.error(job.id, ErrorKind::Timeout, "deadline exceeded before dispatch");
+    }
+    // Artificial stand-in for an expensive query (tests, latency drills):
+    // sleep in short ticks so an expired deadline is noticed promptly.
+    let mut remaining = Duration::from_millis(job.delay_ms);
+    while !remaining.is_zero() {
+        if expired(job.deadline) {
+            return shared.error(job.id, ErrorKind::Timeout, "deadline exceeded");
+        }
+        let tick = remaining.min(Duration::from_millis(5));
+        thread::sleep(tick);
+        remaining -= tick;
+    }
+    if let Some(stmts) = shared.cache.lock().unwrap().get(&job.criterion) {
+        shared.cache_hits.fetch_add(1, Ordering::Relaxed);
+        shared.ok.fetch_add(1, Ordering::Relaxed);
+        return Response {
+            id: job.id,
+            body: ResponseBody::Slice {
+                algo: slicer.name().to_string(),
+                stmts: (*stmts).clone(),
+                cached: true,
+                micros: started.elapsed().as_micros() as u64,
+            },
+        };
+    }
+    match slicer.slice_with_stats(&job.criterion) {
+        Ok((slice, stats)) => {
+            stats.record_metrics_for(slicer.name(), reg);
+            let stmts: Arc<Vec<u32>> = Arc::new(slice.stmts.iter().map(|s| s.0).collect());
+            shared.cache.lock().unwrap().insert(job.criterion, Arc::clone(&stmts));
+            if expired(job.deadline) {
+                return shared.error(job.id, ErrorKind::Timeout, "deadline exceeded");
+            }
+            shared.ok.fetch_add(1, Ordering::Relaxed);
+            Response {
+                id: job.id,
+                body: ResponseBody::Slice {
+                    algo: slicer.name().to_string(),
+                    stmts: (*stmts).clone(),
+                    cached: false,
+                    micros: started.elapsed().as_micros() as u64,
+                },
+            }
+        }
+        Err(SliceError::UnknownCriterion) => shared.error(
+            job.id,
+            ErrorKind::UnknownCriterion,
+            "criterion matches no executed statement",
+        ),
+        Err(SliceError::Truncated { partial }) => shared.error(
+            job.id,
+            ErrorKind::Truncated,
+            format!("slice truncated by pass budget ({} statements found)", partial.stmts.len()),
+        ),
+        Err(SliceError::Io(e)) => shared.error(job.id, ErrorKind::Io, e.to_string()),
+    }
+}
+
+fn worker_loop<S: Slicer + ?Sized>(slicer: &S, shared: &Shared, reg: &Registry) {
+    while let Some(job) = shared.queue.pop() {
+        let in_flight = shared.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
+        shared.in_flight_peak.fetch_max(in_flight, Ordering::Relaxed);
+        let response = answer(slicer, &job, shared, reg);
+        job.sink.send(&response);
+        shared.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Runs the slice service until its transport ends (stdin EOF), SIGTERM
+/// arrives, or a client sends `{"op":"shutdown"}`; accepted requests are
+/// drained before returning.
+///
+/// The session's wall time lands in the `serve` phase and the `server.*`
+/// counters in `reg`; the returned [`ServeSummary`] holds the same numbers
+/// for the caller's status line.
+///
+/// # Errors
+/// Infallible today (transport errors end the affected connection instead
+/// of the session); `io::Result` leaves room for bind-time failures.
+pub fn serve<S: Slicer + ?Sized>(
+    slicer: &S,
+    config: &ServeConfig,
+    transport: Transport,
+    reg: &Registry,
+) -> io::Result<ServeSummary> {
+    let start = Instant::now();
+    SIGTERM_RECEIVED.store(false, Ordering::SeqCst);
+    install_sigterm_handler();
+    let shared = Arc::new(Shared::new(config));
+    let socket_path = match &transport {
+        Transport::Unix(_, path) => Some(path.clone()),
+        Transport::Stdio => None,
+    };
+
+    thread::scope(|scope| {
+        for _ in 0..config.workers.max(1) {
+            let shared = &shared;
+            scope.spawn(move || worker_loop(slicer, shared, reg));
+        }
+
+        // Readers block on I/O that no signal reliably interrupts, so they
+        // run detached with `'static` state and are simply abandoned at
+        // process exit if a connection never closes.
+        shared.readers_active.fetch_add(1, Ordering::SeqCst);
+        match transport {
+            Transport::Stdio => {
+                let shared = Arc::clone(&shared);
+                let sink = Sink::new(Box::new(io::stdout()));
+                thread::spawn(move || {
+                    read_requests(io::stdin().lock(), &sink, &shared);
+                    shared.readers_active.fetch_sub(1, Ordering::SeqCst);
+                });
+            }
+            Transport::Unix(listener, _) => {
+                let shared = Arc::clone(&shared);
+                thread::spawn(move || {
+                    listener
+                        .set_nonblocking(true)
+                        .expect("set_nonblocking on unix listener");
+                    while !shared.shutdown.load(Ordering::SeqCst) {
+                        match listener.accept() {
+                            Ok((stream, _)) => {
+                                shared.connections.fetch_add(1, Ordering::Relaxed);
+                                stream.set_nonblocking(false).expect("reset stream blocking");
+                                let sink = Sink::new(Box::new(
+                                    stream.try_clone().expect("clone unix stream"),
+                                ));
+                                let shared = Arc::clone(&shared);
+                                shared.readers_active.fetch_add(1, Ordering::SeqCst);
+                                thread::spawn(move || {
+                                    read_requests(BufReader::new(stream), &sink, &shared);
+                                    shared.readers_active.fetch_sub(1, Ordering::SeqCst);
+                                });
+                            }
+                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                                thread::sleep(Duration::from_millis(10));
+                            }
+                            Err(_) => break,
+                        }
+                    }
+                    shared.readers_active.fetch_sub(1, Ordering::SeqCst);
+                });
+            }
+        }
+
+        // Supervisor: wait for a shutdown cause, then close the queue so
+        // workers drain what was accepted and exit the scope.
+        loop {
+            thread::sleep(Duration::from_millis(10));
+            if SIGTERM_RECEIVED.load(Ordering::SeqCst) {
+                shared.shutdown.store(true, Ordering::SeqCst);
+            }
+            if shared.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            if shared.readers_active.load(Ordering::SeqCst) == 0 {
+                break; // stdin EOF, or every connection closed after shutdown
+            }
+        }
+        shared.queue.close();
+    });
+
+    if let Some(path) = socket_path {
+        let _ = std::fs::remove_file(path);
+    }
+    reg.phase_add(phases::SERVE, start.elapsed());
+    let summary = shared.summary();
+    summary.record_metrics(reg);
+    reg.gauge_set("server.workers", config.workers.max(1) as f64);
+    Ok(summary)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lru_cache_evicts_least_recently_used() {
+        let mut cache = LruCache::new(2);
+        let (a, b, c) =
+            (Criterion::Output(0), Criterion::Output(1), Criterion::Output(2));
+        cache.insert(a, Arc::new(vec![0]));
+        cache.insert(b, Arc::new(vec![1]));
+        assert_eq!(cache.get(&a).as_deref(), Some(&vec![0])); // a is now hot
+        cache.insert(c, Arc::new(vec![2])); // evicts b
+        assert!(cache.get(&b).is_none());
+        assert_eq!(cache.get(&a).as_deref(), Some(&vec![0]));
+        assert_eq!(cache.get(&c).as_deref(), Some(&vec![2]));
+    }
+
+    #[test]
+    fn lru_cache_capacity_zero_disables_caching() {
+        let mut cache = LruCache::new(0);
+        cache.insert(Criterion::Output(0), Arc::new(vec![0]));
+        assert!(cache.get(&Criterion::Output(0)).is_none());
+    }
+
+    #[test]
+    fn queue_rejects_when_full_and_drains_after_close() {
+        let queue = Queue::new(1);
+        let peak = AtomicU64::new(0);
+        let sink = Sink::new(Box::new(io::sink()));
+        let job = |id| Job {
+            id,
+            criterion: Criterion::Output(0),
+            delay_ms: 0,
+            deadline: None,
+            sink: Arc::clone(&sink),
+        };
+        assert!(queue.push(job(1), &peak).is_ok());
+        let bounced = queue.push(job(2), &peak).unwrap_err();
+        assert_eq!(bounced.id, 2);
+        queue.close();
+        assert!(queue.push(job(3), &peak).is_err(), "closed queue rejects");
+        assert_eq!(queue.pop().map(|j| j.id), Some(1), "accepted job survives close");
+        assert!(queue.pop().is_none());
+        assert_eq!(peak.load(Ordering::Relaxed), 1);
+    }
+}

@@ -1,0 +1,276 @@
+//! End-to-end tests of `dynslice serve`: concurrent socket clients,
+//! per-request deadlines, and graceful shutdown with a flushed report.
+
+use std::io::{BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Output, Stdio};
+use std::time::{Duration, Instant};
+
+use dynslice::protocol::{ErrorKind, Request, Response, ResponseBody};
+use dynslice::{Criterion, OptConfig, RunReport, Session, SliceClient, Slicer as _};
+
+const PROGRAM: &str = "
+    global int results[4];
+
+    fn classify(int v) -> int {
+        if (v < 0) { return 0; }
+        if (v < 10) { return 1; }
+        if (v < 100) { return 2; }
+        return 3;
+    }
+
+    fn main() {
+        int i;
+        for (i = 0; i < 8; i = i + 1) {
+            int v = input();
+            int class = classify(v);
+            results[class] = results[class] + 1;
+        }
+        print results[0];
+        print results[1];
+        print results[2];
+        print results[3];
+    }";
+
+const INPUT: &str = "5,-3,42,7,1000,-1,12,3";
+
+fn bin() -> Command {
+    Command::new(env!("CARGO_BIN_EXE_dynslice"))
+}
+
+fn work_dir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("dynslice-serve-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn write_program(dir: &Path) -> PathBuf {
+    let path = dir.join("serve.minic");
+    std::fs::write(&path, PROGRAM).unwrap();
+    path
+}
+
+/// The slices the server must reproduce, computed in-process.
+fn expected_slices() -> Vec<Vec<u32>> {
+    let session = Session::compile(PROGRAM).unwrap();
+    let trace = session.run(vec![5, -3, 42, 7, 1000, -1, 12, 3]);
+    let opt = session.opt(&trace, &OptConfig::default());
+    (0..4)
+        .map(|k| {
+            let slice = opt.slice(&Criterion::Output(k)).unwrap();
+            slice.stmts.iter().map(|s| s.index() as u32).collect()
+        })
+        .collect()
+}
+
+fn wait_for_exit(mut child: Child, deadline: Duration) -> Output {
+    let start = Instant::now();
+    loop {
+        if child.try_wait().unwrap().is_some() {
+            return child.wait_with_output().unwrap();
+        }
+        if start.elapsed() > deadline {
+            child.kill().ok();
+            panic!("server did not exit within {deadline:?}");
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+}
+
+/// ≥8 concurrent socket clients all get answers identical to a direct
+/// in-process `OptSlicer`, and a `shutdown` request ends the session.
+#[test]
+fn concurrent_socket_clients_match_direct_slicer() {
+    let dir = work_dir("socket");
+    let program = write_program(&dir);
+    let socket = dir.join("slice.sock");
+    let report = dir.join("report.json");
+    let child = bin()
+        .args([
+            "serve",
+            program.to_str().unwrap(),
+            "--algo",
+            "opt",
+            "--input",
+            INPUT,
+            "--workers",
+            "4",
+            "--socket",
+            socket.to_str().unwrap(),
+            "--metrics-json",
+            report.to_str().unwrap(),
+        ])
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn dynslice serve");
+
+    // The socket appears once the backend is built and the acceptor runs.
+    let start = Instant::now();
+    while !socket.exists() {
+        assert!(start.elapsed() < Duration::from_secs(30), "socket never appeared");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    let expected = expected_slices();
+    let handles: Vec<_> = (0..8)
+        .map(|t: usize| {
+            let socket = socket.clone();
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                let mut client = SliceClient::connect_unix(&socket).unwrap();
+                for round in 0..3 {
+                    let k = (t + round) % 4;
+                    let response = client.slice(&Criterion::Output(k)).unwrap();
+                    match response.body {
+                        ResponseBody::Slice { ref algo, ref stmts, .. } => {
+                            assert_eq!(algo, "opt", "client {t}");
+                            assert_eq!(stmts, &expected[k], "client {t}, out:{k}");
+                        }
+                        ref other => panic!("client {t}: unexpected response {other:?}"),
+                    }
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+
+    let mut closer = SliceClient::connect_unix(&socket).unwrap();
+    let ack = closer.shutdown().unwrap();
+    assert!(matches!(ack.body, ResponseBody::ShutdownAck), "got {ack:?}");
+
+    let out = wait_for_exit(child, Duration::from_secs(30));
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(!socket.exists(), "socket file is removed on shutdown");
+
+    let text = std::fs::read_to_string(&report).unwrap();
+    let parsed = RunReport::from_json(&text).expect("serve report satisfies the schema");
+    assert_eq!(parsed.algorithm, "serve-opt");
+    assert_eq!(parsed.counter_or_zero("server.requests"), 8 * 3 + 1);
+    assert_eq!(parsed.counter_or_zero("server.responses_ok"), 8 * 3);
+    assert_eq!(parsed.counter_or_zero("server.connections"), 9);
+    assert!(parsed.counter_or_zero("server.cache_hits") > 0, "4 criteria, 24 queries");
+    assert!(parsed.phases_ms.contains_key("serve"));
+}
+
+/// A slow query exceeds `--timeout-ms` and fails alone; a concurrent
+/// fast query on the same session still succeeds.
+#[test]
+fn slow_query_times_out_while_others_complete() {
+    let dir = work_dir("timeout");
+    let program = write_program(&dir);
+    let mut child = bin()
+        .args([
+            "serve",
+            program.to_str().unwrap(),
+            "--input",
+            INPUT,
+            "--workers",
+            "2",
+            "--timeout-ms",
+            "100",
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn dynslice serve");
+
+    {
+        let mut stdin = child.stdin.take().unwrap();
+        let mut slow = Request::slice(1, &Criterion::Output(0));
+        slow.delay_ms = 5_000;
+        writeln!(stdin, "{}", slow.to_json()).unwrap();
+        writeln!(stdin, "{}", Request::slice(2, &Criterion::Output(1)).to_json()).unwrap();
+        // Dropping stdin is the stdio transport's graceful shutdown.
+    }
+
+    let out = wait_for_exit(child, Duration::from_secs(30));
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+
+    let mut by_id = std::collections::BTreeMap::new();
+    for line in BufReader::new(&out.stdout[..]).lines() {
+        let response = Response::parse(&line.unwrap()).unwrap();
+        by_id.insert(response.id, response.body);
+    }
+    match &by_id[&1] {
+        ResponseBody::Error { kind, .. } => assert_eq!(*kind, ErrorKind::Timeout),
+        other => panic!("slow query should time out, got {other:?}"),
+    }
+    let expected = expected_slices();
+    match &by_id[&2] {
+        ResponseBody::Slice { stmts, .. } => assert_eq!(stmts, &expected[1]),
+        other => panic!("fast query should succeed, got {other:?}"),
+    }
+}
+
+/// Bad lines and unknown criteria are isolated per-request, a `shutdown`
+/// op drains the session, and the final report reconciles every line.
+#[test]
+fn graceful_shutdown_flushes_a_reconciled_report() {
+    let dir = work_dir("shutdown");
+    let program = write_program(&dir);
+    let report = dir.join("report.json");
+    let mut child = bin()
+        .args([
+            "serve",
+            program.to_str().unwrap(),
+            "--input",
+            INPUT,
+            "--workers",
+            "2",
+            "--metrics-json",
+            report.to_str().unwrap(),
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn dynslice serve");
+
+    {
+        let mut stdin = child.stdin.take().unwrap();
+        writeln!(stdin, "{}", Request::slice(1, &Criterion::Output(0)).to_json()).unwrap();
+        writeln!(stdin, r#"{{"id":2,"criterion":"out:99"}}"#).unwrap();
+        writeln!(stdin, "this is not json").unwrap();
+        writeln!(stdin, "{}", Request::slice(4, &Criterion::Output(1)).to_json()).unwrap();
+        writeln!(stdin, "{}", Request::shutdown(5).to_json()).unwrap();
+    }
+
+    let out = wait_for_exit(child, Duration::from_secs(30));
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+
+    let mut by_id = std::collections::BTreeMap::new();
+    for line in BufReader::new(&out.stdout[..]).lines() {
+        let response = Response::parse(&line.unwrap()).unwrap();
+        by_id.insert(response.id, response.body);
+    }
+    assert!(matches!(by_id[&1], ResponseBody::Slice { .. }));
+    match &by_id[&2] {
+        ResponseBody::Error { kind, .. } => assert_eq!(*kind, ErrorKind::UnknownCriterion),
+        other => panic!("out:99 should be unknown, got {other:?}"),
+    }
+    match &by_id[&0] {
+        ResponseBody::Error { kind, .. } => assert_eq!(*kind, ErrorKind::BadRequest),
+        other => panic!("garbage line should be a bad request, got {other:?}"),
+    }
+    assert!(matches!(by_id[&4], ResponseBody::Slice { .. }));
+    assert!(matches!(by_id[&5], ResponseBody::ShutdownAck));
+
+    let text = std::fs::read_to_string(&report).unwrap();
+    let parsed = RunReport::from_json(&text).expect("serve report satisfies the schema");
+    assert_eq!(parsed.counter_or_zero("server.requests"), 5);
+    assert_eq!(parsed.counter_or_zero("server.responses_ok"), 2);
+    assert_eq!(parsed.counter_or_zero("server.bad_requests"), 1);
+    assert_eq!(parsed.counter_or_zero("server.failed"), 1);
+    assert_eq!(parsed.counter_or_zero("server.timeouts"), 0);
+
+    // The emitted report also passes the CLI's own schema validator.
+    let validate =
+        bin().args(["metrics-validate", report.to_str().unwrap()]).output().unwrap();
+    assert!(validate.status.success());
+}

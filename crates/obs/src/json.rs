@@ -57,12 +57,48 @@ impl Value {
         }
     }
 
-    /// Serializes the value (compact when `indent` is `None`, pretty
-    /// otherwise).
+    /// Serializes the value, pretty-printed (deterministic key order).
     pub fn to_json(&self) -> String {
         let mut out = String::new();
         self.write(&mut out, 0);
         out
+    }
+
+    /// Serializes the value on a single line, no whitespace — the framing
+    /// the newline-delimited slice-service protocol needs, where a value
+    /// must be exactly one line.
+    pub fn to_json_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        match self {
+            Value::Null | Value::Bool(_) | Value::Num(_) | Value::Str(_) => self.write(out, 0),
+            Value::Arr(items) => {
+                out.push('[');
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    v.write_compact(out);
+                }
+                out.push(']');
+            }
+            Value::Obj(map) => {
+                out.push('{');
+                for (i, (k, v)) in map.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    write_escaped(out, k);
+                    out.push(':');
+                    v.write_compact(out);
+                }
+                out.push('}');
+            }
+        }
     }
 
     fn write(&self, out: &mut String, depth: usize) {
@@ -363,5 +399,19 @@ mod tests {
     fn empty_containers_are_compact() {
         assert_eq!(Value::Arr(vec![]).to_json(), "[]");
         assert_eq!(Value::Obj(BTreeMap::new()).to_json(), "{}");
+    }
+
+    #[test]
+    fn compact_form_is_one_line_and_parses_back() {
+        let mut obj = BTreeMap::new();
+        obj.insert("id".into(), Value::Num(3.0));
+        obj.insert("ok".into(), Value::Bool(true));
+        obj.insert("stmts".into(), Value::Arr(vec![Value::Num(1.0), Value::Num(2.0)]));
+        obj.insert("msg".into(), Value::Str("two\nlines".into()));
+        let v = Value::Obj(obj);
+        let line = v.to_json_compact();
+        assert!(!line.contains('\n'), "compact output must stay on one line: {line}");
+        assert_eq!(line, r#"{"id":3,"msg":"two\nlines","ok":true,"stmts":[1,2]}"#);
+        assert_eq!(parse(&line).unwrap(), v);
     }
 }

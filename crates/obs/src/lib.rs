@@ -47,10 +47,13 @@ pub mod phases {
     pub const SLICE: &str = "slice";
     /// Answering a batch of queries through the parallel engine.
     pub const BATCH: &str = "batch";
+    /// Serving slice queries from the long-running `dynslice serve`
+    /// session (request intake through drain).
+    pub const SERVE: &str = "serve";
 
     /// All phases, in pipeline order.
-    pub const ALL: [&str; 5] =
-        [TRACE_CAPTURE, RECORD_PREPROCESS, GRAPH_BUILD, SLICE, BATCH];
+    pub const ALL: [&str; 6] =
+        [TRACE_CAPTURE, RECORD_PREPROCESS, GRAPH_BUILD, SLICE, BATCH, SERVE];
 }
 
 /// Version stamped into every report; bump on breaking schema changes.

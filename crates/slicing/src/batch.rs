@@ -1,5 +1,5 @@
 //! Parallel batch slicing: fan a set of [`Criterion`] queries out over a
-//! shared, read-only slicing backend.
+//! shared, read-only [`Slicer`].
 //!
 //! The paper's headline claim is that OPT makes dynamic slicing cheap
 //! enough to answer *many* queries interactively (25 slices per benchmark,
@@ -12,11 +12,10 @@
 //!
 //! Architecture:
 //!
-//! * a [`SliceBackend`] abstracts the dependence representation: the
-//!   in-memory [`CompactGraph`] (the paper's OPT) and the demand-paged
-//!   [`PagedGraph`] (the §4.2 OPT+LP hybrid) both qualify, so one engine
-//!   serves both the speed-optimal and the memory-bounded configuration;
-//! * a [`BatchSliceEngine`] borrows the backend and holds a cross-batch
+//! * the engine is generic over [`Slicer`] — `Sync` is part of that trait's
+//!   contract — so the same pool serves the speed-optimal [`OptSlicer`],
+//!   the memory-bounded paged hybrid, and any other backend;
+//! * a [`BatchSliceEngine`] borrows the slicer and holds a cross-batch
 //!   result cache keyed by criterion (repeated queries are O(1));
 //! * [`BatchSliceEngine::run`] spawns a scoped worker pool
 //!   (`std::thread::scope`, std-only) pulling query indices from a shared
@@ -25,111 +24,26 @@
 //! * results land in per-query `OnceLock` slots, so no locks are held
 //!   while slicing;
 //! * each worker reports [`WorkerStats`] (queries served, cache hits,
-//!   shortcut closures materialized, instances visited, I/O errors, busy
+//!   shortcut closures materialized, instances visited, failures, busy
 //!   time), aggregated into [`BatchStats`] for observability.
 //!
-//! Equivalence with sequential slicing — for any worker count, either
+//! Equivalence with sequential slicing — for any worker count, any
 //! backend, and with the cache on or off — is property-tested in the
-//! workspace's differential suite.
+//! workspace's differential suite. The slice server (`dynslice serve`)
+//! reuses the same per-worker accounting for its long-lived pool.
 
-use std::collections::{BTreeSet, HashMap};
-use std::io;
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use std::time::{Duration, Instant};
 
-use dynslice_graph::{CompactGraph, PagedGraph};
-use dynslice_ir::StmtId;
-
-use crate::{Criterion, Slice};
-
-/// A dependence representation the batch engine can slice over: shared by
-/// reference across worker threads, so it must be `Sync`, and any interior
-/// state (memo tables, block caches) must be thread-safe.
-pub trait SliceBackend: Sync {
-    /// Resolves a criterion to its graph instance `(occurrence, ts)`;
-    /// `None` if the criterion never executed.
-    fn criterion_instance(&self, q: Criterion) -> Option<(u32, u64)>;
-
-    /// Computes a backward slice from `(occ, ts)`, accumulating traversal
-    /// counters into `stats`. `shortcuts` selects shortcut-edge traversal
-    /// for backends that support it (the paged backend has no shortcut
-    /// edges over spilled labels and ignores the flag).
-    ///
-    /// # Errors
-    /// Backends that page state from disk propagate I/O errors; purely
-    /// in-memory backends never fail.
-    fn slice_instance(
-        &self,
-        occ: u32,
-        ts: u64,
-        shortcuts: bool,
-        stats: &mut WorkerStats,
-    ) -> io::Result<BTreeSet<StmtId>>;
-
-    /// Short label for reports.
-    fn backend_name(&self) -> &'static str;
-}
-
-impl SliceBackend for CompactGraph {
-    fn criterion_instance(&self, q: Criterion) -> Option<(u32, u64)> {
-        match q {
-            Criterion::CellLastDef(c) => self.last_def_of(c),
-            Criterion::Output(k) => self.outputs.get(k).copied(),
-        }
-    }
-
-    fn slice_instance(
-        &self,
-        occ: u32,
-        ts: u64,
-        shortcuts: bool,
-        stats: &mut WorkerStats,
-    ) -> io::Result<BTreeSet<StmtId>> {
-        let (stmts, t) = self.slice_with_stats(occ, ts, shortcuts);
-        stats.shortcuts_materialized += t.shortcuts_materialized;
-        stats.instances_visited += t.instances_visited;
-        Ok(stmts)
-    }
-
-    fn backend_name(&self) -> &'static str {
-        "opt"
-    }
-}
-
-impl SliceBackend for PagedGraph {
-    fn criterion_instance(&self, q: Criterion) -> Option<(u32, u64)> {
-        match q {
-            Criterion::CellLastDef(c) => self.last_def_of(c),
-            Criterion::Output(k) => self.graph().outputs.get(k).copied(),
-        }
-    }
-
-    fn slice_instance(
-        &self,
-        occ: u32,
-        ts: u64,
-        _shortcuts: bool,
-        stats: &mut WorkerStats,
-    ) -> io::Result<BTreeSet<StmtId>> {
-        let (stmts, visited) = self.slice_with_stats(occ, ts)?;
-        stats.instances_visited += visited;
-        Ok(stmts)
-    }
-
-    fn backend_name(&self) -> &'static str {
-        "paged"
-    }
-}
+use crate::{Criterion, OptSlicer, Slice, SliceError, Slicer};
 
 /// Batch engine configuration.
 #[derive(Clone, Debug)]
 pub struct BatchConfig {
     /// Worker threads (clamped to at least 1).
     pub workers: usize,
-    /// Whether queries traverse shortcut edges (the paper's default; only
-    /// meaningful for backends with shortcut edges).
-    pub shortcuts: bool,
     /// Whether the cross-batch result cache is consulted and filled.
     pub cache: bool,
 }
@@ -138,7 +52,6 @@ impl Default for BatchConfig {
     fn default() -> Self {
         BatchConfig {
             workers: std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1),
-            shortcuts: true,
             cache: true,
         }
     }
@@ -153,13 +66,13 @@ pub struct WorkerStats {
     /// in-flight computation of the same criterion).
     pub cache_hits: u64,
     /// Shortcut closures this worker materialized into the graph's shared
-    /// memo table (always 0 for the paged backend).
+    /// memo table (OPT only).
     pub shortcuts_materialized: u64,
     /// `(occurrence, timestamp)` instances visited during traversals.
     pub instances_visited: u64,
-    /// Queries that failed with an I/O error (paged backend only; the
-    /// failed query's slot reports `None`).
-    pub io_errors: u64,
+    /// Queries that failed (I/O errors from disk-backed slicers, or LP
+    /// truncation; the failed query's slot reports `None`).
+    pub failed: u64,
     /// Wall time from the worker's first to last action.
     pub busy: Duration,
 }
@@ -194,9 +107,9 @@ impl BatchStats {
         self.workers.iter().map(|w| w.instances_visited).sum()
     }
 
-    /// Total queries that failed with an I/O error.
-    pub fn total_io_errors(&self) -> u64 {
-        self.workers.iter().map(|w| w.io_errors).sum()
+    /// Total queries that failed (I/O or truncation).
+    pub fn total_failed(&self) -> u64 {
+        self.workers.iter().map(|w| w.failed).sum()
     }
 
     /// Queries per second over the run's wall time.
@@ -216,37 +129,37 @@ impl dynslice_obs::RecordMetrics for BatchStats {
         reg.counter_add("batch.cache_hits", self.total_cache_hits());
         reg.counter_add("batch.shortcuts_materialized", self.total_shortcuts_materialized());
         reg.counter_add("batch.instances_visited", self.total_instances_visited());
-        reg.counter_add("batch.failed_queries", self.total_io_errors());
+        reg.counter_add("batch.failed_queries", self.total_failed());
         reg.gauge_set("batch.wall_ms", self.wall.as_secs_f64() * 1e3);
         reg.gauge_set("batch.throughput_qps", self.throughput());
     }
 }
 
 /// The result of one batch: one slot per input query, in order. `None`
-/// marks criteria that never executed (same contract as
-/// [`crate::OptSlicer::slice`]) — or, for the paged backend, queries whose
-/// traversal hit an I/O error; `errors` distinguishes the two.
+/// marks criteria that never executed
+/// ([`SliceError::UnknownCriterion`]) — or queries that failed outright
+/// (I/O, truncation); `errors` distinguishes the two.
 #[derive(Clone, Debug)]
 pub struct BatchResult {
     /// Slices aligned with the input query slice.
     pub slices: Vec<Option<Arc<Slice>>>,
     /// Run statistics.
     pub stats: BatchStats,
-    /// I/O errors encountered by workers (empty for in-memory backends).
+    /// Errors encountered by workers (empty for in-memory backends).
     pub errors: Vec<String>,
 }
 
 impl BatchResult {
-    /// `Some(message)` when the batch dropped queries to I/O errors.
-    /// Callers that gate success on completeness — the CLI's exit code,
-    /// CI — must treat this as a failure: a batch that silently lost
-    /// queries would otherwise greenlight.
+    /// `Some(message)` when the batch dropped queries to errors. Callers
+    /// that gate success on completeness — the CLI's exit code, CI — must
+    /// treat this as a failure: a batch that silently lost queries would
+    /// otherwise greenlight.
     pub fn failure(&self) -> Option<String> {
         if self.errors.is_empty() {
             return None;
         }
         Some(format!(
-            "{} of {} queries failed with I/O errors; first: {}",
+            "{} of {} queries failed; first: {}",
             self.errors.len(),
             self.slices.len(),
             self.errors[0]
@@ -260,21 +173,21 @@ impl BatchResult {
 /// `get_or_init` only for that entry and count a cache hit.
 type CacheEntry = Arc<OnceLock<Option<Arc<Slice>>>>;
 
-/// Parallel batch slice engine over a shared slicing backend
-/// ([`CompactGraph`] by default; [`PagedGraph`] for the §4.2 hybrid).
+/// Parallel batch slice engine over a shared [`Slicer`] ([`OptSlicer`] by
+/// default; the paged graph for the §4.2 hybrid; any backend works).
 #[derive(Debug)]
-pub struct BatchSliceEngine<'g, B: SliceBackend + ?Sized = CompactGraph> {
-    backend: &'g B,
+pub struct BatchSliceEngine<'g, S: Slicer + ?Sized = OptSlicer> {
+    slicer: &'g S,
     config: BatchConfig,
     /// Cross-batch result cache; the mutex guards only map access (entry
     /// lookup/insert), never a slice computation.
     cache: Mutex<HashMap<Criterion, CacheEntry>>,
 }
 
-impl<'g, B: SliceBackend + ?Sized> BatchSliceEngine<'g, B> {
-    /// Creates an engine over `backend` with the given configuration.
-    pub fn new(backend: &'g B, config: BatchConfig) -> Self {
-        BatchSliceEngine { backend, config, cache: Mutex::new(HashMap::new()) }
+impl<'g, S: Slicer + ?Sized> BatchSliceEngine<'g, S> {
+    /// Creates an engine over `slicer` with the given configuration.
+    pub fn new(slicer: &'g S, config: BatchConfig) -> Self {
+        BatchSliceEngine { slicer, config, cache: Mutex::new(HashMap::new()) }
     }
 
     /// The engine's configuration.
@@ -282,9 +195,9 @@ impl<'g, B: SliceBackend + ?Sized> BatchSliceEngine<'g, B> {
         &self.config
     }
 
-    /// The backend the engine slices over.
-    pub fn backend(&self) -> &'g B {
-        self.backend
+    /// The slicer the engine fans queries out over.
+    pub fn slicer(&self) -> &'g S {
+        self.slicer
     }
 
     /// Criteria currently answered by the result cache.
@@ -355,7 +268,7 @@ impl<'g, B: SliceBackend + ?Sized> BatchSliceEngine<'g, B> {
                 self.compute(queries[i], &mut stats).map(|s| s.map(Arc::new))
             };
             let answer = answer.unwrap_or_else(|e| {
-                stats.io_errors += 1;
+                stats.failed += 1;
                 errors.lock().expect("errors lock").push(format!("{:?}: {e}", queries[i]));
                 None
             });
@@ -371,7 +284,7 @@ impl<'g, B: SliceBackend + ?Sized> BatchSliceEngine<'g, B> {
         &self,
         q: Criterion,
         stats: &mut WorkerStats,
-    ) -> io::Result<Option<Arc<Slice>>> {
+    ) -> Result<Option<Arc<Slice>>, SliceError> {
         let entry: CacheEntry = {
             let mut cache = self.cache.lock().expect("cache lock");
             Arc::clone(cache.entry(q).or_default())
@@ -401,25 +314,30 @@ impl<'g, B: SliceBackend + ?Sized> BatchSliceEngine<'g, B> {
         Ok(answer.clone())
     }
 
-    /// Resolves and traverses one criterion (the sequential slicing path,
-    /// with traversal counters).
-    fn compute(&self, q: Criterion, stats: &mut WorkerStats) -> io::Result<Option<Slice>> {
-        let Some((occ, ts)) = self.backend.criterion_instance(q) else {
-            return Ok(None);
-        };
-        let stmts = self.backend.slice_instance(occ, ts, self.config.shortcuts, stats)?;
-        Ok(Some(Slice { stmts }))
+    /// One criterion through the unified [`Slicer`] surface, folding the
+    /// backend's cost counters into the worker's. `UnknownCriterion` is the
+    /// batch contract's `None`, not a failure.
+    fn compute(&self, q: Criterion, stats: &mut WorkerStats) -> Result<Option<Slice>, SliceError> {
+        match self.slicer.slice_with_stats(&q) {
+            Ok((slice, s)) => {
+                stats.shortcuts_materialized += s.shortcuts_materialized;
+                stats.instances_visited += s.instances_visited;
+                Ok(Some(slice))
+            }
+            Err(SliceError::UnknownCriterion) => Ok(None),
+            Err(e) => Err(e),
+        }
     }
 }
 
-/// Convenience: one-shot batch over `backend` (engine and cache live for
+/// Convenience: one-shot batch over `slicer` (engine and cache live for
 /// the duration of the call).
-pub fn slice_batch<B: SliceBackend + ?Sized>(
-    backend: &B,
+pub fn slice_batch<S: Slicer + ?Sized>(
+    slicer: &S,
     queries: &[Criterion],
     config: BatchConfig,
 ) -> BatchResult {
-    BatchSliceEngine::new(backend, config).run(queries)
+    BatchSliceEngine::new(slicer, config).run(queries)
 }
 
 #[cfg(test)]
@@ -444,7 +362,7 @@ mod tests {
         use dynslice_obs::RecordMetrics as _;
         let stats = BatchStats {
             workers: vec![
-                WorkerStats { queries: 3, cache_hits: 1, io_errors: 1, ..Default::default() },
+                WorkerStats { queries: 3, cache_hits: 1, failed: 1, ..Default::default() },
                 WorkerStats { queries: 2, instances_visited: 40, ..Default::default() },
             ],
             wall: Duration::from_millis(10),

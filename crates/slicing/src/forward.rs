@@ -26,7 +26,7 @@
 //! the absence of such param-reached call statements.
 
 use std::collections::{BTreeSet, HashMap};
-use std::rc::Rc;
+use std::sync::Arc;
 
 use dynslice_analysis::ProgramAnalysis;
 use dynslice_ir::{
@@ -35,12 +35,12 @@ use dynslice_ir::{
 };
 use dynslice_runtime::{replay, Cell, FrameId, ReplayVisitor, StmtCx, TraceEvent};
 
-use crate::{Criterion, Slice};
+use crate::{Criterion, Slice, SliceError, SliceStats, Slicer};
 
 /// A hash-consed statement set: slices are shared wherever possible so the
 /// forward algorithm's memory stays proportional to the number of
 /// *distinct* slices, not the number of locations.
-type SliceSet = Rc<BTreeSet<StmtId>>;
+type SliceSet = Arc<BTreeSet<StmtId>>;
 
 /// Forward-computed slices for every defined location of a run.
 #[derive(Debug)]
@@ -75,26 +75,17 @@ impl ForwardSlicer {
                 unions: 0,
                 distinct_sets: 0,
             },
-            empty: Rc::new(BTreeSet::new()),
+            empty: Arc::new(BTreeSet::new()),
         };
         replay(program, events, &mut v);
         let mut out = v.out;
         let mut uniq: std::collections::HashSet<*const BTreeSet<StmtId>> =
             std::collections::HashSet::new();
         for s in out.cell_slices.values() {
-            uniq.insert(Rc::as_ptr(s));
+            uniq.insert(Arc::as_ptr(s));
         }
         out.distinct_sets = uniq.len();
         out
-    }
-
-    /// The precomputed slice for a criterion (instant lookup).
-    pub fn slice(&self, criterion: Criterion) -> Option<Slice> {
-        let set = match criterion {
-            Criterion::CellLastDef(c) => self.cell_slices.get(&c)?,
-            Criterion::Output(k) => self.output_slices.get(k)?,
-        };
-        Some(Slice { stmts: (**set).clone() })
     }
 
     /// Bytes held by the precomputed sets (the forward algorithms' cost the
@@ -102,9 +93,28 @@ impl ForwardSlicer {
     pub fn resident_bytes(&self) -> u64 {
         let mut uniq: HashMap<*const BTreeSet<StmtId>, u64> = HashMap::new();
         for s in self.cell_slices.values().chain(self.output_slices.iter()) {
-            uniq.insert(Rc::as_ptr(s), s.len() as u64 * 4 + 32);
+            uniq.insert(Arc::as_ptr(s), s.len() as u64 * 4 + 32);
         }
         uniq.values().sum::<u64>() + self.cell_slices.len() as u64 * 16
+    }
+}
+
+impl Slicer for ForwardSlicer {
+    fn name(&self) -> &'static str {
+        "forward"
+    }
+
+    /// Instant lookup: the slices were precomputed during the replay, so a
+    /// query is a map access plus one set clone. No per-query cost
+    /// counters — the algorithm's cost lives entirely in `build`
+    /// ([`ForwardSlicer::unions`], [`ForwardSlicer::resident_bytes`]).
+    fn slice_with_stats(&self, criterion: &Criterion) -> Result<(Slice, SliceStats), SliceError> {
+        let set = match criterion {
+            Criterion::CellLastDef(c) => self.cell_slices.get(c),
+            Criterion::Output(k) => self.output_slices.get(*k),
+        }
+        .ok_or(SliceError::UnknownCriterion)?;
+        Ok((Slice { stmts: (**set).clone() }, SliceStats::default()))
     }
 }
 
@@ -135,11 +145,11 @@ struct Fwd<'p> {
 
 impl Fwd<'_> {
     fn union(&mut self, base: &mut SliceSet, add: &SliceSet) {
-        if add.is_empty() || Rc::ptr_eq(base, add) {
+        if add.is_empty() || Arc::ptr_eq(base, add) {
             return;
         }
         if base.is_empty() {
-            *base = Rc::clone(add);
+            *base = Arc::clone(add);
             return;
         }
         if add.is_subset(base) {
@@ -148,7 +158,7 @@ impl Fwd<'_> {
         self.out.unions += 1;
         let mut s = (**base).clone();
         s.extend(add.iter().copied());
-        *base = Rc::new(s);
+        *base = Arc::new(s);
     }
 
     /// The slice of a statement instance: itself + the slices of everything
@@ -158,7 +168,7 @@ impl Fwd<'_> {
             Some(kind) => stmt_uses(kind),
             None => term_uses(self.program.terminator_of(cx.stmt).expect("terminator")),
         };
-        let mut acc: SliceSet = Rc::clone(&self.empty);
+        let mut acc: SliceSet = Arc::clone(&self.empty);
         for site in sites {
             let dep = match site {
                 UseSite::Scalar(v) => self.scalar.get(&(cx.frame, v)).cloned(),
@@ -169,11 +179,11 @@ impl Fwd<'_> {
                 self.union(&mut acc, &dep);
             }
         }
-        let ctx = self.cur_ctx.get(&cx.frame).cloned().unwrap_or_else(|| Rc::clone(&self.empty));
+        let ctx = self.cur_ctx.get(&cx.frame).cloned().unwrap_or_else(|| Arc::clone(&self.empty));
         self.union(&mut acc, &ctx);
         let mut s = (*acc).clone();
         s.insert(cx.stmt);
-        Rc::new(s)
+        Arc::new(s)
     }
 }
 
@@ -183,7 +193,7 @@ impl ReplayVisitor for Fwd<'_> {
             // The callee's parameters and entry control context carry the
             // call statement's slice.
             let sites = stmt_uses(self.program.stmt_kind(stmt).expect("call stmt"));
-            let mut acc = Rc::clone(&self.empty);
+            let mut acc = Arc::clone(&self.empty);
             for site in sites {
                 if let UseSite::Scalar(v) = site {
                     if let Some(dep) = self.scalar.get(&(caller, v)).cloned() {
@@ -192,15 +202,15 @@ impl ReplayVisitor for Fwd<'_> {
                 }
             }
             let caller_ctx =
-                self.cur_ctx.get(&caller).cloned().unwrap_or_else(|| Rc::clone(&self.empty));
+                self.cur_ctx.get(&caller).cloned().unwrap_or_else(|| Arc::clone(&self.empty));
             self.union(&mut acc, &caller_ctx);
             let mut s = (*acc).clone();
             s.insert(stmt);
-            let call_slice: SliceSet = Rc::new(s);
+            let call_slice: SliceSet = Arc::new(s);
             for i in 0..self.program.func(func).params {
-                self.scalar.insert((frame, VarId(i)), Rc::clone(&call_slice));
+                self.scalar.insert((frame, VarId(i)), Arc::clone(&call_slice));
             }
-            self.call_ctx.insert(frame, Rc::clone(&call_slice));
+            self.call_ctx.insert(frame, Arc::clone(&call_slice));
         }
     }
 
@@ -212,10 +222,10 @@ impl ReplayVisitor for Fwd<'_> {
             .iter()
             .filter_map(|a| self.block_ctx.get(&(frame, *a)))
             .max_by_key(|(_, seq)| *seq)
-            .map(|(s, _)| Rc::clone(s));
+            .map(|(s, _)| Arc::clone(s));
         let ctx = parent
             .or_else(|| self.call_ctx.get(&frame).cloned())
-            .unwrap_or_else(|| Rc::clone(&self.empty));
+            .unwrap_or_else(|| Arc::clone(&self.empty));
         self.cur_ctx.insert(frame, ctx);
     }
 
@@ -231,12 +241,12 @@ impl ReplayVisitor for Fwd<'_> {
                 Some(kind) => {
                     match stmt_def(kind) {
                         Some(DefSite::Scalar(v)) => {
-                            self.scalar.insert((cx.frame, v), Rc::clone(&slice));
+                            self.scalar.insert((cx.frame, v), Arc::clone(&slice));
                         }
                         Some(DefSite::Mem(_)) => {
                             let cell = cx.cell.expect("store has a cell");
-                            self.mem.insert(cell, Rc::clone(&slice));
-                            self.out.cell_slices.insert(cell, Rc::clone(&slice));
+                            self.mem.insert(cell, Arc::clone(&slice));
+                            self.out.cell_slices.insert(cell, Arc::clone(&slice));
                         }
                         None => {}
                     }
@@ -267,7 +277,7 @@ impl ReplayVisitor for Fwd<'_> {
     fn call_returned(&mut self, frame: FrameId, _func: FuncId, _block: BlockId, stmt: StmtId) {
         // dst := call-stmt slice ∪ returned-value slice ∪ context.
         let sites = stmt_uses(self.program.stmt_kind(stmt).expect("call stmt"));
-        let mut acc = Rc::clone(&self.empty);
+        let mut acc = Arc::clone(&self.empty);
         for site in sites {
             match site {
                 UseSite::Scalar(v) => {
@@ -283,12 +293,12 @@ impl ReplayVisitor for Fwd<'_> {
                 UseSite::Mem(_) => {}
             }
         }
-        let ctx = self.cur_ctx.get(&frame).cloned().unwrap_or_else(|| Rc::clone(&self.empty));
+        let ctx = self.cur_ctx.get(&frame).cloned().unwrap_or_else(|| Arc::clone(&self.empty));
         self.union(&mut acc, &ctx);
         let mut s = (*acc).clone();
         s.insert(stmt);
         if let Some(dynslice_ir::StmtKind::Assign { dst, .. }) = self.program.stmt_kind(stmt) {
-            self.scalar.insert((frame, *dst), Rc::new(s));
+            self.scalar.insert((frame, *dst), Arc::new(s));
         }
         self.last_ret = None;
     }

@@ -16,17 +16,17 @@
 pub mod batch;
 pub mod forward;
 pub mod lp;
+pub mod slicer;
 
-pub use batch::{
-    slice_batch, BatchConfig, BatchResult, BatchSliceEngine, BatchStats, SliceBackend, WorkerStats,
-};
+pub use batch::{slice_batch, BatchConfig, BatchResult, BatchSliceEngine, BatchStats, WorkerStats};
 pub use forward::ForwardSlicer;
 pub use lp::{LpSlicer, LpStats, DEFAULT_MAX_PASSES};
+pub use slicer::{SliceError, SliceStats, Slicer};
 
 use std::collections::BTreeSet;
 
 use dynslice_analysis::ProgramAnalysis;
-use dynslice_graph::{build_compact, CompactGraph, FullGraph, OptConfig, TraversalStats};
+use dynslice_graph::{build_compact, CompactGraph, FullGraph, OptConfig};
 use dynslice_ir::{Program, StmtId};
 use dynslice_runtime::{Cell, TraceEvent};
 
@@ -62,29 +62,40 @@ impl Slice {
 }
 
 /// FP slicing: the full dependence graph, built once, traversed per query.
+///
+/// Borrows the program it was built from, so [`Slicer::slice_with_stats`]
+/// needs only the criterion — the same signature as every other backend.
 #[derive(Debug)]
-pub struct FpSlicer {
+pub struct FpSlicer<'p> {
+    program: &'p Program,
     graph: FullGraph,
 }
 
-impl FpSlicer {
+impl<'p> FpSlicer<'p> {
     /// Builds the full graph (the FP preprocessing step).
-    pub fn build(program: &Program, analysis: &ProgramAnalysis, events: &[TraceEvent]) -> Self {
-        Self { graph: FullGraph::build(program, analysis, events) }
+    pub fn build(program: &'p Program, analysis: &ProgramAnalysis, events: &[TraceEvent]) -> Self {
+        Self { program, graph: FullGraph::build(program, analysis, events) }
     }
 
     /// Access to the underlying graph (sizes, statistics).
     pub fn graph(&self) -> &FullGraph {
         &self.graph
     }
+}
 
-    /// Computes a slice; `None` if the criterion never executed.
-    pub fn slice(&self, program: &Program, criterion: Criterion) -> Option<Slice> {
+impl Slicer for FpSlicer<'_> {
+    fn name(&self) -> &'static str {
+        "fp"
+    }
+
+    fn slice_with_stats(&self, criterion: &Criterion) -> Result<(Slice, SliceStats), SliceError> {
         let (s, ts) = match criterion {
-            Criterion::CellLastDef(c) => *self.graph.last_def.get(&c)?,
-            Criterion::Output(k) => *self.graph.outputs.get(k)?,
-        };
-        Some(Slice { stmts: self.graph.slice(program, s, ts) })
+            Criterion::CellLastDef(c) => self.graph.last_def.get(c).copied(),
+            Criterion::Output(k) => self.graph.outputs.get(*k).copied(),
+        }
+        .ok_or(SliceError::UnknownCriterion)?;
+        let stmts = self.graph.slice(self.program, s, ts);
+        Ok((Slice { stmts }, SliceStats::default()))
     }
 }
 
@@ -117,37 +128,38 @@ impl OptSlicer {
         &self.graph
     }
 
-    /// Computes a slice; `None` if the criterion never executed.
-    pub fn slice(&self, criterion: Criterion) -> Option<Slice> {
-        self.slice_with_stats(criterion).map(|(s, _)| s)
-    }
-
-    /// Computes a slice along with the traversal counters (instances
-    /// visited, shortcut memo activity); `None` if the criterion never
-    /// executed.
-    pub fn slice_with_stats(&self, criterion: Criterion) -> Option<(Slice, TraversalStats)> {
-        let (occ, ts) = match criterion {
-            Criterion::CellLastDef(c) => self.graph.last_def_of(c)?,
-            Criterion::Output(k) => *self.graph.outputs.get(k)?,
-        };
-        let (stmts, t) = self.graph.slice_with_stats(occ, ts, self.shortcuts);
-        Some((Slice { stmts }, t))
-    }
-
-    /// A parallel batch engine over this slicer's graph, honoring its
-    /// shortcut setting (see [`batch::BatchSliceEngine`]).
+    /// A parallel batch engine over this slicer, honoring its shortcut
+    /// setting (see [`batch::BatchSliceEngine`]).
     pub fn batch(&self, config: BatchConfig) -> BatchSliceEngine<'_> {
-        BatchSliceEngine::new(&self.graph, BatchConfig { shortcuts: self.shortcuts, ..config })
+        BatchSliceEngine::new(self, config)
+    }
+}
+
+impl Slicer for OptSlicer {
+    fn name(&self) -> &'static str {
+        "opt"
+    }
+
+    fn slice_with_stats(&self, criterion: &Criterion) -> Result<(Slice, SliceStats), SliceError> {
+        let (occ, ts) = match criterion {
+            Criterion::CellLastDef(c) => self.graph.last_def_of(*c),
+            Criterion::Output(k) => self.graph.outputs.get(*k).copied(),
+        }
+        .ok_or(SliceError::UnknownCriterion)?;
+        let (stmts, t) = self.graph.slice_with_stats(occ, ts, self.shortcuts);
+        Ok((Slice { stmts }, t.into()))
     }
 }
 
 // The graph's Send + Sync audit lives in `dynslice-graph`; assert here that
-// the sequential slicers stay shareable too, so a batch engine and plain
-// `OptSlicer` queries can coexist on one graph across threads.
+// the sequential slicers stay shareable too, so a batch engine, the slice
+// server, and plain queries can coexist on one backend across threads.
+// (`Slicer: Sync` enforces this per-impl; the explicit list documents it.)
 const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<OptSlicer>();
-    assert_send_sync::<FpSlicer>();
+    assert_send_sync::<FpSlicer<'static>>();
+    assert_send_sync::<ForwardSlicer>();
     assert_send_sync::<Criterion>();
     assert_send_sync::<Slice>();
 };

@@ -89,7 +89,7 @@ pub struct LpSlicer<'p> {
     pub max_passes: u32,
 }
 
-/// Default pass budget for [`LpSlicer::slice`].
+/// Default pass budget for [`LpSlicer::slice_detailed`].
 pub const DEFAULT_MAX_PASSES: u32 = 64;
 
 /// Maps a global record position to `(chunk index, offset within chunk)`
@@ -154,11 +154,15 @@ impl<'p> LpSlicer<'p> {
         &self.file
     }
 
-    /// Computes a slice; `None` if the criterion never executed.
+    /// Computes a slice with LP's full per-query counters (including
+    /// [`LpStats::resolved_deps`] and the `truncated` flag, which the
+    /// unified [`crate::Slicer`] surface folds into
+    /// [`crate::SliceError::Truncated`]); `None` if the criterion never
+    /// executed.
     ///
     /// # Errors
     /// Propagates I/O errors from re-reading the trace.
-    pub fn slice(&self, criterion: Criterion) -> io::Result<Option<(Slice, LpStats)>> {
+    pub fn slice_detailed(&self, criterion: Criterion) -> io::Result<Option<(Slice, LpStats)>> {
         let mut st = ScanState::new(self.program, self.analysis);
         let mut stats = LpStats::default();
         let start = match criterion {
@@ -246,6 +250,34 @@ impl<'p> LpSlicer<'p> {
             }
         }
         Ok(())
+    }
+}
+
+impl crate::Slicer for LpSlicer<'_> {
+    fn name(&self) -> &'static str {
+        "lp"
+    }
+
+    /// LP under the unified contract: I/O failures and pass-budget
+    /// truncation — which [`LpSlicer::slice_detailed`] reports in-band via
+    /// `io::Result` and [`LpStats::truncated`] — become the corresponding
+    /// [`SliceError`](crate::SliceError) variants, so a capped run can
+    /// never masquerade as a complete one at any call site.
+    fn slice_with_stats(
+        &self,
+        criterion: &Criterion,
+    ) -> Result<(Slice, crate::SliceStats), crate::SliceError> {
+        match self.slice_detailed(*criterion) {
+            Err(e) => Err(crate::SliceError::Io(e)),
+            Ok(None) => Err(crate::SliceError::UnknownCriterion),
+            Ok(Some((slice, stats))) => {
+                if stats.truncated {
+                    Err(crate::SliceError::Truncated { partial: slice })
+                } else {
+                    Ok((slice, stats.into()))
+                }
+            }
+        }
     }
 }
 
@@ -486,6 +518,7 @@ impl<'p> ScanState<'p> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::Slicer as _;
     use dynslice_runtime::{run, VmOptions, CHUNK_RECORDS};
 
     fn slicer_for<'a>(
@@ -520,7 +553,7 @@ mod tests {
         assert!(lp.file().chunks.len() >= 3, "need several chunks");
         // early[0] is cell (0, 0): globals get instance ids in region order.
         let (_, stats) = lp
-            .slice(Criterion::CellLastDef(dynslice_runtime::Cell::new(0, 0)))
+            .slice_detailed(Criterion::CellLastDef(dynslice_runtime::Cell::new(0, 0)))
             .unwrap()
             .expect("slice exists");
         assert!(
@@ -549,7 +582,7 @@ mod tests {
         let t = run(&p, VmOptions { input: vec![4], ..Default::default() });
         let lp = slicer_for(&p, &a, &t.events, "passes.bin");
         let (slice, stats) = lp
-            .slice(Criterion::CellLastDef(dynslice_runtime::Cell::new(0, 0)))
+            .slice_detailed(Criterion::CellLastDef(dynslice_runtime::Cell::new(0, 0)))
             .unwrap()
             .expect("slice exists");
         assert!(stats.passes >= 2, "return chain needs another pass: {stats:?}");
@@ -557,7 +590,7 @@ mod tests {
         // And the result still matches FP.
         let fp = crate::FpSlicer::build(&p, &a, &t.events);
         assert_eq!(
-            fp.slice(&p, Criterion::CellLastDef(dynslice_runtime::Cell::new(0, 0)))
+            fp.slice(&Criterion::CellLastDef(dynslice_runtime::Cell::new(0, 0)))
                 .unwrap()
                 .stmts,
             slice.stmts
@@ -600,10 +633,10 @@ mod tests {
             lp.file().chunks.len() >= 2 && (last.len as usize) < CHUNK_RECORDS,
             "need a short trailing chunk"
         );
-        let (slice, stats) = lp.slice(Criterion::Output(0)).unwrap().expect("print executed");
+        let (slice, stats) = lp.slice_detailed(Criterion::Output(0)).unwrap().expect("print executed");
         assert!(!stats.truncated);
         let fp = crate::FpSlicer::build(&p, &a, &t.events);
-        assert_eq!(fp.slice(&p, Criterion::Output(0)).unwrap().stmts, slice.stmts);
+        assert_eq!(fp.slice(&Criterion::Output(0)).unwrap().stmts, slice.stmts);
     }
 
     #[test]
@@ -629,15 +662,15 @@ mod tests {
 
         // Unconstrained: converges, complete, and not truncated.
         let lp = slicer_for(&p, &a, &t.events, "cap-full.bin");
-        let (full, stats) = lp.slice(criterion).unwrap().expect("slice exists");
+        let (full, stats) = lp.slice_detailed(criterion).unwrap().expect("slice exists");
         assert!(stats.passes >= 2, "return chain needs more than one pass: {stats:?}");
         assert!(!stats.truncated, "{stats:?}");
         let fp = crate::FpSlicer::build(&p, &a, &t.events);
-        assert_eq!(fp.slice(&p, criterion).unwrap().stmts, full.stmts);
+        assert_eq!(fp.slice(&criterion).unwrap().stmts, full.stmts);
 
         // Capped below convergence: the incomplete result must say so.
         let lp = slicer_for(&p, &a, &t.events, "cap-1.bin").with_max_passes(1);
-        let (partial, stats) = lp.slice(criterion).unwrap().expect("slice exists");
+        let (partial, stats) = lp.slice_detailed(criterion).unwrap().expect("slice exists");
         assert_eq!(stats.passes, 1);
         assert!(stats.truncated, "cap hit with open return wants: {stats:?}");
         assert!(
@@ -655,11 +688,11 @@ mod tests {
         let t = run(&p, VmOptions::default());
         let lp = slicer_for(&p, &a, &t.events, "none.bin");
         assert!(lp
-            .slice(Criterion::CellLastDef(dynslice_runtime::Cell::new(9, 9)))
+            .slice_detailed(Criterion::CellLastDef(dynslice_runtime::Cell::new(9, 9)))
             .unwrap()
             .is_none());
-        assert!(lp.slice(Criterion::Output(5)).unwrap().is_none());
+        assert!(lp.slice_detailed(Criterion::Output(5)).unwrap().is_none());
         // Output 0 exists.
-        assert!(lp.slice(Criterion::Output(0)).unwrap().is_some());
+        assert!(lp.slice_detailed(Criterion::Output(0)).unwrap().is_some());
     }
 }

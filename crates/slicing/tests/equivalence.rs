@@ -5,7 +5,7 @@
 use dynslice_analysis::ProgramAnalysis;
 use dynslice_graph::OptConfig;
 use dynslice_runtime::{run, VmOptions};
-use dynslice_slicing::{Criterion, FpSlicer, LpSlicer, OptSlicer};
+use dynslice_slicing::{Criterion, FpSlicer, LpSlicer, OptSlicer, Slicer as _};
 
 fn check(src: &str, input: Vec<i64>) {
     let program = dynslice_lang::compile(src).expect("compiles");
@@ -24,18 +24,18 @@ fn check(src: &str, input: Vec<i64>) {
     cells.sort();
     for cell in cells {
         let c = Criterion::CellLastDef(cell);
-        let f = fp.slice(&program, c).expect("fp slice");
-        let o = opt.slice(c).expect("opt slice");
+        let f = fp.slice(&c).expect("fp slice");
+        let o = opt.slice(&c).expect("opt slice");
         assert_eq!(f.stmts, o.stmts, "FP vs OPT for {cell:?}\n{src}");
-        let (l, _) = lp.slice(c).unwrap().expect("lp slice");
+        let (l, _) = lp.slice_detailed(c).unwrap().expect("lp slice");
         assert_eq!(f.stmts, l.stmts, "FP vs LP for {cell:?}\n{src}");
     }
     for k in 0..trace.output.len() {
         let c = Criterion::Output(k);
-        let f = fp.slice(&program, c).expect("fp output slice");
-        let o = opt.slice(c).expect("opt output slice");
+        let f = fp.slice(&c).expect("fp output slice");
+        let o = opt.slice(&c).expect("opt output slice");
         assert_eq!(f.stmts, o.stmts, "FP vs OPT output {k}\n{src}");
-        let (l, _) = lp.slice(c).unwrap().expect("lp output slice");
+        let (l, _) = lp.slice_detailed(c).unwrap().expect("lp output slice");
         assert_eq!(f.stmts, l.stmts, "FP vs LP output {k}\n{src}");
     }
     std::fs::remove_file(&path).ok();
@@ -151,7 +151,7 @@ fn argument_chain_reaches_slice() {
     let analysis = ProgramAnalysis::compute(&program);
     let trace = run(&program, VmOptions { input: vec![3], ..Default::default() });
     let fp = FpSlicer::build(&program, &analysis, &trace.events);
-    let slice = fp.slice(&program, Criterion::Output(0)).unwrap();
+    let slice = fp.slice(&Criterion::Output(0)).unwrap();
     // seed = input() and big = seed * 10 must be present: find the Input
     // statement.
     let input_stmt = program

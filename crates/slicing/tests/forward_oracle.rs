@@ -5,7 +5,7 @@
 use dynslice_analysis::ProgramAnalysis;
 use dynslice_graph::OptConfig;
 use dynslice_runtime::{run, VmOptions};
-use dynslice_slicing::{Criterion, ForwardSlicer, FpSlicer};
+use dynslice_slicing::{Criterion, ForwardSlicer, FpSlicer, Slicer as _};
 
 fn setup(
     src: &str,
@@ -26,14 +26,14 @@ fn check_equal(src: &str, input: Vec<i64>) {
     for c in cells {
         let q = Criterion::CellLastDef(c);
         assert_eq!(
-            fp.slice(&p, q).unwrap().stmts,
-            fwd.slice(q).unwrap().stmts,
+            fp.slice(&q).unwrap().stmts,
+            fwd.slice(&q).unwrap().stmts,
             "cell {c:?}\n{src}"
         );
     }
     for k in 0..t.output.len() {
         let q = Criterion::Output(k);
-        assert_eq!(fp.slice(&p, q).unwrap().stmts, fwd.slice(q).unwrap().stmts, "output {k}");
+        assert_eq!(fp.slice(&q).unwrap().stmts, fwd.slice(&q).unwrap().stmts, "output {k}");
     }
 }
 
@@ -43,8 +43,8 @@ fn check_subset(src: &str, input: Vec<i64>) {
     let fwd = ForwardSlicer::build(&p, &a, &t.events);
     for (c, _) in fp.graph().last_def.iter() {
         let q = Criterion::CellLastDef(*c);
-        let b = fp.slice(&p, q).unwrap().stmts;
-        let f = fwd.slice(q).unwrap().stmts;
+        let b = fp.slice(&q).unwrap().stmts;
+        let f = fwd.slice(&q).unwrap().stmts;
         assert!(f.is_subset(&b), "forward ⊄ backward for {c:?}:\nF-only {:?}",
             f.difference(&b).collect::<Vec<_>>());
     }
@@ -127,7 +127,7 @@ fn forward_lookup_is_instant_and_costs_memory() {
     // Every defined cell answers instantly.
     let fp = FpSlicer::build(&p, &a, &t.events);
     for c in fp.graph().last_def.keys() {
-        assert!(fwd.slice(Criterion::CellLastDef(*c)).is_some());
+        assert!(fwd.slice(&Criterion::CellLastDef(*c)).is_ok());
     }
     let _ = OptConfig::default();
 }

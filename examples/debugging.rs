@@ -7,7 +7,7 @@
 //!
 //! Run with: `cargo run --example debugging`
 
-use dynslice::{Criterion, OptConfig, Session};
+use dynslice::{Criterion, OptConfig, Session, Slicer as _};
 
 fn main() {
     // `avg` is wrong: the loop accumulates into `sum2` with a stray `* 2`.
@@ -33,8 +33,8 @@ fn main() {
     println!("outputs: sum = {}, avg = {} (expected 14!)", trace.output[0], trace.output[1]);
 
     let opt = session.opt(&trace, &OptConfig::default());
-    let good = opt.slice(Criterion::Output(0)).expect("sum printed");
-    let bad = opt.slice(Criterion::Output(1)).expect("avg printed");
+    let good = opt.slice(&Criterion::Output(0)).expect("sum printed");
+    let bad = opt.slice(&Criterion::Output(1)).expect("avg printed");
 
     println!("slice of the correct output: {} statements", good.len());
     println!("slice of the faulty output:  {} statements", bad.len());

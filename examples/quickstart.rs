@@ -3,7 +3,7 @@
 //!
 //! Run with: `cargo run --example quickstart`
 
-use dynslice::{Criterion, OptConfig, Session};
+use dynslice::{Criterion, OptConfig, Session, Slicer as _};
 
 fn main() {
     let src = "
@@ -46,7 +46,7 @@ fn main() {
 
     // Slice on the second printed value: which statements influenced the
     // count of "small" inputs?
-    let slice = opt.slice(Criterion::Output(1)).expect("print executed");
+    let slice = opt.slice(&Criterion::Output(1)).expect("print executed");
     println!("slice of output #1 contains {} statements:", slice.len());
     for s in &slice.stmts {
         let loc = session.program.stmt_loc(*s);

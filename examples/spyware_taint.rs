@@ -8,7 +8,7 @@
 //!
 //! Run with: `cargo run --example spyware_taint`
 
-use dynslice::{Cell, Criterion, OptConfig, Session};
+use dynslice::{Cell, Criterion, OptConfig, Session, Slicer as _};
 
 fn main() {
     let src = "
@@ -53,7 +53,7 @@ fn main() {
         // outbox is the third global region (index 2): instance id == region
         // index for globals.
         let outbox_cell = Cell::new(2, slot);
-        let Some(slice) = opt.slice(Criterion::CellLastDef(outbox_cell)) else {
+        let Ok(slice) = opt.slice(&Criterion::CellLastDef(outbox_cell)) else {
             continue;
         };
         // Does the slice read the address book?

@@ -5,7 +5,7 @@
 
 use dynslice::{
     pick_cells, slice_batch, BatchConfig, Criterion, ForwardSlicer, OptConfig, PagedGraph,
-    Session, SliceBackend, SpecPolicy, StmtId, VmOptions,
+    Session, SliceError, Slicer, SpecPolicy, StmtId, VmOptions,
 };
 use dynslice_workloads::{generate, GenConfig};
 use proptest::prelude::*;
@@ -25,10 +25,13 @@ fn diff_dir() -> PathBuf {
     dir
 }
 
-/// The paged analogue of `OptSlicer::slice`, via the backend trait.
+/// The paged analogue of `OptSlicer::slice`, via the unified trait.
 fn paged_slice(paged: &PagedGraph, q: Criterion) -> Option<BTreeSet<StmtId>> {
-    let (occ, ts) = paged.criterion_instance(q)?;
-    Some(paged.slice(occ, ts).expect("paged I/O"))
+    match Slicer::slice(paged, &q) {
+        Ok(s) => Some(s.stmts),
+        Err(SliceError::UnknownCriterion) => None,
+        Err(e) => panic!("paged I/O: {e}"),
+    }
 }
 
 fn gen_config(seed: u64, alias_pct: u64, recursion: bool) -> GenConfig {
@@ -84,24 +87,24 @@ fn check_seed(seed: u64, alias_pct: u64, recursion: bool) {
     let fwd = ForwardSlicer::build(&session.program, &session.analysis, &trace.events);
     for c in pick_cells(fp.graph().last_def.keys().copied(), 6) {
         let q = Criterion::CellLastDef(c);
-        let expect = fp.slice(&session.program, q).expect("fp").stmts;
+        let expect = fp.slice(&q).expect("fp").stmts;
         for (i, o) in opts.iter().enumerate() {
-            assert_eq!(expect, o.slice(q).unwrap().stmts, "seed {seed} cfg {i} cell {c:?}\n{src}");
+            assert_eq!(expect, o.slice(&q).unwrap().stmts, "seed {seed} cfg {i} cell {c:?}\n{src}");
         }
-        let (l, _) = lp.slice(q).unwrap().expect("lp");
+        let (l, _) = lp.slice_detailed(q).unwrap().expect("lp");
         assert_eq!(expect, l.stmts, "seed {seed} LP cell {c:?}\n{src}");
         let p = paged_slice(&paged, q).expect("paged");
         assert_eq!(expect, p, "seed {seed} paged (resident {resident}) cell {c:?}\n{src}");
-        let f = fwd.slice(q).expect("forward").stmts;
+        let f = fwd.slice(&q).expect("forward").stmts;
         assert!(f.is_subset(&expect), "seed {seed} forward ⊄ backward for {c:?}\n{src}");
     }
     for k in 0..trace.output.len().min(3) {
         let q = Criterion::Output(k);
-        let expect = fp.slice(&session.program, q).expect("fp").stmts;
+        let expect = fp.slice(&q).expect("fp").stmts;
         for o in &opts {
-            assert_eq!(expect, o.slice(q).unwrap().stmts, "seed {seed} output {k}");
+            assert_eq!(expect, o.slice(&q).unwrap().stmts, "seed {seed} output {k}");
         }
-        let (l, _) = lp.slice(q).unwrap().expect("lp");
+        let (l, _) = lp.slice_detailed(q).unwrap().expect("lp");
         assert_eq!(expect, l.stmts, "seed {seed} LP output {k}");
         let p = paged_slice(&paged, q).expect("paged");
         assert_eq!(expect, p, "seed {seed} paged (resident {resident}) output {k}");
@@ -166,14 +169,10 @@ proptest! {
                 .take(unique.len() * (dup as usize + 1))
                 .collect();
             for cache in [true, false] {
-                let result = slice_batch(
-                    opt.graph(),
-                    &batch,
-                    BatchConfig { workers, shortcuts, cache },
-                );
+                let result = slice_batch(&opt, &batch, BatchConfig { workers, cache });
                 prop_assert_eq!(result.slices.len(), batch.len());
                 for (q, got) in batch.iter().zip(result.slices.iter()) {
-                    let want = opt.slice(*q);
+                    let want = opt.slice(q).ok();
                     prop_assert_eq!(
                         got.as_deref(),
                         want.as_ref(),
@@ -244,13 +243,9 @@ proptest! {
         let expect: Vec<Option<BTreeSet<StmtId>>> =
             batch.iter().map(|q| paged_slice(&paged, *q)).collect();
         for cache in [true, false] {
-            let result = slice_batch(
-                &paged,
-                &batch,
-                BatchConfig { workers, shortcuts: true, cache },
-            );
+            let result = slice_batch(&paged, &batch, BatchConfig { workers, cache });
             prop_assert!(result.errors.is_empty(), "I/O errors: {:?}", result.errors);
-            prop_assert_eq!(result.stats.total_io_errors(), 0);
+            prop_assert_eq!(result.stats.total_failed(), 0);
             prop_assert_eq!(result.slices.len(), batch.len());
             for ((got, want), q) in
                 result.slices.iter().zip(expect.iter()).zip(batch.iter())
@@ -317,28 +312,28 @@ fn four_way_check(name: &str, session: &Session, trace: &dynslice::Trace, querie
     let fwd = ForwardSlicer::build(&session.program, &session.analysis, &trace.events);
 
     for &q in queries {
-        let expect = match fp.slice(&session.program, q) {
-            Some(s) => s.stmts,
-            None => {
+        let expect = match fp.slice(&q) {
+            Ok(s) => s.stmts,
+            Err(_) => {
                 // Criterion never executed: every algorithm must agree.
                 for o in &opts {
-                    assert!(o.slice(q).is_none(), "{name}: OPT found unexecuted {q:?}");
+                    assert!(o.slice(&q).is_err(), "{name}: OPT found unexecuted {q:?}");
                 }
-                assert!(lp.slice(q).unwrap().is_none(), "{name}: LP found unexecuted {q:?}");
+                assert!(lp.slice_detailed(q).unwrap().is_none(), "{name}: LP found unexecuted {q:?}");
                 for (r, p) in &pageds {
                     assert!(
-                        p.criterion_instance(q).is_none(),
+                        paged_slice(p, q).is_none(),
                         "{name}: paged (resident {r}) found unexecuted {q:?}"
                     );
                 }
-                assert!(fwd.slice(q).is_none(), "{name}: forward found unexecuted {q:?}");
+                assert!(fwd.slice(&q).is_err(), "{name}: forward found unexecuted {q:?}");
                 continue;
             }
         };
         for (i, o) in opts.iter().enumerate() {
-            assert_eq!(expect, o.slice(q).unwrap().stmts, "{name}: FP vs OPT cfg {i} for {q:?}");
+            assert_eq!(expect, o.slice(&q).unwrap().stmts, "{name}: FP vs OPT cfg {i} for {q:?}");
         }
-        let (l, _) = lp.slice(q).unwrap().expect("lp slice");
+        let (l, _) = lp.slice_detailed(q).unwrap().expect("lp slice");
         assert_eq!(expect, l.stmts, "{name}: FP vs LP for {q:?}");
         for (r, p) in &pageds {
             assert_eq!(
@@ -347,7 +342,7 @@ fn four_way_check(name: &str, session: &Session, trace: &dynslice::Trace, querie
                 "{name}: FP vs paged (resident {r}) for {q:?}"
             );
         }
-        let f = fwd.slice(q).expect("forward slice").stmts;
+        let f = fwd.slice(&q).expect("forward slice").stmts;
         assert!(
             f.is_subset(&expect),
             "{name}: forward ⊄ backward for {q:?}; forward-only {:?}",

@@ -9,7 +9,7 @@ use std::path::PathBuf;
 
 use dynslice::{
     phases, pick_cells, workloads, Criterion, OptConfig, RecordMetrics, Registry, RunReport,
-    Session, VmOptions,
+    Session, Slicer as _, VmOptions,
 };
 
 fn scratch(name: &str) -> PathBuf {
@@ -35,7 +35,7 @@ fn lp_stats_round_trip_through_the_report() {
     let lp = session.lp(&trace, scratch("lp-roundtrip.bin")).unwrap();
     let cell = pick_cells(session.fp(&trace).graph().last_def.keys().copied(), 1)[0];
     let (slice, stats) =
-        lp.slice(Criterion::CellLastDef(cell)).unwrap().expect("criterion executed");
+        lp.slice_detailed(Criterion::CellLastDef(cell)).unwrap().expect("criterion executed");
 
     let reg = Registry::new();
     stats.record_metrics(&reg);
@@ -80,9 +80,9 @@ fn fp_opt_lp_report_identical_slice_sizes() {
     assert!(!criteria.is_empty());
 
     for q in criteria {
-        let a = fp.slice(&session.program, q).expect("fp");
-        let b = opt.slice(q).expect("opt");
-        let (c, _) = lp.slice(q).unwrap().expect("lp");
+        let a = fp.slice(&q).expect("fp");
+        let b = opt.slice(&q).expect("opt");
+        let (c, _) = lp.slice_detailed(q).unwrap().expect("lp");
         // Full set equality, which subsumes the size claim the reports make.
         assert_eq!(a.stmts, b.stmts, "{q:?}");
         assert_eq!(a.stmts, c.stmts, "{q:?}");

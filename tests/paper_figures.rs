@@ -4,7 +4,7 @@
 
 use dynslice::{
     ir::{MemRef, Operand, ProgramBuilder, Rvalue},
-    pick_cells, Cell, Criterion, OptConfig, ProgramAnalysis, Session, SpecPolicy,
+    pick_cells, Cell, Criterion, OptConfig, ProgramAnalysis, Session, Slicer as _, SpecPolicy,
 };
 
 /// The paper's Fig. 1(a) control-flow shape: a function with blocks
@@ -76,16 +76,16 @@ fn fig1a_slices_agree_and_distinguish_paths() {
         for k in 0..trace.output.len() {
             let q = Criterion::Output(k);
             assert_eq!(
-                fp.slice(&session.program, q).unwrap().stmts,
-                opt.slice(q).unwrap().stmts,
+                fp.slice(&q).unwrap().stmts,
+                opt.slice(&q).unwrap().stmts,
                 "output {k}"
             );
         }
         // The final X cell slice too.
         let q = Criterion::CellLastDef(Cell::new(0, 0));
         assert_eq!(
-            fp.slice(&session.program, q).unwrap().stmts,
-            opt.slice(q).unwrap().stmts
+            fp.slice(&q).unwrap().stmts,
+            opt.slice(&q).unwrap().stmts
         );
     }
 }
@@ -150,7 +150,7 @@ fn fig5_use_use_removes_second_load_labels() {
     // And slices stay identical.
     let fp = session.fp(&trace);
     let q = Criterion::Output(0);
-    assert_eq!(fp.slice(&session.program, q).unwrap().stmts, with.slice(q).unwrap().stmts);
+    assert_eq!(fp.slice(&q).unwrap().stmts, with.slice(&q).unwrap().stmts);
 }
 
 #[test]
@@ -218,8 +218,8 @@ fn aliasing_partial_elimination_matches_fig3() {
     for c in pick_cells(fp.graph().last_def.keys().copied(), 4) {
         let q = Criterion::CellLastDef(c);
         assert_eq!(
-            fp.slice(&session.program, q).unwrap().stmts,
-            opt.slice(q).unwrap().stmts
+            fp.slice(&q).unwrap().stmts,
+            opt.slice(&q).unwrap().stmts
         );
     }
 }

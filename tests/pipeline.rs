@@ -1,7 +1,7 @@
 //! Cross-crate integration tests: the full pipeline over the bundled
 //! workloads and targeted end-to-end scenarios.
 
-use dynslice::{pick_cells, workloads, Criterion, OptConfig, Session, SpecPolicy, VmOptions};
+use dynslice::{pick_cells, workloads, Criterion, OptConfig, Session, Slicer as _, SpecPolicy, VmOptions};
 
 /// Every named workload: trace, build FP + OPT, compare a sample of slices,
 /// and check that compaction actually compacts.
@@ -20,8 +20,8 @@ fn workload_suite_equivalence_and_compaction() {
         assert!(!cells.is_empty(), "{} defines no cells", w.name);
         for c in cells {
             let q = Criterion::CellLastDef(c);
-            let a = fp.slice(&session.program, q).expect("fp");
-            let b = opt.slice(q).expect("opt");
+            let a = fp.slice(&q).expect("fp");
+            let b = opt.slice(&q).expect("opt");
             assert_eq!(a.stmts, b.stmts, "{} cell {c:?}", w.name);
         }
         // At tiny scales the fixed static component dominates; the honest
@@ -71,8 +71,8 @@ fn workload_lp_equivalence() {
     let lp = session.lp(&trace, dir.join("parser.bin")).unwrap();
     for c in pick_cells(fp.graph().last_def.keys().copied(), 5) {
         let q = Criterion::CellLastDef(c);
-        let a = fp.slice(&session.program, q).expect("fp");
-        let (b, stats) = lp.slice(q).unwrap().expect("lp");
+        let a = fp.slice(&q).expect("fp");
+        let (b, stats) = lp.slice_detailed(q).unwrap().expect("lp");
         assert_eq!(a.stmts, b.stmts, "cell {c:?}");
         assert!(stats.passes >= 1);
     }
@@ -91,7 +91,7 @@ fn slices_are_smaller_than_use() {
     let cells = pick_cells(opt.graph().last_def.keys().copied(), 10);
     let total: usize = cells
         .iter()
-        .map(|c| opt.slice(Criterion::CellLastDef(*c)).map_or(0, |s| s.len()))
+        .map(|c| opt.slice(&Criterion::CellLastDef(*c)).map_or(0, |s| s.len()))
         .sum();
     let avg = total as f64 / cells.len() as f64;
     assert!(
@@ -120,8 +120,8 @@ fn specialization_policies_agree() {
         for c in pick_cells(fp.graph().last_def.keys().copied(), 6) {
             let q = Criterion::CellLastDef(c);
             assert_eq!(
-                fp.slice(&session.program, q).unwrap().stmts,
-                opt.slice(q).unwrap().stmts,
+                fp.slice(&q).unwrap().stmts,
+                opt.slice(&q).unwrap().stmts,
                 "policy {policy:?}, cell {c:?}"
             );
         }
