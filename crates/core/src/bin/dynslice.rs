@@ -11,6 +11,8 @@
 //! dynslice serve       <file> [--algo fp|opt|lp|forward|paged] [--paged]
 //!                      [--socket PATH] [--workers N] [--timeout-ms N]
 //!                      [--queue-depth N] [--cache-capacity N] [--no-cache]
+//!                      [--max-sessions N] [--memory-budget-mb MB]
+//!                      [--preload [name=]file[@i1;i2;...],...]
 //! dynslice report      <file> [--input 1,2,3]
 //! dynslice dot         <file> [--input 1,2,3] [--dynamic]  # graph to stdout
 //! dynslice dot         <file> --output K | --cell I:O      # slice rendering
@@ -31,6 +33,11 @@
 //! slice requests on stdin/stdout, or on a Unix socket with `--socket`
 //! (see `dynslice::protocol` for the wire format). It exits on stdin EOF,
 //! SIGTERM, or a `{"op":"shutdown"}` request, draining accepted work.
+//! Beyond the launch trace, clients may `load`/`unload` further named
+//! traces at runtime (and `--preload` admits some at startup); resident
+//! sessions are capped by `--max-sessions` and by the optional
+//! `--memory-budget-mb`, with idle sessions evicted LRU-first (see
+//! `dynslice::sessions`).
 //!
 //! Exit codes: `0` success; `2` usage errors; `3` the slice criterion
 //! never executed; `4` the slice was truncated by the LP pass budget
@@ -45,8 +52,8 @@ use std::time::Duration;
 use dynslice::criteria::{parse_cell, parse_output_index};
 use dynslice::{
     phases, pick_cells, serve, Algo, BatchConfig, BatchResult, BatchSliceEngine, Cell, Criterion,
-    RecordMetrics, Registry, RunReport, ServeConfig, Session, SliceError, SlicerConfig, Slicer,
-    StmtId, Transport,
+    RecordMetrics, Registry, RunReport, ServeConfig, Session, SessionManager, SessionSpec,
+    SliceError, SlicerConfig, Slicer, StmtId, Transport,
 };
 
 fn main() -> ExitCode {
@@ -113,6 +120,9 @@ struct Args {
     timeout_ms: Option<u64>,
     queue_depth: usize,
     cache_capacity: usize,
+    max_sessions: usize,
+    memory_budget_mb: Option<f64>,
+    preload: Vec<String>,
     metrics_json: Option<String>,
 }
 
@@ -143,6 +153,13 @@ impl Args {
             );
             m.insert("queue_depth".into(), self.queue_depth.to_string());
             m.insert("cache_capacity".into(), self.cache_capacity.to_string());
+            m.insert("max_sessions".into(), self.max_sessions.to_string());
+            if let Some(mb) = self.memory_budget_mb {
+                m.insert("memory_budget_mb".into(), mb.to_string());
+            }
+            if !self.preload.is_empty() {
+                m.insert("preload".into(), self.preload.join(","));
+            }
             if let Some(t) = self.timeout_ms {
                 m.insert("timeout_ms".into(), t.to_string());
             }
@@ -192,6 +209,9 @@ fn parse_args() -> Result<Args, String> {
         timeout_ms: None,
         queue_depth: 64,
         cache_capacity: 128,
+        max_sessions: 8,
+        memory_budget_mb: None,
+        preload: Vec::new(),
         metrics_json: None,
     };
     while let Some(a) = args.next() {
@@ -250,6 +270,24 @@ fn parse_args() -> Result<Args, String> {
                 out.cache_capacity =
                     v.parse().map_err(|_| format!("bad cache capacity `{v}`"))?;
             }
+            "--max-sessions" => {
+                let v = args.next().ok_or("--max-sessions needs a count")?;
+                out.max_sessions =
+                    v.parse().map_err(|_| format!("bad session count `{v}`"))?;
+            }
+            "--memory-budget-mb" => {
+                let v = args.next().ok_or("--memory-budget-mb needs a value")?;
+                let mb: f64 =
+                    v.parse().map_err(|_| format!("bad memory budget `{v}`"))?;
+                if !mb.is_finite() || mb <= 0.0 {
+                    return Err(format!("bad memory budget `{v}` (positive MB expected)"));
+                }
+                out.memory_budget_mb = Some(mb);
+            }
+            "--preload" => {
+                let v = args.next().ok_or("--preload needs [name=]file[@i1;i2;...],...")?;
+                out.preload.extend(v.split(',').filter(|s| !s.is_empty()).map(str::to_string));
+            }
             "--metrics-json" => {
                 out.metrics_json = Some(args.next().ok_or("--metrics-json needs a path")?);
             }
@@ -264,7 +302,8 @@ fn usage() -> String {
      [--input 1,2,3] [--output K | --cell INST:OFF] [--algo fp|opt|lp|forward|paged] \
      [--no-shortcuts] [--workers N] [--queries N] [--repeat R] [--no-cache] [--paged] \
      [--resident-blocks N] [--socket PATH] [--timeout-ms N] [--queue-depth N] \
-     [--cache-capacity N] [--metrics-json PATH]"
+     [--cache-capacity N] [--max-sessions N] [--memory-budget-mb MB] \
+     [--preload [name=]file[@i1;i2;...],...] [--metrics-json PATH]"
         .to_string()
 }
 
@@ -353,8 +392,20 @@ fn run_batch<S: Slicer + ?Sized>(
 
 /// Writes the run report when `--metrics-json` was passed.
 fn emit_metrics(a: &Args, reg: &Registry, algorithm: &str) -> Result<(), CliError> {
+    emit_metrics_with_sessions(a, reg, algorithm, BTreeMap::new())
+}
+
+/// Like [`emit_metrics`], folding per-session sub-reports (the serve
+/// path's session manager) into the report first.
+fn emit_metrics_with_sessions(
+    a: &Args,
+    reg: &Registry,
+    algorithm: &str,
+    sessions: BTreeMap<String, dynslice::SessionReport>,
+) -> Result<(), CliError> {
     let Some(path) = &a.metrics_json else { return Ok(()) };
-    let report = reg.report(algorithm, a.config_map());
+    let mut report = reg.report(algorithm, a.config_map());
+    report.sessions = sessions;
     report.write_to(path).map_err(|e| CliError::from(format!("{path}: {e}")))?;
     eprintln!("[metrics report written to {path}]");
     Ok(())
@@ -468,6 +519,21 @@ fn run() -> Result<(), CliError> {
                 queue_depth: a.queue_depth,
                 cache_capacity: if a.cache { a.cache_capacity } else { 0 },
             };
+            let budget = a.memory_budget_mb.map(|mb| (mb * 1024.0 * 1024.0) as u64);
+            let manager = SessionManager::new(
+                algo,
+                a.slicer_config(),
+                a.max_sessions,
+                budget,
+                config.cache_capacity,
+            );
+            for entry in &a.preload {
+                let spec = SessionSpec::parse(entry).map_err(CliError::usage)?;
+                manager
+                    .load(&spec, &reg)
+                    .map_err(|e| CliError::from(format!("--preload {entry}: {e}")))?;
+                eprintln!("[preloaded session `{}` from {}]", spec.name, spec.program.display());
+            }
             let transport = match &a.socket {
                 Some(path) => Transport::unix(path.into())?,
                 None => Transport::Stdio,
@@ -478,11 +544,11 @@ fn run() -> Result<(), CliError> {
                 a.socket.as_deref().unwrap_or("stdio"),
                 config.workers,
             );
-            let summary = serve(&slicer, &config, transport, &reg)?;
+            let summary = serve(&slicer, &manager, &config, transport, &reg)?;
             slicer.record_query_metrics(&reg);
             eprintln!(
                 "[serve: {} requests, {} ok ({} cached), {} timeouts, {} rejected, \
-                 {} bad, {} failed]",
+                 {} bad, {} failed; sessions: {} loaded, {} evicted, {} unloaded]",
                 summary.received,
                 summary.ok,
                 summary.cache_hits,
@@ -490,8 +556,16 @@ fn run() -> Result<(), CliError> {
                 summary.rejected,
                 summary.bad_requests,
                 summary.failed,
+                summary.sessions_loaded,
+                summary.sessions_evicted,
+                summary.sessions_unloaded,
             );
-            emit_metrics(&a, &reg, &format!("serve-{}", slicer.name()))
+            emit_metrics_with_sessions(
+                &a,
+                &reg,
+                &format!("serve-{}", slicer.name()),
+                manager.final_reports(),
+            )
         }
         "slice-batch" => {
             if trace.truncated {

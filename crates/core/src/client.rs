@@ -50,7 +50,8 @@ impl SliceClient {
             .map_err(|e| io::Error::new(io::ErrorKind::InvalidData, e))
     }
 
-    /// Requests the slice for `criterion`.
+    /// Requests the slice for `criterion` against the server's default
+    /// trace.
     ///
     /// # Errors
     /// Transport failures as in [`Self::roundtrip`]; a server-side error
@@ -58,6 +59,50 @@ impl SliceClient {
     pub fn slice(&mut self, criterion: &Criterion) -> io::Result<Response> {
         let id = self.fresh_id();
         self.roundtrip(&Request::slice(id, criterion))
+    }
+
+    /// Requests the slice for `criterion` against the named session.
+    ///
+    /// # Errors
+    /// Transport failures as in [`Self::roundtrip`].
+    pub fn slice_in(&mut self, session: &str, criterion: &Criterion) -> io::Result<Response> {
+        let id = self.fresh_id();
+        self.roundtrip(&Request::slice_in(id, session, criterion))
+    }
+
+    /// Asks the server to compile `program`, trace it on `input`, and
+    /// serve it as `session` (with the server's default backend unless
+    /// `algo` overrides it).
+    ///
+    /// # Errors
+    /// Transport failures as in [`Self::roundtrip`].
+    pub fn load(
+        &mut self,
+        session: &str,
+        program: &str,
+        input: &[i64],
+        algo: Option<&str>,
+    ) -> io::Result<Response> {
+        let id = self.fresh_id();
+        self.roundtrip(&Request::load(id, session, program, input, algo))
+    }
+
+    /// Drops the named session server-side.
+    ///
+    /// # Errors
+    /// Transport failures as in [`Self::roundtrip`].
+    pub fn unload(&mut self, session: &str) -> io::Result<Response> {
+        let id = self.fresh_id();
+        self.roundtrip(&Request::unload(id, session))
+    }
+
+    /// Lists the server's resident sessions.
+    ///
+    /// # Errors
+    /// Transport failures as in [`Self::roundtrip`].
+    pub fn list(&mut self) -> io::Result<Response> {
+        let id = self.fresh_id();
+        self.roundtrip(&Request::list(id))
     }
 
     /// Asks the server to shut down gracefully.

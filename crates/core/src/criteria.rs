@@ -57,6 +57,22 @@ pub fn parse_criterion(s: &str) -> Result<Criterion, String> {
     Err(format!("bad criterion `{s}` (expected `out:K` or `cell:INST:OFF`)"))
 }
 
+/// Parses a comma-separated input tape (`"4,5,-3"`) — the syntax shared
+/// by the CLI's `--input` flag and the slice protocol's `input` field on
+/// `load` requests. The empty string is the empty tape.
+///
+/// # Errors
+/// Describes the first malformed entry; whitespace is not tolerated, for
+/// the same strictness-at-the-boundary reason as the criterion parsers.
+pub fn parse_input_tape(s: &str) -> Result<Vec<i64>, String> {
+    if s.is_empty() {
+        return Ok(Vec::new());
+    }
+    s.split(',')
+        .map(|v| v.parse().map_err(|_| format!("bad input value `{v}` (integer expected)")))
+        .collect()
+}
+
 /// Formats a criterion in the syntax [`parse_criterion`] accepts.
 pub fn format_criterion(c: &Criterion) -> String {
     match c {
@@ -110,6 +126,16 @@ mod tests {
         assert!(parse_criterion("cell:").is_err());
         assert!(parse_criterion("").is_err());
         assert!(parse_criterion("cell").is_err(), "prefix without value");
+    }
+
+    #[test]
+    fn parses_input_tapes() {
+        assert_eq!(parse_input_tape("").unwrap(), Vec::<i64>::new());
+        assert_eq!(parse_input_tape("42").unwrap(), vec![42]);
+        assert_eq!(parse_input_tape("4,-5,0").unwrap(), vec![4, -5, 0]);
+        assert!(parse_input_tape("4,").is_err(), "trailing comma");
+        assert!(parse_input_tape("4, 5").is_err(), "whitespace");
+        assert!(parse_input_tape("four").is_err());
     }
 
     #[test]

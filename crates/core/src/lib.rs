@@ -32,6 +32,7 @@ pub mod client;
 pub mod criteria;
 pub mod protocol;
 pub mod server;
+pub mod sessions;
 
 pub use dynslice_analysis::{self as analysis, ProgramAnalysis};
 pub use dynslice_graph::{
@@ -40,7 +41,7 @@ pub use dynslice_graph::{
 };
 pub use dynslice_ir::{self as ir, Program, StmtId};
 pub use dynslice_lang::{self as lang, compile, Diags};
-pub use dynslice_obs::{self as obs, phases, RecordMetrics, Registry, RunReport};
+pub use dynslice_obs::{self as obs, phases, RecordMetrics, Registry, RunReport, SessionReport};
 pub use dynslice_profile::{self as profile, PathProfile, ProgramPaths};
 pub use dynslice_runtime::{self as runtime, Cell, Trace, TraceEvent, VmOptions};
 pub use dynslice_sequitur as sequitur;
@@ -54,9 +55,24 @@ pub use dynslice_workloads::{self as workloads, Workload};
 
 pub use client::SliceClient;
 pub use server::{serve, ServeConfig, ServeSummary, Transport};
+pub use sessions::{
+    LoadError, OwnedSlicer, SessionCounters, SessionEntry, SessionLease, SessionManager,
+    SessionSpec,
+};
 
 use std::io;
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Distinguishes scratch files created by concurrent builds in one
+/// process: the multi-trace server builds several disk-backed slicers
+/// into the same scratch directory, so pid-only names would collide.
+static SCRATCH_SEQ: AtomicU64 = AtomicU64::new(0);
+
+fn scratch_path(dir: &Path, prefix: &str, ext: &str) -> PathBuf {
+    let seq = SCRATCH_SEQ.fetch_add(1, Ordering::Relaxed);
+    dir.join(format!("{prefix}-{}-{seq}.{ext}", std::process::id()))
+}
 
 /// A compiled program plus its static analyses: the entry point for
 /// everything downstream.
@@ -168,7 +184,7 @@ impl Session {
             }
             Algo::Lp => {
                 std::fs::create_dir_all(&config.scratch_dir)?;
-                let path = config.scratch_dir.join(format!("records-{}.bin", std::process::id()));
+                let path = scratch_path(&config.scratch_dir, "records", "bin");
                 let lp = reg.time_phase(phases::RECORD_PREPROCESS, || self.lp(trace, path))?;
                 AnySlicer::Lp(match config.lp_max_passes {
                     Some(n) => lp.with_max_passes(n),
@@ -177,7 +193,7 @@ impl Session {
             }
             Algo::Paged => {
                 std::fs::create_dir_all(&config.scratch_dir)?;
-                let path = config.scratch_dir.join(format!("spill-{}.pg", std::process::id()));
+                let path = scratch_path(&config.scratch_dir, "spill", "pg");
                 AnySlicer::Paged(reg.time_phase(phases::RECORD_PREPROCESS, || {
                     self.paged(trace, &config.opt, path, config.resident_blocks)
                 })?)
@@ -285,6 +301,20 @@ impl AnySlicer<'_> {
             AnySlicer::Opt(o) => Some(o.graph()),
             AnySlicer::Paged(p) => Some(p.graph()),
             _ => None,
+        }
+    }
+
+    /// Bytes this backend keeps resident in memory between queries — the
+    /// weight the slice server's memory budget charges a session for.
+    /// Disk-resident payloads (the LP record stream, the paged spill
+    /// file) are excluded: only what occupies RAM counts.
+    pub fn resident_bytes(&self) -> u64 {
+        match self {
+            AnySlicer::Fp(fp) => fp.graph().size().bytes(),
+            AnySlicer::Opt(o) => o.graph().size(o.shortcuts).bytes(),
+            AnySlicer::Lp(lp) => lp.file().index_bytes() as u64,
+            AnySlicer::Forward(f) => f.resident_bytes(),
+            AnySlicer::Paged(p) => p.resident_bytes(),
         }
     }
 

@@ -10,21 +10,35 @@
 //! ```text
 //! {"id":1,"criterion":"out:0"}
 //! {"id":2,"criterion":"cell:0:4","delay_ms":500}
-//! {"id":3,"op":"shutdown"}
+//! {"id":3,"op":"load","session":"t1","program":"a.minic","input":"4,5"}
+//! {"id":4,"criterion":"out:0","session":"t1"}
+//! {"id":5,"op":"list"}
+//! {"id":6,"op":"unload","session":"t1"}
+//! {"id":7,"op":"shutdown"}
 //! ```
 //!
-//! `op` defaults to `"slice"`. `delay_ms` artificially delays the worker
-//! before it answers — a deterministic stand-in for an expensive query in
-//! timeout tests and latency experiments. `shutdown` asks the server to
-//! stop accepting requests, drain in-flight work, and exit (the protocol
-//! twin of EOF/SIGTERM).
+//! `op` defaults to `"slice"`. A slice request without a `session` field
+//! is answered by the trace the server was launched with — byte-identical
+//! to the single-trace protocol that predates sessions, so old clients
+//! keep working unmodified. `load` compiles `program`, traces it with
+//! `input` (comma-separated integers), builds the backend named by `algo`
+//! (the server's default when omitted), and registers it under `session`;
+//! `unload` drops a session; `list` enumerates resident sessions.
+//! `delay_ms` artificially delays the worker before it answers — a
+//! deterministic stand-in for an expensive query in timeout tests and
+//! latency experiments. `shutdown` asks the server to stop accepting
+//! requests, drain in-flight work, and exit (the protocol twin of
+//! EOF/SIGTERM).
 //!
 //! Responses:
 //!
 //! ```text
 //! {"id":1,"ok":true,"algo":"opt","len":3,"stmts":[0,2,5],"cached":false,"micros":180}
+//! {"id":3,"ok":true,"loaded":"t1","algo":"opt","resident_bytes":8192}
+//! {"id":5,"ok":true,"sessions":[{"name":"t1","algo":"opt","resident_bytes":8192,"requests":4}]}
+//! {"id":6,"ok":true,"unloaded":"t1"}
 //! {"id":2,"ok":false,"error":"timeout","message":"deadline exceeded after 100ms"}
-//! {"id":3,"ok":true,"shutdown":true}
+//! {"id":7,"ok":true,"shutdown":true}
 //! ```
 //!
 //! Serialization reuses the observability layer's JSON model
@@ -43,6 +57,12 @@ use crate::criteria::format_criterion;
 pub enum Op {
     /// Answer a slice query.
     Slice,
+    /// Build and register a named session (program + input + backend).
+    Load,
+    /// Drop a named session.
+    Unload,
+    /// Enumerate resident sessions.
+    List,
     /// Stop accepting requests, drain, and exit.
     Shutdown,
 }
@@ -57,33 +77,126 @@ pub struct Request {
     /// The criterion string (`out:K` / `cell:INST:OFF`); required for
     /// [`Op::Slice`].
     pub criterion: Option<String>,
+    /// The session the request addresses: required for [`Op::Load`] and
+    /// [`Op::Unload`]; optional for [`Op::Slice`] (absent = the default
+    /// trace the server was launched with).
+    pub session: Option<String>,
+    /// MiniC source path to compile server-side ([`Op::Load`] only).
+    pub program: Option<String>,
+    /// Comma-separated input tape for the loaded program's trace
+    /// ([`Op::Load`] only; empty/absent = no input).
+    pub input: Option<String>,
+    /// Backend algorithm for the loaded session ([`Op::Load`] only;
+    /// absent = the server's default).
+    pub algo: Option<String>,
     /// Artificial pre-answer delay in milliseconds (testing/latency aid).
     pub delay_ms: u64,
 }
 
 impl Request {
-    /// A slice request for `criterion` (client-side constructor).
+    fn bare(id: u64, op: Op) -> Self {
+        Request {
+            id,
+            op,
+            criterion: None,
+            session: None,
+            program: None,
+            input: None,
+            algo: None,
+            delay_ms: 0,
+        }
+    }
+
+    /// A slice request for `criterion` against the server's default trace
+    /// (client-side constructor).
     pub fn slice(id: u64, criterion: &Criterion) -> Self {
-        Request { id, op: Op::Slice, criterion: Some(format_criterion(criterion)), delay_ms: 0 }
+        Request {
+            criterion: Some(format_criterion(criterion)),
+            ..Request::bare(id, Op::Slice)
+        }
+    }
+
+    /// A slice request addressed to the named session.
+    pub fn slice_in(id: u64, session: &str, criterion: &Criterion) -> Self {
+        Request { session: Some(session.to_string()), ..Request::slice(id, criterion) }
+    }
+
+    /// A load request: build `program` traced with `input` under `session`.
+    pub fn load(
+        id: u64,
+        session: &str,
+        program: &str,
+        input: &[i64],
+        algo: Option<&str>,
+    ) -> Self {
+        Request {
+            session: Some(session.to_string()),
+            program: Some(program.to_string()),
+            input: if input.is_empty() {
+                None
+            } else {
+                Some(input.iter().map(|v| v.to_string()).collect::<Vec<_>>().join(","))
+            },
+            algo: algo.map(str::to_string),
+            ..Request::bare(id, Op::Load)
+        }
+    }
+
+    /// An unload request for the named session.
+    pub fn unload(id: u64, session: &str) -> Self {
+        Request { session: Some(session.to_string()), ..Request::bare(id, Op::Unload) }
+    }
+
+    /// A list request (client-side constructor).
+    pub fn list(id: u64) -> Self {
+        Request::bare(id, Op::List)
     }
 
     /// A shutdown request (client-side constructor).
     pub fn shutdown(id: u64) -> Self {
-        Request { id, op: Op::Shutdown, criterion: None, delay_ms: 0 }
+        Request::bare(id, Op::Shutdown)
     }
 
     /// Serializes to one protocol line (no trailing newline).
+    ///
+    /// Optional fields are omitted when unset, so a sessionless slice
+    /// request serializes to exactly the bytes the pre-session protocol
+    /// produced.
     pub fn to_json(&self) -> String {
         let mut obj = BTreeMap::new();
         obj.insert("id".into(), Value::Num(self.id as f64));
+        let mut put_session = || {
+            self.session.clone().map(|s| obj.insert("session".into(), Value::Str(s)))
+        };
         match self.op {
             Op::Slice => {
+                put_session();
                 if let Some(c) = &self.criterion {
                     obj.insert("criterion".into(), Value::Str(c.clone()));
                 }
                 if self.delay_ms > 0 {
                     obj.insert("delay_ms".into(), Value::Num(self.delay_ms as f64));
                 }
+            }
+            Op::Load => {
+                put_session();
+                obj.insert("op".into(), Value::Str("load".into()));
+                if let Some(p) = &self.program {
+                    obj.insert("program".into(), Value::Str(p.clone()));
+                }
+                if let Some(i) = &self.input {
+                    obj.insert("input".into(), Value::Str(i.clone()));
+                }
+                if let Some(a) = &self.algo {
+                    obj.insert("algo".into(), Value::Str(a.clone()));
+                }
+            }
+            Op::Unload => {
+                put_session();
+                obj.insert("op".into(), Value::Str("unload".into()));
+            }
+            Op::List => {
+                obj.insert("op".into(), Value::Str("list".into()));
             }
             Op::Shutdown => {
                 obj.insert("op".into(), Value::Str("shutdown".into()));
@@ -95,8 +208,9 @@ impl Request {
     /// Parses one request line.
     ///
     /// # Errors
-    /// Malformed JSON, wrong field types, unknown `op`, or a `slice`
-    /// request without a `criterion`.
+    /// Malformed JSON, wrong field types, unknown `op`, a `slice` request
+    /// without a `criterion`, or a `load`/`unload` without its required
+    /// fields.
     pub fn parse(line: &str) -> Result<Self, String> {
         let root = json::parse(line)?;
         let obj = root.as_obj().ok_or("request must be a JSON object")?;
@@ -108,33 +222,63 @@ impl Request {
             None => Op::Slice,
             Some(v) => match v.as_str() {
                 Some("slice") => Op::Slice,
+                Some("load") => Op::Load,
+                Some("unload") => Op::Unload,
+                Some("list") => Op::List,
                 Some("shutdown") => Op::Shutdown,
                 Some(other) => return Err(format!("unknown op `{other}`")),
                 None => return Err("`op` must be a string".into()),
             },
         };
-        let criterion = match obj.get("criterion") {
-            None => None,
-            Some(v) => Some(v.as_str().ok_or("`criterion` must be a string")?.to_string()),
+        let string_field = |name: &str| -> Result<Option<String>, String> {
+            match obj.get(name) {
+                None => Ok(None),
+                Some(v) => {
+                    Ok(Some(v.as_str().ok_or(format!("`{name}` must be a string"))?.to_string()))
+                }
+            }
         };
-        if op == Op::Slice && criterion.is_none() {
-            return Err("slice request needs a `criterion`".into());
+        let criterion = string_field("criterion")?;
+        let session = string_field("session")?;
+        let program = string_field("program")?;
+        let input = string_field("input")?;
+        let algo = string_field("algo")?;
+        if matches!(session.as_deref(), Some("")) {
+            return Err("`session` must be non-empty".into());
+        }
+        match op {
+            Op::Slice if criterion.is_none() => {
+                return Err("slice request needs a `criterion`".into())
+            }
+            Op::Load if session.is_none() => return Err("load request needs a `session`".into()),
+            Op::Load if program.is_none() => return Err("load request needs a `program`".into()),
+            Op::Unload if session.is_none() => {
+                return Err("unload request needs a `session`".into())
+            }
+            _ => {}
         }
         let delay_ms = match obj.get("delay_ms") {
             None => 0,
             Some(v) => v.as_u64().ok_or("`delay_ms` must be an unsigned integer")?,
         };
-        Ok(Request { id, op, criterion, delay_ms })
+        Ok(Request { id, op, criterion, session, program, input, algo, delay_ms })
     }
 }
 
 /// Machine-readable failure category in an error response.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum ErrorKind {
-    /// The request line did not parse, or the criterion was malformed.
+    /// The request line did not parse, the criterion was malformed, or a
+    /// `load` failed to compile/trace its program.
     BadRequest,
     /// The criterion never executed ([`dynslice_slicing::SliceError::UnknownCriterion`]).
     UnknownCriterion,
+    /// The request addressed a session that is not loaded (never loaded,
+    /// unloaded, or evicted under memory pressure).
+    UnknownSession,
+    /// Admitting the loaded session would exceed the server's memory
+    /// budget (or session cap) even after evicting every idle session.
+    OverBudget,
     /// The slice was cut off by the backend's pass budget
     /// ([`dynslice_slicing::SliceError::Truncated`]).
     Truncated,
@@ -153,12 +297,26 @@ impl ErrorKind {
         match self {
             ErrorKind::BadRequest => "bad_request",
             ErrorKind::UnknownCriterion => "unknown_criterion",
+            ErrorKind::UnknownSession => "unknown_session",
+            ErrorKind::OverBudget => "over_budget",
             ErrorKind::Truncated => "truncated",
             ErrorKind::Timeout => "timeout",
             ErrorKind::Rejected => "rejected",
             ErrorKind::Io => "io",
         }
     }
+
+    /// Every kind, for exhaustive protocol tests.
+    pub const ALL: [ErrorKind; 8] = [
+        ErrorKind::BadRequest,
+        ErrorKind::UnknownCriterion,
+        ErrorKind::UnknownSession,
+        ErrorKind::OverBudget,
+        ErrorKind::Truncated,
+        ErrorKind::Timeout,
+        ErrorKind::Rejected,
+        ErrorKind::Io,
+    ];
 }
 
 impl std::str::FromStr for ErrorKind {
@@ -169,11 +327,58 @@ impl std::str::FromStr for ErrorKind {
         Ok(match s {
             "bad_request" => ErrorKind::BadRequest,
             "unknown_criterion" => ErrorKind::UnknownCriterion,
+            "unknown_session" => ErrorKind::UnknownSession,
+            "over_budget" => ErrorKind::OverBudget,
             "truncated" => ErrorKind::Truncated,
             "timeout" => ErrorKind::Timeout,
             "rejected" => ErrorKind::Rejected,
             "io" => ErrorKind::Io,
             other => return Err(format!("unknown error kind `{other}`")),
+        })
+    }
+}
+
+/// One resident session as reported by a `list` response.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SessionInfo {
+    /// The session's name (the `session` field that addresses it).
+    pub name: String,
+    /// The backend serving it ([`dynslice_slicing::Slicer::name`]).
+    pub algo: String,
+    /// Bytes the session's dependence representation keeps resident.
+    pub resident_bytes: u64,
+    /// Slice requests this session has answered so far.
+    pub requests: u64,
+}
+
+impl SessionInfo {
+    fn to_value(&self) -> Value {
+        let mut obj = BTreeMap::new();
+        obj.insert("name".into(), Value::Str(self.name.clone()));
+        obj.insert("algo".into(), Value::Str(self.algo.clone()));
+        obj.insert("resident_bytes".into(), Value::Num(self.resident_bytes as f64));
+        obj.insert("requests".into(), Value::Num(self.requests as f64));
+        Value::Obj(obj)
+    }
+
+    fn from_value(v: &Value) -> Result<Self, String> {
+        let obj = v.as_obj().ok_or("session entries must be objects")?;
+        let text = |name: &str| {
+            obj.get(name)
+                .and_then(Value::as_str)
+                .map(str::to_string)
+                .ok_or(format!("session entry needs string `{name}`"))
+        };
+        let num = |name: &str| {
+            obj.get(name)
+                .and_then(Value::as_u64)
+                .ok_or(format!("session entry needs unsigned `{name}`"))
+        };
+        Ok(SessionInfo {
+            name: text("name")?,
+            algo: text("algo")?,
+            resident_bytes: num("resident_bytes")?,
+            requests: num("requests")?,
         })
     }
 }
@@ -191,6 +396,26 @@ pub enum ResponseBody {
         cached: bool,
         /// Service time in microseconds (queue wait excluded).
         micros: u64,
+    },
+    /// Acknowledgement of a `load`: the session is built and resident.
+    Loaded {
+        /// The session's name.
+        session: String,
+        /// The backend that was built.
+        algo: String,
+        /// Bytes the new session keeps resident (what the memory budget
+        /// charges it for).
+        resident_bytes: u64,
+    },
+    /// Acknowledgement of an `unload`.
+    Unloaded {
+        /// The dropped session's name.
+        session: String,
+    },
+    /// Answer to a `list`: resident sessions, name-ascending.
+    Sessions {
+        /// One entry per resident named session.
+        sessions: Vec<SessionInfo>,
     },
     /// Acknowledgement of a `shutdown` request.
     ShutdownAck,
@@ -236,6 +461,23 @@ impl Response {
                 obj.insert("cached".into(), Value::Bool(*cached));
                 obj.insert("micros".into(), Value::Num(*micros as f64));
             }
+            ResponseBody::Loaded { session, algo, resident_bytes } => {
+                obj.insert("ok".into(), Value::Bool(true));
+                obj.insert("loaded".into(), Value::Str(session.clone()));
+                obj.insert("algo".into(), Value::Str(algo.clone()));
+                obj.insert("resident_bytes".into(), Value::Num(*resident_bytes as f64));
+            }
+            ResponseBody::Unloaded { session } => {
+                obj.insert("ok".into(), Value::Bool(true));
+                obj.insert("unloaded".into(), Value::Str(session.clone()));
+            }
+            ResponseBody::Sessions { sessions } => {
+                obj.insert("ok".into(), Value::Bool(true));
+                obj.insert(
+                    "sessions".into(),
+                    Value::Arr(sessions.iter().map(SessionInfo::to_value).collect()),
+                );
+            }
             ResponseBody::ShutdownAck => {
                 obj.insert("ok".into(), Value::Bool(true));
                 obj.insert("shutdown".into(), Value::Bool(true));
@@ -276,6 +518,34 @@ impl Response {
             ResponseBody::Error { kind, message }
         } else if matches!(obj.get("shutdown"), Some(Value::Bool(true))) {
             ResponseBody::ShutdownAck
+        } else if let Some(session) = obj.get("loaded") {
+            ResponseBody::Loaded {
+                session: session.as_str().ok_or("`loaded` must be a string")?.to_string(),
+                algo: obj
+                    .get("algo")
+                    .and_then(Value::as_str)
+                    .ok_or("load ack needs `algo`")?
+                    .to_string(),
+                resident_bytes: obj
+                    .get("resident_bytes")
+                    .and_then(Value::as_u64)
+                    .ok_or("load ack needs unsigned `resident_bytes`")?,
+            }
+        } else if let Some(session) = obj.get("unloaded") {
+            ResponseBody::Unloaded {
+                session: session.as_str().ok_or("`unloaded` must be a string")?.to_string(),
+            }
+        } else if let Some(sessions) = obj.get("sessions") {
+            let items = match sessions {
+                Value::Arr(items) => items,
+                _ => return Err("`sessions` must be an array".into()),
+            };
+            ResponseBody::Sessions {
+                sessions: items
+                    .iter()
+                    .map(SessionInfo::from_value)
+                    .collect::<Result<Vec<_>, _>>()?,
+            }
         } else {
             let algo =
                 obj.get("algo").and_then(Value::as_str).ok_or("slice response needs `algo`")?;
@@ -314,6 +584,11 @@ mod tests {
             Request::slice(1, &Criterion::Output(0)),
             Request::slice(2, &Criterion::CellLastDef(Cell::new(3, 4))),
             Request { delay_ms: 250, ..Request::slice(3, &Criterion::Output(1)) },
+            Request::slice_in(4, "trace-a", &Criterion::Output(0)),
+            Request::load(5, "trace-a", "/tmp/a.minic", &[1, -2, 3], Some("opt")),
+            Request::load(6, "trace-b", "b.minic", &[], None),
+            Request::unload(7, "trace-a"),
+            Request::list(8),
             Request::shutdown(9),
         ];
         for r in reqs {
@@ -323,15 +598,47 @@ mod tests {
         }
     }
 
+    /// The `session` field (and the other load-only fields) are omitted
+    /// when unset: a sessionless slice request is byte-for-byte what the
+    /// single-trace protocol produced.
+    #[test]
+    fn sessionless_requests_keep_the_legacy_wire_format() {
+        assert_eq!(
+            Request::slice(1, &Criterion::Output(0)).to_json(),
+            r#"{"criterion":"out:0","id":1}"#,
+        );
+        assert_eq!(
+            Request { delay_ms: 250, ..Request::slice(3, &Criterion::Output(1)) }.to_json(),
+            r#"{"criterion":"out:1","delay_ms":250,"id":3}"#,
+        );
+        assert_eq!(Request::shutdown(9).to_json(), r#"{"id":9,"op":"shutdown"}"#);
+    }
+
     #[test]
     fn request_defaults_and_validation() {
         let r = Request::parse(r#"{"criterion":"out:0"}"#).unwrap();
         assert_eq!(r.id, 0);
         assert_eq!(r.op, Op::Slice);
+        assert_eq!(r.session, None);
+        let r = Request::parse(r#"{"criterion":"out:0","session":"t"}"#).unwrap();
+        assert_eq!(r.session.as_deref(), Some("t"));
         assert!(Request::parse(r#"{"id":1}"#).is_err(), "slice without criterion");
         assert!(Request::parse(r#"{"id":1,"op":"reboot"}"#).is_err(), "unknown op");
         assert!(Request::parse("not json").is_err());
         assert!(Request::parse(r#"{"id":-1,"criterion":"out:0"}"#).is_err(), "negative id");
+        assert!(
+            Request::parse(r#"{"id":1,"op":"load","session":"t"}"#).is_err(),
+            "load without program"
+        );
+        assert!(
+            Request::parse(r#"{"id":1,"op":"load","program":"a.minic"}"#).is_err(),
+            "load without session"
+        );
+        assert!(Request::parse(r#"{"id":1,"op":"unload"}"#).is_err(), "unload without session");
+        assert!(
+            Request::parse(r#"{"id":1,"criterion":"out:0","session":""}"#).is_err(),
+            "empty session name"
+        );
     }
 
     #[test]
@@ -354,6 +661,35 @@ mod tests {
                     message: "deadline exceeded".into(),
                 },
             },
+            Response {
+                id: 4,
+                body: ResponseBody::Loaded {
+                    session: "trace-a".into(),
+                    algo: "lp".into(),
+                    resident_bytes: 12_288,
+                },
+            },
+            Response { id: 5, body: ResponseBody::Unloaded { session: "trace-a".into() } },
+            Response { id: 6, body: ResponseBody::Sessions { sessions: vec![] } },
+            Response {
+                id: 7,
+                body: ResponseBody::Sessions {
+                    sessions: vec![
+                        SessionInfo {
+                            name: "a".into(),
+                            algo: "opt".into(),
+                            resident_bytes: 100,
+                            requests: 3,
+                        },
+                        SessionInfo {
+                            name: "b".into(),
+                            algo: "paged".into(),
+                            resident_bytes: 64,
+                            requests: 0,
+                        },
+                    ],
+                },
+            },
         ];
         for r in rs {
             let line = r.to_json();
@@ -370,14 +706,7 @@ mod tests {
 
     #[test]
     fn every_error_kind_has_a_stable_tag() {
-        for kind in [
-            ErrorKind::BadRequest,
-            ErrorKind::UnknownCriterion,
-            ErrorKind::Truncated,
-            ErrorKind::Timeout,
-            ErrorKind::Rejected,
-            ErrorKind::Io,
-        ] {
+        for kind in ErrorKind::ALL {
             assert_eq!(kind.as_str().parse::<ErrorKind>().unwrap(), kind);
         }
         assert!("warp_failure".parse::<ErrorKind>().is_err());

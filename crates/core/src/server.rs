@@ -2,11 +2,17 @@
 //!
 //! A one-shot `dynslice slice` run pays the dominant cost of dynamic
 //! slicing — trace capture and dependence-graph construction — for every
-//! single query. The service inverts that: the backend is built **once**
-//! and then answers an open-ended stream of slice requests over the
+//! single query. The service inverts that: backends are built **once**
+//! and then answer an open-ended stream of slice requests over the
 //! newline-delimited JSON protocol of [`crate::protocol`], amortizing the
 //! build the same way the batch engine does but across an interactive
 //! session instead of a fixed query list.
+//!
+//! The server holds one **default** backend (the trace it was launched
+//! with — requests without a `session` field go there, byte-compatible
+//! with the single-trace protocol) plus a [`SessionManager`] of named
+//! sessions that clients `load`/`unload` at runtime (see
+//! [`crate::sessions`] for the residency policy).
 //!
 //! Architecture:
 //!
@@ -15,24 +21,27 @@
 //!   queue**. A full queue rejects the request immediately (`rejected`
 //!   error) — backpressure is explicit, never an unbounded buffer.
 //! * **Workers** (scoped threads, so they can borrow the slicer) pop jobs,
-//!   consult a per-criterion LRU cache, run [`Slicer::slice_with_stats`],
-//!   and write the response to the connection the request came from.
-//!   Responses may be written out of order; the `id` field correlates.
+//!   consult the per-criterion LRU cache of the addressed session, run
+//!   [`Slicer::slice_with_stats`], and write the response to the
+//!   connection the request came from. Responses may be written out of
+//!   order; the `id` field correlates. Session `load` builds also run
+//!   here — **every** op goes through the one queue, so with a single
+//!   worker a scripted request stream is answered strictly in order.
 //! * **Deadlines**: with `--timeout-ms`, each request gets a deadline
 //!   stamped at enqueue time. The deadline is checked when the job is
 //!   dequeued, during any artificial `delay_ms`, and after the slice is
 //!   computed; an expired request answers `timeout` instead of a slice.
 //! * **Errors are isolated per request**: a malformed line, unknown
-//!   criterion, truncated LP slice, or I/O failure fails that request
-//!   only — the session keeps serving.
+//!   criterion, unknown session, rejected load, truncated LP slice, or
+//!   I/O failure fails that request only — the server keeps serving.
 //! * **Shutdown** is graceful on stdin EOF, SIGTERM, or a protocol
 //!   `{"op":"shutdown"}`: the queue closes, already-accepted jobs drain,
 //!   and the caller gets a [`ServeSummary`] to fold into the final
 //!   metrics report.
 
-use std::collections::{BTreeMap, HashMap, VecDeque};
 use std::io::{self, BufRead, BufReader, Write};
-use std::os::unix::net::UnixListener;
+use std::os::unix::fs::FileTypeExt;
+use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
@@ -42,10 +51,12 @@ use std::time::{Duration, Instant};
 use dynslice_obs::{phases, Registry};
 use dynslice_slicing::{Criterion, SliceError, Slicer};
 
-use crate::criteria::parse_criterion;
+use crate::criteria::{parse_criterion, parse_input_tape};
 use crate::protocol::{ErrorKind, Op, Request, Response, ResponseBody};
+use crate::sessions::{LoadError, LruCache, SessionEntry, SessionManager, SessionSpec};
 
 /// How the server talks to its clients.
+#[derive(Debug)]
 pub enum Transport {
     /// Requests on stdin, responses on stdout; the session ends at EOF.
     Stdio,
@@ -56,13 +67,49 @@ pub enum Transport {
 }
 
 impl Transport {
-    /// Binds a Unix-socket transport at `path`, replacing a stale socket
-    /// file from a previous run.
+    /// Binds a Unix-socket transport at `path`.
+    ///
+    /// A leftover socket file from a crashed server is replaced — but
+    /// only after probing it: if anything is not a socket, or a connect
+    /// succeeds (another server is alive and listening), the bind is
+    /// refused instead of silently clobbering it.
     ///
     /// # Errors
-    /// Propagates bind failures.
+    /// `AddrInUse` when a live server holds the socket, `InvalidInput`
+    /// when the path exists but is not a socket, plus ordinary bind
+    /// failures.
     pub fn unix(path: PathBuf) -> io::Result<Self> {
-        let _ = std::fs::remove_file(&path);
+        match std::fs::symlink_metadata(&path) {
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+            Ok(meta) => {
+                if !meta.file_type().is_socket() {
+                    return Err(io::Error::new(
+                        io::ErrorKind::InvalidInput,
+                        format!(
+                            "refusing to replace `{}`: it exists and is not a socket",
+                            path.display()
+                        ),
+                    ));
+                }
+                match UnixStream::connect(&path) {
+                    Ok(_) => {
+                        return Err(io::Error::new(
+                            io::ErrorKind::AddrInUse,
+                            format!(
+                                "socket `{}` has a live server listening on it",
+                                path.display()
+                            ),
+                        ))
+                    }
+                    // Nobody accepts on it: a stale leftover, safe to reap.
+                    Err(e) if e.kind() == io::ErrorKind::ConnectionRefused => {
+                        std::fs::remove_file(&path)?;
+                    }
+                    Err(e) => return Err(e),
+                }
+            }
+        }
         let listener = UnixListener::bind(&path)?;
         Ok(Transport::Unix(listener, path))
     }
@@ -77,7 +124,8 @@ pub struct ServeConfig {
     pub timeout: Option<Duration>,
     /// Bounded queue depth; a full queue rejects new requests.
     pub queue_depth: usize,
-    /// LRU slice-cache capacity in entries; `0` disables caching.
+    /// LRU slice-cache capacity in entries (per session); `0` disables
+    /// caching.
     pub cache_capacity: usize,
 }
 
@@ -92,18 +140,20 @@ impl Default for ServeConfig {
 pub struct ServeSummary {
     /// Request lines received (including malformed ones).
     pub received: u64,
-    /// Successful slice responses.
+    /// Successful responses (slices and load/unload/list acks).
     pub ok: u64,
-    /// Slice answers served from the LRU cache.
+    /// Slice answers served from an LRU result cache.
     pub cache_hits: u64,
+    /// Slice answers that had to be computed.
+    pub cache_misses: u64,
     /// Requests that missed their deadline.
     pub timeouts: u64,
     /// Requests bounced off the full (or closing) queue.
     pub rejected: u64,
     /// Lines that failed to parse or carried a malformed criterion.
     pub bad_requests: u64,
-    /// Slice queries that failed in the backend (unknown criterion,
-    /// truncation, I/O).
+    /// Requests that failed server-side (unknown criterion or session,
+    /// truncation, rejected load, I/O).
     pub failed: u64,
     /// Socket connections accepted (0 for stdio).
     pub connections: u64,
@@ -111,6 +161,14 @@ pub struct ServeSummary {
     pub in_flight_peak: u64,
     /// Deepest the request queue ever got.
     pub queue_peak: u64,
+    /// Sessions admitted by `load` (preloads included).
+    pub sessions_loaded: u64,
+    /// Idle sessions evicted under the memory budget or session cap.
+    pub sessions_evicted: u64,
+    /// Sessions dropped by `unload` (same-name replacement included).
+    pub sessions_unloaded: u64,
+    /// Loads refused because eviction could not make room.
+    pub sessions_rejected: u64,
 }
 
 impl ServeSummary {
@@ -119,11 +177,16 @@ impl ServeSummary {
         reg.counter_add("server.requests", self.received);
         reg.counter_add("server.responses_ok", self.ok);
         reg.counter_add("server.cache_hits", self.cache_hits);
+        reg.counter_add("server.cache_misses", self.cache_misses);
         reg.counter_add("server.timeouts", self.timeouts);
         reg.counter_add("server.rejected", self.rejected);
         reg.counter_add("server.bad_requests", self.bad_requests);
         reg.counter_add("server.failed", self.failed);
         reg.counter_add("server.connections", self.connections);
+        reg.counter_add("server.sessions_loaded", self.sessions_loaded);
+        reg.counter_add("server.sessions_evicted", self.sessions_evicted);
+        reg.counter_add("server.sessions_unloaded", self.sessions_unloaded);
+        reg.counter_add("server.sessions_rejected", self.sessions_rejected);
         reg.gauge_set("server.in_flight_peak", self.in_flight_peak as f64);
         reg.gauge_set("server.queue_peak", self.queue_peak as f64);
     }
@@ -148,18 +211,30 @@ impl Sink {
     }
 }
 
-/// One unit of work: an accepted slice request bound to its reply sink.
+/// What an accepted request asks a worker to do.
+enum JobKind {
+    /// Slice `criterion` against the named session (`None` = the default
+    /// trace).
+    Slice { criterion: Criterion, session: Option<String>, delay_ms: u64 },
+    /// Build and admit a session.
+    Load(SessionSpec),
+    /// Drop a session.
+    Unload(String),
+    /// Enumerate resident sessions.
+    List,
+}
+
+/// One unit of work: an accepted request bound to its reply sink.
 struct Job {
     id: u64,
-    criterion: Criterion,
-    delay_ms: u64,
+    kind: JobKind,
     deadline: Option<Instant>,
     sink: Arc<Sink>,
 }
 
 #[derive(Default)]
 struct QueueInner {
-    jobs: VecDeque<Job>,
+    jobs: std::collections::VecDeque<Job>,
     closed: bool,
 }
 
@@ -172,7 +247,11 @@ struct Queue {
 
 impl Queue {
     fn new(depth: usize) -> Self {
-        Queue { inner: Mutex::new(QueueInner::default()), available: Condvar::new(), depth: depth.max(1) }
+        Queue {
+            inner: Mutex::new(QueueInner::default()),
+            available: Condvar::new(),
+            depth: depth.max(1),
+        }
     }
 
     /// Enqueues `job`, or hands it back if the queue is full or closed.
@@ -209,50 +288,11 @@ impl Queue {
     }
 }
 
-/// Least-recently-used slice cache keyed by criterion.
-struct LruCache {
-    capacity: usize,
-    seq: u64,
-    map: HashMap<Criterion, (u64, Arc<Vec<u32>>)>,
-    order: BTreeMap<u64, Criterion>,
-}
-
-impl LruCache {
-    fn new(capacity: usize) -> Self {
-        LruCache { capacity, seq: 0, map: HashMap::new(), order: BTreeMap::new() }
-    }
-
-    fn get(&mut self, criterion: &Criterion) -> Option<Arc<Vec<u32>>> {
-        let (seq, stmts) = self.map.get_mut(criterion)?;
-        let stale = *seq;
-        self.seq += 1;
-        *seq = self.seq;
-        let stmts = Arc::clone(stmts);
-        self.order.remove(&stale);
-        self.order.insert(self.seq, *criterion);
-        Some(stmts)
-    }
-
-    fn insert(&mut self, criterion: Criterion, stmts: Arc<Vec<u32>>) {
-        if self.capacity == 0 {
-            return;
-        }
-        if let Some((stale, _)) = self.map.remove(&criterion) {
-            self.order.remove(&stale);
-        }
-        while self.map.len() >= self.capacity {
-            let Some((_, evicted)) = self.order.pop_first() else { break };
-            self.map.remove(&evicted);
-        }
-        self.seq += 1;
-        self.map.insert(criterion, (self.seq, stmts));
-        self.order.insert(self.seq, criterion);
-    }
-}
-
 /// State shared between readers, workers, and the supervisor.
 struct Shared {
     queue: Queue,
+    /// Result cache for the default (sessionless) trace; named sessions
+    /// carry their own.
     cache: Mutex<LruCache>,
     timeout: Option<Duration>,
     shutdown: AtomicBool,
@@ -260,6 +300,7 @@ struct Shared {
     received: AtomicU64,
     ok: AtomicU64,
     cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
     timeouts: AtomicU64,
     rejected: AtomicU64,
     bad_requests: AtomicU64,
@@ -281,6 +322,7 @@ impl Shared {
             received: AtomicU64::new(0),
             ok: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
             timeouts: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
             bad_requests: AtomicU64::new(0),
@@ -302,11 +344,13 @@ impl Shared {
         Response { id, body: ResponseBody::Error { kind, message: message.into() } }
     }
 
-    fn summary(&self) -> ServeSummary {
+    fn summary(&self, manager: &SessionManager) -> ServeSummary {
+        let sessions = manager.counters();
         ServeSummary {
             received: self.received.load(Ordering::Relaxed),
             ok: self.ok.load(Ordering::Relaxed),
             cache_hits: self.cache_hits.load(Ordering::Relaxed),
+            cache_misses: self.cache_misses.load(Ordering::Relaxed),
             timeouts: self.timeouts.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
             bad_requests: self.bad_requests.load(Ordering::Relaxed),
@@ -314,6 +358,10 @@ impl Shared {
             connections: self.connections.load(Ordering::Relaxed),
             in_flight_peak: self.in_flight_peak.load(Ordering::Relaxed),
             queue_peak: self.queue_peak.load(Ordering::Relaxed),
+            sessions_loaded: sessions.loaded,
+            sessions_evicted: sessions.evicted,
+            sessions_unloaded: sessions.unloaded,
+            sessions_rejected: sessions.rejected,
         }
     }
 }
@@ -337,9 +385,39 @@ fn install_sigterm_handler() {
     }
 }
 
+/// Builds the worker-side job for one well-formed request, or the error
+/// to answer inline.
+fn plan(request: Request, shared: &Shared) -> Result<JobKind, Response> {
+    match request.op {
+        Op::Slice => {
+            let criterion = parse_criterion(request.criterion.as_deref().unwrap_or_default())
+                .map_err(|msg| shared.error(request.id, ErrorKind::BadRequest, msg))?;
+            Ok(JobKind::Slice { criterion, session: request.session, delay_ms: request.delay_ms })
+        }
+        Op::Load => {
+            let build = || -> Result<SessionSpec, String> {
+                Ok(SessionSpec {
+                    name: request.session.clone().expect("protocol validates load"),
+                    program: PathBuf::from(
+                        request.program.as_deref().expect("protocol validates load"),
+                    ),
+                    input: parse_input_tape(request.input.as_deref().unwrap_or_default())?,
+                    algo: request.algo.as_deref().map(str::parse).transpose()?,
+                })
+            };
+            build().map(JobKind::Load).map_err(|msg| {
+                shared.error(request.id, ErrorKind::BadRequest, msg)
+            })
+        }
+        Op::Unload => Ok(JobKind::Unload(request.session.expect("protocol validates unload"))),
+        Op::List => Ok(JobKind::List),
+        Op::Shutdown => unreachable!("shutdown is handled inline by the reader"),
+    }
+}
+
 /// Parses request lines from `input`, answering protocol errors inline and
-/// queueing well-formed slice jobs. Returns at EOF, on a read error, or
-/// once shutdown is underway.
+/// queueing well-formed jobs. Returns at EOF, on a read error, or once
+/// shutdown is underway.
 fn read_requests(input: impl BufRead, sink: &Arc<Sink>, shared: &Shared) {
     for line in input.lines() {
         let Ok(line) = line else { break };
@@ -362,17 +440,17 @@ fn read_requests(input: impl BufRead, sink: &Arc<Sink>, shared: &Shared) {
             shared.shutdown.store(true, Ordering::SeqCst);
             break;
         }
-        let criterion = match parse_criterion(request.criterion.as_deref().unwrap_or_default()) {
-            Ok(c) => c,
-            Err(msg) => {
-                sink.send(&shared.error(request.id, ErrorKind::BadRequest, msg));
+        let id = request.id;
+        let kind = match plan(request, shared) {
+            Ok(kind) => kind,
+            Err(response) => {
+                sink.send(&response);
                 continue;
             }
         };
         let job = Job {
-            id: request.id,
-            criterion,
-            delay_ms: request.delay_ms,
+            id,
+            kind,
             deadline: shared.timeout.map(|t| Instant::now() + t),
             sink: Arc::clone(sink),
         };
@@ -382,30 +460,48 @@ fn read_requests(input: impl BufRead, sink: &Arc<Sink>, shared: &Shared) {
     }
 }
 
-/// Answers one job; `reg` receives the backend's per-query counters.
-fn answer<S: Slicer + ?Sized>(slicer: &S, job: &Job, shared: &Shared, reg: &Registry) -> Response {
+fn expired(deadline: Option<Instant>) -> bool {
+    deadline.is_some_and(|d| Instant::now() >= d)
+}
+
+/// Answers one slice job against `slicer`, consulting `cache`; `session`
+/// (when the job addressed a named session) additionally receives the
+/// per-session counters. `reg` receives the backend's per-query counters.
+#[allow(clippy::too_many_arguments)]
+fn answer_slice<S: Slicer + ?Sized>(
+    slicer: &S,
+    cache: &Mutex<LruCache>,
+    session: Option<&SessionEntry>,
+    id: u64,
+    criterion: &Criterion,
+    delay_ms: u64,
+    deadline: Option<Instant>,
+    shared: &Shared,
+    reg: &Registry,
+) -> Response {
     let started = Instant::now();
-    let expired =
-        |deadline: Option<Instant>| deadline.is_some_and(|d| Instant::now() >= d);
-    if expired(job.deadline) {
-        return shared.error(job.id, ErrorKind::Timeout, "deadline exceeded before dispatch");
+    if expired(deadline) {
+        return shared.error(id, ErrorKind::Timeout, "deadline exceeded before dispatch");
     }
     // Artificial stand-in for an expensive query (tests, latency drills):
     // sleep in short ticks so an expired deadline is noticed promptly.
-    let mut remaining = Duration::from_millis(job.delay_ms);
+    let mut remaining = Duration::from_millis(delay_ms);
     while !remaining.is_zero() {
-        if expired(job.deadline) {
-            return shared.error(job.id, ErrorKind::Timeout, "deadline exceeded");
+        if expired(deadline) {
+            return shared.error(id, ErrorKind::Timeout, "deadline exceeded");
         }
         let tick = remaining.min(Duration::from_millis(5));
         thread::sleep(tick);
         remaining -= tick;
     }
-    if let Some(stmts) = shared.cache.lock().unwrap().get(&job.criterion) {
+    if let Some(stmts) = cache.lock().unwrap().get(criterion) {
         shared.cache_hits.fetch_add(1, Ordering::Relaxed);
         shared.ok.fetch_add(1, Ordering::Relaxed);
+        if let Some(entry) = session {
+            entry.cache_hits.fetch_add(1, Ordering::Relaxed);
+        }
         return Response {
-            id: job.id,
+            id,
             body: ResponseBody::Slice {
                 algo: slicer.name().to_string(),
                 stmts: (*stmts).clone(),
@@ -414,17 +510,21 @@ fn answer<S: Slicer + ?Sized>(slicer: &S, job: &Job, shared: &Shared, reg: &Regi
             },
         };
     }
-    match slicer.slice_with_stats(&job.criterion) {
+    match slicer.slice_with_stats(criterion) {
         Ok((slice, stats)) => {
             stats.record_metrics_for(slicer.name(), reg);
             let stmts: Arc<Vec<u32>> = Arc::new(slice.stmts.iter().map(|s| s.0).collect());
-            shared.cache.lock().unwrap().insert(job.criterion, Arc::clone(&stmts));
-            if expired(job.deadline) {
-                return shared.error(job.id, ErrorKind::Timeout, "deadline exceeded");
+            cache.lock().unwrap().insert(*criterion, Arc::clone(&stmts));
+            if expired(deadline) {
+                return shared.error(id, ErrorKind::Timeout, "deadline exceeded");
             }
+            shared.cache_misses.fetch_add(1, Ordering::Relaxed);
             shared.ok.fetch_add(1, Ordering::Relaxed);
+            if let Some(entry) = session {
+                entry.cache_misses.fetch_add(1, Ordering::Relaxed);
+            }
             Response {
-                id: job.id,
+                id,
                 body: ResponseBody::Slice {
                     algo: slicer.name().to_string(),
                     stmts: (*stmts).clone(),
@@ -433,25 +533,111 @@ fn answer<S: Slicer + ?Sized>(slicer: &S, job: &Job, shared: &Shared, reg: &Regi
                 },
             }
         }
-        Err(SliceError::UnknownCriterion) => shared.error(
-            job.id,
-            ErrorKind::UnknownCriterion,
-            "criterion matches no executed statement",
-        ),
+        Err(SliceError::UnknownCriterion) => {
+            shared.error(id, ErrorKind::UnknownCriterion, "criterion matches no executed statement")
+        }
         Err(SliceError::Truncated { partial }) => shared.error(
-            job.id,
+            id,
             ErrorKind::Truncated,
             format!("slice truncated by pass budget ({} statements found)", partial.stmts.len()),
         ),
-        Err(SliceError::Io(e)) => shared.error(job.id, ErrorKind::Io, e.to_string()),
+        Err(SliceError::Io(e)) => shared.error(id, ErrorKind::Io, e.to_string()),
     }
 }
 
-fn worker_loop<S: Slicer + ?Sized>(slicer: &S, shared: &Shared, reg: &Registry) {
+/// Answers one job of any kind.
+fn answer<S: Slicer + ?Sized>(
+    default: &S,
+    manager: &SessionManager,
+    job: &Job,
+    shared: &Shared,
+    reg: &Registry,
+) -> Response {
+    match &job.kind {
+        JobKind::Slice { criterion, session: None, delay_ms } => answer_slice(
+            default,
+            &shared.cache,
+            None,
+            job.id,
+            criterion,
+            *delay_ms,
+            job.deadline,
+            shared,
+            reg,
+        ),
+        JobKind::Slice { criterion, session: Some(name), delay_ms } => {
+            match manager.checkout(name) {
+                None => shared.error(
+                    job.id,
+                    ErrorKind::UnknownSession,
+                    format!("session `{name}` is not loaded"),
+                ),
+                Some(lease) => {
+                    lease.requests.fetch_add(1, Ordering::Relaxed);
+                    answer_slice(
+                        lease.slicer(),
+                        &lease.cache,
+                        Some(&*lease),
+                        job.id,
+                        criterion,
+                        *delay_ms,
+                        job.deadline,
+                        shared,
+                        reg,
+                    )
+                }
+            }
+        }
+        JobKind::Load(spec) => {
+            if expired(job.deadline) {
+                return shared.error(job.id, ErrorKind::Timeout, "deadline exceeded before build");
+            }
+            match manager.load(spec, reg) {
+                Ok(entry) => {
+                    shared.ok.fetch_add(1, Ordering::Relaxed);
+                    Response {
+                        id: job.id,
+                        body: ResponseBody::Loaded {
+                            session: spec.name.clone(),
+                            algo: entry.slicer().name().to_string(),
+                            resident_bytes: entry.resident_bytes(),
+                        },
+                    }
+                }
+                Err(LoadError::Bad(msg)) => shared.error(job.id, ErrorKind::BadRequest, msg),
+                Err(LoadError::Rejected(msg)) => shared.error(job.id, ErrorKind::OverBudget, msg),
+                Err(LoadError::Io(e)) => shared.error(job.id, ErrorKind::Io, e.to_string()),
+            }
+        }
+        JobKind::Unload(name) => {
+            if manager.unload(name) {
+                shared.ok.fetch_add(1, Ordering::Relaxed);
+                Response { id: job.id, body: ResponseBody::Unloaded { session: name.clone() } }
+            } else {
+                shared.error(
+                    job.id,
+                    ErrorKind::UnknownSession,
+                    format!("session `{name}` is not loaded"),
+                )
+            }
+        }
+        JobKind::List => {
+            shared.ok.fetch_add(1, Ordering::Relaxed);
+            Response { id: job.id, body: ResponseBody::Sessions { sessions: manager.list() } }
+        }
+    }
+}
+
+fn worker_loop<S: Slicer + ?Sized>(
+    default: &S,
+    manager: &SessionManager,
+    shared: &Shared,
+    reg: &Registry,
+) {
     while let Some(job) = shared.queue.pop() {
         let in_flight = shared.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
         shared.in_flight_peak.fetch_max(in_flight, Ordering::Relaxed);
-        let response = answer(slicer, &job, shared, reg);
+        let response = answer(default, manager, &job, shared, reg);
         job.sink.send(&response);
         shared.in_flight.fetch_sub(1, Ordering::Relaxed);
     }
@@ -461,15 +647,21 @@ fn worker_loop<S: Slicer + ?Sized>(slicer: &S, shared: &Shared, reg: &Registry) 
 /// arrives, or a client sends `{"op":"shutdown"}`; accepted requests are
 /// drained before returning.
 ///
+/// `slicer` serves sessionless requests (the trace the server was
+/// launched with); `manager` owns the named sessions that `load` creates.
+///
 /// The session's wall time lands in the `serve` phase and the `server.*`
-/// counters in `reg`; the returned [`ServeSummary`] holds the same numbers
-/// for the caller's status line.
+/// counters in `reg` (including the manager's `server.sessions_*`); the
+/// returned [`ServeSummary`] holds the same numbers for the caller's
+/// status line. Per-session sub-reports stay in the manager — callers
+/// fold [`SessionManager::final_reports`] into their run report.
 ///
 /// # Errors
 /// Infallible today (transport errors end the affected connection instead
 /// of the session); `io::Result` leaves room for bind-time failures.
 pub fn serve<S: Slicer + ?Sized>(
     slicer: &S,
+    manager: &SessionManager,
     config: &ServeConfig,
     transport: Transport,
     reg: &Registry,
@@ -486,7 +678,7 @@ pub fn serve<S: Slicer + ?Sized>(
     thread::scope(|scope| {
         for _ in 0..config.workers.max(1) {
             let shared = &shared;
-            scope.spawn(move || worker_loop(slicer, shared, reg));
+            scope.spawn(move || worker_loop(slicer, manager, shared, reg));
         }
 
         // Readers block on I/O that no signal reliably interrupts, so they
@@ -555,7 +747,8 @@ pub fn serve<S: Slicer + ?Sized>(
         let _ = std::fs::remove_file(path);
     }
     reg.phase_add(phases::SERVE, start.elapsed());
-    let summary = shared.summary();
+    manager.record_metrics(reg);
+    let summary = shared.summary(manager);
     summary.record_metrics(reg);
     reg.gauge_set("server.workers", config.workers.max(1) as f64);
     Ok(summary)
@@ -566,35 +759,17 @@ mod tests {
     use super::*;
 
     #[test]
-    fn lru_cache_evicts_least_recently_used() {
-        let mut cache = LruCache::new(2);
-        let (a, b, c) =
-            (Criterion::Output(0), Criterion::Output(1), Criterion::Output(2));
-        cache.insert(a, Arc::new(vec![0]));
-        cache.insert(b, Arc::new(vec![1]));
-        assert_eq!(cache.get(&a).as_deref(), Some(&vec![0])); // a is now hot
-        cache.insert(c, Arc::new(vec![2])); // evicts b
-        assert!(cache.get(&b).is_none());
-        assert_eq!(cache.get(&a).as_deref(), Some(&vec![0]));
-        assert_eq!(cache.get(&c).as_deref(), Some(&vec![2]));
-    }
-
-    #[test]
-    fn lru_cache_capacity_zero_disables_caching() {
-        let mut cache = LruCache::new(0);
-        cache.insert(Criterion::Output(0), Arc::new(vec![0]));
-        assert!(cache.get(&Criterion::Output(0)).is_none());
-    }
-
-    #[test]
     fn queue_rejects_when_full_and_drains_after_close() {
         let queue = Queue::new(1);
         let peak = AtomicU64::new(0);
         let sink = Sink::new(Box::new(io::sink()));
         let job = |id| Job {
             id,
-            criterion: Criterion::Output(0),
-            delay_ms: 0,
+            kind: JobKind::Slice {
+                criterion: Criterion::Output(0),
+                session: None,
+                delay_ms: 0,
+            },
             deadline: None,
             sink: Arc::clone(&sink),
         };
@@ -606,5 +781,42 @@ mod tests {
         assert_eq!(queue.pop().map(|j| j.id), Some(1), "accepted job survives close");
         assert!(queue.pop().is_none());
         assert_eq!(peak.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn unix_transport_refuses_to_clobber_a_regular_file() {
+        let dir = std::env::temp_dir()
+            .join(format!("dynslice-transport-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("not-a-socket");
+        std::fs::write(&path, b"precious data").unwrap();
+        let err = Transport::unix(path.clone()).expect_err("must refuse");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidInput);
+        assert_eq!(
+            std::fs::read(&path).unwrap(),
+            b"precious data",
+            "the file must be left intact"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn unix_transport_refuses_a_live_socket_but_reaps_a_stale_one() {
+        let dir = std::env::temp_dir()
+            .join(format!("dynslice-transport-live-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("srv.sock");
+        let live = UnixListener::bind(&path).unwrap();
+        let err = Transport::unix(path.clone()).expect_err("live socket must be refused");
+        assert_eq!(err.kind(), io::ErrorKind::AddrInUse);
+        assert!(
+            std::fs::symlink_metadata(&path).is_ok(),
+            "the live server's socket must not be removed"
+        );
+        // Once the listener is gone the socket file is stale: rebind works.
+        drop(live);
+        let t = Transport::unix(path.clone()).expect("stale socket is reaped");
+        drop(t);
+        std::fs::remove_dir_all(&dir).ok();
     }
 }

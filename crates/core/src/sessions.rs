@@ -1,0 +1,710 @@
+//! Multi-trace session management for the slice service.
+//!
+//! PR 4's server amortized **one** build across an interactive session;
+//! this module amortizes the server itself across many programs and
+//! traces. A [`SessionManager`] owns N named sessions, each a fully
+//! built backend ([`OwnedSlicer`]) plus its own per-criterion LRU result
+//! cache and usage counters. Sessions are built on demand by `load`
+//! requests (on the worker pool — construction is ordinary `Send` work),
+//! addressed by the `session` field on `slice` requests, and dropped by
+//! `unload`.
+//!
+//! Memory is the scarce resource the paper's LP/OPT trade-off is about,
+//! so residency is budgeted, not unbounded: every session is weighed by
+//! [`crate::AnySlicer::resident_bytes`], and admitting a new one first
+//! evicts **idle** sessions in least-recently-used order until the
+//! budget (and the session-count cap) holds. If eviction cannot make
+//! room — every resident session has queries in flight — the load is
+//! rejected with a typed error ([`crate::protocol::ErrorKind::OverBudget`])
+//! rather than overcommitting. Busy sessions are never evicted: a lease
+//! ([`SessionLease`]) pins its session for the duration of a query.
+//!
+//! Everything a session did is preserved for the final run report:
+//! live and retired (evicted/unloaded/replaced) sessions alike produce a
+//! [`SessionReport`] under their name, so a run that loaded, queried,
+//! and evicted a trace still accounts for it.
+
+use std::collections::{BTreeMap, HashMap};
+use std::io;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use dynslice_obs::{Registry, SessionReport};
+use dynslice_slicing::{Criterion, Slicer as _};
+
+use crate::criteria::parse_input_tape;
+use crate::protocol::SessionInfo;
+use crate::{Algo, AnySlicer, Session, SlicerConfig};
+
+/// Least-recently-used slice cache keyed by criterion (one per session,
+/// plus one for the server's default trace).
+pub(crate) struct LruCache {
+    capacity: usize,
+    seq: u64,
+    map: HashMap<Criterion, (u64, Arc<Vec<u32>>)>,
+    order: BTreeMap<u64, Criterion>,
+}
+
+impl LruCache {
+    pub(crate) fn new(capacity: usize) -> Self {
+        LruCache { capacity, seq: 0, map: HashMap::new(), order: BTreeMap::new() }
+    }
+
+    pub(crate) fn get(&mut self, criterion: &Criterion) -> Option<Arc<Vec<u32>>> {
+        let (seq, stmts) = self.map.get_mut(criterion)?;
+        let stale = *seq;
+        self.seq += 1;
+        *seq = self.seq;
+        let stmts = Arc::clone(stmts);
+        self.order.remove(&stale);
+        self.order.insert(self.seq, *criterion);
+        Some(stmts)
+    }
+
+    pub(crate) fn insert(&mut self, criterion: Criterion, stmts: Arc<Vec<u32>>) {
+        if self.capacity == 0 {
+            return;
+        }
+        if let Some((stale, _)) = self.map.remove(&criterion) {
+            self.order.remove(&stale);
+        }
+        while self.map.len() >= self.capacity {
+            let Some((_, evicted)) = self.order.pop_first() else { break };
+            self.map.remove(&evicted);
+        }
+        self.seq += 1;
+        self.map.insert(criterion, (self.seq, stmts));
+        self.order.insert(self.seq, criterion);
+    }
+}
+
+/// A backend that owns everything it slices: the compiled [`Session`]
+/// it borrows from lives in the same value, so the pair can be stored,
+/// sent between threads, and dropped as a unit — which is exactly what a
+/// session table needs and what the borrow-based [`Session::build_slicer`]
+/// API alone cannot provide.
+///
+/// # Safety invariants
+///
+/// `slicer` borrows from `*session` with its lifetime erased to
+/// `'static`. This is sound because:
+/// * the `Session` is boxed, so its address is stable for the lifetime
+///   of `OwnedSlicer` no matter how the outer value moves;
+/// * `session` is never mutated or replaced after construction;
+/// * field order makes `slicer` drop before `session`, so the erased
+///   borrow never dangles;
+/// * the erased lifetime never escapes: [`Self::slicer`] re-shrinks it
+///   to the borrow of `self` (covariance of `AnySlicer<'s>` in `'s`).
+pub struct OwnedSlicer {
+    slicer: AnySlicer<'static>,
+    #[allow(dead_code)] // owned purely to outlive `slicer`'s borrows
+    session: Box<Session>,
+}
+
+// `AnySlicer` is `Sync` by the `Slicer` trait bound; `Send` holds for
+// every backend (audited in `dynslice-slicing`). The erased borrow points
+// into the co-owned `Session`, so sending the pair together is safe.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<OwnedSlicer>();
+};
+
+impl OwnedSlicer {
+    /// Compiles `src`, traces it on `input`, and builds the `algo`
+    /// backend, bundling backend and compiled program into one owned
+    /// value. Build phases are timed into `reg` like any other build.
+    ///
+    /// # Errors
+    /// [`LoadError::Bad`] for compile errors, [`LoadError::Io`] for
+    /// disk-backed build failures.
+    pub fn build(
+        src: &str,
+        input: Vec<i64>,
+        algo: Algo,
+        config: &SlicerConfig,
+        reg: &Registry,
+    ) -> Result<Self, LoadError> {
+        let session =
+            Box::new(Session::compile(src).map_err(|d| LoadError::Bad(d.to_string()))?);
+        let trace = session.run(input);
+        // SAFETY: see the type-level invariants — the box gives `session`
+        // a stable address, and `slicer` (declared first) drops before it.
+        let forever: &'static Session = unsafe { &*(session.as_ref() as *const Session) };
+        let slicer = forever.build_slicer(algo, &trace, config, reg).map_err(LoadError::Io)?;
+        Ok(OwnedSlicer { slicer, session })
+    }
+
+    /// The backend, with its lifetime tied back to `self`.
+    pub fn slicer(&self) -> &AnySlicer<'_> {
+        &self.slicer
+    }
+}
+
+/// Why a `load` failed.
+#[derive(Debug)]
+pub enum LoadError {
+    /// The program could not be read or compiled — the client's fault
+    /// (protocol `bad_request`).
+    Bad(String),
+    /// Admission was refused: the session alone exceeds the memory
+    /// budget, or eviction could not make room (protocol `over_budget`).
+    Rejected(String),
+    /// A disk-backed build failed (protocol `io`).
+    Io(io::Error),
+}
+
+impl std::fmt::Display for LoadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LoadError::Bad(msg) | LoadError::Rejected(msg) => f.write_str(msg),
+            LoadError::Io(e) => write!(f, "I/O error building session: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for LoadError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            LoadError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// What a client asked `load` to build: the parsed, validated form of a
+/// `load` request or a `--preload` entry.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SessionSpec {
+    /// The name future `slice` requests address the session by.
+    pub name: String,
+    /// MiniC source path.
+    pub program: PathBuf,
+    /// Input tape for the traced run.
+    pub input: Vec<i64>,
+    /// Backend override (`None` = the server's default algorithm).
+    pub algo: Option<Algo>,
+}
+
+impl SessionSpec {
+    /// Parses one `--preload` entry: `[name=]path[@i1;i2;...]` — an
+    /// optional session name (defaults to the file stem), the program
+    /// path, and an optional semicolon-separated input tape.
+    ///
+    /// # Errors
+    /// Rejects empty names/paths and malformed input values.
+    pub fn parse(entry: &str) -> Result<Self, String> {
+        let (name, rest) = match entry.split_once('=') {
+            Some((name, rest)) => (Some(name), rest),
+            None => (None, entry),
+        };
+        let (path, input) = match rest.split_once('@') {
+            Some((path, tape)) => (path, parse_input_tape(&tape.replace(';', ","))?),
+            None => (rest, Vec::new()),
+        };
+        if path.is_empty() {
+            return Err(format!("preload entry `{entry}` has no program path"));
+        }
+        let program = PathBuf::from(path);
+        let name = match name {
+            Some(n) => n.to_string(),
+            None => program
+                .file_stem()
+                .and_then(|s| s.to_str())
+                .map(str::to_string)
+                .ok_or(format!("cannot derive a session name from `{path}`"))?,
+        };
+        if name.is_empty() {
+            return Err(format!("preload entry `{entry}` has an empty session name"));
+        }
+        Ok(SessionSpec { name, program, input, algo: None })
+    }
+}
+
+/// One resident session: a built backend plus its result cache and
+/// usage counters.
+pub struct SessionEntry {
+    name: String,
+    slicer: OwnedSlicer,
+    resident_bytes: u64,
+    pub(crate) cache: Mutex<LruCache>,
+    pub(crate) requests: AtomicU64,
+    pub(crate) cache_hits: AtomicU64,
+    pub(crate) cache_misses: AtomicU64,
+    in_flight: AtomicU64,
+    last_used: AtomicU64,
+}
+
+impl SessionEntry {
+    /// The session's name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The backend answering this session's queries.
+    pub fn slicer(&self) -> &AnySlicer<'_> {
+        self.slicer.slicer()
+    }
+
+    /// The bytes the memory budget charges this session for (measured
+    /// once, at build time — the representations are immutable).
+    pub fn resident_bytes(&self) -> u64 {
+        self.resident_bytes
+    }
+
+    fn report(&self, evicted: bool) -> SessionReport {
+        let mut report = SessionReport::default();
+        report.counters.insert("requests".into(), self.requests.load(Ordering::Relaxed));
+        report.counters.insert("cache_hits".into(), self.cache_hits.load(Ordering::Relaxed));
+        report
+            .counters
+            .insert("cache_misses".into(), self.cache_misses.load(Ordering::Relaxed));
+        report.gauges.insert("resident_bytes".into(), self.resident_bytes as f64);
+        if evicted {
+            report.gauges.insert("evicted".into(), 1.0);
+        }
+        report
+    }
+}
+
+/// Pins a session while a query runs: eviction skips sessions with an
+/// outstanding lease, so a backend is never torn down mid-slice.
+pub struct SessionLease {
+    entry: Arc<SessionEntry>,
+}
+
+impl std::ops::Deref for SessionLease {
+    type Target = SessionEntry;
+
+    fn deref(&self) -> &SessionEntry {
+        &self.entry
+    }
+}
+
+impl Drop for SessionLease {
+    fn drop(&mut self) {
+        self.entry.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// Retired sessions keep reporting: their final counters, keyed by name
+/// (suffixed `#2`, `#3`, … when the name was reused).
+struct ManagerInner {
+    sessions: BTreeMap<String, Arc<SessionEntry>>,
+    retired: Vec<(String, SessionReport)>,
+    lru_seq: u64,
+}
+
+/// Aggregate session-lifecycle counters for the serve summary.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SessionCounters {
+    /// Sessions admitted by `load` (including preloads and reloads).
+    pub loaded: u64,
+    /// Idle sessions evicted to make room under the memory budget or
+    /// session cap.
+    pub evicted: u64,
+    /// Sessions dropped by `unload` (including same-name replacement).
+    pub unloaded: u64,
+    /// Loads refused because eviction could not make room.
+    pub rejected: u64,
+}
+
+/// Owns the server's named sessions and enforces the residency policy.
+pub struct SessionManager {
+    default_algo: Algo,
+    config: SlicerConfig,
+    max_sessions: usize,
+    /// Total `resident_bytes` budget across sessions; `None` = unbounded.
+    memory_budget: Option<u64>,
+    /// Per-session result-cache capacity (entries).
+    cache_capacity: usize,
+    inner: Mutex<ManagerInner>,
+    loaded: AtomicU64,
+    evicted: AtomicU64,
+    unloaded: AtomicU64,
+    rejected: AtomicU64,
+}
+
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<SessionManager>();
+    assert_send_sync::<SessionLease>();
+};
+
+impl SessionManager {
+    /// A manager that builds `default_algo` backends with `config`,
+    /// holding at most `max_sessions` sessions and (optionally) at most
+    /// `memory_budget` total resident bytes; each session's result cache
+    /// holds `cache_capacity` entries.
+    pub fn new(
+        default_algo: Algo,
+        config: SlicerConfig,
+        max_sessions: usize,
+        memory_budget: Option<u64>,
+        cache_capacity: usize,
+    ) -> Self {
+        SessionManager {
+            default_algo,
+            config,
+            max_sessions: max_sessions.max(1),
+            memory_budget,
+            cache_capacity,
+            inner: Mutex::new(ManagerInner {
+                sessions: BTreeMap::new(),
+                retired: Vec::new(),
+                lru_seq: 0,
+            }),
+            loaded: AtomicU64::new(0),
+            evicted: AtomicU64::new(0),
+            unloaded: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        }
+    }
+
+    /// Builds the session described by `spec` and admits it, evicting
+    /// idle sessions LRU-first if the budget or session cap requires.
+    /// Loading a name that is already resident replaces the old session
+    /// (retired as unloaded). The expensive build runs **before** any
+    /// lock is taken, so resident sessions keep serving during a load.
+    ///
+    /// # Errors
+    /// See [`LoadError`]; a rejected build leaves the resident set
+    /// exactly as it was (sessions evicted to make room are only chosen
+    /// once admission is certain).
+    pub fn load(&self, spec: &SessionSpec, reg: &Registry) -> Result<Arc<SessionEntry>, LoadError> {
+        let src = std::fs::read_to_string(&spec.program).map_err(|e| {
+            LoadError::Bad(format!("cannot read program `{}`: {e}", spec.program.display()))
+        })?;
+        let algo = spec.algo.unwrap_or(self.default_algo);
+        let slicer = OwnedSlicer::build(&src, spec.input.clone(), algo, &self.config, reg)?;
+        let resident_bytes = slicer.slicer().resident_bytes();
+        if let Some(budget) = self.memory_budget {
+            if resident_bytes > budget {
+                self.rejected.fetch_add(1, Ordering::Relaxed);
+                return Err(LoadError::Rejected(format!(
+                    "session `{}` needs {resident_bytes} resident bytes, over the \
+                     {budget}-byte budget",
+                    spec.name
+                )));
+            }
+        }
+        let entry = Arc::new(SessionEntry {
+            name: spec.name.clone(),
+            slicer,
+            resident_bytes,
+            cache: Mutex::new(LruCache::new(self.cache_capacity)),
+            requests: AtomicU64::new(0),
+            cache_hits: AtomicU64::new(0),
+            cache_misses: AtomicU64::new(0),
+            in_flight: AtomicU64::new(0),
+            last_used: AtomicU64::new(0),
+        });
+
+        let mut inner = self.inner.lock().unwrap();
+        // Plan the evictions first so a rejected load disturbs nothing.
+        let occupied: u64 = inner
+            .sessions
+            .iter()
+            .filter(|(n, _)| **n != spec.name)
+            .map(|(_, e)| e.resident_bytes)
+            .sum();
+        let replacing = inner.sessions.contains_key(&spec.name);
+        let mut victims: Vec<String> = Vec::new();
+        {
+            let idle_lru = |inner: &ManagerInner, victims: &[String]| {
+                inner
+                    .sessions
+                    .iter()
+                    .filter(|(n, e)| {
+                        **n != spec.name
+                            && !victims.contains(n)
+                            && e.in_flight.load(Ordering::SeqCst) == 0
+                    })
+                    .min_by_key(|(_, e)| e.last_used.load(Ordering::SeqCst))
+                    .map(|(n, _)| n.clone())
+            };
+            let mut count = inner.sessions.len() - usize::from(replacing);
+            let mut bytes = occupied;
+            let over = |count: usize, bytes: u64| {
+                count + 1 > self.max_sessions
+                    || self.memory_budget.is_some_and(|b| bytes + resident_bytes > b)
+            };
+            while over(count, bytes) {
+                let Some(victim) = idle_lru(&inner, &victims) else {
+                    self.rejected.fetch_add(1, Ordering::Relaxed);
+                    return Err(LoadError::Rejected(format!(
+                        "cannot admit session `{}` ({resident_bytes} resident bytes): \
+                         every resident session is busy",
+                        spec.name
+                    )));
+                };
+                count -= 1;
+                bytes -= inner.sessions[&victim].resident_bytes;
+                victims.push(victim);
+            }
+        }
+        for victim in victims {
+            let gone = inner.sessions.remove(&victim).expect("planned victim is resident");
+            let report = gone.report(true);
+            inner.retired.push((victim, report));
+            self.evicted.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(old) = inner.sessions.remove(&spec.name) {
+            let report = old.report(false);
+            inner.retired.push((spec.name.clone(), report));
+            self.unloaded.fetch_add(1, Ordering::Relaxed);
+        }
+        inner.lru_seq += 1;
+        entry.last_used.store(inner.lru_seq, Ordering::SeqCst);
+        inner.sessions.insert(spec.name.clone(), Arc::clone(&entry));
+        self.loaded.fetch_add(1, Ordering::Relaxed);
+        Ok(entry)
+    }
+
+    /// Leases the named session for one query, bumping its LRU stamp and
+    /// pinning it against eviction; `None` if it is not resident.
+    pub fn checkout(&self, name: &str) -> Option<SessionLease> {
+        let mut inner = self.inner.lock().unwrap();
+        let entry = Arc::clone(inner.sessions.get(name)?);
+        inner.lru_seq += 1;
+        entry.last_used.store(inner.lru_seq, Ordering::SeqCst);
+        entry.in_flight.fetch_add(1, Ordering::SeqCst);
+        Some(SessionLease { entry })
+    }
+
+    /// Drops the named session (queries already holding a lease finish
+    /// against the detached backend). Returns `false` if not resident.
+    pub fn unload(&self, name: &str) -> bool {
+        let mut inner = self.inner.lock().unwrap();
+        match inner.sessions.remove(name) {
+            Some(entry) => {
+                let report = entry.report(false);
+                inner.retired.push((name.to_string(), report));
+                self.unloaded.fetch_add(1, Ordering::Relaxed);
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Resident sessions, name-ascending — the `list` response payload.
+    pub fn list(&self) -> Vec<SessionInfo> {
+        let inner = self.inner.lock().unwrap();
+        inner
+            .sessions
+            .iter()
+            .map(|(name, e)| SessionInfo {
+                name: name.clone(),
+                algo: e.slicer().name().to_string(),
+                resident_bytes: e.resident_bytes,
+                requests: e.requests.load(Ordering::Relaxed),
+            })
+            .collect()
+    }
+
+    /// Per-session sub-reports for the final [`dynslice_obs::RunReport`]:
+    /// resident sessions under their names, retired ones after them
+    /// (suffixed `#2`, `#3`, … when a name was reused).
+    pub fn final_reports(&self) -> BTreeMap<String, SessionReport> {
+        let inner = self.inner.lock().unwrap();
+        let mut out = BTreeMap::new();
+        for (name, entry) in &inner.sessions {
+            out.insert(name.clone(), entry.report(false));
+        }
+        for (name, report) in &inner.retired {
+            let mut key = name.clone();
+            let mut n = 2;
+            while out.contains_key(&key) {
+                key = format!("{name}#{n}");
+                n += 1;
+            }
+            out.insert(key, report.clone());
+        }
+        out
+    }
+
+    /// Lifecycle counters for the serve summary.
+    pub fn counters(&self) -> SessionCounters {
+        SessionCounters {
+            loaded: self.loaded.load(Ordering::Relaxed),
+            evicted: self.evicted.load(Ordering::Relaxed),
+            unloaded: self.unloaded.load(Ordering::Relaxed),
+            rejected: self.rejected.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Emits the `server.sessions_*` residency gauges into `reg`. The
+    /// lifecycle counters ride along in the serve summary (via
+    /// [`Self::counters`]), which owns the `server.*` counter emission.
+    pub fn record_metrics(&self, reg: &Registry) {
+        let inner = self.inner.lock().unwrap();
+        reg.gauge_set("server.sessions_resident", inner.sessions.len() as f64);
+        reg.gauge_set(
+            "server.sessions_resident_bytes",
+            inner.sessions.values().map(|e| e.resident_bytes as f64).sum(),
+        );
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PROGRAM: &str = "global int a[2];
+         fn main() { a[0] = input(); a[1] = a[0] * 2; print a[1]; }";
+
+    fn write_program(dir: &std::path::Path, name: &str) -> PathBuf {
+        std::fs::create_dir_all(dir).unwrap();
+        let path = dir.join(name);
+        std::fs::write(&path, PROGRAM).unwrap();
+        path
+    }
+
+    fn scratch(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("dynslice-sessions-{tag}-{}", std::process::id()))
+    }
+
+    fn manager(max: usize, budget: Option<u64>, tag: &str) -> SessionManager {
+        let config =
+            SlicerConfig { scratch_dir: scratch(tag).join("scratch"), ..SlicerConfig::default() };
+        SessionManager::new(Algo::Opt, config, max, budget, 16)
+    }
+
+    fn spec(name: &str, program: &std::path::Path) -> SessionSpec {
+        SessionSpec {
+            name: name.into(),
+            program: program.to_path_buf(),
+            input: vec![21],
+            algo: None,
+        }
+    }
+
+    #[test]
+    fn lru_cache_evicts_least_recently_used() {
+        let mut cache = LruCache::new(2);
+        let (a, b, c) = (Criterion::Output(0), Criterion::Output(1), Criterion::Output(2));
+        cache.insert(a, Arc::new(vec![0]));
+        cache.insert(b, Arc::new(vec![1]));
+        assert_eq!(cache.get(&a).as_deref(), Some(&vec![0])); // a is now hot
+        cache.insert(c, Arc::new(vec![2])); // evicts b
+        assert!(cache.get(&b).is_none());
+        assert_eq!(cache.get(&a).as_deref(), Some(&vec![0]));
+        assert_eq!(cache.get(&c).as_deref(), Some(&vec![2]));
+    }
+
+    #[test]
+    fn lru_cache_capacity_zero_disables_caching() {
+        let mut cache = LruCache::new(0);
+        cache.insert(Criterion::Output(0), Arc::new(vec![0]));
+        assert!(cache.get(&Criterion::Output(0)).is_none());
+    }
+
+    #[test]
+    fn preload_spec_syntax() {
+        let s = SessionSpec::parse("t1=/tmp/a.minic@4;-5;6").unwrap();
+        assert_eq!(s.name, "t1");
+        assert_eq!(s.program, PathBuf::from("/tmp/a.minic"));
+        assert_eq!(s.input, vec![4, -5, 6]);
+        let s = SessionSpec::parse("/tmp/dir/prog.minic").unwrap();
+        assert_eq!(s.name, "prog", "name defaults to the file stem");
+        assert!(s.input.is_empty());
+        assert!(SessionSpec::parse("t1=").is_err(), "no path");
+        assert!(SessionSpec::parse("=a.minic").is_err(), "empty name");
+        assert!(SessionSpec::parse("a.minic@x").is_err(), "bad input value");
+    }
+
+    #[test]
+    fn owned_slicer_answers_like_a_direct_build() {
+        let reg = Registry::new();
+        let config = SlicerConfig::default();
+        let owned =
+            OwnedSlicer::build(PROGRAM, vec![21], Algo::Opt, &config, &reg).unwrap();
+        let direct_session = Session::compile(PROGRAM).unwrap();
+        let trace = direct_session.run(vec![21]);
+        let direct = direct_session.opt(&trace, &config.opt);
+        let c = Criterion::Output(0);
+        assert_eq!(owned.slicer().slice(&c).unwrap(), direct.slice(&c).unwrap());
+        assert!(owned.slicer().resident_bytes() > 0);
+    }
+
+    #[test]
+    fn load_checkout_unload_lifecycle() {
+        let dir = scratch("lifecycle");
+        let program = write_program(&dir, "p.minic");
+        let m = manager(4, None, "lifecycle");
+        let reg = Registry::new();
+        let entry = m.load(&spec("a", &program), &reg).unwrap();
+        assert_eq!(entry.name(), "a");
+        let lease = m.checkout("a").expect("resident");
+        assert!(lease.slicer().slice(&Criterion::Output(0)).is_ok());
+        drop(lease);
+        assert!(m.checkout("missing").is_none());
+        let listed = m.list();
+        assert_eq!(listed.len(), 1);
+        assert_eq!(listed[0].name, "a");
+        assert_eq!(listed[0].algo, "opt");
+        assert!(m.unload("a"));
+        assert!(!m.unload("a"), "second unload finds nothing");
+        assert!(m.checkout("a").is_none());
+        let c = m.counters();
+        assert_eq!((c.loaded, c.unloaded, c.evicted, c.rejected), (1, 1, 0, 0));
+        let reports = m.final_reports();
+        assert!(reports.contains_key("a"), "retired sessions still report");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn budget_evicts_idle_lru_and_rejects_when_pinned() {
+        let dir = scratch("budget");
+        let program = write_program(&dir, "p.minic");
+        let probe = manager(8, None, "budget-probe");
+        let reg = Registry::new();
+        let one = probe.load(&spec("probe", &program), &reg).unwrap().resident_bytes();
+        // Room for one session, not two.
+        let m = manager(8, Some(one + one / 2), "budget");
+        m.load(&spec("a", &program), &reg).unwrap();
+        m.load(&spec("b", &program), &reg).unwrap();
+        assert!(m.checkout("a").is_none(), "a was evicted to admit b");
+        assert!(m.checkout("b").is_some());
+        assert_eq!(m.counters().evicted, 1);
+        // A pinned session cannot be evicted: the load is rejected and
+        // the resident set is untouched.
+        let lease = m.checkout("b").unwrap();
+        match m.load(&spec("c", &program), &reg) {
+            Err(LoadError::Rejected(msg)) => assert!(msg.contains("busy"), "{msg}"),
+            other => panic!("expected rejection, got {:?}", other.map(|e| e.name().to_string())),
+        }
+        drop(lease);
+        assert!(m.checkout("b").is_some(), "rejected load left `b` resident");
+        // Idle again: the reload works and evicts LRU `b`.
+        m.load(&spec("c", &program), &reg).unwrap();
+        assert!(m.checkout("c").is_some());
+        assert_eq!(m.counters().evicted, 2);
+        let reports = m.final_reports();
+        assert_eq!(reports["a"].gauges.get("evicted"), Some(&1.0));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn max_sessions_caps_the_table_and_reload_replaces() {
+        let dir = scratch("cap");
+        let program = write_program(&dir, "p.minic");
+        let m = manager(2, None, "cap");
+        let reg = Registry::new();
+        m.load(&spec("a", &program), &reg).unwrap();
+        m.load(&spec("b", &program), &reg).unwrap();
+        m.load(&spec("c", &program), &reg).unwrap(); // evicts a (LRU)
+        assert!(m.checkout("a").is_none());
+        assert_eq!(m.list().len(), 2);
+        // Reloading a resident name replaces in place, no eviction.
+        m.load(&spec("b", &program), &reg).unwrap();
+        assert_eq!(m.list().len(), 2);
+        let c = m.counters();
+        assert_eq!(c.evicted, 1);
+        assert_eq!(c.unloaded, 1, "replacement retires the old `b`");
+        let reports = m.final_reports();
+        assert!(reports.contains_key("b"), "live b");
+        assert!(reports.contains_key("b#2"), "retired b keeps reporting under a suffix");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -1,6 +1,9 @@
 //! End-to-end tests of `dynslice serve`: concurrent socket clients,
-//! per-request deadlines, and graceful shutdown with a flushed report.
+//! per-request deadlines, graceful shutdown with a flushed report, and
+//! the multi-trace session lifecycle (load/slice/unload, LRU eviction
+//! under a memory budget, per-session result caches).
 
+use std::collections::BTreeMap;
 use std::io::{BufRead, BufReader, Write};
 use std::path::{Path, PathBuf};
 use std::process::{Child, Command, Output, Stdio};
@@ -62,6 +65,60 @@ fn expected_slices() -> Vec<Vec<u32>> {
             slice.stmts.iter().map(|s| s.index() as u32).collect()
         })
         .collect()
+}
+
+/// A second, much smaller program so multi-session tests serve two
+/// genuinely different traces from one server.
+const PROGRAM_B: &str = "
+    global int a[2];
+
+    fn main() {
+        a[0] = input();
+        a[1] = a[0] * 2;
+        print a[1];
+    }";
+
+const INPUT_B: &[i64] = &[21];
+
+fn write_program_b(dir: &Path) -> PathBuf {
+    let path = dir.join("doubler.minic");
+    std::fs::write(&path, PROGRAM_B).unwrap();
+    path
+}
+
+/// The slice of `PROGRAM_B`'s only output, computed in-process.
+fn expected_doubler_slice() -> Vec<u32> {
+    let session = Session::compile(PROGRAM_B).unwrap();
+    let trace = session.run(INPUT_B.to_vec());
+    let opt = session.opt(&trace, &OptConfig::default());
+    let slice = opt.slice(&Criterion::Output(0)).unwrap();
+    slice.stmts.iter().map(|s| s.index() as u32).collect()
+}
+
+/// Runs a stdio server with `args`, feeds it `requests` (then EOF, the
+/// stdio transport's graceful shutdown), and returns the responses by id.
+fn run_stdio_script(args: &[String], requests: &[Request]) -> BTreeMap<u64, ResponseBody> {
+    let mut child = bin()
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn dynslice serve");
+    {
+        let mut stdin = child.stdin.take().unwrap();
+        for request in requests {
+            writeln!(stdin, "{}", request.to_json()).unwrap();
+        }
+    }
+    let out = wait_for_exit(child, Duration::from_secs(60));
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let mut by_id = BTreeMap::new();
+    for line in BufReader::new(&out.stdout[..]).lines() {
+        let response = Response::parse(&line.unwrap()).unwrap();
+        by_id.insert(response.id, response.body);
+    }
+    by_id
 }
 
 fn wait_for_exit(mut child: Child, deadline: Duration) -> Output {
@@ -273,4 +330,347 @@ fn graceful_shutdown_flushes_a_reconciled_report() {
     let validate =
         bin().args(["metrics-validate", report.to_str().unwrap()]).output().unwrap();
     assert!(validate.status.success());
+}
+
+const INPUT_VALUES: &[i64] = &[5, -3, 42, 7, 1000, -1, 12, 3];
+
+/// 8 socket clients interleave `load`/`slice`/`unload` across their own
+/// sessions (two different programs) while also querying the default
+/// trace; every answer matches an in-process slicer, a re-`load` after
+/// `unload` works, and the final report attributes 16 session lifetimes.
+#[test]
+fn concurrent_clients_interleave_session_lifecycles() {
+    let dir = work_dir("sessions");
+    let classify = write_program(&dir);
+    let doubler = write_program_b(&dir);
+    let socket = dir.join("sessions.sock");
+    let report = dir.join("report.json");
+    let child = bin()
+        .args([
+            "serve",
+            classify.to_str().unwrap(),
+            "--algo",
+            "opt",
+            "--input",
+            INPUT,
+            "--workers",
+            "4",
+            "--max-sessions",
+            "16",
+            "--socket",
+            socket.to_str().unwrap(),
+            "--metrics-json",
+            report.to_str().unwrap(),
+        ])
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn dynslice serve");
+
+    let start = Instant::now();
+    while !socket.exists() {
+        assert!(start.elapsed() < Duration::from_secs(30), "socket never appeared");
+        std::thread::sleep(Duration::from_millis(20));
+    }
+
+    let default_expected = expected_slices();
+    let doubler_expected = expected_doubler_slice();
+    let handles: Vec<_> = (0..8)
+        .map(|t: usize| {
+            let socket = socket.clone();
+            let default_expected = default_expected.clone();
+            let doubler_expected = doubler_expected.clone();
+            let classify = classify.clone();
+            let doubler = doubler.clone();
+            std::thread::spawn(move || {
+                let slice_of = |response: Response, what: &str| -> Vec<u32> {
+                    match response.body {
+                        ResponseBody::Slice { stmts, .. } => stmts,
+                        other => panic!("client {t}: {what} answered {other:?}"),
+                    }
+                };
+                let mut client = SliceClient::connect_unix(&socket).unwrap();
+                let name = format!("s{t}");
+                // Even clients serve the classifier, odd ones the doubler.
+                let (program, input, own_expected) = if t.is_multiple_of(2) {
+                    (&classify, INPUT_VALUES.to_vec(), default_expected.clone())
+                } else {
+                    (&doubler, INPUT_B.to_vec(), vec![doubler_expected.clone()])
+                };
+                let program = program.to_str().unwrap();
+
+                let loaded = client.load(&name, program, &input, None).unwrap();
+                match loaded.body {
+                    ResponseBody::Loaded { ref session, ref algo, resident_bytes } => {
+                        assert_eq!(session, &name, "client {t}");
+                        assert_eq!(algo, "opt", "client {t}");
+                        assert!(resident_bytes > 0, "client {t}");
+                    }
+                    ref other => panic!("client {t}: load answered {other:?}"),
+                }
+                for round in 0..2 {
+                    let k = (t + round) % own_expected.len();
+                    let own = client.slice_in(&name, &Criterion::Output(k)).unwrap();
+                    assert_eq!(slice_of(own, "session slice"), own_expected[k], "client {t}");
+                    let k = (t + round) % default_expected.len();
+                    let default = client.slice(&Criterion::Output(k)).unwrap();
+                    assert_eq!(
+                        slice_of(default, "default slice"),
+                        default_expected[k],
+                        "client {t}"
+                    );
+                }
+                let gone = client.unload(&name).unwrap();
+                assert!(
+                    matches!(gone.body, ResponseBody::Unloaded { .. }),
+                    "client {t}: {gone:?}"
+                );
+                let stale = client.slice_in(&name, &Criterion::Output(0)).unwrap();
+                match stale.body {
+                    ResponseBody::Error { kind, .. } => {
+                        assert_eq!(kind, ErrorKind::UnknownSession, "client {t}");
+                    }
+                    ref other => panic!("client {t}: unloaded slice answered {other:?}"),
+                }
+                let reloaded = client.load(&name, program, &input, None).unwrap();
+                assert!(
+                    matches!(reloaded.body, ResponseBody::Loaded { .. }),
+                    "client {t}: {reloaded:?}"
+                );
+                let again = client.slice_in(&name, &Criterion::Output(0)).unwrap();
+                assert_eq!(slice_of(again, "post-reload slice"), own_expected[0], "client {t}");
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+
+    let mut closer = SliceClient::connect_unix(&socket).unwrap();
+    let listing = closer.list().unwrap();
+    match listing.body {
+        ResponseBody::Sessions { ref sessions } => {
+            let names: Vec<&str> = sessions.iter().map(|s| s.name.as_str()).collect();
+            let expected_names: Vec<String> = (0..8).map(|t| format!("s{t}")).collect();
+            assert_eq!(names, expected_names, "name-ascending listing");
+            for info in sessions {
+                assert_eq!(info.algo, "opt", "{}", info.name);
+                assert!(info.resident_bytes > 0, "{}", info.name);
+                assert_eq!(info.requests, 1, "{}: one slice since its reload", info.name);
+            }
+        }
+        ref other => panic!("list answered {other:?}"),
+    }
+    let ack = closer.shutdown().unwrap();
+    assert!(matches!(ack.body, ResponseBody::ShutdownAck), "got {ack:?}");
+
+    let out = wait_for_exit(child, Duration::from_secs(30));
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+
+    let text = std::fs::read_to_string(&report).unwrap();
+    let parsed = RunReport::from_json(&text).expect("serve report satisfies the schema");
+    // Per client: 2 loads + 5 slices + 1 unload + 1 failed slice = 9.
+    assert_eq!(parsed.counter_or_zero("server.requests"), 8 * 9 + 2);
+    assert_eq!(parsed.counter_or_zero("server.responses_ok"), 8 * 8 + 1);
+    assert_eq!(parsed.counter_or_zero("server.failed"), 8);
+    assert_eq!(parsed.counter_or_zero("server.connections"), 9);
+    assert_eq!(parsed.counter_or_zero("server.sessions_loaded"), 16);
+    assert_eq!(parsed.counter_or_zero("server.sessions_unloaded"), 8);
+    assert_eq!(parsed.counter_or_zero("server.sessions_evicted"), 0);
+    assert_eq!(parsed.counter_or_zero("server.sessions_rejected"), 0);
+    // 8 live sessions under their names + 8 unloaded first lifetimes.
+    assert_eq!(parsed.sessions.len(), 16, "{:?}", parsed.sessions.keys());
+    for t in 0..8 {
+        let live = &parsed.sessions[&format!("s{t}")];
+        assert_eq!(live.counters["requests"], 1, "s{t}");
+        assert!(!live.gauges.contains_key("evicted"), "s{t} was never evicted");
+        let first = &parsed.sessions[&format!("s{t}#2")];
+        assert_eq!(first.counters["requests"], 2, "s{t}#2");
+        assert!(!first.gauges.contains_key("evicted"), "s{t}#2 was unloaded, not evicted");
+    }
+}
+
+/// Under `--memory-budget-mb`, admitting a second session evicts the
+/// idle first one (LRU), slicing the evicted session is a typed
+/// `unknown_session` error, a re-`load` evicts back the other way and
+/// still answers correctly, and both evictions are visible in the
+/// summary counters and the per-session report sections.
+#[test]
+fn memory_budget_evicts_idle_sessions_lru_first() {
+    let dir = work_dir("evict");
+    let classify = write_program(&dir);
+    let doubler = write_program_b(&dir);
+    let classify_str = classify.to_str().unwrap();
+    let doubler_str = doubler.to_str().unwrap();
+    let base = |extra: &[String]| -> Vec<String> {
+        let mut args: Vec<String> =
+            ["serve", classify_str, "--algo", "opt", "--input", INPUT, "--workers", "1"]
+                .iter()
+                .map(ToString::to_string)
+                .collect();
+        args.extend_from_slice(extra);
+        args
+    };
+
+    // Discovery run: ask the server itself how many bytes each session
+    // keeps resident (builds are deterministic, so the sizes transfer).
+    let sizes = run_stdio_script(
+        &base(&[]),
+        &[
+            Request::load(1, "s_a", classify_str, INPUT_VALUES, None),
+            Request::load(2, "s_b", doubler_str, INPUT_B, None),
+        ],
+    );
+    let resident = |body: &ResponseBody| -> u64 {
+        match body {
+            ResponseBody::Loaded { resident_bytes, .. } => *resident_bytes,
+            other => panic!("discovery load answered {other:?}"),
+        }
+    };
+    let bytes_a = resident(&sizes[&1]);
+    let bytes_b = resident(&sizes[&2]);
+
+    // Either session fits alone; the two together exceed the budget.
+    let budget = bytes_a.max(bytes_b) + bytes_a.min(bytes_b) / 2;
+    let budget_mb = budget as f64 / (1024.0 * 1024.0);
+    let report = dir.join("report.json");
+    let by_id = run_stdio_script(
+        &base(&[
+            "--memory-budget-mb".into(),
+            format!("{budget_mb}"),
+            "--metrics-json".into(),
+            report.to_str().unwrap().into(),
+        ]),
+        &[
+            Request::load(1, "s_a", classify_str, INPUT_VALUES, None),
+            Request::slice_in(2, "s_a", &Criterion::Output(0)),
+            Request::load(3, "s_b", doubler_str, INPUT_B, None),
+            Request::slice_in(4, "s_a", &Criterion::Output(1)),
+            Request::slice_in(5, "s_b", &Criterion::Output(0)),
+            Request::load(6, "s_a", classify_str, INPUT_VALUES, None),
+            Request::slice_in(7, "s_a", &Criterion::Output(1)),
+        ],
+    );
+
+    let expected = expected_slices();
+    assert_eq!(resident(&by_id[&1]), bytes_a, "deterministic rebuild of s_a");
+    match &by_id[&2] {
+        ResponseBody::Slice { stmts, .. } => assert_eq!(stmts, &expected[0]),
+        other => panic!("slice of s_a answered {other:?}"),
+    }
+    // Admitting s_b busts the budget, so the idle s_a is evicted…
+    assert_eq!(resident(&by_id[&3]), bytes_b, "deterministic build of s_b");
+    match &by_id[&4] {
+        ResponseBody::Error { kind, message } => {
+            assert_eq!(*kind, ErrorKind::UnknownSession, "{message}");
+        }
+        other => panic!("slice of the evicted s_a answered {other:?}"),
+    }
+    match &by_id[&5] {
+        ResponseBody::Slice { stmts, .. } => assert_eq!(stmts, &expected_doubler_slice()),
+        other => panic!("slice of s_b answered {other:?}"),
+    }
+    // …and re-loading s_a evicts s_b right back, answers included.
+    assert_eq!(resident(&by_id[&6]), bytes_a, "re-load after eviction");
+    match &by_id[&7] {
+        ResponseBody::Slice { stmts, .. } => assert_eq!(stmts, &expected[1]),
+        other => panic!("slice of the re-loaded s_a answered {other:?}"),
+    }
+
+    let text = std::fs::read_to_string(&report).unwrap();
+    let parsed = RunReport::from_json(&text).expect("serve report satisfies the schema");
+    assert_eq!(parsed.counter_or_zero("server.requests"), 7);
+    assert_eq!(parsed.counter_or_zero("server.responses_ok"), 6);
+    assert_eq!(parsed.counter_or_zero("server.failed"), 1);
+    assert_eq!(parsed.counter_or_zero("server.sessions_loaded"), 3);
+    assert_eq!(parsed.counter_or_zero("server.sessions_evicted"), 2);
+    assert_eq!(parsed.counter_or_zero("server.sessions_unloaded"), 0);
+    assert_eq!(parsed.counter_or_zero("server.sessions_rejected"), 0);
+    assert_eq!(parsed.gauges.get("server.sessions_resident"), Some(&1.0));
+    assert_eq!(parsed.gauges.get("server.sessions_resident_bytes"), Some(&(bytes_a as f64)));
+
+    // Three session lifetimes: the live s_a, its evicted first life
+    // (suffixed), and the evicted s_b.
+    let keys: Vec<&str> = parsed.sessions.keys().map(String::as_str).collect();
+    assert_eq!(keys, ["s_a", "s_a#2", "s_b"]);
+    let live = &parsed.sessions["s_a"];
+    assert_eq!(live.counters["requests"], 1);
+    assert!(!live.gauges.contains_key("evicted"));
+    for evicted in ["s_a#2", "s_b"] {
+        let session = &parsed.sessions[evicted];
+        assert_eq!(session.counters["requests"], 1, "{evicted}");
+        assert_eq!(session.gauges.get("evicted"), Some(&1.0), "{evicted}");
+    }
+    assert_eq!(live.gauges.get("resident_bytes"), Some(&(bytes_a as f64)));
+    assert_eq!(parsed.sessions["s_b"].gauges.get("resident_bytes"), Some(&(bytes_b as f64)));
+
+    // A report with session sections still satisfies the schema.
+    let validate =
+        bin().args(["metrics-validate", report.to_str().unwrap()]).output().unwrap();
+    assert!(validate.status.success());
+}
+
+/// A session's per-criterion result cache under eviction pressure:
+/// filling past `--cache-capacity` evicts LRU-first, the evicted entry
+/// recomputes identically on the next miss, and the hit/miss split shows
+/// up both in the server totals and the per-session report.
+#[test]
+fn session_result_cache_recomputes_identically_after_eviction() {
+    let dir = work_dir("cache");
+    let classify = write_program(&dir);
+    let classify_str = classify.to_str().unwrap();
+    let report = dir.join("report.json");
+    let args: Vec<String> = [
+        "serve",
+        classify_str,
+        "--algo",
+        "opt",
+        "--input",
+        INPUT,
+        "--workers",
+        "1",
+        "--cache-capacity",
+        "2",
+        "--metrics-json",
+        report.to_str().unwrap(),
+    ]
+    .iter()
+    .map(ToString::to_string)
+    .collect();
+    let by_id = run_stdio_script(
+        &args,
+        &[
+            Request::load(1, "s", classify_str, INPUT_VALUES, None),
+            Request::slice_in(2, "s", &Criterion::Output(0)), // miss: {0}
+            Request::slice_in(3, "s", &Criterion::Output(1)), // miss: {0,1}
+            Request::slice_in(4, "s", &Criterion::Output(2)), // miss, evicts 0: {1,2}
+            Request::slice_in(5, "s", &Criterion::Output(0)), // miss again, evicts 1
+            Request::slice_in(6, "s", &Criterion::Output(0)), // hit
+        ],
+    );
+
+    assert!(matches!(by_id[&1], ResponseBody::Loaded { .. }), "{:?}", by_id[&1]);
+    let expected = expected_slices();
+    let slice = |id: u64| -> (Vec<u32>, bool) {
+        match &by_id[&id] {
+            ResponseBody::Slice { stmts, cached, .. } => (stmts.clone(), *cached),
+            other => panic!("request {id} answered {other:?}"),
+        }
+    };
+    assert_eq!(slice(2), (expected[0].clone(), false));
+    assert_eq!(slice(3), (expected[1].clone(), false));
+    assert_eq!(slice(4), (expected[2].clone(), false));
+    // The evicted entry recomputes to the same answer, then caches again.
+    assert_eq!(slice(5), (expected[0].clone(), false));
+    assert_eq!(slice(6), (expected[0].clone(), true));
+
+    let text = std::fs::read_to_string(&report).unwrap();
+    let parsed = RunReport::from_json(&text).expect("serve report satisfies the schema");
+    assert_eq!(parsed.counter_or_zero("server.cache_hits"), 1);
+    assert_eq!(parsed.counter_or_zero("server.cache_misses"), 4);
+    let session = &parsed.sessions["s"];
+    assert_eq!(session.counters["requests"], 5);
+    assert_eq!(session.counters["cache_hits"], 1);
+    assert_eq!(session.counters["cache_misses"], 4);
 }

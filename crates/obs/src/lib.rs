@@ -180,6 +180,7 @@ impl Registry {
             counters: BTreeMap::new(),
             gauges: BTreeMap::new(),
             peak_resident_bytes: peak_resident_bytes(),
+            sessions: BTreeMap::new(),
         };
         if let Some(m) = &self.inner {
             let inner = m.lock().expect("obs lock");
@@ -203,6 +204,66 @@ pub trait RecordMetrics {
     fn record_metrics(&self, reg: &Registry);
 }
 
+/// One served session's slice of a [`RunReport`]: the counters and gauges
+/// that belong to a single named trace in a multi-session `dynslice serve`
+/// run, keyed by session name under the report's `sessions` field. The
+/// top-level `server.*` counters stay the cross-session totals; these
+/// sub-reports attribute them.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct SessionReport {
+    /// Monotonic per-session counters (`requests`, `cache_hits`, …).
+    pub counters: BTreeMap<String, u64>,
+    /// Point-in-time per-session gauges (`resident_bytes`, `evicted`, …).
+    pub gauges: BTreeMap<String, f64>,
+}
+
+impl SessionReport {
+    fn to_value(&self) -> Value {
+        let mut obj = BTreeMap::new();
+        obj.insert(
+            "counters".into(),
+            Value::Obj(
+                self.counters.iter().map(|(k, v)| (k.clone(), Value::Num(*v as f64))).collect(),
+            ),
+        );
+        obj.insert(
+            "gauges".into(),
+            Value::Obj(self.gauges.iter().map(|(k, v)| (k.clone(), Value::Num(*v))).collect()),
+        );
+        Value::Obj(obj)
+    }
+
+    fn from_value(name: &str, v: &Value) -> Result<Self, String> {
+        let obj = v.as_obj().ok_or(format!("session `{name}` must be an object"))?;
+        let mut counters = BTreeMap::new();
+        for (k, v) in obj
+            .get("counters")
+            .ok_or(format!("session `{name}` missing `counters`"))?
+            .as_obj()
+            .ok_or(format!("session `{name}` `counters` must be an object"))?
+        {
+            counters.insert(
+                k.clone(),
+                v.as_u64()
+                    .ok_or(format!("session `{name}` counter `{k}` must be an unsigned integer"))?,
+            );
+        }
+        let mut gauges = BTreeMap::new();
+        for (k, v) in obj
+            .get("gauges")
+            .ok_or(format!("session `{name}` missing `gauges`"))?
+            .as_obj()
+            .ok_or(format!("session `{name}` `gauges` must be an object"))?
+        {
+            gauges.insert(
+                k.clone(),
+                v.as_f64().ok_or(format!("session `{name}` gauge `{k}` must be numeric"))?,
+            );
+        }
+        Ok(SessionReport { counters, gauges })
+    }
+}
+
 /// One run's machine-readable report: the schema behind `--metrics-json`
 /// and `BENCH_<name>.json`.
 #[derive(Clone, Debug, Default, PartialEq)]
@@ -221,6 +282,10 @@ pub struct RunReport {
     pub gauges: BTreeMap<String, f64>,
     /// Peak resident set size of the process, if the platform exposes it.
     pub peak_resident_bytes: Option<u64>,
+    /// Per-session sub-reports (multi-session `dynslice serve` runs only;
+    /// empty — and omitted from the JSON — everywhere else, so every
+    /// pre-existing report stays byte-identical and schema-valid).
+    pub sessions: BTreeMap<String, SessionReport>,
 }
 
 impl RunReport {
@@ -256,6 +321,14 @@ impl RunReport {
                 None => Value::Null,
             },
         );
+        if !self.sessions.is_empty() {
+            obj.insert(
+                "sessions".into(),
+                Value::Obj(
+                    self.sessions.iter().map(|(k, v)| (k.clone(), v.to_value())).collect(),
+                ),
+            );
+        }
         let mut text = Value::Obj(obj).to_json();
         text.push('\n');
         text
@@ -323,6 +396,16 @@ impl RunReport {
             v => Some(v.as_u64().ok_or("`peak_resident_bytes` must be an unsigned integer")?),
         };
 
+        let mut sessions = BTreeMap::new();
+        if let Some(v) = obj.get("sessions") {
+            for (name, sub) in v.as_obj().ok_or("`sessions` must be an object")? {
+                if name.is_empty() {
+                    return Err("session names must be non-empty".into());
+                }
+                sessions.insert(name.clone(), SessionReport::from_value(name, sub)?);
+            }
+        }
+
         Ok(RunReport {
             schema_version,
             algorithm,
@@ -331,6 +414,7 @@ impl RunReport {
             counters,
             gauges,
             peak_resident_bytes,
+            sessions,
         })
     }
 
@@ -439,6 +523,35 @@ mod tests {
         // Negative counters are rejected.
         let bad = good.replace("\"counters\": {}", "\"counters\": {\"x\": -1}");
         assert!(RunReport::from_json(&bad).is_err());
+    }
+
+    #[test]
+    fn session_sub_reports_round_trip_and_validate() {
+        let mut report = Registry::new().report("serve-opt", BTreeMap::new());
+        // Without sessions, the field is omitted entirely (old reports are
+        // byte-identical) and parses back as empty.
+        assert!(!report.to_json().contains("\"sessions\""));
+        assert!(RunReport::from_json(&report.to_json()).unwrap().sessions.is_empty());
+
+        let mut sub = SessionReport::default();
+        sub.counters.insert("requests".into(), 7);
+        sub.counters.insert("cache_hits".into(), 3);
+        sub.gauges.insert("resident_bytes".into(), 4096.0);
+        report.sessions.insert("trace-a".into(), sub);
+        report.sessions.insert("trace-b".into(), SessionReport::default());
+        let parsed = RunReport::from_json(&report.to_json()).unwrap();
+        assert_eq!(parsed, report);
+        assert_eq!(parsed.sessions["trace-a"].counters["requests"], 7);
+
+        // Schema violations inside a session are rejected.
+        let good = report.to_json();
+        for (what, bad) in [
+            ("negative counter", good.replace("\"requests\": 7", "\"requests\": -7")),
+            ("non-numeric gauge", good.replace("4096", "\"big\"")),
+            ("missing counters", good.replace("\"counters\": {},", "")),
+        ] {
+            assert!(RunReport::from_json(&bad).is_err(), "{what} should fail");
+        }
     }
 
     #[test]
