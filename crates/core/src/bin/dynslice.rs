@@ -5,13 +5,15 @@
 //! dynslice slice       <file> (--output K | --cell INST:OFF)
 //!                      [--algo fp|opt|lp|forward|paged] [--input 1,2,3]
 //!                      [--no-shortcuts] [--resident-blocks N]
+//!                      [--build-workers N]
 //! dynslice slice-batch <file> [--workers N] [--queries N] [--repeat R]
 //!                      [--no-cache] [--no-shortcuts] [--input 1,2,3]
-//!                      [--paged] [--resident-blocks N]
+//!                      [--paged] [--resident-blocks N] [--build-workers N]
 //! dynslice serve       <file> [--algo fp|opt|lp|forward|paged] [--paged]
 //!                      [--socket PATH] [--workers N] [--timeout-ms N]
 //!                      [--queue-depth N] [--cache-capacity N] [--no-cache]
 //!                      [--max-sessions N] [--memory-budget-mb MB]
+//!                      [--build-workers N] [--loaders N]
 //!                      [--preload [name=]file[@i1;i2;...],...]
 //! dynslice report      <file> [--input 1,2,3]
 //! dynslice dot         <file> [--input 1,2,3] [--dynamic]  # graph to stdout
@@ -116,6 +118,8 @@ struct Args {
     cache: bool,
     paged: bool,
     resident_blocks: usize,
+    build_workers: usize,
+    loaders: usize,
     socket: Option<String>,
     timeout_ms: Option<u64>,
     queue_depth: usize,
@@ -141,6 +145,7 @@ impl Args {
         m.insert("cache".into(), self.cache.to_string());
         m.insert("paged".into(), self.paged.to_string());
         m.insert("resident_blocks".into(), self.resident_blocks.to_string());
+        m.insert("build_workers".into(), self.build_workers.to_string());
         m.insert("queries".into(), self.queries.to_string());
         m.insert("repeat".into(), self.repeat.to_string());
         if let Some(w) = self.workers {
@@ -153,6 +158,7 @@ impl Args {
             );
             m.insert("queue_depth".into(), self.queue_depth.to_string());
             m.insert("cache_capacity".into(), self.cache_capacity.to_string());
+            m.insert("loaders".into(), self.loaders.to_string());
             m.insert("max_sessions".into(), self.max_sessions.to_string());
             if let Some(mb) = self.memory_budget_mb {
                 m.insert("memory_budget_mb".into(), mb.to_string());
@@ -181,6 +187,7 @@ impl Args {
             shortcuts: self.shortcuts,
             scratch_dir: std::env::temp_dir().join("dynslice-cli"),
             resident_blocks: self.resident_blocks,
+            build_workers: self.build_workers,
             ..SlicerConfig::default()
         }
     }
@@ -205,6 +212,8 @@ fn parse_args() -> Result<Args, String> {
         cache: true,
         paged: false,
         resident_blocks: 8,
+        build_workers: 1,
+        loaders: 1,
         socket: None,
         timeout_ms: None,
         queue_depth: 64,
@@ -254,6 +263,16 @@ fn parse_args() -> Result<Args, String> {
                 out.resident_blocks =
                     v.parse().map_err(|_| format!("bad block count `{v}`"))?;
             }
+            "--build-workers" => {
+                let v = args.next().ok_or("--build-workers needs a count")?;
+                let n: usize = v.parse().map_err(|_| format!("bad build worker count `{v}`"))?;
+                out.build_workers = n.max(1);
+            }
+            "--loaders" => {
+                let v = args.next().ok_or("--loaders needs a count")?;
+                let n: usize = v.parse().map_err(|_| format!("bad loader count `{v}`"))?;
+                out.loaders = n.max(1);
+            }
             "--socket" => {
                 out.socket = Some(args.next().ok_or("--socket needs a path")?);
             }
@@ -300,10 +319,10 @@ fn parse_args() -> Result<Args, String> {
 fn usage() -> String {
     "usage: dynslice <run|slice|slice-batch|serve|report|dot|metrics-validate> <file.minic> \
      [--input 1,2,3] [--output K | --cell INST:OFF] [--algo fp|opt|lp|forward|paged] \
-     [--no-shortcuts] [--workers N] [--queries N] [--repeat R] [--no-cache] [--paged] \
-     [--resident-blocks N] [--socket PATH] [--timeout-ms N] [--queue-depth N] \
-     [--cache-capacity N] [--max-sessions N] [--memory-budget-mb MB] \
-     [--preload [name=]file[@i1;i2;...],...] [--metrics-json PATH]"
+     [--no-shortcuts] [--workers N] [--build-workers N] [--queries N] [--repeat R] \
+     [--no-cache] [--paged] [--resident-blocks N] [--socket PATH] [--timeout-ms N] \
+     [--queue-depth N] [--cache-capacity N] [--loaders N] [--max-sessions N] \
+     [--memory-budget-mb MB] [--preload [name=]file[@i1;i2;...],...] [--metrics-json PATH]"
         .to_string()
 }
 
@@ -515,6 +534,7 @@ fn run() -> Result<(), CliError> {
             slicer.record_build_metrics(&reg);
             let config = ServeConfig {
                 workers: a.workers.unwrap_or_else(|| ServeConfig::default().workers).max(1),
+                loaders: a.loaders,
                 timeout: a.timeout_ms.map(Duration::from_millis),
                 queue_depth: a.queue_depth,
                 cache_capacity: if a.cache { a.cache_capacity } else { 0 },

@@ -87,6 +87,35 @@ impl SliceClient {
         self.roundtrip(&Request::load(id, session, program, input, algo))
     }
 
+    /// Starts a **background** build of `session`: the server acks
+    /// `loading` immediately and the session becomes resident when the
+    /// build lands. Watch it via [`Self::list`], or send a slice with
+    /// `wait` to block on the build.
+    ///
+    /// # Errors
+    /// Transport failures as in [`Self::roundtrip`].
+    pub fn load_async(
+        &mut self,
+        session: &str,
+        program: &str,
+        input: &[i64],
+        algo: Option<&str>,
+    ) -> io::Result<Response> {
+        let id = self.fresh_id();
+        self.roundtrip(&Request::load_async(id, session, program, input, algo))
+    }
+
+    /// Requests the slice for `criterion` against the named session,
+    /// waiting out an in-flight background load instead of taking the
+    /// `loading` error.
+    ///
+    /// # Errors
+    /// Transport failures as in [`Self::roundtrip`].
+    pub fn slice_in_wait(&mut self, session: &str, criterion: &Criterion) -> io::Result<Response> {
+        let id = self.fresh_id();
+        self.roundtrip(&Request { wait: true, ..Request::slice_in(id, session, criterion) })
+    }
+
     /// Drops the named session server-side.
     ///
     /// # Errors

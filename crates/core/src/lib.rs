@@ -36,8 +36,9 @@ pub mod sessions;
 
 pub use dynslice_analysis::{self as analysis, ProgramAnalysis};
 pub use dynslice_graph::{
-    self as graph, build_compact, profile_trace, BuildStats, CompactGraph, FullGraph, GraphSize,
-    NodeGraph, OptConfig, OptKind, PagedGraph, PagedStats, SpecPlan, SpecPolicy,
+    self as graph, build_compact, build_compact_parallel, profile_trace, BuildStats, CompactGraph,
+    FullGraph, GraphSize, NodeGraph, OptConfig, OptKind, PagedGraph, PagedStats, SpecPlan,
+    SpecPolicy,
 };
 pub use dynslice_ir::{self as ir, Program, StmtId};
 pub use dynslice_lang::{self as lang, compile, Diags};
@@ -174,8 +175,20 @@ impl Session {
         Ok(match algo {
             Algo::Fp => AnySlicer::Fp(reg.time_phase(phases::GRAPH_BUILD, || self.fp(trace))),
             Algo::Opt => {
-                let mut opt =
-                    reg.time_phase(phases::GRAPH_BUILD, || self.opt(trace, &config.opt));
+                let mut opt = reg.time_phase(phases::GRAPH_BUILD, || {
+                    if config.build_workers > 1 {
+                        OptSlicer::build_parallel(
+                            &self.program,
+                            &self.analysis,
+                            &trace.events,
+                            &config.opt,
+                            config.build_workers,
+                            reg,
+                        )
+                    } else {
+                        self.opt(trace, &config.opt)
+                    }
+                });
                 opt.shortcuts = config.shortcuts;
                 AnySlicer::Opt(opt)
             }
@@ -195,7 +208,19 @@ impl Session {
                 std::fs::create_dir_all(&config.scratch_dir)?;
                 let path = scratch_path(&config.scratch_dir, "spill", "pg");
                 AnySlicer::Paged(reg.time_phase(phases::RECORD_PREPROCESS, || {
-                    self.paged(trace, &config.opt, path, config.resident_blocks)
+                    let graph = if config.build_workers > 1 {
+                        dynslice_graph::build_compact_parallel(
+                            &self.program,
+                            &self.analysis,
+                            &trace.events,
+                            &config.opt,
+                            config.build_workers,
+                            reg,
+                        )
+                    } else {
+                        build_compact(&self.program, &self.analysis, &trace.events, &config.opt)
+                    };
+                    PagedGraph::spill(graph, path, config.resident_blocks)
                 })?)
             }
         })
@@ -261,6 +286,10 @@ pub struct SlicerConfig {
     /// LP pass-budget override ([`dynslice_slicing::DEFAULT_MAX_PASSES`]
     /// when `None`).
     pub lp_max_passes: Option<u32>,
+    /// Worker threads for the segmented parallel graph build (OPT and the
+    /// paged hybrid); `1` = the sequential builder. The built graph is
+    /// bit-identical either way.
+    pub build_workers: usize,
 }
 
 impl Default for SlicerConfig {
@@ -271,6 +300,7 @@ impl Default for SlicerConfig {
             scratch_dir: std::env::temp_dir().join("dynslice-scratch"),
             resident_blocks: 8,
             lp_max_passes: None,
+            build_workers: 1,
         }
     }
 }

@@ -22,8 +22,15 @@
 //! to the single-trace protocol that predates sessions, so old clients
 //! keep working unmodified. `load` compiles `program`, traces it with
 //! `input` (comma-separated integers), builds the backend named by `algo`
-//! (the server's default when omitted), and registers it under `session`;
-//! `unload` drops a session; `list` enumerates resident sessions.
+//! (the server's default when omitted), and registers it under `session`.
+//! By default the load is **asynchronous**: the server acknowledges with
+//! `{"ok":true,"loading":NAME}` immediately and builds on a background
+//! pool, so resident sessions keep answering; `"wait":true` restores the
+//! blocking build that answers `loaded` once resident. A `slice` against
+//! a session that is still building gets a typed `loading` error — or,
+//! with `"wait":true`, blocks until the build resolves.
+//! `unload` drops a session; `list` enumerates resident sessions (and
+//! sessions still loading, marked `"state":"loading"`).
 //! `delay_ms` artificially delays the worker before it answers — a
 //! deterministic stand-in for an expensive query in timeout tests and
 //! latency experiments. `shutdown` asks the server to stop accepting
@@ -34,10 +41,12 @@
 //!
 //! ```text
 //! {"id":1,"ok":true,"algo":"opt","len":3,"stmts":[0,2,5],"cached":false,"micros":180}
+//! {"id":3,"ok":true,"loading":"t1"}
 //! {"id":3,"ok":true,"loaded":"t1","algo":"opt","resident_bytes":8192}
 //! {"id":5,"ok":true,"sessions":[{"name":"t1","algo":"opt","resident_bytes":8192,"requests":4}]}
 //! {"id":6,"ok":true,"unloaded":"t1"}
 //! {"id":2,"ok":false,"error":"timeout","message":"deadline exceeded after 100ms"}
+//! {"id":4,"ok":false,"error":"loading","message":"session `t1` is still loading"}
 //! {"id":7,"ok":true,"shutdown":true}
 //! ```
 //!
@@ -91,6 +100,11 @@ pub struct Request {
     pub algo: Option<String>,
     /// Artificial pre-answer delay in milliseconds (testing/latency aid).
     pub delay_ms: u64,
+    /// Blocking variant selector: a `load` with `wait` builds inline and
+    /// answers `loaded` (instead of the immediate `loading` ack); a
+    /// `slice` with `wait` blocks on a still-loading session instead of
+    /// answering a `loading` error. Omitted on the wire when false.
+    pub wait: bool,
 }
 
 impl Request {
@@ -104,6 +118,7 @@ impl Request {
             input: None,
             algo: None,
             delay_ms: 0,
+            wait: false,
         }
     }
 
@@ -121,8 +136,23 @@ impl Request {
         Request { session: Some(session.to_string()), ..Request::slice(id, criterion) }
     }
 
-    /// A load request: build `program` traced with `input` under `session`.
+    /// A blocking load request: build `program` traced with `input` under
+    /// `session`, answering `loaded` once resident. (This constructor
+    /// keeps the pre-async synchronous contract by setting `wait`; see
+    /// [`Request::load_async`] for the fire-and-forget form.)
     pub fn load(
+        id: u64,
+        session: &str,
+        program: &str,
+        input: &[i64],
+        algo: Option<&str>,
+    ) -> Self {
+        Request { wait: true, ..Request::load_async(id, session, program, input, algo) }
+    }
+
+    /// An asynchronous load request: the server acknowledges with
+    /// `loading` immediately and builds in the background.
+    pub fn load_async(
         id: u64,
         session: &str,
         program: &str,
@@ -177,6 +207,9 @@ impl Request {
                 if self.delay_ms > 0 {
                     obj.insert("delay_ms".into(), Value::Num(self.delay_ms as f64));
                 }
+                if self.wait {
+                    obj.insert("wait".into(), Value::Bool(true));
+                }
             }
             Op::Load => {
                 put_session();
@@ -189,6 +222,9 @@ impl Request {
                 }
                 if let Some(a) = &self.algo {
                     obj.insert("algo".into(), Value::Str(a.clone()));
+                }
+                if self.wait {
+                    obj.insert("wait".into(), Value::Bool(true));
                 }
             }
             Op::Unload => {
@@ -261,7 +297,12 @@ impl Request {
             None => 0,
             Some(v) => v.as_u64().ok_or("`delay_ms` must be an unsigned integer")?,
         };
-        Ok(Request { id, op, criterion, session, program, input, algo, delay_ms })
+        let wait = match obj.get("wait") {
+            None => false,
+            Some(Value::Bool(b)) => *b,
+            Some(_) => return Err("`wait` must be a boolean".into()),
+        };
+        Ok(Request { id, op, criterion, session, program, input, algo, delay_ms, wait })
     }
 }
 
@@ -289,6 +330,10 @@ pub enum ErrorKind {
     Rejected,
     /// The backend hit an I/O error.
     Io,
+    /// The addressed session is still building (a `slice` without `wait`
+    /// raced an asynchronous `load`, or a `load` named a session that is
+    /// already loading).
+    Loading,
 }
 
 impl ErrorKind {
@@ -303,11 +348,12 @@ impl ErrorKind {
             ErrorKind::Timeout => "timeout",
             ErrorKind::Rejected => "rejected",
             ErrorKind::Io => "io",
+            ErrorKind::Loading => "loading",
         }
     }
 
     /// Every kind, for exhaustive protocol tests.
-    pub const ALL: [ErrorKind; 8] = [
+    pub const ALL: [ErrorKind; 9] = [
         ErrorKind::BadRequest,
         ErrorKind::UnknownCriterion,
         ErrorKind::UnknownSession,
@@ -316,6 +362,7 @@ impl ErrorKind {
         ErrorKind::Timeout,
         ErrorKind::Rejected,
         ErrorKind::Io,
+        ErrorKind::Loading,
     ];
 }
 
@@ -333,6 +380,7 @@ impl std::str::FromStr for ErrorKind {
             "timeout" => ErrorKind::Timeout,
             "rejected" => ErrorKind::Rejected,
             "io" => ErrorKind::Io,
+            "loading" => ErrorKind::Loading,
             other => return Err(format!("unknown error kind `{other}`")),
         })
     }
@@ -349,6 +397,11 @@ pub struct SessionInfo {
     pub resident_bytes: u64,
     /// Slice requests this session has answered so far.
     pub requests: u64,
+    /// Whether the session is still building (an asynchronous `load` in
+    /// flight). Serialized as `"state":"loading"` and omitted for
+    /// resident sessions, so resident-only listings keep the pre-async
+    /// wire bytes.
+    pub loading: bool,
 }
 
 impl SessionInfo {
@@ -358,6 +411,9 @@ impl SessionInfo {
         obj.insert("algo".into(), Value::Str(self.algo.clone()));
         obj.insert("resident_bytes".into(), Value::Num(self.resident_bytes as f64));
         obj.insert("requests".into(), Value::Num(self.requests as f64));
+        if self.loading {
+            obj.insert("state".into(), Value::Str("loading".into()));
+        }
         Value::Obj(obj)
     }
 
@@ -374,11 +430,20 @@ impl SessionInfo {
                 .and_then(Value::as_u64)
                 .ok_or(format!("session entry needs unsigned `{name}`"))
         };
+        let loading = match obj.get("state") {
+            None => false,
+            Some(v) => match v.as_str() {
+                Some("loading") => true,
+                Some(other) => return Err(format!("unknown session state `{other}`")),
+                None => return Err("session `state` must be a string".into()),
+            },
+        };
         Ok(SessionInfo {
             name: text("name")?,
             algo: text("algo")?,
             resident_bytes: num("resident_bytes")?,
             requests: num("requests")?,
+            loading,
         })
     }
 }
@@ -397,7 +462,8 @@ pub enum ResponseBody {
         /// Service time in microseconds (queue wait excluded).
         micros: u64,
     },
-    /// Acknowledgement of a `load`: the session is built and resident.
+    /// Acknowledgement of a blocking `load`: the session is built and
+    /// resident.
     Loaded {
         /// The session's name.
         session: String,
@@ -406,6 +472,13 @@ pub enum ResponseBody {
         /// Bytes the new session keeps resident (what the memory budget
         /// charges it for).
         resident_bytes: u64,
+    },
+    /// Acknowledgement of an asynchronous `load`: the build was accepted
+    /// and runs in the background; the session answers `loading` errors
+    /// until it is resident.
+    Loading {
+        /// The session being built.
+        session: String,
     },
     /// Acknowledgement of an `unload`.
     Unloaded {
@@ -466,6 +539,10 @@ impl Response {
                 obj.insert("loaded".into(), Value::Str(session.clone()));
                 obj.insert("algo".into(), Value::Str(algo.clone()));
                 obj.insert("resident_bytes".into(), Value::Num(*resident_bytes as f64));
+            }
+            ResponseBody::Loading { session } => {
+                obj.insert("ok".into(), Value::Bool(true));
+                obj.insert("loading".into(), Value::Str(session.clone()));
             }
             ResponseBody::Unloaded { session } => {
                 obj.insert("ok".into(), Value::Bool(true));
@@ -531,6 +608,10 @@ impl Response {
                     .and_then(Value::as_u64)
                     .ok_or("load ack needs unsigned `resident_bytes`")?,
             }
+        } else if let Some(session) = obj.get("loading") {
+            ResponseBody::Loading {
+                session: session.as_str().ok_or("`loading` must be a string")?.to_string(),
+            }
         } else if let Some(session) = obj.get("unloaded") {
             ResponseBody::Unloaded {
                 session: session.as_str().ok_or("`unloaded` must be a string")?.to_string(),
@@ -587,6 +668,8 @@ mod tests {
             Request::slice_in(4, "trace-a", &Criterion::Output(0)),
             Request::load(5, "trace-a", "/tmp/a.minic", &[1, -2, 3], Some("opt")),
             Request::load(6, "trace-b", "b.minic", &[], None),
+            Request::load_async(10, "trace-c", "c.minic", &[7], Some("paged")),
+            Request { wait: true, ..Request::slice_in(11, "trace-c", &Criterion::Output(0)) },
             Request::unload(7, "trace-a"),
             Request::list(8),
             Request::shutdown(9),
@@ -612,6 +695,21 @@ mod tests {
             r#"{"criterion":"out:1","delay_ms":250,"id":3}"#,
         );
         assert_eq!(Request::shutdown(9).to_json(), r#"{"id":9,"op":"shutdown"}"#);
+    }
+
+    /// `wait` only appears on the wire when set, and the blocking `load`
+    /// constructor sets it (preserving its pre-async contract).
+    #[test]
+    fn wait_flag_wire_format() {
+        assert!(!Request::slice(1, &Criterion::Output(0)).to_json().contains("wait"));
+        assert!(!Request::load_async(2, "t", "a.minic", &[], None).to_json().contains("wait"));
+        assert_eq!(
+            Request::load(3, "t", "a.minic", &[], None).to_json(),
+            r#"{"id":3,"op":"load","program":"a.minic","session":"t","wait":true}"#,
+        );
+        let r = Request::parse(r#"{"criterion":"out:0","session":"t","wait":true}"#).unwrap();
+        assert!(r.wait);
+        assert!(Request::parse(r#"{"criterion":"out:0","wait":"yes"}"#).is_err());
     }
 
     #[test]
@@ -671,6 +769,7 @@ mod tests {
             },
             Response { id: 5, body: ResponseBody::Unloaded { session: "trace-a".into() } },
             Response { id: 6, body: ResponseBody::Sessions { sessions: vec![] } },
+            Response { id: 8, body: ResponseBody::Loading { session: "trace-b".into() } },
             Response {
                 id: 7,
                 body: ResponseBody::Sessions {
@@ -680,12 +779,21 @@ mod tests {
                             algo: "opt".into(),
                             resident_bytes: 100,
                             requests: 3,
+                            loading: false,
                         },
                         SessionInfo {
                             name: "b".into(),
                             algo: "paged".into(),
                             resident_bytes: 64,
                             requests: 0,
+                            loading: false,
+                        },
+                        SessionInfo {
+                            name: "c".into(),
+                            algo: "opt".into(),
+                            resident_bytes: 0,
+                            requests: 0,
+                            loading: true,
                         },
                     ],
                 },

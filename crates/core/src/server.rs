@@ -24,13 +24,21 @@
 //!   consult the per-criterion LRU cache of the addressed session, run
 //!   [`Slicer::slice_with_stats`], and write the response to the
 //!   connection the request came from. Responses may be written out of
-//!   order; the `id` field correlates. Session `load` builds also run
-//!   here — **every** op goes through the one queue, so with a single
-//!   worker a scripted request stream is answered strictly in order.
+//!   order; the `id` field correlates. With a single worker a scripted
+//!   request stream is answered strictly in order.
+//! * **Loaders**: session builds are the slow path — minutes of trace
+//!   capture and graph construction — so a `load` without `wait` is
+//!   acked immediately (`loading`) and handed to a separate loader pool.
+//!   Slices against *resident* sessions never queue behind a build; a
+//!   slice against a still-loading session answers a typed `loading`
+//!   error, or blocks until the build lands when the request says
+//!   `"wait":true`. A `load` with `"wait":true` keeps the original
+//!   synchronous contract (build inline, answer `loaded`).
 //! * **Deadlines**: with `--timeout-ms`, each request gets a deadline
 //!   stamped at enqueue time. The deadline is checked when the job is
-//!   dequeued, during any artificial `delay_ms`, and after the slice is
-//!   computed; an expired request answers `timeout` instead of a slice.
+//!   dequeued, during any artificial `delay_ms`, after the slice is
+//!   computed, and once more immediately before the reply is written —
+//!   a response that went stale anywhere in between answers `timeout`.
 //! * **Errors are isolated per request**: a malformed line, unknown
 //!   criterion, unknown session, rejected load, truncated LP slice, or
 //!   I/O failure fails that request only — the server keeps serving.
@@ -53,7 +61,9 @@ use dynslice_slicing::{Criterion, SliceError, Slicer};
 
 use crate::criteria::{parse_criterion, parse_input_tape};
 use crate::protocol::{ErrorKind, Op, Request, Response, ResponseBody};
-use crate::sessions::{LoadError, LruCache, SessionEntry, SessionManager, SessionSpec};
+use crate::sessions::{
+    LoadError, LruCache, SessionEntry, SessionLease, SessionManager, SessionSpec,
+};
 
 /// How the server talks to its clients.
 #[derive(Debug)]
@@ -120,6 +130,9 @@ impl Transport {
 pub struct ServeConfig {
     /// Worker threads answering queries concurrently.
     pub workers: usize,
+    /// Loader threads running asynchronous session builds (a `load`
+    /// without `wait`), so builds never stall the query workers.
+    pub loaders: usize,
     /// Per-request deadline, measured from enqueue; `None` disables.
     pub timeout: Option<Duration>,
     /// Bounded queue depth; a full queue rejects new requests.
@@ -131,7 +144,7 @@ pub struct ServeConfig {
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        ServeConfig { workers: 4, timeout: None, queue_depth: 64, cache_capacity: 128 }
+        ServeConfig { workers: 4, loaders: 1, timeout: None, queue_depth: 64, cache_capacity: 128 }
     }
 }
 
@@ -161,6 +174,8 @@ pub struct ServeSummary {
     pub in_flight_peak: u64,
     /// Deepest the request queue ever got.
     pub queue_peak: u64,
+    /// Deepest the background-load queue ever got.
+    pub load_queue_peak: u64,
     /// Sessions admitted by `load` (preloads included).
     pub sessions_loaded: u64,
     /// Idle sessions evicted under the memory budget or session cap.
@@ -189,6 +204,7 @@ impl ServeSummary {
         reg.counter_add("server.sessions_rejected", self.sessions_rejected);
         reg.gauge_set("server.in_flight_peak", self.in_flight_peak as f64);
         reg.gauge_set("server.queue_peak", self.queue_peak as f64);
+        reg.gauge_set("server.load_queue_peak", self.load_queue_peak as f64);
     }
 }
 
@@ -214,10 +230,13 @@ impl Sink {
 /// What an accepted request asks a worker to do.
 enum JobKind {
     /// Slice `criterion` against the named session (`None` = the default
-    /// trace).
-    Slice { criterion: Criterion, session: Option<String>, delay_ms: u64 },
-    /// Build and admit a session.
-    Load(SessionSpec),
+    /// trace). `wait` opts into blocking on a session that is still
+    /// loading instead of answering a `loading` error.
+    Slice { criterion: Criterion, session: Option<String>, delay_ms: u64, wait: bool },
+    /// Build and admit a session; `wait` selects the synchronous contract
+    /// (build inline, answer `loaded`) over the asynchronous default
+    /// (ack `loading`, build on the loader pool).
+    Load { spec: SessionSpec, wait: bool },
     /// Drop a session.
     Unload(String),
     /// Enumerate resident sessions.
@@ -232,30 +251,36 @@ struct Job {
     sink: Arc<Sink>,
 }
 
-#[derive(Default)]
-struct QueueInner {
-    jobs: std::collections::VecDeque<Job>,
+/// A session build queued for the loader pool. No sink: the `loading`
+/// ack already went out, and a failed build surfaces through `list`
+/// (the pending entry disappears) and the `failed` counter.
+struct LoadJob {
+    spec: SessionSpec,
+}
+
+struct QueueInner<T> {
+    jobs: std::collections::VecDeque<T>,
     closed: bool,
 }
 
 /// Bounded MPMC job queue; `push` rejects instead of blocking.
-struct Queue {
-    inner: Mutex<QueueInner>,
+struct Queue<T> {
+    inner: Mutex<QueueInner<T>>,
     available: Condvar,
     depth: usize,
 }
 
-impl Queue {
+impl<T> Queue<T> {
     fn new(depth: usize) -> Self {
         Queue {
-            inner: Mutex::new(QueueInner::default()),
+            inner: Mutex::new(QueueInner { jobs: std::collections::VecDeque::new(), closed: false }),
             available: Condvar::new(),
             depth: depth.max(1),
         }
     }
 
     /// Enqueues `job`, or hands it back if the queue is full or closed.
-    fn push(&self, job: Job, peak: &AtomicU64) -> Result<(), Job> {
+    fn push(&self, job: T, peak: &AtomicU64) -> Result<(), T> {
         let mut inner = self.inner.lock().unwrap();
         if inner.closed || inner.jobs.len() >= self.depth {
             return Err(job);
@@ -269,7 +294,7 @@ impl Queue {
 
     /// Blocks for the next job; `None` once the queue is closed **and**
     /// drained, so accepted work still completes during shutdown.
-    fn pop(&self) -> Option<Job> {
+    fn pop(&self) -> Option<T> {
         let mut inner = self.inner.lock().unwrap();
         loop {
             if let Some(job) = inner.jobs.pop_front() {
@@ -290,7 +315,10 @@ impl Queue {
 
 /// State shared between readers, workers, and the supervisor.
 struct Shared {
-    queue: Queue,
+    queue: Queue<Job>,
+    /// Background session builds, drained by the loader pool so they
+    /// never occupy a query worker.
+    loads: Queue<LoadJob>,
     /// Result cache for the default (sessionless) trace; named sessions
     /// carry their own.
     cache: Mutex<LruCache>,
@@ -309,12 +337,14 @@ struct Shared {
     in_flight: AtomicU64,
     in_flight_peak: AtomicU64,
     queue_peak: AtomicU64,
+    loads_peak: AtomicU64,
 }
 
 impl Shared {
     fn new(config: &ServeConfig) -> Self {
         Shared {
             queue: Queue::new(config.queue_depth),
+            loads: Queue::new(config.queue_depth),
             cache: Mutex::new(LruCache::new(config.cache_capacity)),
             timeout: config.timeout,
             shutdown: AtomicBool::new(false),
@@ -331,6 +361,7 @@ impl Shared {
             in_flight: AtomicU64::new(0),
             in_flight_peak: AtomicU64::new(0),
             queue_peak: AtomicU64::new(0),
+            loads_peak: AtomicU64::new(0),
         }
     }
 
@@ -358,6 +389,7 @@ impl Shared {
             connections: self.connections.load(Ordering::Relaxed),
             in_flight_peak: self.in_flight_peak.load(Ordering::Relaxed),
             queue_peak: self.queue_peak.load(Ordering::Relaxed),
+            load_queue_peak: self.loads_peak.load(Ordering::Relaxed),
             sessions_loaded: sessions.loaded,
             sessions_evicted: sessions.evicted,
             sessions_unloaded: sessions.unloaded,
@@ -392,7 +424,12 @@ fn plan(request: Request, shared: &Shared) -> Result<JobKind, Response> {
         Op::Slice => {
             let criterion = parse_criterion(request.criterion.as_deref().unwrap_or_default())
                 .map_err(|msg| shared.error(request.id, ErrorKind::BadRequest, msg))?;
-            Ok(JobKind::Slice { criterion, session: request.session, delay_ms: request.delay_ms })
+            Ok(JobKind::Slice {
+                criterion,
+                session: request.session,
+                delay_ms: request.delay_ms,
+                wait: request.wait,
+            })
         }
         Op::Load => {
             let build = || -> Result<SessionSpec, String> {
@@ -405,9 +442,9 @@ fn plan(request: Request, shared: &Shared) -> Result<JobKind, Response> {
                     algo: request.algo.as_deref().map(str::parse).transpose()?,
                 })
             };
-            build().map(JobKind::Load).map_err(|msg| {
-                shared.error(request.id, ErrorKind::BadRequest, msg)
-            })
+            build()
+                .map(|spec| JobKind::Load { spec, wait: request.wait })
+                .map_err(|msg| shared.error(request.id, ErrorKind::BadRequest, msg))
         }
         Op::Unload => Ok(JobKind::Unload(request.session.expect("protocol validates unload"))),
         Op::List => Ok(JobKind::List),
@@ -495,6 +532,11 @@ fn answer_slice<S: Slicer + ?Sized>(
         remaining -= tick;
     }
     if let Some(stmts) = cache.lock().unwrap().get(criterion) {
+        // A hit is nearly free, but the job may have sat in the queue past
+        // its deadline — never count (or serve) a stale answer.
+        if expired(deadline) {
+            return shared.error(id, ErrorKind::Timeout, "deadline exceeded");
+        }
         shared.cache_hits.fetch_add(1, Ordering::Relaxed);
         shared.ok.fetch_add(1, Ordering::Relaxed);
         if let Some(entry) = session {
@@ -545,6 +587,49 @@ fn answer_slice<S: Slicer + ?Sized>(
     }
 }
 
+/// How a named-session checkout resolved (see [`checkout_session`]).
+enum Checkout {
+    /// The session is resident; slice against the lease.
+    Ready(SessionLease),
+    /// The session is still building and the request declined to wait.
+    Loading,
+    /// The deadline passed while waiting for the build.
+    TimedOut,
+    /// Neither resident nor building.
+    Missing,
+}
+
+/// Resolves a session name to a lease, honoring the request's `wait`
+/// flag against a session that is still building. The resident check
+/// always runs again after the loading check: an async build may be
+/// admitted between the two, and that race must look like `Ready`,
+/// never like `Missing`.
+fn checkout_session(
+    manager: &SessionManager,
+    name: &str,
+    wait: bool,
+    deadline: Option<Instant>,
+) -> Checkout {
+    loop {
+        if let Some(lease) = manager.checkout(name) {
+            return Checkout::Ready(lease);
+        }
+        if !manager.is_loading(name) {
+            return match manager.checkout(name) {
+                Some(lease) => Checkout::Ready(lease),
+                None => Checkout::Missing,
+            };
+        }
+        if !wait {
+            return Checkout::Loading;
+        }
+        if expired(deadline) {
+            return Checkout::TimedOut;
+        }
+        thread::sleep(Duration::from_millis(2));
+    }
+}
+
 /// Answers one job of any kind.
 fn answer<S: Slicer + ?Sized>(
     default: &S,
@@ -554,7 +639,7 @@ fn answer<S: Slicer + ?Sized>(
     reg: &Registry,
 ) -> Response {
     match &job.kind {
-        JobKind::Slice { criterion, session: None, delay_ms } => answer_slice(
+        JobKind::Slice { criterion, session: None, delay_ms, .. } => answer_slice(
             default,
             &shared.cache,
             None,
@@ -565,16 +650,26 @@ fn answer<S: Slicer + ?Sized>(
             shared,
             reg,
         ),
-        JobKind::Slice { criterion, session: Some(name), delay_ms } => {
-            match manager.checkout(name) {
-                None => shared.error(
+        JobKind::Slice { criterion, session: Some(name), delay_ms, wait } => {
+            match checkout_session(manager, name, *wait, job.deadline) {
+                Checkout::Missing => shared.error(
                     job.id,
                     ErrorKind::UnknownSession,
                     format!("session `{name}` is not loaded"),
                 ),
-                Some(lease) => {
+                Checkout::Loading => shared.error(
+                    job.id,
+                    ErrorKind::Loading,
+                    format!("session `{name}` is still loading"),
+                ),
+                Checkout::TimedOut => shared.error(
+                    job.id,
+                    ErrorKind::Timeout,
+                    format!("deadline exceeded while session `{name}` was loading"),
+                ),
+                Checkout::Ready(lease) => {
                     lease.requests.fetch_add(1, Ordering::Relaxed);
-                    answer_slice(
+                    let response = answer_slice(
                         lease.slicer(),
                         &lease.cache,
                         Some(&*lease),
@@ -584,29 +679,67 @@ fn answer<S: Slicer + ?Sized>(
                         job.deadline,
                         shared,
                         reg,
-                    )
+                    );
+                    // A slice can grow a paged session past the memory
+                    // budget; re-weigh and evict once the lease is back.
+                    drop(lease);
+                    manager.enforce_budget();
+                    response
                 }
             }
         }
-        JobKind::Load(spec) => {
+        JobKind::Load { spec, wait } => {
             if expired(job.deadline) {
                 return shared.error(job.id, ErrorKind::Timeout, "deadline exceeded before build");
             }
-            match manager.load(spec, reg) {
-                Ok(entry) => {
+            if *wait {
+                if manager.is_loading(&spec.name) {
+                    return shared.error(
+                        job.id,
+                        ErrorKind::Loading,
+                        format!("session `{}` is already loading", spec.name),
+                    );
+                }
+                return match manager.load(spec, reg) {
+                    Ok(entry) => {
+                        shared.ok.fetch_add(1, Ordering::Relaxed);
+                        Response {
+                            id: job.id,
+                            body: ResponseBody::Loaded {
+                                session: spec.name.clone(),
+                                algo: entry.slicer().name().to_string(),
+                                resident_bytes: entry.resident_bytes(),
+                            },
+                        }
+                    }
+                    Err(LoadError::Bad(msg)) => shared.error(job.id, ErrorKind::BadRequest, msg),
+                    Err(LoadError::Rejected(msg)) => {
+                        shared.error(job.id, ErrorKind::OverBudget, msg)
+                    }
+                    Err(LoadError::Io(e)) => shared.error(job.id, ErrorKind::Io, e.to_string()),
+                };
+            }
+            // Asynchronous load: register the pending build (refusing a
+            // duplicate), ack immediately, and let the loader pool build.
+            if !manager.begin_load(&spec.name, spec.algo) {
+                return shared.error(
+                    job.id,
+                    ErrorKind::Loading,
+                    format!("session `{}` is already loading", spec.name),
+                );
+            }
+            match shared.loads.push(LoadJob { spec: spec.clone() }, &shared.loads_peak) {
+                Ok(()) => {
                     shared.ok.fetch_add(1, Ordering::Relaxed);
                     Response {
                         id: job.id,
-                        body: ResponseBody::Loaded {
-                            session: spec.name.clone(),
-                            algo: entry.slicer().name().to_string(),
-                            resident_bytes: entry.resident_bytes(),
-                        },
+                        body: ResponseBody::Loading { session: spec.name.clone() },
                     }
                 }
-                Err(LoadError::Bad(msg)) => shared.error(job.id, ErrorKind::BadRequest, msg),
-                Err(LoadError::Rejected(msg)) => shared.error(job.id, ErrorKind::OverBudget, msg),
-                Err(LoadError::Io(e)) => shared.error(job.id, ErrorKind::Io, e.to_string()),
+                Err(_) => {
+                    manager.end_load(&spec.name);
+                    shared.error(job.id, ErrorKind::Rejected, "load queue full")
+                }
             }
         }
         JobKind::Unload(name) => {
@@ -628,6 +761,19 @@ fn answer<S: Slicer + ?Sized>(
     }
 }
 
+/// The last deadline check, immediately before the reply is written: a
+/// response that was computed in time but went stale on the way out (or
+/// belongs to a job kind with no earlier check, like `list`) answers
+/// `timeout` instead. The `ok` count the answer already claimed is
+/// handed back so the summary stays consistent.
+fn finalize(response: Response, id: u64, deadline: Option<Instant>, shared: &Shared) -> Response {
+    if matches!(response.body, ResponseBody::Error { .. }) || !expired(deadline) {
+        return response;
+    }
+    shared.ok.fetch_sub(1, Ordering::Relaxed);
+    shared.error(id, ErrorKind::Timeout, "deadline exceeded before reply")
+}
+
 fn worker_loop<S: Slicer + ?Sized>(
     default: &S,
     manager: &SessionManager,
@@ -638,8 +784,21 @@ fn worker_loop<S: Slicer + ?Sized>(
         let in_flight = shared.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
         shared.in_flight_peak.fetch_max(in_flight, Ordering::Relaxed);
         let response = answer(default, manager, &job, shared, reg);
-        job.sink.send(&response);
+        job.sink.send(&finalize(response, job.id, job.deadline, shared));
         shared.in_flight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
+/// Drains the background-load queue. A failed build answers nobody (the
+/// `loading` ack already went out); it clears the pending entry — so
+/// `list` stops showing the session and slices answer `unknown session`
+/// — and counts under `failed`.
+fn loader_loop(manager: &SessionManager, shared: &Shared, reg: &Registry) {
+    while let Some(job) = shared.loads.pop() {
+        if manager.load(&job.spec, reg).is_err() {
+            shared.failed.fetch_add(1, Ordering::Relaxed);
+            manager.end_load(&job.spec.name);
+        }
     }
 }
 
@@ -676,9 +835,14 @@ pub fn serve<S: Slicer + ?Sized>(
     };
 
     thread::scope(|scope| {
+        let mut workers = Vec::new();
         for _ in 0..config.workers.max(1) {
             let shared = &shared;
-            scope.spawn(move || worker_loop(slicer, manager, shared, reg));
+            workers.push(scope.spawn(move || worker_loop(slicer, manager, shared, reg)));
+        }
+        for _ in 0..config.loaders.max(1) {
+            let shared = &shared;
+            scope.spawn(move || loader_loop(manager, shared, reg));
         }
 
         // Readers block on I/O that no signal reliably interrupts, so they
@@ -740,7 +904,14 @@ pub fn serve<S: Slicer + ?Sized>(
                 break; // stdin EOF, or every connection closed after shutdown
             }
         }
+        // Draining workers may still enqueue loads, so the load queue
+        // closes only after every worker has exited — then the loaders
+        // drain what was accepted and the scope join completes.
         shared.queue.close();
+        for worker in workers {
+            let _ = worker.join();
+        }
+        shared.loads.close();
     });
 
     if let Some(path) = socket_path {
@@ -751,6 +922,7 @@ pub fn serve<S: Slicer + ?Sized>(
     let summary = shared.summary(manager);
     summary.record_metrics(reg);
     reg.gauge_set("server.workers", config.workers.max(1) as f64);
+    reg.gauge_set("server.loaders", config.loaders.max(1) as f64);
     Ok(summary)
 }
 
@@ -769,6 +941,7 @@ mod tests {
                 criterion: Criterion::Output(0),
                 session: None,
                 delay_ms: 0,
+                wait: false,
             },
             deadline: None,
             sink: Arc::clone(&sink),
@@ -781,6 +954,42 @@ mod tests {
         assert_eq!(queue.pop().map(|j| j.id), Some(1), "accepted job survives close");
         assert!(queue.pop().is_none());
         assert_eq!(peak.load(Ordering::Relaxed), 1);
+    }
+
+    /// The pre-reply deadline recheck: an ok answer that went stale on
+    /// the way to the sink becomes `timeout` (handing back its `ok`
+    /// count), while errors and in-deadline answers pass through. This
+    /// is the only check `list`/`unload` jobs ever get.
+    #[test]
+    fn finalize_converts_stale_ok_replies_to_timeouts() {
+        let shared = Shared::new(&ServeConfig::default());
+        shared.ok.fetch_add(1, Ordering::Relaxed); // as `answer` counted it
+        let past = Some(Instant::now() - Duration::from_millis(1));
+        let ok = Response { id: 7, body: ResponseBody::Sessions { sessions: Vec::new() } };
+        let out = finalize(ok, 7, past, &shared);
+        assert!(
+            matches!(out.body, ResponseBody::Error { kind: ErrorKind::Timeout, .. }),
+            "stale ok reply must become a timeout"
+        );
+        assert_eq!(shared.ok.load(Ordering::Relaxed), 0, "the ok count is handed back");
+        assert_eq!(shared.timeouts.load(Ordering::Relaxed), 1);
+
+        // An expired error reply keeps its kind (and its counter).
+        let err = shared.error(8, ErrorKind::BadRequest, "nope");
+        let out = finalize(err, 8, past, &shared);
+        assert!(matches!(out.body, ResponseBody::Error { kind: ErrorKind::BadRequest, .. }));
+        assert_eq!(shared.timeouts.load(Ordering::Relaxed), 1);
+
+        // A live deadline (or none) leaves ok replies alone.
+        shared.ok.fetch_add(1, Ordering::Relaxed);
+        let future = Some(Instant::now() + Duration::from_secs(300));
+        let ok = Response { id: 9, body: ResponseBody::Unloaded { session: "s".into() } };
+        let out = finalize(ok, 9, future, &shared);
+        assert!(matches!(out.body, ResponseBody::Unloaded { .. }));
+        let ok = Response { id: 10, body: ResponseBody::ShutdownAck };
+        let out = finalize(ok, 10, None, &shared);
+        assert!(matches!(out.body, ResponseBody::ShutdownAck));
+        assert_eq!(shared.ok.load(Ordering::Relaxed), 1);
     }
 
     #[test]

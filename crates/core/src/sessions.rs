@@ -13,7 +13,12 @@
 //! so residency is budgeted, not unbounded: every session is weighed by
 //! [`crate::AnySlicer::resident_bytes`], and admitting a new one first
 //! evicts **idle** sessions in least-recently-used order until the
-//! budget (and the session-count cap) holds. If eviction cannot make
+//! budget (and the session-count cap) holds. Weights are **live**, not
+//! build-time snapshots: paged backends grow as queries page label
+//! blocks into their cache, so every admission pass re-weighs the
+//! resident set first, and [`SessionManager::enforce_budget`] (run after
+//! each session slice) evicts idle sessions whose refreshed total busts
+//! the budget. If eviction cannot make
 //! room — every resident session has queries in flight — the load is
 //! rejected with a typed error ([`crate::protocol::ErrorKind::OverBudget`])
 //! rather than overcommitting. Busy sessions are never evicted: a lease
@@ -226,7 +231,9 @@ impl SessionSpec {
 pub struct SessionEntry {
     name: String,
     slicer: OwnedSlicer,
-    resident_bytes: u64,
+    /// Latest measured footprint; refreshed by [`Self::reweigh`], never
+    /// trusted from admission time (paged backends grow after build).
+    resident_bytes: AtomicU64,
     pub(crate) cache: Mutex<LruCache>,
     pub(crate) requests: AtomicU64,
     pub(crate) cache_hits: AtomicU64,
@@ -246,10 +253,20 @@ impl SessionEntry {
         self.slicer.slicer()
     }
 
-    /// The bytes the memory budget charges this session for (measured
-    /// once, at build time — the representations are immutable).
+    /// The bytes the memory budget charges this session for, as of the
+    /// last [`Self::reweigh`] (admission passes and post-slice budget
+    /// enforcement refresh it — a paged backend's footprint grows as
+    /// queries page blocks in, so a build-time snapshot goes stale).
     pub fn resident_bytes(&self) -> u64 {
-        self.resident_bytes
+        self.resident_bytes.load(Ordering::Relaxed)
+    }
+
+    /// Re-measures the backend's resident footprint and refreshes the
+    /// weight the memory budget charges, returning the fresh value.
+    pub fn reweigh(&self) -> u64 {
+        let bytes = self.slicer.slicer().resident_bytes();
+        self.resident_bytes.store(bytes, Ordering::Relaxed);
+        bytes
     }
 
     fn report(&self, evicted: bool) -> SessionReport {
@@ -259,7 +276,7 @@ impl SessionEntry {
         report
             .counters
             .insert("cache_misses".into(), self.cache_misses.load(Ordering::Relaxed));
-        report.gauges.insert("resident_bytes".into(), self.resident_bytes as f64);
+        report.gauges.insert("resident_bytes".into(), self.resident_bytes() as f64);
         if evicted {
             report.gauges.insert("evicted".into(), 1.0);
         }
@@ -291,6 +308,9 @@ impl Drop for SessionLease {
 /// (suffixed `#2`, `#3`, … when the name was reused).
 struct ManagerInner {
     sessions: BTreeMap<String, Arc<SessionEntry>>,
+    /// Names with an asynchronous `load` still building, mapped to the
+    /// backend the build will produce (for `list`).
+    loading: BTreeMap<String, Algo>,
     retired: Vec<(String, SessionReport)>,
     lru_seq: u64,
 }
@@ -351,6 +371,7 @@ impl SessionManager {
             cache_capacity,
             inner: Mutex::new(ManagerInner {
                 sessions: BTreeMap::new(),
+                loading: BTreeMap::new(),
                 retired: Vec::new(),
                 lru_seq: 0,
             }),
@@ -391,7 +412,7 @@ impl SessionManager {
         let entry = Arc::new(SessionEntry {
             name: spec.name.clone(),
             slicer,
-            resident_bytes,
+            resident_bytes: AtomicU64::new(resident_bytes),
             cache: Mutex::new(LruCache::new(self.cache_capacity)),
             requests: AtomicU64::new(0),
             cache_hits: AtomicU64::new(0),
@@ -401,12 +422,18 @@ impl SessionManager {
         });
 
         let mut inner = self.inner.lock().unwrap();
+        // Re-weigh the resident set before planning: paged backends grow
+        // as queries page blocks in, so admission must never trust the
+        // weights recorded when the sessions were themselves admitted.
+        for e in inner.sessions.values() {
+            e.reweigh();
+        }
         // Plan the evictions first so a rejected load disturbs nothing.
         let occupied: u64 = inner
             .sessions
             .iter()
             .filter(|(n, _)| **n != spec.name)
-            .map(|(_, e)| e.resident_bytes)
+            .map(|(_, e)| e.resident_bytes())
             .sum();
         let replacing = inner.sessions.contains_key(&spec.name);
         let mut victims: Vec<String> = Vec::new();
@@ -439,7 +466,7 @@ impl SessionManager {
                     )));
                 };
                 count -= 1;
-                bytes -= inner.sessions[&victim].resident_bytes;
+                bytes -= inner.sessions[&victim].resident_bytes();
                 victims.push(victim);
             }
         }
@@ -457,8 +484,72 @@ impl SessionManager {
         inner.lru_seq += 1;
         entry.last_used.store(inner.lru_seq, Ordering::SeqCst);
         inner.sessions.insert(spec.name.clone(), Arc::clone(&entry));
+        // An asynchronous load registered the name as pending; admitting
+        // under the same lock makes the loading→resident handoff atomic.
+        inner.loading.remove(&spec.name);
         self.loaded.fetch_add(1, Ordering::Relaxed);
         Ok(entry)
+    }
+
+    /// Registers `name` as loading (the asynchronous `load` path): `list`
+    /// reports it with `state: loading` until the background build either
+    /// admits it (inside [`Self::load`]) or fails ([`Self::end_load`]).
+    /// Returns `false` — and registers nothing — if the name is already
+    /// loading. Beginning a load for a *resident* name is allowed:
+    /// completion replaces the old session, like a blocking re-`load`.
+    pub fn begin_load(&self, name: &str, algo: Option<Algo>) -> bool {
+        let mut inner = self.inner.lock().unwrap();
+        if inner.loading.contains_key(name) {
+            return false;
+        }
+        inner.loading.insert(name.to_string(), algo.unwrap_or(self.default_algo));
+        true
+    }
+
+    /// Clears a pending load registered by [`Self::begin_load`] — the
+    /// failure path of an asynchronous build, so the name stops listing
+    /// as `loading`. (A successful build clears it inside [`Self::load`].)
+    pub fn end_load(&self, name: &str) {
+        self.inner.lock().unwrap().loading.remove(name);
+    }
+
+    /// Whether an asynchronous load for `name` is still building.
+    pub fn is_loading(&self, name: &str) -> bool {
+        self.inner.lock().unwrap().loading.contains_key(name)
+    }
+
+    /// Re-weighs every resident session and evicts idle sessions
+    /// LRU-first until the refreshed total fits the memory budget again;
+    /// returns how many were evicted. Run after each session slice —
+    /// that is when a paged backend's footprint grows. Sessions pinned
+    /// by a lease are never evicted, so the total may stay over budget
+    /// until they go idle; a no-op without a budget.
+    pub fn enforce_budget(&self) -> u64 {
+        let Some(budget) = self.memory_budget else { return 0 };
+        let mut inner = self.inner.lock().unwrap();
+        for e in inner.sessions.values() {
+            e.reweigh();
+        }
+        let mut evicted = 0;
+        loop {
+            let total: u64 = inner.sessions.values().map(|e| e.resident_bytes()).sum();
+            if total <= budget {
+                break;
+            }
+            let victim = inner
+                .sessions
+                .iter()
+                .filter(|(_, e)| e.in_flight.load(Ordering::SeqCst) == 0)
+                .min_by_key(|(_, e)| e.last_used.load(Ordering::SeqCst))
+                .map(|(n, _)| n.clone());
+            let Some(victim) = victim else { break };
+            let gone = inner.sessions.remove(&victim).expect("victim is resident");
+            let report = gone.report(true);
+            inner.retired.push((victim, report));
+            self.evicted.fetch_add(1, Ordering::Relaxed);
+            evicted += 1;
+        }
+        evicted
     }
 
     /// Leases the named session for one query, bumping its LRU stamp and
@@ -487,19 +578,36 @@ impl SessionManager {
         }
     }
 
-    /// Resident sessions, name-ascending — the `list` response payload.
+    /// Resident and still-loading sessions, name-ascending — the `list`
+    /// response payload. Loading entries carry the backend the build
+    /// will produce and a zero weight (nothing is resident yet).
     pub fn list(&self) -> Vec<SessionInfo> {
         let inner = self.inner.lock().unwrap();
-        inner
+        let mut out: Vec<SessionInfo> = inner
             .sessions
             .iter()
             .map(|(name, e)| SessionInfo {
                 name: name.clone(),
                 algo: e.slicer().name().to_string(),
-                resident_bytes: e.resident_bytes,
+                resident_bytes: e.resident_bytes(),
                 requests: e.requests.load(Ordering::Relaxed),
+                loading: false,
             })
-            .collect()
+            .collect();
+        for (name, algo) in &inner.loading {
+            if inner.sessions.contains_key(name) {
+                continue; // a replacement build: the old session still serves
+            }
+            out.push(SessionInfo {
+                name: name.clone(),
+                algo: algo.name().to_string(),
+                resident_bytes: 0,
+                requests: 0,
+                loading: true,
+            });
+        }
+        out.sort_by(|a, b| a.name.cmp(&b.name));
+        out
     }
 
     /// Per-session sub-reports for the final [`dynslice_obs::RunReport`]:
@@ -541,7 +649,7 @@ impl SessionManager {
         reg.gauge_set("server.sessions_resident", inner.sessions.len() as f64);
         reg.gauge_set(
             "server.sessions_resident_bytes",
-            inner.sessions.values().map(|e| e.resident_bytes as f64).sum(),
+            inner.sessions.values().map(|e| e.resident_bytes() as f64).sum(),
         );
     }
 }
@@ -553,10 +661,29 @@ mod tests {
     const PROGRAM: &str = "global int a[2];
          fn main() { a[0] = input(); a[1] = a[0] * 2; print a[1]; }";
 
+    /// Loop-heavy program for the paged-backend tests: its label channels
+    /// span several spill blocks, so slicing actually pages data in
+    /// (the tiny [`PROGRAM`] fits in zero blocks and would never grow).
+    const PAGED_PROGRAM: &str = "global int a[16];
+         fn main() {
+           int i;
+           int s = input();
+           for (i = 0; i < 300; i = i + 1) {
+             int k = i % 16;
+             a[k] = a[k] + i + s;
+             if (i % 7 == 0) { s = s + a[k]; }
+           }
+           print s;
+         }";
+
     fn write_program(dir: &std::path::Path, name: &str) -> PathBuf {
+        write_source(dir, name, PROGRAM)
+    }
+
+    fn write_source(dir: &std::path::Path, name: &str, source: &str) -> PathBuf {
         std::fs::create_dir_all(dir).unwrap();
         let path = dir.join(name);
-        std::fs::write(&path, PROGRAM).unwrap();
+        std::fs::write(&path, source).unwrap();
         path
     }
 
@@ -565,9 +692,24 @@ mod tests {
     }
 
     fn manager(max: usize, budget: Option<u64>, tag: &str) -> SessionManager {
+        manager_with(Algo::Opt, max, budget, tag)
+    }
+
+    fn manager_with(algo: Algo, max: usize, budget: Option<u64>, tag: &str) -> SessionManager {
         let config =
             SlicerConfig { scratch_dir: scratch(tag).join("scratch"), ..SlicerConfig::default() };
-        SessionManager::new(Algo::Opt, config, max, budget, 16)
+        SessionManager::new(algo, config, max, budget, 16)
+    }
+
+    /// Paged-backend manager with a tight block cache, so slicing pages
+    /// blocks in (and the session's live weight grows past its cold one).
+    fn paged_manager(max: usize, budget: Option<u64>, tag: &str) -> SessionManager {
+        let config = SlicerConfig {
+            scratch_dir: scratch(tag).join("scratch"),
+            resident_blocks: 2,
+            ..SlicerConfig::default()
+        };
+        SessionManager::new(Algo::Paged, config, max, budget, 16)
     }
 
     fn spec(name: &str, program: &std::path::Path) -> SessionSpec {
@@ -682,6 +824,104 @@ mod tests {
         assert_eq!(m.counters().evicted, 2);
         let reports = m.final_reports();
         assert_eq!(reports["a"].gauges.get("evicted"), Some(&1.0));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Regression: the memory budget must charge *live* weight, not the
+    /// build-time snapshot. A paged session is admitted at its cold
+    /// weight, grows past the budget as slices page label blocks into
+    /// its cache, and is evicted by the next enforcement pass — but only
+    /// once idle.
+    #[test]
+    fn paged_session_growth_is_reweighed_and_evicted() {
+        let dir = scratch("reweigh");
+        let program = write_source(&dir, "p.minic", PAGED_PROGRAM);
+        let reg = Registry::new();
+        // Probe the cold (build-time) weight with an unbudgeted manager.
+        let probe = paged_manager(8, None, "reweigh-probe");
+        let cold = probe.load(&spec("probe", &program), &reg).unwrap().resident_bytes();
+        // The budget admits the cold session with a byte to spare, so any
+        // paged-in block busts it.
+        let m = paged_manager(8, Some(cold + 1), "reweigh");
+        let entry = m.load(&spec("p", &program), &reg).unwrap();
+        assert_eq!(entry.resident_bytes(), cold, "deterministic build");
+        let lease = m.checkout("p").unwrap();
+        lease.slicer().slice(&Criterion::Output(0)).unwrap();
+        assert!(lease.reweigh() > cold + 1, "slicing pages blocks in");
+        assert_eq!(m.enforce_budget(), 0, "pinned sessions are never evicted");
+        drop(lease);
+        assert_eq!(m.enforce_budget(), 1, "idle over-budget session is evicted");
+        assert!(m.checkout("p").is_none());
+        assert_eq!(m.counters().evicted, 1);
+        let reports = m.final_reports();
+        assert_eq!(reports["p"].gauges.get("evicted"), Some(&1.0));
+        assert!(
+            reports["p"].gauges["resident_bytes"] > cold as f64,
+            "the report carries the grown weight, not the admitted one"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The admission pass, too, must see grown weights: a paged session
+    /// that outgrew its admitted footprint is evicted when the next load
+    /// needs its room, even though the stale weights would have fit.
+    #[test]
+    fn admission_pass_reweighs_grown_paged_sessions() {
+        let dir = scratch("admit-reweigh");
+        let program = write_source(&dir, "p.minic", PAGED_PROGRAM);
+        let reg = Registry::new();
+        let probe = paged_manager(8, None, "admit-probe");
+        let cold = probe.load(&spec("probe", &program), &reg).unwrap().resident_bytes();
+        let lease = probe.checkout("probe").unwrap();
+        lease.slicer().slice(&Criterion::Output(0)).unwrap();
+        let warm = lease.reweigh();
+        drop(lease);
+        assert!(warm > cold, "slicing grows a paged session");
+
+        // Fits warm p alone, and two cold sessions — but not warm + cold.
+        let m = paged_manager(8, Some(warm + cold / 2), "admit");
+        m.load(&spec("p", &program), &reg).unwrap();
+        let lease = m.checkout("p").unwrap();
+        lease.slicer().slice(&Criterion::Output(0)).unwrap();
+        drop(lease);
+        // Admitting `q` must charge p's grown weight, not its stale
+        // admitted one (which would have let both fit).
+        m.load(&spec("q", &program), &reg).unwrap();
+        assert!(m.checkout("p").is_none(), "grown p was evicted to fit q");
+        assert!(m.checkout("q").is_some());
+        assert_eq!(m.counters().evicted, 1);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The loading registry behind asynchronous `load`: `begin_load`
+    /// marks a name pending (shown by `list`, second load refused),
+    /// `end_load` clears a failed build, and a successful [`load`]
+    /// clears the pending entry in the same step that admits it.
+    #[test]
+    fn loading_state_registry() {
+        let dir = scratch("loading");
+        let program = write_program(&dir, "p.minic");
+        let m = manager(4, None, "loading");
+        let reg = Registry::new();
+        assert!(m.begin_load("x", None));
+        assert!(!m.begin_load("x", Some(Algo::Lp)), "a loading name refuses a second load");
+        assert!(m.is_loading("x"));
+        let listed = m.list();
+        assert_eq!(listed.len(), 1);
+        assert!(listed[0].loading);
+        assert_eq!(listed[0].algo, "opt", "pending entries report the default backend");
+        assert_eq!(listed[0].resident_bytes, 0);
+        // A failed build clears the pending entry.
+        m.end_load("x");
+        assert!(!m.is_loading("x"));
+        assert!(m.list().is_empty());
+        // A successful build admits under the same name atomically.
+        assert!(m.begin_load("y", None));
+        m.load(&spec("y", &program), &reg).unwrap();
+        assert!(!m.is_loading("y"), "admission clears the pending entry");
+        let listed = m.list();
+        assert_eq!(listed.len(), 1);
+        assert!(!listed[0].loading);
         std::fs::remove_dir_all(&dir).ok();
     }
 

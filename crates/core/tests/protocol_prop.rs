@@ -63,6 +63,7 @@ proptest! {
         session in text(0..8),
         criterion in text(1..16),
         delay_ms in 0u64..MAX_EXACT,
+        wait_bit in 0u8..2,
     ) {
         let request = Request {
             id,
@@ -74,6 +75,7 @@ proptest! {
             input: None,
             algo: None,
             delay_ms,
+            wait: wait_bit == 1,
         };
         roundtrip_request(&request)?;
     }
@@ -85,6 +87,7 @@ proptest! {
         program in text(1..24),
         input in collection::vec(-1_000_000i64..1_000_000, 0..8),
         algo_pick in 0usize..6,
+        wait_bit in 0u8..2,
     ) {
         let algos = ["fp", "opt", "lp", "forward", "paged"];
         let request = Request {
@@ -100,6 +103,7 @@ proptest! {
             },
             algo: algos.get(algo_pick).map(|a| (*a).to_string()),
             delay_ms: 0,
+            wait: wait_bit == 1,
         };
         roundtrip_request(&request)?;
     }
@@ -129,7 +133,7 @@ proptest! {
         bytes in 0u64..MAX_EXACT,
         stmts in collection::vec(0u32..2_000_000, 0..24),
         cached_bit in 0u8..2,
-        variant in 0u8..6,
+        variant in 0u8..7,
     ) {
         let cached = cached_bit == 1;
         let body = match variant {
@@ -154,12 +158,14 @@ proptest! {
                         algo: name.clone(),
                         resident_bytes: bytes,
                         requests: u64::from(*v),
+                        loading: v % 3 == 0,
                     })
                     .collect(),
             },
             4 => ResponseBody::ShutdownAck,
+            5 => ResponseBody::Loading { session: name.clone() },
             _ => ResponseBody::Error {
-                kind: ErrorKind::ALL[(bytes % 8) as usize],
+                kind: ErrorKind::ALL[(bytes % ErrorKind::ALL.len() as u64) as usize],
                 message: name.clone(),
             },
         };

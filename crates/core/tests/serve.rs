@@ -674,3 +674,209 @@ fn session_result_cache_recomputes_identically_after_eviction() {
     assert_eq!(session.counters["cache_hits"], 1);
     assert_eq!(session.counters["cache_misses"], 4);
 }
+
+/// A program whose compile+trace+graph build takes long enough (tens of
+/// thousands of interpreted steps) that the loader pool is observably
+/// still building while the single worker races ahead through the queue.
+const SLOW_PROGRAM: &str = "
+    global int acc[4];
+
+    fn main() {
+        int i;
+        for (i = 0; i < 20000; i = i + 1) {
+            acc[i % 4] = acc[i % 4] + i;
+        }
+        print acc[0];
+        print acc[1];
+    }";
+
+/// The slice of `SLOW_PROGRAM`'s first output, computed in-process.
+fn expected_slow_slice() -> Vec<u32> {
+    let session = Session::compile(SLOW_PROGRAM).unwrap();
+    let trace = session.run(Vec::new());
+    let opt = session.opt(&trace, &OptConfig::default());
+    let slice = opt.slice(&Criterion::Output(0)).unwrap();
+    slice.stmts.iter().map(|s| s.index() as u32).collect()
+}
+
+/// The non-blocking load path end to end: `load` without `wait` is acked
+/// with `loading` immediately, `list` shows the pending build, a
+/// duplicate load and an eager slice answer the typed `loading` error,
+/// slices against the default trace proceed meanwhile, a slice with
+/// `wait` blocks until the build lands, and a failed background build
+/// vanishes from the registry instead of wedging it.
+#[test]
+fn async_load_acks_immediately_and_wait_slices_block() {
+    let dir = work_dir("async-load");
+    let launch = write_program_b(&dir);
+    let slow = dir.join("slow.minic");
+    std::fs::write(&slow, SLOW_PROGRAM).unwrap();
+    let slow_str = slow.to_str().unwrap();
+    let ghost = dir.join("missing.minic");
+    let report = dir.join("report.json");
+    let args: Vec<String> = [
+        "serve",
+        launch.to_str().unwrap(),
+        "--algo",
+        "opt",
+        "--input",
+        "21",
+        "--workers",
+        "1",
+        "--metrics-json",
+        report.to_str().unwrap(),
+    ]
+    .iter()
+    .map(ToString::to_string)
+    .collect();
+    let by_id = run_stdio_script(
+        &args,
+        &[
+            Request::load_async(1, "slow", slow_str, &[], None),
+            Request::list(2),
+            Request::load_async(3, "slow", slow_str, &[], None),
+            Request::slice_in(4, "slow", &Criterion::Output(0)),
+            Request::slice(5, &Criterion::Output(0)),
+            Request { wait: true, ..Request::slice_in(6, "slow", &Criterion::Output(0)) },
+            Request::list(7),
+            Request::load_async(8, "ghost", ghost.to_str().unwrap(), &[], None),
+            Request { wait: true, ..Request::slice_in(9, "ghost", &Criterion::Output(0)) },
+            Request::list(10),
+        ],
+    );
+
+    match &by_id[&1] {
+        ResponseBody::Loading { session } => assert_eq!(session, "slow"),
+        other => panic!("async load should ack `loading`, got {other:?}"),
+    }
+    // The single worker reaches the `list` in microseconds; the build has
+    // tens of milliseconds to go, so the pending entry is visible.
+    match &by_id[&2] {
+        ResponseBody::Sessions { sessions } => {
+            assert_eq!(sessions.len(), 1);
+            assert_eq!(sessions[0].name, "slow");
+            assert!(sessions[0].loading, "list must show the pending build");
+            assert_eq!(sessions[0].resident_bytes, 0);
+            assert_eq!(sessions[0].algo, "opt");
+        }
+        other => panic!("list should answer sessions, got {other:?}"),
+    }
+    for id in [3u64, 4] {
+        match &by_id[&id] {
+            ResponseBody::Error { kind, .. } => assert_eq!(
+                *kind,
+                ErrorKind::Loading,
+                "request {id} should take the typed loading error"
+            ),
+            other => panic!("request {id} should answer `loading`, got {other:?}"),
+        }
+    }
+    match &by_id[&5] {
+        ResponseBody::Slice { stmts, .. } => assert_eq!(
+            stmts,
+            &expected_doubler_slice(),
+            "the default trace answers while the load is in flight"
+        ),
+        other => panic!("default-trace slice should succeed, got {other:?}"),
+    }
+    match &by_id[&6] {
+        ResponseBody::Slice { stmts, cached, .. } => {
+            assert_eq!(stmts, &expected_slow_slice(), "wait slice answers after the build");
+            assert!(!cached);
+        }
+        other => panic!("wait slice should succeed, got {other:?}"),
+    }
+    match &by_id[&7] {
+        ResponseBody::Sessions { sessions } => {
+            assert_eq!(sessions.len(), 1);
+            assert_eq!(sessions[0].name, "slow");
+            assert!(!sessions[0].loading, "the admitted session is resident");
+            assert!(sessions[0].resident_bytes > 0);
+            assert_eq!(sessions[0].requests, 1);
+        }
+        other => panic!("list should answer sessions, got {other:?}"),
+    }
+    match &by_id[&8] {
+        ResponseBody::Loading { session } => assert_eq!(session, "ghost"),
+        other => panic!("async load acks even a doomed build, got {other:?}"),
+    }
+    match &by_id[&9] {
+        ResponseBody::Error { kind, .. } => assert_eq!(
+            *kind,
+            ErrorKind::UnknownSession,
+            "a wait slice unblocks into `unknown session` when the build fails"
+        ),
+        other => panic!("request 9 should answer `unknown session`, got {other:?}"),
+    }
+    match &by_id[&10] {
+        ResponseBody::Sessions { sessions } => {
+            assert_eq!(sessions.len(), 1, "the failed build must not linger in the registry");
+            assert_eq!(sessions[0].name, "slow");
+        }
+        other => panic!("list should answer sessions, got {other:?}"),
+    }
+
+    let text = std::fs::read_to_string(&report).unwrap();
+    let parsed = RunReport::from_json(&text).expect("serve report satisfies the schema");
+    assert_eq!(parsed.counter_or_zero("server.requests"), 10);
+    assert_eq!(parsed.counter_or_zero("server.responses_ok"), 7);
+    // Two `loading` refusals, the unknown-session answer, and the failed
+    // ghost build.
+    assert_eq!(parsed.counter_or_zero("server.failed"), 4);
+    assert_eq!(parsed.counter_or_zero("server.timeouts"), 0);
+    assert_eq!(parsed.counter_or_zero("server.sessions_loaded"), 1);
+    let session = &parsed.sessions["slow"];
+    assert_eq!(session.counters["requests"], 1);
+    assert_eq!(session.counters["cache_misses"], 1);
+}
+
+/// Deadlines apply to waiting, too: a `wait` slice against a session
+/// whose build outlives `--timeout-ms` answers `timeout` instead of
+/// blocking indefinitely, and the build still lands afterwards.
+#[test]
+fn wait_slice_times_out_while_the_session_is_still_loading() {
+    let dir = work_dir("wait-timeout");
+    let launch = write_program_b(&dir);
+    let slow = dir.join("slow.minic");
+    std::fs::write(&slow, SLOW_PROGRAM).unwrap();
+    let report = dir.join("report.json");
+    let args: Vec<String> = [
+        "serve",
+        launch.to_str().unwrap(),
+        "--input",
+        "21",
+        "--workers",
+        "1",
+        "--timeout-ms",
+        "40",
+        "--metrics-json",
+        report.to_str().unwrap(),
+    ]
+    .iter()
+    .map(ToString::to_string)
+    .collect();
+    let by_id = run_stdio_script(
+        &args,
+        &[
+            Request::load_async(1, "slow", slow.to_str().unwrap(), &[], None),
+            Request { wait: true, ..Request::slice_in(2, "slow", &Criterion::Output(0)) },
+        ],
+    );
+    match &by_id[&1] {
+        ResponseBody::Loading { session } => assert_eq!(session, "slow"),
+        other => panic!("async load should ack `loading`, got {other:?}"),
+    }
+    match &by_id[&2] {
+        ResponseBody::Error { kind, .. } => assert_eq!(*kind, ErrorKind::Timeout),
+        other => panic!("the wait slice should time out, got {other:?}"),
+    }
+
+    let text = std::fs::read_to_string(&report).unwrap();
+    let parsed = RunReport::from_json(&text).expect("serve report satisfies the schema");
+    assert_eq!(parsed.counter_or_zero("server.requests"), 2);
+    assert_eq!(parsed.counter_or_zero("server.responses_ok"), 1);
+    assert_eq!(parsed.counter_or_zero("server.timeouts"), 1);
+    // Shutdown drains the loader: the build completes and is admitted
+    // even though its requester already timed out.
+    assert_eq!(parsed.counter_or_zero("server.sessions_loaded"), 1);
+}

@@ -24,7 +24,7 @@ use crate::segment::{segment, Assign};
 use crate::size::{BuildStats, GraphSize, OptKind};
 
 /// Sentinel "no definition" dynamic-edge target.
-const NONE_TARGET: u32 = u32::MAX;
+pub(crate) const NONE_TARGET: u32 = u32::MAX;
 
 /// The compacted dyDG, ready for slicing.
 #[derive(Debug)]
@@ -32,11 +32,11 @@ pub struct CompactGraph {
     /// The static component.
     pub nodes: NodeGraph,
     /// Timestamp-pair lists (channels); shared lists appear once.
-    channels: Vec<Vec<(u64, u64)>>,
+    pub(crate) channels: Vec<Vec<(u64, u64)>>,
     /// Dynamic data edges: `(occurrence, use slot) -> [(target, channel)]`.
-    data_dyn: HashMap<(u32, u8), Vec<(u32, u32)>>,
+    pub(crate) data_dyn: HashMap<(u32, u8), Vec<(u32, u32)>>,
     /// Dynamic control edges: `block-key occurrence -> [(target, channel)]`.
-    cd_dyn: HashMap<u32, Vec<(u32, u32)>>,
+    pub(crate) cd_dyn: HashMap<u32, Vec<(u32, u32)>>,
     /// Final defining instance of every memory cell.
     pub last_def: HashMap<Cell, (u32, u64)>,
     /// Executed print instances `(occurrence, ts)`, in order.
@@ -122,21 +122,14 @@ impl CompactGraph {
         events: &[TraceEvent],
     ) -> Self {
         let assigns = segment(paths, &nodes, events);
-        let num_occs = nodes.num_occs();
         let mut b = Builder {
             program,
             analysis,
-            g: CompactGraph {
-                nodes,
-                channels: Vec::new(),
-                data_dyn: HashMap::new(),
-                cd_dyn: HashMap::new(),
-                last_def: HashMap::new(),
-                outputs: Vec::new(),
-                stats: BuildStats::default(),
-                num_node_execs: 0,
-                shortcuts: ShortcutTable::new(num_occs),
-            },
+            nodes: &nodes,
+            store: DynStore::default(),
+            stats: BuildStats::default(),
+            last_def: HashMap::new(),
+            outputs: Vec::new(),
             assigns,
             assign_pos: 0,
             next_ts: 0,
@@ -146,13 +139,36 @@ impl CompactGraph {
             last_ret: None,
             frames: HashMap::new(),
             call_site: HashMap::new(),
-            group_chan: HashMap::new(),
         };
         replay(program, events, &mut b);
         let ts = b.next_ts;
-        let mut g = b.g;
-        g.num_node_execs = ts;
-        // Return-value edges append out of tu order; sort all channels.
+        let (store, stats, last_def, outputs) = (b.store, b.stats, b.last_def, b.outputs);
+        Self::assemble(nodes, store, stats, last_def, outputs, ts)
+    }
+
+    /// Assembles a graph from its built parts, sorting every channel into
+    /// use-timestamp order (return-value edges append out of `tu` order).
+    /// Shared by the sequential builder and the parallel stitcher.
+    pub(crate) fn assemble(
+        nodes: NodeGraph,
+        store: DynStore,
+        stats: BuildStats,
+        last_def: HashMap<Cell, (u32, u64)>,
+        outputs: Vec<(u32, u64)>,
+        num_node_execs: u64,
+    ) -> Self {
+        let num_occs = nodes.num_occs();
+        let mut g = CompactGraph {
+            nodes,
+            channels: store.channels,
+            data_dyn: store.data_dyn,
+            cd_dyn: store.cd_dyn,
+            last_def,
+            outputs,
+            stats,
+            num_node_execs,
+            shortcuts: ShortcutTable::new(num_occs),
+        };
         for ch in &mut g.channels {
             ch.sort_unstable_by_key(|&(_, tu)| tu);
         }
@@ -459,6 +475,38 @@ impl CompactGraph {
     pub fn last_def_of(&self, cell: Cell) -> Option<(u32, u64)> {
         self.last_def.get(&cell).copied()
     }
+
+    /// Compares every materialized component of two graphs — channel
+    /// tables, dynamic edge maps, last-defs, outputs, statistics —
+    /// returning the name of the first differing component, or `None` if
+    /// the graphs are bit-identical. This is the oracle the parallel-build
+    /// differential tests and the scaling bench use; it deliberately
+    /// ignores the lazily-populated shortcut memo, which is derived state.
+    #[must_use]
+    pub fn first_difference(&self, other: &Self) -> Option<&'static str> {
+        if self.channels != other.channels {
+            return Some("channels");
+        }
+        if self.data_dyn != other.data_dyn {
+            return Some("data_dyn");
+        }
+        if self.cd_dyn != other.cd_dyn {
+            return Some("cd_dyn");
+        }
+        if self.last_def != other.last_def {
+            return Some("last_def");
+        }
+        if self.outputs != other.outputs {
+            return Some("outputs");
+        }
+        if self.stats != other.stats {
+            return Some("stats");
+        }
+        if self.num_node_execs != other.num_node_execs {
+            return Some("num_node_execs");
+        }
+        None
+    }
 }
 
 #[derive(Clone, Copy, Debug)]
@@ -471,10 +519,161 @@ struct FrameState {
     pending_call: u32,
 }
 
+/// The dynamic-label store: channels, the dynamic edge maps and the
+/// label-sharing channel assignments. Channel indices are assigned in
+/// first-discovery order and identical consecutive pairs on a channel are
+/// stored once, so the exact same *sequence* of `record_*_pair` calls
+/// yields the exact same store — the invariant the parallel stitcher
+/// (`crate::parallel`) relies on for bit-identical builds.
+#[derive(Debug, Default)]
+pub(crate) struct DynStore {
+    pub(crate) channels: Vec<Vec<(u64, u64)>>,
+    pub(crate) data_dyn: HashMap<(u32, u8), Vec<(u32, u32)>>,
+    pub(crate) cd_dyn: HashMap<u32, Vec<(u32, u32)>>,
+    /// Sharing group -> channel, per `(group, def node, use node)`: label
+    /// sharing is only valid between edges connecting the *same pair of
+    /// node copies* (specialization gives statements multiple occurrences,
+    /// and a statement-keyed channel would let the wrong copy claim a
+    /// label).
+    group_chan: HashMap<(u32, u32, u32), u32>,
+}
+
+impl DynStore {
+    fn new_channel(&mut self) -> u32 {
+        self.channels.push(Vec::new());
+        self.channels.len() as u32 - 1
+    }
+
+    /// Channel for a dynamic data edge, honoring the sharing plan.
+    fn data_chan(&mut self, nodes: &NodeGraph, occ: u32, k: u8, target: u32) -> u32 {
+        if let Some(edges) = self.data_dyn.get(&(occ, k)) {
+            if let Some(&(_, chan)) = edges.iter().find(|(t, _)| *t == target) {
+                return chan;
+            }
+        }
+        let chan = if target != NONE_TARGET {
+            let key = (
+                nodes.occ_stmt[occ as usize],
+                k,
+                nodes.occ_stmt[target as usize],
+            );
+            match nodes.share_data.get(&key).copied() {
+                Some(group) => {
+                    let pair = (
+                        group,
+                        nodes.occ_node[target as usize],
+                        nodes.occ_node[occ as usize],
+                    );
+                    if let Some(&c) = self.group_chan.get(&pair) {
+                        c
+                    } else {
+                        let c = self.new_channel();
+                        self.group_chan.insert(pair, c);
+                        c
+                    }
+                }
+                None => self.new_channel(),
+            }
+        } else {
+            self.new_channel()
+        };
+        self.data_dyn.entry((occ, k)).or_default().push((target, chan));
+        chan
+    }
+
+    /// Channel for a dynamic control edge, honoring the OPT-6 plan.
+    fn cd_chan(&mut self, nodes: &NodeGraph, key_occ: u32, target: u32) -> u32 {
+        if let Some(edges) = self.cd_dyn.get(&key_occ) {
+            if let Some(&(_, chan)) = edges.iter().find(|(t, _)| *t == target) {
+                return chan;
+            }
+        }
+        let chan = if target != NONE_TARGET {
+            let key = (
+                nodes.occ_block_term[key_occ as usize],
+                nodes.occ_stmt[target as usize],
+            );
+            match nodes.share_cd.get(&key).copied() {
+                Some(group) => {
+                    let pair = (
+                        group,
+                        nodes.occ_node[target as usize],
+                        nodes.occ_node[key_occ as usize],
+                    );
+                    if let Some(&c) = self.group_chan.get(&pair) {
+                        c
+                    } else {
+                        let c = self.new_channel();
+                        self.group_chan.insert(pair, c);
+                        c
+                    }
+                }
+                None => self.new_channel(),
+            }
+        } else {
+            self.new_channel()
+        };
+        self.cd_dyn.entry(key_occ).or_default().push((target, chan));
+        chan
+    }
+
+    /// Appends a pair, deduplicating identical consecutive pairs on shared
+    /// channels; returns whether the pair was newly stored.
+    fn append(&mut self, chan: u32, pair: (u64, u64)) -> bool {
+        let ch = &mut self.channels[chan as usize];
+        if ch.last() == Some(&pair) {
+            false
+        } else {
+            ch.push(pair);
+            true
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)] // mirrors the use-event tuple end to end
+    pub(crate) fn record_data_pair(
+        &mut self,
+        nodes: &NodeGraph,
+        stats: &mut BuildStats,
+        occ: u32,
+        k: u8,
+        target: u32,
+        td: u64,
+        tu: u64,
+    ) {
+        let chan = self.data_chan(nodes, occ, k, target);
+        if self.append(chan, (td, tu)) {
+            stats.stored_data_pairs += 1;
+        } else {
+            stats.save(OptKind::SharedData);
+        }
+    }
+
+    pub(crate) fn record_cd_pair(
+        &mut self,
+        nodes: &NodeGraph,
+        stats: &mut BuildStats,
+        key_occ: u32,
+        target: u32,
+        tp: u64,
+        tc: u64,
+    ) {
+        let chan = self.cd_chan(nodes, key_occ, target);
+        if self.append(chan, (tp, tc)) {
+            stats.stored_control_pairs += 1;
+        } else {
+            stats.save(OptKind::SharedControl);
+        }
+    }
+}
+
 struct Builder<'p> {
     program: &'p Program,
     analysis: &'p ProgramAnalysis,
-    g: CompactGraph,
+    nodes: &'p NodeGraph,
+    store: DynStore,
+    stats: BuildStats,
+    last_def: HashMap<Cell, (u32, u64)>,
+    outputs: Vec<(u32, u64)>,
     assigns: Vec<Assign>,
     assign_pos: usize,
     next_ts: u64,
@@ -484,12 +683,6 @@ struct Builder<'p> {
     last_ret: Option<(u32, u64)>,
     frames: HashMap<FrameId, FrameInfo>,
     call_site: HashMap<FrameId, (u32, u64)>,
-    /// Sharing group -> channel, per `(group, def node, use node)`: label
-    /// sharing is only valid between edges connecting the *same pair of
-    /// node copies* (specialization gives statements multiple occurrences,
-    /// and a statement-keyed channel would let the wrong copy claim a
-    /// label).
-    group_chan: HashMap<(u32, u32, u32), u32>,
 }
 
 struct FrameInfo {
@@ -504,112 +697,12 @@ struct FrameInfo {
 }
 
 impl Builder<'_> {
-    fn new_channel(&mut self) -> u32 {
-        self.g.channels.push(Vec::new());
-        self.g.channels.len() as u32 - 1
-    }
-
-    /// Channel for a dynamic data edge, honoring the sharing plan.
-    fn data_chan(&mut self, occ: u32, k: u8, target: u32) -> u32 {
-        if let Some(edges) = self.g.data_dyn.get(&(occ, k)) {
-            if let Some(&(_, chan)) = edges.iter().find(|(t, _)| *t == target) {
-                return chan;
-            }
-        }
-        let chan = if target != NONE_TARGET {
-            let key = (
-                self.g.nodes.occ_stmt[occ as usize],
-                k,
-                self.g.nodes.occ_stmt[target as usize],
-            );
-            match self.g.nodes.share_data.get(&key).copied() {
-                Some(group) => {
-                    let nodes = (
-                        group,
-                        self.g.nodes.occ_node[target as usize],
-                        self.g.nodes.occ_node[occ as usize],
-                    );
-                    if let Some(&c) = self.group_chan.get(&nodes) {
-                        c
-                    } else {
-                        let c = self.new_channel();
-                        self.group_chan.insert(nodes, c);
-                        c
-                    }
-                }
-                None => self.new_channel(),
-            }
-        } else {
-            self.new_channel()
-        };
-        self.g.data_dyn.entry((occ, k)).or_default().push((target, chan));
-        chan
-    }
-
-    /// Channel for a dynamic control edge, honoring the OPT-6 plan.
-    fn cd_chan(&mut self, key_occ: u32, target: u32) -> u32 {
-        if let Some(edges) = self.g.cd_dyn.get(&key_occ) {
-            if let Some(&(_, chan)) = edges.iter().find(|(t, _)| *t == target) {
-                return chan;
-            }
-        }
-        let chan = if target != NONE_TARGET {
-            let key = (
-                self.g.nodes.occ_block_term[key_occ as usize],
-                self.g.nodes.occ_stmt[target as usize],
-            );
-            match self.g.nodes.share_cd.get(&key).copied() {
-                Some(group) => {
-                    let nodes = (
-                        group,
-                        self.g.nodes.occ_node[target as usize],
-                        self.g.nodes.occ_node[key_occ as usize],
-                    );
-                    if let Some(&c) = self.group_chan.get(&nodes) {
-                        c
-                    } else {
-                        let c = self.new_channel();
-                        self.group_chan.insert(nodes, c);
-                        c
-                    }
-                }
-                None => self.new_channel(),
-            }
-        } else {
-            self.new_channel()
-        };
-        self.g.cd_dyn.entry(key_occ).or_default().push((target, chan));
-        chan
-    }
-
-    /// Appends a pair, deduplicating identical consecutive pairs on shared
-    /// channels; returns whether the pair was newly stored.
-    fn append(&mut self, chan: u32, pair: (u64, u64)) -> bool {
-        let ch = &mut self.g.channels[chan as usize];
-        if ch.last() == Some(&pair) {
-            false
-        } else {
-            ch.push(pair);
-            true
-        }
-    }
-
     fn record_data_pair(&mut self, occ: u32, k: u8, target: u32, td: u64, tu: u64) {
-        let chan = self.data_chan(occ, k, target);
-        if self.append(chan, (td, tu)) {
-            self.g.stats.stored_data_pairs += 1;
-        } else {
-            self.g.stats.save(OptKind::SharedData);
-        }
+        self.store.record_data_pair(self.nodes, &mut self.stats, occ, k, target, td, tu);
     }
 
     fn record_cd_pair(&mut self, key_occ: u32, target: u32, tp: u64, tc: u64) {
-        let chan = self.cd_chan(key_occ, target);
-        if self.append(chan, (tp, tc)) {
-            self.g.stats.stored_control_pairs += 1;
-        } else {
-            self.g.stats.save(OptKind::SharedControl);
-        }
+        self.store.record_cd_pair(self.nodes, &mut self.stats, key_occ, target, tp, tc);
     }
 
     /// Processes one use site: verify the static inference or record a
@@ -632,9 +725,9 @@ impl Builder<'_> {
             UseShape::Ret => return, // resolved at call_returned
         };
         if actual.is_some() {
-            self.g.stats.total_data += 1;
+            self.stats.total_data += 1;
         }
-        let res = self.g.nodes.use_res[occ as usize][k as usize];
+        let res = self.nodes.use_res[occ as usize][k as usize];
         let is_mem = matches!(shape, UseShape::Mem);
         if is_mem {
             let fi = self.frames.get_mut(&frame).expect("live frame");
@@ -644,21 +737,21 @@ impl Builder<'_> {
             UseRes::StaticDu { target, attr } => {
                 if !is_mem {
                     // Scalars cannot alias; inference always holds.
-                    self.g.stats.save(attr);
+                    self.stats.save(attr);
                 } else if actual == Some((target, ts)) {
-                    self.g.stats.save(attr);
+                    self.stats.save(attr);
                 } else {
                     self.demote(occ, k, actual, ts);
                 }
             }
             UseRes::StaticUu { target, use_idx, attr } => {
                 if !is_mem {
-                    self.g.stats.save(attr);
+                    self.stats.save(attr);
                 } else {
                     let fi = self.frames.get(&frame).expect("live frame");
                     let expected = fi.memo.get(&(target, use_idx)).copied().flatten();
                     if actual == expected {
-                        self.g.stats.save(attr);
+                        self.stats.save(attr);
                     } else {
                         self.demote(occ, k, actual, ts);
                     }
@@ -673,7 +766,7 @@ impl Builder<'_> {
     }
 
     fn demote(&mut self, occ: u32, k: u8, actual: Option<(u32, u64)>, ts: u64) {
-        self.g.stats.demoted += 1;
+        self.stats.demoted += 1;
         match actual {
             Some((docc, td)) => self.record_data_pair(occ, k, docc, td, ts),
             None => self.record_data_pair(occ, k, NONE_TARGET, 0, ts),
@@ -709,8 +802,8 @@ impl ReplayVisitor for Builder<'_> {
     fn block_enter(&mut self, frame: FrameId, func: FuncId, block: BlockId) {
         let assign = self.assigns[self.assign_pos];
         self.assign_pos += 1;
-        let node_base = self.g.nodes.node_base[assign.node as usize];
-        let slot_off = self.g.nodes.nodes[assign.node as usize].slot_offsets[assign.slot as usize];
+        let node_base = self.nodes.node_base[assign.node as usize];
+        let slot_off = self.nodes.nodes[assign.node as usize].slot_offsets[assign.slot as usize];
         // Compute the dynamic control parent before touching frame state.
         let ancestors = self.analysis.func(func).cd.ancestors(block).to_vec();
         let (parent, next_seq, ts) = {
@@ -731,14 +824,14 @@ impl ReplayVisitor for Builder<'_> {
             (parent, fi.seq, fi.state.ts)
         };
         let parent = parent.or_else(|| self.call_site.get(&frame).copied());
-        self.g.stats.total_control += 1;
+        self.stats.total_control += 1;
         let key_occ = node_base + slot_off;
-        match self.g.nodes.cd_res[key_occ as usize] {
+        match self.nodes.cd_res[key_occ as usize] {
             CdRes::Static { target, delta, attr } => {
                 if ts >= delta && parent == Some((target, ts - delta)) {
-                    self.g.stats.save(attr);
+                    self.stats.save(attr);
                 } else {
-                    self.g.stats.demoted += 1;
+                    self.stats.demoted += 1;
                     match parent {
                         Some((pocc, tp)) => self.record_cd_pair(key_occ, pocc, tp, ts),
                         None => self.record_cd_pair(key_occ, NONE_TARGET, 0, ts),
@@ -749,7 +842,7 @@ impl ReplayVisitor for Builder<'_> {
                 if let Some((pocc, tp)) = parent {
                     self.record_cd_pair(key_occ, pocc, tp, ts);
                 } else {
-                    self.g.stats.total_control -= 1; // entry region: no dependence
+                    self.stats.total_control -= 1; // entry region: no dependence
                 }
             }
         }
@@ -771,9 +864,9 @@ impl ReplayVisitor for Builder<'_> {
             StmtPos::Term => self.program.func(cx.func).block(cx.block).stmts.len() as u32,
         };
         let occ = base + idx_in_block;
-        debug_assert_eq!(self.g.stmt_of(occ), cx.stmt, "occurrence out of sync");
+        debug_assert_eq!(self.nodes.occ_stmt[occ as usize], cx.stmt, "occurrence out of sync");
 
-        let shapes = self.g.nodes.stmt_shapes[cx.stmt.index()].clone();
+        let shapes = self.nodes.stmt_shapes[cx.stmt.index()].clone();
         for (k, shape) in shapes.iter().enumerate() {
             self.handle_use(cx.frame, occ, k as u8, shape, cx.cell, ts);
         }
@@ -791,10 +884,10 @@ impl ReplayVisitor for Builder<'_> {
                     Some(StmtKind::Store { .. }) => {
                         let cell = cx.cell.expect("store has a traced cell");
                         self.mem.insert(cell, (occ, ts));
-                        self.g.last_def.insert(cell, (occ, ts));
+                        self.last_def.insert(cell, (occ, ts));
                     }
                     Some(StmtKind::Print(_)) => {
-                        self.g.outputs.push((occ, ts));
+                        self.outputs.push((occ, ts));
                     }
                     None => unreachable!("plain statement"),
                 }
@@ -816,9 +909,9 @@ impl ReplayVisitor for Builder<'_> {
             (fi.state.pending_call, fi.state.ts)
         };
         // The Ret use site is the last use slot of the call statement.
-        let k = (self.g.nodes.stmt_shapes[stmt.index()].len() - 1) as u8;
+        let k = (self.nodes.stmt_shapes[stmt.index()].len() - 1) as u8;
         if let Some((rocc, tr)) = self.last_ret.take() {
-            self.g.stats.total_data += 1;
+            self.stats.total_data += 1;
             self.record_data_pair(occ, k, rocc, tr, ts);
         }
         if let Some(StmtKind::Assign { dst, .. }) = self.program.stmt_kind(stmt) {

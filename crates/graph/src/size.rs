@@ -72,7 +72,7 @@ pub enum OptKind {
 
 /// Dependence-instance statistics gathered while building a compacted graph:
 /// how many timestamp pairs each optimization avoided storing.
-#[derive(Clone, Debug, Default)]
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct BuildStats {
     /// Pairs avoided, by optimization.
     pub saved: std::collections::HashMap<OptKind, u64>,
@@ -92,6 +92,19 @@ pub struct BuildStats {
 impl BuildStats {
     pub(crate) fn save(&mut self, k: OptKind) {
         *self.saved.entry(k).or_insert(0) += 1;
+    }
+
+    /// Folds another stats block into this one (the parallel builder sums
+    /// per-segment counters with the stitcher's).
+    pub(crate) fn absorb(&mut self, other: &BuildStats) {
+        for (k, v) in &other.saved {
+            *self.saved.entry(*k).or_insert(0) += v;
+        }
+        self.stored_data_pairs += other.stored_data_pairs;
+        self.stored_control_pairs += other.stored_control_pairs;
+        self.demoted += other.demoted;
+        self.total_data += other.total_data;
+        self.total_control += other.total_control;
     }
 
     /// Total pairs avoided across all optimizations.

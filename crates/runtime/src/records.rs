@@ -162,12 +162,18 @@ impl ChunkSummary {
 }
 
 /// Index entry for one chunk in a [`RecordFile`].
+///
+/// Both fields are `u64`: file offsets and record counts live in the
+/// file's address space, not the process's, so they must not be narrowed
+/// to `u32`/`usize` until the moment a buffer is actually allocated —
+/// and then only through a checked conversion (see
+/// [`RecordFile::read_chunk`]).
 #[derive(Clone, Debug)]
 pub struct ChunkMeta {
     /// Byte offset of the chunk's records in the file.
     pub offset: u64,
     /// Number of records in the chunk.
-    pub len: u32,
+    pub len: u64,
     /// Skip summary.
     pub summary: ChunkSummary,
 }
@@ -182,12 +188,14 @@ pub struct RecordFile {
     pub num_records: u64,
 }
 
-/// Number of records per chunk.
+/// Default number of records per chunk.
 pub const CHUNK_RECORDS: usize = 1 << 16;
-const RECORD_BYTES: usize = 16;
+/// On-disk size of one encoded [`Record`].
+pub const RECORD_BYTES: usize = 16;
 
 impl RecordFile {
-    /// Writes `records` to `path` in chunks, building the skip index.
+    /// Writes `records` to `path` in chunks of [`CHUNK_RECORDS`], building
+    /// the skip index.
     ///
     /// # Errors
     /// Propagates I/O errors from file creation and writing.
@@ -196,12 +204,29 @@ impl RecordFile {
         program: &Program,
         records: &[Record],
     ) -> io::Result<Self> {
+        Self::write_chunked(path, program, records, CHUNK_RECORDS)
+    }
+
+    /// Writes `records` to `path` in chunks of `chunk_records`, building
+    /// the skip index. The boundary tests scale the chunk size down so the
+    /// offset arithmetic crosses many chunk boundaries with small traces;
+    /// production callers use [`Self::write`].
+    ///
+    /// # Errors
+    /// Propagates I/O errors from file creation and writing.
+    pub fn write_chunked(
+        path: impl AsRef<Path>,
+        program: &Program,
+        records: &[Record],
+        chunk_records: usize,
+    ) -> io::Result<Self> {
+        let chunk_records = chunk_records.max(1);
         let path = path.as_ref().to_path_buf();
         let mut file = BufWriter::new(File::create(&path)?);
         let mut chunks = Vec::new();
         let mut offset = 0u64;
-        let mut buf = Vec::with_capacity(CHUNK_RECORDS * RECORD_BYTES);
-        for chunk in records.chunks(CHUNK_RECORDS) {
+        let mut buf = Vec::with_capacity(chunk_records * RECORD_BYTES);
+        for chunk in records.chunks(chunk_records) {
             buf.clear();
             let mut stored = Vec::new();
             let mut frames = Vec::new();
@@ -227,10 +252,12 @@ impl RecordFile {
             file.write_all(&buf)?;
             chunks.push(ChunkMeta {
                 offset,
-                len: chunk.len() as u32,
+                len: chunk.len() as u64,
                 summary: ChunkSummary { stored_cells: stored, frames },
             });
-            offset += buf.len() as u64;
+            offset = offset.checked_add(buf.len() as u64).ok_or_else(|| {
+                io::Error::new(io::ErrorKind::InvalidData, "record file exceeds u64 offsets")
+            })?;
         }
         file.flush()?;
         Ok(Self { path, chunks, num_records: records.len() as u64 })
@@ -238,13 +265,29 @@ impl RecordFile {
 
     /// Reads chunk `i`'s records (in execution order).
     ///
+    /// This is the one place chunk geometry leaves the `u64` file address
+    /// space for the process's `usize` — via a checked conversion, so a
+    /// corrupt or oversized index surfaces as an error instead of a
+    /// silently wrapped allocation.
+    ///
     /// # Errors
-    /// Propagates I/O errors; fails if the file shrank since writing.
+    /// Propagates I/O errors; fails if the file shrank since writing or
+    /// the chunk is too large to buffer in memory.
     pub fn read_chunk(&self, i: usize) -> io::Result<Vec<Record>> {
         let meta = &self.chunks[i];
+        let bytes = meta
+            .len
+            .checked_mul(RECORD_BYTES as u64)
+            .and_then(|b| usize::try_from(b).ok())
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("chunk {i} too large to buffer: {} records", meta.len),
+                )
+            })?;
         let mut f = File::open(&self.path)?;
         f.seek(SeekFrom::Start(meta.offset))?;
-        let mut buf = vec![0u8; meta.len as usize * RECORD_BYTES];
+        let mut buf = vec![0u8; bytes];
         f.read_exact(&mut buf)?;
         Ok(buf.chunks_exact(RECORD_BYTES).map(Record::decode).collect())
     }
@@ -372,11 +415,68 @@ mod tests {
         let rf = RecordFile::write(&path, &p, &recs).unwrap();
         assert!(rf.chunks.len() >= 2);
         assert_eq!(
-            rf.chunks.iter().map(|c| c.len as usize).sum::<usize>(),
-            recs.len()
+            rf.chunks.iter().map(|c| c.len).sum::<u64>(),
+            recs.len() as u64
         );
         // Frames summary: single activation.
         assert_eq!(rf.chunks[0].summary.frames, vec![0]);
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn scaled_down_chunks_keep_u64_offsets_exact() {
+        // A scaled-down chunk size crosses many chunk boundaries with a
+        // small trace, exercising the same offset arithmetic the full-size
+        // format uses: offsets must be exact u64 prefix sums of the chunk
+        // byte lengths, with only the trailing chunk short.
+        let (p, recs) = records_for(
+            "fn main() {
+               int i;
+               int s = 0;
+               for (i = 0; i < 20; i = i + 1) { s = s + i; }
+               print s;
+             }",
+        );
+        let dir = std::env::temp_dir().join("dynslice-test-records");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("t3.bin");
+        let chunk = 7usize;
+        let rf = RecordFile::write_chunked(&path, &p, &recs, chunk).unwrap();
+        assert!(rf.chunks.len() >= 3, "scaled chunks must split the stream");
+        let mut expect_offset = 0u64;
+        for (i, c) in rf.chunks.iter().enumerate() {
+            assert_eq!(c.offset, expect_offset, "chunk {i} offset");
+            let full = i + 1 < rf.chunks.len();
+            if full {
+                assert_eq!(c.len, chunk as u64, "non-trailing chunk {i} is full");
+            } else {
+                assert!(c.len >= 1 && c.len <= chunk as u64, "trailing chunk {i}");
+            }
+            expect_offset += c.len * RECORD_BYTES as u64;
+        }
+        assert_eq!(expect_offset, rf.data_bytes());
+        let mut back = Vec::new();
+        for i in 0..rf.chunks.len() {
+            back.extend(rf.read_chunk(i).unwrap());
+        }
+        assert_eq!(back, recs, "scaled-down layout round-trips the stream");
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn oversized_chunk_len_is_an_error_not_a_wrapped_allocation() {
+        // A corrupt index entry whose record count overflows the byte-size
+        // computation must surface as InvalidData at the read boundary.
+        let rf = RecordFile {
+            path: std::env::temp_dir().join("dynslice-test-records-missing.bin"),
+            chunks: vec![ChunkMeta {
+                offset: 0,
+                len: u64::MAX / 8,
+                summary: ChunkSummary::default(),
+            }],
+            num_records: 0,
+        };
+        let err = rf.read_chunk(0).expect_err("overflowing chunk must error");
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }
 }

@@ -21,7 +21,7 @@ use std::path::Path;
 
 use dynslice_analysis::ProgramAnalysis;
 use dynslice_ir::{BlockId, FuncId, Program, Rvalue, StmtId, StmtKind, Terminator};
-use dynslice_runtime::{collect_records, FrameId, Record, RecordFile, TraceEvent};
+use dynslice_runtime::{collect_records, FrameId, Record, RecordFile, TraceEvent, RECORD_BYTES};
 
 use crate::{Criterion, Slice};
 
@@ -114,6 +114,29 @@ impl<'p> LpSlicer<'p> {
         events: &[TraceEvent],
         path: impl AsRef<Path>,
     ) -> io::Result<Self> {
+        Self::build_with_chunk_records(
+            program,
+            analysis,
+            events,
+            path,
+            dynslice_runtime::CHUNK_RECORDS,
+        )
+    }
+
+    /// [`Self::build`] with an explicit chunk size. The boundary tests
+    /// scale `chunk_records` down so seed lookup and the backward scan
+    /// cross many chunk boundaries on small traces; production callers
+    /// use [`Self::build`].
+    ///
+    /// # Errors
+    /// Propagates I/O errors from writing the record file.
+    pub fn build_with_chunk_records(
+        program: &'p Program,
+        analysis: &'p ProgramAnalysis,
+        events: &[TraceEvent],
+        path: impl AsRef<Path>,
+        chunk_records: usize,
+    ) -> io::Result<Self> {
         let records = collect_records(program, events);
         let print_positions = records
             .iter()
@@ -125,12 +148,12 @@ impl<'p> LpSlicer<'p> {
             })
             .map(|(i, _)| i as u64)
             .collect();
-        let file = RecordFile::write(path, program, &records)?;
+        let file = RecordFile::write_chunked(path, program, &records, chunk_records)?;
         let mut pos_base = Vec::with_capacity(file.chunks.len());
         let mut acc = 0u64;
         for c in &file.chunks {
             pos_base.push(acc);
-            acc += c.len as u64;
+            acc += c.len;
         }
         Ok(Self {
             program,
@@ -179,8 +202,11 @@ impl<'p> LpSlicer<'p> {
                 let (chunk, off) = locate(&self.pos_base, pos);
                 let records = self.file.read_chunk(chunk)?;
                 stats.chunks_read += 1;
-                stats.bytes_read += self.file.chunks[chunk].len as u64 * 16;
-                let r = records[off as usize];
+                stats.bytes_read += self.file.chunks[chunk].len * RECORD_BYTES as u64;
+                // The in-chunk offset is bounded by the chunk's record
+                // count, which just materialized as a `Vec` — so it fits
+                // `usize` by construction.
+                let r = records[usize::try_from(off).expect("offset within resident chunk")];
                 st.slice.insert(r.stmt);
                 st.propagate_uses(r.stmt, &r, &mut stats);
                 pos
@@ -238,7 +264,7 @@ impl<'p> LpSlicer<'p> {
                 continue;
             }
             stats.chunks_read += 1;
-            stats.bytes_read += meta.len as u64 * 16;
+            stats.bytes_read += meta.len * RECORD_BYTES as u64;
             let records = self.file.read_chunk(ci)?;
             for (i, r) in records.iter().enumerate().rev() {
                 let pos = base + i as u64;
@@ -630,7 +656,7 @@ mod tests {
         let lp = slicer_for(&p, &a, &t.events, "tail.bin");
         let last = lp.file().chunks.last().unwrap();
         assert!(
-            lp.file().chunks.len() >= 2 && (last.len as usize) < CHUNK_RECORDS,
+            lp.file().chunks.len() >= 2 && last.len < CHUNK_RECORDS as u64,
             "need a short trailing chunk"
         );
         let (slice, stats) = lp.slice_detailed(Criterion::Output(0)).unwrap().expect("print executed");
@@ -679,6 +705,47 @@ mod tests {
             partial.len(),
             full.len()
         );
+    }
+
+    #[test]
+    fn scaled_down_chunks_slice_identically() {
+        // Chunk-offset arithmetic must be layout-independent: building the
+        // record file with a tiny chunk size (so the seed lookup and every
+        // backward pass cross dozens of chunk boundaries) has to yield the
+        // same slices as the production layout, on a trace with calls,
+        // stores, and a multi-pass return chain.
+        let p = dynslice_lang::compile(
+            "global int g[4];
+             fn f(int x) -> int { g[x % 4] = x + 1; return x * 2; }
+             fn main() {
+               int i;
+               int a = 0;
+               for (i = 0; i < 20; i = i + 1) { a = a + f(i + input()); }
+               print a;
+               print g[1];
+             }",
+        )
+        .unwrap();
+        let a = ProgramAnalysis::compute(&p);
+        let t = run(&p, VmOptions { input: vec![2], ..Default::default() });
+        let dir = std::env::temp_dir().join("dynslice-lp-unit");
+        std::fs::create_dir_all(&dir).unwrap();
+        let full = LpSlicer::build(&p, &a, &t.events, dir.join("layout-full.bin")).unwrap();
+        let tiny =
+            LpSlicer::build_with_chunk_records(&p, &a, &t.events, dir.join("layout-tiny.bin"), 5)
+                .unwrap();
+        assert_eq!(full.file().chunks.len(), 1, "small trace fits one production chunk");
+        assert!(tiny.file().chunks.len() >= 20, "tiny chunks split the stream");
+        for criterion in [
+            Criterion::Output(0),
+            Criterion::Output(1),
+            Criterion::CellLastDef(dynslice_runtime::Cell::new(0, 1)),
+        ] {
+            let (fs, _) = full.slice_detailed(criterion).unwrap().expect("slice exists");
+            let (ts, stats) = tiny.slice_detailed(criterion).unwrap().expect("slice exists");
+            assert_eq!(fs.stmts, ts.stmts, "layouts disagree on {criterion:?}");
+            assert!(!stats.truncated);
+        }
     }
 
     #[test]
