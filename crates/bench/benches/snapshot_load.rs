@@ -1,0 +1,87 @@
+//! Snapshot restore vs cold rebuild — the artifact behind `dynslice
+//! serve --snapshot-dir`: how long a session load takes when the compact
+//! graph is deserialized from a `.dsnap` file instead of re-traced and
+//! rebuilt from scratch.
+//!
+//! For every workload the harness times the cold path (VM replay of the
+//! trace plus the sequential compact-graph build — exactly what a cache
+//! miss pays) against the warm path (read + checksum + decode of the
+//! snapshot, what a cache hit pays). Both paths still compile the source,
+//! so that common cost is excluded. Every restored graph is verified
+//! **bit-identical** to the freshly built one before its time is
+//! reported — a fast-but-wrong restore fails the harness rather than
+//! landing in the trajectory.
+//!
+//! The headline claim: restore cost is O(graph size), not O(trace
+//! length), so the speedup grows with the trace/graph ratio the paper's
+//! compaction delivers.
+
+use dynslice::snapshot::{self, Snapshot};
+use dynslice::{build_compact, OptConfig, VmOptions};
+use dynslice_bench::*;
+
+fn main() {
+    header("Snapshot load", "deserialized session loads vs cold trace replay + build");
+    println!(
+        "{:<14} {:>9} {:>10} {:>9} {:>9} {:>9} {:>8}",
+        "benchmark", "events", "snap KB", "cold ms", "write ms", "load ms", "cold/load"
+    );
+    let report = BenchReport::new("snapshot_load");
+    let config = OptConfig::default();
+    let dir = std::env::temp_dir().join(format!("dynslice-bench-snap-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    for w in &dynslice::workloads::suite() {
+        let p = prepare(w);
+        let input = w.input.clone();
+        // Cold path: replay the trace and build the graph (the compile is
+        // shared with the warm path and excluded from both sides).
+        let ((trace, graph), cold_t) = time(|| {
+            let trace =
+                p.session.run_with(VmOptions { input: input.clone(), ..Default::default() });
+            let graph =
+                build_compact(&p.session.program, &p.session.analysis, &trace.events, &config);
+            (trace, graph)
+        });
+        let events = trace.events.len();
+        let snap = Snapshot {
+            source: w.source(scale()),
+            input,
+            config: config.clone(),
+            graph,
+        };
+        let path = dir.join(format!("{}.dsnap", p.name));
+        let (bytes, write_t) = time(|| snapshot::save(&path, &snap).expect("write snapshot"));
+        // Warm path: read + checksum + decode. Verify afterwards so the
+        // comparison never times a wrong graph.
+        let (loaded, load_t) = time(|| snapshot::load(&path).expect("read snapshot"));
+        let (restored, _) = loaded;
+        assert_eq!(
+            restored.graph.first_difference(&snap.graph),
+            None,
+            "{}: restored graph must be bit-identical",
+            p.name
+        );
+        let speedup = cold_t.as_secs_f64() / load_t.as_secs_f64().max(1e-9);
+        report.counter(p.name, "events", events as u64);
+        report.counter(p.name, "snapshot_bytes", bytes);
+        report.gauge(p.name, "cold_build_ms", cold_t.as_secs_f64() * 1e3);
+        report.gauge(p.name, "snapshot_write_ms", write_t.as_secs_f64() * 1e3);
+        report.gauge(p.name, "snapshot_load_ms", load_t.as_secs_f64() * 1e3);
+        report.gauge(p.name, "speedup_vs_cold", speedup);
+        println!(
+            "{:<14} {:>9} {:>10.1} {:>9} {:>9} {:>9} {:>7.2}x",
+            p.name,
+            events,
+            bytes as f64 / 1024.0,
+            ms(cold_t),
+            ms(write_t),
+            ms(load_t),
+            speedup,
+        );
+        let _ = std::fs::remove_file(&path);
+    }
+    let _ = std::fs::remove_dir(&dir);
+    println!("(cold = trace replay + sequential graph build; load = read + checksum + decode —");
+    println!(" restores scale with graph size, not trace length)");
+    report.finish();
+}

@@ -5,16 +5,20 @@
 //! dynslice slice       <file> (--output K | --cell INST:OFF)
 //!                      [--algo fp|opt|lp|forward|paged] [--input 1,2,3]
 //!                      [--no-shortcuts] [--resident-blocks N]
-//!                      [--build-workers N]
+//!                      [--build-workers N] [--from-snapshot]
 //! dynslice slice-batch <file> [--workers N] [--queries N] [--repeat R]
 //!                      [--no-cache] [--no-shortcuts] [--input 1,2,3]
 //!                      [--paged] [--resident-blocks N] [--build-workers N]
+//!                      [--from-snapshot]
+//! dynslice snapshot    <file> -o FILE.dsnap [--input 1,2,3]
+//!                      [--build-workers N]   # build once, persist graph
 //! dynslice serve       <file> [--algo fp|opt|lp|forward|paged] [--paged]
 //!                      [--socket PATH] [--workers N] [--timeout-ms N]
 //!                      [--queue-depth N] [--cache-capacity N] [--no-cache]
 //!                      [--max-sessions N] [--memory-budget-mb MB]
 //!                      [--build-workers N] [--loaders N]
 //!                      [--preload [name=]file[@i1;i2;...],...]
+//!                      [--snapshot-dir DIR]
 //! dynslice report      <file> [--input 1,2,3]
 //! dynslice dot         <file> [--input 1,2,3] [--dynamic]  # graph to stdout
 //! dynslice dot         <file> --output K | --cell I:O      # slice rendering
@@ -30,6 +34,14 @@
 //! ([`Session::build_slicer`]) behind the [`Slicer`] trait, so every
 //! algorithm — including `--paged`, the §4.2 OPT+LP hybrid with at most
 //! `--resident-blocks` label blocks resident — is reachable from both.
+//!
+//! `snapshot` persists the compacted graph (with the source, input, and
+//! build config) to a checksummed `.dsnap` file; `slice`/`slice-batch`
+//! with `--from-snapshot` treat `<file>` as such a snapshot and restore
+//! the graph instead of re-tracing — O(graph size), not O(trace length).
+//! `serve --snapshot-dir DIR` keys a snapshot cache by the
+//! (source, input, config) digest: `load` requests that hit it skip the
+//! trace replay, and cold builds populate it.
 //!
 //! `serve` keeps the backend alive and answers newline-delimited JSON
 //! slice requests on stdin/stdout, or on a Unix socket with `--socket`
@@ -128,6 +140,9 @@ struct Args {
     memory_budget_mb: Option<f64>,
     preload: Vec<String>,
     metrics_json: Option<String>,
+    from_snapshot: bool,
+    snapshot_out: Option<String>,
+    snapshot_dir: Option<String>,
 }
 
 impl Args {
@@ -148,6 +163,15 @@ impl Args {
         m.insert("build_workers".into(), self.build_workers.to_string());
         m.insert("queries".into(), self.queries.to_string());
         m.insert("repeat".into(), self.repeat.to_string());
+        if self.from_snapshot {
+            m.insert("from_snapshot".into(), "true".into());
+        }
+        if let Some(o) = &self.snapshot_out {
+            m.insert("snapshot_out".into(), o.clone());
+        }
+        if let Some(d) = &self.snapshot_dir {
+            m.insert("snapshot_dir".into(), d.clone());
+        }
         if let Some(w) = self.workers {
             m.insert("workers".into(), w.to_string());
         }
@@ -222,6 +246,9 @@ fn parse_args() -> Result<Args, String> {
         memory_budget_mb: None,
         preload: Vec::new(),
         metrics_json: None,
+        from_snapshot: false,
+        snapshot_out: None,
+        snapshot_dir: None,
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -310,6 +337,13 @@ fn parse_args() -> Result<Args, String> {
             "--metrics-json" => {
                 out.metrics_json = Some(args.next().ok_or("--metrics-json needs a path")?);
             }
+            "--from-snapshot" => out.from_snapshot = true,
+            "-o" | "--out" => {
+                out.snapshot_out = Some(args.next().ok_or("-o needs an output path")?);
+            }
+            "--snapshot-dir" => {
+                out.snapshot_dir = Some(args.next().ok_or("--snapshot-dir needs a directory")?);
+            }
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
     }
@@ -317,12 +351,14 @@ fn parse_args() -> Result<Args, String> {
 }
 
 fn usage() -> String {
-    "usage: dynslice <run|slice|slice-batch|serve|report|dot|metrics-validate> <file.minic> \
+    "usage: dynslice <run|slice|slice-batch|snapshot|serve|report|dot|metrics-validate> \
+     <file.minic> \
      [--input 1,2,3] [--output K | --cell INST:OFF] [--algo fp|opt|lp|forward|paged] \
      [--no-shortcuts] [--workers N] [--build-workers N] [--queries N] [--repeat R] \
      [--no-cache] [--paged] [--resident-blocks N] [--socket PATH] [--timeout-ms N] \
      [--queue-depth N] [--cache-capacity N] [--loaders N] [--max-sessions N] \
-     [--memory-budget-mb MB] [--preload [name=]file[@i1;i2;...],...] [--metrics-json PATH]"
+     [--memory-budget-mb MB] [--preload [name=]file[@i1;i2;...],...] [--metrics-json PATH] \
+     [-o FILE.dsnap] [--from-snapshot] [--snapshot-dir DIR]"
         .to_string()
 }
 
@@ -338,14 +374,14 @@ fn print_slice(session: &Session, stmts: &std::collections::BTreeSet<StmtId>) {
 /// the cells the run defined, plus every output, cycled `--repeat` times.
 fn build_batch(
     graph: &dynslice::CompactGraph,
-    trace: &dynslice::Trace,
+    num_outputs: usize,
     a: &Args,
 ) -> Result<Vec<Criterion>, String> {
     let mut unique: Vec<Criterion> = pick_cells(graph.last_def.keys().copied(), a.queries)
         .into_iter()
         .map(Criterion::CellLastDef)
         .collect();
-    for k in 0..trace.output.len() {
+    for k in 0..num_outputs {
         unique.push(Criterion::Output(k));
     }
     if unique.is_empty() {
@@ -445,6 +481,139 @@ fn print_backend_trailer(slicer: &dynslice::AnySlicer<'_>, a: &Args) {
     }
 }
 
+/// Answers one `slice` query over an already-built backend and prints
+/// the result — shared by the trace-built and snapshot-restored paths.
+fn run_slice(
+    a: &Args,
+    session: &Session,
+    slicer: &dynslice::AnySlicer<'_>,
+    algo: Algo,
+    reg: &Registry,
+) -> Result<(), CliError> {
+    let criterion = match (a.output, a.cell) {
+        (Some(k), None) => Criterion::Output(k),
+        (None, Some(c)) => Criterion::CellLastDef(c),
+        _ => return Err(CliError::usage("pass exactly one of --output or --cell")),
+    };
+    let outcome = reg.time_phase(phases::SLICE, || slicer.slice_with_stats(&criterion));
+    slicer.record_query_metrics(reg);
+    match outcome {
+        Ok((slice, stats)) => {
+            stats.record_metrics_for(slicer.name(), reg);
+            reg.counter_set("slice.statements", slice.len() as u64);
+            print_slice(session, &slice.stmts);
+            if algo == Algo::Lp {
+                eprintln!(
+                    "[LP: {} passes, {} chunks read, {} skipped]",
+                    stats.passes, stats.chunks_read, stats.chunks_skipped,
+                );
+            }
+            print_backend_trailer(slicer, a);
+            emit_metrics(a, reg, slicer.name())
+        }
+        Err(SliceError::Truncated { partial }) => {
+            // The partial slice is still worth seeing; the exit
+            // code (4) and the counter mark it incomplete.
+            reg.counter_add("lp.truncated", 1);
+            reg.counter_set("slice.statements", partial.len() as u64);
+            print_slice(session, &partial.stmts);
+            emit_metrics(a, reg, slicer.name())?;
+            Err(SliceError::Truncated { partial }.into())
+        }
+        Err(e) => {
+            emit_metrics(a, reg, slicer.name())?;
+            Err(e.into())
+        }
+    }
+}
+
+/// Runs the Fig. 18-style batch over an already-built backend — shared
+/// by the trace-built and snapshot-restored paths.
+fn run_slice_batch(
+    a: &Args,
+    slicer: &dynslice::AnySlicer<'_>,
+    num_outputs: usize,
+    reg: &Registry,
+) -> Result<(), CliError> {
+    let graph = slicer.compact_graph().expect("batch backends expose the graph");
+    let batch = build_batch(graph, num_outputs, a)?;
+    let config = BatchConfig {
+        workers: a.workers.unwrap_or_else(|| BatchConfig::default().workers).max(1),
+        cache: a.cache,
+    };
+    let engine = BatchSliceEngine::new(slicer, config);
+    let result = run_batch(&engine, &batch, a.shortcuts, reg);
+    slicer.record_query_metrics(reg);
+    if let dynslice::AnySlicer::Paged(paged) = slicer {
+        let st = paged.stats();
+        println!(
+            "  paged: {} block hits, {} misses ({:.1}% hit rate), {} KB read",
+            st.hits,
+            st.misses,
+            st.hit_rate() * 100.0,
+            st.bytes_read / 1024,
+        );
+        println!(
+            "  memory: {:.1} KB resident ({} block budget), {:.1} KB spilled",
+            paged.resident_bytes() as f64 / 1024.0,
+            a.resident_blocks,
+            paged.spilled_bytes() as f64 / 1024.0,
+        );
+    }
+    // The report is written even for a lossy batch (the
+    // `batch.failed_queries` counter is the signal CI diffs); the
+    // exit code still goes nonzero so the run can't greenlight.
+    emit_metrics(a, reg, &format!("batch-{}", slicer.name()))?;
+    if let Some(msg) = result.failure() {
+        return Err(CliError::from(msg));
+    }
+    Ok(())
+}
+
+/// `slice`/`slice-batch --from-snapshot`: `<file>` is a `.dsnap`
+/// snapshot; the graph is restored instead of re-tracing, so the load is
+/// O(graph size) rather than O(trace length). The snapshot's source is
+/// recompiled only to render statement locations.
+fn run_from_snapshot(a: &Args, reg: &Registry) -> Result<(), CliError> {
+    if !matches!(a.cmd.as_str(), "slice" | "slice-batch") {
+        return Err(CliError::usage("--from-snapshot applies to slice and slice-batch"));
+    }
+    let (snap, nbytes) = reg
+        .time_phase(phases::SNAPSHOT_IO, || {
+            dynslice::snapshot::load(std::path::Path::new(&a.file))
+        })
+        .map_err(|e| CliError { code: 5, message: format!("{}: {e}", a.file) })?;
+    reg.counter_add("snapshot.read_bytes", nbytes);
+    let session = Session::compile(&snap.source).map_err(|d| {
+        CliError::from(
+            d.0.iter().map(|x| x.render(&snap.source)).collect::<Vec<_>>().join("\n"),
+        )
+    })?;
+    let algo = if a.cmd == "slice-batch" {
+        if a.paged {
+            Algo::Paged
+        } else {
+            Algo::Opt
+        }
+    } else {
+        a.algo()?
+    };
+    let num_outputs = snap.graph.outputs.len();
+    let slicer =
+        dynslice::graph_slicer(snap.graph, algo, &a.slicer_config(), reg).map_err(|e| {
+            if e.kind() == std::io::ErrorKind::InvalidInput {
+                CliError::usage(e.to_string())
+            } else {
+                e.into()
+            }
+        })?;
+    slicer.record_build_metrics(reg);
+    match a.cmd.as_str() {
+        "slice" => run_slice(a, &session, &slicer, algo, reg),
+        _ => run_slice_batch(a, &slicer, num_outputs, reg),
+    }
+}
+
 fn run() -> Result<(), CliError> {
     let a = parse_args().map_err(CliError::usage)?;
     if a.cmd == "metrics-validate" {
@@ -462,6 +631,9 @@ fn run() -> Result<(), CliError> {
         return Ok(());
     }
     let reg = if a.metrics_json.is_some() { Registry::new() } else { Registry::disabled() };
+    if a.from_snapshot {
+        return run_from_snapshot(&a, &reg);
+    }
     let src = std::fs::read_to_string(&a.file)
         .map_err(|e| CliError::from(format!("{}: {e}", a.file)))?;
     let session = Session::compile(&src).map_err(|d| {
@@ -489,44 +661,56 @@ fn run() -> Result<(), CliError> {
             emit_metrics(&a, &reg, "trace")
         }
         "slice" => {
-            let criterion = match (a.output, a.cell) {
-                (Some(k), None) => Criterion::Output(k),
-                (None, Some(c)) => Criterion::CellLastDef(c),
-                _ => return Err(CliError::usage("pass exactly one of --output or --cell")),
-            };
             let algo = a.algo()?;
             let slicer = session.build_slicer(algo, &trace, &a.slicer_config(), &reg)?;
             slicer.record_build_metrics(&reg);
-            let outcome = reg.time_phase(phases::SLICE, || slicer.slice_with_stats(&criterion));
-            slicer.record_query_metrics(&reg);
-            match outcome {
-                Ok((slice, stats)) => {
-                    stats.record_metrics_for(slicer.name(), &reg);
-                    reg.counter_set("slice.statements", slice.len() as u64);
-                    print_slice(&session, &slice.stmts);
-                    if algo == Algo::Lp {
-                        eprintln!(
-                            "[LP: {} passes, {} chunks read, {} skipped]",
-                            stats.passes, stats.chunks_read, stats.chunks_skipped,
-                        );
-                    }
-                    print_backend_trailer(&slicer, &a);
-                    emit_metrics(&a, &reg, slicer.name())
-                }
-                Err(SliceError::Truncated { partial }) => {
-                    // The partial slice is still worth seeing; the exit
-                    // code (4) and the counter mark it incomplete.
-                    reg.counter_add("lp.truncated", 1);
-                    reg.counter_set("slice.statements", partial.len() as u64);
-                    print_slice(&session, &partial.stmts);
-                    emit_metrics(&a, &reg, slicer.name())?;
-                    Err(SliceError::Truncated { partial }.into())
-                }
-                Err(e) => {
-                    emit_metrics(&a, &reg, slicer.name())?;
-                    Err(e.into())
-                }
+            run_slice(&a, &session, &slicer, algo, &reg)
+        }
+        "snapshot" => {
+            let Some(out_path) = &a.snapshot_out else {
+                return Err(CliError::usage("snapshot needs `-o FILE.dsnap`"));
+            };
+            if trace.truncated {
+                return Err(CliError::from(String::from(
+                    "trace truncated; raise the step limit",
+                )));
             }
+            let config = a.slicer_config();
+            let graph = reg.time_phase(phases::GRAPH_BUILD, || {
+                if a.build_workers > 1 {
+                    dynslice::build_compact_parallel(
+                        &session.program,
+                        &session.analysis,
+                        &trace.events,
+                        &config.opt,
+                        a.build_workers,
+                        &reg,
+                    )
+                } else {
+                    dynslice::build_compact(
+                        &session.program,
+                        &session.analysis,
+                        &trace.events,
+                        &config.opt,
+                    )
+                }
+            });
+            let snap = dynslice::Snapshot {
+                source: src.clone(),
+                input: a.input.clone(),
+                config: config.opt.clone(),
+                graph,
+            };
+            let n = reg.time_phase(phases::SNAPSHOT_IO, || {
+                dynslice::snapshot::save(std::path::Path::new(out_path), &snap)
+            })?;
+            reg.counter_add("snapshot.write_bytes", n);
+            println!(
+                "snapshot: wrote {n} bytes to {out_path} ({} node execs, {} outputs)",
+                snap.graph.num_node_execs,
+                snap.graph.outputs.len(),
+            );
+            emit_metrics(&a, &reg, "snapshot")
         }
         "serve" => {
             let algo = a.algo()?;
@@ -540,13 +724,17 @@ fn run() -> Result<(), CliError> {
                 cache_capacity: if a.cache { a.cache_capacity } else { 0 },
             };
             let budget = a.memory_budget_mb.map(|mb| (mb * 1024.0 * 1024.0) as u64);
-            let manager = SessionManager::new(
+            let mut manager = SessionManager::new(
                 algo,
                 a.slicer_config(),
                 a.max_sessions,
                 budget,
                 config.cache_capacity,
             );
+            if let Some(dir) = &a.snapshot_dir {
+                manager.set_snapshot_dir(dir);
+                eprintln!("[snapshot cache at {dir}]");
+            }
             for entry in &a.preload {
                 let spec = SessionSpec::parse(entry).map_err(CliError::usage)?;
                 manager
@@ -596,39 +784,7 @@ fn run() -> Result<(), CliError> {
             let algo = if a.paged { Algo::Paged } else { Algo::Opt };
             let slicer = session.build_slicer(algo, &trace, &a.slicer_config(), &reg)?;
             slicer.record_build_metrics(&reg);
-            let graph = slicer.compact_graph().expect("batch backends expose the graph");
-            let batch = build_batch(graph, &trace, &a)?;
-            let config = BatchConfig {
-                workers: a.workers.unwrap_or_else(|| BatchConfig::default().workers).max(1),
-                cache: a.cache,
-            };
-            let engine = BatchSliceEngine::new(&slicer, config);
-            let result = run_batch(&engine, &batch, a.shortcuts, &reg);
-            slicer.record_query_metrics(&reg);
-            if let dynslice::AnySlicer::Paged(paged) = &slicer {
-                let st = paged.stats();
-                println!(
-                    "  paged: {} block hits, {} misses ({:.1}% hit rate), {} KB read",
-                    st.hits,
-                    st.misses,
-                    st.hit_rate() * 100.0,
-                    st.bytes_read / 1024,
-                );
-                println!(
-                    "  memory: {:.1} KB resident ({} block budget), {:.1} KB spilled",
-                    paged.resident_bytes() as f64 / 1024.0,
-                    a.resident_blocks,
-                    paged.spilled_bytes() as f64 / 1024.0,
-                );
-            }
-            // The report is written even for a lossy batch (the
-            // `batch.failed_queries` counter is the signal CI diffs); the
-            // exit code still goes nonzero so the run can't greenlight.
-            emit_metrics(&a, &reg, &format!("batch-{}", slicer.name()))?;
-            if let Some(msg) = result.failure() {
-                return Err(CliError::from(msg));
-            }
-            Ok(())
+            run_slice_batch(&a, &slicer, trace.output.len(), &reg)
         }
         "report" => {
             let fp = reg.time_phase(phases::GRAPH_BUILD, || session.fp(&trace));

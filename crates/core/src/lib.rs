@@ -36,9 +36,9 @@ pub mod sessions;
 
 pub use dynslice_analysis::{self as analysis, ProgramAnalysis};
 pub use dynslice_graph::{
-    self as graph, build_compact, build_compact_parallel, profile_trace, BuildStats, CompactGraph,
-    FullGraph, GraphSize, NodeGraph, OptConfig, OptKind, PagedGraph, PagedStats, SpecPlan,
-    SpecPolicy,
+    self as graph, build_compact, build_compact_parallel, profile_trace, snapshot, BuildStats,
+    CompactGraph, FullGraph, GraphSize, NodeGraph, OptConfig, OptKind, PagedGraph, PagedStats,
+    Snapshot, SnapshotError, SpecPlan, SpecPolicy,
 };
 pub use dynslice_ir::{self as ir, Program, StmtId};
 pub use dynslice_lang::{self as lang, compile, Diags};
@@ -58,7 +58,7 @@ pub use client::SliceClient;
 pub use server::{serve, ServeConfig, ServeSummary, Transport};
 pub use sessions::{
     LoadError, OwnedSlicer, SessionCounters, SessionEntry, SessionLease, SessionManager,
-    SessionSpec,
+    SessionSpec, Unload,
 };
 
 use std::io;
@@ -70,7 +70,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 /// into the same scratch directory, so pid-only names would collide.
 static SCRATCH_SEQ: AtomicU64 = AtomicU64::new(0);
 
-fn scratch_path(dir: &Path, prefix: &str, ext: &str) -> PathBuf {
+pub(crate) fn scratch_path(dir: &Path, prefix: &str, ext: &str) -> PathBuf {
     let seq = SCRATCH_SEQ.fetch_add(1, Ordering::Relaxed);
     dir.join(format!("{prefix}-{}-{seq}.{ext}", std::process::id()))
 }
@@ -406,6 +406,47 @@ impl Slicer for AnySlicer<'_> {
             AnySlicer::Paged(s) => Slicer::slice_with_stats(s, criterion),
         }
     }
+}
+
+/// Builds the backend `algo` names around an already-built compacted
+/// graph — the snapshot restore path shared by the CLI
+/// (`slice --from-snapshot`) and the session manager. Only graph-backed
+/// algorithms qualify: OPT adopts the graph as-is, the paged hybrid
+/// spills its label channels to scratch first. FP, LP, and forward
+/// rebuild from the trace and cannot restore from a graph.
+///
+/// # Errors
+/// `InvalidInput` for a non-graph-backed `algo`; otherwise I/O errors
+/// from the paged spill.
+pub fn graph_slicer(
+    graph: CompactGraph,
+    algo: Algo,
+    config: &SlicerConfig,
+    reg: &Registry,
+) -> io::Result<AnySlicer<'static>> {
+    Ok(match algo {
+        Algo::Opt => {
+            let mut opt = OptSlicer::from_graph(graph);
+            opt.shortcuts = config.shortcuts;
+            AnySlicer::Opt(opt)
+        }
+        Algo::Paged => {
+            std::fs::create_dir_all(&config.scratch_dir)?;
+            let path = scratch_path(&config.scratch_dir, "spill", "pg");
+            AnySlicer::Paged(reg.time_phase(phases::RECORD_PREPROCESS, || {
+                PagedGraph::spill(graph, path, config.resident_blocks)
+            })?)
+        }
+        other => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidInput,
+                format!(
+                    "snapshots restore compacted graphs; backend `{}` cannot load one",
+                    other.name()
+                ),
+            ))
+        }
+    })
 }
 
 /// Picks up to `n` slice criteria: distinct memory cells defined during the

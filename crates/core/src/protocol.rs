@@ -90,8 +90,13 @@ pub struct Request {
     /// [`Op::Unload`]; optional for [`Op::Slice`] (absent = the default
     /// trace the server was launched with).
     pub session: Option<String>,
-    /// MiniC source path to compile server-side ([`Op::Load`] only).
+    /// MiniC source path to compile server-side ([`Op::Load`] only; a
+    /// load needs this or [`Self::snapshot`]).
     pub program: Option<String>,
+    /// Snapshot file to restore the session from instead of building
+    /// from `program` ([`Op::Load`] only). Takes precedence over
+    /// `program` when both are present.
+    pub snapshot: Option<String>,
     /// Comma-separated input tape for the loaded program's trace
     /// ([`Op::Load`] only; empty/absent = no input).
     pub input: Option<String>,
@@ -115,6 +120,7 @@ impl Request {
             criterion: None,
             session: None,
             program: None,
+            snapshot: None,
             input: None,
             algo: None,
             delay_ms: 0,
@@ -172,6 +178,18 @@ impl Request {
         }
     }
 
+    /// A blocking load request that restores `session` from a snapshot
+    /// file instead of compiling and tracing a program.
+    pub fn load_snapshot(id: u64, session: &str, snapshot: &str, algo: Option<&str>) -> Self {
+        Request {
+            session: Some(session.to_string()),
+            snapshot: Some(snapshot.to_string()),
+            algo: algo.map(str::to_string),
+            wait: true,
+            ..Request::bare(id, Op::Load)
+        }
+    }
+
     /// An unload request for the named session.
     pub fn unload(id: u64, session: &str) -> Self {
         Request { session: Some(session.to_string()), ..Request::bare(id, Op::Unload) }
@@ -216,6 +234,9 @@ impl Request {
                 obj.insert("op".into(), Value::Str("load".into()));
                 if let Some(p) = &self.program {
                     obj.insert("program".into(), Value::Str(p.clone()));
+                }
+                if let Some(s) = &self.snapshot {
+                    obj.insert("snapshot".into(), Value::Str(s.clone()));
                 }
                 if let Some(i) = &self.input {
                     obj.insert("input".into(), Value::Str(i.clone()));
@@ -277,6 +298,7 @@ impl Request {
         let criterion = string_field("criterion")?;
         let session = string_field("session")?;
         let program = string_field("program")?;
+        let snapshot = string_field("snapshot")?;
         let input = string_field("input")?;
         let algo = string_field("algo")?;
         if matches!(session.as_deref(), Some("")) {
@@ -287,7 +309,9 @@ impl Request {
                 return Err("slice request needs a `criterion`".into())
             }
             Op::Load if session.is_none() => return Err("load request needs a `session`".into()),
-            Op::Load if program.is_none() => return Err("load request needs a `program`".into()),
+            Op::Load if program.is_none() && snapshot.is_none() => {
+                return Err("load request needs a `program` or `snapshot`".into())
+            }
             Op::Unload if session.is_none() => {
                 return Err("unload request needs a `session`".into())
             }
@@ -302,7 +326,7 @@ impl Request {
             Some(Value::Bool(b)) => *b,
             Some(_) => return Err("`wait` must be a boolean".into()),
         };
-        Ok(Request { id, op, criterion, session, program, input, algo, delay_ms, wait })
+        Ok(Request { id, op, criterion, session, program, snapshot, input, algo, delay_ms, wait })
     }
 }
 
@@ -669,6 +693,7 @@ mod tests {
             Request::load(5, "trace-a", "/tmp/a.minic", &[1, -2, 3], Some("opt")),
             Request::load(6, "trace-b", "b.minic", &[], None),
             Request::load_async(10, "trace-c", "c.minic", &[7], Some("paged")),
+            Request::load_snapshot(12, "trace-d", "/tmp/d.dsnap", Some("opt")),
             Request { wait: true, ..Request::slice_in(11, "trace-c", &Criterion::Output(0)) },
             Request::unload(7, "trace-a"),
             Request::list(8),
@@ -710,6 +735,25 @@ mod tests {
         let r = Request::parse(r#"{"criterion":"out:0","session":"t","wait":true}"#).unwrap();
         assert!(r.wait);
         assert!(Request::parse(r#"{"criterion":"out:0","wait":"yes"}"#).is_err());
+    }
+
+    /// A `load` may name a `snapshot` instead of a `program`; the field
+    /// only appears on the wire when set, so program loads keep their
+    /// exact pre-snapshot bytes (pinned above).
+    #[test]
+    fn snapshot_load_wire_format() {
+        assert_eq!(
+            Request::load_snapshot(4, "t", "g.dsnap", None).to_json(),
+            r#"{"id":4,"op":"load","session":"t","snapshot":"g.dsnap","wait":true}"#,
+        );
+        let r = Request::parse(r#"{"id":1,"op":"load","session":"t","snapshot":"g.dsnap"}"#)
+            .unwrap();
+        assert_eq!(r.snapshot.as_deref(), Some("g.dsnap"));
+        assert_eq!(r.program, None);
+        assert!(
+            Request::parse(r#"{"id":1,"op":"load","session":"t"}"#).is_err(),
+            "load still needs a program or a snapshot"
+        );
     }
 
     #[test]
@@ -804,6 +848,43 @@ mod tests {
             assert!(!line.contains('\n'), "{line}");
             assert_eq!(Response::parse(&line).unwrap(), r);
         }
+    }
+
+    /// The `list` payload is deterministic down to the byte: the manager
+    /// hands entries over name-sorted and every object serializes with
+    /// sorted keys, so two sessions always produce exactly these bytes.
+    #[test]
+    fn session_list_wire_bytes_are_pinned() {
+        let r = Response {
+            id: 9,
+            body: ResponseBody::Sessions {
+                sessions: vec![
+                    SessionInfo {
+                        name: "alpha".into(),
+                        algo: "opt".into(),
+                        resident_bytes: 100,
+                        requests: 3,
+                        loading: false,
+                    },
+                    SessionInfo {
+                        name: "beta".into(),
+                        algo: "paged".into(),
+                        resident_bytes: 64,
+                        requests: 0,
+                        loading: false,
+                    },
+                ],
+            },
+        };
+        assert_eq!(
+            r.to_json(),
+            concat!(
+                r#"{"id":9,"ok":true,"sessions":["#,
+                r#"{"algo":"opt","name":"alpha","requests":3,"resident_bytes":100},"#,
+                r#"{"algo":"paged","name":"beta","requests":0,"resident_bytes":64}"#,
+                "]}"
+            ),
+        );
     }
 
     #[test]

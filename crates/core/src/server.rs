@@ -435,11 +435,13 @@ fn plan(request: Request, shared: &Shared) -> Result<JobKind, Response> {
             let build = || -> Result<SessionSpec, String> {
                 Ok(SessionSpec {
                     name: request.session.clone().expect("protocol validates load"),
-                    program: PathBuf::from(
-                        request.program.as_deref().expect("protocol validates load"),
-                    ),
+                    // The protocol guarantees `program` or `snapshot`; an
+                    // empty program path is never read when a snapshot is
+                    // set.
+                    program: request.program.as_deref().map(PathBuf::from).unwrap_or_default(),
                     input: parse_input_tape(request.input.as_deref().unwrap_or_default())?,
                     algo: request.algo.as_deref().map(str::parse).transpose()?,
+                    snapshot: request.snapshot.as_deref().map(PathBuf::from),
                 })
             };
             build()
@@ -742,18 +744,22 @@ fn answer<S: Slicer + ?Sized>(
                 }
             }
         }
-        JobKind::Unload(name) => {
-            if manager.unload(name) {
+        JobKind::Unload(name) => match manager.unload(name) {
+            crate::Unload::Unloaded => {
                 shared.ok.fetch_add(1, Ordering::Relaxed);
                 Response { id: job.id, body: ResponseBody::Unloaded { session: name.clone() } }
-            } else {
-                shared.error(
-                    job.id,
-                    ErrorKind::UnknownSession,
-                    format!("session `{name}` is not loaded"),
-                )
             }
-        }
+            crate::Unload::Loading => shared.error(
+                job.id,
+                ErrorKind::Loading,
+                format!("session `{name}` is still loading"),
+            ),
+            crate::Unload::Missing => shared.error(
+                job.id,
+                ErrorKind::UnknownSession,
+                format!("session `{name}` is not loaded"),
+            ),
+        },
         JobKind::List => {
             shared.ok.fetch_add(1, Ordering::Relaxed);
             Response { id: job.id, body: ResponseBody::Sessions { sessions: manager.list() } }

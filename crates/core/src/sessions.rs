@@ -35,7 +35,9 @@ use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
-use dynslice_obs::{Registry, SessionReport};
+use dynslice_graph::snapshot::{self, Snapshot, SnapshotError};
+use dynslice_graph::{build_compact, build_compact_parallel, CompactGraph};
+use dynslice_obs::{phases, Registry, SessionReport};
 use dynslice_slicing::{Criterion, Slicer as _};
 
 use crate::criteria::parse_input_tape;
@@ -140,10 +142,90 @@ impl OwnedSlicer {
         Ok(OwnedSlicer { slicer, session })
     }
 
+    /// Restores a backend from a decoded [`Snapshot`]: the stored source
+    /// is re-compiled (cheap — no trace replay), and the restored
+    /// [`CompactGraph`] becomes the backend directly, so the load is
+    /// O(graph size) instead of O(trace length).
+    ///
+    /// # Errors
+    /// [`LoadError::Bad`] if the snapshot's source no longer compiles or
+    /// `algo` is not graph-backed (only OPT and the paged hybrid restore
+    /// from a compacted graph); [`LoadError::Io`] if the paged spill
+    /// fails.
+    pub fn from_snapshot(
+        snap: Snapshot,
+        algo: Algo,
+        config: &SlicerConfig,
+        reg: &Registry,
+    ) -> Result<Self, LoadError> {
+        let session =
+            Box::new(Session::compile(&snap.source).map_err(|d| LoadError::Bad(d.to_string()))?);
+        let slicer = graph_backend(snap.graph, algo, config, reg)?;
+        Ok(OwnedSlicer { slicer, session })
+    }
+
+    /// [`Self::build`] for graph-backed algorithms, additionally encoding
+    /// the built graph as a snapshot (returned as raw bytes so the caller
+    /// decides where — if anywhere — to persist it). The backend is
+    /// constructed from the same graph the snapshot captures, so a later
+    /// [`Self::from_snapshot`] restore is bit-identical.
+    ///
+    /// # Errors
+    /// As [`Self::build`], plus [`LoadError::Bad`] for non-graph-backed
+    /// algorithms.
+    pub fn build_with_snapshot(
+        src: &str,
+        input: Vec<i64>,
+        algo: Algo,
+        config: &SlicerConfig,
+        reg: &Registry,
+    ) -> Result<(Self, Vec<u8>), LoadError> {
+        let session =
+            Box::new(Session::compile(src).map_err(|d| LoadError::Bad(d.to_string()))?);
+        let trace = session.run(input.clone());
+        let graph = reg.time_phase(phases::GRAPH_BUILD, || {
+            if config.build_workers > 1 {
+                build_compact_parallel(
+                    &session.program,
+                    &session.analysis,
+                    &trace.events,
+                    &config.opt,
+                    config.build_workers,
+                    reg,
+                )
+            } else {
+                build_compact(&session.program, &session.analysis, &trace.events, &config.opt)
+            }
+        });
+        let snap =
+            Snapshot { source: src.to_string(), input, config: config.opt.clone(), graph };
+        let bytes = reg.time_phase(phases::SNAPSHOT_IO, || snapshot::encode(&snap));
+        let slicer = graph_backend(snap.graph, algo, config, reg)?;
+        Ok((OwnedSlicer { slicer, session }, bytes))
+    }
+
     /// The backend, with its lifetime tied back to `self`.
     pub fn slicer(&self) -> &AnySlicer<'_> {
         &self.slicer
     }
+}
+
+/// [`crate::graph_slicer`] with its errors mapped to [`LoadError`]: a
+/// non-graph-backed `algo` is the client's fault (`bad_request`), the
+/// rest are spill I/O failures.
+fn graph_backend(
+    graph: CompactGraph,
+    algo: Algo,
+    config: &SlicerConfig,
+    reg: &Registry,
+) -> Result<AnySlicer<'static>, LoadError> {
+    crate::graph_slicer(graph, algo, config, reg).map_err(|e| {
+        if e.kind() == io::ErrorKind::InvalidInput {
+            LoadError::Bad(e.to_string())
+        } else {
+            LoadError::Io(e)
+        }
+    })
 }
 
 /// Why a `load` failed.
@@ -183,12 +265,18 @@ impl std::error::Error for LoadError {
 pub struct SessionSpec {
     /// The name future `slice` requests address the session by.
     pub name: String,
-    /// MiniC source path.
+    /// MiniC source path. Ignored (and typically empty) when
+    /// [`Self::snapshot`] is set — the snapshot carries its own source.
     pub program: PathBuf,
-    /// Input tape for the traced run.
+    /// Input tape for the traced run. Ignored when [`Self::snapshot`] is
+    /// set — the snapshot carries the traced input.
     pub input: Vec<i64>,
     /// Backend override (`None` = the server's default algorithm).
     pub algo: Option<Algo>,
+    /// Restore from this snapshot file instead of building from
+    /// [`Self::program`]. Only graph-backed backends (OPT, paged) can
+    /// load one.
+    pub snapshot: Option<PathBuf>,
 }
 
 impl SessionSpec {
@@ -222,7 +310,7 @@ impl SessionSpec {
         if name.is_empty() {
             return Err(format!("preload entry `{entry}` has an empty session name"));
         }
-        Ok(SessionSpec { name, program, input, algo: None })
+        Ok(SessionSpec { name, program, input, algo: None, snapshot: None })
     }
 }
 
@@ -315,6 +403,19 @@ struct ManagerInner {
     lru_seq: u64,
 }
 
+/// The outcome of [`SessionManager::unload`].
+#[derive(Copy, Clone, Debug, PartialEq, Eq)]
+pub enum Unload {
+    /// The session was resident and is now dropped.
+    Unloaded,
+    /// An asynchronous `load` for the name is still building; the unload
+    /// is refused (protocol `loading`) so the build's completion cannot
+    /// silently resurrect a name the client just tore down.
+    Loading,
+    /// No session by that name (protocol `unknown_session`).
+    Missing,
+}
+
 /// Aggregate session-lifecycle counters for the serve summary.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub struct SessionCounters {
@@ -338,6 +439,9 @@ pub struct SessionManager {
     memory_budget: Option<u64>,
     /// Per-session result-cache capacity (entries).
     cache_capacity: usize,
+    /// Digest-keyed snapshot cache directory: graph-backed loads check it
+    /// before replaying a trace, and populate it after a cold build.
+    snapshot_dir: Option<PathBuf>,
     inner: Mutex<ManagerInner>,
     loaded: AtomicU64,
     evicted: AtomicU64,
@@ -369,6 +473,7 @@ impl SessionManager {
             max_sessions: max_sessions.max(1),
             memory_budget,
             cache_capacity,
+            snapshot_dir: None,
             inner: Mutex::new(ManagerInner {
                 sessions: BTreeMap::new(),
                 loading: BTreeMap::new(),
@@ -382,6 +487,87 @@ impl SessionManager {
         }
     }
 
+    /// Points graph-backed loads at a digest-keyed snapshot cache
+    /// directory: a `load` whose `(source, input, opt-config)` digest has
+    /// a cached snapshot deserializes it instead of replaying the trace,
+    /// and a cold build writes its snapshot back (best-effort, atomic
+    /// rename). Corrupt cache entries are treated as misses and
+    /// overwritten by the rebuild.
+    pub fn set_snapshot_dir(&mut self, dir: impl Into<PathBuf>) {
+        self.snapshot_dir = Some(dir.into());
+    }
+
+    /// Builds (or restores) the backend `spec` describes, without
+    /// touching the resident set: explicit snapshot restores first, then
+    /// the digest-keyed snapshot cache, then a plain build.
+    fn build_backend(
+        &self,
+        spec: &SessionSpec,
+        algo: Algo,
+        reg: &Registry,
+    ) -> Result<OwnedSlicer, LoadError> {
+        if let Some(path) = &spec.snapshot {
+            let (snap, nbytes) = reg
+                .time_phase(phases::SNAPSHOT_IO, || snapshot::load(path))
+                .map_err(|e| match e {
+                    SnapshotError::Io(e) => LoadError::Io(e),
+                    other => LoadError::Bad(format!(
+                        "cannot load snapshot `{}`: {other}",
+                        path.display()
+                    )),
+                })?;
+            reg.counter_add("snapshot.read_bytes", nbytes);
+            return OwnedSlicer::from_snapshot(snap, algo, &self.config, reg);
+        }
+        let src = std::fs::read_to_string(&spec.program).map_err(|e| {
+            LoadError::Bad(format!("cannot read program `{}`: {e}", spec.program.display()))
+        })?;
+        let cache = match (&self.snapshot_dir, algo) {
+            (Some(dir), Algo::Opt | Algo::Paged) => {
+                let digest = snapshot::digest(&src, &spec.input, &self.config.opt);
+                Some((dir.clone(), dir.join(format!("{digest:016x}.dsnap"))))
+            }
+            _ => None,
+        };
+        if let Some((dir, path)) = cache {
+            if path.exists() {
+                // A corrupt or unreadable entry is a miss: fall through
+                // to the rebuild, which overwrites it.
+                if let Ok((snap, nbytes)) =
+                    reg.time_phase(phases::SNAPSHOT_IO, || snapshot::load(&path))
+                {
+                    reg.counter_add("snapshot.hit", 1);
+                    reg.counter_add("snapshot.read_bytes", nbytes);
+                    return OwnedSlicer::from_snapshot(snap, algo, &self.config, reg);
+                }
+            }
+            reg.counter_add("snapshot.miss", 1);
+            let (slicer, bytes) = OwnedSlicer::build_with_snapshot(
+                &src,
+                spec.input.clone(),
+                algo,
+                &self.config,
+                reg,
+            )?;
+            // Best-effort publish: a failed write must not fail the load,
+            // and the rename keeps concurrent readers off half-written
+            // files.
+            reg.time_phase(phases::SNAPSHOT_IO, || {
+                let tmp = path.with_extension(format!("tmp-{}", std::process::id()));
+                if std::fs::create_dir_all(&dir).is_ok()
+                    && std::fs::write(&tmp, &bytes).is_ok()
+                    && std::fs::rename(&tmp, &path).is_ok()
+                {
+                    reg.counter_add("snapshot.write_bytes", bytes.len() as u64);
+                } else {
+                    std::fs::remove_file(&tmp).ok();
+                }
+            });
+            return Ok(slicer);
+        }
+        OwnedSlicer::build(&src, spec.input.clone(), algo, &self.config, reg)
+    }
+
     /// Builds the session described by `spec` and admits it, evicting
     /// idle sessions LRU-first if the budget or session cap requires.
     /// Loading a name that is already resident replaces the old session
@@ -393,11 +579,8 @@ impl SessionManager {
     /// exactly as it was (sessions evicted to make room are only chosen
     /// once admission is certain).
     pub fn load(&self, spec: &SessionSpec, reg: &Registry) -> Result<Arc<SessionEntry>, LoadError> {
-        let src = std::fs::read_to_string(&spec.program).map_err(|e| {
-            LoadError::Bad(format!("cannot read program `{}`: {e}", spec.program.display()))
-        })?;
         let algo = spec.algo.unwrap_or(self.default_algo);
-        let slicer = OwnedSlicer::build(&src, spec.input.clone(), algo, &self.config, reg)?;
+        let slicer = self.build_backend(spec, algo, reg)?;
         let resident_bytes = slicer.slicer().resident_bytes();
         if let Some(budget) = self.memory_budget {
             if resident_bytes > budget {
@@ -564,17 +747,25 @@ impl SessionManager {
     }
 
     /// Drops the named session (queries already holding a lease finish
-    /// against the detached backend). Returns `false` if not resident.
-    pub fn unload(&self, name: &str) -> bool {
+    /// against the detached backend). A name with an asynchronous `load`
+    /// still building is refused with [`Unload::Loading`] — checked under
+    /// the same lock the build's admission takes, so the refusal and the
+    /// loading→resident handoff cannot interleave: dropping the resident
+    /// session mid-build would let the build's completion resurrect the
+    /// name an instant after the client saw it unloaded.
+    pub fn unload(&self, name: &str) -> Unload {
         let mut inner = self.inner.lock().unwrap();
+        if inner.loading.contains_key(name) {
+            return Unload::Loading;
+        }
         match inner.sessions.remove(name) {
             Some(entry) => {
                 let report = entry.report(false);
                 inner.retired.push((name.to_string(), report));
                 self.unloaded.fetch_add(1, Ordering::Relaxed);
-                true
+                Unload::Unloaded
             }
-            None => false,
+            None => Unload::Missing,
         }
     }
 
@@ -718,6 +909,7 @@ mod tests {
             program: program.to_path_buf(),
             input: vec![21],
             algo: None,
+            snapshot: None,
         }
     }
 
@@ -785,8 +977,8 @@ mod tests {
         assert_eq!(listed.len(), 1);
         assert_eq!(listed[0].name, "a");
         assert_eq!(listed[0].algo, "opt");
-        assert!(m.unload("a"));
-        assert!(!m.unload("a"), "second unload finds nothing");
+        assert_eq!(m.unload("a"), Unload::Unloaded);
+        assert_eq!(m.unload("a"), Unload::Missing, "second unload finds nothing");
         assert!(m.checkout("a").is_none());
         let c = m.counters();
         assert_eq!((c.loaded, c.unloaded, c.evicted, c.rejected), (1, 1, 0, 0));
@@ -945,6 +1137,157 @@ mod tests {
         let reports = m.final_reports();
         assert!(reports.contains_key("b"), "live b");
         assert!(reports.contains_key("b#2"), "retired b keeps reporting under a suffix");
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// `list` output is name-sorted no matter the order sessions were
+    /// loaded in, interleaving resident and still-loading names — the
+    /// serialized payload must not depend on load history.
+    #[test]
+    fn list_is_name_sorted_across_resident_and_loading() {
+        let dir = scratch("list-order");
+        let program = write_program(&dir, "p.minic");
+        let m = manager(8, None, "list-order");
+        let reg = Registry::new();
+        m.load(&spec("d", &program), &reg).unwrap();
+        m.load(&spec("b", &program), &reg).unwrap();
+        assert!(m.begin_load("c", None));
+        assert!(m.begin_load("a", None));
+        let names: Vec<String> = m.list().into_iter().map(|s| s.name).collect();
+        assert_eq!(names, ["a", "b", "c", "d"]);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Regression: `unload` racing an in-flight asynchronous `load` must
+    /// be refused, not report "not resident" (or worse, drop a resident
+    /// session a replacement build is about to supersede — completion
+    /// would resurrect the name the client just saw unloaded).
+    #[test]
+    fn unload_while_loading_is_refused() {
+        let dir = scratch("unload-race");
+        let program = write_program(&dir, "p.minic");
+        let m = manager(4, None, "unload-race");
+        let reg = Registry::new();
+        // Fresh name: loading, not yet resident.
+        assert!(m.begin_load("x", None));
+        assert_eq!(m.unload("x"), Unload::Loading, "in-flight load refuses unload");
+        m.load(&spec("x", &program), &reg).unwrap();
+        assert_eq!(m.unload("x"), Unload::Unloaded, "admitted session unloads normally");
+        assert_eq!(m.unload("x"), Unload::Missing);
+        // Resident name with a replacement build in flight: still refused,
+        // and the resident session keeps serving.
+        m.load(&spec("y", &program), &reg).unwrap();
+        assert!(m.begin_load("y", None));
+        assert_eq!(m.unload("y"), Unload::Loading);
+        assert!(m.checkout("y").is_some(), "refused unload left `y` resident");
+        m.end_load("y");
+        assert_eq!(m.unload("y"), Unload::Unloaded);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// An explicit snapshot restore answers exactly like the build that
+    /// produced the snapshot, and non-graph backends refuse snapshots
+    /// with a typed client error.
+    #[test]
+    fn explicit_snapshot_restore_matches_fresh_build() {
+        let dir = scratch("snapfile");
+        std::fs::create_dir_all(&dir).unwrap();
+        let reg = Registry::new();
+        let config =
+            SlicerConfig { scratch_dir: dir.join("scratch"), ..SlicerConfig::default() };
+        let (built, bytes) =
+            OwnedSlicer::build_with_snapshot(PROGRAM, vec![21], Algo::Opt, &config, &reg)
+                .unwrap();
+        let file = dir.join("a.dsnap");
+        std::fs::write(&file, &bytes).unwrap();
+        let m = manager(4, None, "snapfile");
+        let c = Criterion::Output(0);
+        let from_snap = SessionSpec {
+            name: "a".into(),
+            program: PathBuf::new(),
+            input: Vec::new(),
+            algo: None,
+            snapshot: Some(file.clone()),
+        };
+        let entry = m.load(&from_snap, &reg).unwrap();
+        assert_eq!(
+            entry.slicer().slice(&c).unwrap(),
+            built.slicer().slice(&c).unwrap(),
+            "restored backend answers like the build that wrote the snapshot"
+        );
+        assert!(reg.counter("snapshot.read_bytes") >= bytes.len() as u64);
+        // The paged hybrid restores from the same snapshot.
+        let paged = SessionSpec { name: "p".into(), algo: Some(Algo::Paged), ..from_snap.clone() };
+        let entry = m.load(&paged, &reg).unwrap();
+        assert_eq!(entry.slicer().slice(&c).unwrap(), built.slicer().slice(&c).unwrap());
+        // Trace-replaying backends cannot.
+        let lp = SessionSpec { name: "l".into(), algo: Some(Algo::Lp), ..from_snap.clone() };
+        match m.load(&lp, &reg) {
+            Err(LoadError::Bad(msg)) => assert!(msg.contains("cannot load one"), "{msg}"),
+            other => panic!("expected Bad, got {:?}", other.map(|e| e.name().to_string())),
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// The digest-keyed snapshot cache: a cold load misses and populates
+    /// it, a reload hits it (answering identically), and a corrupt entry
+    /// degrades to a miss that rebuilds and overwrites.
+    #[test]
+    fn snapshot_cache_hits_misses_and_survives_corruption() {
+        let dir = scratch("snapcache");
+        let program = write_program(&dir, "p.minic");
+        let cache = dir.join("snapcache");
+        let mut m = manager(4, None, "snapcache");
+        m.set_snapshot_dir(&cache);
+        let reg = Registry::new();
+        let c = Criterion::Output(0);
+        m.load(&spec("a", &program), &reg).unwrap();
+        assert_eq!(
+            (reg.counter("snapshot.miss"), reg.counter("snapshot.hit")),
+            (1, 0),
+            "cold load misses"
+        );
+        assert!(reg.counter("snapshot.write_bytes") > 0, "cold build populates the cache");
+        let cold = m.checkout("a").unwrap().slicer().slice(&c).unwrap();
+        let entries: Vec<_> = std::fs::read_dir(&cache)
+            .unwrap()
+            .map(|e| e.unwrap().path())
+            .filter(|p| p.extension().is_some_and(|e| e == "dsnap"))
+            .collect();
+        assert_eq!(entries.len(), 1, "one digest-keyed entry");
+        assert_eq!(m.unload("a"), Unload::Unloaded);
+        m.load(&spec("a", &program), &reg).unwrap();
+        assert_eq!(
+            (reg.counter("snapshot.miss"), reg.counter("snapshot.hit")),
+            (1, 1),
+            "reload hits the cache"
+        );
+        assert_eq!(m.checkout("a").unwrap().slicer().slice(&c).unwrap(), cold);
+        // Corrupt the cached entry mid-payload: the next load degrades to
+        // a miss, rebuilds from the trace, and overwrites the entry.
+        let mut bytes = std::fs::read(&entries[0]).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0xff;
+        std::fs::write(&entries[0], &bytes).unwrap();
+        assert_eq!(m.unload("a"), Unload::Unloaded);
+        m.load(&spec("a", &program), &reg).unwrap();
+        assert_eq!(
+            (reg.counter("snapshot.miss"), reg.counter("snapshot.hit")),
+            (2, 1),
+            "corrupt entry is a miss, not an error"
+        );
+        assert_eq!(m.checkout("a").unwrap().slicer().slice(&c).unwrap(), cold);
+        assert_eq!(m.unload("a"), Unload::Unloaded);
+        m.load(&spec("a", &program), &reg).unwrap();
+        assert_eq!(
+            (reg.counter("snapshot.miss"), reg.counter("snapshot.hit")),
+            (2, 2),
+            "the rebuild repaired the cache entry"
+        );
+        // An input change re-keys the digest: no stale hit.
+        let other = SessionSpec { input: vec![7], ..spec("b", &program) };
+        m.load(&other, &reg).unwrap();
+        assert_eq!(reg.counter("snapshot.miss"), 3, "different input, different digest");
         std::fs::remove_dir_all(&dir).ok();
     }
 }

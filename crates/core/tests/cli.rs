@@ -142,6 +142,63 @@ fn batch_report_counts_queries_and_failures() {
     assert!(report.phases_ms.contains_key("batch"));
 }
 
+/// Snapshot round trip through the CLI: `snapshot` persists the graph,
+/// `slice --from-snapshot` answers byte-identically to a trace-built
+/// slice (for OPT and the paged hybrid), and corrupt or misused
+/// snapshots fail with the documented exit codes.
+#[test]
+fn snapshot_cli_round_trip_and_corruption() {
+    let program = write_program("snap.minic", PROGRAM);
+    let prog = program.to_str().unwrap();
+    let dsnap = work_dir().join("snap.dsnap");
+    let dsnap_str = dsnap.to_str().unwrap().to_string();
+    let json = work_dir().join("snap-write.json");
+    let json_str = json.to_str().unwrap().to_string();
+    run_ok(&["snapshot", prog, "--input", "4", "-o", &dsnap_str, "--metrics-json", &json_str]);
+    let report = load_report(&json);
+    assert_eq!(report.algorithm, "snapshot");
+    assert!(report.counter_or_zero("snapshot.write_bytes") > 0);
+    assert!(report.phases_ms.contains_key("snapshot_io"));
+
+    let direct = run_ok(&["slice", prog, "--output", "0", "--input", "4"]);
+    let json2 = work_dir().join("snap-read.json");
+    let json2_str = json2.to_str().unwrap().to_string();
+    let restored = run_ok(&[
+        "slice", &dsnap_str, "--from-snapshot", "--output", "0", "--metrics-json", &json2_str,
+    ]);
+    assert_eq!(
+        direct.stdout, restored.stdout,
+        "snapshot-restored slice output is byte-identical"
+    );
+    let report = load_report(&json2);
+    assert!(report.counter_or_zero("snapshot.read_bytes") > 0);
+    let paged = run_ok(&["slice", &dsnap_str, "--from-snapshot", "--output", "0", "--algo", "paged"]);
+    assert_eq!(direct.stdout, paged.stdout, "paged restore agrees");
+
+    // A flipped payload byte is a typed I/O failure (exit 5), not a
+    // panic or a silently wrong slice.
+    let mut bytes = std::fs::read(&dsnap).unwrap();
+    let mid = bytes.len() / 2;
+    bytes[mid] ^= 0xff;
+    let bad = work_dir().join("bad.dsnap");
+    std::fs::write(&bad, &bytes).unwrap();
+    let out = bin()
+        .args(["slice", bad.to_str().unwrap(), "--from-snapshot", "--output", "0"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(5), "corrupt snapshot exits 5");
+
+    // Usage errors: `snapshot` without -o, and a backend that cannot
+    // restore from a graph.
+    let out = bin().args(["snapshot", prog, "--input", "4"]).output().unwrap();
+    assert_eq!(out.status.code(), Some(2));
+    let out = bin()
+        .args(["slice", &dsnap_str, "--from-snapshot", "--output", "0", "--algo", "lp"])
+        .output()
+        .unwrap();
+    assert_eq!(out.status.code(), Some(2));
+}
+
 #[test]
 fn metrics_validate_rejects_garbage() {
     let bad = work_dir().join("bad.json");

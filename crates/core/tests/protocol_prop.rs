@@ -72,6 +72,7 @@ proptest! {
             // An empty `session` is a protocol error, not a value.
             session: if session.is_empty() { None } else { Some(session) },
             program: None,
+            snapshot: None,
             input: None,
             algo: None,
             delay_ms,
@@ -88,6 +89,7 @@ proptest! {
         input in collection::vec(-1_000_000i64..1_000_000, 0..8),
         algo_pick in 0usize..6,
         wait_bit in 0u8..2,
+        snapshot in text(0..12),
     ) {
         let algos = ["fp", "opt", "lp", "forward", "paged"];
         let request = Request {
@@ -96,6 +98,9 @@ proptest! {
             criterion: None,
             session: Some(session),
             program: Some(program),
+            // An empty draw leaves the program-only load shape; otherwise
+            // both sources ride the same line and must round-trip.
+            snapshot: if snapshot.is_empty() { None } else { Some(snapshot) },
             input: if input.is_empty() {
                 None
             } else {

@@ -880,3 +880,184 @@ fn wait_slice_times_out_while_the_session_is_still_loading() {
     // even though its requester already timed out.
     assert_eq!(parsed.counter_or_zero("server.sessions_loaded"), 1);
 }
+
+/// Unloading a session whose build is still in flight answers the typed
+/// `loading` error instead of silently succeeding (and leaving the
+/// background build to resurrect the session); once the build lands the
+/// unload goes through, and a second unload answers `unknown session`.
+#[test]
+fn unload_while_loading_answers_the_typed_error() {
+    let dir = work_dir("unload-loading");
+    let launch = write_program_b(&dir);
+    let slow = dir.join("slow.minic");
+    std::fs::write(&slow, SLOW_PROGRAM).unwrap();
+    let report = dir.join("report.json");
+    let args: Vec<String> = [
+        "serve",
+        launch.to_str().unwrap(),
+        "--input",
+        "21",
+        "--workers",
+        "1",
+        "--metrics-json",
+        report.to_str().unwrap(),
+    ]
+    .iter()
+    .map(ToString::to_string)
+    .collect();
+    let by_id = run_stdio_script(
+        &args,
+        &[
+            Request::load_async(1, "slow", slow.to_str().unwrap(), &[], None),
+            Request::unload(2, "slow"),
+            Request { wait: true, ..Request::slice_in(3, "slow", &Criterion::Output(0)) },
+            Request::unload(4, "slow"),
+            Request::unload(5, "slow"),
+        ],
+    );
+
+    match &by_id[&1] {
+        ResponseBody::Loading { session } => assert_eq!(session, "slow"),
+        other => panic!("async load should ack `loading`, got {other:?}"),
+    }
+    match &by_id[&2] {
+        ResponseBody::Error { kind, message } => {
+            assert_eq!(*kind, ErrorKind::Loading, "unload during a build is refused");
+            assert!(message.contains("still loading"), "message: {message}");
+        }
+        other => panic!("unload of a loading session should error, got {other:?}"),
+    }
+    match &by_id[&3] {
+        ResponseBody::Slice { stmts, .. } => {
+            assert_eq!(stmts, &expected_slow_slice(), "the refused unload left the build intact")
+        }
+        other => panic!("wait slice should land after the build, got {other:?}"),
+    }
+    match &by_id[&4] {
+        ResponseBody::Unloaded { session } => assert_eq!(session, "slow"),
+        other => panic!("unload of the resident session should succeed, got {other:?}"),
+    }
+    match &by_id[&5] {
+        ResponseBody::Error { kind, .. } => assert_eq!(*kind, ErrorKind::UnknownSession),
+        other => panic!("re-unload should answer `unknown session`, got {other:?}"),
+    }
+
+    let text = std::fs::read_to_string(&report).unwrap();
+    let parsed = RunReport::from_json(&text).expect("serve report satisfies the schema");
+    assert_eq!(parsed.counter_or_zero("server.requests"), 5);
+    assert_eq!(parsed.counter_or_zero("server.responses_ok"), 3);
+    assert_eq!(parsed.counter_or_zero("server.failed"), 2);
+    assert_eq!(parsed.counter_or_zero("server.sessions_unloaded"), 1);
+}
+
+/// Snapshots over the protocol: an explicit `snapshot` load restores a
+/// session from a `.dsnap` file, and `--snapshot-dir` turns named
+/// program loads into a digest-keyed cache — a cold server populates it
+/// (miss + write), a warm restart restores from it (hit + read) and
+/// answers the same slice.
+#[test]
+fn serve_snapshot_loads_and_digest_cache_round_trip() {
+    let dir = work_dir("serve-snapshot");
+    let launch = write_program(&dir);
+    let traced = write_program_b(&dir);
+    let traced_str = traced.to_str().unwrap();
+    let cache = dir.join("snapcache");
+    let dsnap = dir.join("doubler.dsnap");
+    let out = bin()
+        .args(["snapshot", traced_str, "--input", "21", "-o", dsnap.to_str().unwrap()])
+        .output()
+        .unwrap();
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+
+    let report1 = dir.join("report1.json");
+    let args1: Vec<String> = [
+        "serve",
+        launch.to_str().unwrap(),
+        "--input",
+        INPUT,
+        "--snapshot-dir",
+        cache.to_str().unwrap(),
+        "--metrics-json",
+        report1.to_str().unwrap(),
+    ]
+    .iter()
+    .map(ToString::to_string)
+    .collect();
+    let by_id = run_stdio_script(
+        &args1,
+        &[
+            Request::load_snapshot(1, "snap", dsnap.to_str().unwrap(), Some("opt")),
+            Request::slice_in(2, "snap", &Criterion::Output(0)),
+            Request::load(3, "cached", traced_str, INPUT_B, None),
+            Request::slice_in(4, "cached", &Criterion::Output(0)),
+        ],
+    );
+    match &by_id[&1] {
+        ResponseBody::Loaded { session, algo, .. } => {
+            assert_eq!(session, "snap");
+            assert_eq!(algo, "opt");
+        }
+        other => panic!("snapshot load should answer `loaded`, got {other:?}"),
+    }
+    for id in [2u64, 4] {
+        match &by_id[&id] {
+            ResponseBody::Slice { stmts, .. } => assert_eq!(
+                stmts,
+                &expected_doubler_slice(),
+                "request {id}: restored sessions answer the canonical slice"
+            ),
+            other => panic!("request {id} should answer a slice, got {other:?}"),
+        }
+    }
+    let parsed = RunReport::from_json(&std::fs::read_to_string(&report1).unwrap())
+        .expect("serve report satisfies the schema");
+    assert!(parsed.counter_or_zero("snapshot.read_bytes") > 0, "explicit load reads the file");
+    assert_eq!(parsed.counter_or_zero("snapshot.miss"), 1, "cold cache misses the named load");
+    assert_eq!(parsed.counter_or_zero("snapshot.hit"), 0);
+    assert!(parsed.counter_or_zero("snapshot.write_bytes") > 0, "the miss populates the cache");
+    let entries: Vec<_> = std::fs::read_dir(&cache)
+        .unwrap()
+        .map(|e| e.unwrap().path())
+        .filter(|p| p.extension().is_some_and(|e| e == "dsnap"))
+        .collect();
+    assert_eq!(entries.len(), 1, "one digest-keyed entry: {entries:?}");
+
+    // Same cache directory, fresh server: the named load restores from
+    // the snapshot instead of replaying the trace.
+    let report2 = dir.join("report2.json");
+    let args2: Vec<String> = [
+        "serve",
+        launch.to_str().unwrap(),
+        "--input",
+        INPUT,
+        "--snapshot-dir",
+        cache.to_str().unwrap(),
+        "--metrics-json",
+        report2.to_str().unwrap(),
+    ]
+    .iter()
+    .map(ToString::to_string)
+    .collect();
+    let by_id = run_stdio_script(
+        &args2,
+        &[
+            Request::load(1, "cached", traced_str, INPUT_B, None),
+            Request::slice_in(2, "cached", &Criterion::Output(0)),
+        ],
+    );
+    match &by_id[&1] {
+        ResponseBody::Loaded { session, .. } => assert_eq!(session, "cached"),
+        other => panic!("cached load should answer `loaded`, got {other:?}"),
+    }
+    match &by_id[&2] {
+        ResponseBody::Slice { stmts, .. } => {
+            assert_eq!(stmts, &expected_doubler_slice(), "the cache restore slices identically")
+        }
+        other => panic!("slice against the restored session should succeed, got {other:?}"),
+    }
+    let parsed = RunReport::from_json(&std::fs::read_to_string(&report2).unwrap())
+        .expect("serve report satisfies the schema");
+    assert_eq!(parsed.counter_or_zero("snapshot.hit"), 1, "warm cache restores the named load");
+    assert_eq!(parsed.counter_or_zero("snapshot.miss"), 0);
+    assert!(parsed.counter_or_zero("snapshot.read_bytes") > 0);
+}

@@ -1,0 +1,113 @@
+//! Differential suite for snapshot restores: for every `OptConfig`
+//! variant the graph crate's equivalence tests cover, and for both
+//! graph-backed backends (OPT and the paged hybrid), a slicer restored
+//! from an encoded snapshot must agree with a freshly built one on
+//! **every** criterion the trace admits — all outputs plus the last
+//! definition of every cell in the graph's last-def table. The arenas
+//! themselves are compared first with `CompactGraph::first_difference`,
+//! so a disagreement pinpoints the component that drifted rather than
+//! just a diverging slice.
+
+use dynslice::snapshot::{self, Snapshot};
+use dynslice::{
+    build_compact, Algo, Criterion, OptConfig, Registry, Session, SlicerConfig, Slicer as _,
+    SpecPolicy,
+};
+
+fn all_configs() -> Vec<OptConfig> {
+    vec![
+        OptConfig::default(),
+        OptConfig::none(),
+        OptConfig { spec: SpecPolicy::None, ..OptConfig::default() },
+        OptConfig { use_use: false, ..OptConfig::default() },
+        OptConfig { share_data: false, share_cd: false, ..OptConfig::default() },
+        OptConfig { cd_delta: false, ..OptConfig::default() },
+    ]
+}
+
+/// Branchy aliasing, a recursive callee, and heap traffic in one trace,
+/// so the snapshot exercises channel tables, call frames, and heap cells
+/// at once.
+const PROGRAM: &str = "
+    global int x[2];
+    global int y[2];
+
+    fn fib(int n) -> int {
+        if (n < 2) { return n; }
+        return fib(n - 1) + fib(n - 2);
+    }
+
+    fn main() {
+        ptr buf = alloc(4);
+        int i;
+        for (i = 0; i < 8; i = i + 1) {
+            ptr p = &x[0];
+            if (input()) { p = &y[0]; }
+            *p = fib(i % 5) + i;
+            *(buf + (i % 4)) = x[0] + y[0];
+            x[1] = x[1] + *(buf + (i % 4));
+        }
+        print x[0];
+        print x[1];
+        print y[0];
+    }";
+
+const INPUT: &[i64] = &[1, 0, 0, 1, 1, 0, 1, 0];
+
+fn scratch(tag: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("dynslice-snapdiff-{tag}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn restored_slicers_agree_with_fresh_builds_across_configs_and_backends() {
+    let session = Session::compile(PROGRAM).unwrap();
+    let trace = session.run(INPUT.to_vec());
+    for (ci, opt) in all_configs().into_iter().enumerate() {
+        // Encode/decode once per config; both backends restore from the
+        // same decoded bytes, like the serve cache does.
+        let graph =
+            build_compact(&session.program, &session.analysis, &trace.events, &opt);
+        let snap = Snapshot {
+            source: PROGRAM.to_string(),
+            input: INPUT.to_vec(),
+            config: opt.clone(),
+            graph,
+        };
+        let bytes = snapshot::encode(&snap);
+        // Criteria: every output plus every cell with a last definition.
+        let mut criteria: Vec<Criterion> =
+            (0..snap.graph.outputs.len()).map(Criterion::Output).collect();
+        criteria.extend(snap.graph.last_def.keys().map(|c| Criterion::CellLastDef(*c)));
+        assert!(criteria.len() > 3, "config {ci}: trace admits a real criterion set");
+
+        for algo in [Algo::Opt, Algo::Paged] {
+            let config = SlicerConfig {
+                opt: opt.clone(),
+                scratch_dir: scratch(&format!("{ci}-{}", algo.name())),
+                resident_blocks: 2,
+                ..SlicerConfig::default()
+            };
+            let reg = Registry::disabled();
+            let fresh = session.build_slicer(algo, &trace, &config, &reg).unwrap();
+            let restored = snapshot::decode(&bytes)
+                .unwrap_or_else(|e| panic!("config {ci}: decode failed: {e}"));
+            assert_eq!(
+                restored.graph.first_difference(&snap.graph),
+                None,
+                "config {ci}: arenas must survive the round trip bit-for-bit"
+            );
+            let restored =
+                dynslice::graph_slicer(restored.graph, algo, &config, &reg).unwrap();
+            for criterion in &criteria {
+                assert_eq!(
+                    fresh.slice(criterion).unwrap(),
+                    restored.slice(criterion).unwrap(),
+                    "config {ci}, backend {}, criterion {criterion:?}",
+                    algo.name()
+                );
+            }
+        }
+    }
+}

@@ -175,6 +175,38 @@ impl CompactGraph {
         g
     }
 
+    /// Reassembles a graph from already-final arenas — the snapshot
+    /// reader's constructor. Unlike [`CompactGraph::assemble`] it does
+    /// **not** re-sort channels: the serialized channel order is the
+    /// as-built order, and `sort_unstable_by_key` could permute equal-key
+    /// pairs, breaking the round-trip bit-identity that
+    /// [`CompactGraph::first_difference`] pins. The shortcut memo is
+    /// derived state (excluded from `first_difference`) and starts empty.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn from_parts(
+        nodes: NodeGraph,
+        channels: Vec<Vec<(u64, u64)>>,
+        data_dyn: HashMap<(u32, u8), Vec<(u32, u32)>>,
+        cd_dyn: HashMap<u32, Vec<(u32, u32)>>,
+        last_def: HashMap<Cell, (u32, u64)>,
+        outputs: Vec<(u32, u64)>,
+        stats: BuildStats,
+        num_node_execs: u64,
+    ) -> Self {
+        let num_occs = nodes.num_occs();
+        CompactGraph {
+            nodes,
+            channels,
+            data_dyn,
+            cd_dyn,
+            last_def,
+            outputs,
+            stats,
+            num_node_execs,
+            shortcuts: ShortcutTable::new(num_occs),
+        }
+    }
+
     /// The statement of an occurrence.
     #[inline]
     pub fn stmt_of(&self, occ: u32) -> StmtId {

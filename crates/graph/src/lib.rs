@@ -21,6 +21,7 @@ pub mod paged;
 pub mod parallel;
 pub mod segment;
 pub mod size;
+pub mod snapshot;
 
 pub use compact::{CompactGraph, TraversalStats};
 pub use parallel::build_parallel;
@@ -30,6 +31,7 @@ pub use full::FullGraph;
 pub use nodes::{CdRes, NodeGraph, NodeKind, OptConfig, SpecPlan, SpecPolicy, UseRes};
 pub use segment::{segment, Assign};
 pub use size::{BuildStats, GraphSize, OptKind};
+pub use snapshot::{Snapshot, SnapshotError};
 
 use dynslice_analysis::ProgramAnalysis;
 use dynslice_ir::Program;

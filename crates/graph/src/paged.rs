@@ -56,13 +56,28 @@ pub const CACHE_SHARDS: usize = 8;
 /// Bytes of one on-disk timestamp pair.
 const PAIR_BYTES: usize = size_of::<(u64, u64)>();
 
-/// One spilled block's index entry.
+/// One spilled block's index entry. Geometry is `u64` end-to-end — the
+/// record-file chunk index had the same narrowing bug (`ChunkMeta::len`
+/// was once `u32`), and a truncated length here would silently read the
+/// wrong pairs rather than fail.
 #[derive(Copy, Clone, Debug)]
 struct BlockMeta {
     /// Byte offset in the spill file.
     offset: u64,
     /// Number of pairs.
-    len: u32,
+    len: u64,
+}
+
+/// Narrows a block count or in-block offset to the `u32` width the run
+/// index stores, failing with a typed `InvalidData` error instead of
+/// silently aliasing block ids or offsets on overflow.
+fn geometry_u32(v: usize, what: &str) -> io::Result<u32> {
+    u32::try_from(v).map_err(|_| {
+        io::Error::new(
+            io::ErrorKind::InvalidData,
+            format!("paged spill geometry overflow: {what} {v} exceeds u32"),
+        )
+    })
 }
 
 /// A channel's index: which block holds which `tu` range.
@@ -263,7 +278,7 @@ impl PagedGraph {
                     buf.extend_from_slice(&b.to_le_bytes());
                 }
                 file.write_all(&buf)?;
-                blocks.push(BlockMeta { offset: *offset, len: cur.len() as u32 });
+                blocks.push(BlockMeta { offset: *offset, len: cur.len() as u64 });
                 *offset += buf.len() as u64;
                 cur.clear();
                 Ok(())
@@ -278,12 +293,12 @@ impl PagedGraph {
                 }
                 let room = BLOCK_PAIRS - cur.len();
                 let take = room.min(pairs.len() - i);
-                let block_id = blocks.len() as u32; // the block being filled
+                let block_id = geometry_u32(blocks.len(), "block id")?; // the block being filled
                 index.runs.push((
                     pairs[i].1,
                     block_id,
-                    cur.len() as u32,
-                    take as u32,
+                    geometry_u32(cur.len(), "run start")?,
+                    geometry_u32(take, "run length")?,
                 ));
                 cur.extend_from_slice(&pairs[i..i + take]);
                 i += take;
@@ -389,7 +404,7 @@ impl PagedGraph {
 
     /// Bytes spilled to disk.
     pub fn spilled_bytes(&self) -> u64 {
-        self.blocks.iter().map(|b| b.len as u64 * PAIR_BYTES as u64).sum()
+        self.blocks.iter().map(|b| b.len * PAIR_BYTES as u64).sum()
     }
 
     /// Registers the backend's cache counters and occupancy gauges.
@@ -417,7 +432,16 @@ impl PagedGraph {
         // threads racing on the same block both read (identical bytes);
         // `insert` keeps whichever lands first.
         let meta = self.blocks[id as usize];
-        let mut buf = vec![0u8; meta.len as usize * PAIR_BYTES];
+        let nbytes = usize::try_from(meta.len)
+            .ok()
+            .and_then(|n| n.checked_mul(PAIR_BYTES))
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("spill block {id} claims {} pairs, overflowing a read buffer", meta.len),
+                )
+            })?;
+        let mut buf = vec![0u8; nbytes];
         self.spill.read_exact_at(&mut buf, meta.offset)?;
         let block: Block = Arc::new(
             buf.chunks_exact(PAIR_BYTES)
@@ -713,6 +737,30 @@ mod tests {
         let (cell, _) = paged.graph().last_def.iter().next().map(|(c, i)| (*c, *i)).unwrap();
         let (occ, ts) = paged.last_def_of(cell).unwrap();
         assert!(!paged.slice(occ, ts).unwrap().is_empty());
+    }
+
+    /// Spill geometry that no longer fits the run index's `u32` fields
+    /// must produce a typed error, not a wrapped value that silently
+    /// aliases block ids (the record-file chunk index had this bug).
+    #[test]
+    fn geometry_overflow_is_typed_not_aliased() {
+        assert_eq!(geometry_u32(BLOCK_PAIRS, "run length").unwrap(), BLOCK_PAIRS as u32);
+        assert_eq!(geometry_u32(u32::MAX as usize, "block id").unwrap(), u32::MAX);
+        let err = geometry_u32(u32::MAX as usize + 1, "block id").unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("block id"), "{err}");
+    }
+
+    /// A corrupted (or overflow-wrapped) block length must fail the read
+    /// with `InvalidData` instead of attempting a wrapped allocation.
+    #[test]
+    fn oversized_block_len_errors_instead_of_wrapping() {
+        let (p, a, t) = setup(SRC);
+        let opt = build_compact(&p, &a, &t.events, &OptConfig::default());
+        let mut paged = PagedGraph::spill(opt, spill_path("overflow"), 2).unwrap();
+        paged.blocks[0].len = u64::MAX / 2; // `len * PAIR_BYTES` cannot fit
+        let err = paged.load_block(0).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
     }
 
     /// Concurrent slicing through one shared `PagedGraph` returns exactly

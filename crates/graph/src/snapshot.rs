@@ -1,0 +1,1097 @@
+//! Persistent on-disk snapshots of a built session — the compiled-graph
+//! artifact that makes warm `load`s O(graph size) instead of O(trace
+//! length).
+//!
+//! The paper's OPT representation front-loads its cost into a one-time
+//! graph construction; everything after that is cheap traversal. But the
+//! construction replays the whole trace, and `dynslice serve` pays it on
+//! *every* `load` of the same program+input. A snapshot freezes the built
+//! [`CompactGraph`] — the full static component ([`NodeGraph`] arenas,
+//! which cannot be rebuilt from source alone because hot-path
+//! specialization depends on the trace profile) plus the dynamic label
+//! arenas — together with the provenance needed to know when it is stale:
+//! the MiniC source text, the input tape, and the [`OptConfig`].
+//!
+//! # Format
+//!
+//! Hand-rolled little-endian binary (no new dependencies, matching the
+//! obs-JSON precedent). Layout:
+//!
+//! ```text
+//! magic   8 bytes  b"DSNAPV1\0"
+//! version u32      FORMAT_VERSION
+//! digest  u64      FNV-1a over (source, input, config) — provenance key
+//! then sections, in fixed order, each framed as:
+//!   tag      u8
+//!   len      u64   payload length in bytes
+//!   payload  len bytes
+//!   checksum u64   FNV-1a of the payload
+//! ```
+//!
+//! Sections: `source`, `input`, `config`, `nodes`, `dyn` (channels +
+//! dynamic edge maps), `criteria` (last-def map, outputs, execution
+//! count), `stats`. Hash maps are serialized with keys sorted, so encoding
+//! is deterministic: the same graph always produces the same bytes.
+//!
+//! # Integrity
+//!
+//! Every decode failure is a typed [`SnapshotError`] — truncated input,
+//! checksum mismatch, unknown enum tag, length prefix past the section
+//! end, inconsistent arena sizes — never a panic and never a silently
+//! wrong graph. The decoder re-derives the provenance digest from the
+//! decoded source/input/config and refuses a file whose header digest
+//! disagrees. Round-trip bit-identity (`encode` → `decode` →
+//! [`CompactGraph::first_difference`] `== None`) is pinned by the
+//! differential test suite; the decoder reassembles channels through a
+//! constructor that does **not** re-sort them, because
+//! `sort_unstable_by_key` may permute equal-key pairs.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fs::File;
+use std::io::{self, Read, Write};
+use std::path::Path;
+
+use dynslice_ir::{BlockId, FuncId, StmtId, VarId};
+use dynslice_runtime::Cell;
+
+use crate::compact::CompactGraph;
+use crate::nodes::{CdRes, NodeData, NodeGraph, NodeKind, OptConfig, SpecPolicy, UseRes, UseShape};
+use crate::size::{BuildStats, OptKind};
+
+/// First 8 bytes of every snapshot file.
+pub const MAGIC: [u8; 8] = *b"DSNAPV1\0";
+
+/// Bumped on any breaking change to the section layout.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Why a snapshot failed to decode. Every variant is a recoverable,
+/// typed condition: corruption can never panic or produce a wrong graph.
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// The file does not start with [`MAGIC`].
+    BadMagic,
+    /// The file's format version is not [`FORMAT_VERSION`].
+    UnsupportedVersion(u32),
+    /// The input ended before the named section was complete.
+    Truncated {
+        /// Section being decoded when the bytes ran out.
+        section: &'static str,
+    },
+    /// The named section is structurally invalid (checksum mismatch,
+    /// unknown enum tag, length prefix past the section end, arena size
+    /// disagreement).
+    Corrupt {
+        /// Section the corruption was detected in.
+        section: &'static str,
+        /// Human-readable description of the violation.
+        detail: String,
+    },
+    /// The header digest disagrees with the digest recomputed from the
+    /// decoded source/input/config — the artifact does not describe the
+    /// provenance it claims.
+    DigestMismatch {
+        /// Digest stored in the header.
+        stored: u64,
+        /// Digest recomputed from the decoded sections.
+        computed: u64,
+    },
+    /// An underlying I/O failure (file-level helpers only).
+    Io(io::Error),
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::BadMagic => write!(f, "not a dynslice snapshot (bad magic)"),
+            SnapshotError::UnsupportedVersion(v) => {
+                write!(f, "unsupported snapshot format version {v} (expected {FORMAT_VERSION})")
+            }
+            SnapshotError::Truncated { section } => {
+                write!(f, "snapshot truncated in section `{section}`")
+            }
+            SnapshotError::Corrupt { section, detail } => {
+                write!(f, "snapshot corrupt in section `{section}`: {detail}")
+            }
+            SnapshotError::DigestMismatch { stored, computed } => write!(
+                f,
+                "snapshot digest mismatch: header says {stored:016x}, contents hash to {computed:016x}"
+            ),
+            SnapshotError::Io(e) => write!(f, "snapshot I/O error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SnapshotError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for SnapshotError {
+    fn from(e: io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+impl From<SnapshotError> for io::Error {
+    fn from(e: SnapshotError) -> Self {
+        match e {
+            SnapshotError::Io(e) => e,
+            other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
+        }
+    }
+}
+
+/// A decoded (or to-be-encoded) session snapshot: the built graph plus
+/// the provenance that keys cache validity.
+#[derive(Debug)]
+pub struct Snapshot {
+    /// The MiniC source the graph was built from (recompiled on load).
+    pub source: String,
+    /// The input tape of the traced run.
+    pub input: Vec<i64>,
+    /// The optimization configuration the graph was built with.
+    pub config: OptConfig,
+    /// The built compacted graph, bit-identical to the fresh build.
+    pub graph: CompactGraph,
+}
+
+/// The provenance digest: FNV-1a 64 over the canonical encoding of
+/// (source, input, config). Two builds share a digest exactly when they
+/// would build the same graph modulo trace nondeterminism — which this
+/// deterministic VM does not have.
+pub fn digest(source: &str, input: &[i64], config: &OptConfig) -> u64 {
+    let mut buf = Vec::with_capacity(source.len() + input.len() * 8 + 16);
+    buf.extend_from_slice(source.as_bytes());
+    buf.push(0xff);
+    for v in input {
+        buf.extend_from_slice(&v.to_le_bytes());
+    }
+    buf.push(0xff);
+    encode_config(&mut buf, config);
+    fnv1a(&buf)
+}
+
+fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------
+// Encoding
+// ---------------------------------------------------------------------
+
+fn put_u8(buf: &mut Vec<u8>, v: u8) {
+    buf.push(v);
+}
+fn put_u32(buf: &mut Vec<u8>, v: u32) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+fn put_u64(buf: &mut Vec<u8>, v: u64) {
+    buf.extend_from_slice(&v.to_le_bytes());
+}
+fn put_len(buf: &mut Vec<u8>, v: usize) {
+    put_u64(buf, v as u64);
+}
+
+fn opt_kind_tag(k: OptKind) -> u8 {
+    match k {
+        OptKind::LocalDefUse => 0,
+        OptKind::PartialDefUse => 1,
+        OptKind::UseUse => 2,
+        OptKind::PathDefUse => 3,
+        OptKind::SharedData => 4,
+        OptKind::ControlDelta => 5,
+        OptKind::PathControl => 6,
+        OptKind::SharedControl => 7,
+    }
+}
+
+fn encode_config(buf: &mut Vec<u8>, c: &OptConfig) {
+    put_u8(buf, c.local_du as u8);
+    put_u8(buf, c.use_use as u8);
+    put_u8(
+        buf,
+        match c.spec {
+            SpecPolicy::None => 0,
+            SpecPolicy::HotPaths => 1,
+            SpecPolicy::AllPaths => 2,
+        },
+    );
+    put_u8(buf, c.share_data as u8);
+    put_u8(buf, c.cd_delta as u8);
+    put_u8(buf, c.cd_local as u8);
+    put_u8(buf, c.share_cd as u8);
+}
+
+fn encode_nodes(buf: &mut Vec<u8>, n: &NodeGraph) {
+    put_len(buf, n.nodes.len());
+    for node in &n.nodes {
+        put_u32(buf, node.func.0);
+        match node.kind {
+            NodeKind::Block(b) => {
+                put_u8(buf, 0);
+                put_u32(buf, b.0);
+            }
+            NodeKind::Path(p) => {
+                put_u8(buf, 1);
+                put_u64(buf, p);
+            }
+        }
+        put_len(buf, node.blocks.len());
+        for b in &node.blocks {
+            put_u32(buf, b.0);
+        }
+        put_len(buf, node.slot_offsets.len());
+        for &o in &node.slot_offsets {
+            put_u32(buf, o);
+        }
+        put_len(buf, node.stmts.len());
+        for s in &node.stmts {
+            put_u32(buf, s.0);
+        }
+    }
+    put_len(buf, n.node_base.len());
+    for &v in &n.node_base {
+        put_u32(buf, v);
+    }
+    put_len(buf, n.block_node.len());
+    for per_func in &n.block_node {
+        put_len(buf, per_func.len());
+        for &v in per_func {
+            put_u32(buf, v);
+        }
+    }
+    let mut path_node: Vec<_> = n.path_node.iter().collect();
+    path_node.sort_unstable_by_key(|(k, _)| **k);
+    put_len(buf, path_node.len());
+    for (&(func, path), &node) in path_node {
+        put_u32(buf, func);
+        put_u64(buf, path);
+        put_u32(buf, node);
+    }
+    put_len(buf, n.occ_stmt.len());
+    for s in &n.occ_stmt {
+        put_u32(buf, s.0);
+    }
+    put_len(buf, n.occ_node.len());
+    for &v in &n.occ_node {
+        put_u32(buf, v);
+    }
+    put_len(buf, n.occ_block_key.len());
+    for &v in &n.occ_block_key {
+        put_u32(buf, v);
+    }
+    put_len(buf, n.occ_block_term.len());
+    for s in &n.occ_block_term {
+        put_u32(buf, s.0);
+    }
+    put_len(buf, n.use_res.len());
+    for uses in &n.use_res {
+        put_len(buf, uses.len());
+        for u in uses {
+            match *u {
+                UseRes::NoDep => put_u8(buf, 0),
+                UseRes::StaticDu { target, attr } => {
+                    put_u8(buf, 1);
+                    put_u32(buf, target);
+                    put_u8(buf, opt_kind_tag(attr));
+                }
+                UseRes::StaticUu { target, use_idx, attr } => {
+                    put_u8(buf, 2);
+                    put_u32(buf, target);
+                    put_u8(buf, use_idx);
+                    put_u8(buf, opt_kind_tag(attr));
+                }
+                UseRes::Dynamic => put_u8(buf, 3),
+            }
+        }
+    }
+    put_len(buf, n.cd_res.len());
+    for cd in &n.cd_res {
+        match *cd {
+            CdRes::Dynamic => put_u8(buf, 0),
+            CdRes::Static { target, delta, attr } => {
+                put_u8(buf, 1);
+                put_u32(buf, target);
+                put_u64(buf, delta);
+                put_u8(buf, opt_kind_tag(attr));
+            }
+        }
+    }
+    put_len(buf, n.stmt_shapes.len());
+    for shapes in &n.stmt_shapes {
+        put_len(buf, shapes.len());
+        for s in shapes {
+            match *s {
+                UseShape::Scalar(v) => {
+                    put_u8(buf, 0);
+                    put_u32(buf, v.0);
+                }
+                UseShape::Mem => put_u8(buf, 1),
+                UseShape::Ret => put_u8(buf, 2),
+            }
+        }
+    }
+    let mut share_data: Vec<_> = n.share_data.iter().collect();
+    share_data.sort_unstable_by_key(|(k, _)| **k);
+    put_len(buf, share_data.len());
+    for (&(us, idx, ds), &group) in share_data {
+        put_u32(buf, us.0);
+        put_u8(buf, idx);
+        put_u32(buf, ds.0);
+        put_u32(buf, group);
+    }
+    let mut share_cd: Vec<_> = n.share_cd.iter().collect();
+    share_cd.sort_unstable_by_key(|(k, _)| **k);
+    put_len(buf, share_cd.len());
+    for (&(term, parent), &group) in share_cd {
+        put_u32(buf, term.0);
+        put_u32(buf, parent.0);
+        put_u32(buf, group);
+    }
+    put_u32(buf, n.num_groups);
+}
+
+fn encode_dyn(buf: &mut Vec<u8>, g: &CompactGraph) {
+    put_len(buf, g.channels.len());
+    for ch in &g.channels {
+        put_len(buf, ch.len());
+        for &(a, b) in ch {
+            put_u64(buf, a);
+            put_u64(buf, b);
+        }
+    }
+    let mut data_dyn: Vec<_> = g.data_dyn.iter().collect();
+    data_dyn.sort_unstable_by_key(|(k, _)| **k);
+    put_len(buf, data_dyn.len());
+    for (&(occ, k), edges) in data_dyn {
+        put_u32(buf, occ);
+        put_u8(buf, k);
+        put_len(buf, edges.len());
+        for &(target, chan) in edges {
+            put_u32(buf, target);
+            put_u32(buf, chan);
+        }
+    }
+    let mut cd_dyn: Vec<_> = g.cd_dyn.iter().collect();
+    cd_dyn.sort_unstable_by_key(|(k, _)| **k);
+    put_len(buf, cd_dyn.len());
+    for (&key, edges) in cd_dyn {
+        put_u32(buf, key);
+        put_len(buf, edges.len());
+        for &(target, chan) in edges {
+            put_u32(buf, target);
+            put_u32(buf, chan);
+        }
+    }
+}
+
+fn encode_criteria(buf: &mut Vec<u8>, g: &CompactGraph) {
+    let mut last_def: Vec<_> = g.last_def.iter().collect();
+    last_def.sort_unstable_by_key(|(c, _)| **c);
+    put_len(buf, last_def.len());
+    for (cell, &(occ, ts)) in last_def {
+        put_u64(buf, cell.0);
+        put_u32(buf, occ);
+        put_u64(buf, ts);
+    }
+    put_len(buf, g.outputs.len());
+    for &(occ, ts) in &g.outputs {
+        put_u32(buf, occ);
+        put_u64(buf, ts);
+    }
+    put_u64(buf, g.num_node_execs);
+}
+
+fn encode_stats(buf: &mut Vec<u8>, s: &BuildStats) {
+    let mut saved: Vec<_> = s.saved.iter().map(|(&k, &v)| (opt_kind_tag(k), v)).collect();
+    saved.sort_unstable();
+    put_len(buf, saved.len());
+    for (tag, v) in saved {
+        put_u8(buf, tag);
+        put_u64(buf, v);
+    }
+    put_u64(buf, s.stored_data_pairs);
+    put_u64(buf, s.stored_control_pairs);
+    put_u64(buf, s.demoted);
+    put_u64(buf, s.total_data);
+    put_u64(buf, s.total_control);
+}
+
+fn push_section(out: &mut Vec<u8>, tag: u8, payload: &[u8]) {
+    put_u8(out, tag);
+    put_len(out, payload.len());
+    out.extend_from_slice(payload);
+    put_u64(out, fnv1a(payload));
+}
+
+const TAG_SOURCE: u8 = 1;
+const TAG_INPUT: u8 = 2;
+const TAG_CONFIG: u8 = 3;
+const TAG_NODES: u8 = 4;
+const TAG_DYN: u8 = 5;
+const TAG_CRITERIA: u8 = 6;
+const TAG_STATS: u8 = 7;
+
+/// Encodes `snap` into the versioned, checksummed byte format.
+/// Deterministic: the same snapshot always encodes to the same bytes.
+pub fn encode(snap: &Snapshot) -> Vec<u8> {
+    let mut out = Vec::new();
+    out.extend_from_slice(&MAGIC);
+    put_u32(&mut out, FORMAT_VERSION);
+    put_u64(&mut out, digest(&snap.source, &snap.input, &snap.config));
+
+    let mut payload = Vec::new();
+    payload.extend_from_slice(snap.source.as_bytes());
+    push_section(&mut out, TAG_SOURCE, &payload);
+
+    payload.clear();
+    put_len(&mut payload, snap.input.len());
+    for v in &snap.input {
+        payload.extend_from_slice(&v.to_le_bytes());
+    }
+    push_section(&mut out, TAG_INPUT, &payload);
+
+    payload.clear();
+    encode_config(&mut payload, &snap.config);
+    push_section(&mut out, TAG_CONFIG, &payload);
+
+    payload.clear();
+    encode_nodes(&mut payload, &snap.graph.nodes);
+    push_section(&mut out, TAG_NODES, &payload);
+
+    payload.clear();
+    encode_dyn(&mut payload, &snap.graph);
+    push_section(&mut out, TAG_DYN, &payload);
+
+    payload.clear();
+    encode_criteria(&mut payload, &snap.graph);
+    push_section(&mut out, TAG_CRITERIA, &payload);
+
+    payload.clear();
+    encode_stats(&mut payload, &snap.graph.stats);
+    push_section(&mut out, TAG_STATS, &payload);
+
+    out
+}
+
+// ---------------------------------------------------------------------
+// Decoding
+// ---------------------------------------------------------------------
+
+/// Bounds-checked cursor over one section's payload. Every read failure
+/// is a typed error naming the section; length prefixes are validated
+/// against the bytes actually present before any allocation, so a
+/// corrupted length can neither panic nor balloon memory.
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+    section: &'static str,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8], section: &'static str) -> Self {
+        Reader { buf, pos: 0, section }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn take(&mut self, n: usize) -> Result<&'a [u8], SnapshotError> {
+        if self.remaining() < n {
+            return Err(SnapshotError::Truncated { section: self.section });
+        }
+        let s = &self.buf[self.pos..self.pos + n];
+        self.pos += n;
+        Ok(s)
+    }
+
+    fn u8(&mut self) -> Result<u8, SnapshotError> {
+        Ok(self.take(1)?[0])
+    }
+
+    fn u32(&mut self) -> Result<u32, SnapshotError> {
+        Ok(u32::from_le_bytes(self.take(4)?.try_into().expect("4 bytes")))
+    }
+
+    fn u64(&mut self) -> Result<u64, SnapshotError> {
+        Ok(u64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    fn i64(&mut self) -> Result<i64, SnapshotError> {
+        Ok(i64::from_le_bytes(self.take(8)?.try_into().expect("8 bytes")))
+    }
+
+    /// A collection-length prefix. `min_elem_bytes` is the smallest
+    /// possible encoding of one element; a length that could not fit in
+    /// the remaining bytes is corruption, reported before any allocation.
+    fn len(&mut self, min_elem_bytes: usize) -> Result<usize, SnapshotError> {
+        let raw = self.u64()?;
+        let cap = (self.remaining() / min_elem_bytes.max(1)) as u64;
+        if raw > cap {
+            return Err(self.corrupt(format!(
+                "length prefix {raw} exceeds the {} bytes left in the section",
+                self.remaining()
+            )));
+        }
+        Ok(raw as usize)
+    }
+
+    fn corrupt(&self, detail: impl Into<String>) -> SnapshotError {
+        SnapshotError::Corrupt { section: self.section, detail: detail.into() }
+    }
+
+    fn done(&self) -> Result<(), SnapshotError> {
+        if self.remaining() != 0 {
+            return Err(self.corrupt(format!("{} trailing bytes", self.remaining())));
+        }
+        Ok(())
+    }
+}
+
+fn opt_kind_from(tag: u8, r: &Reader<'_>) -> Result<OptKind, SnapshotError> {
+    Ok(match tag {
+        0 => OptKind::LocalDefUse,
+        1 => OptKind::PartialDefUse,
+        2 => OptKind::UseUse,
+        3 => OptKind::PathDefUse,
+        4 => OptKind::SharedData,
+        5 => OptKind::ControlDelta,
+        6 => OptKind::PathControl,
+        7 => OptKind::SharedControl,
+        t => return Err(r.corrupt(format!("unknown OptKind tag {t}"))),
+    })
+}
+
+fn decode_config(r: &mut Reader<'_>) -> Result<OptConfig, SnapshotError> {
+    let flag = |r: &mut Reader<'_>| -> Result<bool, SnapshotError> {
+        match r.u8()? {
+            0 => Ok(false),
+            1 => Ok(true),
+            t => Err(r.corrupt(format!("boolean flag must be 0 or 1, got {t}"))),
+        }
+    };
+    let local_du = flag(r)?;
+    let use_use = flag(r)?;
+    let spec = match r.u8()? {
+        0 => SpecPolicy::None,
+        1 => SpecPolicy::HotPaths,
+        2 => SpecPolicy::AllPaths,
+        t => return Err(r.corrupt(format!("unknown SpecPolicy tag {t}"))),
+    };
+    let share_data = flag(r)?;
+    let cd_delta = flag(r)?;
+    let cd_local = flag(r)?;
+    let share_cd = flag(r)?;
+    Ok(OptConfig { local_du, use_use, spec, share_data, cd_delta, cd_local, share_cd })
+}
+
+fn decode_u32_vec(r: &mut Reader<'_>) -> Result<Vec<u32>, SnapshotError> {
+    let n = r.len(4)?;
+    let mut out = Vec::with_capacity(n);
+    for _ in 0..n {
+        out.push(r.u32()?);
+    }
+    Ok(out)
+}
+
+fn decode_nodes(r: &mut Reader<'_>) -> Result<NodeGraph, SnapshotError> {
+    let num_nodes = r.len(1)?;
+    let mut nodes = Vec::with_capacity(num_nodes);
+    for _ in 0..num_nodes {
+        let func = FuncId(r.u32()?);
+        let kind = match r.u8()? {
+            0 => NodeKind::Block(BlockId(r.u32()?)),
+            1 => NodeKind::Path(r.u64()?),
+            t => return Err(r.corrupt(format!("unknown NodeKind tag {t}"))),
+        };
+        let blocks = decode_u32_vec(r)?.into_iter().map(BlockId).collect();
+        let slot_offsets = decode_u32_vec(r)?;
+        let stmts = decode_u32_vec(r)?.into_iter().map(StmtId).collect();
+        nodes.push(NodeData { func, kind, blocks, slot_offsets, stmts });
+    }
+    let node_base = decode_u32_vec(r)?;
+    let num_funcs = r.len(8)?;
+    let mut block_node = Vec::with_capacity(num_funcs);
+    for _ in 0..num_funcs {
+        block_node.push(decode_u32_vec(r)?);
+    }
+    let num_paths = r.len(16)?;
+    let mut path_node = HashMap::with_capacity(num_paths);
+    for _ in 0..num_paths {
+        let func = r.u32()?;
+        let path = r.u64()?;
+        let node = r.u32()?;
+        path_node.insert((func, path), node);
+    }
+    let occ_stmt: Vec<StmtId> = decode_u32_vec(r)?.into_iter().map(StmtId).collect();
+    let occ_node = decode_u32_vec(r)?;
+    let occ_block_key = decode_u32_vec(r)?;
+    let occ_block_term: Vec<StmtId> = decode_u32_vec(r)?.into_iter().map(StmtId).collect();
+    let num_use = r.len(8)?;
+    let mut use_res = Vec::with_capacity(num_use);
+    for _ in 0..num_use {
+        let n = r.len(1)?;
+        let mut uses = Vec::with_capacity(n);
+        for _ in 0..n {
+            uses.push(match r.u8()? {
+                0 => UseRes::NoDep,
+                1 => {
+                    let target = r.u32()?;
+                    let attr = r.u8()?;
+                    UseRes::StaticDu { target, attr: opt_kind_from(attr, r)? }
+                }
+                2 => {
+                    let target = r.u32()?;
+                    let use_idx = r.u8()?;
+                    let attr = r.u8()?;
+                    UseRes::StaticUu { target, use_idx, attr: opt_kind_from(attr, r)? }
+                }
+                3 => UseRes::Dynamic,
+                t => return Err(r.corrupt(format!("unknown UseRes tag {t}"))),
+            });
+        }
+        use_res.push(uses);
+    }
+    let num_cd = r.len(1)?;
+    let mut cd_res = Vec::with_capacity(num_cd);
+    for _ in 0..num_cd {
+        cd_res.push(match r.u8()? {
+            0 => CdRes::Dynamic,
+            1 => {
+                let target = r.u32()?;
+                let delta = r.u64()?;
+                let attr = r.u8()?;
+                CdRes::Static { target, delta, attr: opt_kind_from(attr, r)? }
+            }
+            t => return Err(r.corrupt(format!("unknown CdRes tag {t}"))),
+        });
+    }
+    let num_shapes = r.len(8)?;
+    let mut stmt_shapes = Vec::with_capacity(num_shapes);
+    for _ in 0..num_shapes {
+        let n = r.len(1)?;
+        let mut shapes = Vec::with_capacity(n);
+        for _ in 0..n {
+            shapes.push(match r.u8()? {
+                0 => UseShape::Scalar(VarId(r.u32()?)),
+                1 => UseShape::Mem,
+                2 => UseShape::Ret,
+                t => return Err(r.corrupt(format!("unknown UseShape tag {t}"))),
+            });
+        }
+        stmt_shapes.push(shapes);
+    }
+    let num_share_data = r.len(13)?;
+    let mut share_data = HashMap::with_capacity(num_share_data);
+    for _ in 0..num_share_data {
+        let us = StmtId(r.u32()?);
+        let idx = r.u8()?;
+        let ds = StmtId(r.u32()?);
+        let group = r.u32()?;
+        share_data.insert((us, idx, ds), group);
+    }
+    let num_share_cd = r.len(12)?;
+    let mut share_cd = HashMap::with_capacity(num_share_cd);
+    for _ in 0..num_share_cd {
+        let term = StmtId(r.u32()?);
+        let parent = StmtId(r.u32()?);
+        let group = r.u32()?;
+        share_cd.insert((term, parent), group);
+    }
+    let num_groups = r.u32()?;
+    r.done()?;
+
+    let graph = NodeGraph {
+        nodes,
+        node_base,
+        block_node,
+        path_node,
+        occ_stmt,
+        occ_node,
+        occ_block_key,
+        occ_block_term,
+        use_res,
+        cd_res,
+        stmt_shapes,
+        share_data,
+        share_cd,
+        num_groups,
+    };
+    let occs = graph.occ_stmt.len();
+    if graph.occ_node.len() != occs
+        || graph.occ_block_key.len() != occs
+        || graph.occ_block_term.len() != occs
+        || graph.use_res.len() != occs
+        || graph.cd_res.len() != occs
+    {
+        return Err(SnapshotError::Corrupt {
+            section: "nodes",
+            detail: format!(
+                "occurrence arenas disagree on length ({occs} statements vs {} nodes, {} keys, {} terms, {} use lists, {} cd entries)",
+                graph.occ_node.len(),
+                graph.occ_block_key.len(),
+                graph.occ_block_term.len(),
+                graph.use_res.len(),
+                graph.cd_res.len(),
+            ),
+        });
+    }
+    Ok(graph)
+}
+
+type DynArenas =
+    (Vec<Vec<(u64, u64)>>, HashMap<(u32, u8), Vec<(u32, u32)>>, HashMap<u32, Vec<(u32, u32)>>);
+
+fn decode_dyn(r: &mut Reader<'_>) -> Result<DynArenas, SnapshotError> {
+    let num_channels = r.len(8)?;
+    let mut channels = Vec::with_capacity(num_channels);
+    for _ in 0..num_channels {
+        let n = r.len(16)?;
+        let mut ch = Vec::with_capacity(n);
+        for _ in 0..n {
+            let a = r.u64()?;
+            let b = r.u64()?;
+            ch.push((a, b));
+        }
+        channels.push(ch);
+    }
+    let chan_count = channels.len() as u64;
+    let decode_edges = |r: &mut Reader<'_>| -> Result<Vec<(u32, u32)>, SnapshotError> {
+        let n = r.len(8)?;
+        let mut edges = Vec::with_capacity(n);
+        for _ in 0..n {
+            let target = r.u32()?;
+            let chan = r.u32()?;
+            if chan as u64 >= chan_count {
+                return Err(r.corrupt(format!("edge references channel {chan} of {chan_count}")));
+            }
+            edges.push((target, chan));
+        }
+        Ok(edges)
+    };
+    let num_data = r.len(13)?;
+    let mut data_dyn = HashMap::with_capacity(num_data);
+    for _ in 0..num_data {
+        let occ = r.u32()?;
+        let k = r.u8()?;
+        let edges = decode_edges(r)?;
+        data_dyn.insert((occ, k), edges);
+    }
+    let num_cd = r.len(12)?;
+    let mut cd_dyn = HashMap::with_capacity(num_cd);
+    for _ in 0..num_cd {
+        let key = r.u32()?;
+        let edges = decode_edges(r)?;
+        cd_dyn.insert(key, edges);
+    }
+    r.done()?;
+    Ok((channels, data_dyn, cd_dyn))
+}
+
+type Criteria = (HashMap<Cell, (u32, u64)>, Vec<(u32, u64)>, u64);
+
+fn decode_criteria(r: &mut Reader<'_>) -> Result<Criteria, SnapshotError> {
+    let num_defs = r.len(20)?;
+    let mut last_def = HashMap::with_capacity(num_defs);
+    for _ in 0..num_defs {
+        let cell = Cell(r.u64()?);
+        let occ = r.u32()?;
+        let ts = r.u64()?;
+        last_def.insert(cell, (occ, ts));
+    }
+    let num_outputs = r.len(12)?;
+    let mut outputs = Vec::with_capacity(num_outputs);
+    for _ in 0..num_outputs {
+        let occ = r.u32()?;
+        let ts = r.u64()?;
+        outputs.push((occ, ts));
+    }
+    let num_node_execs = r.u64()?;
+    r.done()?;
+    Ok((last_def, outputs, num_node_execs))
+}
+
+fn decode_stats(r: &mut Reader<'_>) -> Result<BuildStats, SnapshotError> {
+    let num_saved = r.len(9)?;
+    let mut saved = HashMap::with_capacity(num_saved);
+    for _ in 0..num_saved {
+        let tag = r.u8()?;
+        let kind = opt_kind_from(tag, r)?;
+        let v = r.u64()?;
+        saved.insert(kind, v);
+    }
+    let stored_data_pairs = r.u64()?;
+    let stored_control_pairs = r.u64()?;
+    let demoted = r.u64()?;
+    let total_data = r.u64()?;
+    let total_control = r.u64()?;
+    r.done()?;
+    Ok(BuildStats {
+        saved,
+        stored_data_pairs,
+        stored_control_pairs,
+        demoted,
+        total_data,
+        total_control,
+    })
+}
+
+/// Reads one framed section, verifying its tag and checksum.
+fn section<'a>(
+    bytes: &'a [u8],
+    pos: &mut usize,
+    want_tag: u8,
+    name: &'static str,
+) -> Result<&'a [u8], SnapshotError> {
+    let rest = &bytes[*pos..];
+    if rest.is_empty() {
+        return Err(SnapshotError::Truncated { section: name });
+    }
+    let tag = rest[0];
+    if tag != want_tag {
+        return Err(SnapshotError::Corrupt {
+            section: name,
+            detail: format!("expected section tag {want_tag}, found {tag}"),
+        });
+    }
+    if rest.len() < 9 {
+        return Err(SnapshotError::Truncated { section: name });
+    }
+    let len = u64::from_le_bytes(rest[1..9].try_into().expect("8 bytes"));
+    let Ok(len) = usize::try_from(len) else {
+        return Err(SnapshotError::Corrupt {
+            section: name,
+            detail: format!("section length {len} overflows addressable memory"),
+        });
+    };
+    if rest.len() - 9 < len + 8 {
+        return Err(SnapshotError::Truncated { section: name });
+    }
+    let payload = &rest[9..9 + len];
+    let stored = u64::from_le_bytes(rest[9 + len..9 + len + 8].try_into().expect("8 bytes"));
+    let computed = fnv1a(payload);
+    if stored != computed {
+        return Err(SnapshotError::Corrupt {
+            section: name,
+            detail: format!("checksum mismatch (stored {stored:016x}, computed {computed:016x})"),
+        });
+    }
+    *pos += 9 + len + 8;
+    Ok(payload)
+}
+
+/// Decodes a snapshot from `bytes`.
+///
+/// # Errors
+/// A typed [`SnapshotError`] for every malformed input — truncation,
+/// checksum mismatch, unknown tags, inconsistent arenas, digest
+/// disagreement. Never panics.
+pub fn decode(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
+    if bytes.len() < MAGIC.len() || bytes[..MAGIC.len()] != MAGIC {
+        return Err(SnapshotError::BadMagic);
+    }
+    let mut pos = MAGIC.len();
+    if bytes.len() < pos + 12 {
+        return Err(SnapshotError::Truncated { section: "header" });
+    }
+    let version = u32::from_le_bytes(bytes[pos..pos + 4].try_into().expect("4 bytes"));
+    if version != FORMAT_VERSION {
+        return Err(SnapshotError::UnsupportedVersion(version));
+    }
+    pos += 4;
+    let stored_digest = u64::from_le_bytes(bytes[pos..pos + 8].try_into().expect("8 bytes"));
+    pos += 8;
+
+    let payload = section(bytes, &mut pos, TAG_SOURCE, "source")?;
+    let source = String::from_utf8(payload.to_vec()).map_err(|e| SnapshotError::Corrupt {
+        section: "source",
+        detail: format!("source is not UTF-8: {e}"),
+    })?;
+
+    let payload = section(bytes, &mut pos, TAG_INPUT, "input")?;
+    let mut r = Reader::new(payload, "input");
+    let n = r.len(8)?;
+    let mut input = Vec::with_capacity(n);
+    for _ in 0..n {
+        input.push(r.i64()?);
+    }
+    r.done()?;
+
+    let payload = section(bytes, &mut pos, TAG_CONFIG, "config")?;
+    let mut r = Reader::new(payload, "config");
+    let config = decode_config(&mut r)?;
+    r.done()?;
+
+    let computed = digest(&source, &input, &config);
+    if computed != stored_digest {
+        return Err(SnapshotError::DigestMismatch { stored: stored_digest, computed });
+    }
+
+    let payload = section(bytes, &mut pos, TAG_NODES, "nodes")?;
+    let mut r = Reader::new(payload, "nodes");
+    let nodes = decode_nodes(&mut r)?;
+
+    let payload = section(bytes, &mut pos, TAG_DYN, "dyn")?;
+    let mut r = Reader::new(payload, "dyn");
+    let (channels, data_dyn, cd_dyn) = decode_dyn(&mut r)?;
+
+    let payload = section(bytes, &mut pos, TAG_CRITERIA, "criteria")?;
+    let mut r = Reader::new(payload, "criteria");
+    let (last_def, outputs, num_node_execs) = decode_criteria(&mut r)?;
+
+    let payload = section(bytes, &mut pos, TAG_STATS, "stats")?;
+    let mut r = Reader::new(payload, "stats");
+    let stats = decode_stats(&mut r)?;
+
+    if pos != bytes.len() {
+        return Err(SnapshotError::Corrupt {
+            section: "stats",
+            detail: format!("{} trailing bytes after the last section", bytes.len() - pos),
+        });
+    }
+
+    let graph = CompactGraph::from_parts(
+        nodes,
+        channels,
+        data_dyn,
+        cd_dyn,
+        last_def,
+        outputs,
+        stats,
+        num_node_execs,
+    );
+    Ok(Snapshot { source, input, config, graph })
+}
+
+/// Writes `snap` to `path`, returning the bytes written.
+///
+/// # Errors
+/// Propagates filesystem errors.
+pub fn save(path: &Path, snap: &Snapshot) -> io::Result<u64> {
+    let bytes = encode(snap);
+    let mut file = File::create(path)?;
+    file.write_all(&bytes)?;
+    file.sync_all()?;
+    Ok(bytes.len() as u64)
+}
+
+/// Reads and decodes the snapshot at `path`, returning it with the byte
+/// count read (for `snapshot.read_bytes` accounting).
+///
+/// # Errors
+/// [`SnapshotError::Io`] for filesystem failures, otherwise the decode
+/// errors of [`decode`].
+pub fn load(path: &Path) -> Result<(Snapshot, u64), SnapshotError> {
+    let mut bytes = Vec::new();
+    File::open(path)?.read_to_end(&mut bytes)?;
+    let n = bytes.len() as u64;
+    let snap = decode(&bytes)?;
+    Ok((snap, n))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::build_compact;
+    use dynslice_analysis::ProgramAnalysis;
+    use dynslice_runtime::{run, VmOptions};
+
+    fn sample() -> Snapshot {
+        let source = "global int a[4];
+             fn main() {
+               int i;
+               for (i = 0; i < 8; i = i + 1) { a[i % 4] = a[i % 4] + input(); }
+               print a[1];
+             }"
+        .to_string();
+        let input = vec![3, 1, 4, 1, 5, 9, 2, 6];
+        let config = OptConfig::default();
+        let p = dynslice_lang::compile(&source).expect("compiles");
+        let a = ProgramAnalysis::compute(&p);
+        let t = run(&p, VmOptions { input: input.clone(), ..Default::default() });
+        let graph = build_compact(&p, &a, &t.events, &config);
+        Snapshot { source, input, config, graph }
+    }
+
+    #[test]
+    fn round_trip_is_bit_identical_and_deterministic() {
+        let snap = sample();
+        let bytes = encode(&snap);
+        let back = decode(&bytes).expect("round trip");
+        assert_eq!(snap.graph.first_difference(&back.graph), None);
+        assert_eq!(back.source, snap.source);
+        assert_eq!(back.input, snap.input);
+        // Deterministic encoding: re-encoding the decoded snapshot
+        // reproduces the exact bytes (sorted-map serialization).
+        assert_eq!(encode(&back), bytes);
+    }
+
+    #[test]
+    fn header_corruption_yields_typed_errors() {
+        let bytes = encode(&sample());
+        assert!(matches!(decode(&bytes[..4]), Err(SnapshotError::BadMagic)));
+        assert!(matches!(decode(b"not a snapshot at all"), Err(SnapshotError::BadMagic)));
+        let mut wrong_version = bytes.clone();
+        wrong_version[8] = 99;
+        assert!(matches!(
+            decode(&wrong_version),
+            Err(SnapshotError::UnsupportedVersion(99))
+        ));
+        let mut wrong_digest = bytes.clone();
+        wrong_digest[12] ^= 0xff;
+        assert!(matches!(decode(&wrong_digest), Err(SnapshotError::DigestMismatch { .. })));
+    }
+
+    #[test]
+    fn payload_corruption_is_detected_by_section_checksums() {
+        let bytes = encode(&sample());
+        // Flip one byte in the middle of the file (inside the big
+        // `nodes`/`dyn` payloads) — the section checksum must catch it.
+        let mut corrupt = bytes.clone();
+        let mid = corrupt.len() / 2;
+        corrupt[mid] ^= 0x01;
+        match decode(&corrupt) {
+            Err(
+                SnapshotError::Corrupt { .. }
+                | SnapshotError::Truncated { .. }
+                | SnapshotError::DigestMismatch { .. },
+            ) => {}
+            other => panic!("corruption must yield a typed error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn truncation_at_every_section_boundary_is_typed() {
+        let bytes = encode(&sample());
+        for cut in [MAGIC.len(), MAGIC.len() + 6, bytes.len() / 3, bytes.len() - 1] {
+            match decode(&bytes[..cut]) {
+                Err(SnapshotError::Truncated { .. } | SnapshotError::Corrupt { .. }) => {}
+                other => panic!("truncation at {cut} must be typed, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn digest_distinguishes_provenance() {
+        let config = OptConfig::default();
+        let d1 = digest("fn main() {}", &[1, 2], &config);
+        assert_eq!(d1, digest("fn main() {}", &[1, 2], &config));
+        assert_ne!(d1, digest("fn main() { }", &[1, 2], &config));
+        assert_ne!(d1, digest("fn main() {}", &[1, 3], &config));
+        assert_ne!(
+            d1,
+            digest("fn main() {}", &[1, 2], &OptConfig { use_use: false, ..OptConfig::default() })
+        );
+    }
+}

@@ -1,0 +1,141 @@
+//! Property tests for the snapshot codec: encode/decode is a bit-exact
+//! round trip over randomized traces and configs, and **no** corruption —
+//! truncation, single flipped bytes, or outright garbage — ever panics or
+//! decodes into a graph. Corrupt inputs must surface as typed
+//! `SnapshotError`s; a wrong-but-plausible graph is the failure mode the
+//! per-section checksums exist to rule out.
+//!
+//! The vendored proptest shim is deterministic — the RNG is seeded from
+//! the test name — so CI explores the same pinned case set on every run;
+//! `PROPTEST_CASES` widens it.
+
+use proptest::prelude::*;
+
+use dynslice_analysis::ProgramAnalysis;
+use dynslice_graph::snapshot::{self, Snapshot};
+use dynslice_graph::{build_compact, OptConfig, SpecPolicy};
+use dynslice_runtime::{run, VmOptions};
+
+fn config_for(pick: usize) -> OptConfig {
+    match pick {
+        0 => OptConfig::default(),
+        1 => OptConfig::none(),
+        2 => OptConfig { spec: SpecPolicy::None, ..OptConfig::default() },
+        3 => OptConfig { use_use: false, ..OptConfig::default() },
+        4 => OptConfig { share_data: false, share_cd: false, ..OptConfig::default() },
+        _ => OptConfig { cd_delta: false, ..OptConfig::default() },
+    }
+}
+
+/// A branchy, aliasing program whose trace shape depends on every input
+/// element, so each drawn case snapshots a structurally different graph.
+fn source_for(n: usize, seed: i64) -> String {
+    format!(
+        "global int x[2];
+         global int y[2];
+         fn main() {{
+           int i;
+           for (i = 0; i < {n}; i = i + 1) {{
+             ptr p = &x[0];
+             if (input()) {{ p = &y[0]; }}
+             *p = i + {seed};
+             x[1] = x[0] + y[0];
+           }}
+           print x[0];
+           print x[1];
+         }}"
+    )
+}
+
+fn build_snapshot(src: &str, input: Vec<i64>, config: &OptConfig) -> Snapshot {
+    let p = dynslice_lang::compile(src).expect("generated program compiles");
+    let a = ProgramAnalysis::compute(&p);
+    let t = run(&p, VmOptions { input: input.clone(), ..Default::default() });
+    let graph = build_compact(&p, &a, &t.events, config);
+    Snapshot { source: src.to_string(), input, config: config.clone(), graph }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 16, ..ProptestConfig::default() })]
+
+    /// Round trip: decode(encode(s)) reproduces every arena bit-for-bit
+    /// (via `first_difference`), the sidecar fields, and — because the
+    /// codec emits maps in sorted order — re-encoding the decoded
+    /// snapshot reproduces the exact byte stream.
+    #[test]
+    fn round_trip_is_bit_identical(
+        branches in collection::vec(0i64..2, 4..32),
+        seed in 0i64..50,
+        config_pick in 0usize..6,
+    ) {
+        let src = source_for(branches.len(), seed);
+        let snap = build_snapshot(&src, branches, &config_for(config_pick));
+        let bytes = snapshot::encode(&snap);
+        let back = snapshot::decode(&bytes).expect("fresh encoding decodes");
+        prop_assert_eq!(back.graph.first_difference(&snap.graph), None);
+        prop_assert_eq!(&back.source, &snap.source);
+        prop_assert_eq!(&back.input, &snap.input);
+        // `OptConfig` carries no `PartialEq`; the session digest hashes
+        // every field, so digest equality is config equality.
+        prop_assert_eq!(
+            snapshot::digest(&back.source, &back.input, &back.config),
+            snapshot::digest(&snap.source, &snap.input, &snap.config)
+        );
+        prop_assert_eq!(snapshot::encode(&back), bytes);
+    }
+
+    /// Every strict prefix of a valid snapshot is rejected: decoding a
+    /// truncated stream is an error, never a panic and never a graph.
+    #[test]
+    fn truncated_prefixes_are_typed_errors(
+        branches in collection::vec(0i64..2, 4..16),
+        cut_frac in 0usize..1000,
+    ) {
+        let src = source_for(branches.len(), 3);
+        let snap = build_snapshot(&src, branches, &OptConfig::default());
+        let bytes = snapshot::encode(&snap);
+        let cut = cut_frac * (bytes.len() - 1) / 1000;
+        prop_assert!(
+            snapshot::decode(&bytes[..cut]).is_err(),
+            "prefix of {} / {} bytes must not decode",
+            cut,
+            bytes.len()
+        );
+    }
+
+    /// Any single flipped byte is caught by the magic, the header digest,
+    /// or a section checksum — decode returns an error, never a silently
+    /// different graph.
+    #[test]
+    fn single_byte_flips_are_detected(
+        branches in collection::vec(0i64..2, 4..16),
+        pos_frac in 0usize..1000,
+        flip in 1u8..=255,
+    ) {
+        let src = source_for(branches.len(), 7);
+        let snap = build_snapshot(&src, branches, &OptConfig::default());
+        let mut bytes = snapshot::encode(&snap);
+        let pos = pos_frac * (bytes.len() - 1) / 1000;
+        bytes[pos] ^= flip;
+        prop_assert!(
+            snapshot::decode(&bytes).is_err(),
+            "flip of byte {} (xor {:#04x}) must not decode",
+            pos,
+            flip
+        );
+    }
+
+    /// Arbitrary bytes — with and without a forged magic — decode to an
+    /// error instead of panicking, however the section framing lands.
+    #[test]
+    fn garbage_never_panics(
+        noise in collection::vec(0u8..=255, 0..256),
+        forge_magic in 0usize..2,
+    ) {
+        let mut noise = noise;
+        if forge_magic == 1 && noise.len() >= 8 {
+            noise[..8].copy_from_slice(b"DSNAPV1\0");
+        }
+        prop_assert!(snapshot::decode(&noise).is_err());
+    }
+}

@@ -50,10 +50,13 @@ pub mod phases {
     /// Serving slice queries from the long-running `dynslice serve`
     /// session (request intake through drain).
     pub const SERVE: &str = "serve";
+    /// Writing or reading a persistent graph snapshot (the on-disk
+    /// compiled-session artifact that replaces trace replay on warm loads).
+    pub const SNAPSHOT_IO: &str = "snapshot_io";
 
     /// All phases, in pipeline order.
-    pub const ALL: [&str; 6] =
-        [TRACE_CAPTURE, RECORD_PREPROCESS, GRAPH_BUILD, SLICE, BATCH, SERVE];
+    pub const ALL: [&str; 7] =
+        [TRACE_CAPTURE, RECORD_PREPROCESS, GRAPH_BUILD, SNAPSHOT_IO, SLICE, BATCH, SERVE];
 }
 
 /// Version stamped into every report; bump on breaking schema changes.
