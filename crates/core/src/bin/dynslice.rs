@@ -13,7 +13,10 @@
 //! dynslice snapshot    <file> -o FILE.dsnap [--input 1,2,3]
 //!                      [--build-workers N]   # build once, persist graph
 //! dynslice serve       <file> [--algo fp|opt|lp|forward|paged] [--paged]
-//!                      [--socket PATH] [--workers N] [--timeout-ms N]
+//!                      [--socket PATH] [--tcp HOST:PORT] [--port-file PATH]
+//!                      [--max-connections N] [--idle-timeout-ms N]
+//!                      [--max-line-bytes N]
+//!                      [--workers N] [--timeout-ms N]
 //!                      [--queue-depth N] [--cache-capacity N] [--no-cache]
 //!                      [--max-sessions N] [--memory-budget-mb MB]
 //!                      [--build-workers N] [--loaders N]
@@ -44,9 +47,16 @@
 //! trace replay, and cold builds populate it.
 //!
 //! `serve` keeps the backend alive and answers newline-delimited JSON
-//! slice requests on stdin/stdout, or on a Unix socket with `--socket`
-//! (see `dynslice::protocol` for the wire format). It exits on stdin EOF,
-//! SIGTERM, or a `{"op":"shutdown"}` request, draining accepted work.
+//! slice requests on stdin/stdout, on a Unix socket with `--socket`, or
+//! over TCP with `--tcp HOST:PORT` — both listeners may run at once (see
+//! `dynslice::protocol` for the wire format). TCP clients must open with
+//! the versioned `{"op":"hello","proto":1}` handshake; Unix and stdio
+//! keep the historical handshake-free wire format. `--port-file` writes
+//! the bound TCP address (useful with port `0`), `--max-connections`
+//! bounces surplus clients with a typed `busy` error, and
+//! `--idle-timeout-ms` reaps silent socket connections. It exits on
+//! stdin EOF, SIGTERM, or a `{"op":"shutdown"}` request, draining
+//! accepted work and sending TCP clients a final `shutting_down` error.
 //! Beyond the launch trace, clients may `load`/`unload` further named
 //! traces at runtime (and `--preload` admits some at startup); resident
 //! sessions are capped by `--max-sessions` and by the optional
@@ -57,13 +67,16 @@
 //! never executed; `4` the slice was truncated by the LP pass budget
 //! (the partial slice is still printed); `5` backend I/O failure; `1`
 //! everything else — including a batch that dropped queries, so a lossy
-//! `slice-batch` never exits 0 and CI cannot greenlight it.
+//! `slice-batch` never exits 0 and CI cannot greenlight it. The mapping
+//! is owned by [`ErrorKind::exit_code`], the same taxonomy the serve
+//! protocol reports on the wire.
 
 use std::collections::BTreeMap;
 use std::process::ExitCode;
 use std::time::Duration;
 
 use dynslice::criteria::{parse_cell, parse_output_index};
+use dynslice::protocol::ErrorKind;
 use dynslice::{
     phases, pick_cells, serve, Algo, BatchConfig, BatchResult, BatchSliceEngine, Cell, Criterion,
     RecordMetrics, Registry, RunReport, ServeConfig, Session, SessionManager, SessionSpec,
@@ -88,7 +101,7 @@ struct CliError {
 
 impl CliError {
     fn usage(message: impl Into<String>) -> Self {
-        CliError { code: 2, message: message.into() }
+        CliError { code: ErrorKind::BadRequest.exit_code(), message: message.into() }
     }
 }
 
@@ -100,18 +113,13 @@ impl From<String> for CliError {
 
 impl From<SliceError> for CliError {
     fn from(e: SliceError) -> Self {
-        let code = match &e {
-            SliceError::UnknownCriterion => 3,
-            SliceError::Truncated { .. } => 4,
-            SliceError::Io(_) => 5,
-        };
-        CliError { code, message: e.to_string() }
+        CliError { code: ErrorKind::from_slice_error(&e).exit_code(), message: e.to_string() }
     }
 }
 
 impl From<std::io::Error> for CliError {
     fn from(e: std::io::Error) -> Self {
-        CliError { code: 5, message: e.to_string() }
+        CliError { code: ErrorKind::Io.exit_code(), message: e.to_string() }
     }
 }
 
@@ -133,6 +141,11 @@ struct Args {
     build_workers: usize,
     loaders: usize,
     socket: Option<String>,
+    tcp: Option<String>,
+    port_file: Option<String>,
+    max_connections: usize,
+    idle_timeout_ms: Option<u64>,
+    max_line_bytes: usize,
     timeout_ms: Option<u64>,
     queue_depth: usize,
     cache_capacity: usize,
@@ -178,8 +191,18 @@ impl Args {
         if self.cmd == "serve" {
             m.insert(
                 "socket".into(),
-                self.socket.clone().unwrap_or_else(|| "stdio".into()),
+                self.socket.clone().unwrap_or_else(|| {
+                    if self.tcp.is_some() { "none".into() } else { "stdio".into() }
+                }),
             );
+            if let Some(addr) = &self.tcp {
+                m.insert("tcp".into(), addr.clone());
+                m.insert("max_connections".into(), self.max_connections.to_string());
+            }
+            if let Some(t) = self.idle_timeout_ms {
+                m.insert("idle_timeout_ms".into(), t.to_string());
+            }
+            m.insert("max_line_bytes".into(), self.max_line_bytes.to_string());
             m.insert("queue_depth".into(), self.queue_depth.to_string());
             m.insert("cache_capacity".into(), self.cache_capacity.to_string());
             m.insert("loaders".into(), self.loaders.to_string());
@@ -239,6 +262,11 @@ fn parse_args() -> Result<Args, String> {
         build_workers: 1,
         loaders: 1,
         socket: None,
+        tcp: None,
+        port_file: None,
+        max_connections: ServeConfig::default().max_connections,
+        idle_timeout_ms: None,
+        max_line_bytes: ServeConfig::default().max_line_bytes,
         timeout_ms: None,
         queue_depth: 64,
         cache_capacity: 128,
@@ -303,6 +331,30 @@ fn parse_args() -> Result<Args, String> {
             "--socket" => {
                 out.socket = Some(args.next().ok_or("--socket needs a path")?);
             }
+            "--tcp" => {
+                out.tcp = Some(args.next().ok_or("--tcp needs HOST:PORT")?);
+            }
+            "--port-file" => {
+                out.port_file = Some(args.next().ok_or("--port-file needs a path")?);
+            }
+            "--max-connections" => {
+                let v = args.next().ok_or("--max-connections needs a count")?;
+                out.max_connections =
+                    v.parse().map_err(|_| format!("bad connection count `{v}`"))?;
+            }
+            "--idle-timeout-ms" => {
+                let v = args.next().ok_or("--idle-timeout-ms needs a count")?;
+                out.idle_timeout_ms =
+                    Some(v.parse().map_err(|_| format!("bad idle timeout `{v}`"))?);
+            }
+            "--max-line-bytes" => {
+                let v = args.next().ok_or("--max-line-bytes needs a count")?;
+                let n: usize = v.parse().map_err(|_| format!("bad line cap `{v}`"))?;
+                if n == 0 {
+                    return Err(format!("bad line cap `{v}` (must be positive)"));
+                }
+                out.max_line_bytes = n;
+            }
             "--timeout-ms" => {
                 let v = args.next().ok_or("--timeout-ms needs a count")?;
                 out.timeout_ms = Some(v.parse().map_err(|_| format!("bad timeout `{v}`"))?);
@@ -355,7 +407,9 @@ fn usage() -> String {
      <file.minic> \
      [--input 1,2,3] [--output K | --cell INST:OFF] [--algo fp|opt|lp|forward|paged] \
      [--no-shortcuts] [--workers N] [--build-workers N] [--queries N] [--repeat R] \
-     [--no-cache] [--paged] [--resident-blocks N] [--socket PATH] [--timeout-ms N] \
+     [--no-cache] [--paged] [--resident-blocks N] [--socket PATH] [--tcp HOST:PORT] \
+     [--port-file PATH] [--max-connections N] [--idle-timeout-ms N] [--max-line-bytes N] \
+     [--timeout-ms N] \
      [--queue-depth N] [--cache-capacity N] [--loaders N] [--max-sessions N] \
      [--memory-budget-mb MB] [--preload [name=]file[@i1;i2;...],...] [--metrics-json PATH] \
      [-o FILE.dsnap] [--from-snapshot] [--snapshot-dir DIR]"
@@ -582,7 +636,10 @@ fn run_from_snapshot(a: &Args, reg: &Registry) -> Result<(), CliError> {
         .time_phase(phases::SNAPSHOT_IO, || {
             dynslice::snapshot::load(std::path::Path::new(&a.file))
         })
-        .map_err(|e| CliError { code: 5, message: format!("{}: {e}", a.file) })?;
+        .map_err(|e| CliError {
+            code: ErrorKind::Io.exit_code(),
+            message: format!("{}: {e}", a.file),
+        })?;
     reg.counter_add("snapshot.read_bytes", nbytes);
     let session = Session::compile(&snap.source).map_err(|d| {
         CliError::from(
@@ -722,6 +779,9 @@ fn run() -> Result<(), CliError> {
                 timeout: a.timeout_ms.map(Duration::from_millis),
                 queue_depth: a.queue_depth,
                 cache_capacity: if a.cache { a.cache_capacity } else { 0 },
+                max_connections: a.max_connections,
+                idle_timeout: a.idle_timeout_ms.map(Duration::from_millis),
+                max_line_bytes: a.max_line_bytes,
             };
             let budget = a.memory_budget_mb.map(|mb| (mb * 1024.0 * 1024.0) as u64);
             let mut manager = SessionManager::new(
@@ -742,17 +802,33 @@ fn run() -> Result<(), CliError> {
                     .map_err(|e| CliError::from(format!("--preload {entry}: {e}")))?;
                 eprintln!("[preloaded session `{}` from {}]", spec.name, spec.program.display());
             }
-            let transport = match &a.socket {
-                Some(path) => Transport::unix(path.into())?,
-                None => Transport::Stdio,
-            };
+            let mut transports = Vec::new();
+            let mut endpoints = Vec::new();
+            if let Some(path) = &a.socket {
+                transports.push(Transport::unix(path.into())?);
+                endpoints.push(format!("unix:{path}"));
+            }
+            if let Some(addr) = &a.tcp {
+                let t = Transport::tcp(addr)?;
+                let bound = t.local_addr().expect("tcp transport knows its bound address");
+                if let Some(pf) = &a.port_file {
+                    // Written only after a successful bind so pollers
+                    // (tests, CI) never race an unbound port.
+                    std::fs::write(pf, format!("{bound}\n"))?;
+                }
+                endpoints.push(format!("tcp:{bound}"));
+                transports.push(t);
+            }
+            if transports.is_empty() {
+                endpoints.push("stdio".into());
+            }
             eprintln!(
                 "[serving {} slices on {} with {} workers]",
                 slicer.name(),
-                a.socket.as_deref().unwrap_or("stdio"),
+                endpoints.join(" + "),
                 config.workers,
             );
-            let summary = serve(&slicer, &manager, &config, transport, &reg)?;
+            let summary = serve(&slicer, &manager, &config, transports, &reg)?;
             slicer.record_query_metrics(&reg);
             eprintln!(
                 "[serve: {} requests, {} ok ({} cached), {} timeouts, {} rejected, \
@@ -767,6 +843,17 @@ fn run() -> Result<(), CliError> {
                 summary.sessions_loaded,
                 summary.sessions_evicted,
                 summary.sessions_unloaded,
+            );
+            eprintln!(
+                "[net: {} connections (peak {}), {} handshakes, {} busy-rejected, \
+                 {} oversized, {}/{} bytes in/out]",
+                summary.connections,
+                summary.connections_peak,
+                summary.handshakes,
+                summary.rejected_busy,
+                summary.oversized,
+                summary.read_bytes,
+                summary.write_bytes,
             );
             emit_metrics_with_sessions(
                 &a,

@@ -1,34 +1,281 @@
 //! A small synchronous client for the slice service.
 //!
-//! Speaks the protocol of [`crate::protocol`] over a Unix socket. One
-//! request per call, blocking until the matching response arrives —
-//! concurrency comes from using one client per thread (the server
-//! interleaves freely), not from pipelining within a client.
+//! Speaks the protocol of [`crate::protocol`] over a Unix socket or a
+//! TCP connection. One request per call, blocking until the matching
+//! response arrives — concurrency comes from using one client per thread
+//! (the server interleaves freely), not from pipelining within a client.
+//!
+//! Connections are made through [`SliceClient::builder`], which performs
+//! the versioned `hello` handshake on connect (mandatory on TCP) and can
+//! retry with exponential backoff when the server answers `busy`:
+//!
+//! ```no_run
+//! # use dynslice::SliceClient;
+//! # use std::time::Duration;
+//! let mut client = SliceClient::builder()
+//!     .tcp("127.0.0.1:4400")
+//!     .timeout(Duration::from_secs(5))
+//!     .retries(3)
+//!     .connect()?;
+//! # Ok::<(), std::io::Error>(())
+//! ```
 
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
 use std::os::unix::net::UnixStream;
-use std::path::Path;
+use std::path::{Path, PathBuf};
+use std::time::Duration;
 
 use dynslice_slicing::Criterion;
 
-use crate::protocol::{Request, Response};
+use crate::protocol::{ErrorKind, Request, Response, ResponseBody, PROTO_VERSION};
 
-/// One connection to a running `dynslice serve --socket` instance.
+/// A connected stream of either socket family.
+enum ClientStream {
+    Unix(UnixStream),
+    Tcp(TcpStream),
+}
+
+impl ClientStream {
+    fn try_clone(&self) -> io::Result<ClientStream> {
+        Ok(match self {
+            ClientStream::Unix(s) => ClientStream::Unix(s.try_clone()?),
+            ClientStream::Tcp(s) => ClientStream::Tcp(s.try_clone()?),
+        })
+    }
+
+    fn set_timeouts(&self, timeout: Option<Duration>) -> io::Result<()> {
+        match self {
+            ClientStream::Unix(s) => {
+                s.set_read_timeout(timeout)?;
+                s.set_write_timeout(timeout)
+            }
+            ClientStream::Tcp(s) => {
+                s.set_read_timeout(timeout)?;
+                s.set_write_timeout(timeout)
+            }
+        }
+    }
+}
+
+impl Read for ClientStream {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        match self {
+            ClientStream::Unix(s) => s.read(buf),
+            ClientStream::Tcp(s) => s.read(buf),
+        }
+    }
+}
+
+impl Write for ClientStream {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        match self {
+            ClientStream::Unix(s) => s.write(buf),
+            ClientStream::Tcp(s) => s.write(buf),
+        }
+    }
+
+    fn flush(&mut self) -> io::Result<()> {
+        match self {
+            ClientStream::Unix(s) => s.flush(),
+            ClientStream::Tcp(s) => s.flush(),
+        }
+    }
+}
+
+/// What the server said about itself in the `hello` handshake.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ServerInfo {
+    /// Oldest protocol revision the server accepts.
+    pub proto_min: u64,
+    /// Newest protocol revision the server accepts.
+    pub proto_max: u64,
+    /// Server identity string, e.g. `dynslice/0.1.0`.
+    pub server: String,
+}
+
+/// Where a [`ClientBuilder`] should dial.
+enum Target {
+    Unix(PathBuf),
+    Tcp(String),
+}
+
+/// Configures and opens a [`SliceClient`] connection.
+///
+/// Built by [`SliceClient::builder`]; see the module docs for an
+/// example. [`ClientBuilder::connect`] dials the target, applies the
+/// socket timeout, performs the `hello` handshake, and — when the
+/// server answers `busy` (its `--max-connections` cap is reached) —
+/// retries up to [`ClientBuilder::retries`] times with exponential
+/// backoff before giving up.
+pub struct ClientBuilder {
+    target: Option<Target>,
+    timeout: Option<Duration>,
+    retries: u32,
+    backoff: Duration,
+    proto: u64,
+}
+
+impl ClientBuilder {
+    /// Dial the service's Unix socket at `path`.
+    pub fn unix(mut self, path: impl AsRef<Path>) -> Self {
+        self.target = Some(Target::Unix(path.as_ref().to_path_buf()));
+        self
+    }
+
+    /// Dial the service's TCP listener at `addr` (`HOST:PORT`).
+    pub fn tcp(mut self, addr: impl Into<String>) -> Self {
+        self.target = Some(Target::Tcp(addr.into()));
+        self
+    }
+
+    /// Socket read/write timeout for every request (default: none —
+    /// block forever). A timed-out read surfaces as a `WouldBlock` /
+    /// `TimedOut` I/O error from [`SliceClient::roundtrip`].
+    pub fn timeout(mut self, timeout: Duration) -> Self {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// How many times to retry the connect+handshake when the server
+    /// answers `busy` (default: 0). Waits [`ClientBuilder::backoff`]
+    /// before the first retry, doubling each time.
+    pub fn retries(mut self, retries: u32) -> Self {
+        self.retries = retries;
+        self
+    }
+
+    /// Initial backoff before the first `busy` retry (default: 25 ms).
+    pub fn backoff(mut self, backoff: Duration) -> Self {
+        self.backoff = backoff;
+        self
+    }
+
+    /// Protocol revision to announce in the handshake. Defaults to
+    /// [`PROTO_VERSION`]; override only to probe version negotiation.
+    pub fn proto(mut self, proto: u64) -> Self {
+        self.proto = proto;
+        self
+    }
+
+    /// Dials the target, handshakes, and returns the connected client.
+    ///
+    /// # Errors
+    /// Connect failures; `busy` after the retries are exhausted (kind
+    /// `WouldBlock`); a handshake refusal such as `unsupported_proto`
+    /// (kind `InvalidData`); ordinary socket I/O failures.
+    pub fn connect(self) -> io::Result<SliceClient> {
+        let target = self.target.ok_or_else(|| {
+            io::Error::new(
+                io::ErrorKind::InvalidInput,
+                "client builder needs a target: call .unix(path) or .tcp(addr)",
+            )
+        })?;
+        let mut backoff = self.backoff.max(Duration::from_millis(1));
+        let mut attempt = 0;
+        loop {
+            match Self::dial(&target, self.timeout, self.proto) {
+                Err(Dial::Busy(message)) if attempt < self.retries => {
+                    let _ = message;
+                    attempt += 1;
+                    std::thread::sleep(backoff);
+                    backoff = backoff.saturating_mul(2);
+                }
+                Err(Dial::Busy(message)) => {
+                    return Err(io::Error::new(
+                        io::ErrorKind::WouldBlock,
+                        format!("server busy after {attempt} retries: {message}"),
+                    ))
+                }
+                Err(Dial::Fatal(e)) => return Err(e),
+                Ok(client) => return Ok(client),
+            }
+        }
+    }
+
+    fn dial(target: &Target, timeout: Option<Duration>, proto: u64) -> Result<SliceClient, Dial> {
+        let stream = match target {
+            Target::Unix(path) => ClientStream::Unix(UnixStream::connect(path)?),
+            Target::Tcp(addr) => {
+                let s = TcpStream::connect(addr.as_str())?;
+                let _ = s.set_nodelay(true);
+                ClientStream::Tcp(s)
+            }
+        };
+        stream.set_timeouts(timeout)?;
+        let writer = stream.try_clone()?;
+        let mut client =
+            SliceClient { reader: BufReader::new(stream), writer, next_id: 1, server: None };
+        // A connection bounced off the `--max-connections` cap never
+        // reaches the handshake: the server writes one `busy` line and
+        // closes, which the hello roundtrip reads back here.
+        match client.roundtrip(&Request::hello(0, proto))?.body {
+            ResponseBody::Hello { proto_min, proto_max, server } => {
+                client.server = Some(ServerInfo { proto_min, proto_max, server });
+                Ok(client)
+            }
+            ResponseBody::Error { kind: ErrorKind::Busy, message } => Err(Dial::Busy(message)),
+            ResponseBody::Error { kind, message } => Err(Dial::Fatal(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("handshake refused ({}): {message}", kind.as_str()),
+            ))),
+            other => Err(Dial::Fatal(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("handshake expected a hello reply, got {other:?}"),
+            ))),
+        }
+    }
+}
+
+/// Why one dial attempt failed: `busy` is retryable, the rest are not.
+enum Dial {
+    Busy(String),
+    Fatal(io::Error),
+}
+
+impl From<io::Error> for Dial {
+    fn from(e: io::Error) -> Self {
+        Dial::Fatal(e)
+    }
+}
+
+/// One connection to a running `dynslice serve` instance.
 pub struct SliceClient {
-    reader: BufReader<UnixStream>,
-    writer: UnixStream,
+    reader: BufReader<ClientStream>,
+    writer: ClientStream,
     next_id: u64,
+    server: Option<ServerInfo>,
 }
 
 impl SliceClient {
-    /// Connects to the service's Unix socket.
+    /// Starts configuring a connection; finish with
+    /// [`ClientBuilder::connect`].
+    pub fn builder() -> ClientBuilder {
+        ClientBuilder {
+            target: None,
+            timeout: None,
+            retries: 0,
+            backoff: Duration::from_millis(25),
+            proto: PROTO_VERSION,
+        }
+    }
+
+    /// Connects to the service's Unix socket without a handshake (the
+    /// pre-TCP wire behavior, preserved for old call sites).
     ///
     /// # Errors
     /// Propagates connection failures.
+    #[deprecated(note = "use SliceClient::builder().unix(path).connect()")]
     pub fn connect_unix(path: impl AsRef<Path>) -> io::Result<Self> {
-        let stream = UnixStream::connect(path)?;
+        let stream = ClientStream::Unix(UnixStream::connect(path)?);
         let writer = stream.try_clone()?;
-        Ok(SliceClient { reader: BufReader::new(stream), writer, next_id: 1 })
+        Ok(SliceClient { reader: BufReader::new(stream), writer, next_id: 1, server: None })
+    }
+
+    /// What the server said about itself in the `hello` handshake
+    /// (`None` on a handshake-free [`Self::connect_unix`] connection).
+    pub fn server(&self) -> Option<&ServerInfo> {
+        self.server.as_ref()
     }
 
     /// Sends `request` verbatim and returns the next response line.

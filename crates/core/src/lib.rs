@@ -54,7 +54,7 @@ pub use dynslice_slicing::{
 };
 pub use dynslice_workloads::{self as workloads, Workload};
 
-pub use client::SliceClient;
+pub use client::{ClientBuilder, ServerInfo, SliceClient};
 pub use server::{serve, ServeConfig, ServeSummary, Transport};
 pub use sessions::{
     LoadError, OwnedSlicer, SessionCounters, SessionEntry, SessionLease, SessionManager,

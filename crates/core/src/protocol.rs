@@ -8,6 +8,7 @@
 //! Requests:
 //!
 //! ```text
+//! {"id":0,"op":"hello","proto":1}
 //! {"id":1,"criterion":"out:0"}
 //! {"id":2,"criterion":"cell:0:4","delay_ms":500}
 //! {"id":3,"op":"load","session":"t1","program":"a.minic","input":"4,5"}
@@ -37,9 +38,18 @@
 //! requests, drain in-flight work, and exit (the protocol twin of
 //! EOF/SIGTERM).
 //!
+//! `hello` is the versioned handshake introduced with the TCP transport:
+//! the client states the protocol revision it speaks
+//! ([`PROTO_VERSION`]) and the server answers with the range it supports
+//! plus its identity string. TCP connections **must** open with `hello`
+//! (any other first line is a typed `handshake_required` error); Unix
+//! sockets and stdio accept it but do not require it, so every pre-TCP
+//! client keeps working against the byte-identical legacy wire format.
+//!
 //! Responses:
 //!
 //! ```text
+//! {"id":0,"ok":true,"proto_max":1,"proto_min":1,"server":"dynslice/0.1.0"}
 //! {"id":1,"ok":true,"algo":"opt","len":3,"stmts":[0,2,5],"cached":false,"micros":180}
 //! {"id":3,"ok":true,"loading":"t1"}
 //! {"id":3,"ok":true,"loaded":"t1","algo":"opt","resident_bytes":8192}
@@ -61,9 +71,23 @@ use dynslice_slicing::Criterion;
 
 use crate::criteria::format_criterion;
 
+/// The protocol revision this build speaks (the `proto` field of a
+/// `hello` request). Bump when the wire format changes incompatibly.
+pub const PROTO_VERSION: u64 = 1;
+
+/// Oldest protocol revision the server still accepts in a `hello`.
+pub const PROTO_MIN: u64 = 1;
+
+/// Newest protocol revision the server accepts in a `hello`.
+pub const PROTO_MAX: u64 = PROTO_VERSION;
+
 /// What a request asks the server to do.
 #[derive(Copy, Clone, Debug, PartialEq, Eq)]
 pub enum Op {
+    /// Open a connection: state the client's protocol revision and learn
+    /// the server's supported range and identity. Mandatory first line on
+    /// TCP; optional elsewhere.
+    Hello,
     /// Answer a slice query.
     Slice,
     /// Build and register a named session (program + input + backend).
@@ -110,6 +134,10 @@ pub struct Request {
     /// `slice` with `wait` blocks on a still-loading session instead of
     /// answering a `loading` error. Omitted on the wire when false.
     pub wait: bool,
+    /// Protocol revision the client speaks; required for [`Op::Hello`],
+    /// absent (and off the wire) for every other op so the legacy
+    /// encodings are untouched.
+    pub proto: Option<u64>,
 }
 
 impl Request {
@@ -125,7 +153,14 @@ impl Request {
             algo: None,
             delay_ms: 0,
             wait: false,
+            proto: None,
         }
+    }
+
+    /// A handshake request announcing the protocol revision the client
+    /// speaks (normally [`PROTO_VERSION`]).
+    pub fn hello(id: u64, proto: u64) -> Self {
+        Request { proto: Some(proto), ..Request::bare(id, Op::Hello) }
     }
 
     /// A slice request for `criterion` against the server's default trace
@@ -217,6 +252,12 @@ impl Request {
             self.session.clone().map(|s| obj.insert("session".into(), Value::Str(s)))
         };
         match self.op {
+            Op::Hello => {
+                obj.insert("op".into(), Value::Str("hello".into()));
+                if let Some(p) = self.proto {
+                    obj.insert("proto".into(), Value::Num(p as f64));
+                }
+            }
             Op::Slice => {
                 put_session();
                 if let Some(c) = &self.criterion {
@@ -278,6 +319,7 @@ impl Request {
         let op = match obj.get("op") {
             None => Op::Slice,
             Some(v) => match v.as_str() {
+                Some("hello") => Op::Hello,
                 Some("slice") => Op::Slice,
                 Some("load") => Op::Load,
                 Some("unload") => Op::Unload,
@@ -304,7 +346,12 @@ impl Request {
         if matches!(session.as_deref(), Some("")) {
             return Err("`session` must be non-empty".into());
         }
+        let proto = match obj.get("proto") {
+            None => None,
+            Some(v) => Some(v.as_u64().ok_or("`proto` must be an unsigned integer")?),
+        };
         match op {
+            Op::Hello if proto.is_none() => return Err("hello request needs a `proto`".into()),
             Op::Slice if criterion.is_none() => {
                 return Err("slice request needs a `criterion`".into())
             }
@@ -326,7 +373,19 @@ impl Request {
             Some(Value::Bool(b)) => *b,
             Some(_) => return Err("`wait` must be a boolean".into()),
         };
-        Ok(Request { id, op, criterion, session, program, snapshot, input, algo, delay_ms, wait })
+        Ok(Request {
+            id,
+            op,
+            criterion,
+            session,
+            program,
+            snapshot,
+            input,
+            algo,
+            delay_ms,
+            wait,
+            proto,
+        })
     }
 }
 
@@ -358,6 +417,25 @@ pub enum ErrorKind {
     /// raced an asynchronous `load`, or a `load` named a session that is
     /// already loading).
     Loading,
+    /// The server's `--max-connections` cap is reached; the connection is
+    /// rejected at accept time and closed. Clients should back off and
+    /// retry ([`crate::client::ClientBuilder::retries`]).
+    Busy,
+    /// A request line exceeded the server's hard length limit; the
+    /// offending line is discarded (bounded memory) and the connection
+    /// keeps serving.
+    Oversized,
+    /// The server is shutting down: the final line written to each live
+    /// connection before a graceful close, and the answer to any request
+    /// that arrives after the drain began.
+    ShuttingDown,
+    /// A TCP connection sent something other than `hello` as its first
+    /// line; the connection is closed.
+    HandshakeRequired,
+    /// A `hello` named a protocol revision outside the server's
+    /// supported `[proto_min, proto_max]` range; the connection is
+    /// closed.
+    UnsupportedProto,
 }
 
 impl ErrorKind {
@@ -373,11 +451,58 @@ impl ErrorKind {
             ErrorKind::Rejected => "rejected",
             ErrorKind::Io => "io",
             ErrorKind::Loading => "loading",
+            ErrorKind::Busy => "busy",
+            ErrorKind::Oversized => "oversized",
+            ErrorKind::ShuttingDown => "shutting_down",
+            ErrorKind::HandshakeRequired => "handshake_required",
+            ErrorKind::UnsupportedProto => "unsupported_proto",
+        }
+    }
+
+    /// The process exit code the `dynslice` CLI maps this kind to — the
+    /// single source of truth shared by `bin/dynslice.rs` and the serve
+    /// loop, so the taxonomy cannot drift between the wire and the shell.
+    ///
+    /// The match is exhaustive on purpose: adding an [`ErrorKind`]
+    /// without deciding its exit code fails to compile.
+    ///
+    /// * `2` — the caller's request was malformed (usage errors).
+    /// * `3` — the request addressed something that does not exist.
+    /// * `4` — the answer was cut off by a configured budget.
+    /// * `5` — the environment failed (I/O).
+    /// * `1` — transient service conditions (retry may succeed).
+    pub fn exit_code(self) -> u8 {
+        match self {
+            ErrorKind::BadRequest => 2,
+            ErrorKind::Oversized => 2,
+            ErrorKind::HandshakeRequired => 2,
+            ErrorKind::UnsupportedProto => 2,
+            ErrorKind::UnknownCriterion => 3,
+            ErrorKind::UnknownSession => 3,
+            ErrorKind::Truncated => 4,
+            ErrorKind::Io => 5,
+            ErrorKind::OverBudget => 1,
+            ErrorKind::Timeout => 1,
+            ErrorKind::Rejected => 1,
+            ErrorKind::Loading => 1,
+            ErrorKind::Busy => 1,
+            ErrorKind::ShuttingDown => 1,
+        }
+    }
+
+    /// Maps a backend failure to its protocol category — shared by the
+    /// serve loop and the CLI so both report the same taxonomy.
+    pub fn from_slice_error(e: &dynslice_slicing::SliceError) -> Self {
+        use dynslice_slicing::SliceError;
+        match e {
+            SliceError::UnknownCriterion => ErrorKind::UnknownCriterion,
+            SliceError::Truncated { .. } => ErrorKind::Truncated,
+            SliceError::Io(_) => ErrorKind::Io,
         }
     }
 
     /// Every kind, for exhaustive protocol tests.
-    pub const ALL: [ErrorKind; 9] = [
+    pub const ALL: [ErrorKind; 14] = [
         ErrorKind::BadRequest,
         ErrorKind::UnknownCriterion,
         ErrorKind::UnknownSession,
@@ -387,6 +512,11 @@ impl ErrorKind {
         ErrorKind::Rejected,
         ErrorKind::Io,
         ErrorKind::Loading,
+        ErrorKind::Busy,
+        ErrorKind::Oversized,
+        ErrorKind::ShuttingDown,
+        ErrorKind::HandshakeRequired,
+        ErrorKind::UnsupportedProto,
     ];
 }
 
@@ -405,6 +535,11 @@ impl std::str::FromStr for ErrorKind {
             "rejected" => ErrorKind::Rejected,
             "io" => ErrorKind::Io,
             "loading" => ErrorKind::Loading,
+            "busy" => ErrorKind::Busy,
+            "oversized" => ErrorKind::Oversized,
+            "shutting_down" => ErrorKind::ShuttingDown,
+            "handshake_required" => ErrorKind::HandshakeRequired,
+            "unsupported_proto" => ErrorKind::UnsupportedProto,
             other => return Err(format!("unknown error kind `{other}`")),
         })
     }
@@ -475,6 +610,16 @@ impl SessionInfo {
 /// The payload of one response line.
 #[derive(Clone, Debug, PartialEq)]
 pub enum ResponseBody {
+    /// Answer to a `hello`: the protocol range this server accepts and
+    /// its identity string.
+    Hello {
+        /// Oldest protocol revision the server accepts.
+        proto_min: u64,
+        /// Newest protocol revision the server accepts.
+        proto_max: u64,
+        /// Server identity, e.g. `dynslice/0.1.0`.
+        server: String,
+    },
     /// A successful slice answer.
     Slice {
         /// The serving algorithm ([`dynslice_slicing::Slicer::name`]).
@@ -547,6 +692,12 @@ impl Response {
         let mut obj = BTreeMap::new();
         obj.insert("id".into(), Value::Num(self.id as f64));
         match &self.body {
+            ResponseBody::Hello { proto_min, proto_max, server } => {
+                obj.insert("ok".into(), Value::Bool(true));
+                obj.insert("proto_min".into(), Value::Num(*proto_min as f64));
+                obj.insert("proto_max".into(), Value::Num(*proto_max as f64));
+                obj.insert("server".into(), Value::Str(server.clone()));
+            }
             ResponseBody::Slice { algo, stmts, cached, micros } => {
                 obj.insert("ok".into(), Value::Bool(true));
                 obj.insert("algo".into(), Value::Str(algo.clone()));
@@ -619,6 +770,18 @@ impl Response {
             ResponseBody::Error { kind, message }
         } else if matches!(obj.get("shutdown"), Some(Value::Bool(true))) {
             ResponseBody::ShutdownAck
+        } else if let Some(server) = obj.get("server") {
+            ResponseBody::Hello {
+                proto_min: obj
+                    .get("proto_min")
+                    .and_then(Value::as_u64)
+                    .ok_or("hello reply needs unsigned `proto_min`")?,
+                proto_max: obj
+                    .get("proto_max")
+                    .and_then(Value::as_u64)
+                    .ok_or("hello reply needs unsigned `proto_max`")?,
+                server: server.as_str().ok_or("`server` must be a string")?.to_string(),
+            }
         } else if let Some(session) = obj.get("loaded") {
             ResponseBody::Loaded {
                 session: session.as_str().ok_or("`loaded` must be a string")?.to_string(),
@@ -698,6 +861,8 @@ mod tests {
             Request::unload(7, "trace-a"),
             Request::list(8),
             Request::shutdown(9),
+            Request::hello(0, PROTO_VERSION),
+            Request::hello(13, 7),
         ];
         for r in reqs {
             let line = r.to_json();
@@ -884,6 +1049,63 @@ mod tests {
                 r#"{"algo":"paged","name":"beta","requests":0,"resident_bytes":64}"#,
                 "]}"
             ),
+        );
+    }
+
+    /// The handshake lines are pinned down to the byte on both sides.
+    #[test]
+    fn hello_wire_bytes_are_pinned() {
+        assert_eq!(Request::hello(0, 1).to_json(), r#"{"id":0,"op":"hello","proto":1}"#);
+        // The ISSUE-form line (no id) parses with the id defaulted.
+        let r = Request::parse(r#"{"op":"hello","proto":1}"#).unwrap();
+        assert_eq!(r, Request::hello(0, 1));
+        assert!(Request::parse(r#"{"op":"hello"}"#).is_err(), "hello needs a proto");
+        assert!(Request::parse(r#"{"op":"hello","proto":-1}"#).is_err(), "negative proto");
+        let reply = Response {
+            id: 0,
+            body: ResponseBody::Hello {
+                proto_min: 1,
+                proto_max: 1,
+                server: "dynslice/0.1.0".into(),
+            },
+        };
+        assert_eq!(
+            reply.to_json(),
+            r#"{"id":0,"ok":true,"proto_max":1,"proto_min":1,"server":"dynslice/0.1.0"}"#,
+        );
+        assert_eq!(Response::parse(&reply.to_json()).unwrap(), reply);
+    }
+
+    /// Every kind maps to a CLI exit code, and the buckets documented on
+    /// [`ErrorKind::exit_code`] hold. The match inside `exit_code` is
+    /// exhaustive, so a new kind without a code is a compile error — this
+    /// test pins the values themselves.
+    #[test]
+    fn exit_codes_cover_every_error_kind() {
+        for kind in ErrorKind::ALL {
+            let code = kind.exit_code();
+            assert!((1..=5).contains(&code), "{} -> {code}", kind.as_str());
+        }
+        assert_eq!(ErrorKind::BadRequest.exit_code(), 2);
+        assert_eq!(ErrorKind::UnknownCriterion.exit_code(), 3);
+        assert_eq!(ErrorKind::UnknownSession.exit_code(), 3);
+        assert_eq!(ErrorKind::Truncated.exit_code(), 4);
+        assert_eq!(ErrorKind::Io.exit_code(), 5);
+        assert_eq!(ErrorKind::Busy.exit_code(), 1);
+        assert_eq!(ErrorKind::ShuttingDown.exit_code(), 1);
+    }
+
+    /// Backend failures map onto the same taxonomy everywhere.
+    #[test]
+    fn slice_errors_map_to_protocol_kinds() {
+        use dynslice_slicing::SliceError;
+        assert_eq!(
+            ErrorKind::from_slice_error(&SliceError::UnknownCriterion),
+            ErrorKind::UnknownCriterion
+        );
+        assert_eq!(
+            ErrorKind::from_slice_error(&SliceError::Io(std::io::Error::other("disk"))),
+            ErrorKind::Io
         );
     }
 

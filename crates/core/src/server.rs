@@ -16,10 +16,25 @@
 //!
 //! Architecture:
 //!
-//! * **Readers** (detached threads) parse request lines from stdin or from
-//!   accepted Unix-socket connections and push jobs onto a **bounded
-//!   queue**. A full queue rejects the request immediately (`rejected`
-//!   error) — backpressure is explicit, never an unbounded buffer.
+//! * **Acceptors** (one detached thread per listener — Unix socket and/or
+//!   TCP, both may listen concurrently) admit connections up to the
+//!   `--max-connections` cap; a connection over the cap is answered with
+//!   a typed `busy` error and closed, so overload is explicit instead of
+//!   an unbounded thread pile-up.
+//! * **Readers** (one detached thread per connection) parse request lines
+//!   and push jobs onto a **bounded queue**. A full queue rejects the
+//!   request immediately (`rejected` error) — backpressure is explicit,
+//!   never an unbounded buffer. Request lines are length-capped on every
+//!   transport (a too-long line is a typed `oversized` error, the rest of
+//!   the line is discarded in bounded memory, and the connection keeps
+//!   serving), and socket reads run on a short timeout tick so idle
+//!   connections can be reaped and shutdown is observed promptly.
+//! * **Handshake**: TCP connections must open with
+//!   `{"op":"hello","proto":1}` — the server answers with its supported
+//!   protocol range and identity; any other first line is a typed
+//!   `handshake_required` error and the connection closes. Unix-socket
+//!   and stdio streams accept `hello` but do not require it, keeping the
+//!   pre-TCP wire format byte-identical for old clients.
 //! * **Workers** (scoped threads, so they can borrow the slicer) pop jobs,
 //!   consult the per-criterion LRU cache of the addressed session, run
 //!   [`Slicer::slice_with_stats`], and write the response to the
@@ -43,11 +58,14 @@
 //!   criterion, unknown session, rejected load, truncated LP slice, or
 //!   I/O failure fails that request only — the server keeps serving.
 //! * **Shutdown** is graceful on stdin EOF, SIGTERM, or a protocol
-//!   `{"op":"shutdown"}`: the queue closes, already-accepted jobs drain,
-//!   and the caller gets a [`ServeSummary`] to fold into the final
-//!   metrics report.
+//!   `{"op":"shutdown"}`: the listeners stop accepting, the queue closes,
+//!   already-accepted jobs drain, TCP connections get a final
+//!   `shutting_down` error line before the close (instead of a silently
+//!   dropped socket), and the caller gets a [`ServeSummary`] to fold into
+//!   the final metrics report.
 
-use std::io::{self, BufRead, BufReader, Write};
+use std::io::{self, Read, Write};
+use std::net::TcpListener;
 use std::os::unix::fs::FileTypeExt;
 use std::os::unix::net::{UnixListener, UnixStream};
 use std::path::PathBuf;
@@ -60,10 +78,21 @@ use dynslice_obs::{phases, Registry};
 use dynslice_slicing::{Criterion, SliceError, Slicer};
 
 use crate::criteria::{parse_criterion, parse_input_tape};
-use crate::protocol::{ErrorKind, Op, Request, Response, ResponseBody};
+use crate::protocol::{
+    ErrorKind, Op, Request, Response, ResponseBody, PROTO_MAX, PROTO_MIN,
+};
 use crate::sessions::{
     LoadError, LruCache, SessionEntry, SessionLease, SessionManager, SessionSpec,
 };
+
+/// The identity string a `hello` reply carries.
+fn server_identity() -> String {
+    format!("dynslice/{}", env!("CARGO_PKG_VERSION"))
+}
+
+/// How often a socket read wakes up empty-handed to check for shutdown
+/// and the idle deadline.
+const READ_TICK: Duration = Duration::from_millis(50);
 
 /// How the server talks to its clients.
 #[derive(Debug)]
@@ -74,6 +103,10 @@ pub enum Transport {
     /// connections; the session ends only on SIGTERM or a `shutdown`
     /// request. The socket file is removed when the server exits.
     Unix(UnixListener, PathBuf),
+    /// A TCP listener. Connections must open with the versioned `hello`
+    /// handshake; on graceful shutdown each live connection gets a final
+    /// `shutting_down` error line before the close.
+    Tcp(TcpListener),
 }
 
 impl Transport {
@@ -123,6 +156,26 @@ impl Transport {
         let listener = UnixListener::bind(&path)?;
         Ok(Transport::Unix(listener, path))
     }
+
+    /// Binds a TCP transport at `addr` (`HOST:PORT`; port `0` asks the
+    /// OS for an ephemeral port — read it back with
+    /// [`Transport::local_addr`]).
+    ///
+    /// # Errors
+    /// Ordinary bind failures (`AddrInUse`, unresolvable host, …).
+    pub fn tcp(addr: &str) -> io::Result<Self> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(Transport::Tcp(listener))
+    }
+
+    /// The bound address of a TCP transport (`None` for stdio and Unix
+    /// sockets). This is how callers learn an ephemeral port.
+    pub fn local_addr(&self) -> Option<std::net::SocketAddr> {
+        match self {
+            Transport::Tcp(listener) => listener.local_addr().ok(),
+            _ => None,
+        }
+    }
 }
 
 /// Tunables for one serve session.
@@ -140,11 +193,31 @@ pub struct ServeConfig {
     /// LRU slice-cache capacity in entries (per session); `0` disables
     /// caching.
     pub cache_capacity: usize,
+    /// Most socket connections served at once; one over the cap is
+    /// answered with a typed `busy` error and closed. `0` disables the
+    /// cap.
+    pub max_connections: usize,
+    /// Reap a socket connection after this much time without a complete
+    /// request line; `None` disables reaping.
+    pub idle_timeout: Option<Duration>,
+    /// Hard cap on one request line's length in bytes (all transports);
+    /// a longer line is a typed `oversized` error and the overflow is
+    /// discarded in bounded memory.
+    pub max_line_bytes: usize,
 }
 
 impl Default for ServeConfig {
     fn default() -> Self {
-        ServeConfig { workers: 4, loaders: 1, timeout: None, queue_depth: 64, cache_capacity: 128 }
+        ServeConfig {
+            workers: 4,
+            loaders: 1,
+            timeout: None,
+            queue_depth: 64,
+            cache_capacity: 128,
+            max_connections: 64,
+            idle_timeout: None,
+            max_line_bytes: 64 * 1024,
+        }
     }
 }
 
@@ -168,8 +241,21 @@ pub struct ServeSummary {
     /// Requests that failed server-side (unknown criterion or session,
     /// truncation, rejected load, I/O).
     pub failed: u64,
-    /// Socket connections accepted (0 for stdio).
+    /// Socket connections admitted to service (0 for stdio).
     pub connections: u64,
+    /// Most connections ever open at once.
+    pub connections_peak: u64,
+    /// Connections bounced off the `--max-connections` cap with a typed
+    /// `busy` error.
+    pub rejected_busy: u64,
+    /// Successful `hello` handshakes.
+    pub handshakes: u64,
+    /// Request lines discarded for exceeding the length cap.
+    pub oversized: u64,
+    /// Protocol bytes read from clients, all transports.
+    pub read_bytes: u64,
+    /// Protocol bytes written to clients, all transports.
+    pub write_bytes: u64,
     /// Most jobs ever being answered at once.
     pub in_flight_peak: u64,
     /// Deepest the request queue ever got.
@@ -198,6 +284,12 @@ impl ServeSummary {
         reg.counter_add("server.bad_requests", self.bad_requests);
         reg.counter_add("server.failed", self.failed);
         reg.counter_add("server.connections", self.connections);
+        reg.counter_add("server.rejected_busy", self.rejected_busy);
+        reg.counter_add("server.handshakes", self.handshakes);
+        reg.counter_add("server.oversized", self.oversized);
+        reg.counter_add("net.read_bytes", self.read_bytes);
+        reg.counter_add("net.write_bytes", self.write_bytes);
+        reg.gauge_set("server.connections_peak", self.connections_peak as f64);
         reg.counter_add("server.sessions_loaded", self.sessions_loaded);
         reg.counter_add("server.sessions_evicted", self.sessions_evicted);
         reg.counter_add("server.sessions_unloaded", self.sessions_unloaded);
@@ -211,18 +303,22 @@ impl ServeSummary {
 /// A response sink shared by every job from one connection.
 struct Sink {
     out: Mutex<Box<dyn Write + Send>>,
+    /// The server-wide written-bytes counter (`net.write_bytes`).
+    written: Arc<AtomicU64>,
 }
 
 impl Sink {
-    fn new(out: Box<dyn Write + Send>) -> Arc<Self> {
-        Arc::new(Sink { out: Mutex::new(out) })
+    fn new(out: Box<dyn Write + Send>, written: Arc<AtomicU64>) -> Arc<Self> {
+        Arc::new(Sink { out: Mutex::new(out), written })
     }
 
     /// Writes one response line. A dead connection is not an error — the
     /// client hung up, and its remaining responses go nowhere.
     fn send(&self, response: &Response) {
+        let line = response.to_json();
+        self.written.fetch_add(line.len() as u64 + 1, Ordering::Relaxed);
         let mut out = self.out.lock().unwrap();
-        let _ = writeln!(out, "{}", response.to_json());
+        let _ = writeln!(out, "{line}");
         let _ = out.flush();
     }
 }
@@ -249,6 +345,9 @@ struct Job {
     kind: JobKind,
     deadline: Option<Instant>,
     sink: Arc<Sink>,
+    /// The connection the request arrived on (0 for stdio), threaded to
+    /// the session manager's per-connection lease accounting.
+    conn: u64,
 }
 
 /// A session build queued for the loader pool. No sink: the `loading`
@@ -311,6 +410,13 @@ impl<T> Queue<T> {
         self.inner.lock().unwrap().closed = true;
         self.available.notify_all();
     }
+
+    /// Whether [`Queue::close`] has run — distinguishes a push bounced by
+    /// backpressure (`rejected`) from one bounced by the shutdown drain
+    /// (`shutting_down`).
+    fn is_closed(&self) -> bool {
+        self.inner.lock().unwrap().closed
+    }
 }
 
 /// State shared between readers, workers, and the supervisor.
@@ -323,6 +429,9 @@ struct Shared {
     /// carry their own.
     cache: Mutex<LruCache>,
     timeout: Option<Duration>,
+    max_connections: usize,
+    idle_timeout: Option<Duration>,
+    max_line_bytes: usize,
     shutdown: AtomicBool,
     readers_active: AtomicU64,
     received: AtomicU64,
@@ -334,6 +443,15 @@ struct Shared {
     bad_requests: AtomicU64,
     failed: AtomicU64,
     connections: AtomicU64,
+    open_connections: AtomicU64,
+    connections_peak: AtomicU64,
+    rejected_busy: AtomicU64,
+    handshakes: AtomicU64,
+    oversized: AtomicU64,
+    /// Behind `Arc`s of their own so sinks and line readers can count
+    /// without holding the whole shared state.
+    net_read: Arc<AtomicU64>,
+    net_write: Arc<AtomicU64>,
     in_flight: AtomicU64,
     in_flight_peak: AtomicU64,
     queue_peak: AtomicU64,
@@ -347,6 +465,9 @@ impl Shared {
             loads: Queue::new(config.queue_depth),
             cache: Mutex::new(LruCache::new(config.cache_capacity)),
             timeout: config.timeout,
+            max_connections: config.max_connections,
+            idle_timeout: config.idle_timeout,
+            max_line_bytes: config.max_line_bytes.max(1),
             shutdown: AtomicBool::new(false),
             readers_active: AtomicU64::new(0),
             received: AtomicU64::new(0),
@@ -358,6 +479,13 @@ impl Shared {
             bad_requests: AtomicU64::new(0),
             failed: AtomicU64::new(0),
             connections: AtomicU64::new(0),
+            open_connections: AtomicU64::new(0),
+            connections_peak: AtomicU64::new(0),
+            rejected_busy: AtomicU64::new(0),
+            handshakes: AtomicU64::new(0),
+            oversized: AtomicU64::new(0),
+            net_read: Arc::new(AtomicU64::new(0)),
+            net_write: Arc::new(AtomicU64::new(0)),
             in_flight: AtomicU64::new(0),
             in_flight_peak: AtomicU64::new(0),
             queue_peak: AtomicU64::new(0),
@@ -369,7 +497,12 @@ impl Shared {
         match kind {
             ErrorKind::Timeout => self.timeouts.fetch_add(1, Ordering::Relaxed),
             ErrorKind::Rejected => self.rejected.fetch_add(1, Ordering::Relaxed),
+            // The drain answers like a rejection for summary purposes,
+            // with its own protocol tag.
+            ErrorKind::ShuttingDown => self.rejected.fetch_add(1, Ordering::Relaxed),
             ErrorKind::BadRequest => self.bad_requests.fetch_add(1, Ordering::Relaxed),
+            ErrorKind::Busy => self.rejected_busy.fetch_add(1, Ordering::Relaxed),
+            ErrorKind::Oversized => self.oversized.fetch_add(1, Ordering::Relaxed),
             _ => self.failed.fetch_add(1, Ordering::Relaxed),
         };
         Response { id, body: ResponseBody::Error { kind, message: message.into() } }
@@ -387,6 +520,12 @@ impl Shared {
             bad_requests: self.bad_requests.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
             connections: self.connections.load(Ordering::Relaxed),
+            connections_peak: self.connections_peak.load(Ordering::Relaxed),
+            rejected_busy: self.rejected_busy.load(Ordering::Relaxed),
+            handshakes: self.handshakes.load(Ordering::Relaxed),
+            oversized: self.oversized.load(Ordering::Relaxed),
+            read_bytes: self.net_read.load(Ordering::Relaxed),
+            write_bytes: self.net_write.load(Ordering::Relaxed),
             in_flight_peak: self.in_flight_peak.load(Ordering::Relaxed),
             queue_peak: self.queue_peak.load(Ordering::Relaxed),
             load_queue_peak: self.loads_peak.load(Ordering::Relaxed),
@@ -450,52 +589,248 @@ fn plan(request: Request, shared: &Shared) -> Result<JobKind, Response> {
         }
         Op::Unload => Ok(JobKind::Unload(request.session.expect("protocol validates unload"))),
         Op::List => Ok(JobKind::List),
+        Op::Hello => unreachable!("hello is handled inline by the reader"),
         Op::Shutdown => unreachable!("shutdown is handled inline by the reader"),
     }
 }
 
-/// Parses request lines from `input`, answering protocol errors inline and
-/// queueing well-formed jobs. Returns at EOF, on a read error, or once
-/// shutdown is underway.
-fn read_requests(input: impl BufRead, sink: &Arc<Sink>, shared: &Shared) {
-    for line in input.lines() {
-        let Ok(line) = line else { break };
-        if line.trim().is_empty() {
-            continue;
-        }
-        if shared.shutdown.load(Ordering::SeqCst) {
-            break;
-        }
-        shared.received.fetch_add(1, Ordering::Relaxed);
-        let request = match Request::parse(&line) {
-            Ok(r) => r,
-            Err(msg) => {
-                sink.send(&shared.error(0, ErrorKind::BadRequest, msg));
-                continue;
+/// One read attempt's outcome (see [`LineReader`]).
+enum LineRead {
+    /// A complete request line (newline stripped).
+    Line(String),
+    /// The line under construction blew the length cap; it has been
+    /// dropped and its remaining bytes will be discarded as they arrive.
+    Oversized,
+    /// The read timed out with no complete line — the caller's chance to
+    /// check shutdown and the idle deadline.
+    Idle,
+    /// The peer closed the connection (or the read failed terminally).
+    Eof,
+}
+
+/// A length-capped line reader over a raw byte stream.
+///
+/// This replaces `BufRead::read_line`, whose buffer grows without bound:
+/// one client holding a newline hostage could OOM the server. Here at
+/// most `max` bytes of one line are ever retained — when a line exceeds
+/// the cap it is reported [`LineRead::Oversized`] once and the overflow
+/// is discarded chunk by chunk until its newline arrives, after which the
+/// stream is back in sync. Socket streams run with a read timeout, which
+/// surfaces as [`LineRead::Idle`].
+struct LineReader<R: Read> {
+    inner: R,
+    pending: Vec<u8>,
+    chunk: [u8; 4096],
+    max: usize,
+    discarding: bool,
+    /// The server-wide read-bytes counter (`net.read_bytes`).
+    read_bytes: Arc<AtomicU64>,
+}
+
+impl<R: Read> LineReader<R> {
+    fn new(inner: R, max: usize, read_bytes: Arc<AtomicU64>) -> Self {
+        LineReader { inner, pending: Vec::new(), chunk: [0; 4096], max, discarding: false, read_bytes }
+    }
+
+    fn next_line(&mut self) -> LineRead {
+        loop {
+            let newline = self.pending.iter().position(|b| *b == b'\n');
+            if self.discarding {
+                match newline {
+                    Some(pos) => {
+                        // The hostile line's tail ends here; whatever
+                        // followed it is the start of the next line.
+                        self.pending.drain(..=pos);
+                        self.discarding = false;
+                        continue;
+                    }
+                    None => self.pending.clear(),
+                }
+            } else if let Some(pos) = newline {
+                if pos > self.max {
+                    // The whole line arrived in one gulp but is still
+                    // over the cap.
+                    self.pending.drain(..=pos);
+                    return LineRead::Oversized;
+                }
+                let mut line: Vec<u8> = self.pending.drain(..=pos).collect();
+                line.pop();
+                if line.last() == Some(&b'\r') {
+                    line.pop();
+                }
+                return LineRead::Line(String::from_utf8_lossy(&line).into_owned());
+            } else if self.pending.len() > self.max {
+                self.pending.clear();
+                self.discarding = true;
+                return LineRead::Oversized;
             }
-        };
-        if request.op == Op::Shutdown {
-            sink.send(&Response { id: request.id, body: ResponseBody::ShutdownAck });
-            shared.shutdown.store(true, Ordering::SeqCst);
-            break;
-        }
-        let id = request.id;
-        let kind = match plan(request, shared) {
-            Ok(kind) => kind,
-            Err(response) => {
-                sink.send(&response);
-                continue;
+            match self.inner.read(&mut self.chunk) {
+                Ok(0) => return LineRead::Eof,
+                Ok(n) => {
+                    self.read_bytes.fetch_add(n as u64, Ordering::Relaxed);
+                    self.pending.extend_from_slice(&self.chunk[..n]);
+                }
+                Err(e)
+                    if e.kind() == io::ErrorKind::WouldBlock
+                        || e.kind() == io::ErrorKind::TimedOut =>
+                {
+                    return LineRead::Idle
+                }
+                Err(e) if e.kind() == io::ErrorKind::Interrupted => {}
+                Err(_) => return LineRead::Eof,
             }
-        };
-        let job = Job {
-            id,
-            kind,
-            deadline: shared.timeout.map(|t| Instant::now() + t),
-            sink: Arc::clone(sink),
-        };
-        if let Err(job) = shared.queue.push(job, &shared.queue_peak) {
-            job.sink.send(&shared.error(job.id, ErrorKind::Rejected, "request queue full"));
         }
+    }
+}
+
+/// Per-connection policy knobs (what distinguishes a TCP connection from
+/// a Unix-socket one from the stdio stream).
+struct ConnPolicy {
+    /// The first line must be a valid `hello` (TCP).
+    require_hello: bool,
+    /// On graceful shutdown, send a final `shutting_down` error line
+    /// before closing instead of silently dropping the socket (TCP).
+    farewell: bool,
+    /// Reap the connection after this long without a complete line
+    /// (socket transports; stdio blocks forever as it always did).
+    idle: Option<Duration>,
+    /// Connection id for lease accounting (0 = stdio).
+    conn: u64,
+}
+
+/// Parses request lines from `input`, answering protocol errors inline
+/// and queueing well-formed jobs. Returns at EOF, on a read error, when
+/// the connection idles out, or once shutdown is underway.
+fn serve_connection(input: impl Read, sink: &Arc<Sink>, shared: &Shared, policy: &ConnPolicy) {
+    let mut lines =
+        LineReader::new(input, shared.max_line_bytes, Arc::clone(&shared.net_read));
+    let mut handshaken = !policy.require_hello;
+    let mut last_activity = Instant::now();
+    // Set when this very connection sent the `shutdown` op: it already
+    // got the ack, so it does not also get the farewell.
+    let mut own_shutdown = false;
+    loop {
+        match lines.next_line() {
+            LineRead::Eof => return,
+            LineRead::Idle => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                if policy.idle.is_some_and(|limit| last_activity.elapsed() >= limit) {
+                    return;
+                }
+            }
+            LineRead::Oversized => {
+                last_activity = Instant::now();
+                shared.received.fetch_add(1, Ordering::Relaxed);
+                sink.send(&shared.error(
+                    0,
+                    ErrorKind::Oversized,
+                    format!("request line exceeds {} bytes", shared.max_line_bytes),
+                ));
+            }
+            LineRead::Line(line) => {
+                last_activity = Instant::now();
+                if line.trim().is_empty() {
+                    continue;
+                }
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    break;
+                }
+                shared.received.fetch_add(1, Ordering::Relaxed);
+                let request = match Request::parse(&line) {
+                    Ok(r) => r,
+                    Err(msg) => {
+                        if !handshaken {
+                            sink.send(&shared.error(
+                                0,
+                                ErrorKind::HandshakeRequired,
+                                "connection must open with {\"op\":\"hello\",\"proto\":1}",
+                            ));
+                            return;
+                        }
+                        sink.send(&shared.error(0, ErrorKind::BadRequest, msg));
+                        continue;
+                    }
+                };
+                if request.op == Op::Hello {
+                    let proto = request.proto.expect("protocol validates hello");
+                    if !(PROTO_MIN..=PROTO_MAX).contains(&proto) {
+                        sink.send(&shared.error(
+                            request.id,
+                            ErrorKind::UnsupportedProto,
+                            format!(
+                                "protocol revision {proto} unsupported (server speaks \
+                                 {PROTO_MIN}..={PROTO_MAX})"
+                            ),
+                        ));
+                        return;
+                    }
+                    handshaken = true;
+                    shared.handshakes.fetch_add(1, Ordering::Relaxed);
+                    shared.ok.fetch_add(1, Ordering::Relaxed);
+                    sink.send(&Response {
+                        id: request.id,
+                        body: ResponseBody::Hello {
+                            proto_min: PROTO_MIN,
+                            proto_max: PROTO_MAX,
+                            server: server_identity(),
+                        },
+                    });
+                    continue;
+                }
+                if !handshaken {
+                    sink.send(&shared.error(
+                        request.id,
+                        ErrorKind::HandshakeRequired,
+                        "connection must open with {\"op\":\"hello\",\"proto\":1}",
+                    ));
+                    return;
+                }
+                if request.op == Op::Shutdown {
+                    sink.send(&Response { id: request.id, body: ResponseBody::ShutdownAck });
+                    shared.shutdown.store(true, Ordering::SeqCst);
+                    own_shutdown = true;
+                    break;
+                }
+                let id = request.id;
+                let kind = match plan(request, shared) {
+                    Ok(kind) => kind,
+                    Err(response) => {
+                        sink.send(&response);
+                        continue;
+                    }
+                };
+                let job = Job {
+                    id,
+                    kind,
+                    deadline: shared.timeout.map(|t| Instant::now() + t),
+                    sink: Arc::clone(sink),
+                    conn: policy.conn,
+                };
+                if let Err(job) = shared.queue.push(job, &shared.queue_peak) {
+                    let (kind, msg) = if shared.queue.is_closed() {
+                        (ErrorKind::ShuttingDown, "server is shutting down")
+                    } else {
+                        (ErrorKind::Rejected, "request queue full")
+                    };
+                    job.sink.send(&shared.error(job.id, kind, msg));
+                }
+            }
+        }
+    }
+    // Shutdown path: connections that asked for the shutdown got their
+    // ack; every other farewell-enabled (TCP) connection gets one typed
+    // `shutting_down` line so the close is never a bare EOF. The farewell
+    // is not a failed request, so it bypasses the error counters.
+    if policy.farewell && !own_shutdown {
+        sink.send(&Response {
+            id: 0,
+            body: ResponseBody::Error {
+                kind: ErrorKind::ShuttingDown,
+                message: "server is shutting down".into(),
+            },
+        });
     }
 }
 
@@ -611,13 +946,14 @@ fn checkout_session(
     name: &str,
     wait: bool,
     deadline: Option<Instant>,
+    conn: u64,
 ) -> Checkout {
     loop {
-        if let Some(lease) = manager.checkout(name) {
+        if let Some(lease) = manager.checkout(name, conn) {
             return Checkout::Ready(lease);
         }
         if !manager.is_loading(name) {
-            return match manager.checkout(name) {
+            return match manager.checkout(name, conn) {
                 Some(lease) => Checkout::Ready(lease),
                 None => Checkout::Missing,
             };
@@ -653,7 +989,7 @@ fn answer<S: Slicer + ?Sized>(
             reg,
         ),
         JobKind::Slice { criterion, session: Some(name), delay_ms, wait } => {
-            match checkout_session(manager, name, *wait, job.deadline) {
+            match checkout_session(manager, name, *wait, job.deadline, job.conn) {
                 Checkout::Missing => shared.error(
                     job.id,
                     ErrorKind::UnknownSession,
@@ -808,9 +1144,105 @@ fn loader_loop(manager: &SessionManager, shared: &Shared, reg: &Registry) {
     }
 }
 
-/// Runs the slice service until its transport ends (stdin EOF), SIGTERM
-/// arrives, or a client sends `{"op":"shutdown"}`; accepted requests are
-/// drained before returning.
+/// A listener of either socket family, so one acceptor loop serves both.
+enum AnyListener {
+    Unix(UnixListener),
+    Tcp(TcpListener),
+}
+
+impl AnyListener {
+    fn set_nonblocking(&self) -> io::Result<()> {
+        match self {
+            AnyListener::Unix(l) => l.set_nonblocking(true),
+            AnyListener::Tcp(l) => l.set_nonblocking(true),
+        }
+    }
+
+    /// Accepts one connection and prepares it for service: blocking
+    /// reads with the [`READ_TICK`] timeout, split into a reader half
+    /// and a writer half.
+    #[allow(clippy::type_complexity)]
+    fn accept(&self) -> io::Result<(Box<dyn Read + Send>, Box<dyn Write + Send>)> {
+        match self {
+            AnyListener::Unix(l) => {
+                let (stream, _) = l.accept()?;
+                stream.set_nonblocking(false)?;
+                stream.set_read_timeout(Some(READ_TICK))?;
+                let reader = stream.try_clone()?;
+                Ok((Box::new(reader), Box::new(stream)))
+            }
+            AnyListener::Tcp(l) => {
+                let (stream, _) = l.accept()?;
+                stream.set_nonblocking(false)?;
+                stream.set_read_timeout(Some(READ_TICK))?;
+                let _ = stream.set_nodelay(true);
+                let reader = stream.try_clone()?;
+                Ok((Box::new(reader), Box::new(stream)))
+            }
+        }
+    }
+}
+
+/// Accepts connections until shutdown, enforcing the connection cap and
+/// spawning one detached reader thread per admitted connection.
+fn acceptor_loop(
+    listener: AnyListener,
+    require_hello: bool,
+    farewell: bool,
+    shared: Arc<Shared>,
+) {
+    listener.set_nonblocking().expect("set_nonblocking on listener");
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        match listener.accept() {
+            Ok((reader, writer)) => {
+                let sink = Sink::new(writer, Arc::clone(&shared.net_write));
+                let open = shared.open_connections.load(Ordering::Relaxed);
+                if shared.max_connections > 0 && open >= shared.max_connections as u64 {
+                    // Typed rejection, then drop: the client learns it
+                    // should back off instead of staring at a dead socket.
+                    sink.send(&shared.error(
+                        0,
+                        ErrorKind::Busy,
+                        format!(
+                            "server is at its connection limit ({})",
+                            shared.max_connections
+                        ),
+                    ));
+                    continue;
+                }
+                let conn = shared.connections.fetch_add(1, Ordering::Relaxed) + 1;
+                let open = shared.open_connections.fetch_add(1, Ordering::Relaxed) + 1;
+                shared.connections_peak.fetch_max(open, Ordering::Relaxed);
+                shared.readers_active.fetch_add(1, Ordering::SeqCst);
+                let shared = Arc::clone(&shared);
+                thread::spawn(move || {
+                    let policy = ConnPolicy {
+                        require_hello,
+                        farewell,
+                        idle: shared.idle_timeout,
+                        conn,
+                    };
+                    serve_connection(reader, &sink, &shared, &policy);
+                    shared.open_connections.fetch_sub(1, Ordering::Relaxed);
+                    shared.readers_active.fetch_sub(1, Ordering::SeqCst);
+                });
+            }
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                thread::sleep(Duration::from_millis(10));
+            }
+            Err(_) => break,
+        }
+    }
+    shared.readers_active.fetch_sub(1, Ordering::SeqCst);
+}
+
+/// Runs the slice service until its transports end (stdin EOF, every
+/// connection closed), SIGTERM arrives, or a client sends
+/// `{"op":"shutdown"}`; accepted requests are drained before returning.
+///
+/// `transports` may hold several listeners — typically a Unix socket and
+/// a TCP listener serving concurrently; an empty vector is the stdio
+/// transport.
 ///
 /// `slicer` serves sessionless requests (the trace the server was
 /// launched with); `manager` owns the named sessions that `load` creates.
@@ -828,17 +1260,21 @@ pub fn serve<S: Slicer + ?Sized>(
     slicer: &S,
     manager: &SessionManager,
     config: &ServeConfig,
-    transport: Transport,
+    transports: Vec<Transport>,
     reg: &Registry,
 ) -> io::Result<ServeSummary> {
     let start = Instant::now();
     SIGTERM_RECEIVED.store(false, Ordering::SeqCst);
     install_sigterm_handler();
     let shared = Arc::new(Shared::new(config));
-    let socket_path = match &transport {
-        Transport::Unix(_, path) => Some(path.clone()),
-        Transport::Stdio => None,
-    };
+    let transports = if transports.is_empty() { vec![Transport::Stdio] } else { transports };
+    let socket_paths: Vec<PathBuf> = transports
+        .iter()
+        .filter_map(|t| match t {
+            Transport::Unix(_, path) => Some(path.clone()),
+            _ => None,
+        })
+        .collect();
 
     thread::scope(|scope| {
         let mut workers = Vec::new();
@@ -854,45 +1290,35 @@ pub fn serve<S: Slicer + ?Sized>(
         // Readers block on I/O that no signal reliably interrupts, so they
         // run detached with `'static` state and are simply abandoned at
         // process exit if a connection never closes.
-        shared.readers_active.fetch_add(1, Ordering::SeqCst);
-        match transport {
-            Transport::Stdio => {
-                let shared = Arc::clone(&shared);
-                let sink = Sink::new(Box::new(io::stdout()));
-                thread::spawn(move || {
-                    read_requests(io::stdin().lock(), &sink, &shared);
-                    shared.readers_active.fetch_sub(1, Ordering::SeqCst);
-                });
-            }
-            Transport::Unix(listener, _) => {
-                let shared = Arc::clone(&shared);
-                thread::spawn(move || {
-                    listener
-                        .set_nonblocking(true)
-                        .expect("set_nonblocking on unix listener");
-                    while !shared.shutdown.load(Ordering::SeqCst) {
-                        match listener.accept() {
-                            Ok((stream, _)) => {
-                                shared.connections.fetch_add(1, Ordering::Relaxed);
-                                stream.set_nonblocking(false).expect("reset stream blocking");
-                                let sink = Sink::new(Box::new(
-                                    stream.try_clone().expect("clone unix stream"),
-                                ));
-                                let shared = Arc::clone(&shared);
-                                shared.readers_active.fetch_add(1, Ordering::SeqCst);
-                                thread::spawn(move || {
-                                    read_requests(BufReader::new(stream), &sink, &shared);
-                                    shared.readers_active.fetch_sub(1, Ordering::SeqCst);
-                                });
-                            }
-                            Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                                thread::sleep(Duration::from_millis(10));
-                            }
-                            Err(_) => break,
-                        }
-                    }
-                    shared.readers_active.fetch_sub(1, Ordering::SeqCst);
-                });
+        for transport in transports {
+            shared.readers_active.fetch_add(1, Ordering::SeqCst);
+            match transport {
+                Transport::Stdio => {
+                    let shared = Arc::clone(&shared);
+                    let sink = Sink::new(Box::new(io::stdout()), Arc::clone(&shared.net_write));
+                    thread::spawn(move || {
+                        let policy = ConnPolicy {
+                            require_hello: false,
+                            farewell: false,
+                            idle: None,
+                            conn: 0,
+                        };
+                        serve_connection(io::stdin().lock(), &sink, &shared, &policy);
+                        shared.readers_active.fetch_sub(1, Ordering::SeqCst);
+                    });
+                }
+                Transport::Unix(listener, _) => {
+                    let shared = Arc::clone(&shared);
+                    thread::spawn(move || {
+                        acceptor_loop(AnyListener::Unix(listener), false, false, shared)
+                    });
+                }
+                Transport::Tcp(listener) => {
+                    let shared = Arc::clone(&shared);
+                    thread::spawn(move || {
+                        acceptor_loop(AnyListener::Tcp(listener), true, true, shared)
+                    });
+                }
             }
         }
 
@@ -920,7 +1346,7 @@ pub fn serve<S: Slicer + ?Sized>(
         shared.loads.close();
     });
 
-    if let Some(path) = socket_path {
+    for path in socket_paths {
         let _ = std::fs::remove_file(path);
     }
     reg.phase_add(phases::SERVE, start.elapsed());
@@ -940,7 +1366,7 @@ mod tests {
     fn queue_rejects_when_full_and_drains_after_close() {
         let queue = Queue::new(1);
         let peak = AtomicU64::new(0);
-        let sink = Sink::new(Box::new(io::sink()));
+        let sink = Sink::new(Box::new(io::sink()), Arc::new(AtomicU64::new(0)));
         let job = |id| Job {
             id,
             kind: JobKind::Slice {
@@ -951,15 +1377,76 @@ mod tests {
             },
             deadline: None,
             sink: Arc::clone(&sink),
+            conn: 0,
         };
         assert!(queue.push(job(1), &peak).is_ok());
         let bounced = queue.push(job(2), &peak).unwrap_err();
         assert_eq!(bounced.id, 2);
+        assert!(!queue.is_closed());
         queue.close();
+        assert!(queue.is_closed());
         assert!(queue.push(job(3), &peak).is_err(), "closed queue rejects");
         assert_eq!(queue.pop().map(|j| j.id), Some(1), "accepted job survives close");
         assert!(queue.pop().is_none());
         assert_eq!(peak.load(Ordering::Relaxed), 1);
+    }
+
+    fn lines_over(input: &[u8], max: usize) -> LineReader<&[u8]> {
+        LineReader::new(input, max, Arc::new(AtomicU64::new(0)))
+    }
+
+    /// The bounded reader: whole lines come out newline-stripped, CRLF
+    /// is tolerated, EOF ends the stream, and several lines arriving in
+    /// one read are split correctly.
+    #[test]
+    fn line_reader_splits_and_strips() {
+        let mut lines = lines_over(b"one\ntwo\r\n\nthree\n", 64);
+        for expected in ["one", "two", "", "three"] {
+            match lines.next_line() {
+                LineRead::Line(l) => assert_eq!(l, expected),
+                _ => panic!("expected a line"),
+            }
+        }
+        assert!(matches!(lines.next_line(), LineRead::Eof));
+    }
+
+    /// The OOM fix: a line past the cap is reported `Oversized` exactly
+    /// once with at most `max`+chunk bytes retained, the overflow is
+    /// discarded, and the stream resynchronizes on the next newline.
+    #[test]
+    fn line_reader_caps_hostile_lines_and_resyncs() {
+        let mut input = vec![b'x'; 10_000];
+        input.extend_from_slice(b"\n{\"id\":1}\n");
+        let mut lines = lines_over(&input, 16);
+        assert!(matches!(lines.next_line(), LineRead::Oversized));
+        assert!(lines.pending.len() <= 16 + 4096, "bounded memory while discarding");
+        match lines.next_line() {
+            LineRead::Line(l) => assert_eq!(l, "{\"id\":1}"),
+            _ => panic!("stream must resync after the oversized line"),
+        }
+        assert!(matches!(lines.next_line(), LineRead::Eof));
+
+        // A line of exactly the cap passes; one byte more does not.
+        let mut exact = vec![b'y'; 16];
+        exact.push(b'\n');
+        let mut lines = lines_over(&exact, 16);
+        assert!(matches!(lines.next_line(), LineRead::Line(_)));
+        let mut over = vec![b'y'; 17];
+        over.push(b'\n');
+        let mut lines = lines_over(&over, 16);
+        assert!(matches!(lines.next_line(), LineRead::Oversized));
+    }
+
+    /// An oversized line never starves the read-bytes counter and an
+    /// unterminated hostile stream (no newline before EOF) terminates.
+    #[test]
+    fn line_reader_counts_bytes_and_survives_unterminated_garbage() {
+        let counter = Arc::new(AtomicU64::new(0));
+        let input: Vec<u8> = vec![b'z'; 9000];
+        let mut lines = LineReader::new(&input[..], 8, Arc::clone(&counter));
+        assert!(matches!(lines.next_line(), LineRead::Oversized));
+        assert!(matches!(lines.next_line(), LineRead::Eof));
+        assert_eq!(counter.load(Ordering::Relaxed), 9000);
     }
 
     /// The pre-reply deadline recheck: an ok answer that went stale on

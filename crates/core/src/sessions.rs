@@ -29,7 +29,7 @@
 //! [`SessionReport`] under their name, so a run that loaded, queried,
 //! and evicted a trace still accounts for it.
 
-use std::collections::{BTreeMap, HashMap};
+use std::collections::{BTreeMap, BTreeSet, HashMap};
 use std::io;
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -328,6 +328,13 @@ pub struct SessionEntry {
     pub(crate) cache_misses: AtomicU64,
     in_flight: AtomicU64,
     last_used: AtomicU64,
+    /// Leases ever granted (one per slice query routed here).
+    leases: AtomicU64,
+    /// Most leases held at once — how contended the session has been.
+    lease_peak: AtomicU64,
+    /// Distinct connection ids that have leased this session (0 is the
+    /// stdio stream), for per-connection accounting in the final report.
+    conns: Mutex<BTreeSet<u64>>,
 }
 
 impl SessionEntry {
@@ -357,6 +364,16 @@ impl SessionEntry {
         bytes
     }
 
+    /// Distinct connections that have leased this session so far.
+    pub fn client_connections(&self) -> u64 {
+        self.conns.lock().unwrap().len() as u64
+    }
+
+    /// Most leases this session has held at once.
+    pub fn lease_peak(&self) -> u64 {
+        self.lease_peak.load(Ordering::Relaxed)
+    }
+
     fn report(&self, evicted: bool) -> SessionReport {
         let mut report = SessionReport::default();
         report.counters.insert("requests".into(), self.requests.load(Ordering::Relaxed));
@@ -364,7 +381,10 @@ impl SessionEntry {
         report
             .counters
             .insert("cache_misses".into(), self.cache_misses.load(Ordering::Relaxed));
+        report.counters.insert("leases".into(), self.leases.load(Ordering::Relaxed));
+        report.counters.insert("client_connections".into(), self.client_connections());
         report.gauges.insert("resident_bytes".into(), self.resident_bytes() as f64);
+        report.gauges.insert("lease_peak".into(), self.lease_peak() as f64);
         if evicted {
             report.gauges.insert("evicted".into(), 1.0);
         }
@@ -602,6 +622,9 @@ impl SessionManager {
             cache_misses: AtomicU64::new(0),
             in_flight: AtomicU64::new(0),
             last_used: AtomicU64::new(0),
+            leases: AtomicU64::new(0),
+            lease_peak: AtomicU64::new(0),
+            conns: Mutex::new(BTreeSet::new()),
         });
 
         let mut inner = self.inner.lock().unwrap();
@@ -737,12 +760,19 @@ impl SessionManager {
 
     /// Leases the named session for one query, bumping its LRU stamp and
     /// pinning it against eviction; `None` if it is not resident.
-    pub fn checkout(&self, name: &str) -> Option<SessionLease> {
+    ///
+    /// `conn` is the connection the query arrived on (0 = stdio); the
+    /// entry tracks lifetime leases, the concurrent-lease peak, and the
+    /// set of distinct connections, all surfaced in its final report.
+    pub fn checkout(&self, name: &str, conn: u64) -> Option<SessionLease> {
         let mut inner = self.inner.lock().unwrap();
         let entry = Arc::clone(inner.sessions.get(name)?);
         inner.lru_seq += 1;
         entry.last_used.store(inner.lru_seq, Ordering::SeqCst);
-        entry.in_flight.fetch_add(1, Ordering::SeqCst);
+        let held = entry.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
+        entry.lease_peak.fetch_max(held, Ordering::Relaxed);
+        entry.leases.fetch_add(1, Ordering::Relaxed);
+        entry.conns.lock().unwrap().insert(conn);
         Some(SessionLease { entry })
     }
 
@@ -969,17 +999,17 @@ mod tests {
         let reg = Registry::new();
         let entry = m.load(&spec("a", &program), &reg).unwrap();
         assert_eq!(entry.name(), "a");
-        let lease = m.checkout("a").expect("resident");
+        let lease = m.checkout("a", 0).expect("resident");
         assert!(lease.slicer().slice(&Criterion::Output(0)).is_ok());
         drop(lease);
-        assert!(m.checkout("missing").is_none());
+        assert!(m.checkout("missing", 0).is_none());
         let listed = m.list();
         assert_eq!(listed.len(), 1);
         assert_eq!(listed[0].name, "a");
         assert_eq!(listed[0].algo, "opt");
         assert_eq!(m.unload("a"), Unload::Unloaded);
         assert_eq!(m.unload("a"), Unload::Missing, "second unload finds nothing");
-        assert!(m.checkout("a").is_none());
+        assert!(m.checkout("a", 0).is_none());
         let c = m.counters();
         assert_eq!((c.loaded, c.unloaded, c.evicted, c.rejected), (1, 1, 0, 0));
         let reports = m.final_reports();
@@ -998,21 +1028,21 @@ mod tests {
         let m = manager(8, Some(one + one / 2), "budget");
         m.load(&spec("a", &program), &reg).unwrap();
         m.load(&spec("b", &program), &reg).unwrap();
-        assert!(m.checkout("a").is_none(), "a was evicted to admit b");
-        assert!(m.checkout("b").is_some());
+        assert!(m.checkout("a", 0).is_none(), "a was evicted to admit b");
+        assert!(m.checkout("b", 0).is_some());
         assert_eq!(m.counters().evicted, 1);
         // A pinned session cannot be evicted: the load is rejected and
         // the resident set is untouched.
-        let lease = m.checkout("b").unwrap();
+        let lease = m.checkout("b", 0).unwrap();
         match m.load(&spec("c", &program), &reg) {
             Err(LoadError::Rejected(msg)) => assert!(msg.contains("busy"), "{msg}"),
             other => panic!("expected rejection, got {:?}", other.map(|e| e.name().to_string())),
         }
         drop(lease);
-        assert!(m.checkout("b").is_some(), "rejected load left `b` resident");
+        assert!(m.checkout("b", 0).is_some(), "rejected load left `b` resident");
         // Idle again: the reload works and evicts LRU `b`.
         m.load(&spec("c", &program), &reg).unwrap();
-        assert!(m.checkout("c").is_some());
+        assert!(m.checkout("c", 0).is_some());
         assert_eq!(m.counters().evicted, 2);
         let reports = m.final_reports();
         assert_eq!(reports["a"].gauges.get("evicted"), Some(&1.0));
@@ -1037,13 +1067,13 @@ mod tests {
         let m = paged_manager(8, Some(cold + 1), "reweigh");
         let entry = m.load(&spec("p", &program), &reg).unwrap();
         assert_eq!(entry.resident_bytes(), cold, "deterministic build");
-        let lease = m.checkout("p").unwrap();
+        let lease = m.checkout("p", 0).unwrap();
         lease.slicer().slice(&Criterion::Output(0)).unwrap();
         assert!(lease.reweigh() > cold + 1, "slicing pages blocks in");
         assert_eq!(m.enforce_budget(), 0, "pinned sessions are never evicted");
         drop(lease);
         assert_eq!(m.enforce_budget(), 1, "idle over-budget session is evicted");
-        assert!(m.checkout("p").is_none());
+        assert!(m.checkout("p", 0).is_none());
         assert_eq!(m.counters().evicted, 1);
         let reports = m.final_reports();
         assert_eq!(reports["p"].gauges.get("evicted"), Some(&1.0));
@@ -1064,7 +1094,7 @@ mod tests {
         let reg = Registry::new();
         let probe = paged_manager(8, None, "admit-probe");
         let cold = probe.load(&spec("probe", &program), &reg).unwrap().resident_bytes();
-        let lease = probe.checkout("probe").unwrap();
+        let lease = probe.checkout("probe", 0).unwrap();
         lease.slicer().slice(&Criterion::Output(0)).unwrap();
         let warm = lease.reweigh();
         drop(lease);
@@ -1073,14 +1103,14 @@ mod tests {
         // Fits warm p alone, and two cold sessions — but not warm + cold.
         let m = paged_manager(8, Some(warm + cold / 2), "admit");
         m.load(&spec("p", &program), &reg).unwrap();
-        let lease = m.checkout("p").unwrap();
+        let lease = m.checkout("p", 0).unwrap();
         lease.slicer().slice(&Criterion::Output(0)).unwrap();
         drop(lease);
         // Admitting `q` must charge p's grown weight, not its stale
         // admitted one (which would have let both fit).
         m.load(&spec("q", &program), &reg).unwrap();
-        assert!(m.checkout("p").is_none(), "grown p was evicted to fit q");
-        assert!(m.checkout("q").is_some());
+        assert!(m.checkout("p", 0).is_none(), "grown p was evicted to fit q");
+        assert!(m.checkout("q", 0).is_some());
         assert_eq!(m.counters().evicted, 1);
         std::fs::remove_dir_all(&dir).ok();
     }
@@ -1126,7 +1156,7 @@ mod tests {
         m.load(&spec("a", &program), &reg).unwrap();
         m.load(&spec("b", &program), &reg).unwrap();
         m.load(&spec("c", &program), &reg).unwrap(); // evicts a (LRU)
-        assert!(m.checkout("a").is_none());
+        assert!(m.checkout("a", 0).is_none());
         assert_eq!(m.list().len(), 2);
         // Reloading a resident name replaces in place, no eviction.
         m.load(&spec("b", &program), &reg).unwrap();
@@ -1179,7 +1209,7 @@ mod tests {
         m.load(&spec("y", &program), &reg).unwrap();
         assert!(m.begin_load("y", None));
         assert_eq!(m.unload("y"), Unload::Loading);
-        assert!(m.checkout("y").is_some(), "refused unload left `y` resident");
+        assert!(m.checkout("y", 0).is_some(), "refused unload left `y` resident");
         m.end_load("y");
         assert_eq!(m.unload("y"), Unload::Unloaded);
         std::fs::remove_dir_all(&dir).ok();
@@ -1248,7 +1278,7 @@ mod tests {
             "cold load misses"
         );
         assert!(reg.counter("snapshot.write_bytes") > 0, "cold build populates the cache");
-        let cold = m.checkout("a").unwrap().slicer().slice(&c).unwrap();
+        let cold = m.checkout("a", 0).unwrap().slicer().slice(&c).unwrap();
         let entries: Vec<_> = std::fs::read_dir(&cache)
             .unwrap()
             .map(|e| e.unwrap().path())
@@ -1262,7 +1292,7 @@ mod tests {
             (1, 1),
             "reload hits the cache"
         );
-        assert_eq!(m.checkout("a").unwrap().slicer().slice(&c).unwrap(), cold);
+        assert_eq!(m.checkout("a", 0).unwrap().slicer().slice(&c).unwrap(), cold);
         // Corrupt the cached entry mid-payload: the next load degrades to
         // a miss, rebuilds from the trace, and overwrites the entry.
         let mut bytes = std::fs::read(&entries[0]).unwrap();
@@ -1276,7 +1306,7 @@ mod tests {
             (2, 1),
             "corrupt entry is a miss, not an error"
         );
-        assert_eq!(m.checkout("a").unwrap().slicer().slice(&c).unwrap(), cold);
+        assert_eq!(m.checkout("a", 0).unwrap().slicer().slice(&c).unwrap(), cold);
         assert_eq!(m.unload("a"), Unload::Unloaded);
         m.load(&spec("a", &program), &reg).unwrap();
         assert_eq!(

@@ -77,6 +77,7 @@ proptest! {
             algo: None,
             delay_ms,
             wait: wait_bit == 1,
+            proto: None,
         };
         roundtrip_request(&request)?;
     }
@@ -109,8 +110,28 @@ proptest! {
             algo: algos.get(algo_pick).map(|a| (*a).to_string()),
             delay_ms: 0,
             wait: wait_bit == 1,
+            proto: None,
         };
         roundtrip_request(&request)?;
+    }
+
+    #[test]
+    fn hello_round_trips_both_directions(
+        id in 0u64..MAX_EXACT,
+        proto in 0u64..MAX_EXACT,
+        lo in 0u64..MAX_EXACT,
+        span in 0u64..1_000,
+        server in text(1..16),
+    ) {
+        roundtrip_request(&Request::hello(id, proto))?;
+        roundtrip_response(&Response {
+            id,
+            body: ResponseBody::Hello {
+                proto_min: lo,
+                proto_max: lo.saturating_add(span),
+                server,
+            },
+        })?;
     }
 
     #[test]

@@ -97,6 +97,11 @@ fn expected_doubler_slice() -> Vec<u32> {
 
 /// Runs a stdio server with `args`, feeds it `requests` (then EOF, the
 /// stdio transport's graceful shutdown), and returns the responses by id.
+///
+/// Requests are sent one at a time, each only after the previous answer
+/// arrived: every op produces exactly one response, and scripts that
+/// load a session and then slice it must not race the load against the
+/// slice across concurrent workers.
 fn run_stdio_script(args: &[String], requests: &[Request]) -> BTreeMap<u64, ResponseBody> {
     let mut child = bin()
         .args(args)
@@ -105,19 +110,29 @@ fn run_stdio_script(args: &[String], requests: &[Request]) -> BTreeMap<u64, Resp
         .stderr(Stdio::piped())
         .spawn()
         .expect("spawn dynslice serve");
-    {
-        let mut stdin = child.stdin.take().unwrap();
-        for request in requests {
-            writeln!(stdin, "{}", request.to_json()).unwrap();
-        }
-    }
-    let out = wait_for_exit(child, Duration::from_secs(60));
-    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+    let mut stdin = child.stdin.take().unwrap();
+    let mut stdout = BufReader::new(child.stdout.take().unwrap());
     let mut by_id = BTreeMap::new();
-    for line in BufReader::new(&out.stdout[..]).lines() {
+    for request in requests {
+        writeln!(stdin, "{}", request.to_json()).unwrap();
+        let mut line = String::new();
+        assert!(
+            stdout.read_line(&mut line).unwrap() > 0,
+            "server closed before answering `{}`",
+            request.to_json(),
+        );
+        let response = Response::parse(line.trim_end()).unwrap();
+        by_id.insert(response.id, response.body);
+    }
+    drop(stdin);
+    // Anything after EOF (there should be nothing) still gets collected
+    // so a protocol regression surfaces as a parse failure, not a hang.
+    for line in stdout.lines() {
         let response = Response::parse(&line.unwrap()).unwrap();
         by_id.insert(response.id, response.body);
     }
+    let out = wait_for_exit(child, Duration::from_secs(60));
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
     by_id
 }
 
@@ -177,7 +192,7 @@ fn concurrent_socket_clients_match_direct_slicer() {
             let socket = socket.clone();
             let expected = expected.clone();
             std::thread::spawn(move || {
-                let mut client = SliceClient::connect_unix(&socket).unwrap();
+                let mut client = SliceClient::builder().unix(&socket).connect().unwrap();
                 for round in 0..3 {
                     let k = (t + round) % 4;
                     let response = client.slice(&Criterion::Output(k)).unwrap();
@@ -196,7 +211,7 @@ fn concurrent_socket_clients_match_direct_slicer() {
         handle.join().unwrap();
     }
 
-    let mut closer = SliceClient::connect_unix(&socket).unwrap();
+    let mut closer = SliceClient::builder().unix(&socket).connect().unwrap();
     let ack = closer.shutdown().unwrap();
     assert!(matches!(ack.body, ResponseBody::ShutdownAck), "got {ack:?}");
 
@@ -207,8 +222,10 @@ fn concurrent_socket_clients_match_direct_slicer() {
     let text = std::fs::read_to_string(&report).unwrap();
     let parsed = RunReport::from_json(&text).expect("serve report satisfies the schema");
     assert_eq!(parsed.algorithm, "serve-opt");
-    assert_eq!(parsed.counter_or_zero("server.requests"), 8 * 3 + 1);
-    assert_eq!(parsed.counter_or_zero("server.responses_ok"), 8 * 3);
+    // Each of the 9 connections opens with the builder's hello.
+    assert_eq!(parsed.counter_or_zero("server.requests"), 8 * 3 + 1 + 9);
+    assert_eq!(parsed.counter_or_zero("server.responses_ok"), 8 * 3 + 9);
+    assert_eq!(parsed.counter_or_zero("server.handshakes"), 9);
     assert_eq!(parsed.counter_or_zero("server.connections"), 9);
     assert!(parsed.counter_or_zero("server.cache_hits") > 0, "4 criteria, 24 queries");
     assert!(parsed.phases_ms.contains_key("serve"));
@@ -390,7 +407,7 @@ fn concurrent_clients_interleave_session_lifecycles() {
                         other => panic!("client {t}: {what} answered {other:?}"),
                     }
                 };
-                let mut client = SliceClient::connect_unix(&socket).unwrap();
+                let mut client = SliceClient::builder().unix(&socket).connect().unwrap();
                 let name = format!("s{t}");
                 // Even clients serve the classifier, odd ones the doubler.
                 let (program, input, own_expected) = if t.is_multiple_of(2) {
@@ -447,7 +464,7 @@ fn concurrent_clients_interleave_session_lifecycles() {
         handle.join().unwrap();
     }
 
-    let mut closer = SliceClient::connect_unix(&socket).unwrap();
+    let mut closer = SliceClient::builder().unix(&socket).connect().unwrap();
     let listing = closer.list().unwrap();
     match listing.body {
         ResponseBody::Sessions { ref sessions } => {
@@ -470,9 +487,11 @@ fn concurrent_clients_interleave_session_lifecycles() {
 
     let text = std::fs::read_to_string(&report).unwrap();
     let parsed = RunReport::from_json(&text).expect("serve report satisfies the schema");
-    // Per client: 2 loads + 5 slices + 1 unload + 1 failed slice = 9.
-    assert_eq!(parsed.counter_or_zero("server.requests"), 8 * 9 + 2);
-    assert_eq!(parsed.counter_or_zero("server.responses_ok"), 8 * 8 + 1);
+    // Per client: 1 hello + 2 loads + 5 slices + 1 unload + 1 failed
+    // slice = 10; the closer adds hello + list + shutdown.
+    assert_eq!(parsed.counter_or_zero("server.requests"), 8 * 10 + 3);
+    assert_eq!(parsed.counter_or_zero("server.responses_ok"), 8 * 9 + 2);
+    assert_eq!(parsed.counter_or_zero("server.handshakes"), 9);
     assert_eq!(parsed.counter_or_zero("server.failed"), 8);
     assert_eq!(parsed.counter_or_zero("server.connections"), 9);
     assert_eq!(parsed.counter_or_zero("server.sessions_loaded"), 16);
@@ -1060,4 +1079,450 @@ fn serve_snapshot_loads_and_digest_cache_round_trip() {
     assert_eq!(parsed.counter_or_zero("snapshot.hit"), 1, "warm cache restores the named load");
     assert_eq!(parsed.counter_or_zero("snapshot.miss"), 0);
     assert!(parsed.counter_or_zero("snapshot.read_bytes") > 0);
+}
+
+// --- TCP transport ---------------------------------------------------
+
+/// Spawns `dynslice serve --tcp 127.0.0.1:0` plus `extra` flags and
+/// returns the child and the bound address read from `--port-file`
+/// (written only after a successful bind, so polling it never races).
+fn spawn_tcp_server(dir: &Path, extra: &[&str]) -> (Child, String) {
+    let program = write_program(dir);
+    let port_file = dir.join("port");
+    let mut args: Vec<String> = [
+        "serve",
+        program.to_str().unwrap(),
+        "--input",
+        INPUT,
+        "--tcp",
+        "127.0.0.1:0",
+        "--port-file",
+        port_file.to_str().unwrap(),
+    ]
+    .iter()
+    .map(ToString::to_string)
+    .collect();
+    args.extend(extra.iter().map(ToString::to_string));
+    let child = bin()
+        .args(&args)
+        .stdin(Stdio::null())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("spawn dynslice serve");
+    let start = Instant::now();
+    let addr = loop {
+        match std::fs::read_to_string(&port_file) {
+            Ok(text) if text.ends_with('\n') => break text.trim().to_string(),
+            _ => {}
+        }
+        assert!(start.elapsed() < Duration::from_secs(30), "port file never appeared");
+        std::thread::sleep(Duration::from_millis(20));
+    };
+    (child, addr)
+}
+
+/// A raw TCP conversation, bypassing `SliceClient` so tests control
+/// exactly what crosses the wire (including protocol violations).
+struct RawTcp {
+    reader: BufReader<std::net::TcpStream>,
+    writer: std::net::TcpStream,
+}
+
+impl RawTcp {
+    fn connect(addr: &str) -> Self {
+        let stream = std::net::TcpStream::connect(addr).unwrap();
+        stream.set_read_timeout(Some(Duration::from_secs(30))).unwrap();
+        let writer = stream.try_clone().unwrap();
+        RawTcp { reader: BufReader::new(stream), writer }
+    }
+
+    fn send(&mut self, line: &str) {
+        writeln!(self.writer, "{line}").unwrap();
+    }
+
+    /// The next response line, or `None` on a clean EOF.
+    fn read_response(&mut self) -> Option<Response> {
+        let mut line = String::new();
+        if self.reader.read_line(&mut line).unwrap() == 0 {
+            return None;
+        }
+        Some(Response::parse(line.trim_end()).unwrap())
+    }
+
+    fn hello(&mut self) {
+        self.send(&Request::hello(0, dynslice::protocol::PROTO_VERSION).to_json());
+        match self.read_response().expect("hello answered").body {
+            ResponseBody::Hello { .. } => {}
+            other => panic!("hello answered {other:?}"),
+        }
+    }
+}
+
+/// 8 concurrent TCP clients (via the builder, handshake included) get
+/// answers byte-identical to a direct in-process `OptSlicer`, and the
+/// report carries the connection, handshake, and byte counters.
+#[test]
+fn concurrent_tcp_clients_match_direct_slicer() {
+    let dir = work_dir("tcp");
+    let report = dir.join("report.json");
+    let (child, addr) = spawn_tcp_server(
+        &dir,
+        &["--algo", "opt", "--workers", "4", "--metrics-json", report.to_str().unwrap()],
+    );
+
+    let expected = expected_slices();
+    let handles: Vec<_> = (0..8)
+        .map(|t: usize| {
+            let addr = addr.clone();
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                let mut client = SliceClient::builder()
+                    .tcp(addr)
+                    .timeout(Duration::from_secs(30))
+                    .connect()
+                    .unwrap();
+                let info = client.server().expect("builder handshakes");
+                assert!(info.server.starts_with("dynslice/"), "client {t}: {info:?}");
+                assert!(
+                    (info.proto_min..=info.proto_max)
+                        .contains(&dynslice::protocol::PROTO_VERSION),
+                    "client {t}: {info:?}"
+                );
+                for round in 0..3 {
+                    let k = (t + round) % 4;
+                    let response = client.slice(&Criterion::Output(k)).unwrap();
+                    match response.body {
+                        ResponseBody::Slice { ref algo, ref stmts, .. } => {
+                            assert_eq!(algo, "opt", "client {t}");
+                            assert_eq!(stmts, &expected[k], "client {t}, out:{k}");
+                        }
+                        ref other => panic!("client {t}: unexpected response {other:?}"),
+                    }
+                }
+            })
+        })
+        .collect();
+    for handle in handles {
+        handle.join().unwrap();
+    }
+
+    let mut closer = SliceClient::builder().tcp(addr).connect().unwrap();
+    let ack = closer.shutdown().unwrap();
+    assert!(matches!(ack.body, ResponseBody::ShutdownAck), "got {ack:?}");
+
+    let out = wait_for_exit(child, Duration::from_secs(30));
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+
+    let text = std::fs::read_to_string(&report).unwrap();
+    let parsed = RunReport::from_json(&text).expect("serve report satisfies the schema");
+    assert_eq!(parsed.counter_or_zero("server.requests"), 8 * 4 + 2);
+    assert_eq!(parsed.counter_or_zero("server.responses_ok"), 8 * 4 + 1);
+    assert_eq!(parsed.counter_or_zero("server.connections"), 9);
+    assert_eq!(parsed.counter_or_zero("server.handshakes"), 9);
+    let peak = parsed.gauges["server.connections_peak"];
+    assert!((1.0..=9.0).contains(&peak), "peak {peak}");
+    assert!(parsed.counter_or_zero("net.read_bytes") > 0);
+    assert!(parsed.counter_or_zero("net.write_bytes") > 0);
+}
+
+/// The handshake gate: a first line that is not `hello` is answered with
+/// the typed `handshake_required` error and the connection closes; an
+/// unsupported protocol revision gets `unsupported_proto`; the builder
+/// surfaces both as connect errors.
+#[test]
+fn tcp_requires_the_versioned_hello() {
+    let dir = work_dir("tcp-hello");
+    let (child, addr) = spawn_tcp_server(&dir, &[]);
+
+    // Skipping hello: typed error, then EOF.
+    let mut skipper = RawTcp::connect(&addr);
+    skipper.send(&Request::slice(1, &Criterion::Output(0)).to_json());
+    match skipper.read_response().expect("answered before close").body {
+        ResponseBody::Error { kind, .. } => assert_eq!(kind, ErrorKind::HandshakeRequired),
+        other => panic!("hello-less request answered {other:?}"),
+    }
+    assert!(skipper.read_response().is_none(), "connection closes after the refusal");
+
+    // Garbage first line: same refusal (the server cannot even tell the
+    // id), then EOF.
+    let mut garbler = RawTcp::connect(&addr);
+    garbler.send("this is not json");
+    match garbler.read_response().expect("answered before close").body {
+        ResponseBody::Error { kind, .. } => assert_eq!(kind, ErrorKind::HandshakeRequired),
+        other => panic!("garbage first line answered {other:?}"),
+    }
+    assert!(garbler.read_response().is_none());
+
+    // Version mismatch: typed `unsupported_proto`, then EOF.
+    let mut future = RawTcp::connect(&addr);
+    future.send(&Request::hello(7, 99).to_json());
+    match future.read_response().expect("answered before close").body {
+        ResponseBody::Error { kind, ref message } => {
+            assert_eq!(kind, ErrorKind::UnsupportedProto);
+            assert!(message.contains("99"), "{message}");
+        }
+        other => panic!("future hello answered {other:?}"),
+    }
+    assert!(future.read_response().is_none());
+
+    // The builder turns the mismatch into a connect error.
+    let Err(err) = SliceClient::builder().tcp(addr.clone()).proto(99).connect() else {
+        panic!("proto 99 must be refused");
+    };
+    assert!(err.to_string().contains("unsupported_proto"), "{err}");
+
+    // A well-versioned hello still gets through after all that.
+    let mut closer = SliceClient::builder().tcp(addr).connect().unwrap();
+    assert!(matches!(closer.shutdown().unwrap().body, ResponseBody::ShutdownAck));
+    let out = wait_for_exit(child, Duration::from_secs(30));
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+}
+
+/// `--max-connections 2`: the third concurrent client is answered with a
+/// typed `busy` error and closed, the builder's retry/backoff wins once
+/// a slot frees up, and the report counts the rejection.
+#[test]
+fn tcp_max_connections_answers_busy() {
+    let dir = work_dir("tcp-busy");
+    let report = dir.join("report.json");
+    let (child, addr) = spawn_tcp_server(
+        &dir,
+        &["--max-connections", "2", "--metrics-json", report.to_str().unwrap()],
+    );
+
+    let first = SliceClient::builder().tcp(addr.clone()).connect().unwrap();
+    let mut second = SliceClient::builder().tcp(addr.clone()).connect().unwrap();
+
+    // Over the cap: the raw socket reads one `busy` line, then EOF.
+    let mut third = RawTcp::connect(&addr);
+    match third.read_response().expect("the cap answers before closing").body {
+        ResponseBody::Error { kind, .. } => assert_eq!(kind, ErrorKind::Busy),
+        other => panic!("over-cap connect answered {other:?}"),
+    }
+    assert!(third.read_response().is_none(), "over-cap connection closes");
+
+    // Without retries the builder reports busy immediately...
+    let Err(err) = SliceClient::builder().tcp(addr.clone()).connect() else {
+        panic!("the third connection must bounce off the cap");
+    };
+    assert!(err.to_string().contains("busy"), "{err}");
+
+    // ...and with retries it gets in once `first` hangs up.
+    let freer = std::thread::spawn(move || {
+        std::thread::sleep(Duration::from_millis(300));
+        drop(first);
+    });
+    let mut retried = SliceClient::builder()
+        .tcp(addr)
+        .retries(20)
+        .backoff(Duration::from_millis(50))
+        .connect()
+        .expect("retries outlast the cap");
+    freer.join().unwrap();
+    let response = retried.slice(&Criterion::Output(0)).unwrap();
+    assert!(matches!(response.body, ResponseBody::Slice { .. }), "{response:?}");
+
+    assert!(matches!(second.shutdown().unwrap().body, ResponseBody::ShutdownAck));
+    let out = wait_for_exit(child, Duration::from_secs(30));
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+
+    let text = std::fs::read_to_string(&report).unwrap();
+    let parsed = RunReport::from_json(&text).expect("serve report satisfies the schema");
+    assert!(parsed.counter_or_zero("server.rejected_busy") >= 2, "raw + builder rejections");
+    assert_eq!(
+        parsed.counter_or_zero("server.connections"),
+        3,
+        "bounced clients are never admitted"
+    );
+}
+
+/// Graceful shutdown mid-request: a client whose query is in flight when
+/// another connection sends `shutdown` still gets its answer (the queue
+/// drains) plus a final typed `shutting_down` line — never a bare EOF.
+#[test]
+fn tcp_shutdown_mid_request_sends_shutting_down() {
+    let dir = work_dir("tcp-shutdown");
+    let (child, addr) = spawn_tcp_server(&dir, &["--workers", "1"]);
+
+    let mut slow = RawTcp::connect(&addr);
+    slow.hello();
+    let mut request = Request::slice(41, &Criterion::Output(0));
+    request.delay_ms = 700;
+    slow.send(&request.to_json());
+    // Let the worker pick the slow job up before asking for shutdown.
+    std::thread::sleep(Duration::from_millis(150));
+
+    let mut closer = SliceClient::builder().tcp(addr).connect().unwrap();
+    assert!(matches!(closer.shutdown().unwrap().body, ResponseBody::ShutdownAck));
+
+    // Drain `slow`'s connection to EOF: the in-flight slice and the
+    // farewell both arrive, in either order (the worker and the
+    // connection reader race benignly).
+    let mut saw_slice = false;
+    let mut saw_farewell = false;
+    while let Some(response) = slow.read_response() {
+        match response.body {
+            ResponseBody::Slice { ref stmts, .. } => {
+                assert_eq!(response.id, 41);
+                assert_eq!(stmts, &expected_slices()[0]);
+                saw_slice = true;
+            }
+            ResponseBody::Error { kind: ErrorKind::ShuttingDown, .. } => saw_farewell = true,
+            other => panic!("unexpected response during shutdown: {other:?}"),
+        }
+    }
+    assert!(saw_slice, "the drained queue still answers the in-flight slice");
+    assert!(saw_farewell, "the close is announced, not a bare EOF");
+
+    let out = wait_for_exit(child, Duration::from_secs(30));
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+}
+
+/// The request-line cap: an overlong line is answered with the typed
+/// `oversized` error on TCP and stdio alike, in bounded memory, and the
+/// connection stays usable afterwards.
+#[test]
+fn oversized_lines_get_the_typed_error_on_every_transport() {
+    let dir = work_dir("oversized");
+    let (child, addr) = spawn_tcp_server(&dir, &["--max-line-bytes", "512"]);
+
+    let mut client = RawTcp::connect(&addr);
+    client.hello();
+    client.send(&format!("{{\"pad\":\"{}\"}}", "x".repeat(4096)));
+    match client.read_response().expect("oversized line answered").body {
+        ResponseBody::Error { kind, ref message } => {
+            assert_eq!(kind, ErrorKind::Oversized);
+            assert!(message.contains("512"), "{message}");
+        }
+        other => panic!("oversized line answered {other:?}"),
+    }
+    // The overflow was discarded cleanly: the next request works.
+    client.send(&Request::slice(2, &Criterion::Output(1)).to_json());
+    match client.read_response().expect("follow-up answered").body {
+        ResponseBody::Slice { ref stmts, .. } => assert_eq!(stmts, &expected_slices()[1]),
+        other => panic!("follow-up slice answered {other:?}"),
+    }
+    client.send(&Request::shutdown(3).to_json());
+    assert!(matches!(
+        client.read_response().expect("ack").body,
+        ResponseBody::ShutdownAck
+    ));
+    let out = wait_for_exit(child, Duration::from_secs(30));
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+
+    // Same cap on the handshake-free stdio transport.
+    let dir = work_dir("oversized-stdio");
+    let program = write_program(&dir);
+    let mut child = bin()
+        .args([
+            "serve",
+            program.to_str().unwrap(),
+            "--input",
+            INPUT,
+            "--max-line-bytes",
+            "512",
+        ])
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::null())
+        .spawn()
+        .expect("spawn dynslice serve");
+    {
+        let mut stdin = child.stdin.take().unwrap();
+        writeln!(stdin, "{{\"pad\":\"{}\"}}", "y".repeat(4096)).unwrap();
+        writeln!(stdin, "{}", Request::slice(2, &Criterion::Output(0)).to_json()).unwrap();
+    }
+    let out = wait_for_exit(child, Duration::from_secs(30));
+    assert!(out.status.success());
+    let mut lines = BufReader::new(&out.stdout[..]).lines();
+    let first = Response::parse(&lines.next().expect("oversized answered").unwrap()).unwrap();
+    assert!(
+        matches!(first.body, ResponseBody::Error { kind: ErrorKind::Oversized, .. }),
+        "{first:?}"
+    );
+    let second = Response::parse(&lines.next().expect("slice answered").unwrap()).unwrap();
+    assert!(matches!(second.body, ResponseBody::Slice { .. }), "{second:?}");
+}
+
+/// A connection that goes quiet past `--idle-timeout-ms` is reaped: the
+/// client sees EOF, and fresh connections are still served.
+#[test]
+fn tcp_idle_connections_are_reaped() {
+    let dir = work_dir("tcp-idle");
+    let (child, addr) = spawn_tcp_server(&dir, &["--idle-timeout-ms", "200"]);
+
+    let started = Instant::now();
+    let mut idler = RawTcp::connect(&addr);
+    idler.hello();
+    assert!(idler.read_response().is_none(), "the reaped connection drains to EOF");
+    let waited = started.elapsed();
+    assert!(waited >= Duration::from_millis(200), "reaped too early: {waited:?}");
+
+    let mut closer = SliceClient::builder().tcp(addr).connect().unwrap();
+    assert!(matches!(closer.shutdown().unwrap().body, ResponseBody::ShutdownAck));
+    let out = wait_for_exit(child, Duration::from_secs(30));
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+}
+
+/// `--socket` and `--tcp` listen concurrently: the Unix side keeps the
+/// historical handshake-free wire format (exercised through the
+/// deprecated `connect_unix` shim), the TCP side demands hello, both
+/// answer identically, and the per-session report attributes leases to
+/// the two distinct client connections.
+#[test]
+#[allow(deprecated)]
+fn unix_and_tcp_serve_concurrently_with_unix_handshake_free() {
+    let dir = work_dir("dual");
+    let socket = dir.join("dual.sock");
+    let report = dir.join("report.json");
+    let doubler = write_program_b(&dir);
+    let (child, addr) = spawn_tcp_server(
+        &dir,
+        &["--socket", socket.to_str().unwrap(), "--metrics-json", report.to_str().unwrap()],
+    );
+
+    // The pre-TCP wire format: first line is a bare slice, no hello.
+    let mut unix = SliceClient::connect_unix(&socket).unwrap();
+    assert!(unix.server().is_none(), "the shim does not handshake");
+    let expected = expected_slices();
+    match unix.slice(&Criterion::Output(0)).unwrap().body {
+        ResponseBody::Slice { ref stmts, .. } => assert_eq!(stmts, &expected[0]),
+        ref other => panic!("unix slice answered {other:?}"),
+    }
+
+    let mut tcp = SliceClient::builder().tcp(addr).connect().unwrap();
+    match tcp.slice(&Criterion::Output(0)).unwrap().body {
+        ResponseBody::Slice { ref stmts, .. } => assert_eq!(stmts, &expected[0]),
+        ref other => panic!("tcp slice answered {other:?}"),
+    }
+
+    // Both connections lease one named session; the report attributes
+    // the leases to two distinct client connections.
+    let doubler_str = doubler.to_str().unwrap();
+    assert!(matches!(
+        tcp.load("shared", doubler_str, INPUT_B, None).unwrap().body,
+        ResponseBody::Loaded { .. }
+    ));
+    for client in [&mut unix, &mut tcp] {
+        match client.slice_in("shared", &Criterion::Output(0)).unwrap().body {
+            ResponseBody::Slice { ref stmts, .. } => {
+                assert_eq!(stmts, &expected_doubler_slice())
+            }
+            ref other => panic!("shared slice answered {other:?}"),
+        }
+    }
+
+    assert!(matches!(unix.shutdown().unwrap().body, ResponseBody::ShutdownAck));
+    let out = wait_for_exit(child, Duration::from_secs(30));
+    assert!(out.status.success(), "stderr: {}", String::from_utf8_lossy(&out.stderr));
+
+    let text = std::fs::read_to_string(&report).unwrap();
+    let parsed = RunReport::from_json(&text).expect("serve report satisfies the schema");
+    assert_eq!(parsed.counter_or_zero("server.connections"), 2);
+    assert_eq!(parsed.counter_or_zero("server.handshakes"), 1, "only the TCP client hellos");
+    let shared = &parsed.sessions["shared"];
+    assert_eq!(shared.counters["client_connections"], 2, "unix + tcp leased it");
+    assert_eq!(shared.counters["leases"], 2, "one checkout per slice");
+    assert!(shared.gauges["lease_peak"] >= 1.0);
 }
