@@ -40,5 +40,21 @@ fn bench_sequitur(c: &mut Criterion) {
     });
 }
 
-criterion_group!(benches, bench_builders, bench_slicing, bench_sequitur);
+/// The fault hooks sit on the paged-read and request hot paths, so their
+/// disarmed cost must stay at one relaxed atomic load; the armed-but-
+/// not-firing case shows what a plan costs the requests it spares.
+fn bench_fault_hooks(c: &mut Criterion) {
+    dynslice_faults::install(None);
+    c.bench_function("fault_hit_disarmed", |b| {
+        b.iter(|| dynslice_faults::hit("paged_read"))
+    });
+    let plan = dynslice_faults::FaultPlan::parse("request:err@18446744073709551615").unwrap();
+    dynslice_faults::install(Some(plan));
+    c.bench_function("fault_hit_armed_miss", |b| {
+        b.iter(|| dynslice_faults::hit("paged_read"))
+    });
+    dynslice_faults::install(None);
+}
+
+criterion_group!(benches, bench_builders, bench_slicing, bench_sequitur, bench_fault_hooks);
 criterion_main!(benches);

@@ -156,6 +156,7 @@ struct Args {
     from_snapshot: bool,
     snapshot_out: Option<String>,
     snapshot_dir: Option<String>,
+    fault_plan: Option<String>,
 }
 
 impl Args {
@@ -215,6 +216,9 @@ impl Args {
             }
             if let Some(t) = self.timeout_ms {
                 m.insert("timeout_ms".into(), t.to_string());
+            }
+            if let Some(fp) = &self.fault_plan {
+                m.insert("fault_plan".into(), fp.clone());
             }
         }
         m
@@ -277,6 +281,9 @@ fn parse_args() -> Result<Args, String> {
         from_snapshot: false,
         snapshot_out: None,
         snapshot_dir: None,
+        // The flag wins over the environment so a wrapper script's
+        // ambient plan can be overridden per run.
+        fault_plan: std::env::var("DYNSLICE_FAULTS").ok(),
     };
     while let Some(a) = args.next() {
         match a.as_str() {
@@ -396,6 +403,10 @@ fn parse_args() -> Result<Args, String> {
             "--snapshot-dir" => {
                 out.snapshot_dir = Some(args.next().ok_or("--snapshot-dir needs a directory")?);
             }
+            "--fault-plan" => {
+                out.fault_plan =
+                    Some(args.next().ok_or("--fault-plan needs point:action[@trigger],...")?);
+            }
             other => return Err(format!("unknown flag `{other}`\n{}", usage())),
         }
     }
@@ -412,7 +423,8 @@ fn usage() -> String {
      [--timeout-ms N] \
      [--queue-depth N] [--cache-capacity N] [--loaders N] [--max-sessions N] \
      [--memory-budget-mb MB] [--preload [name=]file[@i1;i2;...],...] [--metrics-json PATH] \
-     [-o FILE.dsnap] [--from-snapshot] [--snapshot-dir DIR]"
+     [-o FILE.dsnap] [--from-snapshot] [--snapshot-dir DIR] \
+     [--fault-plan point:action[@trigger],...]"
         .to_string()
 }
 
@@ -770,6 +782,11 @@ fn run() -> Result<(), CliError> {
             emit_metrics(&a, &reg, "snapshot")
         }
         "serve" => {
+            if let Some(spec) = &a.fault_plan {
+                let plan = dynslice_faults::FaultPlan::parse(spec).map_err(CliError::usage)?;
+                dynslice_faults::install(Some(plan));
+                eprintln!("[fault plan armed: {spec}]");
+            }
             let algo = a.algo()?;
             let slicer = session.build_slicer(algo, &trace, &a.slicer_config(), &reg)?;
             slicer.record_build_metrics(&reg);
@@ -832,7 +849,8 @@ fn run() -> Result<(), CliError> {
             slicer.record_query_metrics(&reg);
             eprintln!(
                 "[serve: {} requests, {} ok ({} cached), {} timeouts, {} rejected, \
-                 {} bad, {} failed; sessions: {} loaded, {} evicted, {} unloaded]",
+                 {} bad, {} failed; sessions: {} loaded, {} evicted, {} unloaded, \
+                 {} quarantined]",
                 summary.received,
                 summary.ok,
                 summary.cache_hits,
@@ -843,7 +861,14 @@ fn run() -> Result<(), CliError> {
                 summary.sessions_loaded,
                 summary.sessions_evicted,
                 summary.sessions_unloaded,
+                summary.sessions_quarantined,
             );
+            if summary.panics > 0 || summary.retries > 0 {
+                eprintln!(
+                    "[faults: {} panics caught, {} reads retried]",
+                    summary.panics, summary.retries,
+                );
+            }
             eprintln!(
                 "[net: {} connections (peak {}), {} handshakes, {} busy-rejected, \
                  {} oversized, {}/{} bytes in/out]",

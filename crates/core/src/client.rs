@@ -381,6 +381,17 @@ impl SliceClient {
         self.roundtrip(&Request::list(id))
     }
 
+    /// Probes the server's health. The server answers `health` ahead of
+    /// the handshake gate on every transport, so a monitor needs no
+    /// protocol negotiation.
+    ///
+    /// # Errors
+    /// Transport failures as in [`Self::roundtrip`].
+    pub fn health(&mut self) -> io::Result<Response> {
+        let id = self.fresh_id();
+        self.roundtrip(&Request::health(id))
+    }
+
     /// Asks the server to shut down gracefully.
     ///
     /// # Errors

@@ -16,6 +16,7 @@
 //! {"id":5,"op":"list"}
 //! {"id":6,"op":"unload","session":"t1"}
 //! {"id":7,"op":"shutdown"}
+//! {"id":8,"op":"health"}
 //! ```
 //!
 //! `op` defaults to `"slice"`. A slice request without a `session` field
@@ -45,6 +46,13 @@
 //! (any other first line is a typed `handshake_required` error); Unix
 //! sockets and stdio accept it but do not require it, so every pre-TCP
 //! client keeps working against the byte-identical legacy wire format.
+//!
+//! `health` is the liveness probe: like `hello` it is answered before the
+//! handshake gate on every transport, reporting `status` (`ok`, or
+//! `degraded` once a panic was caught or a session quarantined) plus the
+//! resident/loading/quarantined session counts, queue depth, and the
+//! panic/retry counters. It carries no wall-clock fields, so probes are
+//! deterministic under test.
 //!
 //! Responses:
 //!
@@ -96,6 +104,10 @@ pub enum Op {
     Unload,
     /// Enumerate resident sessions.
     List,
+    /// Report the server's liveness and fault counters. Like `hello`,
+    /// answered before the handshake gate on every transport, so probes
+    /// need no protocol negotiation.
+    Health,
     /// Stop accepting requests, drain, and exit.
     Shutdown,
 }
@@ -235,6 +247,11 @@ impl Request {
         Request::bare(id, Op::List)
     }
 
+    /// A health probe (client-side constructor).
+    pub fn health(id: u64) -> Self {
+        Request::bare(id, Op::Health)
+    }
+
     /// A shutdown request (client-side constructor).
     pub fn shutdown(id: u64) -> Self {
         Request::bare(id, Op::Shutdown)
@@ -296,6 +313,9 @@ impl Request {
             Op::List => {
                 obj.insert("op".into(), Value::Str("list".into()));
             }
+            Op::Health => {
+                obj.insert("op".into(), Value::Str("health".into()));
+            }
             Op::Shutdown => {
                 obj.insert("op".into(), Value::Str("shutdown".into()));
             }
@@ -324,6 +344,7 @@ impl Request {
                 Some("load") => Op::Load,
                 Some("unload") => Op::Unload,
                 Some("list") => Op::List,
+                Some("health") => Op::Health,
                 Some("shutdown") => Op::Shutdown,
                 Some(other) => return Err(format!("unknown op `{other}`")),
                 None => return Err("`op` must be a string".into()),
@@ -436,6 +457,13 @@ pub enum ErrorKind {
     /// supported `[proto_min, proto_max]` range; the connection is
     /// closed.
     UnsupportedProto,
+    /// The request made the server panic; the panic was caught, the
+    /// request is the only casualty, and the server keeps serving.
+    /// Retrying may succeed (e.g. an injected fault that has expired).
+    Internal,
+    /// The addressed session's slicer panicked repeatedly and was
+    /// quarantined: evicted and refusing queries until re-`load`ed.
+    Quarantined,
 }
 
 impl ErrorKind {
@@ -456,6 +484,8 @@ impl ErrorKind {
             ErrorKind::ShuttingDown => "shutting_down",
             ErrorKind::HandshakeRequired => "handshake_required",
             ErrorKind::UnsupportedProto => "unsupported_proto",
+            ErrorKind::Internal => "internal",
+            ErrorKind::Quarantined => "quarantined",
         }
     }
 
@@ -479,6 +509,10 @@ impl ErrorKind {
             ErrorKind::UnsupportedProto => 2,
             ErrorKind::UnknownCriterion => 3,
             ErrorKind::UnknownSession => 3,
+            // A quarantined session no longer answers: from the caller's
+            // shell, that is "addressed something that does not exist"
+            // (and a re-`load` resurrects it, like any unloaded name).
+            ErrorKind::Quarantined => 3,
             ErrorKind::Truncated => 4,
             ErrorKind::Io => 5,
             ErrorKind::OverBudget => 1,
@@ -487,6 +521,9 @@ impl ErrorKind {
             ErrorKind::Loading => 1,
             ErrorKind::Busy => 1,
             ErrorKind::ShuttingDown => 1,
+            // A caught panic is transient from the caller's view: the
+            // server survived and an immediate retry may succeed.
+            ErrorKind::Internal => 1,
         }
     }
 
@@ -502,7 +539,7 @@ impl ErrorKind {
     }
 
     /// Every kind, for exhaustive protocol tests.
-    pub const ALL: [ErrorKind; 14] = [
+    pub const ALL: [ErrorKind; 16] = [
         ErrorKind::BadRequest,
         ErrorKind::UnknownCriterion,
         ErrorKind::UnknownSession,
@@ -517,6 +554,8 @@ impl ErrorKind {
         ErrorKind::ShuttingDown,
         ErrorKind::HandshakeRequired,
         ErrorKind::UnsupportedProto,
+        ErrorKind::Internal,
+        ErrorKind::Quarantined,
     ];
 }
 
@@ -540,6 +579,8 @@ impl std::str::FromStr for ErrorKind {
             "shutting_down" => ErrorKind::ShuttingDown,
             "handshake_required" => ErrorKind::HandshakeRequired,
             "unsupported_proto" => ErrorKind::UnsupportedProto,
+            "internal" => ErrorKind::Internal,
+            "quarantined" => ErrorKind::Quarantined,
             other => return Err(format!("unknown error kind `{other}`")),
         })
     }
@@ -561,6 +602,11 @@ pub struct SessionInfo {
     /// resident sessions, so resident-only listings keep the pre-async
     /// wire bytes.
     pub loading: bool,
+    /// Whether the session was quarantined (its slicer panicked
+    /// repeatedly): it is no longer resident and refuses queries until
+    /// re-`load`ed. Serialized as `"state":"quarantined"`, omitted for
+    /// healthy sessions.
+    pub quarantined: bool,
 }
 
 impl SessionInfo {
@@ -572,6 +618,8 @@ impl SessionInfo {
         obj.insert("requests".into(), Value::Num(self.requests as f64));
         if self.loading {
             obj.insert("state".into(), Value::Str("loading".into()));
+        } else if self.quarantined {
+            obj.insert("state".into(), Value::Str("quarantined".into()));
         }
         Value::Obj(obj)
     }
@@ -589,10 +637,11 @@ impl SessionInfo {
                 .and_then(Value::as_u64)
                 .ok_or(format!("session entry needs unsigned `{name}`"))
         };
-        let loading = match obj.get("state") {
-            None => false,
+        let (loading, quarantined) = match obj.get("state") {
+            None => (false, false),
             Some(v) => match v.as_str() {
-                Some("loading") => true,
+                Some("loading") => (true, false),
+                Some("quarantined") => (false, true),
                 Some(other) => return Err(format!("unknown session state `{other}`")),
                 None => return Err("session `state` must be a string".into()),
             },
@@ -603,6 +652,7 @@ impl SessionInfo {
             resident_bytes: num("resident_bytes")?,
             requests: num("requests")?,
             loading,
+            quarantined,
         })
     }
 }
@@ -658,6 +708,26 @@ pub enum ResponseBody {
     Sessions {
         /// One entry per resident named session.
         sessions: Vec<SessionInfo>,
+    },
+    /// Answer to a `health` probe: liveness plus the fault-tolerance
+    /// counters, all monotonic within one server run (no wall-clock
+    /// fields, so probes are deterministic under test).
+    Health {
+        /// `"ok"`, or `"degraded"` once the server has caught a panic or
+        /// quarantined a session.
+        status: String,
+        /// Resident session count.
+        sessions: u64,
+        /// Sessions with an asynchronous build still in flight.
+        loading: u64,
+        /// Sessions currently quarantined.
+        quarantined: u64,
+        /// Requests queued but not yet picked up by a worker.
+        queue_depth: u64,
+        /// Panics caught by the worker and loader pools so far.
+        panics: u64,
+        /// Transient-failure retries (e.g. re-attempted spill reads).
+        retries: u64,
     },
     /// Acknowledgement of a `shutdown` request.
     ShutdownAck,
@@ -730,6 +800,24 @@ impl Response {
                     Value::Arr(sessions.iter().map(SessionInfo::to_value).collect()),
                 );
             }
+            ResponseBody::Health {
+                status,
+                sessions,
+                loading,
+                quarantined,
+                queue_depth,
+                panics,
+                retries,
+            } => {
+                obj.insert("ok".into(), Value::Bool(true));
+                obj.insert("status".into(), Value::Str(status.clone()));
+                obj.insert("sessions".into(), Value::Num(*sessions as f64));
+                obj.insert("loading".into(), Value::Num(*loading as f64));
+                obj.insert("quarantined".into(), Value::Num(*quarantined as f64));
+                obj.insert("queue_depth".into(), Value::Num(*queue_depth as f64));
+                obj.insert("panics".into(), Value::Num(*panics as f64));
+                obj.insert("retries".into(), Value::Num(*retries as f64));
+            }
             ResponseBody::ShutdownAck => {
                 obj.insert("ok".into(), Value::Bool(true));
                 obj.insert("shutdown".into(), Value::Bool(true));
@@ -770,6 +858,24 @@ impl Response {
             ResponseBody::Error { kind, message }
         } else if matches!(obj.get("shutdown"), Some(Value::Bool(true))) {
             ResponseBody::ShutdownAck
+        } else if let Some(status) = obj.get("status") {
+            // Keyed on `status`, and dispatched before the `loading` and
+            // `sessions` branches: a health body reuses both of those key
+            // names with numeric counts.
+            let count = |name: &str| {
+                obj.get(name)
+                    .and_then(Value::as_u64)
+                    .ok_or(format!("health reply needs unsigned `{name}`"))
+            };
+            ResponseBody::Health {
+                status: status.as_str().ok_or("`status` must be a string")?.to_string(),
+                sessions: count("sessions")?,
+                loading: count("loading")?,
+                quarantined: count("quarantined")?,
+                queue_depth: count("queue_depth")?,
+                panics: count("panics")?,
+                retries: count("retries")?,
+            }
         } else if let Some(server) = obj.get("server") {
             ResponseBody::Hello {
                 proto_min: obj
@@ -860,6 +966,7 @@ mod tests {
             Request { wait: true, ..Request::slice_in(11, "trace-c", &Criterion::Output(0)) },
             Request::unload(7, "trace-a"),
             Request::list(8),
+            Request::health(14),
             Request::shutdown(9),
             Request::hello(0, PROTO_VERSION),
             Request::hello(13, 7),
@@ -989,6 +1096,7 @@ mod tests {
                             resident_bytes: 100,
                             requests: 3,
                             loading: false,
+                            quarantined: false,
                         },
                         SessionInfo {
                             name: "b".into(),
@@ -996,6 +1104,7 @@ mod tests {
                             resident_bytes: 64,
                             requests: 0,
                             loading: false,
+                            quarantined: false,
                         },
                         SessionInfo {
                             name: "c".into(),
@@ -1003,6 +1112,7 @@ mod tests {
                             resident_bytes: 0,
                             requests: 0,
                             loading: true,
+                            quarantined: false,
                         },
                     ],
                 },
@@ -1030,6 +1140,7 @@ mod tests {
                         resident_bytes: 100,
                         requests: 3,
                         loading: false,
+                            quarantined: false,
                     },
                     SessionInfo {
                         name: "beta".into(),
@@ -1037,6 +1148,7 @@ mod tests {
                         resident_bytes: 64,
                         requests: 0,
                         loading: false,
+                            quarantined: false,
                     },
                 ],
             },
@@ -1049,6 +1161,60 @@ mod tests {
                 r#"{"algo":"paged","name":"beta","requests":0,"resident_bytes":64}"#,
                 "]}"
             ),
+        );
+    }
+
+    /// The health probe and its reply are pinned down to the byte, and a
+    /// quarantined session round-trips through the list payload.
+    #[test]
+    fn health_wire_bytes_are_pinned() {
+        assert_eq!(Request::health(2).to_json(), r#"{"id":2,"op":"health"}"#);
+        let reply = Response {
+            id: 2,
+            body: ResponseBody::Health {
+                status: "degraded".into(),
+                sessions: 2,
+                loading: 1,
+                quarantined: 1,
+                queue_depth: 3,
+                panics: 4,
+                retries: 5,
+            },
+        };
+        assert_eq!(
+            reply.to_json(),
+            concat!(
+                r#"{"id":2,"loading":1,"ok":true,"panics":4,"quarantined":1,"#,
+                r#""queue_depth":3,"retries":5,"sessions":2,"status":"degraded"}"#
+            ),
+        );
+        assert_eq!(Response::parse(&reply.to_json()).unwrap(), reply);
+
+        let quarantined = Response {
+            id: 3,
+            body: ResponseBody::Sessions {
+                sessions: vec![SessionInfo {
+                    name: "q".into(),
+                    algo: "opt".into(),
+                    resident_bytes: 0,
+                    requests: 7,
+                    loading: false,
+                    quarantined: true,
+                }],
+            },
+        };
+        assert_eq!(
+            quarantined.to_json(),
+            concat!(
+                r#"{"id":3,"ok":true,"sessions":[{"algo":"opt","name":"q","requests":7,"#,
+                r#""resident_bytes":0,"state":"quarantined"}]}"#
+            ),
+        );
+        assert_eq!(Response::parse(&quarantined.to_json()).unwrap(), quarantined);
+        assert!(
+            Response::parse(r#"{"id":1,"ok":true,"sessions":[{"algo":"o","name":"q","requests":0,"resident_bytes":0,"state":"zombie"}]}"#)
+                .is_err(),
+            "unknown session state is rejected"
         );
     }
 
@@ -1093,6 +1259,8 @@ mod tests {
         assert_eq!(ErrorKind::Io.exit_code(), 5);
         assert_eq!(ErrorKind::Busy.exit_code(), 1);
         assert_eq!(ErrorKind::ShuttingDown.exit_code(), 1);
+        assert_eq!(ErrorKind::Internal.exit_code(), 1);
+        assert_eq!(ErrorKind::Quarantined.exit_code(), 3);
     }
 
     /// Backend failures map onto the same taxonomy everywhere.

@@ -82,7 +82,8 @@ use crate::protocol::{
     ErrorKind, Op, Request, Response, ResponseBody, PROTO_MAX, PROTO_MIN,
 };
 use crate::sessions::{
-    LoadError, LruCache, SessionEntry, SessionLease, SessionManager, SessionSpec,
+    LoadError, LruCache, SessionEntry, SessionGauges, SessionLease, SessionManager,
+    SessionSpec,
 };
 
 /// The identity string a `hello` reply carries.
@@ -270,6 +271,14 @@ pub struct ServeSummary {
     pub sessions_unloaded: u64,
     /// Loads refused because eviction could not make room.
     pub sessions_rejected: u64,
+    /// Sessions quarantined after repeated caught panics.
+    pub sessions_quarantined: u64,
+    /// Panics caught by the worker and loader pools (each one is a single
+    /// failed request or build, never a dead server).
+    pub panics: u64,
+    /// Transient I/O failures absorbed by bounded retry (paged spill
+    /// reads) instead of surfacing to a client.
+    pub retries: u64,
 }
 
 impl ServeSummary {
@@ -294,6 +303,9 @@ impl ServeSummary {
         reg.counter_add("server.sessions_evicted", self.sessions_evicted);
         reg.counter_add("server.sessions_unloaded", self.sessions_unloaded);
         reg.counter_add("server.sessions_rejected", self.sessions_rejected);
+        reg.counter_add("server.sessions_quarantined", self.sessions_quarantined);
+        reg.counter_add("server.panics", self.panics);
+        reg.counter_add("server.retries", self.retries);
         reg.gauge_set("server.in_flight_peak", self.in_flight_peak as f64);
         reg.gauge_set("server.queue_peak", self.queue_peak as f64);
         reg.gauge_set("server.load_queue_peak", self.load_queue_peak as f64);
@@ -313,11 +325,14 @@ impl Sink {
     }
 
     /// Writes one response line. A dead connection is not an error — the
-    /// client hung up, and its remaining responses go nowhere.
+    /// client hung up, and its remaining responses go nowhere. A poisoned
+    /// lock is recovered, not propagated: the holder that panicked at
+    /// worst wrote a partial line to this one connection, and refusing to
+    /// ever write again would silently kill every later response on it.
     fn send(&self, response: &Response) {
         let line = response.to_json();
         self.written.fetch_add(line.len() as u64 + 1, Ordering::Relaxed);
-        let mut out = self.out.lock().unwrap();
+        let mut out = self.out.lock().unwrap_or_else(std::sync::PoisonError::into_inner);
         let _ = writeln!(out, "{line}");
         let _ = out.flush();
     }
@@ -378,9 +393,17 @@ impl<T> Queue<T> {
         }
     }
 
+    /// The queue lock, recovering from poisoning: nothing under it runs
+    /// user or backend code, so the `VecDeque` is structurally sound
+    /// whatever happened to the holder — and refusing the lock forever
+    /// would wedge every worker and reader at once.
+    fn lock(&self) -> std::sync::MutexGuard<'_, QueueInner<T>> {
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+
     /// Enqueues `job`, or hands it back if the queue is full or closed.
     fn push(&self, job: T, peak: &AtomicU64) -> Result<(), T> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock();
         if inner.closed || inner.jobs.len() >= self.depth {
             return Err(job);
         }
@@ -394,7 +417,7 @@ impl<T> Queue<T> {
     /// Blocks for the next job; `None` once the queue is closed **and**
     /// drained, so accepted work still completes during shutdown.
     fn pop(&self) -> Option<T> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.lock();
         loop {
             if let Some(job) = inner.jobs.pop_front() {
                 return Some(job);
@@ -402,12 +425,15 @@ impl<T> Queue<T> {
             if inner.closed {
                 return None;
             }
-            inner = self.available.wait(inner).unwrap();
+            inner = self
+                .available
+                .wait(inner)
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
         }
     }
 
     fn close(&self) {
-        self.inner.lock().unwrap().closed = true;
+        self.lock().closed = true;
         self.available.notify_all();
     }
 
@@ -415,7 +441,13 @@ impl<T> Queue<T> {
     /// backpressure (`rejected`) from one bounced by the shutdown drain
     /// (`shutting_down`).
     fn is_closed(&self) -> bool {
-        self.inner.lock().unwrap().closed
+        self.lock().closed
+    }
+
+    /// Jobs currently waiting (excludes jobs already being answered) —
+    /// the `health` probe's queue-depth figure.
+    fn len(&self) -> u64 {
+        self.lock().jobs.len() as u64
     }
 }
 
@@ -456,10 +488,16 @@ struct Shared {
     in_flight_peak: AtomicU64,
     queue_peak: AtomicU64,
     loads_peak: AtomicU64,
+    /// Panics caught by the worker and loader pools.
+    panics: AtomicU64,
+    /// The session manager's lock-free count mirror. The `health` op is
+    /// answered by detached reader threads that cannot borrow the scoped
+    /// manager, so they read these instead.
+    gauges: Arc<SessionGauges>,
 }
 
 impl Shared {
-    fn new(config: &ServeConfig) -> Self {
+    fn new(config: &ServeConfig, gauges: Arc<SessionGauges>) -> Self {
         Shared {
             queue: Queue::new(config.queue_depth),
             loads: Queue::new(config.queue_depth),
@@ -490,6 +528,30 @@ impl Shared {
             in_flight_peak: AtomicU64::new(0),
             queue_peak: AtomicU64::new(0),
             loads_peak: AtomicU64::new(0),
+            panics: AtomicU64::new(0),
+            gauges,
+        }
+    }
+
+    /// Builds the `health` reply: liveness plus the coarse counts a
+    /// probe needs to decide between `ok` and `degraded`. Reads only
+    /// atomics and the queue length, so it answers even when every
+    /// worker is wedged.
+    fn health(&self, id: u64) -> Response {
+        let panics = self.panics.load(Ordering::Relaxed);
+        let quarantined = self.gauges.quarantined.load(Ordering::SeqCst);
+        let status = if panics > 0 || quarantined > 0 { "degraded" } else { "ok" };
+        Response {
+            id,
+            body: ResponseBody::Health {
+                status: status.to_string(),
+                sessions: self.gauges.resident.load(Ordering::SeqCst),
+                loading: self.gauges.loading.load(Ordering::SeqCst),
+                quarantined,
+                queue_depth: self.queue.len(),
+                panics,
+                retries: dynslice_faults::retries(),
+            },
         }
     }
 
@@ -533,6 +595,9 @@ impl Shared {
             sessions_evicted: sessions.evicted,
             sessions_unloaded: sessions.unloaded,
             sessions_rejected: sessions.rejected,
+            sessions_quarantined: sessions.quarantined,
+            panics: self.panics.load(Ordering::Relaxed),
+            retries: dynslice_faults::retries(),
         }
     }
 }
@@ -573,7 +638,13 @@ fn plan(request: Request, shared: &Shared) -> Result<JobKind, Response> {
         Op::Load => {
             let build = || -> Result<SessionSpec, String> {
                 Ok(SessionSpec {
-                    name: request.session.clone().expect("protocol validates load"),
+                    // The protocol already refuses a `load` without a
+                    // session name, but a typed error beats trusting a
+                    // parser invariant from another module forever.
+                    name: request
+                        .session
+                        .clone()
+                        .ok_or_else(|| "load requires a session name".to_string())?,
                     // The protocol guarantees `program` or `snapshot`; an
                     // empty program path is never read when a snapshot is
                     // set.
@@ -587,9 +658,18 @@ fn plan(request: Request, shared: &Shared) -> Result<JobKind, Response> {
                 .map(|spec| JobKind::Load { spec, wait: request.wait })
                 .map_err(|msg| shared.error(request.id, ErrorKind::BadRequest, msg))
         }
-        Op::Unload => Ok(JobKind::Unload(request.session.expect("protocol validates unload"))),
+        Op::Unload => match request.session {
+            Some(name) => Ok(JobKind::Unload(name)),
+            // Same defense as `load`: the parser refuses this today.
+            None => Err(shared.error(
+                request.id,
+                ErrorKind::BadRequest,
+                "unload requires a session name",
+            )),
+        },
         Op::List => Ok(JobKind::List),
         Op::Hello => unreachable!("hello is handled inline by the reader"),
+        Op::Health => unreachable!("health is handled inline by the reader"),
         Op::Shutdown => unreachable!("shutdown is handled inline by the reader"),
     }
 }
@@ -754,6 +834,9 @@ fn serve_connection(input: impl Read, sink: &Arc<Sink>, shared: &Shared, policy:
                     }
                 };
                 if request.op == Op::Hello {
+                    // Provably present: `Request::parse` rejects a hello
+                    // without `proto` (pinned by the protocol tests), so
+                    // this expect cannot fire on any parseable line.
                     let proto = request.proto.expect("protocol validates hello");
                     if !(PROTO_MIN..=PROTO_MAX).contains(&proto) {
                         sink.send(&shared.error(
@@ -777,6 +860,15 @@ fn serve_connection(input: impl Read, sink: &Arc<Sink>, shared: &Shared, policy:
                             server: server_identity(),
                         },
                     });
+                    continue;
+                }
+                if request.op == Op::Health {
+                    // Health is answered inline by the reader — before the
+                    // handshake gate and without touching the worker queue,
+                    // so a probe gets an answer even from a server whose
+                    // pool is saturated or wedged.
+                    shared.ok.fetch_add(1, Ordering::Relaxed);
+                    sink.send(&shared.health(request.id));
                     continue;
                 }
                 if !handshaken {
@@ -868,7 +960,10 @@ fn answer_slice<S: Slicer + ?Sized>(
         thread::sleep(tick);
         remaining -= tick;
     }
-    if let Some(stmts) = cache.lock().unwrap().get(criterion) {
+    // Result-cache locks recover from poisoning: the cache holds only
+    // completed slices, so whatever a panicking holder left behind is at
+    // worst a missing entry — never worth failing the request over.
+    if let Some(stmts) = cache.lock().unwrap_or_else(std::sync::PoisonError::into_inner).get(criterion) {
         // A hit is nearly free, but the job may have sat in the queue past
         // its deadline — never count (or serve) a stale answer.
         if expired(deadline) {
@@ -893,7 +988,10 @@ fn answer_slice<S: Slicer + ?Sized>(
         Ok((slice, stats)) => {
             stats.record_metrics_for(slicer.name(), reg);
             let stmts: Arc<Vec<u32>> = Arc::new(slice.stmts.iter().map(|s| s.0).collect());
-            cache.lock().unwrap().insert(*criterion, Arc::clone(&stmts));
+            cache
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .insert(*criterion, Arc::clone(&stmts));
             if expired(deadline) {
                 return shared.error(id, ErrorKind::Timeout, "deadline exceeded");
             }
@@ -976,6 +1074,12 @@ fn answer<S: Slicer + ?Sized>(
     shared: &Shared,
     reg: &Registry,
 ) -> Response {
+    // Fault-injection point for request handling as a whole: an injected
+    // `err` answers a typed `internal` error, an injected `panic` unwinds
+    // into the worker's catch — exactly like a real handler bug would.
+    if let Err(fault) = dynslice_faults::hit("request") {
+        return shared.error(job.id, ErrorKind::Internal, fault.to_string());
+    }
     match &job.kind {
         JobKind::Slice { criterion, session: None, delay_ms, .. } => answer_slice(
             default,
@@ -990,6 +1094,14 @@ fn answer<S: Slicer + ?Sized>(
         ),
         JobKind::Slice { criterion, session: Some(name), delay_ms, wait } => {
             match checkout_session(manager, name, *wait, job.deadline, job.conn) {
+                Checkout::Missing if manager.is_quarantined(name) => shared.error(
+                    job.id,
+                    ErrorKind::Quarantined,
+                    format!(
+                        "session `{name}` is quarantined after repeated panics; \
+                         re-load it to resurrect the name"
+                    ),
+                ),
                 Checkout::Missing => shared.error(
                     job.id,
                     ErrorKind::UnknownSession,
@@ -1125,8 +1237,30 @@ fn worker_loop<S: Slicer + ?Sized>(
     while let Some(job) = shared.queue.pop() {
         let in_flight = shared.in_flight.fetch_add(1, Ordering::Relaxed) + 1;
         shared.in_flight_peak.fetch_max(in_flight, Ordering::Relaxed);
-        let response = answer(default, manager, &job, shared, reg);
-        job.sink.send(&finalize(response, job.id, job.deadline, shared));
+        // Panic isolation: a handler that unwinds kills this request, not
+        // the worker. `AssertUnwindSafe` is justified because everything
+        // the closure touches is either owned by the job or synchronized
+        // (atomics, mutexes with poisoning confined to per-entry caches).
+        let answered = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            answer(default, manager, &job, shared, reg)
+        }));
+        let response = match answered {
+            Ok(response) => finalize(response, job.id, job.deadline, shared),
+            Err(_) => {
+                shared.panics.fetch_add(1, Ordering::Relaxed);
+                // Attribute the panic to the session the request addressed
+                // so repeat offenders are quarantined.
+                if let JobKind::Slice { session: Some(name), .. } = &job.kind {
+                    manager.record_panic(name);
+                }
+                shared.error(
+                    job.id,
+                    ErrorKind::Internal,
+                    "request handler panicked; the panic was isolated to this request",
+                )
+            }
+        };
+        job.sink.send(&response);
         shared.in_flight.fetch_sub(1, Ordering::Relaxed);
     }
 }
@@ -1137,9 +1271,28 @@ fn worker_loop<S: Slicer + ?Sized>(
 /// — and counts under `failed`.
 fn loader_loop(manager: &SessionManager, shared: &Shared, reg: &Registry) {
     while let Some(job) = shared.loads.pop() {
-        if manager.load(&job.spec, reg).is_err() {
-            shared.failed.fetch_add(1, Ordering::Relaxed);
-            manager.end_load(&job.spec.name);
+        // The guard owns the `loading` registration: every exit from this
+        // iteration — success, failure, or a panicking build — clears it,
+        // so a name can never wedge in the `loading` state and block
+        // re-loads forever.
+        let guard = manager.load_guard(&job.spec.name);
+        let built = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            manager.load(&job.spec, reg)
+        }));
+        match built {
+            // The admission already cleared the registration under its
+            // own lock; a disarmed drop must not erase a newer one.
+            Ok(Ok(_)) => guard.disarm(),
+            Ok(Err(_)) => {
+                shared.failed.fetch_add(1, Ordering::Relaxed);
+            }
+            Err(_) => {
+                shared.panics.fetch_add(1, Ordering::Relaxed);
+                shared.failed.fetch_add(1, Ordering::Relaxed);
+                // A panicking build counts against the name like a
+                // panicking request does.
+                manager.record_panic(&job.spec.name);
+            }
         }
     }
 }
@@ -1191,7 +1344,13 @@ fn acceptor_loop(
     farewell: bool,
     shared: Arc<Shared>,
 ) {
-    listener.set_nonblocking().expect("set_nonblocking on listener");
+    if let Err(e) = listener.set_nonblocking() {
+        // Without non-blocking accepts the loop could never interleave
+        // shutdown checks; abandon the transport, not the process.
+        eprintln!("[serve] listener abandoned: set_nonblocking failed: {e}");
+        shared.readers_active.fetch_sub(1, Ordering::SeqCst);
+        return;
+    }
     while !shared.shutdown.load(Ordering::SeqCst) {
         match listener.accept() {
             Ok((reader, writer)) => {
@@ -1266,7 +1425,7 @@ pub fn serve<S: Slicer + ?Sized>(
     let start = Instant::now();
     SIGTERM_RECEIVED.store(false, Ordering::SeqCst);
     install_sigterm_handler();
-    let shared = Arc::new(Shared::new(config));
+    let shared = Arc::new(Shared::new(config, manager.gauges()));
     let transports = if transports.is_empty() { vec![Transport::Stdio] } else { transports };
     let socket_paths: Vec<PathBuf> = transports
         .iter()
@@ -1355,6 +1514,16 @@ pub fn serve<S: Slicer + ?Sized>(
     summary.record_metrics(reg);
     reg.gauge_set("server.workers", config.workers.max(1) as f64);
     reg.gauge_set("server.loaders", config.loaders.max(1) as f64);
+    // Reconciliation: every injected fault the plan fired lands in the
+    // report as `faults.<point>.<action>`, so a chaos run can check
+    // `server.panics`/`server.retries` against what was injected.
+    if let Some(plan) = dynslice_faults::installed() {
+        for ((point, action), hits) in plan.injections() {
+            if hits > 0 {
+                reg.counter_add(&format!("faults.{point}.{action}"), hits);
+            }
+        }
+    }
     Ok(summary)
 }
 
@@ -1455,7 +1624,7 @@ mod tests {
     /// is the only check `list`/`unload` jobs ever get.
     #[test]
     fn finalize_converts_stale_ok_replies_to_timeouts() {
-        let shared = Shared::new(&ServeConfig::default());
+        let shared = Shared::new(&ServeConfig::default(), Arc::default());
         shared.ok.fetch_add(1, Ordering::Relaxed); // as `answer` counted it
         let past = Some(Instant::now() - Duration::from_millis(1));
         let ok = Response { id: 7, body: ResponseBody::Sessions { sessions: Vec::new() } };

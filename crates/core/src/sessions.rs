@@ -366,7 +366,7 @@ impl SessionEntry {
 
     /// Distinct connections that have leased this session so far.
     pub fn client_connections(&self) -> u64 {
-        self.conns.lock().unwrap().len() as u64
+        self.conns.lock().unwrap_or_else(std::sync::PoisonError::into_inner).len() as u64
     }
 
     /// Most leases this session has held at once.
@@ -412,6 +412,34 @@ impl Drop for SessionLease {
     }
 }
 
+/// Holds the `end_load` obligation of an asynchronous build (see
+/// [`SessionManager::load_guard`]): dropped without [`Self::disarm`], it
+/// clears the name's pending-load registration — including when the drop
+/// happens during a panic's unwind, which is exactly the path that used
+/// to wedge the loading registry forever.
+pub struct LoadGuard<'m> {
+    manager: &'m SessionManager,
+    name: String,
+    armed: bool,
+}
+
+impl LoadGuard<'_> {
+    /// Releases the obligation without clearing the registration: the
+    /// successful [`SessionManager::load`] already removed it atomically
+    /// with admission, and a racing re-registration must survive.
+    pub fn disarm(mut self) {
+        self.armed = false;
+    }
+}
+
+impl Drop for LoadGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            self.manager.end_load(&self.name);
+        }
+    }
+}
+
 /// Retired sessions keep reporting: their final counters, keyed by name
 /// (suffixed `#2`, `#3`, … when the name was reused).
 struct ManagerInner {
@@ -421,6 +449,42 @@ struct ManagerInner {
     loading: BTreeMap<String, Algo>,
     retired: Vec<(String, SessionReport)>,
     lru_seq: u64,
+    /// Per-session caught-panic counts. A session reaching
+    /// [`QUARANTINE_PANICS`] is evicted into `quarantined`; the count is
+    /// cleared when the name is re-`load`ed or unloaded.
+    panics: BTreeMap<String, u32>,
+    /// Quarantined sessions: evicted for repeated panics and refusing
+    /// queries until re-`load`ed. Maps the name to the backend tag and
+    /// request count it had when quarantined (for `list`).
+    quarantined: BTreeMap<String, (String, u64)>,
+}
+
+/// Caught panics in one session's slicer before it is quarantined.
+pub const QUARANTINE_PANICS: u32 = 2;
+
+/// Lock-free mirror of the manager's session counts, refreshed under the
+/// manager lock on every mutation. The `health` op answers from detached
+/// reader threads that cannot borrow the manager (`'static` bound), so
+/// they read these through an [`Arc`] instead.
+#[derive(Debug, Default)]
+pub struct SessionGauges {
+    /// Resident session count.
+    pub resident: AtomicU64,
+    /// Asynchronous builds in flight (excluding replacement builds whose
+    /// old session still serves, matching `list`).
+    pub loading: AtomicU64,
+    /// Quarantined session count.
+    pub quarantined: AtomicU64,
+}
+
+impl SessionGauges {
+    fn sync(&self, inner: &ManagerInner) {
+        self.resident.store(inner.sessions.len() as u64, Ordering::SeqCst);
+        let loading =
+            inner.loading.keys().filter(|n| !inner.sessions.contains_key(*n)).count();
+        self.loading.store(loading as u64, Ordering::SeqCst);
+        self.quarantined.store(inner.quarantined.len() as u64, Ordering::SeqCst);
+    }
 }
 
 /// The outcome of [`SessionManager::unload`].
@@ -448,6 +512,8 @@ pub struct SessionCounters {
     pub unloaded: u64,
     /// Loads refused because eviction could not make room.
     pub rejected: u64,
+    /// Sessions quarantined for repeated slicer panics.
+    pub quarantined: u64,
 }
 
 /// Owns the server's named sessions and enforces the residency policy.
@@ -463,10 +529,12 @@ pub struct SessionManager {
     /// before replaying a trace, and populate it after a cold build.
     snapshot_dir: Option<PathBuf>,
     inner: Mutex<ManagerInner>,
+    gauges: Arc<SessionGauges>,
     loaded: AtomicU64,
     evicted: AtomicU64,
     unloaded: AtomicU64,
     rejected: AtomicU64,
+    quarantines: AtomicU64,
 }
 
 const _: () = {
@@ -499,12 +567,26 @@ impl SessionManager {
                 loading: BTreeMap::new(),
                 retired: Vec::new(),
                 lru_seq: 0,
+                panics: BTreeMap::new(),
+                quarantined: BTreeMap::new(),
             }),
+            gauges: Arc::new(SessionGauges::default()),
             loaded: AtomicU64::new(0),
             evicted: AtomicU64::new(0),
             unloaded: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            quarantines: AtomicU64::new(0),
         }
+    }
+
+    /// The manager lock, recovering from poisoning. Each mutation under
+    /// it leaves the maps structurally valid between statements, and the
+    /// worker pool catches panics — so a poisoned flag here means "some
+    /// request died mid-operation", not "the registry is garbage".
+    /// Propagating it would turn one isolated panic into a permanently
+    /// dead session table.
+    fn locked(&self) -> std::sync::MutexGuard<'_, ManagerInner> {
+        self.inner.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
     }
 
     /// Points graph-backed loads at a digest-keyed snapshot cache
@@ -526,18 +608,33 @@ impl SessionManager {
         algo: Algo,
         reg: &Registry,
     ) -> Result<OwnedSlicer, LoadError> {
+        dynslice_faults::hit("build")
+            .map_err(|f| LoadError::Io(std::io::Error::other(f.to_string())))?;
         if let Some(path) = &spec.snapshot {
-            let (snap, nbytes) = reg
-                .time_phase(phases::SNAPSHOT_IO, || snapshot::load(path))
-                .map_err(|e| match e {
-                    SnapshotError::Io(e) => LoadError::Io(e),
-                    other => LoadError::Bad(format!(
+            match reg.time_phase(phases::SNAPSHOT_IO, || snapshot::load(path)) {
+                Ok((snap, nbytes)) => {
+                    reg.counter_add("snapshot.read_bytes", nbytes);
+                    return OwnedSlicer::from_snapshot(snap, algo, &self.config, reg);
+                }
+                // Degraded mode: an I/O failure reading an explicit
+                // snapshot falls back to a cold rebuild when the spec
+                // also names a program — the same repair the digest
+                // cache applies to corrupt entries, extended to I/O
+                // faults. Without a program there is nothing to rebuild
+                // from, so the error surfaces.
+                Err(SnapshotError::Io(e)) => {
+                    if spec.program.as_os_str().is_empty() {
+                        return Err(LoadError::Io(e));
+                    }
+                    reg.counter_add("snapshot.restore_fallback", 1);
+                }
+                Err(other) => {
+                    return Err(LoadError::Bad(format!(
                         "cannot load snapshot `{}`: {other}",
                         path.display()
-                    )),
-                })?;
-            reg.counter_add("snapshot.read_bytes", nbytes);
-            return OwnedSlicer::from_snapshot(snap, algo, &self.config, reg);
+                    )))
+                }
+            }
         }
         let src = std::fs::read_to_string(&spec.program).map_err(|e| {
             LoadError::Bad(format!("cannot read program `{}`: {e}", spec.program.display()))
@@ -627,7 +724,7 @@ impl SessionManager {
             conns: Mutex::new(BTreeSet::new()),
         });
 
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.locked();
         // Re-weigh the resident set before planning: paged backends grow
         // as queries page blocks in, so admission must never trust the
         // weights recorded when the sessions were themselves admitted.
@@ -677,6 +774,8 @@ impl SessionManager {
             }
         }
         for victim in victims {
+            // Provably present: victims were selected from `inner.sessions`
+            // under this same lock, and nothing removed them since.
             let gone = inner.sessions.remove(&victim).expect("planned victim is resident");
             let report = gone.report(true);
             inner.retired.push((victim, report));
@@ -693,7 +792,12 @@ impl SessionManager {
         // An asynchronous load registered the name as pending; admitting
         // under the same lock makes the loading→resident handoff atomic.
         inner.loading.remove(&spec.name);
+        // A fresh load is the quarantine exit: the new backend starts
+        // with a clean panic record.
+        inner.quarantined.remove(&spec.name);
+        inner.panics.remove(&spec.name);
         self.loaded.fetch_add(1, Ordering::Relaxed);
+        self.gauges.sync(&inner);
         Ok(entry)
     }
 
@@ -704,11 +808,12 @@ impl SessionManager {
     /// loading. Beginning a load for a *resident* name is allowed:
     /// completion replaces the old session, like a blocking re-`load`.
     pub fn begin_load(&self, name: &str, algo: Option<Algo>) -> bool {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.locked();
         if inner.loading.contains_key(name) {
             return false;
         }
         inner.loading.insert(name.to_string(), algo.unwrap_or(self.default_algo));
+        self.gauges.sync(&inner);
         true
     }
 
@@ -716,12 +821,78 @@ impl SessionManager {
     /// failure path of an asynchronous build, so the name stops listing
     /// as `loading`. (A successful build clears it inside [`Self::load`].)
     pub fn end_load(&self, name: &str) {
-        self.inner.lock().unwrap().loading.remove(name);
+        let mut inner = self.locked();
+        inner.loading.remove(name);
+        self.gauges.sync(&inner);
     }
 
     /// Whether an asynchronous load for `name` is still building.
     pub fn is_loading(&self, name: &str) -> bool {
-        self.inner.lock().unwrap().loading.contains_key(name)
+        self.locked().loading.contains_key(name)
+    }
+
+    /// An RAII wrapper for the [`Self::begin_load`]/[`Self::end_load`]
+    /// obligation: dropping the guard clears the pending-load
+    /// registration, so a panic (or early return) between the two can
+    /// never wedge the name in `loading` forever. Call
+    /// [`LoadGuard::disarm`] after a *successful* [`Self::load`] — the
+    /// admission already cleared the registration under its own lock,
+    /// and a disarmed drop must not erase a newer registration that
+    /// raced in since.
+    pub fn load_guard<'m>(&'m self, name: &str) -> LoadGuard<'m> {
+        LoadGuard { manager: self, name: name.to_string(), armed: true }
+    }
+
+    /// Records one caught panic attributed to session `name`. At
+    /// [`QUARANTINE_PANICS`] panics the session is quarantined: evicted
+    /// (retiring its report), listed with `state: quarantined`, and
+    /// refusing queries until the name is re-`load`ed. Returns whether
+    /// this call quarantined it.
+    pub fn record_panic(&self, name: &str) -> bool {
+        let mut inner = self.locked();
+        let count = inner.panics.entry(name.to_string()).or_insert(0);
+        *count += 1;
+        if *count < QUARANTINE_PANICS || inner.quarantined.contains_key(name) {
+            return false;
+        }
+        let (algo, requests) = match inner.sessions.remove(name) {
+            Some(entry) => {
+                let report = entry.report(true);
+                let requests = entry.requests.load(Ordering::Relaxed);
+                let algo = entry.slicer().name().to_string();
+                inner.retired.push((name.to_string(), report));
+                (algo, requests)
+            }
+            // The session may already be gone (evicted between panics);
+            // quarantine the name anyway so further queries get the
+            // typed error rather than `unknown_session` roulette.
+            None => (self.default_algo.name().to_string(), 0),
+        };
+        inner.quarantined.insert(name.to_string(), (algo, requests));
+        self.quarantines.fetch_add(1, Ordering::Relaxed);
+        self.gauges.sync(&inner);
+        true
+    }
+
+    /// Whether `name` is quarantined (refusing queries until re-loaded).
+    pub fn is_quarantined(&self, name: &str) -> bool {
+        self.locked().quarantined.contains_key(name)
+    }
+
+    /// The lock-free gauge mirror, for readers (the `health` op's
+    /// detached connection threads) that cannot borrow the manager.
+    pub fn gauges(&self) -> Arc<SessionGauges> {
+        Arc::clone(&self.gauges)
+    }
+
+    /// Resident / still-loading / quarantined session counts, for the
+    /// `health` probe.
+    pub fn health_counts(&self) -> (u64, u64, u64) {
+        let inner = self.locked();
+        // A loading entry that shadows a resident name (a replacement
+        // build) is not counted twice, matching `list`.
+        let loading = inner.loading.keys().filter(|n| !inner.sessions.contains_key(*n)).count();
+        (inner.sessions.len() as u64, loading as u64, inner.quarantined.len() as u64)
     }
 
     /// Re-weighs every resident session and evicts idle sessions
@@ -732,7 +903,7 @@ impl SessionManager {
     /// until they go idle; a no-op without a budget.
     pub fn enforce_budget(&self) -> u64 {
         let Some(budget) = self.memory_budget else { return 0 };
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.locked();
         for e in inner.sessions.values() {
             e.reweigh();
         }
@@ -749,12 +920,15 @@ impl SessionManager {
                 .min_by_key(|(_, e)| e.last_used.load(Ordering::SeqCst))
                 .map(|(n, _)| n.clone());
             let Some(victim) = victim else { break };
+            // Provably present: the victim's key was read from
+            // `inner.sessions` in this same loop iteration, under the lock.
             let gone = inner.sessions.remove(&victim).expect("victim is resident");
             let report = gone.report(true);
             inner.retired.push((victim, report));
             self.evicted.fetch_add(1, Ordering::Relaxed);
             evicted += 1;
         }
+        self.gauges.sync(&inner);
         evicted
     }
 
@@ -765,14 +939,14 @@ impl SessionManager {
     /// entry tracks lifetime leases, the concurrent-lease peak, and the
     /// set of distinct connections, all surfaced in its final report.
     pub fn checkout(&self, name: &str, conn: u64) -> Option<SessionLease> {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.locked();
         let entry = Arc::clone(inner.sessions.get(name)?);
         inner.lru_seq += 1;
         entry.last_used.store(inner.lru_seq, Ordering::SeqCst);
         let held = entry.in_flight.fetch_add(1, Ordering::SeqCst) + 1;
         entry.lease_peak.fetch_max(held, Ordering::Relaxed);
         entry.leases.fetch_add(1, Ordering::Relaxed);
-        entry.conns.lock().unwrap().insert(conn);
+        entry.conns.lock().unwrap_or_else(std::sync::PoisonError::into_inner).insert(conn);
         Some(SessionLease { entry })
     }
 
@@ -784,7 +958,7 @@ impl SessionManager {
     /// session mid-build would let the build's completion resurrect the
     /// name an instant after the client saw it unloaded.
     pub fn unload(&self, name: &str) -> Unload {
-        let mut inner = self.inner.lock().unwrap();
+        let mut inner = self.locked();
         if inner.loading.contains_key(name) {
             return Unload::Loading;
         }
@@ -792,7 +966,17 @@ impl SessionManager {
             Some(entry) => {
                 let report = entry.report(false);
                 inner.retired.push((name.to_string(), report));
+                inner.panics.remove(name);
                 self.unloaded.fetch_add(1, Ordering::Relaxed);
+                self.gauges.sync(&inner);
+                Unload::Unloaded
+            }
+            // Unloading a quarantined name clears the marker: it is
+            // listed, so a client can tear it down like any session.
+            None if inner.quarantined.remove(name).is_some() => {
+                inner.panics.remove(name);
+                self.unloaded.fetch_add(1, Ordering::Relaxed);
+                self.gauges.sync(&inner);
                 Unload::Unloaded
             }
             None => Unload::Missing,
@@ -803,7 +987,7 @@ impl SessionManager {
     /// response payload. Loading entries carry the backend the build
     /// will produce and a zero weight (nothing is resident yet).
     pub fn list(&self) -> Vec<SessionInfo> {
-        let inner = self.inner.lock().unwrap();
+        let inner = self.locked();
         let mut out: Vec<SessionInfo> = inner
             .sessions
             .iter()
@@ -813,6 +997,7 @@ impl SessionManager {
                 resident_bytes: e.resident_bytes(),
                 requests: e.requests.load(Ordering::Relaxed),
                 loading: false,
+                quarantined: false,
             })
             .collect();
         for (name, algo) in &inner.loading {
@@ -825,6 +1010,20 @@ impl SessionManager {
                 resident_bytes: 0,
                 requests: 0,
                 loading: true,
+                quarantined: false,
+            });
+        }
+        for (name, (algo, requests)) in &inner.quarantined {
+            if inner.sessions.contains_key(name) || inner.loading.contains_key(name) {
+                continue; // a re-load is already resurrecting the name
+            }
+            out.push(SessionInfo {
+                name: name.clone(),
+                algo: algo.clone(),
+                resident_bytes: 0,
+                requests: *requests,
+                loading: false,
+                quarantined: true,
             });
         }
         out.sort_by(|a, b| a.name.cmp(&b.name));
@@ -835,7 +1034,7 @@ impl SessionManager {
     /// resident sessions under their names, retired ones after them
     /// (suffixed `#2`, `#3`, … when a name was reused).
     pub fn final_reports(&self) -> BTreeMap<String, SessionReport> {
-        let inner = self.inner.lock().unwrap();
+        let inner = self.locked();
         let mut out = BTreeMap::new();
         for (name, entry) in &inner.sessions {
             out.insert(name.clone(), entry.report(false));
@@ -859,6 +1058,7 @@ impl SessionManager {
             evicted: self.evicted.load(Ordering::Relaxed),
             unloaded: self.unloaded.load(Ordering::Relaxed),
             rejected: self.rejected.load(Ordering::Relaxed),
+            quarantined: self.quarantines.load(Ordering::Relaxed),
         }
     }
 
@@ -866,7 +1066,7 @@ impl SessionManager {
     /// lifecycle counters ride along in the serve summary (via
     /// [`Self::counters`]), which owns the `server.*` counter emission.
     pub fn record_metrics(&self, reg: &Registry) {
-        let inner = self.inner.lock().unwrap();
+        let inner = self.locked();
         reg.gauge_set("server.sessions_resident", inner.sessions.len() as f64);
         reg.gauge_set(
             "server.sessions_resident_bytes",
@@ -1319,5 +1519,83 @@ mod tests {
         m.load(&other, &reg).unwrap();
         assert_eq!(reg.counter("snapshot.miss"), 3, "different input, different digest");
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// Regression: a panic between `begin_load` and `end_load` used to
+    /// wedge the name in the loading state forever — refusing unloads,
+    /// refusing re-loads, and listing a build that would never land. The
+    /// guard clears the registration on unwind.
+    #[test]
+    fn load_guard_unwedges_a_panicking_build() {
+        let m = manager(4, None, "guard");
+        assert!(m.begin_load("w", None));
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _guard = m.load_guard("w");
+            panic!("build blew up");
+        }));
+        assert!(result.is_err());
+        assert!(!m.is_loading("w"), "the guard must clear the wedged registration");
+        assert!(m.begin_load("w", None), "the name is loadable again");
+        // A disarmed guard must NOT clear a registration: after a
+        // successful load the name may already belong to a newer build.
+        m.load_guard("w").disarm();
+        assert!(m.is_loading("w"), "disarm leaves the registration alone");
+        m.end_load("w");
+    }
+
+    /// The quarantine state machine: panics below the threshold change
+    /// nothing; at the threshold the session is evicted and listed as
+    /// quarantined; unload tears the marker down; a re-load resets the
+    /// panic record entirely.
+    #[test]
+    fn repeated_panics_quarantine_until_reload() {
+        let dir = scratch("quarantine");
+        let program = write_program(&dir, "q.minic");
+        let reg = Registry::new();
+        let m = manager(4, None, "quarantine");
+        m.load(&spec("q", &program), &reg).unwrap();
+
+        assert!(!m.record_panic("q"), "first panic only counts");
+        assert!(!m.is_quarantined("q"));
+        assert!(m.checkout("q", 0).is_some(), "still serving after one panic");
+
+        assert!(m.record_panic("q"), "second panic quarantines");
+        assert!(m.is_quarantined("q"));
+        assert!(m.checkout("q", 0).is_none(), "a quarantined session is evicted");
+        let listed = m.list();
+        assert_eq!(listed.len(), 1);
+        assert!(listed[0].quarantined && !listed[0].loading);
+        assert_eq!(m.counters().quarantined, 1);
+        let (resident, _, quarantined) = m.health_counts();
+        assert_eq!((resident, quarantined), (0, 1));
+        assert_eq!(m.gauges().quarantined.load(Ordering::SeqCst), 1);
+
+        // Re-loading the name is the quarantine exit — and it resets the
+        // panic count, so the fresh backend gets a full allowance again.
+        m.load(&spec("q", &program), &reg).unwrap();
+        assert!(!m.is_quarantined("q"));
+        assert!(!m.record_panic("q"), "the panic record restarted from zero");
+
+        // Unload is the other exit: quarantine again, then tear it down.
+        assert!(m.record_panic("q"), "second panic of the new backend");
+        assert_eq!(m.unload("q"), Unload::Unloaded, "a quarantined name can be unloaded");
+        assert!(!m.is_quarantined("q"));
+        assert!(m.list().is_empty());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    /// A panic attributed to a name that was never (or is no longer)
+    /// resident still quarantines the name, so clients get the typed
+    /// error instead of `unknown_session` roulette.
+    #[test]
+    fn quarantine_works_without_a_resident_session() {
+        let m = manager(4, None, "ghost");
+        assert!(!m.record_panic("ghost"));
+        assert!(m.record_panic("ghost"));
+        assert!(m.is_quarantined("ghost"));
+        let listed = m.list();
+        assert_eq!(listed.len(), 1);
+        assert!(listed[0].quarantined);
+        assert_eq!(listed[0].requests, 0);
     }
 }

@@ -1,0 +1,178 @@
+//! Property tests for the fault-injection plan language.
+//!
+//! Three families: every structurally well-formed spec the generator can
+//! compose must parse; a parsed plan must be deterministic — two copies
+//! of the same spec (same seed) driven with the same hit sequence agree
+//! on every decision; and the plan's own bookkeeping must reconcile —
+//! `injections()` equals an external tally of the non-`None` evaluations,
+//! and `hits()` equals the number of `evaluate` calls. Plus the usual
+//! negative family: arbitrary garbage must never panic the parser.
+//!
+//! These run `FaultPlan::evaluate` directly rather than installing the
+//! plan globally, so the suite stays parallel-safe and no injected
+//! `delay` ever actually sleeps.
+
+use std::collections::BTreeMap;
+
+use dynslice_faults::{Action, FaultPlan, POINTS};
+use proptest::prelude::*;
+
+/// Renders one spec entry from raw integer choices. `point_pick` indexes
+/// [`POINTS`]; `action_pick` selects err/panic/delay; `trigger_pick`
+/// selects none/`*`/exact/range/percent. Every combination this emits is
+/// grammatical by construction.
+fn render_entry(
+    point_pick: usize,
+    action_pick: u8,
+    delay_ms: u64,
+    trigger_pick: u8,
+    a: u64,
+    b: u64,
+    pct: u8,
+) -> String {
+    let point = POINTS[point_pick % POINTS.len()];
+    let action = match action_pick % 3 {
+        0 => "err".to_string(),
+        1 => "panic".to_string(),
+        _ => format!("delay={delay_ms}ms"),
+    };
+    let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+    match trigger_pick % 5 {
+        0 => format!("{point}:{action}"),
+        1 => format!("{point}:{action}@*"),
+        2 => format!("{point}:{action}@{a}"),
+        3 => format!("{point}:{action}@{lo}..{hi}"),
+        _ => format!("{point}:{action}@p{}", pct % 101),
+    }
+}
+
+/// One generated entry: the tuple of raw picks, kept so failing cases
+/// shrink to readable integers rather than opaque strings.
+type EntryPicks = (usize, u8, u64, u8, u64, u64, u8);
+
+fn spec_from(entries: &[EntryPicks], seed: Option<u64>) -> String {
+    let mut parts: Vec<String> = entries
+        .iter()
+        .map(|&(p, act, ms, trig, a, b, pct)| render_entry(p, act, ms, trig, a, b, pct))
+        .collect();
+    if let Some(seed) = seed {
+        parts.push(format!("seed={seed}"));
+    }
+    parts.join(",")
+}
+
+fn entry_strategy() -> impl Strategy<Value = EntryPicks> {
+    (
+        0usize..POINTS.len(),
+        0u8..3,
+        0u64..10_000, // stays under the crate's delay cap
+        0u8..5,
+        1u64..50, // triggers are 1-based; 0 would be a spec error
+        1u64..50,
+        0u8..101,
+    )
+}
+
+/// Drives `plan` with `hits` evaluations spread round-robin over all
+/// points and tallies what fired, keyed the same way `injections()` is.
+fn drive(plan: &FaultPlan, hits: u64) -> BTreeMap<(&'static str, &'static str), u64> {
+    let mut tally = BTreeMap::new();
+    for i in 0..hits {
+        let point = POINTS[(i as usize) % POINTS.len()];
+        if let Some(action) = plan.evaluate(point) {
+            *tally.entry((point, action.tag())).or_insert(0) += 1;
+        }
+    }
+    tally
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig { cases: 64, ..ProptestConfig::default() })]
+
+    /// Every spec the generator composes is valid, and the parsed plan's
+    /// bookkeeping reconciles with an external tally: `injections()` is
+    /// exactly the non-`None` evaluations, and `hits()` counts every
+    /// `evaluate` call whether or not a rule fired.
+    #[test]
+    fn generated_specs_parse_and_counters_reconcile(
+        entries in collection::vec(entry_strategy(), 0..6),
+        seed in 0u64..1_000_000,
+        rounds in 0u64..40,
+    ) {
+        let spec = spec_from(&entries, Some(seed));
+        let plan = match FaultPlan::parse(&spec) {
+            Ok(plan) => plan,
+            Err(e) => return Err(TestCaseError::fail(format!("`{spec}` rejected: {e}"))),
+        };
+        prop_assert_eq!(plan.seed(), seed);
+        let hits = rounds * POINTS.len() as u64;
+        let tally = drive(&plan, hits);
+        prop_assert_eq!(plan.injections(), tally, "spec: {}", spec);
+        for point in POINTS {
+            prop_assert_eq!(plan.hits(point), rounds, "point {} of spec {}", point, spec);
+        }
+    }
+
+    /// Determinism: two plans parsed from the same spec (probabilistic
+    /// triggers and all) driven with the same hit sequence make the same
+    /// decision at every step. This is what makes a chaos failure
+    /// replayable from nothing but the spec string.
+    #[test]
+    fn same_spec_same_seed_means_same_decisions(
+        entries in collection::vec(entry_strategy(), 1..6),
+        seed in 0u64..1_000_000,
+        hits in 1u64..200,
+    ) {
+        let spec = spec_from(&entries, Some(seed));
+        let left = FaultPlan::parse(&spec)
+            .map_err(|e| TestCaseError::fail(format!("`{spec}` rejected: {e}")))?;
+        let right = FaultPlan::parse(&spec)
+            .map_err(|e| TestCaseError::fail(format!("`{spec}` rejected: {e}")))?;
+        for i in 0..hits {
+            let point = POINTS[(i as usize) % POINTS.len()];
+            prop_assert_eq!(
+                left.evaluate(point), right.evaluate(point),
+                "diverged at hit {} of spec {}", i, spec
+            );
+        }
+        prop_assert_eq!(left.injections(), right.injections());
+    }
+
+    /// A delay entry always reports the exact milliseconds it was given,
+    /// and the action's counter tag is stable across the value range.
+    #[test]
+    fn delay_actions_carry_their_milliseconds(
+        point_pick in 0usize..POINTS.len(),
+        ms in 0u64..10_000,
+    ) {
+        let point = POINTS[point_pick];
+        let spec = format!("{point}:delay={ms}ms");
+        let plan = FaultPlan::parse(&spec)
+            .map_err(|e| TestCaseError::fail(format!("`{spec}` rejected: {e}")))?;
+        match plan.evaluate(point) {
+            Some(Action::Delay(got)) => prop_assert_eq!(got, ms),
+            other => return Err(TestCaseError::fail(format!("expected delay, got {other:?}"))),
+        }
+        prop_assert_eq!(plan.fired_with_tag("delay"), 1);
+    }
+
+    /// The parser never panics: not on printable-ASCII garbage (which
+    /// shares the grammar's alphabet, so it exercises every error arm)
+    /// and not on entries that are one mutation away from valid.
+    #[test]
+    fn arbitrary_garbage_never_panics_the_parser(
+        chars in collection::vec(0u8..128, 0..64),
+    ) {
+        let garbage: String = chars
+            .into_iter()
+            .map(|b| (b'!' + b % 94) as char) // printable, includes :,@=*
+            .collect();
+        // Ok or Err are both fine; only a panic fails the property (the
+        // proptest harness treats it as a test failure with the case).
+        let _ = FaultPlan::parse(&garbage);
+        let _ = FaultPlan::parse(&format!("paged_read:{garbage}"));
+        let _ = FaultPlan::parse(&format!("{garbage}:err@1"));
+        let _ = FaultPlan::parse(&format!("request:err@{garbage}"));
+        let _ = FaultPlan::parse(&format!("seed={garbage}"));
+    }
+}

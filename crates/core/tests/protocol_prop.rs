@@ -185,6 +185,9 @@ proptest! {
                         resident_bytes: bytes,
                         requests: u64::from(*v),
                         loading: v % 3 == 0,
+                        // `loading` wins the state field when both are
+                        // set, so quarantine only round-trips without it.
+                        quarantined: v % 3 != 0 && v % 5 == 0,
                     })
                     .collect(),
             },

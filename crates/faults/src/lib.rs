@@ -1,0 +1,444 @@
+//! Deterministic fault injection for chaos testing.
+//!
+//! A [`FaultPlan`] is parsed from a compact spec (the `--fault-plan` CLI
+//! flag or the `DYNSLICE_FAULTS` environment variable) and installed
+//! process-globally. Production code marks *injection points* with
+//! [`hit`]; with no plan installed the call is a single relaxed atomic
+//! load, so the hooks are free in normal operation.
+//!
+//! # Spec grammar
+//!
+//! ```text
+//! plan    := entry ("," entry)*
+//! entry   := "seed=" u64
+//!          | point ":" action ["@" trigger]        (default trigger: "*")
+//! point   := "paged_read" | "snapshot_read" | "snapshot_write"
+//!          | "build" | "request"
+//! action  := "err" | "panic" | "delay=" u64 "ms"
+//! trigger := "*"            every hit
+//!          | N              exactly the Nth hit (1-based)
+//!          | N ".." M       hits N through M inclusive
+//!          | "p" P          each hit with probability P% (seeded RNG)
+//! ```
+//!
+//! Example: `paged_read:err@3,snapshot_read:delay=50ms@*,build:panic@1`.
+//!
+//! Determinism: per-point hit counters are process-global and the `pP`
+//! trigger draws from an xorshift generator seeded by `seed=`, so the
+//! same plan over the same sequence of hits injects the same faults.
+//! Rules are evaluated in spec order; the first match fires.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::time::Duration;
+
+/// Every injection point production code declares. Plans naming anything
+/// else are rejected at parse time, so a typo'd spec fails fast instead
+/// of silently injecting nothing.
+pub const POINTS: [&str; 5] =
+    ["paged_read", "snapshot_read", "snapshot_write", "build", "request"];
+
+/// Delays above this are a spec error: injected latency is for exercising
+/// timeout paths, not for hanging the test suite.
+const MAX_DELAY_MS: u64 = 10_000;
+
+/// What an injection does when its trigger matches.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Action {
+    /// The hook returns an [`Injected`] error (call sites surface it as
+    /// an I/O-style failure).
+    Err,
+    /// The hook panics (call sites are expected to `catch_unwind`).
+    Panic,
+    /// The hook sleeps for the given number of milliseconds, then
+    /// succeeds.
+    Delay(u64),
+}
+
+impl Action {
+    /// Stable tag used in `faults.<point>.<tag>` counter names.
+    pub fn tag(self) -> &'static str {
+        match self {
+            Action::Err => "err",
+            Action::Panic => "panic",
+            Action::Delay(_) => "delay",
+        }
+    }
+}
+
+/// When a rule fires, relative to the per-point hit counter (1-based).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Trigger {
+    Every,
+    Exact(u64),
+    Range(u64, u64),
+    /// Fires on each hit with the given percent probability, drawn from
+    /// the plan's seeded generator.
+    Percent(u8),
+}
+
+impl Trigger {
+    fn matches(self, hit: u64, rng: &Mutex<u64>) -> bool {
+        match self {
+            Trigger::Every => true,
+            Trigger::Exact(n) => hit == n,
+            Trigger::Range(a, b) => (a..=b).contains(&hit),
+            Trigger::Percent(p) => {
+                let mut state = rng.lock().unwrap();
+                // xorshift64: deterministic for a given seed and draw
+                // order (draws are serialized by this lock).
+                let mut x = *state;
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                *state = x;
+                (x % 100) < u64::from(p)
+            }
+        }
+    }
+}
+
+#[derive(Debug)]
+struct Rule {
+    point: usize, // index into POINTS
+    action: Action,
+    trigger: Trigger,
+    fired: AtomicU64,
+}
+
+/// A parsed, thread-safe fault plan. Evaluate with [`FaultPlan::evaluate`]
+/// directly (unit tests) or install globally with [`install`] so the
+/// [`hit`] hooks see it.
+#[derive(Debug)]
+pub struct FaultPlan {
+    rules: Vec<Rule>,
+    seed: u64,
+    rng: Mutex<u64>,
+    hits: [AtomicU64; POINTS.len()],
+}
+
+/// The error an `err` action surfaces from [`hit`]. Call sites convert it
+/// to their local error type (typically `io::Error`); the message names
+/// the point so operators can tell injected failures from real ones.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Injected {
+    /// The injection point that fired (one of [`POINTS`]).
+    pub point: &'static str,
+}
+
+impl fmt::Display for Injected {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "injected fault at `{}`", self.point)
+    }
+}
+
+impl std::error::Error for Injected {}
+
+fn point_index(name: &str) -> Option<usize> {
+    POINTS.iter().position(|p| *p == name)
+}
+
+impl FaultPlan {
+    /// Parses a plan spec (grammar in the module docs). Unknown points,
+    /// malformed actions, and out-of-range delays are errors.
+    pub fn parse(spec: &str) -> Result<FaultPlan, String> {
+        let mut rules = Vec::new();
+        let mut seed: u64 = 0x5eed_f417_0000_0001;
+        for entry in spec.split(',') {
+            let entry = entry.trim();
+            if entry.is_empty() {
+                continue;
+            }
+            if let Some(value) = entry.strip_prefix("seed=") {
+                seed = value
+                    .parse()
+                    .map_err(|_| format!("bad seed `{value}` (expected u64)"))?;
+                continue;
+            }
+            let (point_name, rest) = entry
+                .split_once(':')
+                .ok_or_else(|| format!("bad fault entry `{entry}` (expected point:action)"))?;
+            let point = point_index(point_name).ok_or_else(|| {
+                format!(
+                    "unknown injection point `{point_name}` (known: {})",
+                    POINTS.join(", ")
+                )
+            })?;
+            let (action_str, trigger_str) = match rest.split_once('@') {
+                Some((a, t)) => (a, Some(t)),
+                None => (rest, None),
+            };
+            let action = if action_str == "err" {
+                Action::Err
+            } else if action_str == "panic" {
+                Action::Panic
+            } else if let Some(ms) = action_str
+                .strip_prefix("delay=")
+                .and_then(|d| d.strip_suffix("ms"))
+            {
+                let ms: u64 =
+                    ms.parse().map_err(|_| format!("bad delay `{action_str}`"))?;
+                if ms > MAX_DELAY_MS {
+                    return Err(format!("delay {ms}ms over the {MAX_DELAY_MS}ms cap"));
+                }
+                Action::Delay(ms)
+            } else {
+                return Err(format!(
+                    "unknown action `{action_str}` (expected err, panic, or delay=<N>ms)"
+                ));
+            };
+            let trigger = match trigger_str {
+                None | Some("*") => Trigger::Every,
+                Some(t) => {
+                    if let Some(p) = t.strip_prefix('p') {
+                        let p: u8 = p
+                            .parse()
+                            .ok()
+                            .filter(|p| *p <= 100)
+                            .ok_or_else(|| format!("bad probability trigger `@{t}`"))?;
+                        Trigger::Percent(p)
+                    } else if let Some((a, b)) = t.split_once("..") {
+                        let a: u64 =
+                            a.parse().map_err(|_| format!("bad trigger range `@{t}`"))?;
+                        let b: u64 =
+                            b.parse().map_err(|_| format!("bad trigger range `@{t}`"))?;
+                        if a == 0 || b < a {
+                            return Err(format!("bad trigger range `@{t}` (1-based, lo<=hi)"));
+                        }
+                        Trigger::Range(a, b)
+                    } else {
+                        let n: u64 =
+                            t.parse().map_err(|_| format!("bad trigger `@{t}`"))?;
+                        if n == 0 {
+                            return Err("trigger hit counts are 1-based".into());
+                        }
+                        Trigger::Exact(n)
+                    }
+                }
+            };
+            rules.push(Rule { point, action, trigger, fired: AtomicU64::new(0) });
+        }
+        Ok(FaultPlan {
+            rules,
+            seed,
+            rng: Mutex::new(seed | 1), // xorshift state must be nonzero
+            hits: Default::default(),
+        })
+    }
+
+    /// The plan's RNG seed (spec `seed=`, or the default).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Records a hit at `point` and returns the action to perform, if any
+    /// rule's trigger matches. `None` for unknown points: production code
+    /// only passes names from [`POINTS`], but a stale caller must never
+    /// panic the host.
+    pub fn evaluate(&self, point: &str) -> Option<Action> {
+        let idx = point_index(point)?;
+        let hit = self.hits[idx].fetch_add(1, Ordering::SeqCst) + 1;
+        for rule in self.rules.iter().filter(|r| r.point == idx) {
+            if rule.trigger.matches(hit, &self.rng) {
+                rule.fired.fetch_add(1, Ordering::SeqCst);
+                return Some(rule.action);
+            }
+        }
+        None
+    }
+
+    /// Total hits recorded at `point` (fired or not).
+    pub fn hits(&self, point: &str) -> u64 {
+        point_index(point).map_or(0, |i| self.hits[i].load(Ordering::SeqCst))
+    }
+
+    /// Injections that actually fired, aggregated as
+    /// `(point, action-tag) -> count`. The serve summary publishes these
+    /// as `faults.<point>.<tag>` counters.
+    pub fn injections(&self) -> BTreeMap<(&'static str, &'static str), u64> {
+        let mut out = BTreeMap::new();
+        for rule in &self.rules {
+            let fired = rule.fired.load(Ordering::SeqCst);
+            if fired > 0 {
+                *out.entry((POINTS[rule.point], rule.action.tag())).or_insert(0) += fired;
+            }
+        }
+        out
+    }
+
+    /// Sum of fired injections with the given action tag, across points.
+    pub fn fired_with_tag(&self, tag: &str) -> u64 {
+        self.rules
+            .iter()
+            .filter(|r| r.action.tag() == tag)
+            .map(|r| r.fired.load(Ordering::SeqCst))
+            .sum()
+    }
+}
+
+/// The installed global plan. An `RwLock` (not `OnceLock`) so tests can
+/// install, exercise, and clear plans; the `ACTIVE` flag keeps the
+/// no-plan fast path to one relaxed load.
+static GLOBAL: RwLock<Option<Arc<FaultPlan>>> = RwLock::new(None);
+static ACTIVE: AtomicBool = AtomicBool::new(false);
+
+/// Transient-failure retries noted by call sites (see [`note_retry`]).
+/// Process-global so the serve summary can publish `server.retries`
+/// without threading a handle through every layer.
+static RETRIES: AtomicU64 = AtomicU64::new(0);
+
+/// Installs `plan` as the process-global plan consulted by [`hit`].
+/// Passing `None` clears it.
+pub fn install(plan: Option<FaultPlan>) {
+    let mut global = GLOBAL.write().unwrap();
+    ACTIVE.store(plan.is_some(), Ordering::SeqCst);
+    *global = plan.map(Arc::new);
+}
+
+/// The currently installed plan, if any (for counter reconciliation).
+pub fn installed() -> Option<Arc<FaultPlan>> {
+    if !ACTIVE.load(Ordering::Relaxed) {
+        return None;
+    }
+    GLOBAL.read().unwrap().clone()
+}
+
+/// Marks an injection point. With no plan installed this is one relaxed
+/// atomic load. With a plan: sleeps on `delay` actions, panics on `panic`
+/// actions (callers on panic-reachable paths must isolate with
+/// `catch_unwind`), and returns `Err` on `err` actions.
+pub fn hit(point: &'static str) -> Result<(), Injected> {
+    let Some(plan) = installed() else { return Ok(()) };
+    match plan.evaluate(point) {
+        None => Ok(()),
+        Some(Action::Err) => Err(Injected { point }),
+        Some(Action::Panic) => panic!("injected fault: panic at `{point}`"),
+        Some(Action::Delay(ms)) => {
+            std::thread::sleep(Duration::from_millis(ms));
+            Ok(())
+        }
+    }
+}
+
+/// Notes one retry of a transient failure (e.g. a paged spill read that
+/// failed and is being re-attempted). Feeds the `server.retries` counter.
+pub fn note_retry() {
+    RETRIES.fetch_add(1, Ordering::SeqCst);
+}
+
+/// Total retries noted since process start.
+pub fn retries() -> u64 {
+    RETRIES.load(Ordering::SeqCst)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_the_issue_example() {
+        let plan =
+            FaultPlan::parse("paged_read:err@3,snapshot_read:delay=50ms@*,build:panic@1")
+                .unwrap();
+        assert_eq!(plan.rules.len(), 3);
+        assert_eq!(plan.rules[0].action, Action::Err);
+        assert_eq!(plan.rules[0].trigger, Trigger::Exact(3));
+        assert_eq!(plan.rules[1].action, Action::Delay(50));
+        assert_eq!(plan.rules[1].trigger, Trigger::Every);
+        assert_eq!(plan.rules[2].action, Action::Panic);
+    }
+
+    #[test]
+    fn rejects_malformed_specs() {
+        assert!(FaultPlan::parse("bogus_point:err@1").is_err(), "unknown point");
+        assert!(FaultPlan::parse("paged_read:explode@1").is_err(), "unknown action");
+        assert!(FaultPlan::parse("paged_read:err@0").is_err(), "0 is not a hit index");
+        assert!(FaultPlan::parse("paged_read:err@5..2").is_err(), "inverted range");
+        assert!(FaultPlan::parse("paged_read:delay=99999ms@*").is_err(), "delay cap");
+        assert!(FaultPlan::parse("seed=notanumber").is_err(), "bad seed");
+        assert!(FaultPlan::parse("paged_read:err@p101").is_err(), "probability > 100");
+        assert!(FaultPlan::parse("").unwrap().rules.is_empty(), "empty plan is empty");
+    }
+
+    #[test]
+    fn exact_trigger_fires_once_on_the_nth_hit() {
+        let plan = FaultPlan::parse("paged_read:err@3").unwrap();
+        assert_eq!(plan.evaluate("paged_read"), None);
+        assert_eq!(plan.evaluate("paged_read"), None);
+        assert_eq!(plan.evaluate("paged_read"), Some(Action::Err));
+        assert_eq!(plan.evaluate("paged_read"), None);
+        assert_eq!(plan.hits("paged_read"), 4);
+        assert_eq!(plan.injections().get(&("paged_read", "err")), Some(&1));
+    }
+
+    #[test]
+    fn range_trigger_covers_inclusive_span() {
+        let plan = FaultPlan::parse("build:err@2..3").unwrap();
+        assert_eq!(plan.evaluate("build"), None);
+        assert_eq!(plan.evaluate("build"), Some(Action::Err));
+        assert_eq!(plan.evaluate("build"), Some(Action::Err));
+        assert_eq!(plan.evaluate("build"), None);
+    }
+
+    #[test]
+    fn first_matching_rule_wins() {
+        let plan = FaultPlan::parse("request:err@1,request:panic@*").unwrap();
+        assert_eq!(plan.evaluate("request"), Some(Action::Err));
+        assert_eq!(plan.evaluate("request"), Some(Action::Panic));
+    }
+
+    #[test]
+    fn percent_trigger_is_deterministic_for_a_seed() {
+        let sample = |seed: u64| {
+            let plan = FaultPlan::parse(&format!("seed={seed},request:err@p50")).unwrap();
+            (0..64).map(|_| plan.evaluate("request").is_some()).collect::<Vec<_>>()
+        };
+        assert_eq!(sample(7), sample(7), "same seed, same decisions");
+        assert_ne!(sample(7), sample(8), "different seed, different stream");
+        let fired = sample(7).iter().filter(|f| **f).count();
+        assert!((10..=54).contains(&fired), "p50 fired {fired}/64 times");
+    }
+
+    #[test]
+    fn points_unknown_to_the_plan_are_inert() {
+        let plan = FaultPlan::parse("request:err@*").unwrap();
+        assert_eq!(plan.evaluate("paged_read"), None);
+        assert_eq!(plan.evaluate("not_a_point"), None);
+        assert_eq!(plan.hits("not_a_point"), 0);
+    }
+
+    #[test]
+    fn global_install_and_hit() {
+        // Single test body touching the global so parallel test threads
+        // in this module never race on it.
+        install(Some(FaultPlan::parse("snapshot_write:err@1").unwrap()));
+        assert!(hit("snapshot_write").is_err());
+        assert!(hit("snapshot_write").is_ok());
+        let plan = installed().expect("installed");
+        assert_eq!(plan.hits("snapshot_write"), 2);
+        assert_eq!(plan.fired_with_tag("err"), 1);
+        install(None);
+        assert!(installed().is_none());
+        assert!(hit("snapshot_write").is_ok());
+    }
+
+    #[test]
+    fn retry_counter_accumulates() {
+        let before = retries();
+        note_retry();
+        note_retry();
+        assert_eq!(retries(), before + 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "injected fault: panic at `build`")]
+    fn panic_action_panics_through_evaluate() {
+        let plan = FaultPlan::parse("build:panic@1").unwrap();
+        // Exercise the panic path without the global: mirror `hit`.
+        if let Some(Action::Panic) = plan.evaluate("build") {
+            panic!("injected fault: panic at `build`");
+        }
+    }
+}

@@ -442,7 +442,7 @@ impl PagedGraph {
                 )
             })?;
         let mut buf = vec![0u8; nbytes];
-        self.spill.read_exact_at(&mut buf, meta.offset)?;
+        self.read_spill_with_retry(&mut buf, meta.offset)?;
         let block: Block = Arc::new(
             buf.chunks_exact(PAIR_BYTES)
                 .map(|c| {
@@ -458,6 +458,34 @@ impl PagedGraph {
         self.bytes_read.fetch_add(buf.len() as u64, Ordering::Relaxed);
         shard.lock().expect("cache shard").insert(id, &block);
         Ok(block)
+    }
+
+    /// Reads spill bytes at `offset`, retrying a transient failure with
+    /// bounded backoff (1ms, 4ms) before surfacing the error. A spill
+    /// read is idempotent — the file is immutable once written — so a
+    /// retry can only re-read the same bytes, never observe a torn
+    /// write. Each retry is noted via [`dynslice_faults::note_retry`]
+    /// (the `server.retries` counter). The `paged_read` fault hook sits
+    /// inside the loop, so an injected single-shot error exercises
+    /// exactly the recovery path a real transient failure takes.
+    fn read_spill_with_retry(&self, buf: &mut [u8], offset: u64) -> io::Result<()> {
+        const ATTEMPTS: u32 = 3;
+        let mut delay = std::time::Duration::from_millis(1);
+        for attempt in 1.. {
+            let result = dynslice_faults::hit("paged_read")
+                .map_err(io::Error::other)
+                .and_then(|()| self.spill.read_exact_at(buf, offset));
+            match result {
+                Ok(()) => return Ok(()),
+                Err(e) if attempt >= ATTEMPTS => return Err(e),
+                Err(_) => {
+                    dynslice_faults::note_retry();
+                    std::thread::sleep(delay);
+                    delay *= 4;
+                }
+            }
+        }
+        unreachable!("the final attempt returns")
     }
 
     /// Searches channel `chan` for the pair with use-timestamp `tu`.

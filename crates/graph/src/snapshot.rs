@@ -979,6 +979,7 @@ pub fn decode(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
 /// # Errors
 /// Propagates filesystem errors.
 pub fn save(path: &Path, snap: &Snapshot) -> io::Result<u64> {
+    dynslice_faults::hit("snapshot_write").map_err(io::Error::other)?;
     let bytes = encode(snap);
     let mut file = File::create(path)?;
     file.write_all(&bytes)?;
@@ -993,6 +994,7 @@ pub fn save(path: &Path, snap: &Snapshot) -> io::Result<u64> {
 /// [`SnapshotError::Io`] for filesystem failures, otherwise the decode
 /// errors of [`decode`].
 pub fn load(path: &Path) -> Result<(Snapshot, u64), SnapshotError> {
+    dynslice_faults::hit("snapshot_read").map_err(io::Error::other)?;
     let mut bytes = Vec::new();
     File::open(path)?.read_to_end(&mut bytes)?;
     let n = bytes.len() as u64;
